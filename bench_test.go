@@ -1,0 +1,265 @@
+package hpop_test
+
+// One benchmark per experiment table/figure in DESIGN.md's index (E1..E9).
+// Each benchmark runs the corresponding experiment at a bench-friendly size
+// and reports the experiment's headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation. The
+// full-size tables (with claimed-vs-measured rows) come from cmd/hpopbench
+// and are recorded in EXPERIMENTS.md.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpop/internal/experiments"
+)
+
+// metric extracts the leading float of a table cell ("42.1 Mbps" -> 42.1).
+func metric(b *testing.B, cell string) float64 {
+	b.Helper()
+	fields := strings.Fields(cell)
+	if len(fields) == 0 {
+		b.Fatalf("empty cell")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(fields[0], "x"), "%"), 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
+func findRow(b *testing.B, t *experiments.Table, firstCell string) []string {
+	b.Helper()
+	for _, row := range t.Rows {
+		if row[0] == firstCell {
+			return row
+		}
+	}
+	b.Fatalf("table %s has no row %q", t.ID, firstCell)
+	return nil
+}
+
+// BenchmarkE1DataAttic regenerates Fig. 1: the attic end-to-end workflow.
+func BenchmarkE1DataAttic(b *testing.B) {
+	cfg := experiments.E1Config{Apps: 3, FilesPerApp: 20, EditsPerFile: 2, HealthRecords: 10}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range t.Rows {
+				if row[0] == "close(PUT+UNLOCK)" {
+					b.ReportMetric(metric(b, row[1]), "closes")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE2CCZUtilization regenerates the §II CCZ statistics.
+func BenchmarkE2CCZUtilization(b *testing.B) {
+	cfg := experiments.E2Config{Homes: 20, Days: 1, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(metric(b, t.Rows[0][2]), "pct-down>10Mbps")
+			b.ReportMetric(metric(b, t.Rows[1][2]), "pct-up>0.5Mbps")
+		}
+	}
+}
+
+// BenchmarkE3BottleneckShift regenerates the §II bottleneck-shift sweep.
+func BenchmarkE3BottleneckShift(b *testing.B) {
+	cfg := experiments.DefaultE3()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(metric(b, last[1]), "Mbps-per-flow@100homes")
+		}
+	}
+}
+
+// BenchmarkE4NoCDN regenerates the Fig. 2 workflow with its security
+// properties (integrity, accounting, collusion).
+func BenchmarkE4NoCDN(b *testing.B) {
+	cfg := experiments.E4Config{Peers: 8, ObjectsPerPage: 20, ObjectBytes: 8 << 10, PageViews: 8, Seed: 11}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(metric(b, findRow(b, t, "origin reduction (warm)")[1]), "origin-reduction-x")
+		}
+	}
+}
+
+// BenchmarkE4PeerSelection is the peer-selection ablation.
+func BenchmarkE4PeerSelection(b *testing.B) {
+	cfg := experiments.E4Config{Peers: 8, ObjectsPerPage: 20, ObjectBytes: 4 << 10, PageViews: 4, Seed: 12}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE4Selection(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Chunking is the whole-object vs multi-peer range ablation.
+func BenchmarkE4Chunking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE4Chunking(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Detour regenerates Fig. 3: detour gains and exploration.
+func BenchmarkE5Detour(b *testing.B) {
+	cfg := experiments.E5Config{TransferBytes: 5e6, Seed: 21}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(metric(b, t.Rows[1][2]), "gain-1-waypoint-x")
+		}
+	}
+}
+
+// BenchmarkE5Steering regenerates the ACK-delay steering series.
+func BenchmarkE5Steering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE5Steering()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			first := metric(b, t.Rows[0][1])
+			last := metric(b, t.Rows[len(t.Rows)-1][1])
+			b.ReportMetric(first-last, "pct-share-steered-away")
+		}
+	}
+}
+
+// BenchmarkE5Scheduler is the minRTT vs round-robin ablation.
+func BenchmarkE5Scheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE5Scheduler(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6SlowStart regenerates the §IV-D TCP ramp-up table.
+func BenchmarkE6SlowStart(b *testing.B) {
+	cfg := experiments.DefaultE6()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Utilization of the 1 GB transfer (last row).
+			b.ReportMetric(metric(b, t.Rows[len(t.Rows)-1][3]), "pct-util-1GB")
+		}
+	}
+}
+
+// BenchmarkE7InternetAtHome regenerates the aggressiveness sweep.
+func BenchmarkE7InternetAtHome(b *testing.B) {
+	cfg := experiments.E7Config{CorpusObjects: 5000, HistoryDays: 10, Homes: 5, Seed: 31}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE7Aggressiveness(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(metric(b, t.Rows[len(t.Rows)-1][2]), "pct-hit-full-aggr")
+		}
+	}
+}
+
+// BenchmarkE7Freshness regenerates the freshness-vs-load sweep.
+func BenchmarkE7Freshness(b *testing.B) {
+	cfg := experiments.E7Config{CorpusObjects: 5000, HistoryDays: 10, Homes: 5, Seed: 31}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE7Freshness(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Smoothing regenerates the demand-smoothing comparison.
+func BenchmarkE7Smoothing(b *testing.B) {
+	cfg := experiments.E7Config{Seed: 31}
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE7Smoothing(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			before := metric(b, t.Rows[0][1])
+			after := metric(b, t.Rows[1][1])
+			b.ReportMetric(before/after, "peak-reduction-x")
+		}
+	}
+}
+
+// BenchmarkE7CoopCache regenerates the cooperative-cache comparison.
+func BenchmarkE7CoopCache(b *testing.B) {
+	cfg := experiments.E7Config{CorpusObjects: 5000, HistoryDays: 5, Homes: 8, Seed: 31}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE7Coop(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Traversal regenerates the §III reachability matrix.
+func BenchmarkE8Traversal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunE8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			turn := 0.0
+			for _, row := range t.Rows {
+				if row[2] == "turn" {
+					turn++
+				}
+			}
+			b.ReportMetric(turn, "turn-fallbacks")
+		}
+	}
+}
+
+// BenchmarkE9AvailabilityAndTunnels regenerates the durability sweep and
+// the VPN/NAT tunnel tradeoff.
+func BenchmarkE9AvailabilityAndTunnels(b *testing.B) {
+	cfg := experiments.E9Config{Trials: 500, Seed: 77}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE9Availability(cfg); err != nil {
+			b.Fatal(err)
+		}
+		t, err := experiments.RunE9Tunnels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			vpn := metric(b, t.Rows[0][2])
+			nat := metric(b, t.Rows[1][2])
+			b.ReportMetric(vpn/nat, "vpn-nat-goodput-ratio")
+		}
+	}
+}

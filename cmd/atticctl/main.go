@@ -1,0 +1,188 @@
+// Command atticctl is the data-attic client CLI.
+//
+// Usage:
+//
+//	atticctl -url http://host:8080 -user alice -pass secret <command> [args]
+//
+// Commands:
+//
+//	put <attic-path> <local-file>   upload a file
+//	get <attic-path>                print a file to stdout
+//	ls <attic-path>                 list a collection
+//	rm <attic-path>                 delete
+//	mkdir <attic-path>              create a collection
+//	grant <provider> <scope>        issue a provider grant (prints the token)
+//	grants                          list grants
+//	revoke <username>               revoke a grant
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"hpop/internal/attic"
+	"hpop/internal/webdav"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "atticctl:", err)
+		os.Exit(1)
+	}
+}
+
+type cli struct {
+	base string
+	user string
+	pass string
+	dav  *webdav.Client
+}
+
+func run(args []string) error {
+	c := &cli{}
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-url":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-url needs a value")
+			}
+			c.base = strings.TrimSuffix(args[i], "/")
+		case "-user":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-user needs a value")
+			}
+			c.user = args[i]
+		case "-pass":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-pass needs a value")
+			}
+			c.pass = args[i]
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	if c.base == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (put/get/ls/rm/mkdir/grant/grants/revoke)")
+	}
+	c.dav = &webdav.Client{
+		BaseURL:  c.base + attic.DAVPrefix,
+		Username: c.user,
+		Password: c.pass,
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+	switch cmd {
+	case "put":
+		if len(cmdArgs) != 2 {
+			return fmt.Errorf("usage: put <attic-path> <local-file>")
+		}
+		data, err := os.ReadFile(cmdArgs[1])
+		if err != nil {
+			return err
+		}
+		etag, err := c.dav.Put(cmdArgs[0], data, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored %s (%d bytes, etag %s)\n", cmdArgs[0], len(data), etag)
+		return nil
+	case "get":
+		if len(cmdArgs) != 1 {
+			return fmt.Errorf("usage: get <attic-path>")
+		}
+		data, _, err := c.dav.Get(cmdArgs[0])
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "ls":
+		path := "/"
+		if len(cmdArgs) == 1 {
+			path = cmdArgs[0]
+		}
+		entries, err := c.dav.Propfind(path, "1")
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %10d  %s\n", kind, e.Size, e.Href)
+		}
+		return nil
+	case "rm":
+		if len(cmdArgs) != 1 {
+			return fmt.Errorf("usage: rm <attic-path>")
+		}
+		return c.dav.Delete(cmdArgs[0], nil)
+	case "mkdir":
+		if len(cmdArgs) != 1 {
+			return fmt.Errorf("usage: mkdir <attic-path>")
+		}
+		return c.dav.Mkcol(cmdArgs[0])
+	case "grant":
+		if len(cmdArgs) != 2 {
+			return fmt.Errorf("usage: grant <provider> <scope>")
+		}
+		return c.portal(http.MethodPost, url.Values{
+			"provider": {cmdArgs[0]},
+			"scope":    {cmdArgs[1]},
+		})
+	case "grants":
+		return c.portal(http.MethodGet, nil)
+	case "revoke":
+		if len(cmdArgs) != 1 {
+			return fmt.Errorf("usage: revoke <username>")
+		}
+		return c.portal(http.MethodDelete, url.Values{"username": {cmdArgs[0]}})
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// portal calls the grant-portal endpoint with owner credentials.
+func (c *cli) portal(method string, form url.Values) error {
+	endpoint := c.base + "/attic/grants"
+	var body io.Reader
+	if form != nil && method != http.MethodGet {
+		if method == http.MethodDelete {
+			endpoint += "?" + form.Encode()
+		} else {
+			body = strings.NewReader(form.Encode())
+		}
+	}
+	req, err := http.NewRequest(method, endpoint, body)
+	if err != nil {
+		return err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	req.SetBasicAuth(c.user, c.pass)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("portal %s: status %d: %s", method, resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	if len(out) > 0 {
+		fmt.Println(strings.TrimSpace(string(out)))
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command hpopbench regenerates the paper's figures and quantitative claims
+// as tables (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded outputs).
+//
+// Usage:
+//
+//	hpopbench                 # run every experiment
+//	hpopbench -exp E4         # one experiment
+//	hpopbench -exp E7a,E7b    # a subset
+//	hpopbench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpop/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpopbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return experiments.RunAll(os.Stdout)
+	}
+	registry := experiments.Registry()
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		table, err := runner()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		table.Fprint(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), runErr
+}
+
+func TestListFlag(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E6", "E9b"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-exp", "E6"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10 RTTs") {
+		t.Errorf("E6 output missing claim check:\n%s", out)
+	}
+}
+
+func TestExperimentSubset(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-exp", "E8, E8b"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E8:") || !strings.Contains(out, "E8b:") {
+		t.Errorf("subset output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Command hpopd runs a home point of presence: the data attic (WebDAV at
+// /dav plus the grant portal at /attic/grants), a NoCDN peer (reverse proxy
+// at /nocdn), a DCol waypoint relay on its own TCP port, and the /status
+// endpoint.
+//
+// Usage:
+//
+//	hpopd -listen 127.0.0.1:8080 -owner alice -password secret \
+//	      -relay 127.0.0.1:9090 -nocdn-provider example.com -nocdn-origin http://origin:8000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hpop/internal/attic"
+	"hpop/internal/dcol"
+	"hpop/internal/hpop"
+	"hpop/internal/nocdn"
+	"hpop/internal/pim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpopd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpopd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	owner := fs.String("owner", "owner", "attic owner username")
+	password := fs.String("password", "", "attic owner password (required)")
+	name := fs.String("name", "hpop", "appliance name")
+	relayAddr := fs.String("relay", "", "DCol waypoint relay listen address (empty: disabled)")
+	withPIM := fs.Bool("pim", true, "serve the contacts/calendar/inbox services")
+	quotaMB := fs.Int("quota-mb", 0, "attic storage quota in MB (0 = unlimited)")
+	peerID := fs.String("nocdn-peer", "", "NoCDN peer ID (empty: disabled)")
+	providers := fs.String("nocdn-provider", "", "comma-separated provider=originURL pairs to serve")
+	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *password == "" {
+		return fmt.Errorf("-password is required")
+	}
+
+	h := hpop.New(hpop.Config{Name: *name, ListenAddr: *listen})
+
+	var atticOpts []attic.Option
+	if *quotaMB > 0 {
+		atticOpts = append(atticOpts, attic.WithQuota(*quotaMB<<20))
+	}
+	a := attic.New(*owner, *password, atticOpts...)
+	if err := h.Register(a); err != nil {
+		return err
+	}
+	if *withPIM {
+		for _, svc := range []hpop.Service{
+			pim.NewContacts(a.FS()),
+			pim.NewCalendar(a.FS()),
+			pim.NewInbox(a.FS(), nil),
+		} {
+			if err := h.Register(svc); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *peerID != "" {
+		peer := nocdn.NewPeer(*peerID, *cacheMB<<20)
+		for _, pair := range strings.Split(*providers, ",") {
+			if pair == "" {
+				continue
+			}
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("bad -nocdn-provider entry %q (want name=url)", pair)
+			}
+			peer.SignUp(kv[0], kv[1])
+		}
+		svc := &hpop.FuncService{
+			ServiceName: "nocdn-peer",
+			OnStart: func(ctx *hpop.ServiceContext) error {
+				ctx.Mux.Handle("/nocdn/", http.StripPrefix("/nocdn", peer.Handler()))
+				return nil
+			},
+		}
+		if err := h.Register(svc); err != nil {
+			return err
+		}
+	}
+
+	var relay *dcol.Relay
+	if *relayAddr != "" {
+		svc := &hpop.FuncService{
+			ServiceName: "dcol-waypoint",
+			OnStart: func(ctx *hpop.ServiceContext) error {
+				var err error
+				relay, err = dcol.StartRelay(*relayAddr)
+				if err != nil {
+					return err
+				}
+				ctx.Events.Logf("dcol-waypoint", "relaying on %s", relay.Addr())
+				return nil
+			},
+			OnStop: func() error {
+				if relay != nil {
+					return relay.Close()
+				}
+				return nil
+			},
+		}
+		if err := h.Register(svc); err != nil {
+			return err
+		}
+	}
+
+	// Register the signal handler before going online so that a SIGTERM
+	// arriving the instant the HTTP surface answers is never fatal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	if err := h.Start(); err != nil {
+		return err
+	}
+	a.SetBaseURL(h.URL())
+	fmt.Printf("hpopd %q online at %s (DAV at %s%s)\n", *name, h.URL(), h.URL(), attic.DAVPrefix)
+	if relay != nil {
+		fmt.Printf("DCol waypoint relay at %s\n", relay.Addr())
+	}
+	<-sig
+	fmt.Println("shutting down")
+	return h.Stop(context.Background())
+}

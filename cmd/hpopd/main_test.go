@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-password") {
+		t.Errorf("missing password err = %v", err)
+	}
+	if err := run([]string{"-password", "x", "-nocdn-peer", "p", "-nocdn-provider", "malformed"}); err == nil {
+		t.Error("malformed provider pair accepted")
+	}
+	if err := run([]string{"-unknown-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestFullDaemonLifecycle boots the daemon with every service enabled on
+// fixed loopback ports, probes its HTTP surface, and shuts it down with
+// SIGTERM (signal handling is registered before the listener opens, so the
+// signal is race-free once /status answers).
+func TestFullDaemonLifecycle(t *testing.T) {
+	const addr = "127.0.0.1:39807"
+	const relayAddr = "127.0.0.1:39808"
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", addr,
+			"-password", "pw",
+			"-name", "probe",
+			"-relay", relayAddr,
+			"-nocdn-peer", "test-peer",
+		})
+	}()
+
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/status")
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("status never came up: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{`"probe"`, "attic", "nocdn-peer", "dcol-waypoint"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("status body missing %q: %s", want, body)
+		}
+	}
+
+	// DAV surface answers (401 without credentials is proof of life).
+	resp, err = http.Get(fmt.Sprintf("http://%s/dav/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("anonymous DAV status = %d, want 401", resp.StatusCode)
+	}
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}

@@ -1,0 +1,155 @@
+// Command nocdnd runs a NoCDN node: a content-provider origin serving
+// wrapper pages for a directory of content, or a standalone peer (caching
+// reverse proxy with virtual hosting).
+//
+// Origin mode:
+//
+//	nocdnd -mode origin -listen :8000 -provider example.com -content ./site \
+//	       -peer peer-a=http://hpop-a:8080/nocdn -peer peer-b=http://hpop-b:8080/nocdn
+//
+// Every file under -content becomes an object; the file "index.html" in
+// each directory is that page's container and its siblings are the
+// embedded objects.
+//
+// Peer mode:
+//
+//	nocdnd -mode peer -listen :8001 -id peer-a -provider example.com=http://origin:8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpop/internal/nocdn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nocdnd:", err)
+		os.Exit(1)
+	}
+}
+
+// peerFlags accumulates repeated -peer key=value flags.
+type kvFlags struct {
+	pairs [][2]string
+}
+
+// String implements flag.Value.
+func (f *kvFlags) String() string { return fmt.Sprint(f.pairs) }
+
+// Set implements flag.Value.
+func (f *kvFlags) Set(v string) error {
+	kv := strings.SplitN(v, "=", 2)
+	if len(kv) != 2 {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	f.pairs = append(f.pairs, [2]string{kv[0], kv[1]})
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nocdnd", flag.ContinueOnError)
+	mode := fs.String("mode", "origin", "origin or peer")
+	listen := fs.String("listen", "127.0.0.1:8000", "listen address")
+	provider := fs.String("provider", "example.com", "origin: provider name; peer: provider=originURL list")
+	content := fs.String("content", "", "origin: content directory")
+	id := fs.String("id", "peer", "peer: peer ID")
+	cacheMB := fs.Int("cache-mb", 64, "peer: cache size in MB")
+	var peers kvFlags
+	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "origin":
+		o := nocdn.NewOrigin(*provider)
+		if *content == "" {
+			return fmt.Errorf("origin mode requires -content")
+		}
+		if err := loadContent(o, *content); err != nil {
+			return err
+		}
+		for i, kv := range peers.pairs {
+			o.RegisterPeer(kv[0], kv[1], float64(10+i*10))
+		}
+		fmt.Printf("nocdn origin %q on %s (%d peers)\n", *provider, *listen, len(peers.pairs))
+		return http.ListenAndServe(*listen, o.Handler())
+	case "peer":
+		p := nocdn.NewPeer(*id, *cacheMB<<20)
+		for _, pair := range strings.Split(*provider, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("peer mode wants -provider name=originURL, got %q", pair)
+			}
+			p.SignUp(kv[0], kv[1])
+		}
+		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
+		return http.ListenAndServe(*listen, p.Handler())
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+}
+
+// loadContent walks dir, registering every file as an object and each
+// directory containing an index.html as a page.
+func loadContent(o *nocdn.Origin, dir string) error {
+	pages := make(map[string]*nocdn.Page)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		objPath := "/" + filepath.ToSlash(rel)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		o.AddObject(objPath, data)
+		pageDir := filepath.ToSlash(filepath.Dir(rel))
+		if pageDir == "." {
+			pageDir = ""
+		}
+		pageName := pageDir
+		if pageName == "" {
+			pageName = "index"
+		}
+		p, ok := pages[pageName]
+		if !ok {
+			p = &nocdn.Page{Name: pageName}
+			pages[pageName] = p
+		}
+		if filepath.Base(rel) == "index.html" {
+			p.Container = objPath
+		} else {
+			p.Embedded = append(p.Embedded, objPath)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	registered := 0
+	for _, p := range pages {
+		if p.Container == "" {
+			continue // directory without index.html: objects only
+		}
+		if err := o.AddPage(*p); err != nil {
+			return err
+		}
+		registered++
+	}
+	if registered == 0 {
+		return fmt.Errorf("no pages found under %s (need index.html files)", dir)
+	}
+	fmt.Printf("loaded %d page(s) from %s\n", registered, dir)
+	return nil
+}

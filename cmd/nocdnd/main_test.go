@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpop/internal/nocdn"
+	"hpop/internal/sim"
+)
+
+func TestKVFlags(t *testing.T) {
+	var f kvFlags
+	if err := f.Set("a=http://x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("b=http://y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("malformed"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+	if len(f.pairs) != 2 || f.pairs[1][0] != "b" {
+		t.Errorf("pairs = %v", f.pairs)
+	}
+	if f.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func writeSite(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "index.html"), []byte("<html>root</html>"), 0o600))
+	must(os.WriteFile(filepath.Join(dir, "style.css"), []byte("body{}"), 0o600))
+	must(os.MkdirAll(filepath.Join(dir, "blog"), 0o700))
+	must(os.WriteFile(filepath.Join(dir, "blog", "index.html"), []byte("<html>blog</html>"), 0o600))
+	must(os.WriteFile(filepath.Join(dir, "blog", "post.jpg"), []byte("jpegdata"), 0o600))
+	return dir
+}
+
+func TestLoadContent(t *testing.T) {
+	dir := writeSite(t)
+	o := nocdn.NewOrigin("t", nocdn.WithRNG(sim.NewRNG(1)))
+	if err := loadContent(o, dir); err != nil {
+		t.Fatal(err)
+	}
+	o.RegisterPeer("p", "http://p", 1)
+	// Root page: index.html + style.css.
+	w, err := o.GenerateWrapper("index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Container.Path != "/index.html" || len(w.Objects) != 1 {
+		t.Errorf("root wrapper = %+v", w)
+	}
+	// Subdirectory page.
+	w, err = o.GenerateWrapper("blog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Container.Path != "/blog/index.html" || len(w.Objects) != 1 {
+		t.Errorf("blog wrapper = %+v", w)
+	}
+}
+
+func TestLoadContentNoPages(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "loose.txt"), []byte("x"), 0o600)
+	o := nocdn.NewOrigin("t")
+	if err := loadContent(o, dir); err == nil {
+		t.Error("directory without index.html accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run([]string{"-mode", "origin"}); err == nil {
+		t.Error("origin without -content accepted")
+	}
+	if err := run([]string{"-mode", "peer", "-provider", "malformed-no-equals", "-listen", "127.0.0.1:0"}); err == nil {
+		t.Error("malformed provider pair accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,17 @@
+// Package hpop is a from-scratch reproduction of "Rethinking Home Networks
+// in the Ultrabroadband Era" (Rabinovich, Allman, Brennan, Pollack, Xu —
+// ICDCS 2019): a home point of presence (HPoP) appliance with the paper's
+// four services (Data Attic, NoCDN, Detour Collective, Internet@home) and
+// every substrate they depend on, in pure-stdlib Go.
+//
+// The root package only anchors documentation; all code lives under
+// internal/ (see DESIGN.md for the system inventory), the executables under
+// cmd/, and runnable examples under examples/. The benchmarks in
+// bench_test.go regenerate the paper's figures and quantitative claims —
+// run them with:
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/hpopbench for the full-size experiment tables recorded in
+// EXPERIMENTS.md.
+package hpop

@@ -1,0 +1,117 @@
+// Health records: the paper's §IV-A-1 case study. A patient grants two
+// medical providers scoped access to their attic via one-time grant tokens
+// (the QR-code payload); each provider dual-writes records to its own store
+// and the patient's attic; the patient aggregates their complete
+// cross-provider history from home and can hand an emergency read-only
+// grant to a new doctor.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"hpop/internal/attic"
+	"hpop/internal/hpop"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	a := attic.New("patient", "pw")
+	h := hpop.New(hpop.Config{Name: "patient-home"})
+	if err := h.Register(a); err != nil {
+		return err
+	}
+	if err := h.Start(); err != nil {
+		return err
+	}
+	defer h.Stop(context.Background())
+	a.SetBaseURL(h.URL())
+
+	// One-time bootstrap: the patient's attic issues a grant per provider.
+	clinicToken, err := a.IssueGrant("Lakeside Clinic", "/health/lakeside")
+	if err != nil {
+		return err
+	}
+	labToken, err := a.IssueGrant("City Lab", "/health/citylab")
+	if err != nil {
+		return err
+	}
+	fmt.Println("issued grants (QR payloads):")
+	fmt.Println("  clinic:", clinicToken[:40]+"...")
+	fmt.Println("  lab:   ", labToken[:40]+"...")
+
+	// Providers link the patient and write records; the storage driver
+	// duplicates every write to the attic.
+	clinic := attic.NewProviderSystem("Lakeside Clinic")
+	lab := attic.NewProviderSystem("City Lab")
+	if err := clinic.LinkPatient("p-1", clinicToken); err != nil {
+		return err
+	}
+	if err := lab.LinkPatient("p-1", labToken); err != nil {
+		return err
+	}
+	records := []attic.HealthRecord{
+		{PatientID: "p-1", RecordID: "visit-2026-01", Kind: "visit",
+			Body: "annual physical, BP 118/76", CreatedAt: time.Date(2026, 1, 12, 9, 0, 0, 0, time.UTC)},
+		{PatientID: "p-1", RecordID: "rx-2026-02", Kind: "prescription",
+			Body: "amoxicillin 500mg", CreatedAt: time.Date(2026, 2, 3, 14, 0, 0, 0, time.UTC)},
+	}
+	for _, r := range records {
+		if err := clinic.WriteRecord(r); err != nil {
+			return err
+		}
+	}
+	if err := lab.WriteRecord(attic.HealthRecord{
+		PatientID: "p-1", RecordID: "cbc-2026-02", Kind: "lab",
+		Body: "CBC within normal limits", CreatedAt: time.Date(2026, 2, 5, 8, 0, 0, 0, time.UTC),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("clinic wrote %d records (kept %d local regulatory copies)\n",
+		len(records), len(clinic.LocalRecords("p-1")))
+
+	// The patient aggregates their complete history from their own attic —
+	// no inter-institution protocol needed.
+	history, err := attic.AggregateRecords(a.OwnerClient(h.URL()),
+		[]string{"/health/lakeside", "/health/citylab"})
+	if err != nil {
+		return err
+	}
+	fmt.Println("complete history aggregated from the attic:")
+	for _, r := range history {
+		fmt.Printf("  %s  %-12s %-22s %s\n",
+			r.CreatedAt.Format("2006-01-02"), r.Kind, r.Provider, r.Body)
+	}
+
+	// Emergency: hand a read-only grant to a new doctor, then revoke it.
+	erToken, err := a.IssueGrant("ER Doctor", "/health", attic.ReadOnly())
+	if err != nil {
+		return err
+	}
+	erClient, g, err := attic.ClientFromGrant(erToken)
+	if err != nil {
+		return err
+	}
+	entries, err := erClient.Propfind("/health", "1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ER doctor (read-only) sees %d provider folders\n", len(entries)-1)
+	if _, err := erClient.Put("/health/evil.txt", []byte("x"), nil); err != nil {
+		fmt.Println("ER doctor write correctly refused:", err)
+	}
+	if err := a.RevokeGrant(g.Username); err != nil {
+		return err
+	}
+	if _, err := erClient.Propfind("/health", "1"); err != nil {
+		fmt.Println("after revocation, access correctly refused")
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Neighborhood: the paper's §II realities and §IV-D cooperative cache. A
+// CCZ-style FTTH neighborhood (homes at 1 Gbps sharing a 10 Gbps uplink)
+// shows the bottleneck shifting to the aggregation link while lateral
+// home-to-home bandwidth survives; then ten HPoPs form a cooperative cache
+// and cut their shared-uplink load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpop/internal/iathome"
+	"hpop/internal/netsim"
+	"hpop/internal/sim"
+	"hpop/internal/webmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Bottleneck shift (§II) ---
+	fmt.Println("bottleneck shift: per-flow rate as homes activate")
+	for _, active := range []int{1, 5, 10, 25, 100} {
+		k := sim.New()
+		n := netsim.New(k)
+		nb := netsim.BuildNeighborhood(n, nil, netsim.NeighborhoodConfig{Homes: active})
+		server := nb.AttachServer("cdn", 0, 0.02)
+		flows := make([]*netsim.Flow, 0, active)
+		for i := 0; i < active; i++ {
+			path, err := nb.DownPath(server, i)
+			if err != nil {
+				return err
+			}
+			f, err := n.StartFlow(path, 1e15)
+			if err != nil {
+				return err
+			}
+			flows = append(flows, f)
+		}
+		// Rates are recomputed as each flow joins; read them only after all
+		// flows are active.
+		var total float64
+		for _, f := range flows {
+			total += f.Rate()
+		}
+		where := "access link"
+		if total >= nb.AggDown.Capacity()*0.999 {
+			where = "10 Gbps aggregation (shared)"
+		}
+		fmt.Printf("  %3d homes: %7.0f Mbps per flow   bottleneck: %s\n",
+			active, total/float64(active)/1e6, where)
+	}
+
+	// --- Lateral bandwidth (§II) ---
+	k := sim.New()
+	n := netsim.New(k)
+	nb := netsim.BuildNeighborhood(n, nil, netsim.NeighborhoodConfig{Homes: 30})
+	server := nb.AttachServer("cdn", 0, 0.02)
+	for i := 2; i < 30; i++ {
+		path, _ := nb.DownPath(server, i)
+		n.StartFlow(path, 1e15)
+	}
+	lateral, _ := nb.LateralPath(0, 1)
+	lf, _ := n.StartFlow(lateral, 1e15)
+	fmt.Printf("\nlateral home0->home1 while 28 homes saturate the uplink: %.0f Mbps\n\n",
+		lf.Rate()/1e6)
+
+	// --- Cooperative neighborhood cache (§IV-D) ---
+	corpus := webmodel.NewCorpus(sim.NewRNG(7), webmodel.CorpusConfig{Objects: 10000})
+	homes := make([]string, 10)
+	traces := make(map[string][]webmodel.Request)
+	for i := range homes {
+		homes[i] = fmt.Sprintf("home-%02d", i)
+		profile := webmodel.NewProfile(sim.NewRNG(uint64(100+i)), corpus, 200, 1.0, 500)
+		traces[homes[i]] = profile.Trace(sim.NewRNG(uint64(200+i)), 2)
+	}
+	for _, cooperative := range []bool{false, true} {
+		cc := iathome.NewCoopCache(corpus, homes, cooperative)
+		cc.ReplayNeighborhood(traces)
+		mode := "independent"
+		if cooperative {
+			mode = "cooperative"
+		}
+		fmt.Printf("%-12s: aggregation %6.1f MB, lateral %6.1f MB, neighbor hits %d\n",
+			mode,
+			float64(cc.Stats.AggregationBytes)/1e6,
+			float64(cc.Stats.LateralBytes)/1e6,
+			cc.Stats.NeighborHits)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Quickstart: boot a home point of presence with a data attic and the
+// "mundane services" (contacts + calendar), store and retrieve a file over
+// WebDAV, add a contact, and read the appliance status endpoint.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"hpop/internal/attic"
+	"hpop/internal/hpop"
+	"hpop/internal/pim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Create the appliance and register the attic plus the "myriad
+	// mundane services" from §III.
+	a := attic.New("alice", "correct-horse")
+	contacts := pim.NewContacts(a.FS())
+	calendar := pim.NewCalendar(a.FS())
+	h := hpop.New(hpop.Config{Name: "quickstart-home"})
+	for _, svc := range []hpop.Service{a, contacts, calendar} {
+		if err := h.Register(svc); err != nil {
+			return err
+		}
+	}
+	if err := h.Start(); err != nil {
+		return err
+	}
+	defer h.Stop(context.Background())
+	a.SetBaseURL(h.URL())
+	fmt.Println("HPoP online at", h.URL())
+
+	// 2. Store a file in the attic over WebDAV.
+	dav := a.OwnerClient(h.URL())
+	if err := dav.Mkcol("/notes"); err != nil {
+		return err
+	}
+	etag, err := dav.Put("/notes/todo.txt", []byte("1. re-center digital life at home\n"), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("stored /notes/todo.txt, etag", etag)
+
+	// 3. Read it back (from anywhere — the HPoP is the fixed presence).
+	data, _, err := dav.Get("/notes/todo.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read back: %s", data)
+
+	// 4. List the collection.
+	entries, err := dav.Propfind("/notes", "1")
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("  %s (dir=%v, %d bytes)\n", e.Href, e.IsDir, e.Size)
+	}
+
+	// 5. The mundane services share the same home: a contact and a
+	// dentist appointment, stored next to the files.
+	if _, err := contacts.Add(pim.Contact{Name: "Dr. Molar", Phone: "555-0123"}); err != nil {
+		return err
+	}
+	when := time.Now().Add(48 * time.Hour)
+	if _, err := calendar.Add(pim.Event{
+		Title: "dentist", Start: when, End: when.Add(time.Hour),
+	}); err != nil {
+		return err
+	}
+	hits, err := contacts.Search("molar")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("contact lookup: %s (%s)\n", hits[0].Name, hits[0].Phone)
+	upcoming, err := calendar.Range(time.Now(), time.Now().Add(7*24*time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("events this week: %d\n", len(upcoming))
+
+	// 6. Appliance status.
+	resp, err := http.Get(h.URL() + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	status, _ := io.ReadAll(resp.Body)
+	fmt.Println("status:", string(status))
+	return nil
+}

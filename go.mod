@@ -1,0 +1,3 @@
+module hpop
+
+go 1.22

@@ -1,0 +1,366 @@
+// Package attic implements the paper's Data Attic (§IV-A): an
+// application-agnostic store in the user's home that external applications
+// operate on but never retain. It layers on the WebDAV server
+// (internal/webdav) exactly as the paper's prototype did, and adds:
+//
+//   - provider grants: the one-time QR-code bootstrap that hands a new
+//     provider scoped credentials to one subtree of the attic,
+//   - the health-records exemplar: a provider-side storage driver that
+//     duplicates writes to the provider's local store and the patient's attic,
+//   - the open/close wrapper driver: GET-on-open, local copy, PUT-on-close,
+//     mirroring the paper's linker --wrap trick,
+//   - offline mode with reconciliation on reconnect,
+//   - backup/replication planning (local snapshot, full replicas at friends'
+//     attics, or Reed-Solomon shards across peers).
+package attic
+
+import (
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hpop/internal/auth"
+	"hpop/internal/hpop"
+	"hpop/internal/vfs"
+	"hpop/internal/webdav"
+)
+
+// Errors returned by the attic.
+var (
+	ErrNoSuchGrant  = errors.New("attic: no such grant")
+	ErrGrantRevoked = errors.New("attic: grant revoked")
+)
+
+// DAVPrefix is where the attic mounts its WebDAV tree on the appliance mux.
+const DAVPrefix = "/dav"
+
+// account is one credential: the owner or a scoped provider.
+type account struct {
+	username string
+	password string
+	scope    string // path prefix the account may touch; "/" for owner
+	readOnly bool
+	revoked  bool
+	provider string
+}
+
+// Attic is the data-attic service.
+type Attic struct {
+	ownerUser string
+	ownerPass string
+	// quotaBytes caps total attic storage (0 = unlimited). PUTs that would
+	// exceed it are refused with 507 Insufficient Storage.
+	quotaBytes int
+
+	mu       sync.Mutex
+	accounts map[string]*account // by username
+	fs       *vfs.FS
+	handler  *webdav.Handler
+	metrics  *hpop.Metrics
+	events   *hpop.EventLog
+	baseURL  string // set at start for grant encoding
+	started  bool
+	nextID   int
+}
+
+var _ hpop.Service = (*Attic)(nil)
+
+// Option configures an Attic at construction.
+type Option func(*Attic)
+
+// WithQuota caps total attic storage in bytes.
+func WithQuota(bytes int) Option {
+	return func(a *Attic) { a.quotaBytes = bytes }
+}
+
+// New creates an attic owned by the given credentials.
+func New(ownerUser, ownerPass string, opts ...Option) *Attic {
+	a := &Attic{
+		ownerUser: ownerUser,
+		ownerPass: ownerPass,
+		accounts:  make(map[string]*account),
+		fs:        vfs.New(),
+	}
+	a.accounts[ownerUser] = &account{
+		username: ownerUser,
+		password: ownerPass,
+		scope:    "/",
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Name implements hpop.Service.
+func (a *Attic) Name() string { return "attic" }
+
+// FS exposes the underlying filesystem (for backup and tests).
+func (a *Attic) FS() *vfs.FS { return a.fs }
+
+// Start implements hpop.Service: mounts the WebDAV handler and the grant
+// portal endpoints.
+func (a *Attic) Start(ctx *hpop.ServiceContext) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started {
+		return errors.New("attic: already started")
+	}
+	a.metrics = ctx.Metrics
+	a.events = ctx.Events
+	a.handler = webdav.NewHandler(a.fs,
+		webdav.WithPrefix(DAVPrefix),
+		webdav.WithAuth(a.authorize),
+	)
+	ctx.Mux.Handle(DAVPrefix+"/", a.instrument(a.handler))
+	ctx.Mux.HandleFunc("/attic/grants", a.handleGrants)
+	a.started = true
+	return nil
+}
+
+// Stop implements hpop.Service.
+func (a *Attic) Stop() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.started = false
+	return nil
+}
+
+// SetBaseURL records the externally reachable URL, embedded in new grants.
+func (a *Attic) SetBaseURL(u string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.baseURL = strings.TrimSuffix(u, "/")
+}
+
+func (a *Attic) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a.metrics != nil {
+			a.metrics.Add("attic.requests", 1)
+			a.metrics.Add("attic.requests."+strings.ToLower(r.Method), 1)
+		}
+		// Quota: refuse uploads that would exceed the cap (Content-Length
+		// approximation; rewrites of existing files may briefly double-count,
+		// erring on the safe side).
+		if a.quotaBytes > 0 && r.Method == http.MethodPut && r.ContentLength > 0 {
+			if a.fs.TotalBytes()+int(r.ContentLength) > a.quotaBytes {
+				if a.metrics != nil {
+					a.metrics.Add("attic.quota_rejections", 1)
+				}
+				http.Error(w, "attic quota exceeded", http.StatusInsufficientStorage)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// authorize is the webdav.Authorizer: the owner sees everything; provider
+// accounts are confined to their scope subtree (and to reads if read-only).
+func (a *Attic) authorize(user, pass, method, path string) bool {
+	a.mu.Lock()
+	acct, ok := a.accounts[user]
+	a.mu.Unlock()
+	if !ok || acct.revoked {
+		return false
+	}
+	if subtle.ConstantTimeCompare([]byte(acct.password), []byte(pass)) != 1 {
+		return false
+	}
+	if acct.scope != "/" {
+		if path != acct.scope && !strings.HasPrefix(path, acct.scope+"/") {
+			return false
+		}
+	}
+	if acct.readOnly {
+		switch method {
+		case http.MethodGet, http.MethodHead, "PROPFIND", http.MethodOptions:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// GrantOption tweaks grant issuance.
+type GrantOption func(*account)
+
+// ReadOnly confines the grant to read methods.
+func ReadOnly() GrantOption {
+	return func(acct *account) { acct.readOnly = true }
+}
+
+// IssueGrant provisions a scoped account for a provider and returns the
+// encoded grant payload (the QR-code contents). The scope directory is
+// created if missing.
+func (a *Attic) IssueGrant(provider, scope string, opts ...GrantOption) (string, error) {
+	cleanScope, err := vfs.Clean(scope)
+	if err != nil {
+		return "", err
+	}
+	if err := a.fs.MkdirAll(cleanScope); err != nil {
+		return "", fmt.Errorf("create scope: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextID++
+	acct := &account{
+		username: fmt.Sprintf("grant-%d-%s", a.nextID, sanitize(provider)),
+		password: hex.EncodeToString(auth.NewSecret(16)),
+		scope:    cleanScope,
+		provider: provider,
+	}
+	for _, o := range opts {
+		o(acct)
+	}
+	a.accounts[acct.username] = acct
+	if a.events != nil {
+		a.events.Logf("attic", "granted %s access to %s (user %s)", provider, cleanScope, acct.username)
+	}
+	g := auth.Grant{
+		Endpoint: a.baseURL + DAVPrefix,
+		Username: acct.username,
+		Password: acct.password,
+		Scope:    cleanScope,
+		Provider: provider,
+	}
+	return g.Encode(), nil
+}
+
+// RevokeGrant disables a provider account by username.
+func (a *Attic) RevokeGrant(username string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acct, ok := a.accounts[username]
+	if !ok || acct.scope == "/" {
+		return ErrNoSuchGrant
+	}
+	if acct.revoked {
+		return ErrGrantRevoked
+	}
+	acct.revoked = true
+	if a.events != nil {
+		a.events.Logf("attic", "revoked grant %s", username)
+	}
+	return nil
+}
+
+// Grants lists active provider grants as (username, provider, scope) rows.
+type GrantInfo struct {
+	Username string `json:"username"`
+	Provider string `json:"provider"`
+	Scope    string `json:"scope"`
+	ReadOnly bool   `json:"readOnly"`
+}
+
+// Grants returns active (unrevoked) provider grants.
+func (a *Attic) Grants() []GrantInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []GrantInfo
+	for _, acct := range a.accounts {
+		if acct.scope == "/" || acct.revoked {
+			continue
+		}
+		out = append(out, GrantInfo{
+			Username: acct.username,
+			Provider: acct.provider,
+			Scope:    acct.scope,
+			ReadOnly: acct.readOnly,
+		})
+	}
+	return out
+}
+
+// handleGrants is the portal endpoint: POST (owner-authenticated) issues a
+// grant; GET lists grants.
+func (a *Attic) handleGrants(w http.ResponseWriter, r *http.Request) {
+	user, pass, _ := r.BasicAuth()
+	if user != a.ownerUser || subtle.ConstantTimeCompare([]byte(pass), []byte(a.ownerPass)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Basic realm="attic-portal"`)
+		http.Error(w, "owner credentials required", http.StatusUnauthorized)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		provider := r.FormValue("provider")
+		scope := r.FormValue("scope")
+		if provider == "" || scope == "" {
+			http.Error(w, "provider and scope required", http.StatusBadRequest)
+			return
+		}
+		var opts []GrantOption
+		if r.FormValue("readonly") == "true" {
+			opts = append(opts, ReadOnly())
+		}
+		token, err := a.IssueGrant(provider, scope, opts...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, token)
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain")
+		for _, g := range a.Grants() {
+			fmt.Fprintf(w, "%s %s %s readonly=%v\n", g.Username, g.Provider, g.Scope, g.ReadOnly)
+		}
+	case http.MethodDelete:
+		username := r.FormValue("username")
+		if err := a.RevokeGrant(username); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// OwnerClient returns a WebDAV client with the owner's credentials against
+// the given appliance base URL.
+func (a *Attic) OwnerClient(applianceURL string) *webdav.Client {
+	return &webdav.Client{
+		BaseURL:  strings.TrimSuffix(applianceURL, "/") + DAVPrefix,
+		Username: a.ownerUser,
+		Password: a.ownerPass,
+	}
+}
+
+// ClientFromGrant builds a WebDAV client from an encoded grant (what a
+// provider's system does after scanning the QR code).
+func ClientFromGrant(encoded string) (*webdav.Client, auth.Grant, error) {
+	g, err := auth.DecodeGrant(encoded)
+	if err != nil {
+		return nil, auth.Grant{}, err
+	}
+	if !g.Expires.IsZero() && time.Now().After(g.Expires) {
+		return nil, auth.Grant{}, auth.ErrExpired
+	}
+	return &webdav.Client{
+		BaseURL:  g.Endpoint,
+		Username: g.Username,
+		Password: g.Password,
+	}, g, nil
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "provider"
+	}
+	return b.String()
+}

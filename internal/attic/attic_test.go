@@ -1,0 +1,262 @@
+package attic
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hpop/internal/hpop"
+	"hpop/internal/webdav"
+)
+
+// startAttic boots a real HPoP with an attic and returns the attic and base
+// URL.
+func startAttic(t *testing.T) (*Attic, string) {
+	t.Helper()
+	a := New("owner", "hunter2")
+	h := hpop.New(hpop.Config{Name: "test"})
+	if err := h.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Stop(context.Background()) })
+	a.SetBaseURL(h.URL())
+	return a, h.URL()
+}
+
+func TestOwnerFullAccess(t *testing.T) {
+	a, base := startAttic(t)
+	c := a.OwnerClient(base)
+	if err := c.Mkcol("/photos"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/photos/cat.jpg", []byte("meow"), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Get("/photos/cat.jpg")
+	if err != nil || string(data) != "meow" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+}
+
+func TestAnonymousRejected(t *testing.T) {
+	_, base := startAttic(t)
+	anon := &webdav.Client{BaseURL: base + DAVPrefix}
+	if _, err := anon.Put("/f", []byte("x"), nil); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("anon err = %v, want 401", err)
+	}
+}
+
+func TestGrantScoping(t *testing.T) {
+	a, base := startAttic(t)
+	owner := a.OwnerClient(base)
+	owner.Mkcol("/private")
+	owner.Put("/private/secret", []byte("hidden"), nil)
+
+	token, err := a.IssueGrant("Clinic A", "/health/clinic-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, g, err := ClientFromGrant(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scope != "/health/clinic-a" || g.Provider != "Clinic A" {
+		t.Errorf("grant = %+v", g)
+	}
+	// In scope: allowed.
+	if _, err := client.Put("/health/clinic-a/visit1.json", []byte("{}"), nil); err != nil {
+		t.Fatalf("in-scope PUT: %v", err)
+	}
+	// Outside scope: rejected.
+	if _, _, err := client.Get("/private/secret"); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("out-of-scope GET err = %v, want 401", err)
+	}
+	if _, err := client.Put("/health/other", []byte("x"), nil); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("sibling-scope PUT err = %v, want 401", err)
+	}
+	// Prefix trickery must not escape the scope.
+	if _, err := client.Put("/health/clinic-a-evil", []byte("x"), nil); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("prefix-collision PUT err = %v, want 401", err)
+	}
+}
+
+func TestReadOnlyGrant(t *testing.T) {
+	a, base := startAttic(t)
+	token, err := a.IssueGrant("Viewer", "/shared", ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerC := a.OwnerClient(base)
+	ownerC.Put("/shared/doc", []byte("read me"), nil)
+	client, _, _ := ClientFromGrant(token)
+	if _, _, err := client.Get("/shared/doc"); err != nil {
+		t.Fatalf("read-only GET: %v", err)
+	}
+	if _, err := client.Propfind("/shared", "1"); err != nil {
+		t.Fatalf("read-only PROPFIND: %v", err)
+	}
+	if _, err := client.Put("/shared/doc", []byte("vandalized"), nil); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("read-only PUT err = %v, want 401", err)
+	}
+}
+
+func TestRevokeGrant(t *testing.T) {
+	a, base := startAttic(t)
+	token, _ := a.IssueGrant("Clinic", "/health/c")
+	client, g, _ := ClientFromGrant(token)
+	if _, err := client.Put("/health/c/r1", []byte("{}"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RevokeGrant(g.Username); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Put("/health/c/r2", []byte("{}"), nil); !webdav.IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("post-revoke PUT err = %v, want 401", err)
+	}
+	if err := a.RevokeGrant(g.Username); err != ErrGrantRevoked {
+		t.Errorf("double revoke err = %v", err)
+	}
+	if err := a.RevokeGrant("ghost"); err != ErrNoSuchGrant {
+		t.Errorf("ghost revoke err = %v", err)
+	}
+	if err := a.RevokeGrant("owner"); err != ErrNoSuchGrant {
+		t.Errorf("owner revoke err = %v (owner must not be revocable)", err)
+	}
+	_ = base
+}
+
+func TestGrantsListing(t *testing.T) {
+	a, _ := startAttic(t)
+	a.IssueGrant("A", "/a")
+	a.IssueGrant("B", "/b", ReadOnly())
+	grants := a.Grants()
+	if len(grants) != 2 {
+		t.Fatalf("grants = %d", len(grants))
+	}
+	token, _ := a.IssueGrant("C", "/c")
+	client, g, _ := ClientFromGrant(token)
+	_ = client
+	a.RevokeGrant(g.Username)
+	if len(a.Grants()) != 2 {
+		t.Error("revoked grant still listed")
+	}
+}
+
+func TestGrantPortalHTTP(t *testing.T) {
+	_, base := startAttic(t)
+	// Unauthenticated POST rejected.
+	resp, err := http.PostForm(base+"/attic/grants", url.Values{"provider": {"X"}, "scope": {"/x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("anon portal POST = %d, want 401", resp.StatusCode)
+	}
+	// Owner-authenticated POST issues a working grant token.
+	req, _ := http.NewRequest(http.MethodPost, base+"/attic/grants",
+		strings.NewReader(url.Values{"provider": {"Lab"}, "scope": {"/health/lab"}}.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.SetBasicAuth("owner", "hunter2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokenBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("portal POST = %d", resp.StatusCode)
+	}
+	client, _, err := ClientFromGrant(string(tokenBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Put("/health/lab/result", []byte("{}"), nil); err != nil {
+		t.Errorf("grant from portal unusable: %v", err)
+	}
+	// GET lists it.
+	req, _ = http.NewRequest(http.MethodGet, base+"/attic/grants", nil)
+	req.SetBasicAuth("owner", "hunter2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(listing), "Lab") {
+		t.Errorf("portal listing = %q", listing)
+	}
+}
+
+func TestMetricsInstrumented(t *testing.T) {
+	a := New("owner", "pw")
+	h := hpop.New(hpop.Config{})
+	h.Register(a)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop(context.Background())
+	a.SetBaseURL(h.URL())
+	c := a.OwnerClient(h.URL())
+	c.Put("/f", []byte("x"), nil)
+	c.Get("/f")
+	if got := h.Metrics().Counter("attic.requests"); got < 2 {
+		t.Errorf("attic.requests = %v, want >= 2", got)
+	}
+	if got := h.Metrics().Counter("attic.requests.put"); got != 1 {
+		t.Errorf("put counter = %v", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Clinic A":   "clinic-a",
+		"__X__":      "--x--",
+		"!!!":        "provider",
+		"lab-42 Inc": "lab-42-inc",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	a := New("owner", "pw", WithQuota(1000))
+	h := hpop.New(hpop.Config{})
+	h.Register(a)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop(context.Background())
+	a.SetBaseURL(h.URL())
+	c := a.OwnerClient(h.URL())
+
+	if _, err := c.Put("/small", make([]byte, 400), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/medium", make([]byte, 400), nil); err != nil {
+		t.Fatal(err)
+	}
+	// 800 used; a 400-byte upload would exceed 1000.
+	if _, err := c.Put("/over", make([]byte, 400), nil); !webdav.IsStatus(err, http.StatusInsufficientStorage) {
+		t.Errorf("over-quota PUT err = %v, want 507", err)
+	}
+	if got := h.Metrics().Counter("attic.quota_rejections"); got != 1 {
+		t.Errorf("quota_rejections = %v", got)
+	}
+	// Freeing space re-enables uploads.
+	if err := c.Delete("/small", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/over", make([]byte, 400), nil); err != nil {
+		t.Errorf("post-delete PUT err = %v", err)
+	}
+}

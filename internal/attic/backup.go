@@ -1,0 +1,404 @@
+package attic
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hpop/internal/auth"
+	"hpop/internal/erasure"
+)
+
+// This file implements §IV-A "Data Availability": local/ cloud backup of
+// encrypted data, whole-attic replication to friends' attics, and erasure-
+// coded shard placement across peers, plus the availability arithmetic the
+// E9a experiment sweeps.
+
+// Backup errors.
+var (
+	ErrPeerDown      = errors.New("attic: peer unavailable")
+	ErrNoSuchBackup  = errors.New("attic: no such backup")
+	ErrNotEnoughUp   = errors.New("attic: too few peers up to restore")
+	ErrChecksum      = errors.New("attic: restored data failed checksum")
+	ErrBadPlanParams = errors.New("attic: invalid backup plan parameters")
+)
+
+// PeerStore is remote storage at one peer (a friend's attic, a NAS, or a
+// cold cloud tier).
+type PeerStore interface {
+	// Name identifies the peer.
+	Name() string
+	// Put stores a blob under key.
+	Put(key string, data []byte) error
+	// Get retrieves a blob.
+	Get(key string) ([]byte, error)
+	// Up reports current reachability.
+	Up() bool
+}
+
+// MemPeer is an in-memory PeerStore whose availability can be toggled —
+// the churn model for availability experiments.
+type MemPeer struct {
+	PeerName string
+
+	mu   sync.Mutex
+	blob map[string][]byte
+	down bool
+}
+
+var _ PeerStore = (*MemPeer)(nil)
+
+// NewMemPeer creates an empty, reachable peer.
+func NewMemPeer(name string) *MemPeer {
+	return &MemPeer{PeerName: name, blob: make(map[string][]byte)}
+}
+
+// Name implements PeerStore.
+func (m *MemPeer) Name() string { return m.PeerName }
+
+// SetDown toggles reachability.
+func (m *MemPeer) SetDown(down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = down
+}
+
+// Up implements PeerStore.
+func (m *MemPeer) Up() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.down
+}
+
+// Put implements PeerStore.
+func (m *MemPeer) Put(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return ErrPeerDown
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.blob[key] = cp
+	return nil
+}
+
+// Get implements PeerStore.
+func (m *MemPeer) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, ErrPeerDown
+	}
+	data, ok := m.blob[key]
+	if !ok {
+		return nil, ErrNoSuchBackup
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// CorruptAll flips a byte in every stored blob — silent-corruption failure
+// injection for restore tests.
+func (m *MemPeer) CorruptAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, b := range m.blob {
+		if len(b) > 0 {
+			b[len(b)/2] ^= 0xFF
+			m.blob[k] = b
+		}
+	}
+}
+
+// StoredBytes returns this peer's storage consumption (overhead accounting).
+func (m *MemPeer) StoredBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, b := range m.blob {
+		n += len(b)
+	}
+	return n
+}
+
+// PlanKind distinguishes durability strategies.
+type PlanKind int
+
+// Durability strategies from §IV-A.
+const (
+	// PlanNone accepts "occasional unavailability [as] an inherent reality
+	// of home utilities".
+	PlanNone PlanKind = iota + 1
+	// PlanReplicas keeps full copies at N peers ("replicating the entire
+	// HPoP to attics belonging to friends and relatives").
+	PlanReplicas
+	// PlanErasure stores RS(k, m) shards across k+m peers ("redundantly
+	// encoding the contents — e.g., using erasure codes").
+	PlanErasure
+)
+
+// Plan is a durability configuration.
+type Plan struct {
+	Kind PlanKind
+	// N is the replica count for PlanReplicas.
+	N int
+	// K, M are the Reed-Solomon parameters for PlanErasure.
+	K, M int
+}
+
+// StorageOverhead returns the plan's storage expansion factor.
+func (p Plan) StorageOverhead() float64 {
+	switch p.Kind {
+	case PlanReplicas:
+		return float64(p.N)
+	case PlanErasure:
+		return float64(p.K+p.M) / float64(p.K)
+	default:
+		return 0
+	}
+}
+
+// Availability returns the probability the data is recoverable when each
+// peer is independently up with probability peerUp.
+func (p Plan) Availability(peerUp float64) float64 {
+	switch p.Kind {
+	case PlanReplicas:
+		return 1 - math.Pow(1-peerUp, float64(p.N))
+	case PlanErasure:
+		// Need at least K of K+M shards: binomial tail.
+		n := p.K + p.M
+		var sum float64
+		for i := p.K; i <= n; i++ {
+			sum += binomial(n, i) * math.Pow(peerUp, float64(i)) * math.Pow(1-peerUp, float64(n-i))
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// manifest records how a backup was laid out.
+type manifest struct {
+	plan     Plan
+	length   int
+	checksum string
+	iv       []byte
+	keys     []string // storage key per replica/shard
+	peers    []PeerStore
+}
+
+// BackupEngine encrypts attic content and places it at peers per a plan.
+type BackupEngine struct {
+	plan  Plan
+	peers []PeerStore
+	key   []byte // AES-256 key; data leaves the home encrypted
+
+	mu        sync.Mutex
+	manifests map[string]*manifest
+	nextID    int
+}
+
+// NewBackupEngine validates the plan against the peer set and creates the
+// engine with a fresh encryption key.
+func NewBackupEngine(plan Plan, peers []PeerStore) (*BackupEngine, error) {
+	switch plan.Kind {
+	case PlanNone:
+	case PlanReplicas:
+		if plan.N <= 0 || plan.N > len(peers) {
+			return nil, ErrBadPlanParams
+		}
+	case PlanErasure:
+		if plan.K <= 0 || plan.M <= 0 || plan.K+plan.M > len(peers) {
+			return nil, ErrBadPlanParams
+		}
+	default:
+		return nil, ErrBadPlanParams
+	}
+	return &BackupEngine{
+		plan:      plan,
+		peers:     peers,
+		key:       auth.NewSecret(32),
+		manifests: make(map[string]*manifest),
+	}, nil
+}
+
+func (e *BackupEngine) encrypt(data, iv []byte) ([]byte, error) {
+	block, err := aes.NewCipher(e.key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv).XORKeyStream(out, data)
+	return out, nil
+}
+
+// Backup stores one named blob per the plan. It returns an error if any
+// required peer placement fails (a real engine would retry; experiments
+// toggle peer state between backup and restore instead).
+func (e *BackupEngine) Backup(name string, data []byte) error {
+	if e.plan.Kind == PlanNone {
+		return nil
+	}
+	sum := sha256.Sum256(data)
+	iv := auth.NewSecret(aes.BlockSize)
+	enc, err := e.encrypt(data, iv)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+
+	m := &manifest{
+		plan:     e.plan,
+		length:   len(data),
+		checksum: hex.EncodeToString(sum[:]),
+		iv:       iv,
+	}
+	switch e.plan.Kind {
+	case PlanReplicas:
+		for i := 0; i < e.plan.N; i++ {
+			key := fmt.Sprintf("%s-%d-rep%d", name, id, i)
+			if err := e.peers[i].Put(key, enc); err != nil {
+				return fmt.Errorf("replica %d at %s: %w", i, e.peers[i].Name(), err)
+			}
+			m.keys = append(m.keys, key)
+			m.peers = append(m.peers, e.peers[i])
+		}
+	case PlanErasure:
+		coder, err := erasure.New(e.plan.K, e.plan.M)
+		if err != nil {
+			return err
+		}
+		shards, _, err := coder.EncodeBlob(enc)
+		if err != nil {
+			return err
+		}
+		for i, shard := range shards {
+			key := fmt.Sprintf("%s-%d-shard%d", name, id, i)
+			if err := e.peers[i].Put(key, shard); err != nil {
+				return fmt.Errorf("shard %d at %s: %w", i, e.peers[i].Name(), err)
+			}
+			m.keys = append(m.keys, key)
+			m.peers = append(m.peers, e.peers[i])
+		}
+	}
+	e.mu.Lock()
+	e.manifests[name] = m
+	e.mu.Unlock()
+	return nil
+}
+
+// Restore retrieves a named blob from whatever peers are currently up,
+// decrypts, and verifies its checksum.
+func (e *BackupEngine) Restore(name string) ([]byte, error) {
+	e.mu.Lock()
+	m, ok := e.manifests[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchBackup
+	}
+	var enc []byte
+	switch m.plan.Kind {
+	case PlanReplicas:
+		var lastErr error = ErrNotEnoughUp
+		for i, key := range m.keys {
+			if !m.peers[i].Up() {
+				continue
+			}
+			data, err := m.peers[i].Get(key)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			enc = data
+			break
+		}
+		if enc == nil {
+			return nil, lastErr
+		}
+	case PlanErasure:
+		coder, err := erasure.New(m.plan.K, m.plan.M)
+		if err != nil {
+			return nil, err
+		}
+		shards := make([][]byte, len(m.keys))
+		up := 0
+		for i, key := range m.keys {
+			if !m.peers[i].Up() {
+				continue
+			}
+			data, err := m.peers[i].Get(key)
+			if err != nil {
+				continue
+			}
+			shards[i] = data
+			up++
+		}
+		if up < m.plan.K {
+			return nil, ErrNotEnoughUp
+		}
+		// Encrypted blob length: shards are padded; recover via stored
+		// plaintext length (ciphertext is the same length as plaintext
+		// under CTR).
+		enc, err = coder.DecodeBlob(shards, m.length)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrNoSuchBackup
+	}
+	plain, err := e.encrypt(enc, m.iv) // CTR: encrypt == decrypt
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(plain)
+	if hex.EncodeToString(sum[:]) != m.checksum {
+		return nil, ErrChecksum
+	}
+	return plain, nil
+}
+
+// Recoverable reports whether a restore would currently succeed, without
+// moving data (used by the availability sweep).
+func (e *BackupEngine) Recoverable(name string) bool {
+	e.mu.Lock()
+	m, ok := e.manifests[name]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	up := 0
+	for _, p := range m.peers {
+		if p.Up() {
+			up++
+		}
+	}
+	switch m.plan.Kind {
+	case PlanReplicas:
+		return up >= 1
+	case PlanErasure:
+		return up >= m.plan.K
+	default:
+		return false
+	}
+}

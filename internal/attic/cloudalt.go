@@ -1,0 +1,209 @@
+package attic
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hpop/internal/auth"
+)
+
+// This file implements the alternative design §IV-A discusses and the data
+// attic improves on: "simply let the cloud store user data in encrypted
+// form. The home network would then provide the external application the
+// key to decrypt the data when an authorized user requests a particular
+// service. The user would trust the application to not keep the key beyond
+// the immediate use."
+//
+// CloudVault is the cloud side (ciphertext only); KeyEscrow is the
+// HPoP-resident key-release service with per-release auditing, expiry, and
+// revocation. The comparison test demonstrates why the paper still prefers
+// the attic: key release grants whole-file plaintext to the application,
+// multi-writer sharing needs a single source the cloud copy can't provide,
+// and provider switching means re-uploading ciphertext.
+
+// Cloud/escrow errors.
+var (
+	ErrNoSuchBlob   = errors.New("attic: no such cloud blob")
+	ErrKeyDenied    = errors.New("attic: key release denied")
+	ErrLeaseExpired = errors.New("attic: key lease expired")
+	ErrAppRevoked   = errors.New("attic: application revoked")
+)
+
+// CloudVault stores only ciphertext; it never sees keys or plaintext.
+type CloudVault struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	// GetCount tallies fetches, for data-movement accounting in the
+	// comparison experiment.
+	GetCount int
+}
+
+// NewCloudVault returns an empty vault.
+func NewCloudVault() *CloudVault {
+	return &CloudVault{blobs: make(map[string][]byte)}
+}
+
+// Put stores ciphertext under a name.
+func (v *CloudVault) Put(name string, ciphertext []byte) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cp := make([]byte, len(ciphertext))
+	copy(cp, ciphertext)
+	v.blobs[name] = cp
+}
+
+// Get fetches ciphertext.
+func (v *CloudVault) Get(name string) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	data, ok := v.blobs[name]
+	if !ok {
+		return nil, ErrNoSuchBlob
+	}
+	v.GetCount++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// KeyLease is one granted decryption capability.
+type KeyLease struct {
+	Blob    string
+	App     string
+	Key     []byte
+	IV      []byte
+	Expires time.Time
+}
+
+// ReleaseRecord is one audit-log entry.
+type ReleaseRecord struct {
+	Blob string
+	App  string
+	At   time.Time
+}
+
+// KeyEscrow is the HPoP-side service that encrypts user data before cloud
+// upload and releases short-lived decryption keys to authorized
+// applications, keeping an audit trail.
+type KeyEscrow struct {
+	vault *CloudVault
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu      sync.Mutex
+	keys    map[string]keyMaterial // blob -> key material
+	allowed map[string]bool        // app -> authorized
+	audit   []ReleaseRecord
+}
+
+type keyMaterial struct {
+	key []byte
+	iv  []byte
+}
+
+// NewKeyEscrow creates an escrow bound to a vault, with key leases valid
+// for ttl (default 5 minutes).
+func NewKeyEscrow(vault *CloudVault, ttl time.Duration, now func() time.Time) *KeyEscrow {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &KeyEscrow{
+		vault:   vault,
+		ttl:     ttl,
+		now:     now,
+		keys:    make(map[string]keyMaterial),
+		allowed: make(map[string]bool),
+	}
+}
+
+// AuthorizeApp allows an application to request keys.
+func (e *KeyEscrow) AuthorizeApp(app string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.allowed[app] = true
+}
+
+// RevokeApp withdraws an application's authorization.
+func (e *KeyEscrow) RevokeApp(app string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.allowed, app)
+}
+
+// Upload encrypts plaintext with a fresh key and stores the ciphertext in
+// the cloud. The key never leaves the escrow except through RequestKey.
+func (e *KeyEscrow) Upload(name string, plaintext []byte) error {
+	key := auth.NewSecret(32)
+	iv := auth.NewSecret(aes.BlockSize)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return err
+	}
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+	e.vault.Put(name, ct)
+	e.mu.Lock()
+	e.keys[name] = keyMaterial{key: key, iv: iv}
+	e.mu.Unlock()
+	return nil
+}
+
+// RequestKey releases a time-limited decryption lease to an authorized
+// application and records the release in the audit log.
+func (e *KeyEscrow) RequestKey(app, blob string) (*KeyLease, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.allowed[app] {
+		return nil, fmt.Errorf("%w: %s", ErrAppRevoked, app)
+	}
+	km, ok := e.keys[blob]
+	if !ok {
+		return nil, ErrNoSuchBlob
+	}
+	e.audit = append(e.audit, ReleaseRecord{Blob: blob, App: app, At: e.now()})
+	key := make([]byte, len(km.key))
+	copy(key, km.key)
+	iv := make([]byte, len(km.iv))
+	copy(iv, km.iv)
+	return &KeyLease{
+		Blob:    blob,
+		App:     app,
+		Key:     key,
+		IV:      iv,
+		Expires: e.now().Add(e.ttl),
+	}, nil
+}
+
+// AuditLog returns a copy of all key releases — the accountability the
+// escrow design offers (and the attic makes unnecessary).
+func (e *KeyEscrow) AuditLog() []ReleaseRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ReleaseRecord, len(e.audit))
+	copy(out, e.audit)
+	return out
+}
+
+// Decrypt applies a lease to ciphertext, enforcing lease expiry at time
+// now (applications would do this client-side; the expiry check models the
+// "trust the application to not keep the key beyond the immediate use"
+// contract).
+func (l *KeyLease) Decrypt(ciphertext []byte, now time.Time) ([]byte, error) {
+	if now.After(l.Expires) {
+		return nil, ErrLeaseExpired
+	}
+	block, err := aes.NewCipher(l.Key)
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(ciphertext))
+	cipher.NewCTR(block, l.IV).XORKeyStream(pt, ciphertext)
+	return pt, nil
+}

@@ -1,0 +1,123 @@
+package attic
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCloudNeverSeesPlaintext(t *testing.T) {
+	vault := NewCloudVault()
+	escrow := NewKeyEscrow(vault, time.Minute, nil)
+	secretText := []byte("my tax documents: very personal content")
+	if err := escrow.Upload("taxes.pdf", secretText); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := vault.Get("taxes.pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, []byte("personal")) {
+		t.Fatal("plaintext leaked to the cloud")
+	}
+}
+
+func TestKeyReleaseRoundTrip(t *testing.T) {
+	vault := NewCloudVault()
+	escrow := NewKeyEscrow(vault, time.Minute, nil)
+	plain := []byte("shared spreadsheet contents")
+	escrow.Upload("sheet", plain)
+	escrow.AuthorizeApp("docs-app")
+
+	lease, err := escrow.RequestKey("docs-app", "sheet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := vault.Get("sheet")
+	got, err := lease.Decrypt(ct, time.Now())
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Fatalf("decrypt = %q, %v", got, err)
+	}
+	// The release was audited.
+	log := escrow.AuditLog()
+	if len(log) != 1 || log[0].App != "docs-app" || log[0].Blob != "sheet" {
+		t.Errorf("audit = %+v", log)
+	}
+}
+
+func TestUnauthorizedAndRevokedApps(t *testing.T) {
+	escrow := NewKeyEscrow(NewCloudVault(), time.Minute, nil)
+	escrow.Upload("f", []byte("x"))
+	if _, err := escrow.RequestKey("stranger", "f"); err == nil {
+		t.Error("unauthorized app got a key")
+	}
+	escrow.AuthorizeApp("app")
+	if _, err := escrow.RequestKey("app", "f"); err != nil {
+		t.Fatal(err)
+	}
+	escrow.RevokeApp("app")
+	if _, err := escrow.RequestKey("app", "f"); err == nil {
+		t.Error("revoked app got a key")
+	}
+	if _, err := escrow.RequestKey("app", "ghost"); err == nil {
+		t.Error("key for missing blob")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	current := time.Now()
+	escrow := NewKeyEscrow(NewCloudVault(), 10*time.Second, func() time.Time { return current })
+	escrow.Upload("f", []byte("data"))
+	escrow.AuthorizeApp("app")
+	lease, err := escrow.RequestKey("app", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lease.Decrypt([]byte("ct"), current.Add(11*time.Second)); err != ErrLeaseExpired {
+		t.Errorf("expired lease err = %v", err)
+	}
+}
+
+// TestAtticVsEncryptedCloud demonstrates the paper's point: the escrow
+// alternative "can help address the issue of data control, [but] the data
+// attic concept addresses additional issues — e.g., allowing changes and
+// shared access by multiple actors, through multiple applications, while
+// maintaining a single source for a file."
+func TestAtticVsEncryptedCloud(t *testing.T) {
+	// Encrypted-cloud path: two applications each fetch ciphertext + key
+	// and hold independent plaintext copies; writes require re-encrypting
+	// and re-uploading the whole blob — there is no single mediated source.
+	vault := NewCloudVault()
+	escrow := NewKeyEscrow(vault, time.Minute, nil)
+	escrow.Upload("doc", []byte("v1"))
+	escrow.AuthorizeApp("app-a")
+	escrow.AuthorizeApp("app-b")
+	for _, app := range []string{"app-a", "app-b"} {
+		lease, err := escrow.RequestKey(app, "doc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, _ := vault.Get("doc")
+		if _, err := lease.Decrypt(ct, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each app independently "edits" and re-uploads: last writer silently
+	// wins at the vault; nothing mediates.
+	escrow.Upload("doc", []byte("app-a's version"))
+	escrow.Upload("doc", []byte("app-b's version"))
+	ct, _ := vault.Get("doc")
+	lease, _ := escrow.RequestKey("app-a", "doc")
+	final, _ := lease.Decrypt(ct, time.Now())
+	if string(final) != "app-b's version" {
+		t.Fatalf("vault state = %q", final)
+	}
+	// The attic path: both applications operate on ONE mediated copy with
+	// locks; a concurrent second writer is refused rather than silently
+	// clobbered (covered extensively in driver tests). Here we just assert
+	// the contrast is real: the escrow design performed 3 whole-blob
+	// fetches for 2 readers + 1 re-reader.
+	if vault.GetCount != 3 {
+		t.Errorf("cloud fetches = %d", vault.GetCount)
+	}
+}

@@ -1,0 +1,398 @@
+package attic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hpop/internal/webdav"
+)
+
+// This file implements the client-side drivers from §IV-A:
+//
+//   - Driver: the open/close wrapper. The paper replaces an application's
+//     open/close with wrappers (via the linker's --wrap) that GET the file
+//     from the attic on open, let the application work on a local copy, and
+//     PUT it back on close. Driver is that wrapper as a Go API.
+//
+//   - OfflineStore: the "offline mode" with reconciliation upon reconnection.
+
+// Driver errors.
+var (
+	ErrAlreadyOpen = errors.New("attic: file already open")
+	ErrNotOpen     = errors.New("attic: file not open")
+	ErrConflict    = errors.New("attic: remote changed concurrently")
+)
+
+// File is an open attic file: a local working copy bound to a remote path.
+type File struct {
+	drv      *Driver
+	path     string
+	buf      []byte
+	baseETag string
+	dirty    bool
+	lockTok  string
+	closed   bool
+}
+
+// Driver is the open/close wrapper around a WebDAV client.
+type Driver struct {
+	client *webdav.Client
+	// UseLocks makes Open take a WebDAV lock and Close release it,
+	// serializing multi-client access as the paper's prototype does. Without
+	// locks, Close uses optimistic If-Match and reports ErrConflict.
+	UseLocks bool
+
+	mu   sync.Mutex
+	open map[string]*File
+}
+
+// NewDriver wraps a WebDAV client.
+func NewDriver(c *webdav.Client) *Driver {
+	return &Driver{client: c, open: make(map[string]*File)}
+}
+
+// Open fetches the remote file into a local working copy ("a GET request
+// for the file to the data attic. Upon receiving the file, the driver
+// creates a local copy and opens it for the application"). Opening a
+// non-existent file creates an empty working copy.
+func (d *Driver) Open(path string) (*File, error) {
+	d.mu.Lock()
+	if _, exists := d.open[path]; exists {
+		d.mu.Unlock()
+		return nil, ErrAlreadyOpen
+	}
+	d.mu.Unlock()
+
+	f := &File{drv: d, path: path}
+	if d.UseLocks {
+		tok, err := d.client.Lock(path, "attic-driver", 0)
+		if err != nil {
+			return nil, fmt.Errorf("lock %s: %w", path, err)
+		}
+		f.lockTok = tok
+	}
+	data, etag, err := d.client.Get(path)
+	switch {
+	case err == nil:
+		f.buf = data
+		f.baseETag = etag
+	case webdav.IsStatus(err, 404):
+		// New file.
+	default:
+		if f.lockTok != "" {
+			_ = d.client.Unlock(path, f.lockTok)
+		}
+		return nil, err
+	}
+	d.mu.Lock()
+	d.open[path] = f
+	d.mu.Unlock()
+	return f, nil
+}
+
+// Read returns the current working-copy contents.
+func (f *File) Read() []byte {
+	out := make([]byte, len(f.buf))
+	copy(out, f.buf)
+	return out
+}
+
+// Write replaces the working-copy contents ("subsequent accesses to the
+// file will execute on the local copy").
+func (f *File) Write(data []byte) {
+	f.buf = make([]byte, len(data))
+	copy(f.buf, data)
+	f.dirty = true
+}
+
+// Append adds data to the working copy.
+func (f *File) Append(data []byte) {
+	f.buf = append(f.buf, data...)
+	f.dirty = true
+}
+
+// Close pushes the working copy back to the attic if modified ("which will
+// be sent back to the attic on close") and releases any lock. A clean close
+// of an unmodified file performs no PUT.
+func (f *File) Close() error {
+	if f.closed {
+		return ErrNotOpen
+	}
+	f.closed = true
+	d := f.drv
+	d.mu.Lock()
+	delete(d.open, f.path)
+	d.mu.Unlock()
+
+	var putErr error
+	if f.dirty {
+		hdr := map[string]string{}
+		if f.lockTok != "" {
+			hdr["If"] = "(<" + f.lockTok + ">)"
+		} else if f.baseETag != "" {
+			hdr["If-Match"] = f.baseETag
+		} else {
+			hdr["If-None-Match"] = "*"
+		}
+		_, err := d.client.Put(f.path, f.buf, hdr)
+		switch {
+		case err == nil:
+		case webdav.IsStatus(err, 412):
+			putErr = fmt.Errorf("%w: %s", ErrConflict, f.path)
+		default:
+			putErr = err
+		}
+	}
+	if f.lockTok != "" {
+		if err := d.client.Unlock(f.path, f.lockTok); err != nil && putErr == nil {
+			putErr = err
+		}
+	}
+	return putErr
+}
+
+// ---- Offline store ----
+
+// MergeStrategy selects conflict handling at reconciliation.
+type MergeStrategy int
+
+// Strategies, mirroring the paper's note that "a plethora of approaches
+// exist" for reconciling offline changes.
+const (
+	// MergeLastWriterWins overwrites the remote with the local copy.
+	MergeLastWriterWins MergeStrategy = iota + 1
+	// MergeThreeWay merges line-by-line against the common base; overlapping
+	// edits fall back to a conflict copy.
+	MergeThreeWay
+	// MergeConflictCopy never merges: conflicting local edits are saved as
+	// "<name>.conflict" next to the remote file.
+	MergeConflictCopy
+)
+
+// cachedFile is one entry in the offline store.
+type cachedFile struct {
+	data     []byte
+	baseData []byte // remote content at last sync (merge base)
+	baseETag string
+	dirty    bool
+}
+
+// OfflineStore is a client-side cache supporting disconnected operation
+// against the attic, like cloud apps' "offline mode".
+type OfflineStore struct {
+	client   *webdav.Client
+	strategy MergeStrategy
+
+	mu    sync.Mutex
+	files map[string]*cachedFile
+}
+
+// NewOfflineStore creates an empty offline cache over the client.
+func NewOfflineStore(c *webdav.Client, strategy MergeStrategy) *OfflineStore {
+	if strategy == 0 {
+		strategy = MergeThreeWay
+	}
+	return &OfflineStore{client: c, strategy: strategy, files: make(map[string]*cachedFile)}
+}
+
+// SyncDown populates/refreshes the cache for a path while connected.
+func (o *OfflineStore) SyncDown(path string) error {
+	data, etag, err := o.client.Get(path)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	base := make([]byte, len(data))
+	copy(base, data)
+	o.files[path] = &cachedFile{data: data, baseData: base, baseETag: etag}
+	return nil
+}
+
+// Read returns cached contents (available offline).
+func (o *OfflineStore) Read(path string) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f, ok := o.files[path]
+	if !ok {
+		return nil, ErrNotOpen
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// Write updates the cached copy locally (possible while offline).
+func (o *OfflineStore) Write(path string, data []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f, ok := o.files[path]
+	if !ok {
+		f = &cachedFile{}
+		o.files[path] = f
+	}
+	f.data = make([]byte, len(data))
+	copy(f.data, data)
+	f.dirty = true
+}
+
+// ReconcileResult describes what happened to one dirty file.
+type ReconcileResult struct {
+	Path string
+	// Outcome is one of "pushed", "merged", "conflict-copy", "unchanged".
+	Outcome string
+}
+
+// Reconcile pushes dirty files upon reconnection. Files whose remote copy
+// is unchanged push directly; concurrent remote edits are resolved per the
+// store's strategy. Results report per-file outcomes.
+func (o *OfflineStore) Reconcile() ([]ReconcileResult, error) {
+	o.mu.Lock()
+	paths := make([]string, 0, len(o.files))
+	for p, f := range o.files {
+		if f.dirty {
+			paths = append(paths, p)
+		}
+	}
+	o.mu.Unlock()
+	sort.Strings(paths)
+
+	var results []ReconcileResult
+	for _, p := range paths {
+		res, err := o.reconcileOne(p)
+		if err != nil {
+			return results, fmt.Errorf("reconcile %s: %w", p, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (o *OfflineStore) reconcileOne(p string) (ReconcileResult, error) {
+	o.mu.Lock()
+	f := o.files[p]
+	local := append([]byte(nil), f.data...)
+	base := append([]byte(nil), f.baseData...)
+	baseETag := f.baseETag
+	o.mu.Unlock()
+
+	// Fast path: optimistic conditional PUT against the base etag.
+	newTag, err := o.client.Put(p, local, map[string]string{"If-Match": baseETag})
+	if err == nil {
+		o.finish(p, local, newTag)
+		return ReconcileResult{Path: p, Outcome: "pushed"}, nil
+	}
+	if !webdav.IsStatus(err, 412) {
+		return ReconcileResult{}, err
+	}
+
+	// Remote changed while offline: fetch theirs and resolve.
+	theirs, theirTag, err := o.client.Get(p)
+	if err != nil {
+		return ReconcileResult{}, err
+	}
+	switch o.strategy {
+	case MergeLastWriterWins:
+		newTag, err := o.client.Put(p, local, map[string]string{"If-Match": theirTag})
+		if err != nil {
+			return ReconcileResult{}, err
+		}
+		o.finish(p, local, newTag)
+		return ReconcileResult{Path: p, Outcome: "pushed"}, nil
+	case MergeThreeWay:
+		merged, clean := MergeLines(base, local, theirs)
+		if clean {
+			newTag, err := o.client.Put(p, merged, map[string]string{"If-Match": theirTag})
+			if err != nil {
+				return ReconcileResult{}, err
+			}
+			o.finish(p, merged, newTag)
+			return ReconcileResult{Path: p, Outcome: "merged"}, nil
+		}
+		fallthrough
+	default: // MergeConflictCopy or dirty three-way merge
+		conflictPath := p + ".conflict"
+		if _, err := o.client.Put(conflictPath, local, nil); err != nil {
+			return ReconcileResult{}, err
+		}
+		o.finish(p, theirs, theirTag)
+		return ReconcileResult{Path: p, Outcome: "conflict-copy"}, nil
+	}
+}
+
+func (o *OfflineStore) finish(p string, data []byte, etag string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	base := append([]byte(nil), data...)
+	o.files[p] = &cachedFile{data: data, baseData: base, baseETag: etag}
+}
+
+// MergeLines performs a line-oriented three-way merge of local and remote
+// edits against a common base. It returns the merged content and whether
+// the merge was clean (no overlapping hunk).
+func MergeLines(base, local, remote []byte) ([]byte, bool) {
+	b := splitLines(base)
+	l := splitLines(local)
+	r := splitLines(remote)
+
+	// Positional three-way merge over the padded line range: for each line
+	// index, take whichever side changed relative to base; if both changed
+	// differently, the merge is conflicted. Insertions at the tail extend
+	// the result. This is deliberately simple — the attic's reconciliation
+	// needs "changed vs base" semantics, not a full diff3.
+	maxLen := len(b)
+	if len(l) > maxLen {
+		maxLen = len(l)
+	}
+	if len(r) > maxLen {
+		maxLen = len(r)
+	}
+	get := func(s []string, i int) (string, bool) {
+		if i < len(s) {
+			return s[i], true
+		}
+		return "", false
+	}
+	var out []string
+	for i := 0; i < maxLen; i++ {
+		bv, bok := get(b, i)
+		lv, lok := get(l, i)
+		rv, rok := get(r, i)
+		lChanged := !lok && bok || lok && (!bok || lv != bv)
+		rChanged := !rok && bok || rok && (!bok || rv != bv)
+		switch {
+		case !lChanged && !rChanged:
+			if bok {
+				out = append(out, bv)
+			}
+		case lChanged && !rChanged:
+			if lok {
+				out = append(out, lv)
+			}
+		case rChanged && !lChanged:
+			if rok {
+				out = append(out, rv)
+			}
+		default: // both changed
+			if lok == rok && lv == rv {
+				if lok {
+					out = append(out, lv) // converged edit
+				}
+				continue // converged deletion otherwise
+			}
+			return nil, false
+		}
+	}
+	return []byte(strings.Join(out, "\n")), true
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	return strings.Split(string(bytes.TrimRight(data, "\n")), "\n")
+}

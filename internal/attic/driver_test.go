@@ -1,0 +1,309 @@
+package attic
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ownerDriverClient(t *testing.T) (*Attic, *Driver) {
+	t.Helper()
+	a, base := startAttic(t)
+	return a, NewDriver(a.OwnerClient(base))
+}
+
+func TestDriverOpenWriteClose(t *testing.T) {
+	a, d := ownerDriverClient(t)
+	f, err := d.Open("/report.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("quarterly numbers"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The close pushed the file to the attic.
+	data, err := a.FS().Read("/report.txt")
+	if err != nil || string(data) != "quarterly numbers" {
+		t.Fatalf("attic content = %q, %v", data, err)
+	}
+}
+
+func TestDriverOpenExistingAndAppend(t *testing.T) {
+	a, d := ownerDriverClient(t)
+	a.FS().Write("/log", []byte("line1\n"))
+	f, err := d.Open("/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Read()) != "line1\n" {
+		t.Errorf("open copy = %q", f.Read())
+	}
+	f.Append([]byte("line2\n"))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := a.FS().Read("/log")
+	if string(data) != "line1\nline2\n" {
+		t.Errorf("after close = %q", data)
+	}
+}
+
+func TestDriverCleanCloseSkipsPut(t *testing.T) {
+	a, d := ownerDriverClient(t)
+	a.FS().Write("/f", []byte("v1"))
+	before, _ := a.FS().Stat("/f")
+	f, _ := d.Open("/f")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := a.FS().Stat("/f")
+	if after.Version != before.Version {
+		t.Error("clean close bumped the version (unnecessary PUT)")
+	}
+}
+
+func TestDriverDoubleOpenAndClose(t *testing.T) {
+	_, d := ownerDriverClient(t)
+	f, err := d.Open("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open("/x"); err != ErrAlreadyOpen {
+		t.Errorf("second open err = %v", err)
+	}
+	f.Close()
+	if err := f.Close(); err != ErrNotOpen {
+		t.Errorf("double close err = %v", err)
+	}
+	// Re-open after close works.
+	if _, err := d.Open("/x"); err != nil {
+		t.Errorf("reopen err = %v", err)
+	}
+}
+
+func TestDriverConflictDetection(t *testing.T) {
+	a, d := ownerDriverClient(t)
+	a.FS().Write("/doc", []byte("base"))
+	f, _ := d.Open("/doc")
+	f.Write([]byte("mine"))
+	// Remote changes while the file is open.
+	a.FS().Write("/doc", []byte("theirs"))
+	err := f.Close()
+	if !errors.Is(err, ErrConflict) {
+		t.Errorf("close err = %v, want ErrConflict", err)
+	}
+	// The remote copy kept the concurrent write.
+	data, _ := a.FS().Read("/doc")
+	if string(data) != "theirs" {
+		t.Errorf("remote = %q after conflicted close", data)
+	}
+}
+
+func TestDriverWithLocksSerializes(t *testing.T) {
+	a, base := startAttic(t)
+	d1 := NewDriver(a.OwnerClient(base))
+	d1.UseLocks = true
+	d2 := NewDriver(a.OwnerClient(base))
+	d2.UseLocks = true
+
+	a.FS().Write("/ledger", []byte("0"))
+	f1, err := d1.Open("/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second locking driver cannot open the same file concurrently.
+	if _, err := d2.Open("/ledger"); err == nil {
+		t.Fatal("second locking open succeeded under held lock")
+	}
+	f1.Write([]byte("1"))
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After release the other driver proceeds.
+	f2, err := d2.Open("/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f2.Read()) != "1" {
+		t.Errorf("second open sees %q", f2.Read())
+	}
+	f2.Write([]byte("2"))
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := a.FS().Read("/ledger")
+	if string(data) != "2" {
+		t.Errorf("final = %q", data)
+	}
+}
+
+func TestOfflineStoreRoundTrip(t *testing.T) {
+	a, base := startAttic(t)
+	o := NewOfflineStore(a.OwnerClient(base), MergeThreeWay)
+	a.FS().Write("/notes", []byte("alpha\nbeta\n"))
+	if err := o.SyncDown("/notes"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read("/notes")
+	if err != nil || string(got) != "alpha\nbeta\n" {
+		t.Fatalf("offline read = %q, %v", got, err)
+	}
+	if _, err := o.Read("/never-synced"); err != ErrNotOpen {
+		t.Errorf("unsynced read err = %v", err)
+	}
+}
+
+func TestOfflineReconcileFastPath(t *testing.T) {
+	a, base := startAttic(t)
+	o := NewOfflineStore(a.OwnerClient(base), MergeThreeWay)
+	a.FS().Write("/todo", []byte("a\n"))
+	o.SyncDown("/todo")
+	o.Write("/todo", []byte("a\nb\n"))
+	results, err := o.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Outcome != "pushed" {
+		t.Errorf("results = %+v", results)
+	}
+	data, _ := a.FS().Read("/todo")
+	if string(data) != "a\nb\n" {
+		t.Errorf("remote = %q", data)
+	}
+	// Second reconcile: nothing dirty.
+	results, _ = o.Reconcile()
+	if len(results) != 0 {
+		t.Errorf("idempotent reconcile = %+v", results)
+	}
+}
+
+func TestOfflineReconcileThreeWayMerge(t *testing.T) {
+	a, base := startAttic(t)
+	o := NewOfflineStore(a.OwnerClient(base), MergeThreeWay)
+	a.FS().Write("/doc", []byte("one\ntwo\nthree"))
+	o.SyncDown("/doc")
+	// Offline edit to line 3; concurrent remote edit to line 1.
+	o.Write("/doc", []byte("one\ntwo\nTHREE"))
+	a.FS().Write("/doc", []byte("ONE\ntwo\nthree"))
+	results, err := o.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Outcome != "merged" {
+		t.Fatalf("outcome = %s, want merged", results[0].Outcome)
+	}
+	data, _ := a.FS().Read("/doc")
+	if string(data) != "ONE\ntwo\nTHREE" {
+		t.Errorf("merged remote = %q", data)
+	}
+}
+
+func TestOfflineReconcileConflictCopy(t *testing.T) {
+	a, base := startAttic(t)
+	o := NewOfflineStore(a.OwnerClient(base), MergeThreeWay)
+	a.FS().Write("/doc", []byte("base"))
+	o.SyncDown("/doc")
+	// Both sides edit the same line differently: unmergeable.
+	o.Write("/doc", []byte("mine"))
+	a.FS().Write("/doc", []byte("theirs"))
+	results, err := o.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Outcome != "conflict-copy" {
+		t.Fatalf("outcome = %s", results[0].Outcome)
+	}
+	remote, _ := a.FS().Read("/doc")
+	if string(remote) != "theirs" {
+		t.Errorf("remote clobbered: %q", remote)
+	}
+	saved, _ := a.FS().Read("/doc.conflict")
+	if string(saved) != "mine" {
+		t.Errorf("conflict copy = %q", saved)
+	}
+	// The local cache converged to the remote version.
+	local, _ := o.Read("/doc")
+	if string(local) != "theirs" {
+		t.Errorf("local after conflict = %q", local)
+	}
+}
+
+func TestOfflineReconcileLastWriterWins(t *testing.T) {
+	a, base := startAttic(t)
+	o := NewOfflineStore(a.OwnerClient(base), MergeLastWriterWins)
+	a.FS().Write("/doc", []byte("base"))
+	o.SyncDown("/doc")
+	o.Write("/doc", []byte("mine"))
+	a.FS().Write("/doc", []byte("theirs"))
+	results, err := o.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Outcome != "pushed" {
+		t.Fatalf("outcome = %s", results[0].Outcome)
+	}
+	remote, _ := a.FS().Read("/doc")
+	if string(remote) != "mine" {
+		t.Errorf("LWW remote = %q", remote)
+	}
+}
+
+func TestMergeLines(t *testing.T) {
+	cases := []struct {
+		name                string
+		base, local, remote string
+		want                string
+		clean               bool
+	}{
+		{"disjoint edits", "a\nb\nc", "A\nb\nc", "a\nb\nC", "A\nb\nC", true},
+		{"local only", "a\nb", "a\nB", "a\nb", "a\nB", true},
+		{"remote only", "a\nb", "a\nb", "a\nB", "a\nB", true},
+		{"converged", "a", "x", "x", "x", true},
+		{"conflict", "a", "x", "y", "", false},
+		{"local append", "a", "a\nb", "a", "a\nb", true},
+		{"both append same", "a", "a\nb", "a\nb", "a\nb", true},
+		{"both append different", "a", "a\nb", "a\nc", "", false},
+	}
+	for _, c := range cases {
+		got, clean := MergeLines([]byte(c.base), []byte(c.local), []byte(c.remote))
+		if clean != c.clean {
+			t.Errorf("%s: clean = %v, want %v", c.name, clean, c.clean)
+			continue
+		}
+		if clean && string(got) != c.want {
+			t.Errorf("%s: merged = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: merging identical local and remote always succeeds and returns
+// that content (modulo trailing-newline normalization).
+func TestMergeLinesConvergenceProperty(t *testing.T) {
+	f := func(baseRaw, editRaw []byte) bool {
+		base := []byte(sanitizeText(baseRaw))
+		edit := []byte(sanitizeText(editRaw))
+		merged, clean := MergeLines(base, edit, edit)
+		return clean && string(merged) == string(trimNL(edit))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeText(raw []byte) string {
+	out := make([]byte, 0, len(raw))
+	for _, b := range raw {
+		if b == '\n' || (b >= 32 && b < 127) {
+			out = append(out, b)
+		}
+	}
+	return string(out)
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == '\n' {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package attic
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hpop/internal/webdav"
+)
+
+// This file implements the health-records exemplar from §IV-A-1: "the
+// health record system at each provider would interact with each person's
+// data attic ... the storage driver at the provider's site would duplicate
+// writes to both local copy and the patient's remote attic."
+
+// HealthRecord is one medical record entry.
+type HealthRecord struct {
+	Provider  string    `json:"provider"`
+	PatientID string    `json:"patientId"`
+	RecordID  string    `json:"recordId"`
+	Kind      string    `json:"kind"` // "visit", "lab", "prescription", ...
+	Body      string    `json:"body"`
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// Path returns the record's location inside the patient's granted scope.
+func (r HealthRecord) Path(scope string) string {
+	return fmt.Sprintf("%s/%s.json", scope, r.RecordID)
+}
+
+// ProviderSystem models a medical provider's record system. It keeps its own
+// local copy of every record (regulatory requirement) and, once linked to a
+// patient's attic via a grant, duplicates each write to the attic.
+type ProviderSystem struct {
+	Name string
+
+	mu      sync.Mutex
+	local   map[string][]HealthRecord // patientID -> records (provider's store)
+	links   map[string]*patientLink   // patientID -> attic link
+	pending map[string][]HealthRecord // writes queued while the attic is unreachable
+}
+
+type patientLink struct {
+	client *webdav.Client
+	scope  string
+}
+
+// NewProviderSystem creates an empty provider record system.
+func NewProviderSystem(name string) *ProviderSystem {
+	return &ProviderSystem{
+		Name:    name,
+		local:   make(map[string][]HealthRecord),
+		links:   make(map[string]*patientLink),
+		pending: make(map[string][]HealthRecord),
+	}
+}
+
+// LinkPatient consumes a grant token (the QR code the patient presented) and
+// associates the patient with their attic. Any records written before
+// linking are backfilled to the attic immediately.
+func (p *ProviderSystem) LinkPatient(patientID, grantToken string) error {
+	client, g, err := ClientFromGrant(grantToken)
+	if err != nil {
+		return fmt.Errorf("link patient %s: %w", patientID, err)
+	}
+	p.mu.Lock()
+	p.links[patientID] = &patientLink{client: client, scope: g.Scope}
+	backfill := append([]HealthRecord(nil), p.local[patientID]...)
+	p.mu.Unlock()
+	for _, rec := range backfill {
+		if err := p.pushRecord(patientID, rec); err != nil {
+			return fmt.Errorf("backfill %s: %w", rec.RecordID, err)
+		}
+	}
+	return nil
+}
+
+// WriteRecord stores a record in the provider's local system and duplicates
+// it to the patient's attic if linked (the dual-write storage driver). If
+// the attic is unreachable the write is queued and retried by FlushPending.
+func (p *ProviderSystem) WriteRecord(rec HealthRecord) error {
+	rec.Provider = p.Name
+	p.mu.Lock()
+	p.local[rec.PatientID] = append(p.local[rec.PatientID], rec)
+	_, linked := p.links[rec.PatientID]
+	p.mu.Unlock()
+	if !linked {
+		return nil
+	}
+	if err := p.pushRecord(rec.PatientID, rec); err != nil {
+		p.mu.Lock()
+		p.pending[rec.PatientID] = append(p.pending[rec.PatientID], rec)
+		p.mu.Unlock()
+		return nil // local write succeeded; attic push queued
+	}
+	return nil
+}
+
+// FlushPending retries queued attic pushes, returning how many succeeded.
+func (p *ProviderSystem) FlushPending() int {
+	p.mu.Lock()
+	queued := p.pending
+	p.pending = make(map[string][]HealthRecord)
+	p.mu.Unlock()
+	n := 0
+	for patientID, recs := range queued {
+		for _, rec := range recs {
+			if err := p.pushRecord(patientID, rec); err != nil {
+				p.mu.Lock()
+				p.pending[patientID] = append(p.pending[patientID], rec)
+				p.mu.Unlock()
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// PendingCount returns how many attic pushes are queued.
+func (p *ProviderSystem) PendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, recs := range p.pending {
+		n += len(recs)
+	}
+	return n
+}
+
+// LocalRecords returns the provider's own copy for a patient (the
+// regulatory copy).
+func (p *ProviderSystem) LocalRecords(patientID string) []HealthRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]HealthRecord, len(p.local[patientID]))
+	copy(out, p.local[patientID])
+	return out
+}
+
+func (p *ProviderSystem) pushRecord(patientID string, rec HealthRecord) error {
+	p.mu.Lock()
+	link, ok := p.links[patientID]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("patient %s not linked", patientID)
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = link.client.Put(rec.Path(link.scope), body, nil)
+	return err
+}
+
+// AggregateRecords reads a patient's full cross-provider history from their
+// own attic — the paper's point: "the patient can provide immediate access
+// to their complete records as they see fit". The caller supplies an
+// owner-scoped (or emergency-granted) client and the list of provider
+// scopes to aggregate.
+func AggregateRecords(c *webdav.Client, scopes []string) ([]HealthRecord, error) {
+	var out []HealthRecord
+	for _, scope := range scopes {
+		entries, err := c.Propfind(scope, "1")
+		if err != nil {
+			if webdav.IsStatus(err, 404) {
+				continue
+			}
+			return nil, fmt.Errorf("list %s: %w", scope, err)
+		}
+		for _, e := range entries {
+			if e.IsDir {
+				continue
+			}
+			data, _, err := c.Get(pathFromHref(e.Href))
+			if err != nil {
+				return nil, fmt.Errorf("fetch %s: %w", e.Href, err)
+			}
+			var rec HealthRecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				continue // non-record file in the scope
+			}
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.Before(out[j].CreatedAt) })
+	return out, nil
+}
+
+// pathFromHref strips the DAV prefix from a PROPFIND href.
+func pathFromHref(href string) string {
+	if len(href) >= len(DAVPrefix) && href[:len(DAVPrefix)] == DAVPrefix {
+		return href[len(DAVPrefix):]
+	}
+	return href
+}

@@ -1,0 +1,317 @@
+package attic
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"hpop/internal/sim"
+)
+
+func TestHealthRecordsDualWrite(t *testing.T) {
+	a, _ := startAttic(t)
+	token, err := a.IssueGrant("Clinic A", "/health/clinic-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clinic := NewProviderSystem("Clinic A")
+	if err := clinic.LinkPatient("pat-1", token); err != nil {
+		t.Fatal(err)
+	}
+	rec := HealthRecord{
+		PatientID: "pat-1",
+		RecordID:  "visit-001",
+		Kind:      "visit",
+		Body:      "annual checkup, all normal",
+		CreatedAt: time.Date(2026, 3, 1, 9, 0, 0, 0, time.UTC),
+	}
+	if err := clinic.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Provider kept its regulatory copy.
+	local := clinic.LocalRecords("pat-1")
+	if len(local) != 1 || local[0].RecordID != "visit-001" {
+		t.Fatalf("local records = %+v", local)
+	}
+	// And the attic got a duplicate.
+	data, err := a.FS().Read("/health/clinic-a/visit-001.json")
+	if err != nil {
+		t.Fatalf("attic copy missing: %v", err)
+	}
+	if !bytes.Contains(data, []byte("annual checkup")) {
+		t.Errorf("attic copy = %s", data)
+	}
+}
+
+func TestHealthRecordsBackfillOnLink(t *testing.T) {
+	a, _ := startAttic(t)
+	clinic := NewProviderSystem("Clinic B")
+	// Records written BEFORE the patient links their attic.
+	clinic.WriteRecord(HealthRecord{PatientID: "p", RecordID: "old-1", Kind: "lab"})
+	clinic.WriteRecord(HealthRecord{PatientID: "p", RecordID: "old-2", Kind: "lab"})
+	token, _ := a.IssueGrant("Clinic B", "/health/clinic-b")
+	if err := clinic.LinkPatient("p", token); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"old-1", "old-2"} {
+		if !a.FS().Exists("/health/clinic-b/" + id + ".json") {
+			t.Errorf("backfill missed %s", id)
+		}
+	}
+}
+
+func TestHealthRecordsAggregation(t *testing.T) {
+	a, base := startAttic(t)
+	tokenA, _ := a.IssueGrant("Clinic A", "/health/clinic-a")
+	tokenB, _ := a.IssueGrant("Lab X", "/health/lab-x")
+	clinicA := NewProviderSystem("Clinic A")
+	labX := NewProviderSystem("Lab X")
+	clinicA.LinkPatient("p", tokenA)
+	labX.LinkPatient("p", tokenB)
+	clinicA.WriteRecord(HealthRecord{
+		PatientID: "p", RecordID: "v1", Kind: "visit",
+		CreatedAt: time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC),
+	})
+	labX.WriteRecord(HealthRecord{
+		PatientID: "p", RecordID: "l1", Kind: "lab",
+		CreatedAt: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	// The patient aggregates their complete cross-provider history from
+	// their own attic.
+	recs, err := AggregateRecords(a.OwnerClient(base), []string{"/health/clinic-a", "/health/lab-x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("aggregated = %d records", len(recs))
+	}
+	// Sorted by time: lab first.
+	if recs[0].RecordID != "l1" || recs[1].RecordID != "v1" {
+		t.Errorf("order = %s, %s", recs[0].RecordID, recs[1].RecordID)
+	}
+	if recs[0].Provider != "Lab X" {
+		t.Errorf("provider stamp = %q", recs[0].Provider)
+	}
+	// Missing scope is skipped, not fatal.
+	recs, err = AggregateRecords(a.OwnerClient(base), []string{"/health/ghost", "/health/lab-x"})
+	if err != nil || len(recs) != 1 {
+		t.Errorf("with missing scope: %d, %v", len(recs), err)
+	}
+}
+
+func TestHealthRecordsPendingQueue(t *testing.T) {
+	a, _ := startAttic(t)
+	token, _ := a.IssueGrant("Clinic", "/health/c")
+	clinic := NewProviderSystem("Clinic")
+	clinic.LinkPatient("p", token)
+	// Simulate attic unreachable by revoking, then writing.
+	g, _ := decodeGrantForTest(token)
+	a.RevokeGrant(g.Username)
+	clinic.WriteRecord(HealthRecord{PatientID: "p", RecordID: "r1"})
+	if clinic.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", clinic.PendingCount())
+	}
+	// Flush still fails while revoked.
+	if n := clinic.FlushPending(); n != 0 {
+		t.Errorf("flush while revoked = %d", n)
+	}
+	// Re-grant the same path under a new account and re-link.
+	token2, _ := a.IssueGrant("Clinic", "/health/c")
+	clinic.LinkPatient("p", token2)
+	if n := clinic.FlushPending(); n != 1 {
+		t.Errorf("flush after relink = %d, want 1", n)
+	}
+	if clinic.PendingCount() != 0 {
+		t.Errorf("pending after flush = %d", clinic.PendingCount())
+	}
+}
+
+func decodeGrantForTest(token string) (struct{ Username string }, error) {
+	c, g, err := ClientFromGrant(token)
+	_ = c
+	return struct{ Username string }{g.Username}, err
+}
+
+func TestBackupPlanValidation(t *testing.T) {
+	peers := []PeerStore{NewMemPeer("a"), NewMemPeer("b")}
+	if _, err := NewBackupEngine(Plan{Kind: PlanReplicas, N: 3}, peers); err != ErrBadPlanParams {
+		t.Errorf("too many replicas err = %v", err)
+	}
+	if _, err := NewBackupEngine(Plan{Kind: PlanErasure, K: 2, M: 1}, peers); err != ErrBadPlanParams {
+		t.Errorf("too many shards err = %v", err)
+	}
+	if _, err := NewBackupEngine(Plan{Kind: PlanKind(9)}, peers); err != ErrBadPlanParams {
+		t.Errorf("bogus plan err = %v", err)
+	}
+	if _, err := NewBackupEngine(Plan{Kind: PlanNone}, nil); err != nil {
+		t.Errorf("PlanNone err = %v", err)
+	}
+}
+
+func TestBackupRestoreReplicas(t *testing.T) {
+	peers := []PeerStore{NewMemPeer("p0"), NewMemPeer("p1"), NewMemPeer("p2")}
+	e, err := NewBackupEngine(Plan{Kind: PlanReplicas, N: 3}, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the whole attic tarball")
+	if err := e.Backup("attic-2026-07-04", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Data at peers is encrypted: no peer holds the plaintext.
+	for _, p := range peers {
+		mp := p.(*MemPeer)
+		for _, blob := range mp.blob {
+			if bytes.Contains(blob, []byte("attic tarball")) {
+				t.Fatal("plaintext leaked to peer")
+			}
+		}
+	}
+	// Two peers die; restore still works from the third.
+	peers[0].(*MemPeer).SetDown(true)
+	peers[1].(*MemPeer).SetDown(true)
+	got, err := e.Restore("attic-2026-07-04")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("restore = %q, %v", got, err)
+	}
+	// All dead: unrecoverable.
+	peers[2].(*MemPeer).SetDown(true)
+	if _, err := e.Restore("attic-2026-07-04"); err == nil {
+		t.Error("restore succeeded with all peers down")
+	}
+	if e.Recoverable("attic-2026-07-04") {
+		t.Error("Recoverable true with all peers down")
+	}
+}
+
+func TestBackupRestoreErasure(t *testing.T) {
+	var peers []PeerStore
+	for i := 0; i < 6; i++ {
+		peers = append(peers, NewMemPeer("p"))
+	}
+	e, err := NewBackupEngine(Plan{Kind: PlanErasure, K: 4, M: 2}, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 10000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := e.Backup("blob", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Any 2 peers can die (m=2).
+	peers[1].(*MemPeer).SetDown(true)
+	peers[4].(*MemPeer).SetDown(true)
+	got, err := e.Restore("blob")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("restore with 2 losses failed: %v", err)
+	}
+	if !e.Recoverable("blob") {
+		t.Error("Recoverable false with k shards up")
+	}
+	// A third loss breaks it.
+	peers[0].(*MemPeer).SetDown(true)
+	if _, err := e.Restore("blob"); err != ErrNotEnoughUp {
+		t.Errorf("restore with 3 losses err = %v, want ErrNotEnoughUp", err)
+	}
+}
+
+func TestBackupErasureStorageCheaperThanReplicas(t *testing.T) {
+	// RS(4,2) tolerates 2 losses at 1.5x storage; 3 replicas tolerate 2
+	// losses at 3x. The ablation DESIGN.md calls out.
+	rs := Plan{Kind: PlanErasure, K: 4, M: 2}
+	rep := Plan{Kind: PlanReplicas, N: 3}
+	if rs.StorageOverhead() >= rep.StorageOverhead() {
+		t.Errorf("RS overhead %v not below replica overhead %v",
+			rs.StorageOverhead(), rep.StorageOverhead())
+	}
+}
+
+func TestPlanAvailabilityMath(t *testing.T) {
+	rep := Plan{Kind: PlanReplicas, N: 2}
+	if got, want := rep.Availability(0.9), 0.99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("replica availability = %v, want %v", got, want)
+	}
+	rs := Plan{Kind: PlanErasure, K: 2, M: 1}
+	// Need >=2 of 3 up at p=0.9: 3*0.81*0.1 + 0.729 = 0.972.
+	if got, want := rs.Availability(0.9), 0.972; math.Abs(got-want) > 1e-12 {
+		t.Errorf("RS availability = %v, want %v", got, want)
+	}
+	if (Plan{Kind: PlanNone}).Availability(0.9) != 0 {
+		t.Error("PlanNone availability must be 0")
+	}
+}
+
+func TestAvailabilityMatchesSimulation(t *testing.T) {
+	// Monte-carlo: Recoverable() frequency under random churn must match
+	// the closed-form Availability.
+	rng := sim.NewRNG(77)
+	plan := Plan{Kind: PlanErasure, K: 3, M: 2}
+	var peers []PeerStore
+	for i := 0; i < 5; i++ {
+		peers = append(peers, NewMemPeer("p"))
+	}
+	e, _ := NewBackupEngine(plan, peers)
+	if err := e.Backup("x", []byte("payload-for-availability")); err != nil {
+		t.Fatal(err)
+	}
+	const pUp = 0.8
+	const trials = 20000
+	up := 0
+	for i := 0; i < trials; i++ {
+		for _, p := range peers {
+			p.(*MemPeer).SetDown(!rng.Bool(pUp))
+		}
+		if e.Recoverable("x") {
+			up++
+		}
+	}
+	got := float64(up) / trials
+	want := plan.Availability(pUp)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("simulated availability %.4f vs closed form %.4f", got, want)
+	}
+}
+
+func TestRestoreUnknownName(t *testing.T) {
+	e, _ := NewBackupEngine(Plan{Kind: PlanReplicas, N: 1}, []PeerStore{NewMemPeer("p")})
+	if _, err := e.Restore("ghost"); err != ErrNoSuchBackup {
+		t.Errorf("err = %v", err)
+	}
+	if e.Recoverable("ghost") {
+		t.Error("ghost recoverable")
+	}
+}
+
+func TestBackupPlanNoneIsNoop(t *testing.T) {
+	e, _ := NewBackupEngine(Plan{Kind: PlanNone}, nil)
+	if err := e.Backup("x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Restore("x"); err != ErrNoSuchBackup {
+		t.Errorf("PlanNone restore err = %v", err)
+	}
+}
+
+func TestRestoreDetectsCorruptedShard(t *testing.T) {
+	// Failure injection: a peer silently corrupts its stored shard. The
+	// restore's end-to-end checksum must catch it.
+	peers := []PeerStore{NewMemPeer("a"), NewMemPeer("b")}
+	e, err := NewBackupEngine(Plan{Kind: PlanReplicas, N: 2}, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Backup("blob", []byte("precious data")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every replica in place.
+	for _, p := range peers {
+		mp := p.(*MemPeer)
+		mp.CorruptAll()
+	}
+	if _, err := e.Restore("blob"); err != ErrChecksum {
+		t.Errorf("restore of corrupted replicas err = %v, want ErrChecksum", err)
+	}
+}

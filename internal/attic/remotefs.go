@@ -1,0 +1,236 @@
+package attic
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"net/http"
+	"path"
+	"strings"
+	"time"
+
+	"hpop/internal/webdav"
+)
+
+// This file implements §IV-A "Flexible Access": "the data attic can act as
+// a remote-disk and hence users can use their own local applications — such
+// as word processors or spreadsheets — to work with their files." RemoteFS
+// adapts a WebDAV client to Go's standard io/fs interfaces, so any code
+// written against fs.FS (template loading, static serving, archivers, ...)
+// works directly against the attic.
+
+// RemoteFS is a read-view of an attic subtree implementing fs.FS,
+// fs.ReadDirFS, fs.StatFS, and fs.ReadFileFS.
+type RemoteFS struct {
+	client *webdav.Client
+	root   string
+}
+
+var (
+	_ fs.FS         = (*RemoteFS)(nil)
+	_ fs.ReadDirFS  = (*RemoteFS)(nil)
+	_ fs.StatFS     = (*RemoteFS)(nil)
+	_ fs.ReadFileFS = (*RemoteFS)(nil)
+)
+
+// NewRemoteFS views the subtree at root (e.g. "/docs") through the client.
+func NewRemoteFS(c *webdav.Client, root string) *RemoteFS {
+	root = "/" + strings.Trim(root, "/")
+	if root == "/" {
+		root = ""
+	}
+	return &RemoteFS{client: c, root: root}
+}
+
+// resolve maps an io/fs name (relative, no leading slash) to a DAV path.
+func (r *RemoteFS) resolve(name string) (string, error) {
+	if !fs.ValidPath(name) {
+		return "", &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	if name == "." {
+		if r.root == "" {
+			return "/", nil
+		}
+		return r.root, nil
+	}
+	return r.root + "/" + name, nil
+}
+
+func davErr(op, name string, err error) error {
+	if webdav.IsStatus(err, http.StatusNotFound) {
+		return &fs.PathError{Op: op, Path: name, Err: fs.ErrNotExist}
+	}
+	if webdav.IsStatus(err, http.StatusUnauthorized) {
+		return &fs.PathError{Op: op, Path: name, Err: fs.ErrPermission}
+	}
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// remoteInfo implements fs.FileInfo/fs.DirEntry over a PROPFIND entry.
+type remoteInfo struct {
+	name    string
+	size    int64
+	dir     bool
+	modTime time.Time
+}
+
+func (i remoteInfo) Name() string       { return i.name }
+func (i remoteInfo) Size() int64        { return i.size }
+func (i remoteInfo) ModTime() time.Time { return i.modTime }
+func (i remoteInfo) IsDir() bool        { return i.dir }
+func (i remoteInfo) Sys() any           { return nil }
+func (i remoteInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o555
+	}
+	return 0o444
+}
+func (i remoteInfo) Type() fs.FileMode          { return i.Mode().Type() }
+func (i remoteInfo) Info() (fs.FileInfo, error) { return i, nil }
+
+// remoteFile is an opened attic file (fully fetched; attic objects are
+// document-sized, and the wrapper-driver semantics are whole-file anyway).
+type remoteFile struct {
+	info   remoteInfo
+	reader *bytes.Reader
+}
+
+func (f *remoteFile) Stat() (fs.FileInfo, error) { return f.info, nil }
+func (f *remoteFile) Read(p []byte) (int, error) { return f.reader.Read(p) }
+func (f *remoteFile) Close() error               { return nil }
+
+// remoteDir is an opened directory handle.
+type remoteDir struct {
+	info    remoteInfo
+	entries []fs.DirEntry
+	offset  int
+}
+
+func (d *remoteDir) Stat() (fs.FileInfo, error) { return d.info, nil }
+func (d *remoteDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.info.name, Err: fs.ErrInvalid}
+}
+func (d *remoteDir) Close() error { return nil }
+func (d *remoteDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	if n <= 0 {
+		out := d.entries[d.offset:]
+		d.offset = len(d.entries)
+		return out, nil
+	}
+	if d.offset >= len(d.entries) {
+		return nil, io.EOF
+	}
+	end := d.offset + n
+	if end > len(d.entries) {
+		end = len(d.entries)
+	}
+	out := d.entries[d.offset:end]
+	d.offset = end
+	return out, nil
+}
+
+// Open implements fs.FS.
+func (r *RemoteFS) Open(name string) (fs.File, error) {
+	davPath, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	// Type first (the DAV server answers GET on collections with a plain
+	// listing, so GET alone cannot distinguish files from directories).
+	st, err := r.client.Propfind(davPath, "0")
+	if err != nil || len(st) == 0 {
+		return nil, davErr("open", name, err)
+	}
+	if st[0].IsDir {
+		entries, pfErr := r.propfindEntries(davPath)
+		if pfErr != nil {
+			return nil, davErr("open", name, pfErr)
+		}
+		return &remoteDir{
+			info:    remoteInfo{name: path.Base(name), dir: true, modTime: st[0].ModTime},
+			entries: entries,
+		}, nil
+	}
+	data, _, getErr := r.client.Get(davPath)
+	if getErr != nil {
+		return nil, davErr("open", name, getErr)
+	}
+	return &remoteFile{
+		info: remoteInfo{
+			name: path.Base(name), size: int64(len(data)), modTime: st[0].ModTime,
+		},
+		reader: bytes.NewReader(data),
+	}, nil
+}
+
+// ReadFile implements fs.ReadFileFS.
+func (r *RemoteFS) ReadFile(name string) ([]byte, error) {
+	davPath, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	data, _, getErr := r.client.Get(davPath)
+	if getErr != nil {
+		return nil, davErr("readfile", name, getErr)
+	}
+	return data, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (r *RemoteFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	davPath, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := r.propfindEntries(davPath)
+	if err != nil {
+		return nil, davErr("readdir", name, err)
+	}
+	return entries, nil
+}
+
+// Stat implements fs.StatFS.
+func (r *RemoteFS) Stat(name string) (fs.FileInfo, error) {
+	davPath, err := r.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	got, err := r.client.Propfind(davPath, "0")
+	if err != nil {
+		return nil, davErr("stat", name, err)
+	}
+	if len(got) == 0 {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	e := got[0]
+	return remoteInfo{
+		name:    path.Base(name),
+		size:    int64(e.Size),
+		dir:     e.IsDir,
+		modTime: e.ModTime,
+	}, nil
+}
+
+// propfindEntries lists a directory's children as fs.DirEntry values.
+func (r *RemoteFS) propfindEntries(davPath string) ([]fs.DirEntry, error) {
+	got, err := r.client.Propfind(davPath, "1")
+	if err != nil {
+		return nil, err
+	}
+	var out []fs.DirEntry
+	for i, e := range got {
+		if i == 0 {
+			if !e.IsDir {
+				return nil, fs.ErrInvalid // a file, not a directory
+			}
+			continue // the collection itself
+		}
+		out = append(out, remoteInfo{
+			name:    path.Base(strings.TrimSuffix(e.Href, "/")),
+			size:    int64(e.Size),
+			dir:     e.IsDir,
+			modTime: e.ModTime,
+		})
+	}
+	return out, nil
+}

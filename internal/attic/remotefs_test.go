@@ -1,0 +1,135 @@
+package attic
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"sort"
+	"testing"
+	"testing/fstest"
+)
+
+func remoteFixture(t *testing.T) *RemoteFS {
+	t.Helper()
+	a, base := startAttic(t)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.FS().MkdirAll("/docs/reports"))
+	_, err := a.FS().Write("/docs/readme.txt", []byte("welcome home"))
+	must(err)
+	_, err = a.FS().Write("/docs/reports/q1.csv", []byte("a,b\n1,2\n"))
+	must(err)
+	_, err = a.FS().Write("/docs/reports/q2.csv", []byte("a,b\n3,4\n"))
+	must(err)
+	return NewRemoteFS(a.OwnerClient(base), "/docs")
+}
+
+func TestRemoteFSConformance(t *testing.T) {
+	// The stdlib's own conformance harness: walks, opens, stats, and
+	// cross-checks everything an fs.FS must do.
+	rfs := remoteFixture(t)
+	if err := fstest.TestFS(rfs, "readme.txt", "reports/q1.csv", "reports/q2.csv"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteFSReadFile(t *testing.T) {
+	rfs := remoteFixture(t)
+	data, err := rfs.ReadFile("readme.txt")
+	if err != nil || string(data) != "welcome home" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := rfs.ReadFile("nope.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing err = %v", err)
+	}
+}
+
+func TestRemoteFSOpenAndRead(t *testing.T) {
+	rfs := remoteFixture(t)
+	f, err := rfs.Open("reports/q1.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil || string(data) != "a,b\n1,2\n" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	info, err := f.Stat()
+	if err != nil || info.Size() != 8 || info.IsDir() {
+		t.Errorf("stat = %+v, %v", info, err)
+	}
+}
+
+func TestRemoteFSReadDir(t *testing.T) {
+	rfs := remoteFixture(t)
+	entries, err := rfs.ReadDir("reports")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "q1.csv" {
+		t.Errorf("entries = %v", names)
+	}
+	// Root listing includes the subdirectory.
+	rootEntries, err := rfs.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDir := false
+	for _, e := range rootEntries {
+		if e.Name() == "reports" && e.IsDir() {
+			foundDir = true
+		}
+	}
+	if !foundDir {
+		t.Errorf("root entries = %v", rootEntries)
+	}
+}
+
+func TestRemoteFSWalkDir(t *testing.T) {
+	rfs := remoteFixture(t)
+	var visited []string
+	err := fs.WalkDir(rfs, ".", func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		visited = append(visited, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 5 { // ., readme.txt, reports, q1, q2
+		t.Errorf("visited = %v", visited)
+	}
+}
+
+func TestRemoteFSInvalidNames(t *testing.T) {
+	rfs := remoteFixture(t)
+	for _, bad := range []string{"/abs", "../escape", ""} {
+		if _, err := rfs.Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRemoteFSPermissionMapping(t *testing.T) {
+	a, base := startAttic(t)
+	a.FS().MkdirAll("/private")
+	a.FS().Write("/private/x", []byte("secret"))
+	// A client with wrong credentials sees fs.ErrPermission.
+	bad := a.OwnerClient(base)
+	bad.Password = "wrong"
+	rfs := NewRemoteFS(bad, "/private")
+	if _, err := rfs.ReadFile("x"); !errors.Is(err, fs.ErrPermission) {
+		t.Errorf("err = %v, want fs.ErrPermission", err)
+	}
+}

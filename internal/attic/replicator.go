@@ -1,0 +1,138 @@
+package attic
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hpop/internal/vfs"
+	"hpop/internal/webdav"
+)
+
+// Replicator pushes a subtree of this attic into a friend's attic over
+// WebDAV — live whole-attic replication (§IV-A: "replicating the entire
+// HPoP to attics belonging to friends and relatives"), incremental by ETag
+// so steady-state syncs move only changed files.
+type Replicator struct {
+	src *vfs.FS
+	dst *webdav.Client
+	// destRoot is the directory inside the friend's attic that mirrors this
+	// attic ("/backups/alice").
+	destRoot string
+
+	mu sync.Mutex
+	// synced maps local path -> local ETag at last successful push.
+	synced map[string]string
+}
+
+// NewReplicator mirrors src into destRoot at the destination client.
+func NewReplicator(src *vfs.FS, dst *webdav.Client, destRoot string) *Replicator {
+	return &Replicator{
+		src:      src,
+		dst:      dst,
+		destRoot: "/" + strings.Trim(destRoot, "/"),
+		synced:   make(map[string]string),
+	}
+}
+
+// SyncStats reports one replication pass.
+type SyncStats struct {
+	Uploaded  int
+	Skipped   int // unchanged since last pass
+	Deleted   int // removed remotely because they vanished locally
+	DirsMade  int
+	BytesSent int64
+}
+
+// Sync replicates the subtree at root (use "/" for the whole attic). It is
+// incremental: files whose ETag matches the last successful push are
+// skipped, and files that disappeared locally are deleted remotely.
+func (r *Replicator) Sync(root string) (SyncStats, error) {
+	root, err := vfs.Clean(root)
+	if err != nil {
+		return SyncStats{}, err
+	}
+	var stats SyncStats
+	seen := make(map[string]bool)
+
+	// Ensure the destination root chain exists (scoped syncs start below
+	// destRoot, whose ancestors the walk never visits).
+	anchor := r.remotePath(root)
+	parts := strings.Split(strings.Trim(anchor, "/"), "/")
+	for i := 1; i < len(parts); i++ { // the last element is created by the walk
+		dir := "/" + strings.Join(parts[:i], "/")
+		if err := r.dst.Mkcol(dir); err != nil &&
+			!webdav.IsStatus(err, http.StatusMethodNotAllowed) {
+			return stats, fmt.Errorf("mkcol %s: %w", dir, err)
+		}
+	}
+
+	err = r.src.Walk(root, func(info vfs.Info) error {
+		seen[info.Path] = true
+		remote := r.remotePath(info.Path)
+		if info.IsDir {
+			if err := r.dst.Mkcol(remote); err != nil {
+				// 405 = already exists: fine.
+				if !webdav.IsStatus(err, http.StatusMethodNotAllowed) {
+					return fmt.Errorf("mkcol %s: %w", remote, err)
+				}
+			} else {
+				stats.DirsMade++
+			}
+			return nil
+		}
+		r.mu.Lock()
+		lastTag, ok := r.synced[info.Path]
+		r.mu.Unlock()
+		if ok && lastTag == info.ETag {
+			stats.Skipped++
+			return nil
+		}
+		data, err := r.src.Read(info.Path)
+		if err != nil {
+			return err
+		}
+		if _, err := r.dst.Put(remote, data, nil); err != nil {
+			return fmt.Errorf("put %s: %w", remote, err)
+		}
+		r.mu.Lock()
+		r.synced[info.Path] = info.ETag
+		r.mu.Unlock()
+		stats.Uploaded++
+		stats.BytesSent += int64(len(data))
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+
+	// Propagate deletions: anything we pushed before that no longer exists.
+	r.mu.Lock()
+	var gone []string
+	for p := range r.synced {
+		inScope := p == root || strings.HasPrefix(p, strings.TrimSuffix(root, "/")+"/")
+		if inScope && !seen[p] {
+			gone = append(gone, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range gone {
+		if err := r.dst.Delete(r.remotePath(p), nil); err != nil &&
+			!webdav.IsStatus(err, http.StatusNotFound) {
+			return stats, fmt.Errorf("delete %s: %w", p, err)
+		}
+		r.mu.Lock()
+		delete(r.synced, p)
+		r.mu.Unlock()
+		stats.Deleted++
+	}
+	return stats, nil
+}
+
+func (r *Replicator) remotePath(local string) string {
+	if local == "/" {
+		return r.destRoot
+	}
+	return r.destRoot + local
+}

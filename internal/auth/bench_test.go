@@ -1,0 +1,25 @@
+package auth
+
+import "testing"
+
+func BenchmarkSignUsageRecord(b *testing.B) {
+	secret := NewSecret(32)
+	msg := []byte("v1|provider|peer|key|page|123456|5|nonce|2026-07-04T00:00:00Z")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sign(secret, msg)
+	}
+	b.SetBytes(int64(len(msg)))
+}
+
+func BenchmarkVerifyUsageRecord(b *testing.B) {
+	secret := NewSecret(32)
+	msg := []byte("v1|provider|peer|key|page|123456|5|nonce|2026-07-04T00:00:00Z")
+	sig := Sign(secret, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(secret, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

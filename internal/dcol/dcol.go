@@ -1,0 +1,429 @@
+// Package dcol implements the paper's Detour Collective (§IV-C, Fig. 3):
+// cooperatives whose members serve as overlay waypoints for each other,
+// made transparent to servers by mimicking MPTCP subflows.
+//
+// The package provides:
+//
+//   - the collective registry (join, expel),
+//   - both client-to-waypoint tunneling mechanisms the paper prototypes,
+//     with their exact costs: VPN encapsulation (36 bytes per packet, one
+//     setup, reusable for any destination; /26 subnets allocated from
+//     10.0.0.0/8) and NAT rewriting (zero per-packet overhead, one
+//     signaling exchange per destination),
+//   - the detour explorer: trial-and-error probing of waypoints over an
+//     MPTCP session (internal/tcpsim), withdrawal of harmful detours,
+//     misbehaviour detection and expulsion,
+//   - a live loopback TCP relay (relay.go) demonstrating the waypoint data
+//     path on a real socket.
+package dcol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hpop/internal/sim"
+	"hpop/internal/tcpsim"
+)
+
+// Collective errors.
+var (
+	ErrNotMember     = errors.New("dcol: not a collective member")
+	ErrAlreadyMember = errors.New("dcol: already a member")
+	ErrNoWaypoints   = errors.New("dcol: no usable waypoints")
+	ErrSubnetsFull   = errors.New("dcol: subnet space exhausted")
+)
+
+// VPNOverheadBytes is the per-packet encapsulation cost of the VPN tunnel:
+// "IP encapsulation and UDP and OpenVPN headers" = 36 bytes.
+const VPNOverheadBytes = 36
+
+// TunnelKind selects the client-to-waypoint tunneling mechanism.
+type TunnelKind int
+
+// Tunnel mechanisms.
+const (
+	// TunnelVPN encapsulates packets; one-time setup, reusable for any
+	// server, +36 B/packet.
+	TunnelVPN TunnelKind = iota + 1
+	// TunnelNAT rewrites addresses at the waypoint; zero overhead but a
+	// signaling exchange per new (server address, port) pair.
+	TunnelNAT
+)
+
+// String implements fmt.Stringer.
+func (k TunnelKind) String() string {
+	switch k {
+	case TunnelVPN:
+		return "vpn"
+	case TunnelNAT:
+		return "nat"
+	default:
+		return fmt.Sprintf("TunnelKind(%d)", int(k))
+	}
+}
+
+// Overhead returns the tunnel's per-packet byte overhead.
+func (k TunnelKind) Overhead() int {
+	if k == TunnelVPN {
+		return VPNOverheadBytes
+	}
+	return 0
+}
+
+// Member is one collective participant offering waypoint service.
+type Member struct {
+	ID string
+	// ClientLeg is the path from the exploring client to this waypoint.
+	ClientLeg tcpsim.Path
+	// ServerLeg is the path from this waypoint onward to the server.
+	ServerLeg tcpsim.Path
+	// DropRate is additional packet loss a misbehaving waypoint injects
+	// ("a malicious waypoint could ... disrupt its subflow ... by dropping
+	// some or all of the packets").
+	DropRate float64
+}
+
+// DetourPath composes the member's two legs into the subflow path the
+// server unknowingly serves, applying the tunnel's encapsulation overhead
+// and any misbehaviour loss.
+func (m *Member) DetourPath(kind TunnelKind) tcpsim.Path {
+	p := tcpsim.Compose(m.ClientLeg, m.ServerLeg, kind.Overhead())
+	if m.DropRate > 0 {
+		p.Loss = 1 - (1-p.Loss)*(1-m.DropRate)
+	}
+	return p
+}
+
+// Collective is the cooperative's membership registry.
+type Collective struct {
+	mu       sync.Mutex
+	members  map[string]*Member
+	expelled map[string]bool
+}
+
+// NewCollective creates an empty cooperative.
+func NewCollective() *Collective {
+	return &Collective{
+		members:  make(map[string]*Member),
+		expelled: make(map[string]bool),
+	}
+}
+
+// Join adds a member. Expelled members may not rejoin.
+func (c *Collective) Join(m *Member) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.expelled[m.ID] {
+		return fmt.Errorf("dcol: %s was expelled", m.ID)
+	}
+	if _, ok := c.members[m.ID]; ok {
+		return ErrAlreadyMember
+	}
+	c.members[m.ID] = m
+	return nil
+}
+
+// Expel removes a misbehaving member permanently ("the misbehaving peer can
+// be expelled from the collective").
+func (c *Collective) Expel(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[id]; !ok {
+		return ErrNotMember
+	}
+	delete(c.members, id)
+	c.expelled[id] = true
+	return nil
+}
+
+// Members returns current members sorted by ID.
+func (c *Collective) Members() []*Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Member, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Expelled reports whether a member has been expelled.
+func (c *Collective) Expelled(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.expelled[id]
+}
+
+// ---- VPN subnet allocation ----
+
+// The paper: "consider assigning each waypoint in the collective a /26 from
+// the 10.0.0.0/8 block of private addresses. This allows for each of 256K
+// non-conflicting waypoints to serve 64 clients simultaneously."
+
+// SubnetBits is the prefix length allocated per waypoint.
+const SubnetBits = 26
+
+// AddressesPerSubnet is the client capacity of one waypoint's subnet.
+const AddressesPerSubnet = 1 << (32 - SubnetBits) // 64
+
+// MaxSubnets is the number of /26s in 10.0.0.0/8.
+const MaxSubnets = 1 << (SubnetBits - 8) // 262144 (= "256K")
+
+// Subnet is one allocated /26.
+type Subnet struct {
+	Index int
+}
+
+// CIDR renders the subnet in dotted notation.
+func (s Subnet) CIDR() string {
+	base := s.Index * AddressesPerSubnet // offset within 10.0.0.0/8
+	return fmt.Sprintf("10.%d.%d.%d/%d",
+		(base>>16)&0xFF, (base>>8)&0xFF, base&0xFF, SubnetBits)
+}
+
+// SubnetAllocator hands out non-conflicting /26s to waypoints. (The paper's
+// prototype assigned subnets manually; "in a large collective, subnet
+// allocations would be managed by an appropriate management plane" — this
+// is that management plane.)
+type SubnetAllocator struct {
+	mu    sync.Mutex
+	next  int
+	freed []int
+	owner map[string]Subnet
+}
+
+// NewSubnetAllocator creates an empty allocator.
+func NewSubnetAllocator() *SubnetAllocator {
+	return &SubnetAllocator{owner: make(map[string]Subnet)}
+}
+
+// Allocate assigns a subnet to a waypoint (idempotent per waypoint).
+func (a *SubnetAllocator) Allocate(waypointID string) (Subnet, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.owner[waypointID]; ok {
+		return s, nil
+	}
+	var idx int
+	if n := len(a.freed); n > 0 {
+		idx = a.freed[n-1]
+		a.freed = a.freed[:n-1]
+	} else {
+		if a.next >= MaxSubnets {
+			return Subnet{}, ErrSubnetsFull
+		}
+		idx = a.next
+		a.next++
+	}
+	s := Subnet{Index: idx}
+	a.owner[waypointID] = s
+	return s, nil
+}
+
+// Release returns a waypoint's subnet to the pool.
+func (a *SubnetAllocator) Release(waypointID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.owner[waypointID]; ok {
+		delete(a.owner, waypointID)
+		a.freed = append(a.freed, s.Index)
+	}
+}
+
+// Allocated returns the number of subnets in use.
+func (a *SubnetAllocator) Allocated() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.owner)
+}
+
+// ---- Tunnel cost accounting ----
+
+// Destination identifies a server endpoint for NAT-tunnel signaling.
+type Destination struct {
+	Host string
+	Port int
+}
+
+// TunnelManager tracks the setup and signaling costs of one client's
+// tunnels to one waypoint — the VPN-vs-NAT tradeoff of §IV-C.
+type TunnelManager struct {
+	Kind TunnelKind
+
+	mu          sync.Mutex
+	vpnJoined   bool
+	natRules    map[Destination]bool
+	SetupCount  int // VPN joins (virtual interface + DHCP)
+	SignalCount int // NAT per-destination negotiations
+}
+
+// NewTunnelManager creates a manager for the given mechanism.
+func NewTunnelManager(kind TunnelKind) *TunnelManager {
+	return &TunnelManager{Kind: kind, natRules: make(map[Destination]bool)}
+}
+
+// Prepare ensures a tunnel is ready for the destination, counting the
+// control-plane work it required: the VPN sets up once and is "reused to
+// create a detour for any TCP connection to any server, without any
+// additional setup"; NAT "requires signaling with the waypoint for every
+// new server address and port number combination".
+func (t *TunnelManager) Prepare(dst Destination) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.Kind {
+	case TunnelVPN:
+		if !t.vpnJoined {
+			t.vpnJoined = true
+			t.SetupCount++
+		}
+	case TunnelNAT:
+		if !t.natRules[dst] {
+			t.natRules[dst] = true
+			t.SignalCount++
+		}
+	}
+}
+
+// ---- Detour exploration ----
+
+// ProbeResult is one waypoint's measured quality.
+type ProbeResult struct {
+	MemberID string
+	RateBps  float64
+	Path     tcpsim.Path
+}
+
+// ExplorationResult summarizes a trial-and-error exploration run.
+type ExplorationResult struct {
+	// DirectRateBps is the baseline single-path throughput.
+	DirectRateBps float64
+	// FinalRateBps is the throughput with the retained detours engaged.
+	FinalRateBps float64
+	// Kept lists retained waypoint IDs, best first.
+	Kept []string
+	// Withdrawn lists probed-but-rejected waypoint IDs.
+	Withdrawn []string
+	// Expelled lists waypoints removed from the collective for
+	// misbehaviour.
+	Expelled []string
+	// Probes holds every probe measurement.
+	Probes []ProbeResult
+}
+
+// Explorer runs the client side of detour selection.
+type Explorer struct {
+	// Direct is the native path to the server.
+	Direct tcpsim.Path
+	// Tunnel selects the tunneling mechanism for all detours.
+	Tunnel TunnelKind
+	// ProbeBytes sizes the per-waypoint trial transfer (default 2 MB).
+	ProbeBytes float64
+	// KeepBest bounds retained detours (default 1 — the paper: one
+	// waypoint captures most benefit).
+	KeepBest int
+	// MisbehaviourLossFrac: a waypoint whose probe shows loss events in
+	// more than this fraction of its RTT rounds is treated as packet-
+	// dropping ("the application can detect the resulting performance
+	// impact and withdraw this waypoint") and expelled. Default 0.5 —
+	// far beyond any honest path's congestion signature.
+	MisbehaviourLossFrac float64
+	// RNG drives loss sampling.
+	RNG *sim.RNG
+}
+
+func (e *Explorer) defaults() {
+	if e.ProbeBytes <= 0 {
+		e.ProbeBytes = 2e6
+	}
+	if e.KeepBest <= 0 {
+		e.KeepBest = 1
+	}
+	if e.MisbehaviourLossFrac <= 0 {
+		e.MisbehaviourLossFrac = 0.5
+	}
+	if e.RNG == nil {
+		e.RNG = sim.NewRNG(1)
+	}
+	if e.Tunnel == 0 {
+		e.Tunnel = TunnelVPN
+	}
+}
+
+// Explore probes every collective member as a detour for a transfer of
+// `bytes`, retains the best KeepBest, withdraws the rest, expels
+// misbehavers, and measures the final multipath throughput
+// (direct + retained detours).
+func (e *Explorer) Explore(c *Collective, bytes float64) (*ExplorationResult, error) {
+	e.defaults()
+	members := c.Members()
+	if len(members) == 0 {
+		return nil, ErrNoWaypoints
+	}
+
+	res := &ExplorationResult{}
+	// Baseline: direct only.
+	direct := tcpsim.Transfer(e.Direct, e.ProbeBytes, e.RNG)
+	res.DirectRateBps = direct.MeanRateBps()
+
+	// Probe each waypoint individually ("sending a few data packets over
+	// new subflows and staying with those waypoints that perform well").
+	for _, m := range members {
+		path := m.DetourPath(e.Tunnel)
+		probe := tcpsim.Transfer(path, e.ProbeBytes, e.RNG)
+		pr := ProbeResult{MemberID: m.ID, RateBps: probe.MeanRateBps(), Path: path}
+		res.Probes = append(res.Probes, pr)
+		lossFrac := 0.0
+		if probe.Rounds > 0 {
+			lossFrac = float64(probe.Losses) / float64(probe.Rounds)
+		}
+		if lossFrac > e.MisbehaviourLossFrac {
+			// The subflow is being disrupted: withdraw and expel.
+			if err := c.Expel(m.ID); err == nil {
+				res.Expelled = append(res.Expelled, m.ID)
+			}
+		}
+	}
+
+	// Rank surviving probes and keep the best detours that beat some
+	// fraction of the direct path (harmful detours are withdrawn).
+	surviving := make([]ProbeResult, 0, len(res.Probes))
+	expelledSet := make(map[string]bool, len(res.Expelled))
+	for _, id := range res.Expelled {
+		expelledSet[id] = true
+	}
+	for _, pr := range res.Probes {
+		if !expelledSet[pr.MemberID] {
+			surviving = append(surviving, pr)
+		}
+	}
+	sort.SliceStable(surviving, func(i, j int) bool {
+		return surviving[i].RateBps > surviving[j].RateBps
+	})
+	session := tcpsim.NewSession(tcpsim.MinRTT, e.RNG)
+	session.AddSubflow(e.Direct, "direct")
+	kept := 0
+	for _, pr := range surviving {
+		if kept >= e.KeepBest {
+			res.Withdrawn = append(res.Withdrawn, pr.MemberID)
+			continue
+		}
+		if pr.RateBps <= res.DirectRateBps*0.5 {
+			// Not worth a subflow; withdraw this detour.
+			res.Withdrawn = append(res.Withdrawn, pr.MemberID)
+			continue
+		}
+		session.AddSubflow(pr.Path, pr.MemberID)
+		res.Kept = append(res.Kept, pr.MemberID)
+		kept++
+	}
+
+	final, err := session.Transfer(bytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalRateBps = final.MeanRateBps()
+	return res, nil
+}

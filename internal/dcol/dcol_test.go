@@ -1,0 +1,350 @@
+package dcol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpop/internal/sim"
+	"hpop/internal/tcpsim"
+)
+
+func lossyDirect() tcpsim.Path {
+	return tcpsim.Path{RTT: 0.100, Bandwidth: 50e6, Loss: 0.02}
+}
+
+func goodMember(id string) *Member {
+	return &Member{
+		ID:        id,
+		ClientLeg: tcpsim.Path{RTT: 0.015, Bandwidth: 500e6},
+		ServerLeg: tcpsim.Path{RTT: 0.025, Bandwidth: 500e6},
+	}
+}
+
+func TestTunnelKindBasics(t *testing.T) {
+	if TunnelVPN.Overhead() != 36 || TunnelNAT.Overhead() != 0 {
+		t.Error("tunnel overheads wrong (paper: VPN 36 B, NAT 0 B)")
+	}
+	if TunnelVPN.String() != "vpn" || TunnelNAT.String() != "nat" {
+		t.Error("tunnel strings wrong")
+	}
+	if TunnelKind(9).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}
+
+func TestDetourPathComposition(t *testing.T) {
+	m := goodMember("w1")
+	vpn := m.DetourPath(TunnelVPN)
+	nat := m.DetourPath(TunnelNAT)
+	if vpn.RTT != 0.040 || nat.RTT != 0.040 {
+		t.Errorf("detour RTTs = %v, %v; want 40ms", vpn.RTT, nat.RTT)
+	}
+	wantRatio := 1460.0 / 1496.0
+	if got := vpn.Bandwidth / nat.Bandwidth; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("VPN/NAT goodput ratio = %v, want %v", got, wantRatio)
+	}
+	// Misbehaviour inflates loss.
+	m.DropRate = 0.5
+	if got := m.DetourPath(TunnelNAT).Loss; got < 0.5 {
+		t.Errorf("drop rate not applied: loss = %v", got)
+	}
+}
+
+func TestCollectiveMembership(t *testing.T) {
+	c := NewCollective()
+	if err := c.Join(goodMember("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(goodMember("a")); err != ErrAlreadyMember {
+		t.Errorf("dup join err = %v", err)
+	}
+	c.Join(goodMember("b"))
+	if got := c.Members(); len(got) != 2 || got[0].ID != "a" {
+		t.Errorf("members = %v", got)
+	}
+	if err := c.Expel("ghost"); err != ErrNotMember {
+		t.Errorf("expel ghost err = %v", err)
+	}
+	if err := c.Expel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Expelled("a") || len(c.Members()) != 1 {
+		t.Error("expulsion ineffective")
+	}
+	// Expelled members may not rejoin.
+	if err := c.Join(goodMember("a")); err == nil {
+		t.Error("expelled member rejoined")
+	}
+}
+
+func TestSubnetAllocatorPaperNumbers(t *testing.T) {
+	// "each of 256K non-conflicting waypoints to serve 64 clients".
+	if MaxSubnets != 262144 {
+		t.Errorf("MaxSubnets = %d, want 262144 (256K)", MaxSubnets)
+	}
+	if AddressesPerSubnet != 64 {
+		t.Errorf("AddressesPerSubnet = %d, want 64", AddressesPerSubnet)
+	}
+}
+
+func TestSubnetAllocation(t *testing.T) {
+	a := NewSubnetAllocator()
+	s1, err := a.Allocate("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CIDR() != "10.0.0.0/26" {
+		t.Errorf("first subnet = %s", s1.CIDR())
+	}
+	s2, _ := a.Allocate("w2")
+	if s2.CIDR() != "10.0.0.64/26" {
+		t.Errorf("second subnet = %s", s2.CIDR())
+	}
+	// Idempotent per waypoint.
+	again, _ := a.Allocate("w1")
+	if again != s1 {
+		t.Error("re-allocation returned different subnet")
+	}
+	if a.Allocated() != 2 {
+		t.Errorf("Allocated = %d", a.Allocated())
+	}
+	// Release and reuse.
+	a.Release("w1")
+	s3, _ := a.Allocate("w3")
+	if s3 != s1 {
+		t.Errorf("freed subnet not reused: %v", s3.CIDR())
+	}
+	// Subnet 1024 crosses the second octet: 1024*64 = 65536 -> 10.1.0.0.
+	if (Subnet{Index: 1024}).CIDR() != "10.1.0.0/26" {
+		t.Errorf("octet math: %s", Subnet{Index: 1024}.CIDR())
+	}
+}
+
+func TestSubnetExhaustion(t *testing.T) {
+	a := NewSubnetAllocator()
+	a.next = MaxSubnets // fast-forward
+	if _, err := a.Allocate("late"); err != ErrSubnetsFull {
+		t.Errorf("err = %v, want ErrSubnetsFull", err)
+	}
+}
+
+func TestTunnelManagerCosts(t *testing.T) {
+	dsts := []Destination{
+		{Host: "a.com", Port: 443},
+		{Host: "a.com", Port: 443}, // repeat
+		{Host: "a.com", Port: 80},  // same host, new port
+		{Host: "b.com", Port: 443},
+	}
+	vpn := NewTunnelManager(TunnelVPN)
+	nat := NewTunnelManager(TunnelNAT)
+	for _, d := range dsts {
+		vpn.Prepare(d)
+		nat.Prepare(d)
+	}
+	// VPN: one setup regardless of destinations.
+	if vpn.SetupCount != 1 || vpn.SignalCount != 0 {
+		t.Errorf("VPN costs = setup %d signal %d, want 1/0", vpn.SetupCount, vpn.SignalCount)
+	}
+	// NAT: one signal per distinct (host, port).
+	if nat.SignalCount != 3 || nat.SetupCount != 0 {
+		t.Errorf("NAT costs = setup %d signal %d, want 0/3", nat.SetupCount, nat.SignalCount)
+	}
+}
+
+func TestExploreImprovesOverDirect(t *testing.T) {
+	c := NewCollective()
+	c.Join(goodMember("w1"))
+	c.Join(goodMember("w2"))
+	e := &Explorer{Direct: lossyDirect(), RNG: sim.NewRNG(5)}
+	res, err := e.Explore(c, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalRateBps <= res.DirectRateBps {
+		t.Errorf("final %.1f Mbps not above direct %.1f Mbps",
+			res.FinalRateBps/1e6, res.DirectRateBps/1e6)
+	}
+	if len(res.Kept) != 1 {
+		t.Errorf("kept = %v, want exactly KeepBest=1", res.Kept)
+	}
+	if len(res.Probes) != 2 {
+		t.Errorf("probes = %d", len(res.Probes))
+	}
+}
+
+func TestExploreWithdrawsUselessDetours(t *testing.T) {
+	c := NewCollective()
+	// A detour much worse than direct but above the misbehaviour floor.
+	c.Join(&Member{
+		ID:        "sluggish",
+		ClientLeg: tcpsim.Path{RTT: 0.200, Bandwidth: 3e6},
+		ServerLeg: tcpsim.Path{RTT: 0.200, Bandwidth: 3e6},
+	})
+	e := &Explorer{
+		Direct: tcpsim.Path{RTT: 0.030, Bandwidth: 100e6},
+		RNG:    sim.NewRNG(6),
+	}
+	res, err := e.Explore(c, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 0 {
+		t.Errorf("kept useless detour: %v", res.Kept)
+	}
+	if len(res.Withdrawn) != 1 {
+		t.Errorf("withdrawn = %v", res.Withdrawn)
+	}
+	if len(res.Expelled) != 0 {
+		t.Errorf("slow-but-honest peer expelled: %v", res.Expelled)
+	}
+	if c.Expelled("sluggish") {
+		t.Error("sluggish expelled from collective")
+	}
+}
+
+func TestExploreExpelsMisbehavers(t *testing.T) {
+	c := NewCollective()
+	bad := goodMember("dropper")
+	bad.DropRate = 0.9 // drops almost everything
+	c.Join(bad)
+	c.Join(goodMember("honest"))
+	e := &Explorer{Direct: lossyDirect(), RNG: sim.NewRNG(7)}
+	res, err := e.Explore(c, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Expelled) != 1 || res.Expelled[0] != "dropper" {
+		t.Errorf("expelled = %v, want [dropper]", res.Expelled)
+	}
+	if !c.Expelled("dropper") {
+		t.Error("dropper still in collective")
+	}
+	if len(res.Kept) != 1 || res.Kept[0] != "honest" {
+		t.Errorf("kept = %v, want [honest]", res.Kept)
+	}
+}
+
+func TestExploreNoWaypoints(t *testing.T) {
+	e := &Explorer{Direct: lossyDirect()}
+	if _, err := e.Explore(NewCollective(), 1e6); err != ErrNoWaypoints {
+		t.Errorf("err = %v, want ErrNoWaypoints", err)
+	}
+}
+
+func TestVPNvsNATGoodputTradeoff(t *testing.T) {
+	// Same waypoint, both tunnels: NAT yields slightly higher goodput
+	// (no encapsulation); VPN costs exactly 36/1496 of the bandwidth.
+	m := goodMember("w")
+	rng := sim.NewRNG(8)
+	vpnRate := tcpsim.Transfer(m.DetourPath(TunnelVPN), 50e6, rng).MeanRateBps()
+	natRate := tcpsim.Transfer(m.DetourPath(TunnelNAT), 50e6, sim.NewRNG(8)).MeanRateBps()
+	if natRate <= vpnRate {
+		t.Errorf("NAT %.1f Mbps not above VPN %.1f Mbps", natRate/1e6, vpnRate/1e6)
+	}
+	if ratio := vpnRate / natRate; ratio < 0.95 || ratio > 1.0 {
+		t.Errorf("VPN/NAT rate ratio = %.4f, want within a few %% below 1", ratio)
+	}
+}
+
+// Property: subnets never collide across arbitrary allocate/release
+// sequences.
+func TestSubnetNoCollisionProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewSubnetAllocator()
+		active := make(map[int]string) // subnet index -> owner
+		id := 0
+		for _, alloc := range ops {
+			if alloc || len(active) == 0 {
+				id++
+				owner := string(rune('a' + id%26))
+				s, err := a.Allocate(owner + string(rune('0'+id/26)))
+				if err != nil {
+					return false
+				}
+				if prev, clash := active[s.Index]; clash && prev != owner {
+					return false
+				}
+				active[s.Index] = owner
+			} else {
+				// Release an arbitrary active owner.
+				for idx := range active {
+					var victim string
+					for w, ss := range a.owner {
+						if ss.Index == idx {
+							victim = w
+							break
+						}
+					}
+					a.Release(victim)
+					delete(active, idx)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecureSessionHandshakeFirst(t *testing.T) {
+	server := Destination{Host: "srv.example", Port: 443}
+	s := NewSecureSession(server, lossyDirect(), TunnelVPN, sim.NewRNG(1))
+	// Detour before handshake: refused.
+	if _, err := s.AddDetour(goodMember("w")); err != ErrHandshakeFirst {
+		t.Errorf("pre-handshake detour err = %v", err)
+	}
+	if _, err := s.Transfer(1e6); err != ErrHandshakeFirst {
+		t.Errorf("pre-handshake transfer err = %v", err)
+	}
+	// Handshake costs 2 direct RTTs.
+	hs := s.Handshake()
+	if hs != 2*lossyDirect().RTT {
+		t.Errorf("handshake latency = %v", hs)
+	}
+	if !s.HandshakeDone() {
+		t.Error("HandshakeDone false after Handshake")
+	}
+	// Idempotent.
+	if again := s.Handshake(); again != hs {
+		t.Errorf("second handshake = %v", again)
+	}
+	// Now detours join.
+	if _, err := s.AddDetour(goodMember("w1")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Transfer(5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duration <= hs {
+		t.Errorf("duration %v should include handshake %v", st.Duration, hs)
+	}
+	if st.Bytes < 5e6*0.999 {
+		t.Errorf("delivered %v", st.Bytes)
+	}
+}
+
+func TestSecureSessionExposures(t *testing.T) {
+	server := Destination{Host: "srv.example", Port: 443}
+	s := NewSecureSession(server, lossyDirect(), TunnelNAT, sim.NewRNG(2))
+	s.Handshake()
+	s.AddDetour(goodMember("wp-a"))
+	s.AddDetour(goodMember("wp-b"))
+	exp := s.Exposures()
+	if len(exp) != 2 {
+		t.Fatalf("exposures = %+v", exp)
+	}
+	for _, e := range exp {
+		// The inherent cost: waypoints learn the server address...
+		if e.ServerAddr != server {
+			t.Errorf("waypoint %s did not learn server addr", e.WaypointID)
+		}
+		// ...but never the plaintext (TLS completed before any detour).
+		if e.PlaintextVisible {
+			t.Errorf("waypoint %s saw plaintext", e.WaypointID)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package dcol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// This file implements a live userspace multipath transport: the DCol data
+// plane over real TCP sockets. The paper uses kernel MPTCP so that
+// "unmodified applications may use this mechanism"; on a stock-Go testbed
+// we provide the same semantics one layer up — a logical connection that
+// stripes framed data across several subflows (the direct path plus any
+// number of waypoint tunnels from DialVia), reorders at the receiver, and
+// fails over when a subflow dies mid-transfer. The tcpsim model answers the
+// protocol-dynamics questions; this code demonstrates the mechanism
+// end-to-end on a commodity box.
+//
+// Wire format: each subflow starts with one handshake line
+//
+//	MPJOIN <sessionID> <subflowIndex>\n
+//
+// followed by frames of [seq uint64][len uint32][payload]. A frame length
+// of 0 signals end-of-stream (sent on every subflow).
+
+// Multipath errors.
+var (
+	ErrSessionClosed = errors.New("dcol: multipath session closed")
+	ErrNoSubflows    = errors.New("dcol: multipath session has no subflows")
+)
+
+// mpFrameHeader is seq (8) + length (4).
+const mpFrameHeader = 12
+
+// DefaultFrameSize is the striping granularity.
+const DefaultFrameSize = 16 << 10
+
+func writeFrame(w io.Writer, seq uint64, payload []byte) error {
+	var hdr [mpFrameHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:8], seq)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		_, err := w.Write(payload)
+		return err
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (seq uint64, payload []byte, err error) {
+	var hdr [mpFrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	seq = binary.BigEndian.Uint64(hdr[0:8])
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n == 0 {
+		return seq, nil, nil
+	}
+	if n > 1<<24 {
+		return 0, nil, fmt.Errorf("dcol: oversized frame %d", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return seq, payload, nil
+}
+
+// MultipathSender is the client end: Write stripes data across subflows.
+type MultipathSender struct {
+	mu        sync.Mutex
+	subflows  []net.Conn
+	nextSeq   uint64
+	rr        int
+	frameSize int
+	closed    bool
+	// SentBySubflow counts payload bytes per subflow index (diagnostics /
+	// tests asserting that striping actually spread load).
+	SentBySubflow []int64
+}
+
+// DialMultipath establishes a multipath session to a MultipathListener at
+// addr: one direct subflow plus one subflow through each waypoint relay in
+// relays (DialVia tunnels). sessionID must be unique per logical
+// connection.
+func DialMultipath(sessionID, addr string, relays []string) (*MultipathSender, error) {
+	var conns []net.Conn
+	fail := func(err error) (*MultipathSender, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	direct, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fail(fmt.Errorf("dcol: direct subflow: %w", err))
+	}
+	conns = append(conns, direct)
+	for _, relay := range relays {
+		c, err := DialVia(relay, addr)
+		if err != nil {
+			return fail(fmt.Errorf("dcol: waypoint subflow via %s: %w", relay, err))
+		}
+		conns = append(conns, c)
+	}
+	for i, c := range conns {
+		if _, err := fmt.Fprintf(c, "MPJOIN %s %d\n", sessionID, i); err != nil {
+			return fail(err)
+		}
+	}
+	return &MultipathSender{
+		subflows:      conns,
+		frameSize:     DefaultFrameSize,
+		SentBySubflow: make([]int64, len(conns)),
+	}, nil
+}
+
+// SetFrameSize tunes striping granularity (before the first Write).
+func (m *MultipathSender) SetFrameSize(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > 0 {
+		m.frameSize = n
+	}
+}
+
+// Subflows returns the number of live subflows.
+func (m *MultipathSender) Subflows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.subflows {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Write stripes p across subflows in frames. A subflow write error fails
+// the subflow over: its frame is retransmitted on the next live subflow
+// (the receiver dedups by sequence number). Write fails only when every
+// subflow is dead.
+func (m *MultipathSender) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrSessionClosed
+	}
+	written := 0
+	for off := 0; off < len(p); {
+		end := off + m.frameSize
+		if end > len(p) {
+			end = len(p)
+		}
+		frame := p[off:end]
+		seq := m.nextSeq
+		if err := m.sendFrameLocked(seq, frame); err != nil {
+			return written, err
+		}
+		m.nextSeq++
+		off = end
+		written += len(frame)
+	}
+	return written, nil
+}
+
+// sendFrameLocked tries live subflows round-robin until one accepts the
+// frame.
+func (m *MultipathSender) sendFrameLocked(seq uint64, frame []byte) error {
+	attempts := 0
+	for attempts < len(m.subflows) {
+		idx := m.rr % len(m.subflows)
+		m.rr++
+		c := m.subflows[idx]
+		if c == nil {
+			attempts++
+			continue
+		}
+		if err := writeFrame(c, seq, frame); err != nil {
+			// Subflow died: withdraw it ("transparently recovering the
+			// affected packets over the remaining subflows").
+			c.Close()
+			m.subflows[idx] = nil
+			attempts++
+			continue
+		}
+		m.SentBySubflow[idx] += int64(len(frame))
+		return nil
+	}
+	return ErrNoSubflows
+}
+
+// FailSubflow forcefully kills one subflow (failure injection in tests).
+func (m *MultipathSender) FailSubflow(idx int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= 0 && idx < len(m.subflows) && m.subflows[idx] != nil {
+		m.subflows[idx].Close()
+		m.subflows[idx] = nil
+	}
+}
+
+// Close signals end-of-stream on every live subflow and closes them.
+func (m *MultipathSender) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	seq := m.nextSeq
+	for _, c := range m.subflows {
+		if c == nil {
+			continue
+		}
+		_ = writeFrame(c, seq, nil) // end-of-stream marker; best effort
+		c.Close()
+	}
+	return nil
+}
+
+// mpSession is the receiver-side reassembly state for one sessionID.
+type mpSession struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buffered map[uint64][]byte
+	nextSeq  uint64
+	// endSeq is the end-of-stream sequence (data is complete once nextSeq
+	// reaches it); ^0 until known.
+	endSeq   uint64
+	subflows int
+	failed   bool
+}
+
+func newMPSession() *mpSession {
+	s := &mpSession{buffered: make(map[uint64][]byte), endSeq: ^uint64(0)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// feed consumes frames from one subflow until EOF/error.
+func (s *mpSession) feed(r io.Reader) {
+	for {
+		seq, payload, err := readFrame(r)
+		if err != nil {
+			s.mu.Lock()
+			s.subflows--
+			if s.subflows == 0 && s.endSeq == ^uint64(0) {
+				// Every subflow died before end-of-stream: the transfer is
+				// broken, wake the reader to report it.
+				s.failed = true
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		if payload == nil {
+			if s.endSeq == ^uint64(0) || seq < s.endSeq {
+				s.endSeq = seq
+			}
+		} else if seq >= s.nextSeq {
+			if _, dup := s.buffered[seq]; !dup {
+				s.buffered[seq] = payload
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// ReadAll returns the fully reassembled, in-order byte stream.
+func (s *mpSession) ReadAll() ([]byte, error) {
+	var out []byte
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for {
+			payload, ok := s.buffered[s.nextSeq]
+			if !ok {
+				break
+			}
+			delete(s.buffered, s.nextSeq)
+			out = append(out, payload...)
+			s.nextSeq++
+		}
+		if s.endSeq != ^uint64(0) && s.nextSeq >= s.endSeq {
+			return out, nil
+		}
+		if s.failed {
+			return out, io.ErrUnexpectedEOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// MultipathListener accepts multipath sessions: subflows carrying the same
+// sessionID are reassembled into one logical stream, regardless of which
+// path (direct or waypoint tunnel) each arrived over — the server-side
+// obliviousness MPTCP provides in the paper.
+type MultipathListener struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*mpSession
+	arrivals chan *mpSession
+	closed   bool
+}
+
+// ListenMultipath starts a listener on addr.
+func ListenMultipath(addr string) (*MultipathListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &MultipathListener{
+		ln:       ln,
+		sessions: make(map[string]*mpSession),
+		arrivals: make(chan *mpSession, 16),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listen address.
+func (l *MultipathListener) Addr() string { return l.ln.Addr().String() }
+
+// AcceptSession blocks until a new logical session arrives and returns its
+// reassembly handle.
+func (l *MultipathListener) AcceptSession() (*mpSession, error) {
+	s, ok := <-l.arrivals
+	if !ok {
+		return nil, ErrSessionClosed
+	}
+	return s, nil
+}
+
+// Close stops the listener.
+func (l *MultipathListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	close(l.arrivals)
+	return err
+}
+
+func (l *MultipathListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			l.handleSubflow(conn)
+		}()
+	}
+}
+
+func (l *MultipathListener) handleSubflow(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 || fields[0] != "MPJOIN" {
+		return
+	}
+	sessionID := fields[1]
+	l.mu.Lock()
+	sess, ok := l.sessions[sessionID]
+	if !ok {
+		sess = newMPSession()
+		l.sessions[sessionID] = sess
+		select {
+		case l.arrivals <- sess:
+		default:
+			// Arrival queue full: the session still works; AcceptSession
+			// callers that drained late just never see it. Tests size the
+			// queue generously.
+		}
+	}
+	sess.mu.Lock()
+	sess.subflows++
+	sess.mu.Unlock()
+	l.mu.Unlock()
+	sess.feed(br)
+}

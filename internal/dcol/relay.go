@@ -1,0 +1,182 @@
+package dcol
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Relay is a live waypoint data path: a TCP listener that accepts a
+// one-line signaling message naming the destination ("DIAL host:port\n"),
+// dials it, and pipes bytes both ways — the NAT-style tunnel's forwarding
+// behaviour on a real socket. It demonstrates the waypoint role on a
+// commodity box (the repro target for this paper) and backs the detour
+// example and cmd/hpopd's waypoint service.
+type Relay struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// Stats.
+	dials        atomic.Int64
+	bytesRelayed atomic.Int64
+	// AllowDial filters destinations (policy hook; nil allows all).
+	AllowDial func(hostport string) bool
+}
+
+// StartRelay listens on addr ("127.0.0.1:0" for tests) and serves until
+// Close.
+func StartRelay(addr string) (*Relay, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dcol: relay listen: %w", err)
+	}
+	r := &Relay{ln: ln, closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's listen address.
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Dials returns how many forwarding sessions were established.
+func (r *Relay) Dials() int64 { return r.dials.Load() }
+
+// BytesRelayed returns total payload bytes forwarded (both directions).
+func (r *Relay) BytesRelayed() int64 { return r.bytesRelayed.Load() }
+
+// Close stops the listener and waits for in-flight sessions to finish.
+func (r *Relay) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Relay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.handle(conn)
+		}()
+	}
+}
+
+func (r *Relay) handle(client net.Conn) {
+	defer client.Close()
+	br := bufio.NewReader(client)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	line = strings.TrimSpace(line)
+	const cmd = "DIAL "
+	if !strings.HasPrefix(line, cmd) {
+		fmt.Fprintf(client, "ERR want DIAL host:port\n")
+		return
+	}
+	target := strings.TrimPrefix(line, cmd)
+	if r.AllowDial != nil && !r.AllowDial(target) {
+		fmt.Fprintf(client, "ERR destination not allowed\n")
+		return
+	}
+	upstream, err := net.Dial("tcp", target)
+	if err != nil {
+		fmt.Fprintf(client, "ERR dial: %v\n", err)
+		return
+	}
+	defer upstream.Close()
+	if _, err := fmt.Fprintf(client, "OK\n"); err != nil {
+		return
+	}
+	r.dials.Add(1)
+
+	done := make(chan struct{}, 2)
+	pipe := func(dst net.Conn, firstSrc io.Reader) {
+		// Count bytes as they flow, not only at connection teardown.
+		io.Copy(&countingWriter{w: dst, n: &r.bytesRelayed}, firstSrc)
+		// Half-close towards dst so the other side sees EOF.
+		if tc, ok := dst.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go pipe(upstream, br)
+	go pipe(client, upstream)
+	<-done
+	<-done
+}
+
+// countingWriter adds written byte counts to an atomic counter.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// DialVia connects to destination through the waypoint relay at relayAddr,
+// performing the signaling exchange, and returns the established tunnel
+// connection (what the DCol kernel module does for each detour subflow).
+func DialVia(relayAddr, destination string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", relayAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dcol: dial relay: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "DIAL %s\n", destination); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dcol: relay handshake: %w", err)
+	}
+	if strings.TrimSpace(status) != "OK" {
+		conn.Close()
+		return nil, errors.New("dcol: relay refused: " + strings.TrimSpace(status))
+	}
+	return &tunnelConn{Conn: conn, r: br}, nil
+}
+
+// tunnelConn wraps the relay connection so bytes the handshake reader
+// buffered are not lost.
+type tunnelConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+// Read implements net.Conn via the handshake's buffered reader.
+func (t *tunnelConn) Read(p []byte) (int, error) { return t.r.Read(p) }
+
+// CloseWrite half-closes the tunnel toward the waypoint, propagating EOF to
+// the destination.
+func (t *tunnelConn) CloseWrite() error {
+	if tc, ok := t.Conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package dcol
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoServer is a live TCP destination that echoes what it receives.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				wg.Wait()
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestRelayForwardsTraffic(t *testing.T) {
+	dst := echoServer(t)
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	conn, err := DialVia(relay.Addr(), dst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := []byte("detour me through the waypoint")
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Errorf("echoed = %q", buf)
+	}
+	if relay.Dials() != 1 {
+		t.Errorf("dials = %d", relay.Dials())
+	}
+	conn.Close()
+}
+
+func TestRelayLargeTransferAndStats(t *testing.T) {
+	dst := echoServer(t)
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	conn, err := DialVia(relay.Addr(), dst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const size = 1 << 20
+	payload := bytes.Repeat([]byte("x"), size)
+	go func() {
+		conn.Write(payload)
+		if tc, ok := conn.(interface{ CloseWrite() error }); ok {
+			tc.CloseWrite()
+		}
+	}()
+	got := make([]byte, size)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("relayed payload corrupted")
+	}
+	if relay.BytesRelayed() < size {
+		t.Errorf("BytesRelayed = %d, want >= %d", relay.BytesRelayed(), size)
+	}
+}
+
+func TestRelayRefusesBadHandshake(t *testing.T) {
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	conn, err := net.Dial("tcp", relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GIMME stuff\n")
+	reply := make([]byte, 64)
+	n, _ := conn.Read(reply)
+	if !strings.HasPrefix(string(reply[:n]), "ERR") {
+		t.Errorf("reply = %q, want ERR", reply[:n])
+	}
+}
+
+func TestRelayDialFailure(t *testing.T) {
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	// Port 1 on localhost is almost certainly closed.
+	if _, err := DialVia(relay.Addr(), "127.0.0.1:1"); err == nil {
+		t.Error("DialVia succeeded to a closed port")
+	}
+}
+
+func TestRelayPolicyHook(t *testing.T) {
+	dst := echoServer(t)
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	relay.AllowDial = func(hostport string) bool { return false }
+	if _, err := DialVia(relay.Addr(), dst.Addr().String()); err == nil {
+		t.Error("policy-denied dial succeeded")
+	}
+	relay.AllowDial = nil
+	if conn, err := DialVia(relay.Addr(), dst.Addr().String()); err != nil {
+		t.Errorf("allowed dial failed: %v", err)
+	} else {
+		conn.Close()
+	}
+}
+
+func TestRelayDoubleClose(t *testing.T) {
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Close(); err != nil {
+		t.Errorf("second close err = %v", err)
+	}
+}
+
+func TestRelayChaining(t *testing.T) {
+	// Two waypoints in series: client -> relay1 -> relay2 -> echo. (The
+	// paper notes single waypoints suffice, but chaining must work.)
+	dst := echoServer(t)
+	relay2, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay2.Close()
+	relay1, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay1.Close()
+
+	conn, err := net.Dial("tcp", relay1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "DIAL %s\n", relay2.Addr())
+	readLine(t, conn) // OK from relay1
+	fmt.Fprintf(conn, "DIAL %s\n", dst.Addr().String())
+	readLine(t, conn) // OK from relay2
+
+	payload := []byte("two hops")
+	conn.Write(payload)
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Errorf("chained echo = %q", buf)
+	}
+}
+
+func readLine(t *testing.T, conn net.Conn) string {
+	t.Helper()
+	var line []byte
+	b := make([]byte, 1)
+	for {
+		if _, err := conn.Read(b); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] == '\n' {
+			return string(line)
+		}
+		line = append(line, b[0])
+	}
+}

@@ -1,0 +1,127 @@
+package dcol
+
+import (
+	"errors"
+	"sync"
+
+	"hpop/internal/sim"
+	"hpop/internal/tcpsim"
+)
+
+// This file implements §IV-C "Security": "Our prototype requires the client
+// to complete the TLS handshake with the server over the direct path before
+// establishing any detours. Therefore, any subflows through detours will be
+// encrypted. While this keeps the contents obscured from the waypoints, the
+// waypoints still learn the IP addresses with which the client is
+// communicating ... This is an inherent cost of DCol."
+
+// ErrHandshakeFirst is returned when a detour is added before the direct-
+// path TLS handshake completes.
+var ErrHandshakeFirst = errors.New("dcol: TLS handshake over the direct path must complete before detours")
+
+// Exposure records what one waypoint learns about a secured session — the
+// inherent metadata cost the paper acknowledges.
+type Exposure struct {
+	WaypointID string
+	// ServerAddr is visible (IP headers are in the clear).
+	ServerAddr Destination
+	// PlaintextVisible is always false once the TLS-first rule holds.
+	PlaintextVisible bool
+}
+
+// SecureSession enforces the TLS-first ordering around an MPTCP session.
+type SecureSession struct {
+	// Server is the destination endpoint.
+	Server Destination
+	// Direct is the native path used for the handshake and first subflow.
+	Direct tcpsim.Path
+	// Tunnel is the detour tunneling mechanism.
+	Tunnel TunnelKind
+
+	mu            sync.Mutex
+	session       *tcpsim.Session
+	handshakeDone bool
+	handshakeTime sim.Time
+	exposures     []Exposure
+}
+
+// NewSecureSession prepares a session toward server over the direct path.
+func NewSecureSession(server Destination, direct tcpsim.Path, tunnel TunnelKind, rng *sim.RNG) *SecureSession {
+	if tunnel == 0 {
+		tunnel = TunnelVPN
+	}
+	return &SecureSession{
+		Server:  server,
+		Direct:  direct,
+		Tunnel:  tunnel,
+		session: tcpsim.NewSession(tcpsim.MinRTT, rng),
+	}
+}
+
+// Handshake completes TCP establishment plus the TLS exchange over the
+// direct path (2 direct-path RTTs: one for SYN/SYN-ACK, one for TLS 1.3)
+// and opens the direct subflow. It returns the handshake latency.
+func (s *SecureSession) Handshake() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.handshakeDone {
+		return s.handshakeTime
+	}
+	s.handshakeTime = 2 * s.Direct.RTT
+	s.handshakeDone = true
+	s.session.AddSubflow(s.Direct, "direct")
+	return s.handshakeTime
+}
+
+// HandshakeDone reports whether the TLS-first precondition holds.
+func (s *SecureSession) HandshakeDone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handshakeDone
+}
+
+// AddDetour joins a waypoint subflow. It fails before Handshake, enforcing
+// that detour subflows only ever carry TLS ciphertext. The waypoint's
+// exposure (server address visible, plaintext not) is recorded.
+func (s *SecureSession) AddDetour(m *Member) (*tcpsim.Subflow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.handshakeDone {
+		return nil, ErrHandshakeFirst
+	}
+	sf := s.session.AddSubflow(m.DetourPath(s.Tunnel), m.ID)
+	s.exposures = append(s.exposures, Exposure{
+		WaypointID:       m.ID,
+		ServerAddr:       s.Server,
+		PlaintextVisible: false,
+	})
+	return sf, nil
+}
+
+// Transfer runs a bulk transfer over the established session (handshake
+// latency is added to the reported duration).
+func (s *SecureSession) Transfer(bytes float64) (tcpsim.SessionStats, error) {
+	s.mu.Lock()
+	if !s.handshakeDone {
+		s.mu.Unlock()
+		return tcpsim.SessionStats{}, ErrHandshakeFirst
+	}
+	sess := s.session
+	hs := s.handshakeTime
+	s.mu.Unlock()
+	st, err := sess.Transfer(bytes, 0)
+	if err != nil {
+		return st, err
+	}
+	st.Duration += hs
+	return st, nil
+}
+
+// Exposures returns what each engaged waypoint learned.
+func (s *SecureSession) Exposures() []Exposure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Exposure, len(s.exposures))
+	copy(out, s.exposures)
+	return out
+}

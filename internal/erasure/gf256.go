@@ -1,0 +1,83 @@
+// Package erasure implements systematic Reed-Solomon erasure coding over
+// GF(2^8), the mechanism the paper's §IV-A names for preserving data-attic
+// contents across unreliable peers ("redundantly encoding the contents —
+// e.g., using erasure codes — and storing pieces with a variety of peers").
+//
+// A (k, m) code splits data into k shards and adds m parity shards; any k of
+// the k+m shards reconstruct the original data.
+package erasure
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), under which 2 generates the multiplicative group — the standard
+// Reed-Solomon field. Log/exp tables are built at package init.
+
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // doubled to avoid mod-255 in mul
+	gfLog [256]byte
+)
+
+// Table construction is deterministic pure computation; this is one of the
+// sanctioned uses of init (precomputed lookup tables).
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("erasure: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])*n)%255]
+}
+
+// mulSlice computes dst[i] ^= c * src[i] for all i (accumulating product).
+func mulAddSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

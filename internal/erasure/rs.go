@@ -1,0 +1,320 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the coder.
+var (
+	ErrTooFewShards    = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardSizeMixed  = errors.New("erasure: shards have differing sizes")
+	ErrShardCount      = errors.New("erasure: wrong number of shards")
+	ErrInvalidParams   = errors.New("erasure: k and m must be positive and k+m <= 255")
+	ErrEmptyData       = errors.New("erasure: empty data")
+	ErrShortShardSlice = errors.New("erasure: shard slice shorter than k+m")
+)
+
+// Coder is a systematic Reed-Solomon (k, m) coder: k data shards, m parity
+// shards, tolerating the loss of any m shards. Coders are immutable and safe
+// for concurrent use after construction.
+type Coder struct {
+	k, m int
+	// parityRows is the m x k encoding matrix: parity[i] = sum_j rows[i][j]*data[j].
+	parityRows [][]byte
+}
+
+// New constructs a (k, m) coder. k+m must be at most 255.
+func New(k, m int) (*Coder, error) {
+	if k <= 0 || m <= 0 || k+m > 255 {
+		return nil, ErrInvalidParams
+	}
+	// Build a systematic generator from a (k+m) x k Vandermonde matrix: rows
+	// r_i = [1, a_i, a_i^2, ...] with distinct a_i. Gaussian-eliminate the
+	// top k x k block to the identity; the bottom m rows become the parity
+	// matrix. Any k rows of the result are then linearly independent.
+	rows := make([][]byte, k+m)
+	for i := range rows {
+		rows[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			rows[i][j] = gfPow(byte(i+1), j)
+		}
+	}
+	// Multiply every row by the inverse of the top k x k block; the top
+	// block becomes the identity (systematic code) and the bottom m rows
+	// become the parity matrix. Any k rows remain linearly independent.
+	top := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		top[i] = make([]byte, k)
+		copy(top[i], rows[i])
+	}
+	inv, err := invertMatrix(top)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, m)
+	for i := 0; i < m; i++ {
+		parity[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			var acc byte
+			for t := 0; t < k; t++ {
+				acc ^= gfMul(rows[k+i][t], inv[t][j])
+			}
+			parity[i][j] = acc
+		}
+	}
+	return &Coder{k: k, m: m, parityRows: parity}, nil
+}
+
+// K returns the number of data shards.
+func (c *Coder) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Coder) M() int { return c.m }
+
+// invertMatrix inverts a square GF(256) matrix via Gauss-Jordan.
+func invertMatrix(a [][]byte) ([][]byte, error) {
+	n := len(a)
+	work := make([][]byte, n)
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		work[i] = make([]byte, n)
+		copy(work[i], a[i])
+		out[i] = make([]byte, n)
+		out[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("erasure: singular matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		out[col], out[pivot] = out[pivot], out[col]
+		// Normalize pivot row.
+		p := work[col][col]
+		if p != 1 {
+			ip := gfInv(p)
+			for j := 0; j < n; j++ {
+				work[col][j] = gfMul(work[col][j], ip)
+				out[col][j] = gfMul(out[col][j], ip)
+			}
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := 0; j < n; j++ {
+				work[r][j] ^= gfMul(f, work[col][j])
+				out[r][j] ^= gfMul(f, out[col][j])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Split pads data to a multiple of k and slices it into k equal data shards.
+// The original length must be carried out of band (Join takes it back).
+func (c *Coder) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
+	shardLen := (len(data) + c.k - 1) / c.k
+	shards := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:min(start+shardLen, len(data))])
+		}
+	}
+	return shards, nil
+}
+
+// Join reassembles the original data of length n from k data shards.
+func (c *Coder) Join(shards [][]byte, n int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrShardCount
+	}
+	out := make([]byte, 0, n)
+	for i := 0; i < c.k && len(out) < n; i++ {
+		if shards[i] == nil {
+			return nil, ErrTooFewShards
+		}
+		take := min(len(shards[i]), n-len(out))
+		out = append(out, shards[i][:take]...)
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("erasure: joined %d bytes, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+// Encode appends m parity shards to the k data shards, returning the full
+// k+m shard set. The input shards must all be the same length.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, ErrShardCount
+	}
+	size := len(data[0])
+	for _, s := range data {
+		if len(s) != size {
+			return nil, ErrShardSizeMixed
+		}
+	}
+	all := make([][]byte, c.k+c.m)
+	copy(all, data)
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(p, data[j], c.parityRows[i][j])
+		}
+		all[c.k+i] = p
+	}
+	return all, nil
+}
+
+// Reconstruct fills in missing (nil) shards in place. The slice must have
+// k+m entries; at least k must be non-nil. Both data and parity shards are
+// regenerated.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if len(shards) < c.k+c.m {
+		return ErrShortShardSlice
+	}
+	size := -1
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			if size < 0 {
+				size = len(s)
+			} else if len(s) != size {
+				return ErrShardSizeMixed
+			}
+			present++
+		}
+	}
+	if present < c.k {
+		return ErrTooFewShards
+	}
+	if present == c.k+c.m {
+		return nil
+	}
+
+	// Build the sub-generator: choose the first k present shards; each row
+	// expresses that shard as a combination of data shards (identity rows
+	// for data shards, parity rows for parity shards).
+	rows := make([][]byte, 0, c.k)
+	sub := make([][]byte, 0, c.k)
+	for idx := 0; idx < c.k+c.m && len(rows) < c.k; idx++ {
+		if shards[idx] == nil {
+			continue
+		}
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1
+		} else {
+			copy(row, c.parityRows[idx-c.k])
+		}
+		rows = append(rows, row)
+		sub = append(sub, shards[idx])
+	}
+	inv, err := invertMatrix(rows)
+	if err != nil {
+		return err
+	}
+
+	// Recover missing data shards: data[j] = sum_i inv[j][i] * sub[i].
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		d := make([]byte, size)
+		for i := 0; i < c.k; i++ {
+			mulAddSlice(d, sub[i], inv[j][i])
+		}
+		shards[j] = d
+	}
+	// Recompute missing parity shards from the (now complete) data shards.
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] != nil {
+			continue
+		}
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(p, shards[j], c.parityRows[i][j])
+		}
+		shards[c.k+i] = p
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data shards.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.k+c.m {
+		return false, ErrShardCount
+	}
+	size := len(shards[0])
+	for _, s := range shards {
+		if s == nil || len(s) != size {
+			return false, ErrShardSizeMixed
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulAddSlice(p, shards[j], c.parityRows[i][j])
+		}
+		for b := range p {
+			if p[b] != shards[c.k+i][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// EncodeBlob is a convenience: split + encode in one call, returning the
+// k+m shards and the original length (needed by DecodeBlob).
+func (c *Coder) EncodeBlob(data []byte) ([][]byte, int, error) {
+	split, err := c.Split(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	shards, err := c.Encode(split)
+	if err != nil {
+		return nil, 0, err
+	}
+	return shards, len(data), nil
+}
+
+// DecodeBlob reconstructs the original byte blob from a (possibly
+// incomplete) shard set and the original length.
+func (c *Coder) DecodeBlob(shards [][]byte, n int) ([]byte, error) {
+	work := make([][]byte, len(shards))
+	copy(work, shards)
+	if err := c.Reconstruct(work); err != nil {
+		return nil, err
+	}
+	return c.Join(work[:c.k], n)
+}
+
+// StorageOverhead returns the storage expansion factor (k+m)/k. Full
+// replication with r copies has factor r; RS typically does much better for
+// the same loss tolerance — one of the ablations DESIGN.md calls out.
+func (c *Coder) StorageOverhead() float64 {
+	return float64(c.k+c.m) / float64(c.k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,275 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hpop/internal/sim"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Multiplicative inverse: a * inv(a) == 1 for all non-zero a.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("a*inv(a) != 1 for a=%d", a)
+		}
+	}
+	// Distributivity spot checks over all pairs with a fixed c.
+	const c = 0x53
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b += 7 {
+			left := gfMul(byte(a), byte(b)^byte(c))
+			right := gfMul(byte(a), byte(b)) ^ gfMul(byte(a), byte(c))
+			if left != right {
+				t.Fatalf("distributivity fails at a=%d b=%d", a, b)
+			}
+		}
+	}
+	if gfMul(0, 5) != 0 || gfMul(7, 0) != 0 {
+		t.Error("multiplication by zero not zero")
+	}
+	if gfDiv(0, 9) != 0 {
+		t.Error("0/x != 0")
+	}
+	if gfDiv(gfMul(12, 7), 7) != 12 {
+		t.Error("div does not invert mul")
+	}
+	if gfPow(3, 0) != 1 || gfPow(0, 5) != 0 {
+		t.Error("gfPow edge cases wrong")
+	}
+}
+
+func TestGFPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("div by zero", func() { gfDiv(3, 0) })
+	mustPanic("inv of zero", func() { gfInv(0) })
+}
+
+func TestNewParamValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 56}} {
+		if _, err := New(bad[0], bad[1]); err != ErrInvalidParams {
+			t.Errorf("New(%d,%d) err = %v, want ErrInvalidParams", bad[0], bad[1], err)
+		}
+	}
+	if _, err := New(200, 55); err != nil {
+		t.Errorf("New(200,55) should be valid: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the data attic keeps the user's records at home, not in the cloud")
+	shards, n, err := c.EncodeBlob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("shards = %d, want 6", len(shards))
+	}
+	got, err := c.DecodeBlob(shards, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip without losses corrupted data")
+	}
+}
+
+func TestReconstructFromAnyKShards(t *testing.T) {
+	c, _ := New(4, 3)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	shards, n, err := c.EncodeBlob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every possible set of 3 shards (m=3) and reconstruct.
+	total := len(shards)
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			for d := b + 1; d < total; d++ {
+				work := make([][]byte, total)
+				copy(work, shards)
+				work[a], work[b], work[d] = nil, nil, nil
+				got, err := c.DecodeBlob(work, n)
+				if err != nil {
+					t.Fatalf("decode with losses {%d,%d,%d}: %v", a, b, d, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("corrupted reconstruction with losses {%d,%d,%d}", a, b, d)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(3, 2)
+	data := []byte("hello attic")
+	shards, _, _ := c.EncodeBlob(data)
+	shards[0], shards[1], shards[2] = nil, nil, nil // only 2 left, k=3
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Errorf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructRepairsParityToo(t *testing.T) {
+	c, _ := New(3, 2)
+	shards, n, _ := c.EncodeBlob([]byte("parity repair check, long enough to split"))
+	shards[1] = nil // data shard
+	shards[4] = nil // parity shard
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Errorf("Verify after repair = %v, %v; want true", ok, err)
+	}
+	got, err := c.Join(shards[:3], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parity repair check, long enough to split" {
+		t.Error("data wrong after parity repair")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(4, 2)
+	shards, _, _ := c.EncodeBlob(bytes.Repeat([]byte("abc"), 100))
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("clean verify = %v, %v", ok, err)
+	}
+	shards[2][5] ^= 0xFF
+	ok, err = c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Verify missed a corrupted data shard")
+	}
+}
+
+func TestSplitJoinEdgeCases(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.Split(nil); err != ErrEmptyData {
+		t.Errorf("Split(nil) err = %v", err)
+	}
+	// Length not divisible by k: padding must round-trip.
+	data := []byte("xyz") // 3 bytes, k=4 -> shardLen 1
+	shards, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Join(shards, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("Join = %q, want %q", got, data)
+	}
+	if _, err := c.Join(shards[:2], 3); err != ErrShardCount {
+		t.Errorf("short Join err = %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := New(3, 2)
+	if _, err := c.Encode([][]byte{{1}, {2}}); err != ErrShardCount {
+		t.Errorf("wrong count err = %v", err)
+	}
+	if _, err := c.Encode([][]byte{{1}, {2, 3}, {4}}); err != ErrShardSizeMixed {
+		t.Errorf("mixed size err = %v", err)
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	c, _ := New(4, 2)
+	if c.StorageOverhead() != 1.5 {
+		t.Errorf("overhead = %v, want 1.5", c.StorageOverhead())
+	}
+	if c.K() != 4 || c.M() != 2 {
+		t.Error("K/M accessors wrong")
+	}
+}
+
+// Property: for random data, random (k, m), and random loss patterns of at
+// most m shards, reconstruction always recovers the original bytes.
+func TestReconstructProperty(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		rng := sim.NewRNG(seed)
+		k := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		shards, n, err := c.EncodeBlob(raw)
+		if err != nil {
+			return false
+		}
+		// Drop up to m random shards.
+		losses := rng.Intn(m + 1)
+		perm := rng.Perm(k + m)
+		for i := 0; i < losses; i++ {
+			shards[perm[i]] = nil
+		}
+		got, err := c.DecodeBlob(shards, n)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode4x2_64KB(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	shards, _ := c.Split(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}
+
+func BenchmarkReconstruct4x2_64KB(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 64<<10)
+	shards, _, _ := c.EncodeBlob(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, len(shards))
+		copy(work, shards)
+		work[0], work[5] = nil, nil
+		if err := c.Reconstruct(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(64 << 10)
+}

@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Experiment tests assert the SHAPE of each result — who wins, by roughly
+// what factor, where crossovers fall — per the reproduction contract in
+// DESIGN.md. Small configs keep the suite fast; cmd/hpopbench runs the full
+// defaults.
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s missing cell (%d,%d): %+v", tab.ID, row, col, tab.Rows)
+	}
+	return tab.Rows[row][col]
+}
+
+// parseLeadingFloat extracts the first float in a cell like "42.1 Mbps".
+func parseLeadingFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	fields := strings.Fields(strings.TrimSuffix(s, "%"))
+	if len(fields) == 0 {
+		t.Fatalf("empty cell")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(fields[0], "x"), "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1SmallRunsClean(t *testing.T) {
+	tab, err := RunE1(E1Config{Apps: 2, FilesPerApp: 5, EditsPerFile: 2, HealthRecords: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(tab.Notes, "\n")
+	if !strings.Contains(joined, "no lost updates") {
+		t.Errorf("E1 notes = %q", joined)
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "0" {
+			t.Errorf("operation %s had errors: %s", row[0], row[2])
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tab, err := RunE2(E2Config{Homes: 10, Days: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := parseLeadingFloat(t, cell(t, tab, 0, 2))
+	up := parseLeadingFloat(t, cell(t, tab, 1, 2))
+	// Same decade as the paper's 0.1% / 1%.
+	if down < 0.01 || down > 0.6 {
+		t.Errorf("down fraction %.4f%% not within decade of 0.1%%", down)
+	}
+	if up < 0.2 || up > 4 {
+		t.Errorf("up fraction %.4f%% not within decade of 1%%", up)
+	}
+}
+
+func TestE3CrossoverAtTenHomes(t *testing.T) {
+	tab, err := RunE3(E3Config{Sweep: []int{5, 10, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tab, 0, 3); !strings.Contains(got, "access") {
+		t.Errorf("5 homes bottleneck = %s, want access", got)
+	}
+	if got := cell(t, tab, 2, 3); !strings.Contains(got, "aggregation") {
+		t.Errorf("50 homes bottleneck = %s, want aggregation", got)
+	}
+	// Per-flow rate at 50 homes = 10G/50 = 200 Mbps.
+	if rate := cell(t, tab, 2, 1); !strings.HasPrefix(rate, "200.00 Mbps") {
+		t.Errorf("50-home per-flow = %s", rate)
+	}
+}
+
+func TestE3LateralSurvivesCongestion(t *testing.T) {
+	tab, err := RunE3Lateral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := cell(t, tab, 0, 1)
+	congested := cell(t, tab, 1, 1)
+	if !strings.Contains(idle, "Gbps") || !strings.Contains(congested, "Gbps") {
+		t.Errorf("lateral rates: idle=%s congested=%s, want ~1 Gbps both", idle, congested)
+	}
+}
+
+func TestE4SecurityProperties(t *testing.T) {
+	cfg := E4Config{Peers: 5, ObjectsPerPage: 10, ObjectBytes: 4 << 10, PageViews: 5, Seed: 3}
+	tab, err := RunE4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined string
+	for _, row := range tab.Rows {
+		joined += strings.Join(row, " | ") + "\n"
+	}
+	if !strings.Contains(joined, "0 corrupted pages rendered") {
+		t.Errorf("integrity rows missing: %s", joined)
+	}
+	if !strings.Contains(joined, "suspended=true") {
+		t.Errorf("collusion row missing suspension: %s", joined)
+	}
+	// Origin reduction factor is substantial.
+	for _, row := range tab.Rows {
+		if row[0] == "origin reduction (warm)" {
+			if parseLeadingFloat(t, row[1]) < 3 {
+				t.Errorf("origin reduction = %s, want > 3x", row[1])
+			}
+		}
+	}
+}
+
+func TestE4SelectionAblation(t *testing.T) {
+	cfg := E4Config{Peers: 6, ObjectsPerPage: 12, ObjectBytes: 2 << 10, PageViews: 3, Seed: 4}
+	tab, err := RunE4Selection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randRTT, proxRTT float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "random":
+			randRTT = parseLeadingFloat(t, row[1])
+		case "proximity":
+			proxRTT = parseLeadingFloat(t, row[1])
+		}
+	}
+	if proxRTT >= randRTT {
+		t.Errorf("proximity RTT %.1f not below random %.1f", proxRTT, randRTT)
+	}
+}
+
+func TestE4ChunkingSpreadsLoad(t *testing.T) {
+	tab, err := RunE4Chunking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholePeers := parseLeadingFloat(t, cell(t, tab, 0, 1))
+	chunkPeers := parseLeadingFloat(t, cell(t, tab, 1, 1))
+	if chunkPeers <= wholePeers {
+		t.Errorf("chunked served by %v peers, whole by %v", chunkPeers, wholePeers)
+	}
+	maxShare := parseLeadingFloat(t, cell(t, tab, 1, 2))
+	if maxShare > 60 {
+		t.Errorf("chunked max single-peer share = %v%%, want < 60%%", maxShare)
+	}
+}
+
+func TestE5DetourShape(t *testing.T) {
+	tab, err := RunE5(E5Config{TransferBytes: 5e6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 direct 1.00x; rows 1..3 gains; one-waypoint gain captures most
+	// of the four-waypoint gain.
+	gain1 := parseLeadingFloat(t, cell(t, tab, 1, 2))
+	gain4 := parseLeadingFloat(t, cell(t, tab, 3, 2))
+	if gain1 <= 1.2 {
+		t.Errorf("single-waypoint gain = %.2fx, want > 1.2x", gain1)
+	}
+	if (gain1 - 1) < 0.5*(gain4-1) {
+		t.Errorf("single waypoint captured only %.0f%% of 4-waypoint gain",
+			100*(gain1-1)/(gain4-1))
+	}
+	// Exploration expelled the dropper.
+	notes := strings.Join(tab.Notes, " ")
+	if !strings.Contains(notes, "expelled [dropper]") {
+		t.Errorf("notes = %s", notes)
+	}
+}
+
+func TestE5SteeringMonotone(t *testing.T) {
+	tab, err := RunE5Steering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 101.0
+	for i := range tab.Rows {
+		share := parseLeadingFloat(t, cell(t, tab, i, 1))
+		if share > prev+5 { // allow small wobble
+			t.Errorf("share via A rose with more delay: row %d = %.1f%% after %.1f%%", i, share, prev)
+		}
+		prev = share
+	}
+	first := parseLeadingFloat(t, cell(t, tab, 0, 1))
+	last := parseLeadingFloat(t, cell(t, tab, len(tab.Rows)-1, 1))
+	if last >= first-10 {
+		t.Errorf("steering weak: %.1f%% -> %.1f%%", first, last)
+	}
+}
+
+func TestE6PaperNumbers(t *testing.T) {
+	tab, err := RunE6(DefaultE6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(tab.Notes, " ")
+	if !strings.Contains(notes, "10 RTTs") {
+		t.Errorf("notes = %s", notes)
+	}
+	// A 10 KB transfer achieves a tiny utilization; 1 GB approaches 100%.
+	small := parseLeadingFloat(t, cell(t, tab, 0, 3))
+	big := parseLeadingFloat(t, cell(t, tab, len(tab.Rows)-1, 3))
+	if small > 1 {
+		t.Errorf("10 KB utilization = %v%%, want < 1%%", small)
+	}
+	if big < 80 {
+		t.Errorf("1 GB utilization = %v%%, want > 80%%", big)
+	}
+}
+
+func TestE7AggressivenessMonotoneHitRate(t *testing.T) {
+	cfg := E7Config{CorpusObjects: 3000, HistoryDays: 10, Homes: 4, Seed: 13}
+	tab, err := RunE7Aggressiveness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// aggressiveness 0 still has a demand-cache baseline (revisits within
+	// the day hit); prefetching must add meaningfully on top of it.
+	zero := parseLeadingFloat(t, cell(t, tab, 0, 2))
+	full := parseLeadingFloat(t, cell(t, tab, len(tab.Rows)-1, 2))
+	if full < zero+5 {
+		t.Errorf("hit rate: aggressiveness 0 -> %v%%, 1.0 -> %v%%; prefetch added nothing", zero, full)
+	}
+	if full < 30 {
+		t.Errorf("full-aggressiveness hit rate = %v%%, want > 30%%", full)
+	}
+}
+
+func TestE7FreshnessTradeoff(t *testing.T) {
+	cfg := E7Config{CorpusObjects: 3000, HistoryDays: 10, Homes: 4, Seed: 13}
+	tab, err := RunE7Freshness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More frequent revalidation (first row) costs more upstream requests
+	// than the laziest (last row).
+	frequent := parseLeadingFloat(t, cell(t, tab, 0, 2))
+	lazy := parseLeadingFloat(t, cell(t, tab, len(tab.Rows)-1, 2))
+	if frequent <= lazy {
+		t.Errorf("upstream requests: frequent %v <= lazy %v", frequent, lazy)
+	}
+}
+
+func TestE7SmoothingReducesPeak(t *testing.T) {
+	tab, err := RunE7Smoothing(E7Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := parseLeadingFloat(t, cell(t, tab, 0, 1))
+	after := parseLeadingFloat(t, cell(t, tab, 1, 1))
+	if after >= before {
+		t.Errorf("peak not reduced: %v -> %v", before, after)
+	}
+}
+
+func TestE7CoopSavesAggregation(t *testing.T) {
+	cfg := E7Config{CorpusObjects: 3000, HistoryDays: 5, Homes: 5, Seed: 17}
+	tab, err := RunE7Coop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(tab.Notes, " ")
+	if !strings.Contains(notes, "cut shared-uplink bytes") {
+		t.Errorf("notes = %s", notes)
+	}
+}
+
+func TestE8MatrixConsistency(t *testing.T) {
+	tab, err := RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		method := row[2]
+		verified := row[3]
+		if method == "stun" && verified == "false" {
+			t.Errorf("planner chose STUN but punch failed: %v", row)
+		}
+		if method == "turn" && !strings.Contains(row[0]+row[1], "symmetric") {
+			t.Errorf("TURN without a symmetric side: %v", row)
+		}
+	}
+}
+
+func TestE8RelayPenalty(t *testing.T) {
+	tab, err := RunE8Relay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := parseLeadingFloat(t, cell(t, tab, 0, 3))
+	relay := parseLeadingFloat(t, cell(t, tab, 1, 3))
+	if relay >= direct {
+		t.Errorf("relay rate %v not below direct %v", relay, direct)
+	}
+}
+
+func TestE9AvailabilityMatchesClosedForm(t *testing.T) {
+	tab, err := RunE9Availability(E9Config{Trials: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		closed := parseLeadingFloat(t, row[3])
+		simulated := parseLeadingFloat(t, row[4])
+		if diff := closed - simulated; diff > 3 || diff < -3 {
+			t.Errorf("plan %s at p=%s: closed %v%% vs simulated %v%%", row[1], row[0], closed, simulated)
+		}
+	}
+}
+
+func TestE9TunnelNumbers(t *testing.T) {
+	tab, err := RunE9Tunnels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tab, 0, 1); got != "36 B" {
+		t.Errorf("VPN overhead = %s", got)
+	}
+	if got := cell(t, tab, 1, 1); got != "0 B" {
+		t.Errorf("NAT overhead = %s", got)
+	}
+	// NAT: 25 distinct destinations -> 25 signals; VPN: 1 setup.
+	if got := cell(t, tab, 0, 3); got != "1" {
+		t.Errorf("VPN setups = %s", got)
+	}
+	if got := cell(t, tab, 1, 4); got != "25" {
+		t.Errorf("NAT signals = %s", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "c",
+		Columns: []string{"a", "long-column"},
+	}
+	tab.AddRow("1", "2")
+	tab.Notef("note %d", 7)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "paper: c", "long-column", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 22 {
+		t.Errorf("registry has %d experiments: %v", len(ids), ids)
+	}
+	// Every DESIGN.md top-level experiment is present.
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E8", "E9a"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestE4ReuseReducesGenerations(t *testing.T) {
+	tab, err := RunE4Reuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled := parseLeadingFloat(t, cell(t, tab, 0, 2))
+	longTTL := parseLeadingFloat(t, cell(t, tab, 2, 2))
+	if disabled != 50 {
+		t.Errorf("disabled generations = %v, want 50 (one per view)", disabled)
+	}
+	if longTTL >= disabled/10 {
+		t.Errorf("1m TTL generations = %v, want <5", longTTL)
+	}
+}
+
+func TestE7DeepWebGating(t *testing.T) {
+	tab, err := RunE7DeepWeb(E7Config{CorpusObjects: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "webmail", "news-subscription":
+			if row[1] != "granted" || parseLeadingFloat(t, row[2]) == 0 {
+				t.Errorf("credentialed site row = %v", row)
+			}
+		case "social", "banking":
+			if row[1] != "none" || !strings.Contains(row[2], "refused") {
+				t.Errorf("uncredentialed site row = %v", row)
+			}
+		}
+	}
+	if !strings.Contains(strings.Join(tab.Notes, " "), "digest repackaged") {
+		t.Error("digest note missing")
+	}
+}
+
+func TestE3CityHierarchy(t *testing.T) {
+	tab, err := RunE3City()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := parseLeadingFloat(t, cell(t, tab, 0, 1))
+	lateral := parseLeadingFloat(t, cell(t, tab, 1, 1))
+	if device <= lateral {
+		t.Errorf("device tier %v not above lateral %v", device, lateral)
+	}
+	// Under contention the top two tiers hold; the WAN tier degrades.
+	latContended := cell(t, tab, 1, 2)
+	if !strings.Contains(latContended, "Gbps") {
+		t.Errorf("lateral under contention = %s, want ~1 Gbps", latContended)
+	}
+	wanIdle := parseLeadingFloat(t, cell(t, tab, 3, 1))
+	wanContended := parseLeadingFloat(t, cell(t, tab, 3, 2))
+	wanUnit := cell(t, tab, 3, 2)
+	if strings.Contains(wanUnit, "Gbps") {
+		wanContended *= 1000
+	}
+	if strings.Contains(cell(t, tab, 3, 1), "Gbps") {
+		wanIdle *= 1000
+	}
+	if wanContended >= wanIdle {
+		t.Errorf("WAN tier did not degrade under contention: %v -> %v", wanIdle, wanContended)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces one experiment table with default parameters.
+type Runner func() (*Table, error)
+
+// Registry maps experiment IDs to runners with default configurations.
+// cmd/hpopbench exposes this on the command line; EXPERIMENTS.md records
+// outputs per ID.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  func() (*Table, error) { return RunE1(DefaultE1()) },
+		"E2":  func() (*Table, error) { return RunE2(DefaultE2()) },
+		"E3":  func() (*Table, error) { return RunE3(DefaultE3()) },
+		"E3b": RunE3Lateral,
+		"E3c": RunE3City,
+		"E4":  func() (*Table, error) { return RunE4(DefaultE4()) },
+		"E4b": func() (*Table, error) { return RunE4Selection(DefaultE4()) },
+		"E4c": RunE4Chunking,
+		"E4d": RunE4Reuse,
+		"E5":  func() (*Table, error) { return RunE5(DefaultE5()) },
+		"E5b": RunE5Steering,
+		"E5c": RunE5Scheduler,
+		"E6":  func() (*Table, error) { return RunE6(DefaultE6()) },
+		"E7a": func() (*Table, error) { return RunE7Aggressiveness(DefaultE7()) },
+		"E7b": func() (*Table, error) { return RunE7Freshness(DefaultE7()) },
+		"E7c": func() (*Table, error) { return RunE7Smoothing(DefaultE7()) },
+		"E7d": func() (*Table, error) { return RunE7Coop(DefaultE7()) },
+		"E7e": func() (*Table, error) { return RunE7DeepWeb(DefaultE7()) },
+		"E8":  RunE8,
+		"E8b": RunE8Relay,
+		"E9a": func() (*Table, error) { return RunE9Availability(DefaultE9()) },
+		"E9b": RunE9Tunnels,
+	}
+}
+
+// IDs returns all experiment IDs in run order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment, printing each table to w. It returns
+// the first error but keeps going so one failure doesn't mask others.
+func RunAll(w io.Writer) error {
+	var firstErr error
+	for _, id := range IDs() {
+		t, err := Registry()[id]()
+		if err != nil {
+			fmt.Fprintf(w, "== %s: ERROR: %v ==\n\n", id, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", id, err)
+			}
+			continue
+		}
+		t.Fprint(w)
+	}
+	return firstErr
+}

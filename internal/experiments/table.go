@@ -1,0 +1,120 @@
+// Package experiments regenerates every figure and quantitative claim of
+// the paper as a printable table, per DESIGN.md's experiment index
+// (E1..E9). cmd/hpopbench drives it from the command line and the
+// repository-root bench_test.go wraps each experiment in a testing.B
+// benchmark.
+//
+// The paper is a vision paper: its "evaluation" is Figures 1-3
+// (architecture/workflow figures backed by prototypes) plus quantitative
+// claims embedded in the text. Each experiment here reproduces the
+// corresponding behaviour and prints claimed-vs-measured rows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's corresponding claim, quoted or paraphrased
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Notef appends a formatted note line.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtBps renders a bits/sec value with a human unit.
+func fmtBps(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f Mbps", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2f Kbps", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", v)
+	}
+}
+
+// fmtBytes renders a byte count with a human unit.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f GB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f KB", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(frac float64) string {
+	return fmt.Sprintf("%.3f%%", frac*100)
+}

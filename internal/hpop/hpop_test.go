@@ -1,0 +1,222 @@
+package hpop
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"hpop/internal/nat"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.Add("requests", 1)
+	m.Add("requests", 2)
+	if got := m.Counter("requests"); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	m.Set("temperature", 42)
+	m.Set("temperature", 17)
+	if got := m.Gauge("temperature"); got != 17 {
+		t.Errorf("gauge = %v, want 17", got)
+	}
+	snap := m.Snapshot()
+	if snap["requests"] != 3 || snap["temperature"] != 17 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	names := m.Names()
+	if len(names) != 2 || names[0] != "requests" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 10000 {
+		t.Errorf("counter = %v, want 10000", got)
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := NewEventLog(3, nil)
+	for i := 0; i < 5; i++ {
+		l.Logf("svc", "event %d", i)
+	}
+	events := l.Recent(0)
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Message != "event 2" || events[2].Message != "event 4" {
+		t.Errorf("kept wrong events: %+v", events)
+	}
+	two := l.Recent(2)
+	if len(two) != 2 || two[1].Message != "event 4" {
+		t.Errorf("Recent(2) = %+v", two)
+	}
+}
+
+func TestRegisterAndLifecycle(t *testing.T) {
+	h := New(Config{Name: "test-home"})
+	var started, stopped []string
+	mk := func(name string) Service {
+		return &FuncService{
+			ServiceName: name,
+			OnStart: func(ctx *ServiceContext) error {
+				started = append(started, name)
+				ctx.Mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+					fmt.Fprint(w, name)
+				})
+				return nil
+			},
+			OnStop: func() error {
+				stopped = append(stopped, name)
+				return nil
+			},
+		}
+	}
+	if err := h.Register(mk("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(mk("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(mk("alpha")); err != ErrDuplicateName {
+		t.Errorf("dup register err = %v", err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop(context.Background())
+	if err := h.Start(); err != ErrAlreadyStarted {
+		t.Errorf("double start err = %v", err)
+	}
+	if err := h.Register(mk("late")); err != ErrAlreadyStarted {
+		t.Errorf("late register err = %v", err)
+	}
+	if len(started) != 2 || started[0] != "alpha" {
+		t.Errorf("start order = %v", started)
+	}
+
+	// The mux serves service handlers.
+	resp, err := http.Get(h.URL() + "/beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("service endpoint status = %d", resp.StatusCode)
+	}
+
+	if err := h.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(stopped) != 2 || stopped[0] != "beta" {
+		t.Errorf("stop order = %v, want reverse of start", stopped)
+	}
+	if err := h.Stop(context.Background()); err != ErrNotStarted {
+		t.Errorf("double stop err = %v", err)
+	}
+}
+
+func TestStartFailureRollsBack(t *testing.T) {
+	h := New(Config{})
+	var stopped []string
+	ok := &FuncService{
+		ServiceName: "ok",
+		OnStop:      func() error { stopped = append(stopped, "ok"); return nil },
+	}
+	boom := &FuncService{
+		ServiceName: "boom",
+		OnStart:     func(*ServiceContext) error { return errors.New("kaput") },
+	}
+	h.Register(ok)
+	h.Register(boom)
+	err := h.Start()
+	if err == nil {
+		t.Fatal("Start succeeded despite failing service")
+	}
+	if len(stopped) != 1 || stopped[0] != "ok" {
+		t.Errorf("rollback stops = %v", stopped)
+	}
+	// The appliance must remain restartable... after removing the bad
+	// service it cannot be (services are fixed), but state must be clean:
+	if h.URL() != "" {
+		t.Error("URL set despite failed start")
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	h := New(Config{Name: "status-home"})
+	h.Register(&FuncService{ServiceName: "svc1"})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop(context.Background())
+	h.Metrics().Add("things", 7)
+
+	resp, err := http.Get(h.URL() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Name     string             `json:"name"`
+		Services []string           `json:"services"`
+		Metrics  map[string]float64 `json:"metrics"`
+		Events   []Event            `json:"recentEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Name != "status-home" || len(body.Services) != 1 || body.Metrics["things"] != 7 {
+		t.Errorf("status = %+v", body)
+	}
+	if len(body.Events) == 0 {
+		t.Error("no events in status")
+	}
+}
+
+func TestPlanReachability(t *testing.T) {
+	h := New(Config{
+		NAT: nat.Endpoint{Chain: []nat.Type{nat.PortRestrictedCone}, UPnP: true},
+	})
+	plan := h.PlanReachability(nat.Endpoint{})
+	if plan.Method != nat.UPnP {
+		t.Errorf("plan = %+v, want UPnP", plan)
+	}
+}
+
+func TestStopTimeout(t *testing.T) {
+	h := New(Config{})
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := h.Stop(ctx); err != nil {
+		t.Errorf("Stop: %v", err)
+	}
+}
+
+func TestDefaultName(t *testing.T) {
+	h := New(Config{})
+	if h.Name() != "hpop" {
+		t.Errorf("default name = %q", h.Name())
+	}
+}

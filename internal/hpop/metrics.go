@@ -1,0 +1,85 @@
+// Package hpop implements the home point of presence appliance core: a
+// service registry with lifecycle management, an HTTP front end that hosts
+// service handlers, a metrics registry, an event log, and the reachability
+// planner that applies §III's NAT-traversal ladder (UPnP, then STUN, then
+// TURN relaying).
+//
+// Services (the data attic, a NoCDN peer, a DCol waypoint, the
+// Internet@home cache) implement the Service interface and are registered
+// on one HPoP, which is "operational as long as there is power and online as
+// long as there is Internet connectivity".
+package hpop
+
+import (
+	"sort"
+	"sync"
+)
+
+// Metrics is a simple thread-safe counter/gauge registry shared by services.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Add increments a counter by delta.
+func (m *Metrics) Add(name string, delta float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+// Counter returns a counter's current value.
+func (m *Metrics) Counter(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Set sets a gauge.
+func (m *Metrics) Set(name string, value float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = value
+}
+
+// Gauge returns a gauge's current value.
+func (m *Metrics) Gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Snapshot returns all metrics as a name->value map (counters and gauges
+// merged; gauge names win on collision).
+func (m *Metrics) Snapshot() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.counters)+len(m.gauges))
+	for k, v := range m.counters {
+		out[k] = v
+	}
+	for k, v := range m.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns all metric names, sorted (stable output for status pages).
+func (m *Metrics) Names() []string {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

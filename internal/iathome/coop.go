@@ -1,0 +1,204 @@
+package iathome
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hpop/internal/sim"
+	"hpop/internal/webmodel"
+)
+
+// This file implements "A Cooperative Cache": "neighboring HPoPs can link
+// together to coordinate their content gathering activities and avoid
+// duplicate retrievals and storage of content in an effort to save
+// aggregate capacity to the neighborhood. Content can then be shared by all
+// hosts within the community in a peer-to-peer manner."
+
+// Ring is a consistent-hash ring mapping objects to responsible homes, so
+// membership churn (a home joining/leaving the cooperative) remaps only a
+// small fraction of responsibility.
+type Ring struct {
+	vnodes int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	home string
+}
+
+// NewRing builds a ring with the given virtual-node count per home
+// (default 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes}
+}
+
+func hash64(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Add inserts a home into the ring.
+func (r *Ring) Add(home string) {
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hash64(fmt.Sprintf("%s#%d", home, i)),
+			home: home,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a home from the ring.
+func (r *Ring) Remove(home string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.home != home {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the home responsible for an object.
+func (r *Ring) Owner(objID int) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(fmt.Sprintf("obj%d", objID))
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	return r.points[idx].home
+}
+
+// Homes returns the distinct homes on the ring.
+func (r *Ring) Homes() []string {
+	set := make(map[string]bool)
+	for _, p := range r.points {
+		set[p.home] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoopStats tallies where request bytes came from.
+type CoopStats struct {
+	LocalHits    int64
+	NeighborHits int64
+	Upstream     int64
+	// Bytes over the shared aggregation link (the resource cooperation
+	// conserves) vs lateral neighborhood links (nearly free).
+	AggregationBytes int64
+	LateralBytes     int64
+}
+
+// CoopCache is a neighborhood of cooperating HPoP caches.
+type CoopCache struct {
+	Corpus *webmodel.Corpus
+	ring   *Ring
+	caches map[string]*Cache
+	// Cooperative toggles neighbor lookups; when false every home fends for
+	// itself (the baseline the experiment compares against).
+	Cooperative bool
+
+	Stats CoopStats
+}
+
+// NewCoopCache builds a cooperative with the given home names.
+func NewCoopCache(corpus *webmodel.Corpus, homes []string, cooperative bool) *CoopCache {
+	cc := &CoopCache{
+		Corpus:      corpus,
+		ring:        NewRing(0),
+		caches:      make(map[string]*Cache, len(homes)),
+		Cooperative: cooperative,
+	}
+	for _, h := range homes {
+		cc.ring.Add(h)
+		cc.caches[h] = NewCache()
+	}
+	return cc
+}
+
+// Cache returns one home's cache (tests, inspection).
+func (cc *CoopCache) Cache(home string) *Cache { return cc.caches[home] }
+
+// Request serves one object request from the given home at time t,
+// following the hierarchy: local cache, then (if cooperative) the
+// responsible neighbor via lateral bandwidth, then upstream over the
+// aggregation link. In cooperative mode exactly one neighborhood copy
+// exists — at the object's responsible home — avoiding both duplicate
+// retrievals and duplicate storage; other homes re-fetch it laterally,
+// which the gigabit neighborhood makes nearly free (§II).
+func (cc *CoopCache) Request(home string, objID int, t sim.Time) (source string) {
+	o := cc.Corpus.Get(objID)
+	local := cc.caches[home]
+	if present, fresh := local.Has(o, t); present && fresh {
+		cc.Stats.LocalHits++
+		return "local"
+	}
+	if cc.Cooperative {
+		owner := cc.ring.Owner(objID)
+		if owner != home {
+			oc := cc.caches[owner]
+			if present, fresh := oc.Has(o, t); present && fresh {
+				// Peer-to-peer transfer across the neighborhood switch; the
+				// single copy stays at the owner.
+				cc.Stats.NeighborHits++
+				cc.Stats.LateralBytes += int64(o.Size)
+				return "neighbor"
+			}
+			// Owner fetches upstream once and keeps the neighborhood copy;
+			// the requester receives it laterally.
+			cc.Stats.Upstream++
+			cc.Stats.AggregationBytes += int64(o.Size)
+			cc.Stats.LateralBytes += int64(o.Size)
+			oc.Put(o, t)
+			return "upstream"
+		}
+	}
+	// Own responsibility (or no cooperation): fetch upstream.
+	cc.Stats.Upstream++
+	cc.Stats.AggregationBytes += int64(o.Size)
+	local.Put(o, t)
+	return "upstream"
+}
+
+// ReplayNeighborhood runs per-home request traces through the cooperative,
+// interleaved in time order.
+func (cc *CoopCache) ReplayNeighborhood(traces map[string][]webmodel.Request) {
+	type ev struct {
+		home string
+		req  webmodel.Request
+	}
+	var events []ev
+	for home, trace := range traces {
+		for _, r := range trace {
+			events = append(events, ev{home, r})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].req.Time < events[j].req.Time })
+	for _, e := range events {
+		cc.Request(e.home, e.req.ObjectID, e.req.Time)
+	}
+}
+
+// TotalStoredBytes sums storage across homes (cooperation also deduplicates
+// storage).
+func (cc *CoopCache) TotalStoredBytes() int64 {
+	var n int64
+	for _, c := range cc.caches {
+		n += c.Bytes
+	}
+	return n
+}

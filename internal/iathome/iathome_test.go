@@ -1,0 +1,515 @@
+package iathome
+
+import (
+	"bytes"
+	"testing"
+
+	"hpop/internal/sim"
+	"hpop/internal/vfs"
+	"hpop/internal/webmodel"
+)
+
+func smallCorpus(seed uint64) *webmodel.Corpus {
+	return webmodel.NewCorpus(sim.NewRNG(seed), webmodel.CorpusConfig{
+		Objects:         2000,
+		MeanChangeHours: 6,
+	})
+}
+
+func TestCacheFreshness(t *testing.T) {
+	c := NewCache()
+	o := &webmodel.Object{ID: 1, Size: 100, ChangePeriod: 1000}
+	if p, _ := c.Has(o, 0); p {
+		t.Error("empty cache has object")
+	}
+	c.Put(o, 10)
+	if p, f := c.Has(o, 500); !p || !f {
+		t.Error("fresh copy misreported")
+	}
+	if p, f := c.Has(o, 1500); !p || f {
+		t.Error("stale copy misreported")
+	}
+	if c.Bytes != 100 || c.Len() != 1 {
+		t.Errorf("accounting: %d bytes, %d entries", c.Bytes, c.Len())
+	}
+	// Refresh replaces, not duplicates.
+	c.Put(o, 1500)
+	if c.Bytes != 100 || c.Len() != 1 {
+		t.Errorf("after refresh: %d bytes, %d entries", c.Bytes, c.Len())
+	}
+}
+
+func TestBuildScope(t *testing.T) {
+	history := map[int]int{1: 100, 2: 50, 3: 10, 4: 5}
+	top := BuildScope(history, 0.5)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("scope(0.5) = %v", top)
+	}
+	all := BuildScope(history, 1.0)
+	if len(all) != 4 {
+		t.Errorf("scope(1.0) = %v", all)
+	}
+	if got := BuildScope(history, 0); got != nil {
+		t.Errorf("scope(0) = %v", got)
+	}
+	// Over-1 clamps; tiny fraction keeps at least one.
+	if len(BuildScope(history, 5)) != 4 {
+		t.Error("aggressiveness > 1 not clamped")
+	}
+	if len(BuildScope(history, 0.0001)) != 1 {
+		t.Error("tiny aggressiveness dropped everything")
+	}
+	// Ties break deterministically by ID.
+	tied := map[int]int{7: 5, 3: 5, 9: 5}
+	if got := BuildScope(tied, 1)[0]; got != 3 {
+		t.Errorf("tie-break first = %d, want 3", got)
+	}
+}
+
+func TestPrefetcherFillAndHitRate(t *testing.T) {
+	corpus := smallCorpus(1)
+	profile := webmodel.NewProfile(sim.NewRNG(2), corpus, 200, 1.1, 400)
+	history := webmodel.Frequencies(profile.Trace(sim.NewRNG(3), 30))
+
+	run := func(aggr float64) (hitRate float64, upstream UpstreamStats) {
+		cache := NewCache()
+		p := &Prefetcher{
+			Corpus:          corpus,
+			Cache:           cache,
+			Scope:           BuildScope(history, aggr),
+			RevalidateEvery: 3600,
+		}
+		creds := NewCredentialStore()
+		for _, site := range []string{"webmail", "social", "news-subscription", "banking"} {
+			creds.Grant(site)
+		}
+		p.Credentials = creds
+		up := p.Fill(30 * 86400)
+		up.Add(p.Maintain(30*86400, 31*86400))
+		day31 := profile.Trace(sim.NewRNG(4), 1)
+		for i := range day31 {
+			day31[i].Time += 30 * 86400
+		}
+		res := Replay(day31, corpus, cache)
+		return res.HitLatency, up
+	}
+
+	lowHit, lowUp := run(0.1)
+	highHit, highUp := run(0.9)
+	if highHit <= lowHit {
+		t.Errorf("hit rate not increasing in aggressiveness: %.2f -> %.2f", lowHit, highHit)
+	}
+	if highUp.Bytes <= lowUp.Bytes {
+		t.Errorf("upstream cost not increasing in aggressiveness: %d -> %d", lowUp.Bytes, highUp.Bytes)
+	}
+	if highHit < 0.3 {
+		t.Errorf("aggressive prefetch hit rate only %.2f", highHit)
+	}
+}
+
+func TestFreshnessVsUpstreamTradeoff(t *testing.T) {
+	corpus := smallCorpus(5)
+	profile := webmodel.NewProfile(sim.NewRNG(6), corpus, 100, 1.1, 300)
+	history := webmodel.Frequencies(profile.Trace(sim.NewRNG(7), 30))
+	scope := BuildScope(history, 0.8)
+
+	run := func(revalidate sim.Time) (staleFrac float64, upstreamReqs int64) {
+		cache := NewCache()
+		creds := NewCredentialStore()
+		for _, s := range []string{"webmail", "social", "news-subscription", "banking"} {
+			creds.Grant(s)
+		}
+		p := &Prefetcher{
+			Corpus: corpus, Cache: cache, Scope: scope,
+			RevalidateEvery: revalidate, Credentials: creds,
+		}
+		up := p.Fill(30 * 86400)
+		up.Add(p.Maintain(30*86400, 31*86400))
+		day := profile.Trace(sim.NewRNG(8), 1)
+		for i := range day {
+			day[i].Time += 30 * 86400
+		}
+		res := Replay(day, corpus, cache)
+		total := res.FreshHits + res.StaleHits
+		if total == 0 {
+			return 0, up.Requests
+		}
+		return float64(res.StaleHits) / float64(total), up.Requests
+	}
+
+	freshStale, freshReqs := run(600)    // revalidate every 10 min
+	lazyStale, lazyReqs := run(6 * 3600) // every 6 h
+	if freshReqs <= lazyReqs {
+		t.Errorf("frequent revalidation not costlier: %d vs %d requests", freshReqs, lazyReqs)
+	}
+	if freshStale >= lazyStale {
+		t.Errorf("frequent revalidation not fresher: stale %.3f vs %.3f", freshStale, lazyStale)
+	}
+}
+
+func TestDeepWebCredentialGate(t *testing.T) {
+	corpus := smallCorpus(9)
+	// Find some deep object IDs.
+	var deep []int
+	for i := 0; i < corpus.Len() && len(deep) < 20; i++ {
+		if corpus.Get(i).Deep {
+			deep = append(deep, i)
+		}
+	}
+	if len(deep) < 20 {
+		t.Fatal("corpus generated too few deep objects")
+	}
+	cache := NewCache()
+	p := &Prefetcher{Corpus: corpus, Cache: cache, Scope: deep, RevalidateEvery: 3600}
+	// No credentials at all: nothing fetched.
+	stats := p.Fill(0)
+	if stats.Requests != 0 || p.Skipped != len(deep) {
+		t.Errorf("no-cred fill fetched %d, skipped %d", stats.Requests, p.Skipped)
+	}
+	// Credentials for one site class only.
+	creds := NewCredentialStore()
+	creds.Grant("webmail")
+	p.Credentials = creds
+	p.Skipped = 0
+	stats = p.Fill(0)
+	wantFetched := 0
+	for _, id := range deep {
+		if DeepSiteOf(id) == "webmail" {
+			wantFetched++
+		}
+	}
+	if int(stats.Requests) != wantFetched {
+		t.Errorf("fetched %d deep objects, want %d (webmail only)", stats.Requests, wantFetched)
+	}
+}
+
+func TestReplayCountsStaleSeparately(t *testing.T) {
+	corpus := smallCorpus(11)
+	// Build a mutable object trace manually.
+	var mutableID int = -1
+	for i := 0; i < corpus.Len(); i++ {
+		o := corpus.Get(i)
+		if !o.Deep && o.ChangePeriod > 0 && o.ChangePeriod < 7200 {
+			mutableID = i
+			break
+		}
+	}
+	if mutableID < 0 {
+		t.Skip("no fast-changing object in corpus")
+	}
+	o := corpus.Get(mutableID)
+	cache := NewCache()
+	cache.Put(o, 0)
+	later := sim.Time(float64(o.ChangePeriod) * 2.5)
+	res := Replay([]webmodel.Request{
+		{Time: 1, ObjectID: mutableID},     // fresh
+		{Time: later, ObjectID: mutableID}, // stale by then
+	}, corpus, cache)
+	if res.FreshHits != 1 || res.StaleHits != 1 || res.Misses != 0 {
+		t.Errorf("replay = %+v", res)
+	}
+	// The stale hit refreshed the cache.
+	if p, f := cache.Has(o, later); !p || !f {
+		t.Error("stale hit did not refresh cache")
+	}
+}
+
+func TestTriggerEngine(t *testing.T) {
+	fs := vfs.New()
+	fs.MkdirAll("/docs")
+	fs.Write("/docs/tax-2025.txt", []byte("holdings: AAPL 100 shares, MSFT 20, and some cash"))
+	fs.Write("/docs/recipe.txt", []byte("AAPL pie with GOOG sauce")) // not financial: ignored
+	fs.Write("/docs/notes.txt", []byte("see obj://42 and obj://99999999"))
+
+	eng := &TriggerEngine{}
+	eng.Register(&TickerTrigger{Index: map[string]int{"AAPL": 7, "MSFT": 8, "GOOG": 9}})
+	eng.Register(&URLTrigger{MaxID: 2000})
+	ids, fired, err := eng.ScanAttic(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 8, 42}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if fired["tickers"] != 2 || fired["urls"] != 1 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestMergeScopes(t *testing.T) {
+	got := MergeScopes([]int{3, 1, 2}, []int{2, 4, 3, 5})
+	want := []int{3, 1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	r := NewRing(0)
+	for _, h := range []string{"h1", "h2", "h3", "h4"} {
+		r.Add(h)
+	}
+	if len(r.Homes()) != 4 {
+		t.Fatalf("homes = %v", r.Homes())
+	}
+	// Ownership is deterministic.
+	if r.Owner(42) != r.Owner(42) {
+		t.Error("owner not deterministic")
+	}
+	// Reasonably balanced across 4 homes.
+	counts := make(map[string]int)
+	for id := 0; id < 4000; id++ {
+		counts[r.Owner(id)]++
+	}
+	for h, c := range counts {
+		if c < 500 || c > 2000 {
+			t.Errorf("home %s owns %d of 4000 (imbalanced)", h, c)
+		}
+	}
+	// Removing one home remaps only its objects.
+	before := make(map[int]string, 4000)
+	for id := 0; id < 4000; id++ {
+		before[id] = r.Owner(id)
+	}
+	r.Remove("h2")
+	moved := 0
+	for id := 0; id < 4000; id++ {
+		after := r.Owner(id)
+		if after == "h2" {
+			t.Fatal("removed home still owns objects")
+		}
+		if before[id] != after {
+			moved++
+			if before[id] != "h2" {
+				t.Fatalf("object %d moved from surviving home %s", id, before[id])
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no objects remapped after removal")
+	}
+}
+
+func TestCoopCacheSavesAggregationBytes(t *testing.T) {
+	corpus := smallCorpus(13)
+	homes := []string{"h0", "h1", "h2", "h3", "h4"}
+	traces := make(map[string][]webmodel.Request, len(homes))
+	for i, h := range homes {
+		prof := webmodel.NewProfile(sim.NewRNG(uint64(20+i)), corpus, 150, 1.0, 500)
+		traces[h] = prof.Trace(sim.NewRNG(uint64(30+i)), 2)
+	}
+
+	coop := NewCoopCache(corpus, homes, true)
+	coop.ReplayNeighborhood(traces)
+	solo := NewCoopCache(corpus, homes, false)
+	solo.ReplayNeighborhood(traces)
+
+	if coop.Stats.AggregationBytes >= solo.Stats.AggregationBytes {
+		t.Errorf("cooperation did not save aggregation bytes: %d vs %d",
+			coop.Stats.AggregationBytes, solo.Stats.AggregationBytes)
+	}
+	if coop.Stats.NeighborHits == 0 {
+		t.Error("no neighbor hits in cooperative mode")
+	}
+	if solo.Stats.NeighborHits != 0 || solo.Stats.LateralBytes != 0 {
+		t.Error("solo mode used neighbors")
+	}
+}
+
+func TestCoopCacheRequestSources(t *testing.T) {
+	corpus := smallCorpus(15)
+	coop := NewCoopCache(corpus, []string{"a", "b"}, true)
+	// Find an object owned by "b".
+	objID := -1
+	for i := 0; i < corpus.Len(); i++ {
+		if coop.ring.Owner(i) == "b" {
+			objID = i
+			break
+		}
+	}
+	if objID < 0 {
+		t.Fatal("no object owned by b")
+	}
+	// First request from a: upstream (owner b fetches and keeps the copy).
+	if src := coop.Request("a", objID, 10); src != "upstream" {
+		t.Errorf("first = %s", src)
+	}
+	// a requests again: served laterally from b's single copy.
+	if src := coop.Request("a", objID, 11); src != "neighbor" {
+		t.Errorf("second = %s", src)
+	}
+	// The owner itself hits locally.
+	if src := coop.Request("b", objID, 12); src != "local" {
+		t.Errorf("owner = %s", src)
+	}
+}
+
+func TestCoopStorageDeduplication(t *testing.T) {
+	corpus := smallCorpus(17)
+	homes := []string{"h0", "h1", "h2", "h3"}
+	// All homes request the same popular objects.
+	traces := make(map[string][]webmodel.Request)
+	for _, h := range homes {
+		var tr []webmodel.Request
+		for i := 0; i < 50; i++ {
+			tr = append(tr, webmodel.Request{Time: sim.Time(i), ObjectID: i % 10})
+		}
+		traces[h] = tr
+	}
+	coop := NewCoopCache(corpus, homes, true)
+	coop.ReplayNeighborhood(traces)
+	// Upstream fetched each of the 10 objects roughly once (not 4x).
+	if coop.Stats.Upstream > 15 {
+		t.Errorf("upstream fetches = %d, want ~10 (dedup)", coop.Stats.Upstream)
+	}
+	// Storage dedup: one neighborhood copy per object, vs one per home.
+	solo := NewCoopCache(corpus, homes, false)
+	solo.ReplayNeighborhood(traces)
+	if coop.TotalStoredBytes() >= solo.TotalStoredBytes() {
+		t.Errorf("cooperative storage %d not below independent %d",
+			coop.TotalStoredBytes(), solo.TotalStoredBytes())
+	}
+}
+
+func TestSmootherReducesPeak(t *testing.T) {
+	baseline := make([]float64, 3600)
+	for i := range baseline {
+		baseline[i] = 1e6 // 1 Mbps steady
+	}
+	jobs := []Job{
+		{ID: 1, Bytes: 500e6},
+		{ID: 2, Bytes: 300e6},
+		{ID: 3, Bytes: 200e6, DeadlineSecond: 1800},
+	}
+	s := &Smoother{RateCap: 50e6}
+	res := s.Schedule(baseline, jobs)
+	if res.Unplaced != 0 {
+		t.Fatalf("unplaced = %d", res.Unplaced)
+	}
+	if res.PeakAfter >= res.PeakBefore {
+		t.Errorf("peak not reduced: %.1f -> %.1f Mbps", res.PeakBefore/1e6, res.PeakAfter/1e6)
+	}
+	if res.PeakAfter > 50e6 {
+		t.Errorf("cap violated: %.1f Mbps", res.PeakAfter/1e6)
+	}
+	// Conservation: total extra bits equal job bits.
+	var extra float64
+	for i, v := range res.Series {
+		extra += v - baseline[i]
+	}
+	want := (500e6 + 300e6 + 200e6) * 8
+	if extra < want*0.999 || extra > want*1.001 {
+		t.Errorf("scheduled bits = %g, want %g", extra, want)
+	}
+}
+
+func TestSmootherDeadlines(t *testing.T) {
+	baseline := make([]float64, 100)
+	s := &Smoother{RateCap: 8e6} // 1 MB/sec
+	// 30 MB due in 10 seconds: only 10 MB fit -> unplaced.
+	res := s.Schedule(baseline, []Job{{ID: 1, Bytes: 30e6, DeadlineSecond: 10}})
+	if res.Unplaced != 1 {
+		t.Errorf("impossible deadline not reported: %+v", res.Unplaced)
+	}
+	// 5 MB due in 10 seconds fits.
+	res = s.Schedule(baseline, []Job{{ID: 1, Bytes: 5e6, DeadlineSecond: 10}})
+	if res.Unplaced != 0 {
+		t.Error("feasible deadline unplaced")
+	}
+	for sec := 10; sec < 100; sec++ {
+		if res.Series[sec] != 0 {
+			t.Fatal("bits placed past deadline")
+		}
+	}
+}
+
+func TestSmootherEmptyInputs(t *testing.T) {
+	s := &Smoother{}
+	res := s.Schedule(nil, []Job{{ID: 1, Bytes: 10}})
+	if res.Unplaced != 1 {
+		t.Error("empty horizon should leave jobs unplaced")
+	}
+	res = s.Schedule(make([]float64, 10), nil)
+	if res.PeakBefore != 0 || res.PeakAfter != 0 {
+		t.Error("no-job schedule has nonzero peaks")
+	}
+}
+
+func TestDeepCollectorRequiresCredentials(t *testing.T) {
+	corpus := smallCorpus(31)
+	d := &DeepCollector{Corpus: corpus, Cache: NewCache(), Credentials: NewCredentialStore()}
+	if _, err := d.CollectSite("webmail", 10, 0); err == nil {
+		t.Error("uncredentialed sweep succeeded")
+	}
+	d.Credentials.Grant("webmail")
+	rep, err := d.CollectSite("webmail", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Collected == 0 || rep.Bytes == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestDeepCollectorSkipsFresh(t *testing.T) {
+	corpus := smallCorpus(32)
+	d := &DeepCollector{Corpus: corpus, Cache: NewCache(), Credentials: NewCredentialStore()}
+	d.Credentials.Grant("social")
+	first, err := d.CollectSite("social", 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediate re-sweep: everything still fresh.
+	second, err := d.CollectSite("social", 20, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Collected != 0 || second.Skipped != first.Collected+first.Skipped {
+		t.Errorf("re-sweep = %+v after %+v", second, first)
+	}
+}
+
+func TestDeepCollectorDigestInAttic(t *testing.T) {
+	corpus := smallCorpus(33)
+	fs := vfs.New()
+	creds := NewCredentialStore()
+	creds.Grant("webmail")
+	creds.Grant("news-subscription")
+	d := &DeepCollector{
+		Corpus: corpus, Cache: NewCache(), Credentials: creds, Attic: fs,
+	}
+	reports, err := d.CollectAll(5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	path, err := d.WriteDigest(reports, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := fs.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(content, []byte("webmail")) || !bytes.Contains(content, []byte("locally available")) {
+		t.Errorf("digest = %s", content)
+	}
+	// No attic -> explicit error.
+	d.Attic = nil
+	if _, err := d.WriteDigest(reports, 501); err == nil {
+		t.Error("digest without attic succeeded")
+	}
+}

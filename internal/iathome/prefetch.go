@@ -1,0 +1,259 @@
+// Package iathome implements the paper's Internet@home service (§IV-D):
+// approximating "a local copy of the entire Internet" for one residence.
+//
+// Pieces, mapping to the paper's subsections:
+//
+//   - Aggressiveness: a history-driven prefetcher that maintains the
+//     portion of the web the household actually visits, with an
+//     aggressiveness knob (how much history to cover) and a freshness knob
+//     (how often to re-validate), exposing the scope-vs-freshness tradeoff.
+//   - Deep Web Content: credential-gated collectors that can prefetch
+//     personal/subscription objects only when the HPoP holds credentials.
+//   - Leveraging the Data Attic: a trigger framework that mines attic files
+//     for hints (e.g. ticker symbols) and adds matching objects to scope.
+//   - Demand Smoothing: scheduling prefetch traffic into off-peak seconds.
+//   - A Cooperative Cache: neighborhood HPoPs dividing fetch responsibility
+//     via consistent hashing and sharing content laterally.
+package iathome
+
+import (
+	"sort"
+
+	"hpop/internal/sim"
+	"hpop/internal/webmodel"
+)
+
+// entry is one cached object copy.
+type entry struct {
+	fetchedAt sim.Time
+	version   int
+	size      int
+}
+
+// Cache is an HPoP's local content store.
+type Cache struct {
+	entries map[int]entry
+	// Bytes is current storage consumption.
+	Bytes int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[int]entry)}
+}
+
+// Put stores a copy of the object fetched at time t.
+func (c *Cache) Put(o *webmodel.Object, t sim.Time) {
+	if old, ok := c.entries[o.ID]; ok {
+		c.Bytes -= int64(old.size)
+	}
+	c.entries[o.ID] = entry{fetchedAt: t, version: o.VersionAt(t), size: o.Size}
+	c.Bytes += int64(o.Size)
+}
+
+// Has reports whether a copy exists and whether it is fresh at time t.
+func (c *Cache) Has(o *webmodel.Object, t sim.Time) (present, fresh bool) {
+	e, ok := c.entries[o.ID]
+	if !ok {
+		return false, false
+	}
+	return true, e.version == o.VersionAt(t)
+}
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// UpstreamStats counts the load prefetching imposes upstream — the cost side
+// of the paper's freshness-vs-scope tradeoff.
+type UpstreamStats struct {
+	Requests int64 // fetches + revalidations that hit the network
+	Bytes    int64 // content bytes pulled
+	Checks   int64 // freshness checks (conditional requests)
+}
+
+// Add accumulates another stats value.
+func (s *UpstreamStats) Add(o UpstreamStats) {
+	s.Requests += o.Requests
+	s.Bytes += o.Bytes
+	s.Checks += o.Checks
+}
+
+// CredentialStore records which deep-web sites the HPoP may crawl on the
+// user's behalf ("the HPoP will hold user credentials so it can copy deep
+// web content").
+type CredentialStore struct {
+	sites map[string]bool
+}
+
+// NewCredentialStore returns an empty store.
+func NewCredentialStore() *CredentialStore {
+	return &CredentialStore{sites: make(map[string]bool)}
+}
+
+// Grant stores a credential for a site class.
+func (cs *CredentialStore) Grant(site string) { cs.sites[site] = true }
+
+// Has reports whether a credential exists.
+func (cs *CredentialStore) Has(site string) bool { return cs.sites[site] }
+
+// DeepSiteOf maps an object to its deep-web site class. The synthetic
+// corpus shards deep objects over a few site classes so credentials can be
+// granted per site.
+func DeepSiteOf(objID int) string {
+	switch objID % 4 {
+	case 0:
+		return "webmail"
+	case 1:
+		return "social"
+	case 2:
+		return "news-subscription"
+	default:
+		return "banking"
+	}
+}
+
+// Prefetcher maintains a household's slice of the web.
+type Prefetcher struct {
+	Corpus *webmodel.Corpus
+	Cache  *Cache
+	// Scope is the set of object IDs the prefetcher keeps locally.
+	Scope []int
+	// RevalidateEvery is the freshness-check period (larger = staler copies
+	// but fewer upstream requests).
+	RevalidateEvery sim.Time
+	// Credentials gates deep-web objects; nil means no credentials at all.
+	Credentials *CredentialStore
+	// Skipped counts scope objects that could not be fetched for lack of
+	// credentials.
+	Skipped int
+}
+
+// BuildScope selects the objects to maintain from request history:
+// the top `aggressiveness` fraction of distinct objects by past access
+// count ("leverage users' long-term history to copy the portion of the
+// Internet the users visit and are likely to visit").
+func BuildScope(history map[int]int, aggressiveness float64) []int {
+	if aggressiveness <= 0 {
+		return nil
+	}
+	if aggressiveness > 1 {
+		aggressiveness = 1
+	}
+	type kv struct {
+		id    int
+		count int
+	}
+	ranked := make([]kv, 0, len(history))
+	for id, n := range history {
+		ranked = append(ranked, kv{id, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	n := int(float64(len(ranked)) * aggressiveness)
+	if n == 0 && len(ranked) > 0 {
+		n = 1
+	}
+	out := make([]int, 0, n)
+	for _, e := range ranked[:n] {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// canFetch applies the deep-web credential gate.
+func (p *Prefetcher) canFetch(o *webmodel.Object) bool {
+	if !o.Deep {
+		return true
+	}
+	return p.Credentials != nil && p.Credentials.Has(DeepSiteOf(o.ID))
+}
+
+// Fill performs the initial scope download at time t.
+func (p *Prefetcher) Fill(t sim.Time) UpstreamStats {
+	var stats UpstreamStats
+	for _, id := range p.Scope {
+		o := p.Corpus.Get(id)
+		if !p.canFetch(o) {
+			p.Skipped++
+			continue
+		}
+		p.Cache.Put(o, t)
+		stats.Requests++
+		stats.Bytes += int64(o.Size)
+	}
+	return stats
+}
+
+// Maintain runs freshness upkeep over [from, to): every RevalidateEvery it
+// checks each scoped object and refetches those whose content changed.
+// "We can decrease the number of requests going to the Internet by either
+// reducing the scope of the content gathered or by decreasing the frequency
+// of content pre-validation."
+func (p *Prefetcher) Maintain(from, to sim.Time) UpstreamStats {
+	var stats UpstreamStats
+	if p.RevalidateEvery <= 0 {
+		return stats
+	}
+	for t := from + p.RevalidateEvery; t < to; t += p.RevalidateEvery {
+		for _, id := range p.Scope {
+			o := p.Corpus.Get(id)
+			if !p.canFetch(o) {
+				continue
+			}
+			present, fresh := p.Cache.Has(o, t)
+			if !present {
+				continue
+			}
+			stats.Checks++
+			stats.Requests++
+			if !fresh {
+				p.Cache.Put(o, t)
+				stats.Bytes += int64(o.Size)
+			}
+		}
+	}
+	return stats
+}
+
+// ReplayResult reports how a request trace fared against the cache.
+type ReplayResult struct {
+	Requests   int
+	FreshHits  int
+	StaleHits  int // present but outdated: still a user-visible refetch
+	Misses     int
+	OnDemand   UpstreamStats // traffic generated by misses/stale hits
+	HitLatency float64       // fraction of requests served locally
+}
+
+// Replay runs a future request trace against the cache. Misses and stale
+// copies are fetched on demand (and cached), as a real HPoP would.
+func Replay(trace []webmodel.Request, corpus *webmodel.Corpus, cache *Cache) ReplayResult {
+	var r ReplayResult
+	for _, req := range trace {
+		o := corpus.Get(req.ObjectID)
+		present, fresh := cache.Has(o, req.Time)
+		r.Requests++
+		switch {
+		case present && fresh:
+			r.FreshHits++
+		case present:
+			r.StaleHits++
+			cache.Put(o, req.Time)
+			r.OnDemand.Requests++
+			r.OnDemand.Bytes += int64(o.Size)
+		default:
+			r.Misses++
+			cache.Put(o, req.Time)
+			r.OnDemand.Requests++
+			r.OnDemand.Bytes += int64(o.Size)
+		}
+	}
+	if r.Requests > 0 {
+		r.HitLatency = float64(r.FreshHits) / float64(r.Requests)
+	}
+	return r
+}

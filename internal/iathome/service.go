@@ -1,0 +1,176 @@
+package iathome
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/sim"
+	"hpop/internal/webmodel"
+)
+
+// Service runs Internet@home as an HPoP appliance service: a background
+// worker that periodically maintains the prefetch scope's freshness and
+// sweeps credentialed deep-web sites, plus an HTTP status surface at
+// /iathome/status. The worker owns its goroutine per the usual lifecycle
+// discipline: Start launches it, Stop signals and waits.
+type Service struct {
+	// Corpus/Cache/Scope configure the prefetcher (see Prefetcher).
+	Corpus *webmodel.Corpus
+	Cache  *Cache
+	Scope  []int
+	// Credentials gates deep-web collection.
+	Credentials *CredentialStore
+	// Tick is the wall-clock maintenance period (default 1 minute; tests
+	// use milliseconds).
+	Tick time.Duration
+	// SimSecondsPerTick advances the simulated content clock per tick
+	// (default 3600 — each maintenance pass represents an hour of content
+	// churn).
+	SimSecondsPerTick float64
+
+	mu      sync.Mutex
+	simNow  sim.Time
+	stats   UpstreamStats
+	sweeps  int
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+	metrics *hpop.Metrics
+}
+
+var _ hpop.Service = (*Service)(nil)
+
+// Name implements hpop.Service.
+func (s *Service) Name() string { return "internet-at-home" }
+
+// Start implements hpop.Service.
+func (s *Service) Start(ctx *hpop.ServiceContext) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("iathome: already started")
+	}
+	if s.Corpus == nil || s.Cache == nil {
+		return errors.New("iathome: service needs a corpus and cache")
+	}
+	if s.Tick <= 0 {
+		s.Tick = time.Minute
+	}
+	if s.SimSecondsPerTick <= 0 {
+		s.SimSecondsPerTick = 3600
+	}
+	s.metrics = ctx.Metrics
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.started = true
+	ctx.Mux.HandleFunc("/iathome/status", s.handleStatus)
+
+	// Initial fill happens synchronously so the cache is warm when Start
+	// returns; periodic upkeep runs in the background.
+	p := s.prefetcher()
+	fill := p.Fill(s.simNow)
+	s.stats.Add(fill)
+	go s.loop()
+	return nil
+}
+
+// Stop implements hpop.Service: signals the worker and waits for exit.
+func (s *Service) Stop() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	s.started = false
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	close(stop)
+	<-done
+	return nil
+}
+
+func (s *Service) prefetcher() *Prefetcher {
+	return &Prefetcher{
+		Corpus:          s.Corpus,
+		Cache:           s.Cache,
+		Scope:           s.Scope,
+		RevalidateEvery: sim.Time(s.SimSecondsPerTick),
+		Credentials:     s.Credentials,
+	}
+}
+
+func (s *Service) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.maintain()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// maintain runs one upkeep pass: advance the simulated content clock one
+// interval and refresh whatever changed, then sweep deep-web sites. The
+// whole pass holds the service mutex — Cache is not independently
+// thread-safe, and passes are short.
+func (s *Service) maintain() {
+	s.mu.Lock()
+	from := s.simNow
+	s.simNow += sim.Time(s.SimSecondsPerTick)
+	to := s.simNow
+
+	p := s.prefetcher()
+	up := p.Maintain(from, to+1)
+	var swept int
+	if s.Credentials != nil {
+		collector := &DeepCollector{
+			Corpus: s.Corpus, Cache: s.Cache, Credentials: s.Credentials,
+		}
+		reports, err := collector.CollectAll(0, to)
+		if err == nil {
+			for _, r := range reports {
+				up.Requests += int64(r.Collected)
+				up.Bytes += r.Bytes
+				swept += r.Collected
+			}
+		}
+	}
+	s.stats.Add(up)
+	s.sweeps++
+	cacheBytes := s.Cache.Bytes
+	s.mu.Unlock()
+
+	if s.metrics != nil {
+		s.metrics.Add("iathome.upstream_requests", float64(up.Requests))
+		s.metrics.Add("iathome.upstream_bytes", float64(up.Bytes))
+		s.metrics.Set("iathome.cache_bytes", float64(cacheBytes))
+		s.metrics.Add("iathome.deep_collected", float64(swept))
+	}
+}
+
+// Snapshot reports the service's internal counters.
+func (s *Service) Snapshot() (sweeps int, stats UpstreamStats, cacheBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps, s.stats, s.Cache.Bytes
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sweeps, stats, cacheBytes := s.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"sweeps":           sweeps,
+		"upstreamRequests": stats.Requests,
+		"upstreamBytes":    stats.Bytes,
+		"cacheBytes":       cacheBytes,
+		"scopeObjects":     len(s.Scope),
+	})
+}

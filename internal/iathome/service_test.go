@@ -1,0 +1,121 @@
+package iathome
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/sim"
+	"hpop/internal/webmodel"
+)
+
+func startIAHService(t *testing.T) (*Service, *hpop.HPoP) {
+	t.Helper()
+	corpus := webmodel.NewCorpus(sim.NewRNG(41), webmodel.CorpusConfig{
+		Objects: 500, MeanChangeHours: 0.5, // fast churn so maintenance has work
+	})
+	profile := webmodel.NewProfile(sim.NewRNG(42), corpus, 100, 1.0, 400)
+	history := webmodel.Frequencies(profile.Trace(sim.NewRNG(43), 5))
+	creds := NewCredentialStore()
+	creds.Grant("webmail")
+	svc := &Service{
+		Corpus:            corpus,
+		Cache:             NewCache(),
+		Scope:             BuildScope(history, 0.5),
+		Credentials:       creds,
+		Tick:              5 * time.Millisecond,
+		SimSecondsPerTick: 7200,
+	}
+	h := hpop.New(hpop.Config{Name: "iah-test"})
+	if err := h.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Stop(context.Background()) })
+	return svc, h
+}
+
+func TestServiceFillsOnStart(t *testing.T) {
+	svc, _ := startIAHService(t)
+	_, stats, cacheBytes := svc.Snapshot()
+	if stats.Requests == 0 || cacheBytes == 0 {
+		t.Errorf("initial fill did nothing: %+v, %d bytes", stats, cacheBytes)
+	}
+}
+
+func TestServiceBackgroundMaintenance(t *testing.T) {
+	svc, h := startIAHService(t)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		sweeps, _, _ := svc.Snapshot()
+		if sweeps >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no maintenance sweeps within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Fast-churning corpus: refreshes must have moved bytes after the fill.
+	if got := h.Metrics().Counter("iathome.upstream_requests"); got == 0 {
+		t.Error("maintenance made no upstream requests")
+	}
+	if got := h.Metrics().Counter("iathome.deep_collected"); got == 0 {
+		t.Error("no deep-web objects collected")
+	}
+}
+
+func TestServiceStatusEndpoint(t *testing.T) {
+	_, h := startIAHService(t)
+	resp, err := http.Get(h.URL() + "/iathome/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		ScopeObjects int   `json:"scopeObjects"`
+		CacheBytes   int64 `json:"cacheBytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ScopeObjects == 0 || body.CacheBytes == 0 {
+		t.Errorf("status = %+v", body)
+	}
+}
+
+func TestServiceCleanShutdown(t *testing.T) {
+	corpus := webmodel.NewCorpus(sim.NewRNG(1), webmodel.CorpusConfig{Objects: 100})
+	svc := &Service{
+		Corpus: corpus,
+		Cache:  NewCache(),
+		Scope:  []int{1, 2, 3},
+		Tick:   time.Millisecond,
+	}
+	h := hpop.New(hpop.Config{})
+	h.Register(svc)
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop must return (worker joined), and double-stop must be safe.
+	if err := h.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Stop(); err != nil {
+		t.Errorf("double stop err = %v", err)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	h := hpop.New(hpop.Config{})
+	h.Register(&Service{}) // no corpus/cache
+	if err := h.Start(); err == nil {
+		t.Error("start without corpus succeeded")
+		h.Stop(context.Background())
+	}
+}

@@ -1,0 +1,148 @@
+package iathome
+
+import (
+	"sort"
+)
+
+// This file implements "Demand Smoothing": "obtaining content ahead of
+// actual use also brings flexibility to schedule content acquisition at an
+// opportune time. This can smooth the demand on Internet servers and core
+// networks."
+
+// Job is one prefetch transfer awaiting scheduling.
+type Job struct {
+	// ID labels the job.
+	ID int
+	// Bytes to transfer.
+	Bytes float64
+	// DeadlineSecond is the last second (exclusive) by which the job must
+	// complete; 0 means the end of the horizon.
+	DeadlineSecond int
+}
+
+// SmoothResult reports the effect of smoothing.
+type SmoothResult struct {
+	// Series is the per-second upstream demand after adding the scheduled
+	// jobs to the baseline.
+	Series []float64
+	// PeakBefore/PeakAfter are the maximum per-second rates for naive
+	// (fetch-at-release, i.e. pile everything at the start) vs smoothed
+	// placement.
+	PeakBefore float64
+	PeakAfter  float64
+	// Unplaced counts jobs whose deadline could not be met within RateCap.
+	Unplaced int
+}
+
+// Smoother schedules prefetch jobs into a per-second baseline demand
+// profile.
+type Smoother struct {
+	// RateCap bounds total upstream usage per second (bits/sec); 0 means
+	// uncapped (jobs still spread to minimize the peak).
+	RateCap float64
+}
+
+// Schedule places each job's bytes into the least-loaded seconds before its
+// deadline (water-filling), returning the resulting demand series and the
+// peak comparison with naive scheduling. The baseline series is bits/sec
+// per second-bin.
+func (s *Smoother) Schedule(baseline []float64, jobs []Job) SmoothResult {
+	n := len(baseline)
+	res := SmoothResult{Series: make([]float64, n)}
+	copy(res.Series, baseline)
+	if n == 0 {
+		res.Unplaced = len(jobs)
+		return res
+	}
+
+	// Naive comparison: all jobs start at second 0 and run as fast as the
+	// cap (or one second) allows.
+	naive := make([]float64, n)
+	copy(naive, baseline)
+	for _, j := range jobs {
+		bits := j.Bytes * 8
+		if s.RateCap > 0 {
+			sec := 0
+			for bits > 0 && sec < n {
+				add := bits
+				if add > s.RateCap {
+					add = s.RateCap
+				}
+				naive[sec] += add
+				bits -= add
+				sec++
+			}
+		} else {
+			naive[0] += bits
+		}
+	}
+	res.PeakBefore = maxOf(naive)
+
+	// Water-filling: repeatedly drop each job's bits into the currently
+	// least-loaded eligible second. Chunk size of one second at RateCap (or
+	// the job's remainder) keeps placement near-optimal without a full LP.
+	order := make([]Job, len(jobs))
+	copy(order, jobs)
+	// Earliest deadline first, so tight jobs grab their slots before
+	// flexible ones fill the valleys.
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := order[i].DeadlineSecond, order[j].DeadlineSecond
+		if di == 0 {
+			di = n
+		}
+		if dj == 0 {
+			dj = n
+		}
+		return di < dj
+	})
+	for _, j := range order {
+		deadline := j.DeadlineSecond
+		if deadline <= 0 || deadline > n {
+			deadline = n
+		}
+		bits := j.Bytes * 8
+		for bits > 0 {
+			// Least-loaded eligible second with headroom.
+			best := -1
+			for sec := 0; sec < deadline; sec++ {
+				if s.RateCap > 0 && res.Series[sec] >= s.RateCap {
+					continue
+				}
+				if best < 0 || res.Series[sec] < res.Series[best] {
+					best = sec
+				}
+			}
+			if best < 0 {
+				res.Unplaced++
+				break
+			}
+			add := bits
+			if s.RateCap > 0 {
+				headroom := s.RateCap - res.Series[best]
+				if add > headroom {
+					add = headroom
+				}
+			} else {
+				// Uncapped: level to the next-lowest second to avoid one
+				// giant spike; place at most the job in 1-second grains.
+				if add > j.Bytes*8/4 && n > 1 {
+					add = j.Bytes * 8 / 4
+				}
+			}
+			res.Series[best] += add
+			bits -= add
+		}
+	}
+	res.PeakAfter = maxOf(res.Series)
+	return res
+}
+
+func maxOf(s []float64) float64 {
+	m := 0.0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,149 @@
+package iathome
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"hpop/internal/vfs"
+)
+
+// This file implements "Leveraging the Data Attic": "by gathering stock
+// ticker symbols from tax documents the HPoP can maintain fresh stock
+// quotes that are germane to the users. The HPoP will provide a generic
+// modular framework such that many forms of information within the data
+// attic can trigger data collection."
+
+// Trigger mines attic content for hints about objects worth maintaining.
+type Trigger interface {
+	// Name identifies the trigger.
+	Name() string
+	// Scan inspects one attic file and returns object IDs to add to the
+	// prefetch scope.
+	Scan(path string, content []byte) []int
+}
+
+// TriggerEngine walks the attic and applies all registered triggers.
+type TriggerEngine struct {
+	triggers []Trigger
+}
+
+// Register adds a trigger.
+func (e *TriggerEngine) Register(t Trigger) {
+	e.triggers = append(e.triggers, t)
+}
+
+// ScanAttic walks the attic filesystem and returns the union of all
+// triggered object IDs (sorted, deduplicated), plus which trigger fired for
+// diagnostics.
+func (e *TriggerEngine) ScanAttic(fs *vfs.FS) (ids []int, fired map[string]int, err error) {
+	set := make(map[int]bool)
+	fired = make(map[string]int)
+	err = fs.Walk("/", func(info vfs.Info) error {
+		if info.IsDir {
+			return nil
+		}
+		content, err := fs.Read(info.Path)
+		if err != nil {
+			return err
+		}
+		for _, t := range e.triggers {
+			found := t.Scan(info.Path, content)
+			if len(found) > 0 {
+				fired[t.Name()] += len(found)
+			}
+			for _, id := range found {
+				set[id] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ids = make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, fired, nil
+}
+
+// TickerTrigger extracts stock ticker symbols (the paper's example) and
+// maps them to quote objects via a symbol index.
+type TickerTrigger struct {
+	// Index maps a ticker symbol to the corpus object ID of its quote feed.
+	Index map[string]int
+}
+
+var tickerRe = regexp.MustCompile(`\b[A-Z]{2,5}\b`)
+
+// Name implements Trigger.
+func (t *TickerTrigger) Name() string { return "tickers" }
+
+// Scan implements Trigger: only files that look financial are mined.
+func (t *TickerTrigger) Scan(path string, content []byte) []int {
+	lower := strings.ToLower(path)
+	if !strings.Contains(lower, "tax") && !strings.Contains(lower, "portfolio") &&
+		!strings.Contains(lower, "finance") {
+		return nil
+	}
+	var out []int
+	for _, sym := range tickerRe.FindAllString(string(content), -1) {
+		if id, ok := t.Index[sym]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// URLTrigger extracts literal object references ("obj://<id>") from any
+// attic file — the generic form of attic-driven collection (calendars
+// linking venues, documents linking sources, ...).
+type URLTrigger struct {
+	// MaxID bounds valid object IDs (corpus size).
+	MaxID int
+}
+
+var objRefRe = regexp.MustCompile(`obj://(\d+)`)
+
+// Name implements Trigger.
+func (u *URLTrigger) Name() string { return "urls" }
+
+// Scan implements Trigger.
+func (u *URLTrigger) Scan(path string, content []byte) []int {
+	var out []int
+	for _, m := range objRefRe.FindAllStringSubmatch(string(content), -1) {
+		id := 0
+		for _, ch := range m[1] {
+			id = id*10 + int(ch-'0')
+			if id > u.MaxID {
+				break
+			}
+		}
+		if id > 0 && id < u.MaxID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MergeScopes unions prefetch scopes (history-driven + trigger-driven),
+// deduplicating while preserving the first slice's priority order.
+func MergeScopes(primary []int, extra []int) []int {
+	seen := make(map[int]bool, len(primary)+len(extra))
+	out := make([]int, 0, len(primary)+len(extra))
+	for _, id := range primary {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range extra {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

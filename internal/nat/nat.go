@@ -1,0 +1,381 @@
+// Package nat models network address translation and the traversal
+// machinery §III of the paper relies on for HPoP reachability: UPnP port
+// mappings on home NATs, STUN-style mapping discovery and hole punching
+// (including its failure modes across NAT behaviours), and TURN-style
+// relaying as the fallback "with limited functionality".
+//
+// Two layers live here: a packet-level Box that implements classic NAT
+// mapping/filtering behaviours (full cone, restricted cone, port-restricted
+// cone, symmetric), and a planner that, given the NAT chains in front of an
+// HPoP and a client, selects the cheapest working traversal method.
+package nat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Type classifies a NAT's combined mapping+filtering behaviour using the
+// classic STUN taxonomy (RFC 3489).
+type Type int
+
+// NAT behaviours, from least to most restrictive.
+const (
+	// None means no NAT: a public address.
+	None Type = iota + 1
+	// FullCone: endpoint-independent mapping and filtering.
+	FullCone
+	// RestrictedCone: endpoint-independent mapping, address-dependent
+	// filtering.
+	RestrictedCone
+	// PortRestrictedCone: endpoint-independent mapping, address-and-port-
+	// dependent filtering.
+	PortRestrictedCone
+	// Symmetric: address-and-port-dependent mapping (a fresh external port
+	// per destination) and filtering.
+	Symmetric
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case None:
+		return "public"
+	case FullCone:
+		return "full-cone"
+	case RestrictedCone:
+		return "restricted-cone"
+	case PortRestrictedCone:
+		return "port-restricted-cone"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Effective returns the effective behaviour of a chain of NATs (innermost
+// first): the most restrictive behaviour dominates. An empty chain is None.
+func Effective(chain []Type) Type {
+	eff := None
+	for _, t := range chain {
+		if t > eff {
+			eff = t
+		}
+	}
+	return eff
+}
+
+// CanHolePunch reports whether STUN-style UDP hole punching succeeds between
+// endpoints with effective NAT behaviours a and b, per the standard result
+// matrix: symmetric fails against symmetric and port-restricted (the fresh
+// per-destination mapping defeats port-specific filters) and succeeds
+// otherwise; all cone-cone combinations succeed.
+func CanHolePunch(a, b Type) bool {
+	if a == None || b == None {
+		return true
+	}
+	if a == Symmetric && b >= PortRestrictedCone {
+		return false
+	}
+	if b == Symmetric && a >= PortRestrictedCone {
+		return false
+	}
+	return true
+}
+
+// Endpoint describes a host's NAT situation.
+type Endpoint struct {
+	// Chain lists the NATs between the host and the public Internet,
+	// innermost (home) first. A second entry models carrier-grade NAT.
+	Chain []Type
+	// UPnP reports whether the innermost (home) NAT honours UPnP port
+	// mapping requests. UPnP cannot configure an ISP's CGN.
+	UPnP bool
+}
+
+// Public reports whether the endpoint has an unNATed public address.
+func (e Endpoint) Public() bool { return Effective(e.Chain) == None }
+
+// BehindCGN reports whether more than one translation layer applies.
+func (e Endpoint) BehindCGN() bool { return len(e.Chain) > 1 }
+
+// Method is a traversal mechanism, in preference order.
+type Method int
+
+// Traversal methods.
+const (
+	// Direct means no traversal needed (public address).
+	Direct Method = iota + 1
+	// UPnP means a port mapping on the home NAT makes the HPoP reachable.
+	UPnP
+	// STUN means UDP hole punching through the NAT(s).
+	STUN
+	// TURN means all traffic relays through a third party.
+	TURN
+	// Unreachable means no modeled mechanism works (never produced by the
+	// planner, which always falls back to TURN, but callers can represent
+	// policy-disabled relays with it).
+	Unreachable
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case UPnP:
+		return "upnp"
+	case STUN:
+		return "stun"
+	case TURN:
+		return "turn"
+	case Unreachable:
+		return "unreachable"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Plan is the planner's verdict for one HPoP/client pair.
+type Plan struct {
+	Method Method
+	// Relayed reports whether traffic crosses a third-party relay (TURN),
+	// which costs extra latency and caps bandwidth — the paper's "limited
+	// functionality" mode.
+	Relayed bool
+}
+
+// PlanTraversal selects the cheapest mechanism that makes hpop reachable
+// from client, following §III: UPnP for single home NATs that support it,
+// STUN hole punching where behaviours permit, TURN otherwise.
+func PlanTraversal(hpop, client Endpoint) Plan {
+	if hpop.Public() {
+		return Plan{Method: Direct}
+	}
+	// UPnP: programmatic port forwarding works only when the sole
+	// translation layer is a cooperating home NAT.
+	if hpop.UPnP && !hpop.BehindCGN() {
+		return Plan{Method: UPnP}
+	}
+	if CanHolePunch(Effective(hpop.Chain), Effective(client.Chain)) {
+		return Plan{Method: STUN}
+	}
+	return Plan{Method: TURN, Relayed: true}
+}
+
+// ---- Packet-level NAT box ----
+
+// Addr is a transport address in the model.
+type Addr struct {
+	Host string
+	Port int
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// ErrDropped indicates the NAT's filter rejected an inbound packet.
+var ErrDropped = errors.New("nat: inbound packet filtered")
+
+// ErrNoMapping indicates no mapping exists for the external destination.
+var ErrNoMapping = errors.New("nat: no mapping for destination")
+
+type mapping struct {
+	internal Addr
+	external Addr
+	// peers records destinations this mapping has sent to (filtering state).
+	peers map[Addr]bool
+	// hosts records destination hosts (for address-restricted filtering).
+	hosts map[string]bool
+}
+
+// Box is a single NAT device translating between an internal and external
+// realm. It allocates external ports sequentially, which keeps tests
+// deterministic.
+type Box struct {
+	Type Type
+	// ExternalHost is the box's public IP.
+	ExternalHost string
+
+	mu       sync.Mutex
+	nextPort int
+	// byInternal maps internal endpoint (+destination for symmetric NATs)
+	// to mapping.
+	byKey map[string]*mapping
+	// byExternal maps external port to mapping.
+	byExternal map[int]*mapping
+	// forwards are static UPnP port mappings: external port -> internal.
+	forwards map[int]Addr
+	upnp     bool
+}
+
+// NewBox creates a NAT box of the given behaviour.
+func NewBox(t Type, externalHost string, upnp bool) *Box {
+	return &Box{
+		Type:         t,
+		ExternalHost: externalHost,
+		nextPort:     20000,
+		byKey:        make(map[string]*mapping),
+		byExternal:   make(map[int]*mapping),
+		forwards:     make(map[int]Addr),
+		upnp:         upnp,
+	}
+}
+
+func (b *Box) key(internal, dst Addr) string {
+	if b.Type == Symmetric {
+		return internal.String() + "|" + dst.String()
+	}
+	return internal.String()
+}
+
+// SendOut translates an outbound packet from internal src to external dst,
+// returning the external source address the destination will observe. It
+// creates or reuses a mapping per the box's mapping behaviour and records
+// the destination for filtering.
+func (b *Box) SendOut(src, dst Addr) Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.key(src, dst)
+	m, ok := b.byKey[k]
+	if !ok {
+		b.nextPort++
+		m = &mapping{
+			internal: src,
+			external: Addr{Host: b.ExternalHost, Port: b.nextPort},
+			peers:    make(map[Addr]bool),
+			hosts:    make(map[string]bool),
+		}
+		b.byKey[k] = m
+		b.byExternal[m.external.Port] = m
+	}
+	m.peers[dst] = true
+	m.hosts[dst.Host] = true
+	return m.external
+}
+
+// ReceiveIn filters an inbound packet from external src addressed to the
+// box's external port, returning the internal destination if admitted.
+// Static UPnP forwards bypass dynamic filtering.
+func (b *Box) ReceiveIn(src Addr, externalPort int) (Addr, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if internal, ok := b.forwards[externalPort]; ok {
+		return internal, nil
+	}
+	m, ok := b.byExternal[externalPort]
+	if !ok {
+		return Addr{}, ErrNoMapping
+	}
+	switch b.Type {
+	case FullCone:
+		return m.internal, nil
+	case RestrictedCone:
+		if m.hosts[src.Host] {
+			return m.internal, nil
+		}
+	case PortRestrictedCone, Symmetric:
+		if m.peers[src] {
+			return m.internal, nil
+		}
+	case None:
+		return m.internal, nil
+	}
+	return Addr{}, ErrDropped
+}
+
+// AddPortMapping installs a UPnP static forward. It fails if the box does
+// not support UPnP or the port is taken.
+func (b *Box) AddPortMapping(externalPort int, internal Addr) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.upnp {
+		return errors.New("nat: UPnP not supported by this device")
+	}
+	if _, taken := b.forwards[externalPort]; taken {
+		return errors.New("nat: external port already mapped")
+	}
+	b.forwards[externalPort] = internal
+	return nil
+}
+
+// RemovePortMapping deletes a UPnP forward.
+func (b *Box) RemovePortMapping(externalPort int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.forwards, externalPort)
+}
+
+// ---- STUN / hole punching over Boxes ----
+
+// STUNDiscover reports the external address a host (internal addr) behind
+// the box would observe via a STUN binding request to stunServer.
+func STUNDiscover(b *Box, internal, stunServer Addr) Addr {
+	return b.SendOut(internal, stunServer)
+}
+
+// HolePunch attempts a UDP hole punch between host A behind boxA and host B
+// behind boxB, using a rendezvous exchange of STUN-discovered addresses. It
+// performs the canonical simultaneous-open: both sides learn the other's
+// reflexive address, send outbound (opening their filters), then each tries
+// to deliver through the other's NAT. It returns whether bidirectional
+// connectivity was established.
+func HolePunch(boxA, boxB *Box, hostA, hostB, stunServer Addr) bool {
+	// Phase 1: both discover reflexive addresses via STUN.
+	reflexA := STUNDiscover(boxA, hostA, stunServer)
+	reflexB := STUNDiscover(boxB, hostB, stunServer)
+
+	// Phase 2: both send to the other's reflexive address. For symmetric
+	// NATs this allocates a NEW mapping whose port differs from the
+	// STUN-observed one — the crux of why symmetric punching fails against
+	// port-sensitive filters.
+	srcAtoB := boxA.SendOut(hostA, reflexB)
+	srcBtoA := boxB.SendOut(hostB, reflexA)
+
+	// Phase 3: each packet must pass the other NAT's inbound filter. A's
+	// packet arrives at B's NAT from srcAtoB targeting reflexB's port.
+	_, errB := boxB.ReceiveIn(srcAtoB, reflexB.Port)
+	_, errA := boxA.ReceiveIn(srcBtoA, reflexA.Port)
+	if errA == nil && errB == nil {
+		return true
+	}
+	// Retry round: a side that RECEIVED a packet learned the peer's true
+	// external address and can answer it directly. (A side whose inbound
+	// was dropped learned nothing — it cannot aim any better than the STUN
+	// reflexive address it already tried.)
+	if errB == nil && errA != nil {
+		// B got A's packet from srcAtoB; B replies straight at it.
+		srcBtoA2 := boxB.SendOut(hostB, srcAtoB)
+		_, err := boxA.ReceiveIn(srcBtoA2, srcAtoB.Port)
+		return err == nil
+	}
+	if errA == nil && errB != nil {
+		srcAtoB2 := boxA.SendOut(hostA, srcBtoA)
+		_, err := boxB.ReceiveIn(srcAtoB2, srcBtoA.Port)
+		return err == nil
+	}
+	return false
+}
+
+// ---- TURN relay ----
+
+// Relay models a TURN server: both parties connect outbound to it, and it
+// forwards between them. Relaying always works (outbound connections are
+// never filtered) but adds a relay hop; RelayPenalty quantifies it for
+// experiments.
+type Relay struct {
+	Addr Addr
+	// ExtraRTT is the added round-trip latency of the dogleg path.
+	ExtraRTTSeconds float64
+	// BandwidthCapBps caps throughput at the relay's provisioned capacity.
+	BandwidthCapBps float64
+}
+
+// Connect verifies both endpoints can reach the relay (always true in the
+// model: outbound traffic passes every NAT type) and returns the penalty
+// descriptor the session must apply.
+func (r *Relay) Connect(a, b Endpoint) (extraRTT float64, bwCap float64) {
+	return r.ExtraRTTSeconds, r.BandwidthCapBps
+}

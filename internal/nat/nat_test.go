@@ -1,0 +1,243 @@
+package nat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEffective(t *testing.T) {
+	cases := []struct {
+		chain []Type
+		want  Type
+	}{
+		{nil, None},
+		{[]Type{FullCone}, FullCone},
+		{[]Type{FullCone, Symmetric}, Symmetric}, // CGN dominates
+		{[]Type{Symmetric, FullCone}, Symmetric},
+		{[]Type{RestrictedCone, PortRestrictedCone}, PortRestrictedCone},
+	}
+	for _, c := range cases {
+		if got := Effective(c.chain); got != c.want {
+			t.Errorf("Effective(%v) = %v, want %v", c.chain, got, c.want)
+		}
+	}
+}
+
+func TestCanHolePunchMatrix(t *testing.T) {
+	// The standard pairwise result matrix.
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{None, Symmetric, true},
+		{FullCone, FullCone, true},
+		{FullCone, Symmetric, true},
+		{RestrictedCone, Symmetric, true},
+		{PortRestrictedCone, PortRestrictedCone, true},
+		{PortRestrictedCone, Symmetric, false},
+		{Symmetric, Symmetric, false},
+	}
+	for _, c := range cases {
+		if got := CanHolePunch(c.a, c.b); got != c.want {
+			t.Errorf("CanHolePunch(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Matrix is symmetric.
+		if got := CanHolePunch(c.b, c.a); got != c.want {
+			t.Errorf("CanHolePunch(%v,%v) (flipped) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPlanTraversal(t *testing.T) {
+	pubClient := Endpoint{}
+	cases := []struct {
+		name string
+		hpop Endpoint
+		want Method
+	}{
+		{"public hpop", Endpoint{}, Direct},
+		{"home NAT with UPnP", Endpoint{Chain: []Type{PortRestrictedCone}, UPnP: true}, UPnP},
+		{"home NAT no UPnP, punchable", Endpoint{Chain: []Type{PortRestrictedCone}}, STUN},
+		{"CGN, UPnP useless", Endpoint{Chain: []Type{FullCone, Symmetric}, UPnP: true}, STUN},
+		{"symmetric vs public client", Endpoint{Chain: []Type{Symmetric}}, STUN},
+	}
+	for _, c := range cases {
+		if got := PlanTraversal(c.hpop, pubClient); got.Method != c.want {
+			t.Errorf("%s: method = %v, want %v", c.name, got.Method, c.want)
+		}
+	}
+	// Symmetric HPoP vs port-restricted client: punch fails -> TURN.
+	plan := PlanTraversal(
+		Endpoint{Chain: []Type{Symmetric}},
+		Endpoint{Chain: []Type{PortRestrictedCone}},
+	)
+	if plan.Method != TURN || !plan.Relayed {
+		t.Errorf("symmetric vs port-restricted = %+v, want relayed TURN", plan)
+	}
+}
+
+func TestEndpointHelpers(t *testing.T) {
+	if !(Endpoint{}).Public() {
+		t.Error("empty chain should be public")
+	}
+	e := Endpoint{Chain: []Type{FullCone, Symmetric}}
+	if !e.BehindCGN() || e.Public() {
+		t.Error("CGN endpoint misclassified")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Symmetric.String() != "symmetric" || None.String() != "public" {
+		t.Error("Type.String wrong")
+	}
+	if TURN.String() != "turn" || Direct.String() != "direct" {
+		t.Error("Method.String wrong")
+	}
+	if Type(99).String() == "" || Method(99).String() == "" {
+		t.Error("unknown enums must stringify")
+	}
+}
+
+func TestBoxMappingReuseConeVsSymmetric(t *testing.T) {
+	host := Addr{Host: "10.0.0.2", Port: 5000}
+	dst1 := Addr{Host: "198.51.100.1", Port: 80}
+	dst2 := Addr{Host: "198.51.100.2", Port: 80}
+
+	cone := NewBox(FullCone, "203.0.113.1", false)
+	m1 := cone.SendOut(host, dst1)
+	m2 := cone.SendOut(host, dst2)
+	if m1 != m2 {
+		t.Errorf("cone NAT allocated distinct mappings: %v vs %v", m1, m2)
+	}
+
+	sym := NewBox(Symmetric, "203.0.113.2", false)
+	s1 := sym.SendOut(host, dst1)
+	s2 := sym.SendOut(host, dst2)
+	if s1 == s2 {
+		t.Error("symmetric NAT reused mapping across destinations")
+	}
+}
+
+func TestBoxFiltering(t *testing.T) {
+	host := Addr{Host: "10.0.0.2", Port: 5000}
+	peer := Addr{Host: "198.51.100.1", Port: 4321}
+	otherPort := Addr{Host: "198.51.100.1", Port: 9999}
+	otherHost := Addr{Host: "198.51.100.9", Port: 4321}
+
+	check := func(typ Type, src Addr, wantOK bool) {
+		t.Helper()
+		b := NewBox(typ, "203.0.113.1", false)
+		ext := b.SendOut(host, peer)
+		_, err := b.ReceiveIn(src, ext.Port)
+		if (err == nil) != wantOK {
+			t.Errorf("%v: inbound from %v ok=%v, want %v", typ, src, err == nil, wantOK)
+		}
+	}
+	// Full cone admits anyone.
+	check(FullCone, otherHost, true)
+	// Restricted cone admits same host, any port.
+	check(RestrictedCone, otherPort, true)
+	check(RestrictedCone, otherHost, false)
+	// Port-restricted admits only the exact peer.
+	check(PortRestrictedCone, peer, true)
+	check(PortRestrictedCone, otherPort, false)
+	// Unknown external port.
+	b := NewBox(FullCone, "x", false)
+	if _, err := b.ReceiveIn(peer, 12345); err != ErrNoMapping {
+		t.Errorf("unmapped port err = %v, want ErrNoMapping", err)
+	}
+}
+
+func TestBoxUPnPForward(t *testing.T) {
+	internal := Addr{Host: "10.0.0.2", Port: 8080}
+	anyone := Addr{Host: "198.51.100.77", Port: 31337}
+
+	b := NewBox(PortRestrictedCone, "203.0.113.1", true)
+	if err := b.AddPortMapping(8080, internal); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReceiveIn(anyone, 8080)
+	if err != nil || got != internal {
+		t.Errorf("UPnP forward: got %v, %v", got, err)
+	}
+	if err := b.AddPortMapping(8080, internal); err == nil {
+		t.Error("duplicate port mapping accepted")
+	}
+	b.RemovePortMapping(8080)
+	if _, err := b.ReceiveIn(anyone, 8080); err == nil {
+		t.Error("forward survived removal")
+	}
+
+	noUPnP := NewBox(FullCone, "203.0.113.2", false)
+	if err := noUPnP.AddPortMapping(80, internal); err == nil {
+		t.Error("UPnP mapping accepted on non-UPnP box")
+	}
+}
+
+func TestHolePunchOutcomesMatchMatrix(t *testing.T) {
+	stun := Addr{Host: "192.0.2.1", Port: 3478}
+	hostA := Addr{Host: "10.0.0.2", Port: 5000}
+	hostB := Addr{Host: "10.1.0.2", Port: 5000}
+	types := []Type{FullCone, RestrictedCone, PortRestrictedCone, Symmetric}
+	for _, ta := range types {
+		for _, tb := range types {
+			boxA := NewBox(ta, "203.0.113.1", false)
+			boxB := NewBox(tb, "203.0.113.2", false)
+			got := HolePunch(boxA, boxB, hostA, hostB, stun)
+			want := CanHolePunch(ta, tb)
+			if got != want {
+				t.Errorf("HolePunch(%v,%v) = %v; matrix says %v", ta, tb, got, want)
+			}
+		}
+	}
+}
+
+func TestSTUNDiscoverReturnsReflexive(t *testing.T) {
+	b := NewBox(PortRestrictedCone, "203.0.113.1", false)
+	host := Addr{Host: "10.0.0.2", Port: 5000}
+	stun := Addr{Host: "192.0.2.1", Port: 3478}
+	reflex := STUNDiscover(b, host, stun)
+	if reflex.Host != "203.0.113.1" || reflex.Port == 0 {
+		t.Errorf("reflexive addr = %v", reflex)
+	}
+}
+
+func TestRelayConnect(t *testing.T) {
+	r := &Relay{
+		Addr:            Addr{Host: "relay", Port: 3478},
+		ExtraRTTSeconds: 0.04,
+		BandwidthCapBps: 50e6,
+	}
+	rtt, bw := r.Connect(Endpoint{Chain: []Type{Symmetric}}, Endpoint{Chain: []Type{Symmetric}})
+	if rtt != 0.04 || bw != 50e6 {
+		t.Errorf("relay penalty = %v, %v", rtt, bw)
+	}
+}
+
+// Property: the planner never returns Unreachable and only flags Relayed for
+// TURN.
+func TestPlanTraversalTotalProperty(t *testing.T) {
+	f := func(chainRaw []uint8, clientRaw []uint8, upnp bool) bool {
+		toChain := func(raw []uint8) []Type {
+			var out []Type
+			for _, r := range raw {
+				if len(out) == 2 {
+					break
+				}
+				out = append(out, Type(int(r%4)+2)) // FullCone..Symmetric
+			}
+			return out
+		}
+		p := PlanTraversal(
+			Endpoint{Chain: toChain(chainRaw), UPnP: upnp},
+			Endpoint{Chain: toChain(clientRaw)},
+		)
+		if p.Method == Unreachable || p.Method == 0 {
+			return false
+		}
+		return p.Relayed == (p.Method == TURN)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"testing"
+
+	"hpop/internal/sim"
+)
+
+// BenchmarkReallocate100Flows measures the max-min recomputation cost at
+// CCZ scale: 100 homes each with one active flow, plus churn.
+func BenchmarkReallocate100Flows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.New()
+		n := New(k)
+		nb := BuildNeighborhood(n, nil, NeighborhoodConfig{Homes: 100})
+		srv := nb.AttachServer("srv", 0, 0.02)
+		for h := 0; h < 100; h++ {
+			path, err := nb.DownPath(srv, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.StartFlow(path, 1e6); err != nil {
+				b.Fatal(err)
+			}
+		}
+		k.Run(0)
+	}
+}

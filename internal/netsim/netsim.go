@@ -1,0 +1,513 @@
+// Package netsim is a discrete-event, fluid-flow network simulator.
+//
+// It models a network as directed links with fixed capacity and propagation
+// delay, and transfers as fluid flows that share link capacity max-min
+// fairly. Whenever the flow population changes, the simulator recomputes the
+// global max-min fair allocation (progressive filling, honoring per-flow rate
+// caps) and reschedules flow-completion events.
+//
+// The model deliberately abstracts packets away: the experiments built on it
+// (CCZ utilization, bottleneck shift, NoCDN/detour/cooperative-cache transfer
+// times) are bandwidth-sharing and transfer-time questions, for which a fluid
+// model is the standard substrate. Protocol dynamics that do depend on
+// packets and RTTs (slow start, MPTCP scheduling) live in internal/tcpsim.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpop/internal/sim"
+)
+
+// Common errors returned by the simulator.
+var (
+	ErrNoRoute      = errors.New("netsim: no route between nodes")
+	ErrEmptyPath    = errors.New("netsim: empty path")
+	ErrBrokenPath   = errors.New("netsim: links do not form a connected path")
+	ErrFlowFinished = errors.New("netsim: flow already finished")
+)
+
+// Node is a network endpoint or switch.
+type Node struct {
+	id   int
+	name string
+	out  []*Link
+}
+
+// Name returns the node's label.
+func (n *Node) Name() string { return n.name }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.name }
+
+// Link is a directed link with a capacity in bits per second and a one-way
+// propagation delay.
+type Link struct {
+	id       int
+	from, to *Node
+	capBps   float64
+	delay    sim.Time
+
+	active map[*Flow]struct{}
+
+	// utilization accounting
+	lastUpdate  sim.Time
+	bitsCarried float64 // integral of allocated rate over time
+	peakBps     float64
+}
+
+// From returns the transmitting endpoint.
+func (l *Link) From() *Node { return l.from }
+
+// To returns the receiving endpoint.
+func (l *Link) To() *Node { return l.to }
+
+// Capacity returns the link capacity in bits per second.
+func (l *Link) Capacity() float64 { return l.capBps }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// ActiveFlows returns the number of flows currently crossing the link.
+func (l *Link) ActiveFlows() int { return len(l.active) }
+
+// PeakBps returns the highest aggregate allocated rate observed on the link.
+func (l *Link) PeakBps() float64 { return l.peakBps }
+
+// String implements fmt.Stringer.
+func (l *Link) String() string {
+	return fmt.Sprintf("%s->%s@%.0fbps", l.from.name, l.to.name, l.capBps)
+}
+
+// Flow is a fluid transfer along a fixed path of links.
+type Flow struct {
+	id         int
+	path       []*Link
+	bytesTotal float64
+	bytesLeft  float64
+	rateCap    float64 // bits/sec demand limit; 0 = unlimited
+	rate       float64 // current allocated bits/sec
+	start      sim.Time
+	finish     sim.Time
+	finished   bool
+	stopped    bool
+	onDone     func(*Flow)
+	completion *sim.Event
+}
+
+// Rate returns the currently allocated rate in bits per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// BytesLeft returns the bytes still to transfer (as of the last allocation
+// recompute; intra-interval progress is accounted lazily).
+func (f *Flow) BytesLeft() float64 { return f.bytesLeft }
+
+// BytesTotal returns the flow size in bytes.
+func (f *Flow) BytesTotal() float64 { return f.bytesTotal }
+
+// Finished reports whether the flow completed (all bytes delivered).
+func (f *Flow) Finished() bool { return f.finished }
+
+// Stopped reports whether the flow was aborted before completion.
+func (f *Flow) Stopped() bool { return f.stopped }
+
+// Start returns the time the flow was started.
+func (f *Flow) Start() sim.Time { return f.start }
+
+// FinishTime returns the completion instant. Valid only once Finished.
+func (f *Flow) FinishTime() sim.Time { return f.finish }
+
+// Duration returns completion time minus start time (propagation delay
+// included). Valid only once Finished.
+func (f *Flow) Duration() sim.Time { return f.finish - f.start }
+
+// PathDelay returns the sum of one-way propagation delays along the path.
+func (f *Flow) PathDelay() sim.Time {
+	var d sim.Time
+	for _, l := range f.path {
+		d += l.delay
+	}
+	return d
+}
+
+// Net is the simulated network. All methods must be called from the owning
+// goroutine / from within simulation events; Net is not safe for concurrent
+// use (the simulation kernel is single-threaded by design).
+type Net struct {
+	kernel *sim.Kernel
+	nodes  []*Node
+	links  []*Link
+	flows  map[*Flow]struct{}
+
+	nextFlowID int
+	lastSync   sim.Time
+}
+
+// New creates an empty network bound to the given simulation kernel.
+func New(k *sim.Kernel) *Net {
+	return &Net{kernel: k, flows: make(map[*Flow]struct{})}
+}
+
+// Kernel returns the simulation kernel driving this network.
+func (n *Net) Kernel() *sim.Kernel { return n.kernel }
+
+// AddNode creates a named node.
+func (n *Net) AddNode(name string) *Node {
+	node := &Node{id: len(n.nodes), name: name}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// AddLink creates a directed link from -> to.
+func (n *Net) AddLink(from, to *Node, capBps float64, delay sim.Time) *Link {
+	if capBps <= 0 {
+		panic("netsim: non-positive link capacity")
+	}
+	l := &Link{
+		id:     len(n.links),
+		from:   from,
+		to:     to,
+		capBps: capBps,
+		delay:  delay,
+		active: make(map[*Flow]struct{}),
+	}
+	n.links = append(n.links, l)
+	from.out = append(from.out, l)
+	return l
+}
+
+// AddDuplexLink creates a pair of directed links a->b and b->a with the same
+// capacity and delay, returning them in that order.
+func (n *Net) AddDuplexLink(a, b *Node, capBps float64, delay sim.Time) (*Link, *Link) {
+	return n.AddLink(a, b, capBps, delay), n.AddLink(b, a, capBps, delay)
+}
+
+// Route returns a minimum-hop path of links from src to dst (BFS). Ties are
+// broken by insertion order, which keeps routing deterministic.
+func (n *Net) Route(src, dst *Node) ([]*Link, error) {
+	if src == dst {
+		return nil, ErrEmptyPath
+	}
+	prev := make(map[*Node]*Link, len(n.nodes))
+	visited := make(map[*Node]bool, len(n.nodes))
+	visited[src] = true
+	queue := []*Node{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range cur.out {
+			if visited[l.to] {
+				continue
+			}
+			visited[l.to] = true
+			prev[l.to] = l
+			if l.to == dst {
+				// reconstruct
+				var rev []*Link
+				for at := dst; at != src; {
+					link := prev[at]
+					rev = append(rev, link)
+					at = link.from
+				}
+				path := make([]*Link, len(rev))
+				for i := range rev {
+					path[i] = rev[len(rev)-1-i]
+				}
+				return path, nil
+			}
+			queue = append(queue, l.to)
+		}
+	}
+	return nil, ErrNoRoute
+}
+
+// FlowOption customizes a flow at start time.
+type FlowOption func(*Flow)
+
+// WithRateCap limits a flow's rate to capBps bits per second (an
+// application-limited source). Non-positive means unlimited.
+func WithRateCap(capBps float64) FlowOption {
+	return func(f *Flow) {
+		if capBps > 0 {
+			f.rateCap = capBps
+		}
+	}
+}
+
+// WithOnDone registers a completion callback, invoked from within the
+// simulation when the last byte is delivered.
+func WithOnDone(fn func(*Flow)) FlowOption {
+	return func(f *Flow) { f.onDone = fn }
+}
+
+// StartFlow begins transferring bytes along the explicit link path. The
+// path must be non-empty and connected.
+func (n *Net) StartFlow(path []*Link, bytes float64, opts ...FlowOption) (*Flow, error) {
+	if len(path) == 0 {
+		return nil, ErrEmptyPath
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].from != path[i-1].to {
+			return nil, ErrBrokenPath
+		}
+	}
+	if bytes <= 0 {
+		bytes = 1 // degenerate but well-defined: delivers "immediately"
+	}
+	f := &Flow{
+		id:         n.nextFlowID,
+		path:       path,
+		bytesTotal: bytes,
+		bytesLeft:  bytes,
+		start:      n.kernel.Now(),
+	}
+	n.nextFlowID++
+	for _, o := range opts {
+		o(f)
+	}
+	n.syncProgress()
+	n.flows[f] = struct{}{}
+	for _, l := range path {
+		l.active[f] = struct{}{}
+	}
+	n.reallocate()
+	return f, nil
+}
+
+// StartFlowBetween routes from src to dst and starts a flow on that path.
+func (n *Net) StartFlowBetween(src, dst *Node, bytes float64, opts ...FlowOption) (*Flow, error) {
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return n.StartFlow(path, bytes, opts...)
+}
+
+// StopFlow aborts an in-progress flow. Remaining bytes are discarded.
+func (n *Net) StopFlow(f *Flow) error {
+	if f.finished || f.stopped {
+		return ErrFlowFinished
+	}
+	n.syncProgress()
+	f.stopped = true
+	n.removeFlow(f)
+	n.reallocate()
+	return nil
+}
+
+// SetRateCap changes a flow's demand limit mid-transfer.
+func (n *Net) SetRateCap(f *Flow, capBps float64) error {
+	if f.finished || f.stopped {
+		return ErrFlowFinished
+	}
+	n.syncProgress()
+	if capBps <= 0 {
+		f.rateCap = 0
+	} else {
+		f.rateCap = capBps
+	}
+	n.reallocate()
+	return nil
+}
+
+// ActiveFlows returns the number of in-progress flows.
+func (n *Net) ActiveFlows() int { return len(n.flows) }
+
+// syncProgress charges elapsed time since the last allocation change against
+// every active flow's remaining bytes and every link's carried-bits integral.
+func (n *Net) syncProgress() {
+	now := n.kernel.Now()
+	dt := float64(now - n.lastSync)
+	if dt > 0 {
+		for f := range n.flows {
+			f.bytesLeft -= f.rate * dt / 8
+			if f.bytesLeft < 0 {
+				f.bytesLeft = 0
+			}
+		}
+		for _, l := range n.links {
+			var sum float64
+			for f := range l.active {
+				sum += f.rate
+			}
+			l.bitsCarried += sum * dt
+		}
+	}
+	n.lastSync = now
+}
+
+func (n *Net) removeFlow(f *Flow) {
+	delete(n.flows, f)
+	for _, l := range f.path {
+		delete(l.active, f)
+	}
+	if f.completion != nil {
+		n.kernel.Cancel(f.completion)
+		f.completion = nil
+	}
+}
+
+// reallocate computes the global max-min fair allocation via progressive
+// filling and reschedules each flow's completion event.
+func (n *Net) reallocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		remaining float64
+		count     int
+	}
+	states := make(map[*Link]*linkState)
+	unfrozen := make(map[*Flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		unfrozen[f] = struct{}{}
+		f.rate = 0
+	}
+	for _, l := range n.links {
+		if len(l.active) > 0 {
+			states[l] = &linkState{remaining: l.capBps, count: len(l.active)}
+		}
+	}
+
+	freeze := func(f *Flow, rate float64) {
+		f.rate = rate
+		delete(unfrozen, f)
+		for _, l := range f.path {
+			st := states[l]
+			st.remaining -= rate
+			if st.remaining < 0 {
+				st.remaining = 0
+			}
+			st.count--
+		}
+	}
+
+	for len(unfrozen) > 0 {
+		// Find the binding constraint: the smallest of (a) any link's fair
+		// share among its unfrozen flows and (b) any unfrozen flow's cap.
+		minShare := math.Inf(1)
+		for l, st := range states {
+			if st.count <= 0 {
+				continue
+			}
+			// Only links with unfrozen flows constrain.
+			hasUnfrozen := false
+			for f := range l.active {
+				if _, ok := unfrozen[f]; ok {
+					hasUnfrozen = true
+					break
+				}
+			}
+			if !hasUnfrozen {
+				continue
+			}
+			if share := st.remaining / float64(st.count); share < minShare {
+				minShare = share
+			}
+		}
+		// Flows whose demand cap is below the current water level freeze at
+		// their cap first.
+		var cappedFlow *Flow
+		minCap := minShare
+		for f := range unfrozen {
+			if f.rateCap > 0 && f.rateCap < minCap {
+				minCap = f.rateCap
+				cappedFlow = f
+			}
+		}
+		if cappedFlow != nil {
+			freeze(cappedFlow, cappedFlow.rateCap)
+			continue
+		}
+		if math.IsInf(minShare, 1) {
+			// No constraining link (shouldn't happen: every flow crosses at
+			// least one link); freeze everything at link capacity share 0.
+			for f := range unfrozen {
+				freeze(f, 0)
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing a saturated-at-minShare link.
+		frozeAny := false
+		for l, st := range states {
+			if st.count <= 0 {
+				continue
+			}
+			if st.remaining/float64(st.count) <= minShare*(1+1e-12) {
+				for f := range l.active {
+					if _, ok := unfrozen[f]; ok {
+						freeze(f, minShare)
+						frozeAny = true
+					}
+				}
+			}
+		}
+		if !frozeAny {
+			// Numerical fallback: freeze all remaining at minShare.
+			for f := range unfrozen {
+				freeze(f, minShare)
+			}
+		}
+	}
+
+	// Track peaks and reschedule completions.
+	for _, l := range n.links {
+		var sum float64
+		for f := range l.active {
+			sum += f.rate
+		}
+		if sum > l.peakBps {
+			l.peakBps = sum
+		}
+	}
+	now := n.kernel.Now()
+	for f := range n.flows {
+		if f.completion != nil {
+			n.kernel.Cancel(f.completion)
+			f.completion = nil
+		}
+		if f.rate <= 0 {
+			continue // starved; will be rescheduled on the next reallocate
+		}
+		remaining := sim.Time(f.bytesLeft * 8 / f.rate)
+		eta := now + remaining
+		if f.bytesLeft >= f.bytesTotal {
+			// First byte has not left yet: charge path propagation delay once.
+			eta += f.PathDelay()
+		}
+		ff := f
+		f.completion = n.kernel.At(eta, func() { n.completeFlow(ff) })
+	}
+}
+
+func (n *Net) completeFlow(f *Flow) {
+	n.syncProgress()
+	f.bytesLeft = 0
+	f.finished = true
+	f.finish = n.kernel.Now()
+	f.completion = nil
+	n.removeFlow(f)
+	n.reallocate()
+	if f.onDone != nil {
+		f.onDone(f)
+	}
+}
+
+// AvgUtilization returns the average utilization of a link over [0, now] as
+// a fraction of capacity.
+func (n *Net) AvgUtilization(l *Link) float64 {
+	n.syncProgress()
+	now := float64(n.kernel.Now())
+	if now <= 0 {
+		return 0
+	}
+	return l.bitsCarried / (l.capBps * now)
+}
+
+// BitsCarried returns the total bits delivered over the link so far.
+func (n *Net) BitsCarried(l *Link) float64 {
+	n.syncProgress()
+	return l.bitsCarried
+}

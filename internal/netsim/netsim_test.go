@@ -1,0 +1,495 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpop/internal/sim"
+)
+
+// twoNodeNet builds a single directed link a->b with the given capacity and
+// delay, returning the net and the path.
+func twoNodeNet(t *testing.T, capBps float64, delay sim.Time) (*Net, []*Link) {
+	t.Helper()
+	k := sim.New()
+	n := New(k)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	l := n.AddLink(a, b, capBps, delay)
+	return n, []*Link{l}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowTransferTime(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0.01) // 8 Mbps, 10 ms
+	var done *Flow
+	f, err := n.StartFlow(path, 1e6, WithOnDone(func(f *Flow) { done = f })) // 1 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Kernel().Run(0)
+	if done != f || !f.Finished() {
+		t.Fatal("flow did not finish")
+	}
+	// 1 MB over 8 Mbps = 1 s serialization + 10 ms propagation.
+	if !almost(float64(f.Duration()), 1.01, 1e-9) {
+		t.Errorf("duration = %v, want 1.01s", f.Duration())
+	}
+}
+
+func TestTwoFlowsFairShare(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	f1, _ := n.StartFlow(path, 1e6)
+	f2, _ := n.StartFlow(path, 1e6)
+	if !almost(f1.Rate(), 4e6, 1) || !almost(f2.Rate(), 4e6, 1) {
+		t.Errorf("rates = %v, %v; want 4e6 each", f1.Rate(), f2.Rate())
+	}
+	n.Kernel().Run(0)
+	// Both 1 MB at 4 Mbps: 2 s each.
+	if !almost(float64(f1.Duration()), 2, 1e-9) || !almost(float64(f2.Duration()), 2, 1e-9) {
+		t.Errorf("durations = %v, %v; want 2s", f1.Duration(), f2.Duration())
+	}
+}
+
+func TestFlowCompletionSpeedsUpRemaining(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	f1, _ := n.StartFlow(path, 1e6) // shares 4 Mbps until f2 finishes
+	f2, _ := n.StartFlow(path, 0.5e6)
+	n.Kernel().Run(0)
+	// f2: 0.5 MB at 4 Mbps = 1 s. f1: 0.5 MB in first second, then the
+	// remaining 0.5 MB at full 8 Mbps = 0.5 s. Total 1.5 s.
+	if !almost(float64(f2.Duration()), 1.0, 1e-9) {
+		t.Errorf("f2 duration = %v, want 1s", f2.Duration())
+	}
+	if !almost(float64(f1.Duration()), 1.5, 1e-9) {
+		t.Errorf("f1 duration = %v, want 1.5s", f1.Duration())
+	}
+}
+
+func TestRateCap(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	capped, _ := n.StartFlow(path, 1e6, WithRateCap(1e6))
+	open, _ := n.StartFlow(path, 1e6)
+	// Capped flow gets its 1 Mbps; open flow gets the remaining 7 Mbps
+	// (max-min with demand limits).
+	if !almost(capped.Rate(), 1e6, 1) {
+		t.Errorf("capped rate = %v, want 1e6", capped.Rate())
+	}
+	if !almost(open.Rate(), 7e6, 1) {
+		t.Errorf("open rate = %v, want 7e6", open.Rate())
+	}
+	n.Kernel().Run(0)
+}
+
+func TestSetRateCapMidTransfer(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	f, _ := n.StartFlow(path, 2e6)
+	n.Kernel().After(1, func() {
+		if err := n.SetRateCap(f, 4e6); err != nil {
+			t.Errorf("SetRateCap: %v", err)
+		}
+	})
+	n.Kernel().Run(0)
+	// First second at 8 Mbps moves 1 MB; remaining 1 MB at 4 Mbps takes 2 s.
+	if !almost(float64(f.Duration()), 3, 1e-9) {
+		t.Errorf("duration = %v, want 3s", f.Duration())
+	}
+}
+
+func TestStopFlow(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	f1, _ := n.StartFlow(path, 8e6) // would take 8 s alone
+	f2, _ := n.StartFlow(path, 8e6)
+	n.Kernel().After(2, func() {
+		if err := n.StopFlow(f1); err != nil {
+			t.Errorf("StopFlow: %v", err)
+		}
+	})
+	n.Kernel().Run(0)
+	if !f1.Stopped() || f1.Finished() {
+		t.Error("f1 should be stopped, not finished")
+	}
+	// f2: 2 s at 4 Mbps (1 MB), then 7 MB at 8 Mbps (7 s) => 9 s.
+	if !almost(float64(f2.Duration()), 9, 1e-9) {
+		t.Errorf("f2 duration = %v, want 9s", f2.Duration())
+	}
+	if err := n.StopFlow(f1); err != ErrFlowFinished {
+		t.Errorf("double stop = %v, want ErrFlowFinished", err)
+	}
+}
+
+func TestMultiHopBottleneck(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	a, b, c := n.AddNode("a"), n.AddNode("b"), n.AddNode("c")
+	l1 := n.AddLink(a, b, 10e6, 0.001)
+	l2 := n.AddLink(b, c, 2e6, 0.001)
+	f, err := n.StartFlow([]*Link{l1, l2}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(f.Rate(), 2e6, 1) {
+		t.Errorf("rate = %v, want bottleneck 2e6", f.Rate())
+	}
+	k.Run(0)
+	// 1 MB at 2 Mbps = 4 s + 2 ms propagation.
+	if !almost(float64(f.Duration()), 4.002, 1e-9) {
+		t.Errorf("duration = %v, want 4.002", f.Duration())
+	}
+}
+
+func TestMaxMinAcrossLinks(t *testing.T) {
+	// Classic max-min example: flow X crosses both links, flows Y and Z one
+	// each. Link1 cap 10, link2 cap 4 (Mbps). Max-min: X and Z split link2
+	// (2 each); Y gets link1 leftover (8).
+	k := sim.New()
+	n := New(k)
+	a, b, c := n.AddNode("a"), n.AddNode("b"), n.AddNode("c")
+	l1 := n.AddLink(a, b, 10e6, 0)
+	l2 := n.AddLink(b, c, 4e6, 0)
+	x, _ := n.StartFlow([]*Link{l1, l2}, 1e9)
+	y, _ := n.StartFlow([]*Link{l1}, 1e9)
+	z, _ := n.StartFlow([]*Link{l2}, 1e9)
+	if !almost(x.Rate(), 2e6, 1) {
+		t.Errorf("x rate = %v, want 2e6", x.Rate())
+	}
+	if !almost(y.Rate(), 8e6, 1) {
+		t.Errorf("y rate = %v, want 8e6", y.Rate())
+	}
+	if !almost(z.Rate(), 2e6, 1) {
+		t.Errorf("z rate = %v, want 2e6", z.Rate())
+	}
+	n.StopFlow(x)
+	n.StopFlow(y)
+	n.StopFlow(z)
+}
+
+func TestRoute(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	a, b, c, d := n.AddNode("a"), n.AddNode("b"), n.AddNode("c"), n.AddNode("d")
+	n.AddDuplexLink(a, b, 1e6, 0)
+	n.AddDuplexLink(b, c, 1e6, 0)
+	n.AddDuplexLink(c, d, 1e6, 0)
+	n.AddDuplexLink(a, d, 1e6, 0) // shortcut
+	path, err := n.Route(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 {
+		t.Errorf("Route a->d len = %d, want 1 (shortcut)", len(path))
+	}
+	path, err = n.Route(b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("Route b->d len = %d, want 2", len(path))
+	}
+	if _, err := n.Route(a, a); err != ErrEmptyPath {
+		t.Errorf("Route a->a err = %v, want ErrEmptyPath", err)
+	}
+	iso := n.AddNode("island")
+	if _, err := n.Route(a, iso); err != ErrNoRoute {
+		t.Errorf("Route to island err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestStartFlowErrors(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	a, b, c := n.AddNode("a"), n.AddNode("b"), n.AddNode("c")
+	l1 := n.AddLink(a, b, 1e6, 0)
+	l2 := n.AddLink(a, c, 1e6, 0) // does not chain after l1
+	if _, err := n.StartFlow(nil, 100); err != ErrEmptyPath {
+		t.Errorf("empty path err = %v", err)
+	}
+	if _, err := n.StartFlow([]*Link{l1, l2}, 100); err != ErrBrokenPath {
+		t.Errorf("broken path err = %v", err)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	n, path := twoNodeNet(t, 8e6, 0)
+	n.StartFlow(path, 1e6) // 1 s at full rate
+	n.Kernel().Run(2)      // then 1 s idle
+	l := path[0]
+	if got := n.BitsCarried(l); !almost(got, 8e6, 1) {
+		t.Errorf("BitsCarried = %v, want 8e6", got)
+	}
+	if got := n.AvgUtilization(l); !almost(got, 0.5, 1e-6) {
+		t.Errorf("AvgUtilization = %v, want 0.5", got)
+	}
+	if got := l.PeakBps(); !almost(got, 8e6, 1) {
+		t.Errorf("PeakBps = %v, want 8e6", got)
+	}
+}
+
+func TestNeighborhoodTopology(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	nb := BuildNeighborhood(n, nil, NeighborhoodConfig{Homes: 10})
+	if len(nb.Homes) != 10 {
+		t.Fatalf("homes = %d", len(nb.Homes))
+	}
+	srv := nb.AttachServer("srv", 0, 0.025)
+
+	// Server->home path crosses the aggregation downlink.
+	path, err := nb.DownPath(srv, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range path {
+		if l == nb.AggDown {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("server->home path missed aggregation downlink")
+	}
+
+	// Lateral path must avoid the aggregation links entirely.
+	lat, err := nb.LateralPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lat {
+		if l == nb.AggUp || l == nb.AggDown {
+			t.Error("lateral path crossed aggregation link")
+		}
+	}
+	if len(lat) != 2 {
+		t.Errorf("lateral path len = %d, want 2", len(lat))
+	}
+}
+
+func TestNeighborhoodLateralBandwidth(t *testing.T) {
+	// Two homes exchanging data laterally get full access capacity even
+	// while the aggregation link is saturated — the paper's "lateral
+	// bandwidth" property.
+	k := sim.New()
+	n := New(k)
+	nb := BuildNeighborhood(n, nil, NeighborhoodConfig{Homes: 4, HomeBps: 1 * Gbps, AggBps: 2 * Gbps})
+	srv := nb.AttachServer("srv", 0, 0.02)
+	// Saturate aggregation: 4 homes pulling big downloads (2 Gbps / 4 = 500M each).
+	for i := 0; i < 4; i++ {
+		p, _ := nb.DownPath(srv, i)
+		n.StartFlow(p, 1e12)
+	}
+	lat, _ := nb.LateralPath(0, 1)
+	f, _ := n.StartFlow(lat, 1e9)
+	// Lateral flow shares home0's uplink (idle) and home1's downlink
+	// (occupied by a 500 Mbps download). Max-min on the 1 Gbps downlink
+	// gives each 500 Mbps.
+	if f.Rate() < 400e6 {
+		t.Errorf("lateral rate = %v, want ~500 Mbps despite saturated aggregation", f.Rate())
+	}
+}
+
+func TestBottleneckShiftShape(t *testing.T) {
+	// With few active homes the access link binds (1 Gbps per flow); with
+	// many, the 10 Gbps aggregation binds (10G/N per flow).
+	perFlow := func(active int) float64 {
+		k := sim.New()
+		n := New(k)
+		nb := BuildNeighborhood(n, nil, NeighborhoodConfig{Homes: active})
+		srv := nb.AttachServer("srv", 0, 0.02)
+		var rates []float64
+		for i := 0; i < active; i++ {
+			p, _ := nb.DownPath(srv, i)
+			f, _ := n.StartFlow(p, 1e12)
+			rates = append(rates, 0)
+			_ = f
+		}
+		// read allocated rates
+		var sum float64
+		for f := range n.flows {
+			sum += f.Rate()
+		}
+		return sum / float64(active)
+	}
+	if r := perFlow(5); !almost(r, 1*Gbps, 1e3) {
+		t.Errorf("5 homes: per-flow = %v, want 1 Gbps (access-limited)", r)
+	}
+	if r := perFlow(50); !almost(r, 10*Gbps/50, 1e3) {
+		t.Errorf("50 homes: per-flow = %v, want 200 Mbps (aggregation-limited)", r)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	a, b := n.AddNode("a"), n.AddNode("b")
+	l := n.AddLink(a, b, 8e6, 0)
+	n.StartFlow([]*Link{l}, 2e6) // 2 s at 8 Mbps
+	s := Sample(k, 0.5, 4, func() float64 {
+		var sum float64
+		for f := range l.active {
+			sum += f.Rate()
+		}
+		return sum
+	})
+	k.Run(4)
+	if len(s.Times) != 8 {
+		t.Fatalf("samples = %d, want 8", len(s.Times))
+	}
+	if got := s.FractionAbove(1e6); !almost(got, 0.5, 0.13) {
+		t.Errorf("FractionAbove = %v, want ~0.5 (busy half the window)", got)
+	}
+	if s.Max() != 8e6 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Mean() <= 0 || s.Mean() >= 8e6 {
+		t.Errorf("Mean = %v out of range", s.Mean())
+	}
+}
+
+// Property: total allocated rate on any link never exceeds capacity, and
+// every flow eventually finishes, over random small scenarios.
+func TestAllocationCapacityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		k := sim.New()
+		n := New(k)
+		nodes := make([]*Node, 5)
+		for i := range nodes {
+			nodes[i] = n.AddNode("n")
+		}
+		for i := 0; i < 4; i++ {
+			n.AddDuplexLink(nodes[i], nodes[i+1], float64(1+rng.Intn(10))*1e6, 0.001)
+		}
+		var flows []*Flow
+		for i := 0; i < 8; i++ {
+			src := rng.Intn(5)
+			dst := rng.Intn(5)
+			if src == dst {
+				continue
+			}
+			fl, err := n.StartFlowBetween(nodes[src], nodes[dst], float64(1+rng.Intn(100))*1e4)
+			if err != nil {
+				return false
+			}
+			flows = append(flows, fl)
+		}
+		// Capacity invariant at the initial allocation.
+		for _, l := range n.links {
+			var sum float64
+			for fl := range l.active {
+				sum += fl.rate
+			}
+			if sum > l.capBps*(1+1e-9) {
+				return false
+			}
+		}
+		k.Run(0)
+		for _, fl := range flows {
+			if !fl.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conservation — bits carried on a single-link path equal 8x the
+// flow bytes once finished.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizeRaw uint16) bool {
+		size := float64(sizeRaw)*100 + 1000
+		k := sim.New()
+		n := New(k)
+		a, b := n.AddNode("a"), n.AddNode("b")
+		l := n.AddLink(a, b, 8e6, 0)
+		n.StartFlow([]*Link{l}, size)
+		k.Run(0)
+		return math.Abs(n.BitsCarried(l)-size*8) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectivityHierarchy(t *testing.T) {
+	// §II: "A host has access to its local devices ... at 3-4Gbps, to its
+	// peers within the FTTH community at 1Gbps, and to the rest of the
+	// Internet through the shared aggregation link."
+	k := sim.New()
+	n := New(k)
+	nb := BuildNeighborhood(n, nil, NeighborhoodConfig{Homes: 4})
+	dev := nb.AttachDevice(0, "nas", 0)
+
+	// Tier 1: device <-> home at 3.5 Gbps.
+	p, err := n.Route(dev, nb.Homes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := n.StartFlow(p, 1e12)
+	if !almost(f1.Rate(), 3.5*Gbps, 1e3) {
+		t.Errorf("device tier rate = %v", f1.Rate())
+	}
+	n.StopFlow(f1)
+
+	// Tier 2: home <-> neighbor at 1 Gbps.
+	lat, _ := nb.LateralPath(0, 1)
+	f2, _ := n.StartFlow(lat, 1e12)
+	if !almost(f2.Rate(), 1*Gbps, 1e3) {
+		t.Errorf("neighborhood tier rate = %v", f2.Rate())
+	}
+	n.StopFlow(f2)
+}
+
+func TestCityCrossNeighborhood(t *testing.T) {
+	k := sim.New()
+	n := New(k)
+	city := BuildCity(n, 3, NeighborhoodConfig{Homes: 5, AggBps: 2 * Gbps})
+	if len(city.Neighborhoods) != 3 {
+		t.Fatalf("neighborhoods = %d", len(city.Neighborhoods))
+	}
+	// Cross-neighborhood path exists and crosses both aggregation links.
+	path, err := city.CrossPath(0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawUp, sawDown := false, false
+	for _, l := range path {
+		if l == city.Neighborhoods[0].AggUp {
+			sawUp = true
+		}
+		if l == city.Neighborhoods[2].AggDown {
+			sawDown = true
+		}
+	}
+	if !sawUp || !sawDown {
+		t.Error("cross path missed aggregation links")
+	}
+	// A single cross-neighborhood flow is access-limited (1 Gbps), but
+	// many flows share the 2 Gbps aggregates.
+	f, _ := n.StartFlow(path, 1e12)
+	if !almost(f.Rate(), 1*Gbps, 1e3) {
+		t.Errorf("single cross flow rate = %v", f.Rate())
+	}
+	var flows []*Flow
+	for h := 0; h < 5; h++ {
+		p, err := city.CrossPath(0, h, 1, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, _ := n.StartFlow(p, 1e12)
+		flows = append(flows, fl)
+	}
+	var sum float64
+	for _, fl := range flows {
+		sum += fl.Rate()
+	}
+	// nb0's 2 Gbps uplink now carries f (to nb2) plus 5 flows (to nb1):
+	// total bounded by the aggregate.
+	if sum+f.Rate() > 2*Gbps*1.001 {
+		t.Errorf("cross-neighborhood flows exceed shared aggregate: %v", sum+f.Rate())
+	}
+}

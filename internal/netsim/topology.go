@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"fmt"
+
+	"hpop/internal/sim"
+)
+
+// Standard capacities used throughout the experiments, in bits per second.
+const (
+	Kbps = 1e3
+	Mbps = 1e6
+	Gbps = 1e9
+
+	// DefaultHomeBps is the per-home FTTH access capacity (CCZ: 1 Gbps,
+	// bi-directional).
+	DefaultHomeBps = 1 * Gbps
+	// DefaultAggBps is the shared neighborhood aggregation uplink (CCZ:
+	// ~100 homes onto 10 Gbps).
+	DefaultAggBps = 10 * Gbps
+	// DefaultCoreBps approximates an uncongested core.
+	DefaultCoreBps = 100 * Gbps
+)
+
+// Neighborhood models a CCZ-style FTTH neighborhood: each home has a duplex
+// 1 Gbps link to a neighborhood switch; the switch shares one duplex 10 Gbps
+// aggregation link toward the provider core; servers hang off the core.
+//
+// Lateral (home-to-home) traffic crosses only the two access links and the
+// switch, never the aggregation uplink — the "plentiful lateral bandwidth"
+// property from §II of the paper.
+type Neighborhood struct {
+	Net    *Net
+	Switch *Node
+	Core   *Node
+	Homes  []*Node
+
+	// AggUp and AggDown are the shared aggregation links (switch->core and
+	// core->switch) whose congestion the bottleneck-shift experiment studies.
+	AggUp   *Link
+	AggDown *Link
+
+	// HomeUp[i] / HomeDown[i] are home i's access links.
+	HomeUp   []*Link
+	HomeDown []*Link
+}
+
+// NeighborhoodConfig parameterizes BuildNeighborhood.
+type NeighborhoodConfig struct {
+	Homes       int     // number of houses (CCZ: ~100)
+	HomeBps     float64 // per-home duplex capacity (default 1 Gbps)
+	AggBps      float64 // shared aggregation capacity (default 10 Gbps)
+	AccessDelay sim.Time
+	AggDelay    sim.Time
+	Name        string // label prefix for nodes
+}
+
+func (c *NeighborhoodConfig) applyDefaults() {
+	if c.Homes <= 0 {
+		c.Homes = 100
+	}
+	if c.HomeBps <= 0 {
+		c.HomeBps = DefaultHomeBps
+	}
+	if c.AggBps <= 0 {
+		c.AggBps = DefaultAggBps
+	}
+	if c.AccessDelay <= 0 {
+		c.AccessDelay = sim.Time(0.0005) // 0.5 ms fiber access
+	}
+	if c.AggDelay <= 0 {
+		c.AggDelay = sim.Time(0.002) // 2 ms to the provider core
+	}
+	if c.Name == "" {
+		c.Name = "ccz"
+	}
+}
+
+// BuildNeighborhood constructs the topology on an existing Net, attached to
+// the given core node (created if nil).
+func BuildNeighborhood(n *Net, core *Node, cfg NeighborhoodConfig) *Neighborhood {
+	cfg.applyDefaults()
+	if core == nil {
+		core = n.AddNode(cfg.Name + "-core")
+	}
+	sw := n.AddNode(cfg.Name + "-switch")
+	up, down := n.AddDuplexLink(sw, core, cfg.AggBps, cfg.AggDelay)
+	nb := &Neighborhood{
+		Net:     n,
+		Switch:  sw,
+		Core:    core,
+		AggUp:   up,
+		AggDown: down,
+	}
+	for i := 0; i < cfg.Homes; i++ {
+		h := n.AddNode(fmt.Sprintf("%s-home%03d", cfg.Name, i))
+		hu, hd := n.AddDuplexLink(h, sw, cfg.HomeBps, cfg.AccessDelay)
+		nb.Homes = append(nb.Homes, h)
+		nb.HomeUp = append(nb.HomeUp, hu)
+		nb.HomeDown = append(nb.HomeDown, hd)
+	}
+	return nb
+}
+
+// AttachServer adds a server node hanging off the core over a high-capacity
+// duplex link, with the given one-way delay (which models WAN distance).
+func (nb *Neighborhood) AttachServer(name string, capBps float64, delay sim.Time) *Node {
+	if capBps <= 0 {
+		capBps = DefaultCoreBps
+	}
+	s := nb.Net.AddNode(name)
+	nb.Net.AddDuplexLink(s, nb.Core, capBps, delay)
+	return s
+}
+
+// DownPath returns the link path server/core-side node -> home i, routed.
+func (nb *Neighborhood) DownPath(from *Node, home int) ([]*Link, error) {
+	return nb.Net.Route(from, nb.Homes[home])
+}
+
+// UpPath returns the link path home i -> core-side node.
+func (nb *Neighborhood) UpPath(home int, to *Node) ([]*Link, error) {
+	return nb.Net.Route(nb.Homes[home], to)
+}
+
+// LateralPath returns the home-to-home path (access links only).
+func (nb *Neighborhood) LateralPath(a, b int) ([]*Link, error) {
+	return nb.Net.Route(nb.Homes[a], nb.Homes[b])
+}
+
+// DefaultDeviceBps is in-home device connectivity ("local devices connected
+// with, e.g., Firewire S3200 or USB 3 at 3-4Gbps" — §II).
+const DefaultDeviceBps = 3.5 * Gbps
+
+// AttachDevice adds an in-home device (NAS, desktop) hanging off home i at
+// local-interconnect speed — the top tier of §II's connectivity hierarchy.
+func (nb *Neighborhood) AttachDevice(home int, name string, capBps float64) *Node {
+	if capBps <= 0 {
+		capBps = DefaultDeviceBps
+	}
+	d := nb.Net.AddNode(name)
+	nb.Net.AddDuplexLink(d, nb.Homes[home], capBps, sim.Time(0.00005))
+	return d
+}
+
+// City is a multi-neighborhood hierarchy: several FTTH neighborhoods whose
+// aggregation links meet at a shared metro core — "Considering multiple
+// such FTTH neighborhoods of the future, this creates a hierarchy of
+// connectivity" (§II).
+type City struct {
+	Net           *Net
+	Core          *Node
+	Neighborhoods []*Neighborhood
+}
+
+// BuildCity constructs `count` neighborhoods under one metro core. Each
+// neighborhood gets the same per-neighborhood config.
+func BuildCity(n *Net, count int, cfg NeighborhoodConfig) *City {
+	core := n.AddNode("metro-core")
+	c := &City{Net: n, Core: core}
+	for i := 0; i < count; i++ {
+		nbCfg := cfg
+		nbCfg.Name = fmt.Sprintf("nb%02d", i)
+		c.Neighborhoods = append(c.Neighborhoods, BuildNeighborhood(n, core, nbCfg))
+	}
+	return c
+}
+
+// CrossPath routes from home a in neighborhood i to home b in neighborhood
+// j — a path crossing both aggregation links.
+func (c *City) CrossPath(i, a, j, b int) ([]*Link, error) {
+	return c.Net.Route(c.Neighborhoods[i].Homes[a], c.Neighborhoods[j].Homes[b])
+}
+
+// Sampler periodically records a metric during a simulation run.
+type Sampler struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Sample installs a recurring sampler on the kernel: every interval it calls
+// metric() and appends the result, until the horizon (0 = forever while
+// events remain — the sampler itself keeps the queue non-empty, so a horizon
+// is required in that case and enforced here).
+func Sample(k *sim.Kernel, interval, horizon sim.Time, metric func() float64) *Sampler {
+	if horizon <= 0 {
+		panic("netsim: Sample requires a positive horizon")
+	}
+	s := &Sampler{}
+	var tick func()
+	tick = func() {
+		s.Times = append(s.Times, k.Now())
+		s.Values = append(s.Values, metric())
+		if k.Now()+interval <= horizon {
+			k.After(interval, tick)
+		}
+	}
+	k.After(interval, tick)
+	return s
+}
+
+// FractionAbove returns the fraction of samples strictly greater than x.
+func (s *Sampler) FractionAbove(x float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	c := 0
+	for _, v := range s.Values {
+		if v > x {
+			c++
+		}
+	}
+	return float64(c) / float64(len(s.Values))
+}
+
+// Max returns the largest sample (0 for an empty sampler).
+func (s *Sampler) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the samples (0 for an empty sampler).
+func (s *Sampler) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}

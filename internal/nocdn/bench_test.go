@@ -1,0 +1,63 @@
+package nocdn
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"hpop/internal/sim"
+)
+
+// BenchmarkWarmPageLoad measures a full Fig. 2 page view against warm peer
+// caches: wrapper fetch + 5 object fetches + hash checks + usage records,
+// all over real HTTP.
+func BenchmarkWarmPageLoad(b *testing.B) {
+	o := NewOrigin("bench.example", WithRNG(sim.NewRNG(1)))
+	o.AddObject("/index.html", make([]byte, 4<<10))
+	page := Page{Name: "p", Container: "/index.html"}
+	for _, name := range []string{"/a", "/b", "/c", "/d"} {
+		o.AddObject(name, make([]byte, 16<<10))
+		page.Embedded = append(page.Embedded, name)
+	}
+	if err := o.AddPage(page); err != nil {
+		b.Fatal(err)
+	}
+	originSrv := httptest.NewServer(o.Handler())
+	defer originSrv.Close()
+	for i := 0; i < 3; i++ {
+		p := NewPeer("p", 0)
+		p.SignUp("bench.example", originSrv.URL)
+		srv := httptest.NewServer(p.Handler())
+		defer srv.Close()
+		o.RegisterPeer(p.ID, srv.URL, 10)
+	}
+	loader := &Loader{OriginURL: originSrv.URL}
+	// Warm all peers.
+	for i := 0; i < 6; i++ {
+		if _, err := loader.LoadPage("p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loader.LoadPage("p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4<<10 + 4*16<<10)
+}
+
+func BenchmarkWrapperGeneration(b *testing.B) {
+	o := NewOrigin("bench.example", WithRNG(sim.NewRNG(1)))
+	o.AddObject("/i", make([]byte, 1024))
+	page := Page{Name: "p", Container: "/i"}
+	o.AddPage(page)
+	for i := 0; i < 20; i++ {
+		o.RegisterPeer(peerID(i%26), "http://p", 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.GenerateWrapper("p"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package nocdn
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"hpop/internal/auth"
+)
+
+// Loader is the client side of the NoCDN workflow (the paper's JavaScript
+// loader script, "fully implemented in standard JavaScript" in a browser; a
+// Go client here). It executes Fig. 2: fetch the wrapper, fetch every object
+// from its assigned peer, verify hashes, fall back to the origin for
+// tampered objects, assemble the page, and deliver a signed usage record to
+// each peer.
+type Loader struct {
+	// OriginURL is the content provider's base URL.
+	OriginURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// now is injectable for tests.
+	Now func() time.Time
+}
+
+// PageResult is an assembled page download.
+type PageResult struct {
+	Page string
+	// Body maps object path -> verified bytes.
+	Body map[string][]byte
+	// PeerBytes maps peerID -> verified bytes obtained from that peer.
+	PeerBytes map[string]int64
+	// FallbackObjects lists objects whose peer copy failed verification and
+	// were refetched from the origin.
+	FallbackObjects []string
+	// TamperDetected reports whether any hash mismatch occurred.
+	TamperDetected bool
+	// RecordsDelivered counts usage records handed to peers.
+	RecordsDelivered int
+}
+
+// TotalBytes sums the verified page payload.
+func (r *PageResult) TotalBytes() int64 {
+	var n int64
+	for _, b := range r.Body {
+		n += int64(len(b))
+	}
+	return n
+}
+
+func (l *Loader) client() *http.Client {
+	if l.HTTPClient != nil {
+		return l.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (l *Loader) now() time.Time {
+	if l.Now != nil {
+		return l.Now()
+	}
+	return time.Now()
+}
+
+// FetchWrapper retrieves and parses the wrapper page.
+func (l *Loader) FetchWrapper(page string) (*Wrapper, error) {
+	resp, err := l.client().Get(l.OriginURL + "/wrapper?page=" + page)
+	if err != nil {
+		return nil, fmt.Errorf("nocdn: wrapper fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("nocdn: wrapper status %d", resp.StatusCode)
+	}
+	var w Wrapper
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return nil, fmt.Errorf("nocdn: wrapper decode: %w", err)
+	}
+	return &w, nil
+}
+
+// getFrom fetches path from a peer, optionally a byte range.
+func (l *Loader) getFrom(peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet,
+		peerURL+"/proxy/"+provider+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if chunk != nil {
+		req.Header.Set("Range",
+			fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1))
+	}
+	resp, err := l.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return nil, fmt.Errorf("nocdn: peer status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// originFallback fetches an object straight from the provider.
+func (l *Loader) originFallback(path string) ([]byte, error) {
+	resp, err := l.client().Get(l.OriginURL + "/content" + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("nocdn: origin fallback status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// LoadPage performs the full Fig. 2 workflow for one page view.
+func (l *Loader) LoadPage(page string) (*PageResult, error) {
+	w, err := l.FetchWrapper(page)
+	if err != nil {
+		return nil, err
+	}
+	res := &PageResult{
+		Page:      page,
+		Body:      make(map[string][]byte),
+		PeerBytes: make(map[string]int64),
+	}
+	refs := append([]ObjectRef{w.Container}, w.Objects...)
+	for _, ref := range refs {
+		data, fromPeers, err := l.fetchObject(w.Provider, ref)
+		if err != nil {
+			// Peer unreachable/failing: fall back to the origin, exactly as
+			// for tampered content — "one problematic peer — be it
+			// malicious or overloaded — [must not] have a large overall
+			// impact on the client."
+			fallback, ferr := l.originFallback(ref.Path)
+			if ferr != nil {
+				return nil, fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
+			}
+			data = fallback
+			fromPeers = nil
+			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
+		}
+		// Verify the hash from the wrapper; on mismatch fall back to the
+		// origin ("verifies the objects' hashes").
+		if HashBytes(data) != ref.Hash {
+			res.TamperDetected = true
+			fallback, ferr := l.originFallback(ref.Path)
+			if ferr != nil {
+				return nil, fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
+			}
+			if HashBytes(fallback) != ref.Hash {
+				return nil, fmt.Errorf("%w: %s (origin copy too)", ErrTampered, ref.Path)
+			}
+			data = fallback
+			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
+			fromPeers = nil // peers get no credit for corrupted bytes
+		}
+		res.Body[ref.Path] = data
+		for peer, n := range fromPeers {
+			res.PeerBytes[peer] += n
+		}
+	}
+
+	// "Upon finishing the page download, the script transfers a usage
+	// record to each peer."
+	res.RecordsDelivered = l.deliverRecords(w, res)
+	return res, nil
+}
+
+// fetchObject retrieves one object whole or chunked, returning the bytes
+// and per-peer byte attribution.
+func (l *Loader) fetchObject(provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
+	attribution := make(map[string]int64)
+	if len(ref.Chunks) == 0 {
+		data, err := l.getFrom(ref.PeerURL, provider, ref.Path, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		attribution[ref.PeerID] = int64(len(data))
+		return data, attribution, nil
+	}
+	buf := make([]byte, ref.Size)
+	for i := range ref.Chunks {
+		c := &ref.Chunks[i]
+		data, err := l.getFrom(c.PeerURL, provider, ref.Path, c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		if len(data) != c.Length {
+			return nil, nil, fmt.Errorf("chunk %d: got %d bytes, want %d", i, len(data), c.Length)
+		}
+		copy(buf[c.Offset:], data)
+		attribution[c.PeerID] += int64(len(data))
+	}
+	return buf, attribution, nil
+}
+
+// deliverRecords signs and posts one usage record per peer that served
+// verified bytes.
+func (l *Loader) deliverRecords(w *Wrapper, res *PageResult) int {
+	peerURLs := make(map[string]string)
+	for _, ref := range append([]ObjectRef{w.Container}, w.Objects...) {
+		if ref.PeerID != "" {
+			peerURLs[ref.PeerID] = ref.PeerURL
+		}
+		for _, c := range ref.Chunks {
+			peerURLs[c.PeerID] = c.PeerURL
+		}
+	}
+	// Deterministic order for reproducible tests.
+	ids := make([]string, 0, len(res.PeerBytes))
+	for id := range res.PeerBytes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	delivered := 0
+	for _, peerID := range ids {
+		key, ok := w.Keys[peerID]
+		if !ok {
+			continue
+		}
+		secret, err := hex.DecodeString(key.Secret)
+		if err != nil {
+			continue
+		}
+		rec := UsageRecord{
+			Provider: w.Provider,
+			PeerID:   peerID,
+			KeyID:    key.KeyID,
+			Page:     w.Page,
+			Bytes:    res.PeerBytes[peerID],
+			Objects:  len(res.Body),
+			Nonce:    auth.NewNonce(),
+			IssuedAt: l.now(),
+		}
+		rec.Sign(secret)
+		body, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		resp, err := l.client().Post(peerURLs[peerID]+"/record", "application/json", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			delivered++
+		}
+	}
+	return delivered
+}

@@ -1,0 +1,233 @@
+// Package nocdn implements the paper's NoCDN (§IV-B, Fig. 2): content
+// delivery through recruited residential peers with no third-party CDN.
+//
+// The protocol has three roles:
+//
+//   - Origin (the content provider): serves only a dynamically generated
+//     wrapper page per request — the peer assignment for every page object,
+//     a cryptographic hash of each object, a unique short-term secret key
+//     per referenced peer, and a nonce. It also receives batched usage
+//     records from peers, verifying signatures, rejecting replays, and
+//     running anomaly detection against what it actually assigned.
+//
+//   - Peer (an HPoP): a normal caching reverse proxy with virtual hosting,
+//     so one peer serves many content providers. Peers accumulate
+//     client-signed usage records and periodically upload them for payment.
+//
+//   - Loader (the wrapper page's JavaScript, here a Go client): fetches
+//     every object from its assigned peer, verifies hashes, falls back to
+//     the origin on tampering, assembles the page, and hands each peer a
+//     signed usage record.
+package nocdn
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpop/internal/auth"
+)
+
+// Protocol errors.
+var (
+	ErrUnknownPage   = errors.New("nocdn: unknown page")
+	ErrUnknownObject = errors.New("nocdn: unknown object")
+	ErrNoPeers       = errors.New("nocdn: no registered peers")
+	ErrTampered      = errors.New("nocdn: object hash mismatch")
+	ErrBadRecord     = errors.New("nocdn: usage record rejected")
+)
+
+// HashBytes returns the hex SHA-256 of data — the integrity primitive the
+// wrapper page carries for every object.
+func HashBytes(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// Object is one piece of site content.
+type Object struct {
+	Path string `json:"path"`
+	Data []byte `json:"-"`
+	Hash string `json:"hash"`
+}
+
+// Page is a container object plus its recursively embedded objects.
+type Page struct {
+	Name      string
+	Container string   // object path of the HTML container
+	Embedded  []string // object paths
+}
+
+// PeerKey is the short-term secret the wrapper furnishes for one peer.
+type PeerKey struct {
+	KeyID  string `json:"keyId"`
+	Secret string `json:"secret"` // hex; delivered to the client over TLS
+}
+
+// ChunkRef describes one byte range of an object fetched from one peer —
+// the "Leveraging Redundancy" option where clients download chunks from
+// disparate peers.
+type ChunkRef struct {
+	PeerID  string `json:"peerId"`
+	PeerURL string `json:"peerUrl"`
+	Offset  int    `json:"offset"`
+	Length  int    `json:"length"`
+}
+
+// ObjectRef is one wrapper-page entry: where to get an object and how to
+// verify it.
+type ObjectRef struct {
+	Path    string     `json:"path"`
+	Hash    string     `json:"hash"`
+	Size    int        `json:"size"`
+	PeerID  string     `json:"peerId"`
+	PeerURL string     `json:"peerUrl"`
+	Chunks  []ChunkRef `json:"chunks,omitempty"`
+}
+
+// Wrapper is the wrapper page: the only thing the origin must serve per
+// page view. (In the paper it is HTML embedding the loader script; the
+// structure below is that page's payload.)
+type Wrapper struct {
+	Provider  string             `json:"provider"`
+	Page      string             `json:"page"`
+	Container ObjectRef          `json:"container"`
+	Objects   []ObjectRef        `json:"objects"`
+	Keys      map[string]PeerKey `json:"keys"` // peerID -> key
+	Nonce     string             `json:"nonce"`
+	IssuedAt  time.Time          `json:"issuedAt"`
+	Loader    string             `json:"loader"` // loader script version tag (cacheable)
+}
+
+// UsageRecord is the client-signed receipt a peer accumulates and later
+// uploads for payment.
+type UsageRecord struct {
+	Provider string    `json:"provider"`
+	PeerID   string    `json:"peerId"`
+	KeyID    string    `json:"keyId"`
+	Page     string    `json:"page"`
+	Bytes    int64     `json:"bytes"`
+	Objects  int       `json:"objects"`
+	Nonce    string    `json:"nonce"`
+	IssuedAt time.Time `json:"issuedAt"`
+	// Signature is HMAC-SHA256 over CanonicalBytes with the peer's
+	// short-term key.
+	Signature string `json:"signature"`
+}
+
+// CanonicalBytes is the byte string the signature covers. Every field that
+// affects payment is included; JSON field order never matters.
+func (r UsageRecord) CanonicalBytes() []byte {
+	return []byte(strings.Join([]string{
+		"v1",
+		r.Provider,
+		r.PeerID,
+		r.KeyID,
+		r.Page,
+		fmt.Sprint(r.Bytes),
+		fmt.Sprint(r.Objects),
+		r.Nonce,
+		r.IssuedAt.UTC().Format(time.RFC3339Nano),
+	}, "|"))
+}
+
+// Sign computes and attaches the signature.
+func (r *UsageRecord) Sign(secret []byte) {
+	r.Signature = auth.Sign(secret, r.CanonicalBytes())
+}
+
+// VerifySignature checks the record against a secret.
+func (r UsageRecord) VerifySignature(secret []byte) error {
+	return auth.Verify(secret, r.CanonicalBytes(), r.Signature)
+}
+
+// EncodeRecords serializes a usage-record batch for upload.
+func EncodeRecords(records []UsageRecord) ([]byte, error) {
+	return json.Marshal(records)
+}
+
+// DecodeRecords parses a usage-record batch.
+func DecodeRecords(data []byte) ([]UsageRecord, error) {
+	var out []UsageRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("nocdn: decode records: %w", err)
+	}
+	return out, nil
+}
+
+// ---- Peer selection ----
+
+// PeerInfo is the origin's view of one recruited peer.
+type PeerInfo struct {
+	ID  string
+	URL string
+	// RTTMillis approximates proximity to the requesting client population.
+	RTTMillis float64
+	// Assigned counts outstanding object assignments (load signal).
+	Assigned int
+	// Suspended marks peers pulled from rotation by anomaly detection.
+	Suspended bool
+}
+
+// SelectionPolicy picks peers for page objects.
+type SelectionPolicy int
+
+// Selection policies — the peer-selection ablation from DESIGN.md.
+const (
+	// SelectRandom assigns uniformly (and is the collusion mitigation: the
+	// payment path stays unpredictable).
+	SelectRandom SelectionPolicy = iota + 1
+	// SelectProximity prefers low-RTT peers.
+	SelectProximity
+	// SelectLoadAware prefers the least-loaded peers.
+	SelectLoadAware
+)
+
+// String implements fmt.Stringer.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectRandom:
+		return "random"
+	case SelectProximity:
+		return "proximity"
+	case SelectLoadAware:
+		return "loadAware"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(p))
+	}
+}
+
+// rank returns candidate peers in policy order; the caller takes prefixes.
+// rnd supplies randomness (uniform [0,1) draws).
+func rank(peers []*PeerInfo, policy SelectionPolicy, rnd func() float64) []*PeerInfo {
+	live := make([]*PeerInfo, 0, len(peers))
+	for _, p := range peers {
+		if !p.Suspended {
+			live = append(live, p)
+		}
+	}
+	switch policy {
+	case SelectProximity:
+		sort.SliceStable(live, func(i, j int) bool {
+			return live[i].RTTMillis < live[j].RTTMillis
+		})
+	case SelectLoadAware:
+		sort.SliceStable(live, func(i, j int) bool {
+			return live[i].Assigned < live[j].Assigned
+		})
+	default: // SelectRandom: Fisher-Yates with the supplied source
+		for i := len(live) - 1; i > 0; i-- {
+			j := int(rnd() * float64(i+1))
+			if j > i {
+				j = i
+			}
+			live[i], live[j] = live[j], live[i]
+		}
+	}
+	return live
+}

@@ -1,0 +1,657 @@
+package nocdn
+
+import (
+	"bytes"
+	"encoding/hex"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpop/internal/auth"
+	"hpop/internal/sim"
+)
+
+// testSite builds an origin with one page of objects and n peer servers,
+// all signed up, returning everything wired together.
+type testSite struct {
+	origin    *Origin
+	originSrv *httptest.Server
+	peers     []*Peer
+	peerSrvs  []*httptest.Server
+	loader    *Loader
+}
+
+func newTestSite(t *testing.T, peerCount int, opts ...OriginOption) *testSite {
+	t.Helper()
+	o := NewOrigin("example.com", append([]OriginOption{WithRNG(sim.NewRNG(7))}, opts...)...)
+	o.AddObject("/index.html", bytes.Repeat([]byte("<html>"), 500))
+	for _, suffix := range []string{"a", "b", "c", "d"} {
+		o.AddObject("/img/"+suffix+".png", bytes.Repeat([]byte(suffix), 10000))
+	}
+	if err := o.AddPage(Page{
+		Name:      "home",
+		Container: "/index.html",
+		Embedded:  []string{"/img/a.png", "/img/b.png", "/img/c.png", "/img/d.png"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	site := &testSite{origin: o}
+	site.originSrv = httptest.NewServer(o.Handler())
+	t.Cleanup(site.originSrv.Close)
+	for i := 0; i < peerCount; i++ {
+		p := NewPeer(peerID(i), 0)
+		p.SignUp("example.com", site.originSrv.URL)
+		srv := httptest.NewServer(p.Handler())
+		t.Cleanup(srv.Close)
+		site.peers = append(site.peers, p)
+		site.peerSrvs = append(site.peerSrvs, srv)
+		o.RegisterPeer(peerID(i), srv.URL, float64(10+i*20))
+	}
+	site.loader = &Loader{OriginURL: site.originSrv.URL}
+	return site
+}
+
+func peerID(i int) string { return "peer-" + string(rune('a'+i)) }
+
+func TestWrapperGeneration(t *testing.T) {
+	s := newTestSite(t, 3)
+	w, err := s.origin.GenerateWrapper("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Page != "home" || w.Provider != "example.com" {
+		t.Errorf("wrapper header = %+v", w)
+	}
+	if len(w.Objects) != 4 {
+		t.Fatalf("objects = %d", len(w.Objects))
+	}
+	if w.Container.Hash == "" || w.Container.PeerURL == "" {
+		t.Error("container ref incomplete")
+	}
+	if w.Nonce == "" || w.Loader != "loader-v1" {
+		t.Error("wrapper missing nonce/loader")
+	}
+	// Every referenced peer has a key.
+	for _, ref := range append([]ObjectRef{w.Container}, w.Objects...) {
+		if _, ok := w.Keys[ref.PeerID]; !ok {
+			t.Errorf("no key for peer %s", ref.PeerID)
+		}
+	}
+	if _, err := s.origin.GenerateWrapper("ghost"); err != ErrUnknownPage {
+		t.Errorf("ghost page err = %v", err)
+	}
+}
+
+func TestWrapperRequiresPeers(t *testing.T) {
+	o := NewOrigin("x")
+	o.AddObject("/i", []byte("c"))
+	o.AddPage(Page{Name: "p", Container: "/i"})
+	if _, err := o.GenerateWrapper("p"); err != ErrNoPeers {
+		t.Errorf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestAddPageValidation(t *testing.T) {
+	o := NewOrigin("x")
+	o.AddObject("/i", []byte("c"))
+	if err := o.AddPage(Page{Name: "p", Container: "/missing"}); err == nil {
+		t.Error("missing container accepted")
+	}
+	if err := o.AddPage(Page{Name: "p", Container: "/i", Embedded: []string{"/nope"}}); err == nil {
+		t.Error("missing embedded object accepted")
+	}
+}
+
+func TestFullPageWorkflow(t *testing.T) {
+	s := newTestSite(t, 3)
+	res, err := s.loader.LoadPage("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Body) != 5 {
+		t.Fatalf("assembled objects = %d, want 5", len(res.Body))
+	}
+	if res.TamperDetected {
+		t.Error("tamper flagged on honest peers")
+	}
+	// Content integrity end to end.
+	if !bytes.Equal(res.Body["/img/a.png"], bytes.Repeat([]byte("a"), 10000)) {
+		t.Error("object content wrong")
+	}
+	// Usage records were dropped at every serving peer.
+	if res.RecordsDelivered == 0 {
+		t.Error("no usage records delivered")
+	}
+	pending := 0
+	for _, p := range s.peers {
+		pending += p.PendingRecords()
+	}
+	if pending != res.RecordsDelivered {
+		t.Errorf("peers hold %d records, loader delivered %d", pending, res.RecordsDelivered)
+	}
+}
+
+func TestOriginServesOnlyWrapper(t *testing.T) {
+	// The scalability claim: after peer caches warm, the origin serves just
+	// the (small) wrapper per page view.
+	s := newTestSite(t, 2)
+	// Warm both peers' caches (random selection spreads objects, so each
+	// peer backfills once; total backfill is bounded by peers x page size).
+	for i := 0; i < 6; i++ {
+		if _, err := s.loader.LoadPage("home"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, _ := s.origin.TotalPageBytes("home")
+	warmed := s.origin.OriginBytes()
+	if warmed == 0 {
+		t.Error("cold passes should backfill from origin")
+	}
+	if warmed > 2*total {
+		t.Errorf("backfill %d exceeds peers x page bytes %d", warmed, 2*total)
+	}
+	// Fully warm: further views cost the origin nothing but the wrapper.
+	for i := 0; i < 5; i++ {
+		if _, err := s.loader.LoadPage("home"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.origin.OriginBytes(); got != warmed {
+		t.Errorf("origin served content on warm passes: %d -> %d", warmed, got)
+	}
+	perView := s.origin.WrapperBytes() / 11
+	if perView >= total/2 {
+		t.Errorf("wrapper %d B not small vs page %d B", perView, total)
+	}
+}
+
+func TestPeerCacheHitPath(t *testing.T) {
+	s := newTestSite(t, 1)
+	s.loader.LoadPage("home")
+	h0, m0, _ := s.peers[0].Stats()
+	if m0 == 0 {
+		t.Error("no cold misses recorded")
+	}
+	s.loader.LoadPage("home")
+	h1, m1, _ := s.peers[0].Stats()
+	if h1 <= h0 {
+		t.Error("warm pass produced no cache hits")
+	}
+	if m1 != m0 {
+		t.Errorf("warm pass missed: %d -> %d", m0, m1)
+	}
+}
+
+func TestTamperingPeerDetectedAndFallback(t *testing.T) {
+	s := newTestSite(t, 2)
+	s.peers[0].Tamper = true
+	s.peers[1].Tamper = true
+	res, err := s.loader.LoadPage("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TamperDetected {
+		t.Fatal("tampering not detected")
+	}
+	if len(res.FallbackObjects) == 0 {
+		t.Fatal("no origin fallbacks despite tampering")
+	}
+	// The page is still correct.
+	if !bytes.Equal(res.Body["/img/b.png"], bytes.Repeat([]byte("b"), 10000)) {
+		t.Error("assembled page corrupted despite verification")
+	}
+	// Tampering peers earned no credit for corrupted objects.
+	for peer, n := range res.PeerBytes {
+		if n > 0 {
+			t.Errorf("tampering peer %s credited %d bytes", peer, n)
+		}
+	}
+}
+
+func TestUsageSettlementHappyPath(t *testing.T) {
+	s := newTestSite(t, 2)
+	res, err := s.loader.LoadPage("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploaded := 0
+	for _, p := range s.peers {
+		n, err := p.Flush(s.originSrv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uploaded += n
+	}
+	if uploaded != res.RecordsDelivered {
+		t.Errorf("uploaded %d, delivered %d", uploaded, res.RecordsDelivered)
+	}
+	var credited int64
+	for i := range s.peers {
+		acc := s.origin.AccountingFor(peerID(i))
+		credited += acc.CreditedBytes
+		if acc.Suspended {
+			t.Errorf("honest peer %s suspended", peerID(i))
+		}
+		if acc.Rejected != 0 {
+			t.Errorf("honest peer %s had %d rejected records", peerID(i), acc.Rejected)
+		}
+	}
+	total, _ := s.origin.TotalPageBytes("home")
+	if credited != total {
+		t.Errorf("credited %d bytes, page is %d", credited, total)
+	}
+}
+
+func TestInflatedRecordsRejected(t *testing.T) {
+	s := newTestSite(t, 1)
+	if _, err := s.loader.LoadPage("home"); err != nil {
+		t.Fatal(err)
+	}
+	s.peers[0].InflateRecords() // doubles Bytes, invalidating signatures
+	s.peers[0].Flush(s.originSrv.URL)
+	acc := s.origin.AccountingFor(peerID(0))
+	if acc.CreditedBytes != 0 {
+		t.Errorf("inflated records credited %d bytes", acc.CreditedBytes)
+	}
+	if acc.Rejected == 0 {
+		t.Error("no rejections recorded")
+	}
+}
+
+func TestReplayedRecordsRejected(t *testing.T) {
+	s := newTestSite(t, 1)
+	if _, err := s.loader.LoadPage("home"); err != nil {
+		t.Fatal(err)
+	}
+	s.peers[0].DuplicateRecords()
+	s.peers[0].Flush(s.originSrv.URL)
+	acc := s.origin.AccountingFor(peerID(0))
+	total, _ := s.origin.TotalPageBytes("home")
+	if acc.CreditedBytes != total {
+		t.Errorf("credited %d, want exactly one page worth %d (replays rejected)",
+			acc.CreditedBytes, total)
+	}
+	if acc.Rejected == 0 {
+		t.Error("replays not counted as rejected")
+	}
+}
+
+func TestForgedKeyRejected(t *testing.T) {
+	s := newTestSite(t, 1)
+	forged := UsageRecord{
+		Provider: "example.com",
+		PeerID:   peerID(0),
+		KeyID:    "peer-a-999",
+		Page:     "home",
+		Bytes:    1 << 30,
+		Nonce:    auth.NewNonce(),
+		IssuedAt: time.Now(),
+	}
+	forged.Sign([]byte("made-up-secret"))
+	if n := s.origin.SettleRecords([]UsageRecord{forged}); n != 0 {
+		t.Errorf("forged record credited (n=%d)", n)
+	}
+}
+
+func TestWrongProviderRejected(t *testing.T) {
+	s := newTestSite(t, 1)
+	rec := UsageRecord{Provider: "evil.com", PeerID: peerID(0)}
+	if n := s.origin.SettleRecords([]UsageRecord{rec}); n != 0 {
+		t.Error("cross-provider record credited")
+	}
+}
+
+func TestCollusionDetection(t *testing.T) {
+	// A colluding client signs unlimited legitimate-looking records for its
+	// partner peer. The per-key byte cap plus the anomaly detector bound
+	// the damage and suspend the peer.
+	s := newTestSite(t, 2)
+	// Issue a genuine wrapper so the colluder holds a real key.
+	w, err := s.origin.GenerateWrapper("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The colluding pair picks the first peer that actually has a key.
+	var colluder string
+	var key PeerKey
+	for id, k := range w.Keys {
+		colluder, key = id, k
+		break
+	}
+	secret, _ := hex.DecodeString(key.Secret)
+	// Forge many records claiming the per-key max each time (each has a
+	// fresh nonce and a VALID signature — pure collusion).
+	var records []UsageRecord
+	for i := 0; i < 50; i++ {
+		rec := UsageRecord{
+			Provider: "example.com",
+			PeerID:   colluder,
+			KeyID:    key.KeyID,
+			Page:     "home",
+			Bytes:    20000,
+			Objects:  5,
+			Nonce:    auth.NewNonce(),
+			IssuedAt: time.Now(),
+		}
+		rec.Sign(secret)
+		records = append(records, rec)
+	}
+	s.origin.SettleRecords(records)
+	acc := s.origin.AccountingFor(colluder)
+	if !acc.Suspended {
+		t.Errorf("colluding peer not suspended: %+v", acc)
+	}
+	// And suspended peers drop out of future wrappers.
+	w2, err := s.origin.GenerateWrapper("home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range append([]ObjectRef{w2.Container}, w2.Objects...) {
+		if ref.PeerID == colluder {
+			t.Error("suspended peer still assigned")
+		}
+	}
+}
+
+func TestChunkedMultiPeerFetch(t *testing.T) {
+	o := NewOrigin("big.com", WithRNG(sim.NewRNG(3)), WithChunking(3, 1000))
+	big := make([]byte, 100000)
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	o.AddObject("/big.bin", big)
+	o.AddPage(Page{Name: "dl", Container: "/big.bin"})
+	originSrv := httptest.NewServer(o.Handler())
+	defer originSrv.Close()
+	for i := 0; i < 3; i++ {
+		p := NewPeer(peerID(i), 0)
+		p.SignUp("big.com", originSrv.URL)
+		srv := httptest.NewServer(p.Handler())
+		defer srv.Close()
+		o.RegisterPeer(peerID(i), srv.URL, 10)
+	}
+	w, err := o.GenerateWrapper("dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Container.Chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(w.Container.Chunks))
+	}
+	loader := &Loader{OriginURL: originSrv.URL}
+	res, err := loader.LoadPage("dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Body["/big.bin"], big) {
+		t.Fatal("chunked reassembly corrupted data")
+	}
+	// Load was spread: more than one peer served bytes.
+	if len(res.PeerBytes) < 2 {
+		t.Errorf("chunks served by %d peers, want >= 2", len(res.PeerBytes))
+	}
+}
+
+func TestSelectionPolicies(t *testing.T) {
+	peers := []*PeerInfo{
+		{ID: "far", RTTMillis: 200, Assigned: 0},
+		{ID: "near", RTTMillis: 5, Assigned: 9},
+		{ID: "mid", RTTMillis: 50, Assigned: 1},
+		{ID: "dead", RTTMillis: 1, Suspended: true},
+	}
+	rnd := sim.NewRNG(1).Float64
+	prox := rank(peers, SelectProximity, rnd)
+	if prox[0].ID != "near" {
+		t.Errorf("proximity first = %s", prox[0].ID)
+	}
+	load := rank(peers, SelectLoadAware, rnd)
+	if load[0].ID != "far" {
+		t.Errorf("load-aware first = %s (loads 0)", load[0].ID)
+	}
+	random := rank(peers, SelectRandom, rnd)
+	if len(random) != 3 {
+		t.Errorf("random kept %d peers, want 3 (suspended excluded)", len(random))
+	}
+	for _, p := range random {
+		if p.ID == "dead" {
+			t.Error("suspended peer ranked")
+		}
+	}
+}
+
+func TestSelectionPolicyString(t *testing.T) {
+	if SelectRandom.String() != "random" || SelectProximity.String() != "proximity" ||
+		SelectLoadAware.String() != "loadAware" {
+		t.Error("policy strings wrong")
+	}
+	if !strings.Contains(SelectionPolicy(9).String(), "9") {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestUsageRecordCanonicalSigning(t *testing.T) {
+	secret := []byte("k")
+	rec := UsageRecord{
+		Provider: "p", PeerID: "x", KeyID: "k1", Page: "home",
+		Bytes: 100, Objects: 2, Nonce: "n", IssuedAt: time.Unix(1000, 0),
+	}
+	rec.Sign(secret)
+	if err := rec.VerifySignature(secret); err != nil {
+		t.Fatal(err)
+	}
+	// Any field change breaks the signature.
+	mutations := []func(*UsageRecord){
+		func(r *UsageRecord) { r.Bytes = 200 },
+		func(r *UsageRecord) { r.Page = "other" },
+		func(r *UsageRecord) { r.Nonce = "m" },
+		func(r *UsageRecord) { r.PeerID = "y" },
+		func(r *UsageRecord) { r.KeyID = "k2" },
+	}
+	for i, mutate := range mutations {
+		r2 := rec
+		mutate(&r2)
+		if err := r2.VerifySignature(secret); err == nil {
+			t.Errorf("mutation %d left signature valid", i)
+		}
+	}
+}
+
+func TestRecordsEncodeDecode(t *testing.T) {
+	in := []UsageRecord{{Provider: "p", Bytes: 5}, {Provider: "q", Bytes: 7}}
+	data, err := EncodeRecords(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecords(data)
+	if err != nil || len(out) != 2 || out[1].Bytes != 7 {
+		t.Errorf("decode = %+v, %v", out, err)
+	}
+	if _, err := DecodeRecords([]byte("not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		h          string
+		size       int
+		start, end int
+		ok         bool
+	}{
+		{"bytes=0-9", 100, 0, 10, true},
+		{"bytes=90-", 100, 90, 100, true},
+		{"bytes=50-200", 100, 50, 100, true},
+		{"bytes=200-300", 100, 0, 0, false},
+		{"garbage", 100, 0, 0, false},
+		{"bytes=5-2", 100, 0, 0, false},
+	}
+	for _, c := range cases {
+		s, e, ok := parseRange(c.h, c.size)
+		if ok != c.ok || (ok && (s != c.start || e != c.end)) {
+			t.Errorf("parseRange(%q) = %d,%d,%v", c.h, s, e, ok)
+		}
+	}
+}
+
+func TestByteLRUEviction(t *testing.T) {
+	c := newByteLRU(100)
+	c.put("a", make([]byte, 40))
+	c.put("b", make([]byte, 40))
+	c.get("a")                   // refresh a
+	c.put("c", make([]byte, 40)) // evicts b (LRU)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used a evicted")
+	}
+	// Oversized object is not cached.
+	c.put("huge", make([]byte, 1000))
+	if _, ok := c.get("huge"); ok {
+		t.Error("oversized object cached")
+	}
+	// Replacing a key adjusts usage.
+	c.put("a", make([]byte, 10))
+	c.put("d", make([]byte, 50))
+	if _, ok := c.get("a"); !ok {
+		t.Error("a lost after shrink-replace")
+	}
+}
+
+func TestWrapperReuse(t *testing.T) {
+	current := time.Now()
+	clock := func() time.Time { return current }
+	o := NewOrigin("x", WithRNG(sim.NewRNG(1)), WithClock(clock), WithWrapperReuse(time.Minute))
+	o.AddObject("/i", []byte("content"))
+	o.AddPage(Page{Name: "p", Container: "/i"})
+	o.RegisterPeer("peer", "http://peer", 10)
+
+	w1, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Error("wrapper not reused within TTL")
+	}
+	if o.WrapperGenerations() != 1 {
+		t.Errorf("generations = %d, want 1", o.WrapperGenerations())
+	}
+	// TTL expiry forces a rebuild with fresh keys.
+	current = current.Add(2 * time.Minute)
+	w3, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 == w1 {
+		t.Error("expired wrapper still served")
+	}
+	if o.WrapperGenerations() != 2 {
+		t.Errorf("generations = %d, want 2", o.WrapperGenerations())
+	}
+	if w3.Keys["peer"].KeyID == w1.Keys["peer"].KeyID {
+		t.Error("rebuilt wrapper reused old short-term key")
+	}
+}
+
+func TestWrapperReuseSettlementStillWorks(t *testing.T) {
+	// Records signed under a reused wrapper's key settle normally, and the
+	// nonce cache still kills replays across users sharing the wrapper.
+	o := NewOrigin("x", WithRNG(sim.NewRNG(2)), WithWrapperReuse(time.Minute))
+	o.AddObject("/i", make([]byte, 1000))
+	o.AddPage(Page{Name: "p", Container: "/i"})
+	o.RegisterPeer("peer", "http://peer", 10)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := hex.DecodeString(w.Keys["peer"].Secret)
+	mkRecord := func(nonce string) UsageRecord {
+		r := UsageRecord{
+			Provider: "x", PeerID: "peer", KeyID: w.Keys["peer"].KeyID,
+			Page: "p", Bytes: 1000, Objects: 1, Nonce: nonce, IssuedAt: time.Now(),
+		}
+		r.Sign(secret)
+		return r
+	}
+	// Two different users' records under the shared wrapper: both credit.
+	if n := o.SettleRecords([]UsageRecord{mkRecord("user-a"), mkRecord("user-b")}); n != 2 {
+		t.Errorf("credited %d of 2 distinct-user records", n)
+	}
+	// Replaying user-a's nonce fails.
+	if n := o.SettleRecords([]UsageRecord{mkRecord("user-a")}); n != 0 {
+		t.Errorf("replay credited %d", n)
+	}
+}
+
+func TestDeadPeerFallsBackToOrigin(t *testing.T) {
+	s := newTestSite(t, 2)
+	// Kill both peers' HTTP servers: every object fetch fails at the peer.
+	for _, srv := range s.peerSrvs {
+		srv.Close()
+	}
+	res, err := s.loader.LoadPage("home")
+	if err != nil {
+		t.Fatalf("page failed despite origin fallback: %v", err)
+	}
+	if len(res.Body) != 5 {
+		t.Fatalf("assembled %d objects", len(res.Body))
+	}
+	if len(res.FallbackObjects) != 5 {
+		t.Errorf("fallbacks = %v, want all 5 objects", res.FallbackObjects)
+	}
+	// Content is still correct.
+	if !bytes.Equal(res.Body["/img/c.png"], bytes.Repeat([]byte("c"), 10000)) {
+		t.Error("fallback content wrong")
+	}
+	// Nobody gets paid for bytes the origin served.
+	for peer, n := range res.PeerBytes {
+		if n != 0 {
+			t.Errorf("dead peer %s credited %d bytes", peer, n)
+		}
+	}
+}
+
+func TestFlushRetryAfterOriginOutage(t *testing.T) {
+	s := newTestSite(t, 1)
+	if _, err := s.loader.LoadPage("home"); err != nil {
+		t.Fatal(err)
+	}
+	pending := s.peers[0].PendingRecords()
+	if pending == 0 {
+		t.Fatal("no records to flush")
+	}
+	// Origin goes down: flush fails and the batch is retained for retry.
+	s.originSrv.Close()
+	if _, err := s.peers[0].Flush(s.originSrv.URL); err == nil {
+		t.Fatal("flush to dead origin succeeded")
+	}
+	if got := s.peers[0].PendingRecords(); got != pending {
+		t.Errorf("records after failed flush = %d, want %d (retained)", got, pending)
+	}
+	// Origin returns (new server, same accounting state).
+	revived := httptest.NewServer(s.origin.Handler())
+	defer revived.Close()
+	n, err := s.peers[0].Flush(revived.URL)
+	if err != nil || n != pending {
+		t.Fatalf("retry flush = %d, %v", n, err)
+	}
+	if s.peers[0].PendingRecords() != 0 {
+		t.Error("records linger after successful retry")
+	}
+	acc := s.origin.AccountingFor(peerID(0))
+	if acc.CreditedBytes == 0 {
+		t.Error("retried records not credited")
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	s := newTestSite(t, 1)
+	n, err := s.peers[0].Flush(s.originSrv.URL)
+	if err != nil || n != 0 {
+		t.Errorf("empty flush = %d, %v", n, err)
+	}
+}

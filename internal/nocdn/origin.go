@@ -1,0 +1,460 @@
+package nocdn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"hpop/internal/auth"
+	"hpop/internal/sim"
+)
+
+// Origin is a content provider using NoCDN. It owns the content, generates
+// wrapper pages, and settles usage records.
+type Origin struct {
+	// Provider is the site identity peers virtual-host under.
+	Provider string
+	// Policy selects peers for objects.
+	Policy SelectionPolicy
+	// ChunkPeers > 1 splits large objects into that many ranges served by
+	// disparate peers ("Leveraging Redundancy").
+	ChunkPeers int
+	// ChunkThreshold is the minimum object size to chunk (default 256 KB).
+	ChunkThreshold int
+	// AnomalyFactor: a peer whose credited bytes exceed assigned bytes by
+	// this factor is flagged and suspended (default 1.5).
+	AnomalyFactor float64
+	// WrapperTTL > 0 lets the origin reuse one generated wrapper per page
+	// for that long instead of regenerating per view — the paper's "even
+	// the wrapper page may be reused among users and/or allowed to be
+	// cached by the user for a certain time", trading per-view key
+	// freshness for origin CPU/selection work.
+	WrapperTTL time.Duration
+
+	mu      sync.Mutex
+	objects map[string]*Object
+	pages   map[string]*Page
+	peers   []*PeerInfo
+	keys    *auth.KeyIssuer
+	nonces  *auth.NonceCache
+	rng     *sim.RNG
+	now     func() time.Time
+
+	wrapperCache map[string]cachedWrapper
+	// Generations counts actual wrapper builds (vs serves) for the reuse
+	// experiment.
+	wrapperGenerations int64
+
+	// accounting
+	credited map[string]int64  // peerID -> bytes credited (payable)
+	assigned map[string]int64  // peerID -> bytes the origin expected to flow
+	rejected map[string]int64  // peerID -> rejected record count
+	keyPeer  map[string]string // keyID -> peerID the key was issued for
+	keyBytes map[string]int64  // keyID -> bytes assigned under that key
+
+	// served tracks origin bytes out (wrapper + cache-miss backfill), the
+	// scalability metric E4 reports.
+	wrapperBytes int64
+	originBytes  int64
+}
+
+// OriginOption configures an origin.
+type OriginOption func(*Origin)
+
+// WithPolicy sets the peer-selection policy.
+func WithPolicy(p SelectionPolicy) OriginOption {
+	return func(o *Origin) { o.Policy = p }
+}
+
+// WithChunking splits objects >= threshold bytes across n peers.
+func WithChunking(n, threshold int) OriginOption {
+	return func(o *Origin) {
+		o.ChunkPeers = n
+		o.ChunkThreshold = threshold
+	}
+}
+
+// WithRNG injects deterministic randomness.
+func WithRNG(rng *sim.RNG) OriginOption {
+	return func(o *Origin) { o.rng = rng }
+}
+
+// WithClock injects a time source.
+func WithClock(now func() time.Time) OriginOption {
+	return func(o *Origin) { o.now = now }
+}
+
+// WithWrapperReuse enables wrapper-page reuse for the given TTL.
+func WithWrapperReuse(ttl time.Duration) OriginOption {
+	return func(o *Origin) { o.WrapperTTL = ttl }
+}
+
+// cachedWrapper is one reusable wrapper with its build time.
+type cachedWrapper struct {
+	wrapper *Wrapper
+	builtAt time.Time
+}
+
+// NewOrigin creates a content provider.
+func NewOrigin(provider string, opts ...OriginOption) *Origin {
+	o := &Origin{
+		Provider:       provider,
+		Policy:         SelectRandom,
+		ChunkThreshold: 256 << 10,
+		AnomalyFactor:  1.5,
+		objects:        make(map[string]*Object),
+		pages:          make(map[string]*Page),
+		rng:            sim.NewRNG(1),
+		now:            time.Now,
+		credited:       make(map[string]int64),
+		assigned:       make(map[string]int64),
+		rejected:       make(map[string]int64),
+		keyPeer:        make(map[string]string),
+		keyBytes:       make(map[string]int64),
+		wrapperCache:   make(map[string]cachedWrapper),
+	}
+	for _, fn := range opts {
+		fn(o)
+	}
+	o.keys = auth.NewKeyIssuer(10*time.Minute, o.now)
+	o.nonces = auth.NewNonceCache(time.Hour, o.now)
+	return o
+}
+
+// AddObject registers content.
+func (o *Origin) AddObject(path string, data []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.objects[path] = &Object{Path: path, Data: data, Hash: HashBytes(data)}
+}
+
+// AddPage registers a page (container + embedded object paths). All paths
+// must already exist as objects.
+func (o *Origin) AddPage(p Page) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.objects[p.Container]; !ok {
+		return fmt.Errorf("%w: container %s", ErrUnknownObject, p.Container)
+	}
+	for _, e := range p.Embedded {
+		if _, ok := o.objects[e]; !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownObject, e)
+		}
+	}
+	o.pages[p.Name] = &p
+	return nil
+}
+
+// RegisterPeer recruits a peer.
+func (o *Origin) RegisterPeer(id, url string, rttMillis float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.peers = append(o.peers, &PeerInfo{ID: id, URL: url, RTTMillis: rttMillis})
+}
+
+// Peers returns a snapshot of the registry.
+func (o *Origin) Peers() []PeerInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]PeerInfo, len(o.peers))
+	for i, p := range o.peers {
+		out[i] = *p
+	}
+	return out
+}
+
+// GenerateWrapper builds the wrapper page for one page view: peer
+// assignments, hashes, per-peer short-term keys, and a nonce. With
+// WrapperTTL set, an unexpired previously built wrapper is reused instead.
+func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.pages[page]
+	if !ok {
+		return nil, ErrUnknownPage
+	}
+	if o.WrapperTTL > 0 {
+		if cw, ok := o.wrapperCache[page]; ok && o.now().Sub(cw.builtAt) < o.WrapperTTL {
+			return cw.wrapper, nil
+		}
+	}
+	o.wrapperGenerations++
+	ranked := rank(o.peers, o.Policy, o.rng.Float64)
+	if len(ranked) == 0 {
+		return nil, ErrNoPeers
+	}
+
+	w := &Wrapper{
+		Provider: o.Provider,
+		Page:     page,
+		Keys:     make(map[string]PeerKey),
+		Nonce:    auth.NewNonce(),
+		IssuedAt: o.now(),
+		Loader:   "loader-v1",
+	}
+	next := 0
+	pick := func() *PeerInfo {
+		peer := ranked[next%len(ranked)]
+		next++
+		peer.Assigned++
+		return peer
+	}
+	ensureKey := func(peer *PeerInfo, size int) {
+		if _, ok := w.Keys[peer.ID]; !ok {
+			k := o.keys.Issue(peer.ID)
+			w.Keys[peer.ID] = PeerKey{KeyID: k.ID, Secret: hexEncode(k.Secret)}
+			o.keyPeer[k.ID] = peer.ID
+		}
+		kid := w.Keys[peer.ID].KeyID
+		o.keyBytes[kid] += int64(size)
+		o.assigned[peer.ID] += int64(size)
+	}
+	makeRef := func(path string) ObjectRef {
+		obj := o.objects[path]
+		ref := ObjectRef{Path: path, Hash: obj.Hash, Size: len(obj.Data)}
+		if o.ChunkPeers > 1 && len(obj.Data) >= o.ChunkThreshold && len(ranked) > 1 {
+			n := o.ChunkPeers
+			if n > len(ranked) {
+				n = len(ranked)
+			}
+			chunk := (len(obj.Data) + n - 1) / n
+			for i := 0; i < n; i++ {
+				off := i * chunk
+				ln := chunk
+				if off+ln > len(obj.Data) {
+					ln = len(obj.Data) - off
+				}
+				peer := pick()
+				ensureKey(peer, ln)
+				ref.Chunks = append(ref.Chunks, ChunkRef{
+					PeerID: peer.ID, PeerURL: peer.URL, Offset: off, Length: ln,
+				})
+			}
+			return ref
+		}
+		peer := pick()
+		ensureKey(peer, len(obj.Data))
+		ref.PeerID = peer.ID
+		ref.PeerURL = peer.URL
+		return ref
+	}
+	w.Container = makeRef(p.Container)
+	for _, e := range p.Embedded {
+		w.Objects = append(w.Objects, makeRef(e))
+	}
+	if o.WrapperTTL > 0 {
+		o.wrapperCache[page] = cachedWrapper{wrapper: w, builtAt: o.now()}
+	}
+	return w, nil
+}
+
+// WrapperGenerations returns how many wrappers were actually built (reused
+// serves do not count) — the savings metric for wrapper reuse.
+func (o *Origin) WrapperGenerations() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.wrapperGenerations
+}
+
+func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
+
+// SettleRecords processes a batch of uploaded usage records from one peer.
+// Each record must carry a valid signature under a key this origin issued
+// for that peer, a fresh nonce, and a plausible byte count. It returns how
+// many records were credited.
+func (o *Origin) SettleRecords(records []UsageRecord) int {
+	credited := 0
+	for _, r := range records {
+		if err := o.settleOne(r); err != nil {
+			o.mu.Lock()
+			o.rejected[r.PeerID]++
+			o.mu.Unlock()
+			continue
+		}
+		credited++
+	}
+	o.detectAnomalies()
+	return credited
+}
+
+func (o *Origin) settleOne(r UsageRecord) error {
+	if r.Provider != o.Provider {
+		return ErrBadRecord
+	}
+	key, err := o.keys.Lookup(r.KeyID)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	o.mu.Lock()
+	issuedFor := o.keyPeer[r.KeyID]
+	maxBytes := o.keyBytes[r.KeyID]
+	o.mu.Unlock()
+	if issuedFor != r.PeerID {
+		return fmt.Errorf("%w: key issued for different peer", ErrBadRecord)
+	}
+	if err := r.VerifySignature(key.Secret); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	// A single key covers one wrapper issuance; claiming more bytes than
+	// were assigned under it is definitionally inflation.
+	if r.Bytes < 0 || r.Bytes > maxBytes {
+		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
+	}
+	if err := o.nonces.Use(r.KeyID + "|" + r.Nonce); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	o.mu.Lock()
+	o.credited[r.PeerID] += r.Bytes
+	o.mu.Unlock()
+	return nil
+}
+
+// detectAnomalies suspends peers whose credited bytes exceed what the origin
+// ever assigned to them by the anomaly factor — the paper's "anomalous
+// behavior detection" collusion mitigation.
+func (o *Origin) detectAnomalies() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, p := range o.peers {
+		if o.assigned[p.ID] == 0 {
+			if o.credited[p.ID] > 0 {
+				p.Suspended = true
+			}
+			continue
+		}
+		ratio := float64(o.credited[p.ID]) / float64(o.assigned[p.ID])
+		if ratio > o.AnomalyFactor {
+			p.Suspended = true
+		}
+	}
+}
+
+// Accounting summarizes settlement state for one peer.
+type Accounting struct {
+	PeerID        string `json:"peerId"`
+	CreditedBytes int64  `json:"creditedBytes"`
+	AssignedBytes int64  `json:"assignedBytes"`
+	Rejected      int64  `json:"rejected"`
+	Suspended     bool   `json:"suspended"`
+}
+
+// AccountingFor returns one peer's ledger row.
+func (o *Origin) AccountingFor(peerID string) Accounting {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	acc := Accounting{
+		PeerID:        peerID,
+		CreditedBytes: o.credited[peerID],
+		AssignedBytes: o.assigned[peerID],
+		Rejected:      o.rejected[peerID],
+	}
+	for _, p := range o.peers {
+		if p.ID == peerID {
+			acc.Suspended = p.Suspended
+		}
+	}
+	return acc
+}
+
+// WrapperBytes returns bytes served as wrapper pages.
+func (o *Origin) WrapperBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.wrapperBytes
+}
+
+// OriginBytes returns bytes served as raw content (peer cache-miss
+// backfill plus any client integrity fallbacks).
+func (o *Origin) OriginBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.originBytes
+}
+
+// TotalPageBytes returns the full byte weight of a page (what a CDN-less
+// origin would serve per view).
+func (o *Origin) TotalPageBytes(page string) (int64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.pages[page]
+	if !ok {
+		return 0, ErrUnknownPage
+	}
+	total := int64(len(o.objects[p.Container].Data))
+	for _, e := range p.Embedded {
+		total += int64(len(o.objects[e].Data))
+	}
+	return total, nil
+}
+
+// ---- HTTP surface ----
+
+// Handler returns the origin's HTTP handler:
+//
+//	GET  /wrapper?page=NAME   -> wrapper page JSON
+//	GET  /content/PATH        -> raw object (peer backfill / client fallback)
+//	POST /usage               -> usage-record batch upload
+func (o *Origin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/wrapper", func(w http.ResponseWriter, r *http.Request) {
+		page := r.URL.Query().Get("page")
+		wrapper, err := o.GenerateWrapper(page)
+		if err != nil {
+			status := http.StatusNotFound
+			if err == ErrNoPeers {
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		body, err := json.Marshal(wrapper)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		o.mu.Lock()
+		o.wrapperBytes += int64(len(body))
+		o.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/content/", func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/content")
+		o.mu.Lock()
+		obj, ok := o.objects[path]
+		o.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown object", http.StatusNotFound)
+			return
+		}
+		o.mu.Lock()
+		o.originBytes += int64(len(obj.Data))
+		o.mu.Unlock()
+		w.Header().Set("X-NoCDN-Hash", obj.Hash)
+		w.Write(obj.Data)
+	})
+	mux.HandleFunc("/usage", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		records, err := DecodeRecords(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := o.SettleRecords(records)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"credited":%d,"submitted":%d}`, n, len(records))
+	})
+	return mux
+}

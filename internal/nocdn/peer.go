@@ -1,0 +1,325 @@
+package nocdn
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Peer is the HPoP-resident NoCDN edge: "a normal reverse proxy ... the
+// peer serves the requested object from its cache if available or, if not,
+// obtains the object from the origin server, forwards it to the user, and
+// caches it locally for future requests", with virtual hosting so one peer
+// can "sign up for content delivery with multiple content providers".
+type Peer struct {
+	// ID is the peer's identity with providers.
+	ID string
+
+	mu sync.Mutex
+	// providers maps provider name -> origin base URL (virtual hosting).
+	providers map[string]string
+	cache     *byteLRU
+	records   []UsageRecord
+	// Tamper, when set, corrupts served bytes — the malicious-peer mode the
+	// integrity experiment exercises.
+	Tamper bool
+	// stats
+	hits, misses int64
+	servedBytes  int64
+	httpClient   *http.Client
+}
+
+// NewPeer creates a peer with the given cache capacity in bytes.
+func NewPeer(id string, cacheBytes int) *Peer {
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	return &Peer{
+		ID:         id,
+		providers:  make(map[string]string),
+		cache:      newByteLRU(cacheBytes),
+		httpClient: http.DefaultClient,
+	}
+}
+
+// SetHTTPClient overrides the outbound client (tests).
+func (p *Peer) SetHTTPClient(c *http.Client) { p.httpClient = c }
+
+// SignUp registers this peer to serve content for a provider whose origin
+// lives at originURL.
+func (p *Peer) SignUp(provider, originURL string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.providers[provider] = strings.TrimSuffix(originURL, "/")
+}
+
+// Stats reports cache effectiveness and volume served.
+func (p *Peer) Stats() (hits, misses, servedBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.servedBytes
+}
+
+// PendingRecords returns how many usage records await upload.
+func (p *Peer) PendingRecords() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.records)
+}
+
+// fetch obtains an object, from cache or the origin.
+func (p *Peer) fetch(provider, path string) ([]byte, error) {
+	cacheKey := provider + "|" + path
+	p.mu.Lock()
+	origin, ok := p.providers[provider]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
+	}
+	if data, ok := p.cache.get(cacheKey); ok {
+		p.hits++
+		p.mu.Unlock()
+		return data, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	resp, err := p.httpClient.Get(origin + "/content" + path)
+	if err != nil {
+		return nil, fmt.Errorf("nocdn: origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.cache.put(cacheKey, data)
+	p.mu.Unlock()
+	return data, nil
+}
+
+// Handler returns the peer's HTTP surface:
+//
+//	GET  /proxy/PROVIDER/PATH   (Range supported)  -> content
+//	POST /record                                   -> client drops a usage record
+//	GET  /flush?origin=URL                         -> upload records to the provider
+func (p *Peer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/proxy/", p.handleProxy)
+	mux.HandleFunc("/record", p.handleRecord)
+	mux.HandleFunc("/flush", p.handleFlush)
+	return mux
+}
+
+func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/proxy/")
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		http.Error(w, "want /proxy/provider/path", http.StatusBadRequest)
+		return
+	}
+	provider, path := rest[:slash], rest[slash:]
+	data, err := p.fetch(provider, path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// Range support for chunked multi-peer fetches.
+	if rng := r.Header.Get("Range"); rng != "" {
+		start, end, ok := parseRange(rng, len(data))
+		if !ok {
+			http.Error(w, "bad range", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		w.Header().Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", start, end-1, len(data)))
+		data = data[start:end]
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if p.Tamper {
+		data = corrupt(data)
+	}
+	p.mu.Lock()
+	p.servedBytes += int64(len(data))
+	p.mu.Unlock()
+	w.Write(data)
+}
+
+func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var rec UsageRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		http.Error(w, "bad record", http.StatusBadRequest)
+		return
+	}
+	p.mu.Lock()
+	p.records = append(p.records, rec)
+	p.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (p *Peer) handleFlush(w http.ResponseWriter, r *http.Request) {
+	origin := r.URL.Query().Get("origin")
+	if origin == "" {
+		http.Error(w, "origin required", http.StatusBadRequest)
+		return
+	}
+	n, err := p.Flush(origin)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	fmt.Fprintf(w, `{"uploaded":%d}`, n)
+}
+
+// Flush uploads accumulated records to the provider at originURL, returning
+// how many were sent. Records are cleared regardless of credit decision —
+// settlement disputes are the provider's ledger, not the peer's queue.
+func (p *Peer) Flush(originURL string) (int, error) {
+	p.mu.Lock()
+	batch := p.records
+	p.records = nil
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	body, err := EncodeRecords(batch)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := p.httpClient.Post(
+		strings.TrimSuffix(originURL, "/")+"/usage", "application/json", bytes.NewReader(body))
+	if err != nil {
+		// Put the batch back for a later retry.
+		p.mu.Lock()
+		p.records = append(batch, p.records...)
+		p.mu.Unlock()
+		return 0, err
+	}
+	resp.Body.Close()
+	return len(batch), nil
+}
+
+// InflateRecords doubles the byte counts of all pending records — the
+// unscrupulous-peer behaviour the accounting experiment must catch.
+func (p *Peer) InflateRecords() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.records {
+		p.records[i].Bytes *= 2
+	}
+}
+
+// DuplicateRecords replays every pending record once — the replay attack.
+func (p *Peer) DuplicateRecords() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.records = append(p.records, p.records...)
+}
+
+func corrupt(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xFF
+	}
+	return out
+}
+
+// parseRange parses a single "bytes=a-b" range against size, returning
+// [start, end).
+func parseRange(h string, size int) (start, end int, ok bool) {
+	h = strings.TrimPrefix(h, "bytes=")
+	parts := strings.SplitN(h, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	s, err := strconv.Atoi(parts[0])
+	if err != nil || s < 0 || s >= size {
+		return 0, 0, false
+	}
+	e := size - 1
+	if parts[1] != "" {
+		e, err = strconv.Atoi(parts[1])
+		if err != nil || e < s {
+			return 0, 0, false
+		}
+		if e >= size {
+			e = size - 1
+		}
+	}
+	return s, e + 1, true
+}
+
+// byteLRU is a byte-capacity-bounded LRU cache.
+type byteLRU struct {
+	capacity int
+	used     int
+	order    *list.List // front = most recent; values are *lruEntry
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+func newByteLRU(capacity int) *byteLRU {
+	return &byteLRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *byteLRU) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *byteLRU) put(key string, data []byte) {
+	if len(data) > c.capacity {
+		return // never cache objects larger than the whole cache
+	}
+	if el, ok := c.items[key]; ok {
+		c.used += len(data) - len(el.Value.(*lruEntry).data)
+		el.Value.(*lruEntry).data = data
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&lruEntry{key: key, data: data})
+		c.items[key] = el
+		c.used += len(data)
+	}
+	for c.used > c.capacity {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		entry := oldest.Value.(*lruEntry)
+		c.order.Remove(oldest)
+		delete(c.items, entry.key)
+		c.used -= len(entry.data)
+	}
+}

@@ -1,0 +1,149 @@
+package pim
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// crudHandler exposes a jsonStore as a REST collection:
+//
+//	GET    /            list all documents
+//	POST   /            create (JSON body) -> {"id": N}
+//	GET    /{id}        read one
+//	PUT    /{id}        replace
+//	DELETE /{id}        delete
+type crudHandler[T any] struct {
+	store    *jsonStore
+	validate func(*T) error
+	setID    func(*T, int)
+}
+
+// ServeHTTP implements http.Handler.
+func (h crudHandler[T]) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	trimmed := strings.Trim(r.URL.Path, "/")
+	switch {
+	case trimmed == "" && r.Method == http.MethodGet:
+		h.list(w)
+	case trimmed == "" && r.Method == http.MethodPost:
+		h.create(w, r)
+	case trimmed != "":
+		id, err := strconv.Atoi(trimmed)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			h.read(w, id)
+		case http.MethodPut:
+			h.replace(w, r, id)
+		case http.MethodDelete:
+			h.remove(w, id)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (h crudHandler[T]) decode(w http.ResponseWriter, r *http.Request) (*T, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return nil, false
+	}
+	v := new(T)
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if h.validate != nil {
+		if err := h.validate(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+	}
+	return v, true
+}
+
+func (h crudHandler[T]) create(w http.ResponseWriter, r *http.Request) {
+	v, ok := h.decode(w, r)
+	if !ok {
+		return
+	}
+	id, err := h.store.create(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if h.setID != nil {
+		h.setID(v, id)
+		if err := h.store.update(id, v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(map[string]int{"id": id})
+}
+
+func (h crudHandler[T]) list(w http.ResponseWriter) {
+	var out []json.RawMessage
+	err := h.store.each(func(id int, raw []byte) error {
+		out = append(out, json.RawMessage(raw))
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (h crudHandler[T]) read(w http.ResponseWriter, id int) {
+	v := new(T)
+	if err := h.store.read(id, v); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (h crudHandler[T]) replace(w http.ResponseWriter, r *http.Request, id int) {
+	v, ok := h.decode(w, r)
+	if !ok {
+		return
+	}
+	if h.setID != nil {
+		h.setID(v, id)
+	}
+	if err := h.store.update(id, v); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h crudHandler[T]) remove(w http.ResponseWriter, id int) {
+	if err := h.store.delete(id); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

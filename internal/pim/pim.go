@@ -1,0 +1,399 @@
+// Package pim implements the "myriad mundane services" §III says the HPoP
+// platform hosts: "e.g., a contacts server, a calendar server, or an email
+// inbox". Each is a small JSON-over-HTTP service implementing hpop.Service,
+// persisting into the same vfs tree the attic exposes so the user's PIM
+// data lives in their home and is reachable wherever they are.
+package pim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/vfs"
+)
+
+// Store errors.
+var (
+	ErrNotFound = errors.New("pim: not found")
+	ErrBadInput = errors.New("pim: invalid input")
+)
+
+// jsonStore is a tiny JSON-documents-in-vfs collection shared by the three
+// services.
+type jsonStore struct {
+	fs   *vfs.FS
+	root string
+
+	mu     sync.Mutex
+	nextID int
+}
+
+func newJSONStore(fs *vfs.FS, root string) (*jsonStore, error) {
+	if err := fs.MkdirAll(root); err != nil {
+		return nil, err
+	}
+	return &jsonStore{fs: fs, root: root}, nil
+}
+
+func (s *jsonStore) path(id int) string {
+	return fmt.Sprintf("%s/%06d.json", s.root, id)
+}
+
+func (s *jsonStore) create(v any) (int, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.fs.Write(s.path(id), data); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func (s *jsonStore) read(id int, v any) error {
+	data, err := s.fs.Read(s.path(id))
+	if err != nil {
+		return ErrNotFound
+	}
+	return json.Unmarshal(data, v)
+}
+
+func (s *jsonStore) update(id int, v any) error {
+	if !s.fs.Exists(s.path(id)) {
+		return ErrNotFound
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = s.fs.Write(s.path(id), data)
+	return err
+}
+
+func (s *jsonStore) delete(id int) error {
+	if err := s.fs.Delete(s.path(id), false); err != nil {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// each calls fn with every document's id and raw JSON, in id order.
+func (s *jsonStore) each(fn func(id int, raw []byte) error) error {
+	entries, err := s.fs.List(s.root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir || !strings.HasSuffix(e.Name, ".json") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(e.Name, ".json"))
+		if err != nil {
+			continue
+		}
+		raw, err := s.fs.Read(e.Path)
+		if err != nil {
+			return err
+		}
+		if err := fn(id, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Contacts ----
+
+// Contact is one address-book entry.
+type Contact struct {
+	ID    int    `json:"id,omitempty"`
+	Name  string `json:"name"`
+	Email string `json:"email,omitempty"`
+	Phone string `json:"phone,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Contacts is the contacts server.
+type Contacts struct {
+	fs    *vfs.FS
+	store *jsonStore
+}
+
+var _ hpop.Service = (*Contacts)(nil)
+
+// NewContacts creates a contacts service persisting under /pim/contacts of
+// the given filesystem (pass the attic's FS to co-locate with user data).
+func NewContacts(fs *vfs.FS) *Contacts {
+	return &Contacts{fs: fs}
+}
+
+// Name implements hpop.Service.
+func (c *Contacts) Name() string { return "contacts" }
+
+// Start implements hpop.Service.
+func (c *Contacts) Start(ctx *hpop.ServiceContext) error {
+	store, err := newJSONStore(c.fs, "/pim/contacts")
+	if err != nil {
+		return err
+	}
+	c.store = store
+	ctx.Mux.Handle("/contacts/", http.StripPrefix("/contacts", crudHandler[Contact]{
+		store: store,
+		validate: func(v *Contact) error {
+			if v.Name == "" {
+				return fmt.Errorf("%w: name required", ErrBadInput)
+			}
+			return nil
+		},
+		setID: func(v *Contact, id int) { v.ID = id },
+	}))
+	return nil
+}
+
+// Stop implements hpop.Service.
+func (c *Contacts) Stop() error { return nil }
+
+// Add inserts a contact programmatically, returning its ID.
+func (c *Contacts) Add(contact Contact) (int, error) {
+	if contact.Name == "" {
+		return 0, fmt.Errorf("%w: name required", ErrBadInput)
+	}
+	id, err := c.store.create(&contact)
+	if err != nil {
+		return 0, err
+	}
+	contact.ID = id
+	if err := c.store.update(id, &contact); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Get retrieves a contact by ID.
+func (c *Contacts) Get(id int) (Contact, error) {
+	var out Contact
+	err := c.store.read(id, &out)
+	return out, err
+}
+
+// Search returns contacts whose name or email contains q (case-insensitive),
+// sorted by name.
+func (c *Contacts) Search(q string) ([]Contact, error) {
+	q = strings.ToLower(q)
+	var out []Contact
+	err := c.store.each(func(id int, raw []byte) error {
+		var ct Contact
+		if err := json.Unmarshal(raw, &ct); err != nil {
+			return nil // skip malformed
+		}
+		if q == "" || strings.Contains(strings.ToLower(ct.Name), q) ||
+			strings.Contains(strings.ToLower(ct.Email), q) {
+			ct.ID = id
+			out = append(out, ct)
+		}
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, err
+}
+
+// ---- Calendar ----
+
+// Event is one calendar entry.
+type Event struct {
+	ID       int       `json:"id,omitempty"`
+	Title    string    `json:"title"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Location string    `json:"location,omitempty"`
+	Notes    string    `json:"notes,omitempty"`
+}
+
+// Calendar is the calendar server.
+type Calendar struct {
+	fs    *vfs.FS
+	store *jsonStore
+}
+
+var _ hpop.Service = (*Calendar)(nil)
+
+// NewCalendar creates a calendar service persisting under /pim/calendar.
+func NewCalendar(fs *vfs.FS) *Calendar {
+	return &Calendar{fs: fs}
+}
+
+// Name implements hpop.Service.
+func (c *Calendar) Name() string { return "calendar" }
+
+// Start implements hpop.Service.
+func (c *Calendar) Start(ctx *hpop.ServiceContext) error {
+	store, err := newJSONStore(c.fs, "/pim/calendar")
+	if err != nil {
+		return err
+	}
+	c.store = store
+	ctx.Mux.Handle("/calendar/", http.StripPrefix("/calendar", crudHandler[Event]{
+		store:    store,
+		validate: validateEvent,
+		setID:    func(v *Event, id int) { v.ID = id },
+	}))
+	return nil
+}
+
+// Stop implements hpop.Service.
+func (c *Calendar) Stop() error { return nil }
+
+func validateEvent(e *Event) error {
+	if e.Title == "" {
+		return fmt.Errorf("%w: title required", ErrBadInput)
+	}
+	if !e.End.After(e.Start) {
+		return fmt.Errorf("%w: end must be after start", ErrBadInput)
+	}
+	return nil
+}
+
+// Add inserts an event programmatically.
+func (c *Calendar) Add(e Event) (int, error) {
+	if err := validateEvent(&e); err != nil {
+		return 0, err
+	}
+	id, err := c.store.create(&e)
+	if err != nil {
+		return 0, err
+	}
+	e.ID = id
+	return id, c.store.update(id, &e)
+}
+
+// Range returns events overlapping [from, to), sorted by start time.
+func (c *Calendar) Range(from, to time.Time) ([]Event, error) {
+	var out []Event
+	err := c.store.each(func(id int, raw []byte) error {
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil
+		}
+		if e.Start.Before(to) && e.End.After(from) {
+			e.ID = id
+			out = append(out, e)
+		}
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out, err
+}
+
+// ---- Inbox ----
+
+// Message is one inbox entry.
+type Message struct {
+	ID       int       `json:"id,omitempty"`
+	From     string    `json:"from"`
+	Subject  string    `json:"subject"`
+	Body     string    `json:"body"`
+	Received time.Time `json:"received"`
+	Read     bool      `json:"read"`
+}
+
+// Inbox is the message-inbox server.
+type Inbox struct {
+	fs    *vfs.FS
+	store *jsonStore
+	now   func() time.Time
+}
+
+var _ hpop.Service = (*Inbox)(nil)
+
+// NewInbox creates an inbox persisting under /pim/inbox.
+func NewInbox(fs *vfs.FS, now func() time.Time) *Inbox {
+	if now == nil {
+		now = time.Now
+	}
+	return &Inbox{fs: fs, now: now}
+}
+
+// Name implements hpop.Service.
+func (i *Inbox) Name() string { return "inbox" }
+
+// Start implements hpop.Service.
+func (i *Inbox) Start(ctx *hpop.ServiceContext) error {
+	store, err := newJSONStore(i.fs, "/pim/inbox")
+	if err != nil {
+		return err
+	}
+	i.store = store
+	ctx.Mux.Handle("/inbox/", http.StripPrefix("/inbox", crudHandler[Message]{
+		store: store,
+		validate: func(m *Message) error {
+			if m.From == "" {
+				return fmt.Errorf("%w: from required", ErrBadInput)
+			}
+			if m.Received.IsZero() {
+				m.Received = i.now()
+			}
+			return nil
+		},
+		setID: func(v *Message, id int) { v.ID = id },
+	}))
+	return nil
+}
+
+// Stop implements hpop.Service.
+func (i *Inbox) Stop() error { return nil }
+
+// Deliver stores an incoming message.
+func (i *Inbox) Deliver(m Message) (int, error) {
+	if m.From == "" {
+		return 0, fmt.Errorf("%w: from required", ErrBadInput)
+	}
+	if m.Received.IsZero() {
+		m.Received = i.now()
+	}
+	id, err := i.store.create(&m)
+	if err != nil {
+		return 0, err
+	}
+	m.ID = id
+	return id, i.store.update(id, &m)
+}
+
+// Unread returns unread messages, newest first.
+func (i *Inbox) Unread() ([]Message, error) {
+	var out []Message
+	err := i.store.each(func(id int, raw []byte) error {
+		var m Message
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil
+		}
+		if !m.Read {
+			m.ID = id
+			out = append(out, m)
+		}
+		return nil
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].Received.After(out[b].Received) })
+	return out, err
+}
+
+// MarkRead flags a message read.
+func (i *Inbox) MarkRead(id int) error {
+	var m Message
+	if err := i.store.read(id, &m); err != nil {
+		return err
+	}
+	m.Read = true
+	return i.store.update(id, &m)
+}

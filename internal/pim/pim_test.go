@@ -1,0 +1,304 @@
+package pim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/vfs"
+)
+
+func startPIM(t *testing.T) (*hpop.HPoP, *vfs.FS, *Contacts, *Calendar, *Inbox) {
+	t.Helper()
+	fs := vfs.New()
+	contacts := NewContacts(fs)
+	calendar := NewCalendar(fs)
+	fixed := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	inbox := NewInbox(fs, func() time.Time { return fixed })
+	h := hpop.New(hpop.Config{Name: "pim-test"})
+	for _, s := range []hpop.Service{contacts, calendar, inbox} {
+		if err := h.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Stop(context.Background()) })
+	return h, fs, contacts, calendar, inbox
+}
+
+func TestContactsCRUDProgrammatic(t *testing.T) {
+	_, fs, contacts, _, _ := startPIM(t)
+	id, err := contacts.Add(Contact{Name: "Ada Lovelace", Email: "ada@example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := contacts.Get(id)
+	if err != nil || got.Name != "Ada Lovelace" || got.ID != id {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	// Data persists inside the home's filesystem tree.
+	if !fs.Exists(fmt.Sprintf("/pim/contacts/%06d.json", id)) {
+		t.Error("contact not persisted in vfs")
+	}
+	if _, err := contacts.Add(Contact{}); err == nil {
+		t.Error("nameless contact accepted")
+	}
+	if _, err := contacts.Get(999); err != ErrNotFound {
+		t.Errorf("missing contact err = %v", err)
+	}
+}
+
+func TestContactsSearch(t *testing.T) {
+	_, _, contacts, _, _ := startPIM(t)
+	contacts.Add(Contact{Name: "Bob Smith", Email: "bob@x.org"})
+	contacts.Add(Contact{Name: "Alice Jones", Email: "alice@y.org"})
+	contacts.Add(Contact{Name: "Bobby Tables", Email: "bt@z.org"})
+	hits, err := contacts.Search("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0].Name != "Bob Smith" {
+		t.Errorf("Search(bob) = %+v", hits)
+	}
+	all, _ := contacts.Search("")
+	if len(all) != 3 || all[0].Name != "Alice Jones" {
+		t.Errorf("Search(\"\") = %+v", all)
+	}
+}
+
+func TestContactsHTTP(t *testing.T) {
+	h, _, _, _, _ := startPIM(t)
+	base := h.URL() + "/contacts/"
+	// Create.
+	resp, err := http.Post(base, "application/json",
+		bytes.NewBufferString(`{"name":"Grace Hopper","email":"grace@navy.mil"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID int `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == 0 {
+		t.Fatalf("create status %d id %d", resp.StatusCode, created.ID)
+	}
+	// Read.
+	resp, err = http.Get(fmt.Sprintf("%s%d", base, created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Contact
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Name != "Grace Hopper" || got.ID != created.ID {
+		t.Errorf("read = %+v", got)
+	}
+	// Replace.
+	req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s%d", base, created.ID),
+		bytes.NewBufferString(`{"name":"Rear Admiral Hopper"}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("replace status %d", resp.StatusCode)
+	}
+	// List.
+	resp, err = http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Contact
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "Rear Admiral Hopper" {
+		t.Errorf("list = %+v", list)
+	}
+	// Delete.
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s%d", base, created.ID), nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("delete status %d", resp.StatusCode)
+	}
+	// Gone.
+	resp, _ = http.Get(fmt.Sprintf("%s%d", base, created.ID))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("post-delete read status %d", resp.StatusCode)
+	}
+}
+
+func TestContactsHTTPValidation(t *testing.T) {
+	h, _, _, _, _ := startPIM(t)
+	base := h.URL() + "/contacts/"
+	resp, err := http.Post(base, "application/json", bytes.NewBufferString(`{"email":"x@y"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nameless create status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(base, "application/json", bytes.NewBufferString(`{not json`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(base + "notanumber")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", resp.StatusCode)
+	}
+}
+
+func TestCalendarRangeQueries(t *testing.T) {
+	_, _, _, cal, _ := startPIM(t)
+	day := func(d int, h int) time.Time {
+		return time.Date(2026, 7, d, h, 0, 0, 0, time.UTC)
+	}
+	cal.Add(Event{Title: "standup", Start: day(6, 9), End: day(6, 10)})
+	cal.Add(Event{Title: "dentist", Start: day(7, 14), End: day(7, 15)})
+	cal.Add(Event{Title: "trip", Start: day(6, 18), End: day(8, 12)}) // spans days
+
+	monday, err := cal.Range(day(6, 0), day(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(monday) != 2 || monday[0].Title != "standup" || monday[1].Title != "trip" {
+		t.Errorf("monday = %+v", monday)
+	}
+	tuesday, _ := cal.Range(day(7, 0), day(8, 0))
+	if len(tuesday) != 2 { // trip still ongoing + dentist
+		t.Errorf("tuesday = %+v", tuesday)
+	}
+	empty, _ := cal.Range(day(20, 0), day(21, 0))
+	if len(empty) != 0 {
+		t.Errorf("empty range = %+v", empty)
+	}
+}
+
+func TestCalendarValidation(t *testing.T) {
+	_, _, _, cal, _ := startPIM(t)
+	start := time.Now()
+	if _, err := cal.Add(Event{Title: "", Start: start, End: start.Add(time.Hour)}); err == nil {
+		t.Error("untitled event accepted")
+	}
+	if _, err := cal.Add(Event{Title: "x", Start: start, End: start}); err == nil {
+		t.Error("zero-duration event accepted")
+	}
+}
+
+func TestInboxDeliverAndRead(t *testing.T) {
+	_, _, _, _, inbox := startPIM(t)
+	id1, err := inbox.Deliver(Message{From: "mom@example.org", Subject: "dinner?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inbox.Deliver(Message{From: "spam@example.net", Subject: "win big"})
+	unread, err := inbox.Unread()
+	if err != nil || len(unread) != 2 {
+		t.Fatalf("unread = %d, %v", len(unread), err)
+	}
+	// Delivery timestamp injected from the clock.
+	if unread[0].Received.IsZero() {
+		t.Error("received time not stamped")
+	}
+	if err := inbox.MarkRead(id1); err != nil {
+		t.Fatal(err)
+	}
+	unread, _ = inbox.Unread()
+	if len(unread) != 1 || unread[0].From != "spam@example.net" {
+		t.Errorf("after read = %+v", unread)
+	}
+	if err := inbox.MarkRead(999); err != ErrNotFound {
+		t.Errorf("missing mark-read err = %v", err)
+	}
+	if _, err := inbox.Deliver(Message{}); err == nil {
+		t.Error("fromless message accepted")
+	}
+}
+
+func TestAllThreeServicesShareOneTree(t *testing.T) {
+	_, fs, contacts, cal, inbox := startPIM(t)
+	contacts.Add(Contact{Name: "n"})
+	cal.Add(Event{Title: "t", Start: time.Now(), End: time.Now().Add(time.Hour)})
+	inbox.Deliver(Message{From: "f"})
+	entries, err := fs.List("/pim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("/pim children = %+v", entries)
+	}
+}
+
+func TestCalendarAndInboxHTTP(t *testing.T) {
+	h, _, _, _, _ := startPIM(t)
+	// Calendar create + list over HTTP.
+	evBody := `{"title":"standup","start":"2026-07-06T09:00:00Z","end":"2026-07-06T09:15:00Z"}`
+	resp, err := http.Post(h.URL()+"/calendar/", "application/json", bytes.NewBufferString(evBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("calendar create status %d", resp.StatusCode)
+	}
+	// Invalid event rejected.
+	resp, _ = http.Post(h.URL()+"/calendar/", "application/json",
+		bytes.NewBufferString(`{"title":"bad","start":"2026-07-06T09:00:00Z","end":"2026-07-06T09:00:00Z"}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero-duration event status %d", resp.StatusCode)
+	}
+	// Inbox deliver + read over HTTP.
+	resp, err = http.Post(h.URL()+"/inbox/", "application/json",
+		bytes.NewBufferString(`{"from":"carol@example.org","subject":"hi"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID int `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	resp, err = http.Get(fmt.Sprintf("%s/inbox/%d", h.URL(), created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg Message
+	json.NewDecoder(resp.Body).Decode(&msg)
+	resp.Body.Close()
+	if msg.From != "carol@example.org" || msg.Received.IsZero() {
+		t.Errorf("message = %+v", msg)
+	}
+	// List endpoints return arrays.
+	for _, ep := range []string{"/calendar/", "/inbox/", "/contacts/"} {
+		resp, err := http.Get(h.URL() + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raw []json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+			t.Errorf("%s list decode: %v", ep, err)
+		}
+		resp.Body.Close()
+	}
+	// Unsupported method on the collection.
+	req, _ := http.NewRequest(http.MethodDelete, h.URL()+"/calendar/", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("collection DELETE status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate under the network simulator (internal/netsim)
+// and the higher-level experiment harnesses. It maintains a virtual clock and
+// a priority queue of events; events scheduled for the same instant fire in
+// the order they were scheduled, which keeps runs fully deterministic for a
+// given seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated instant expressed in seconds since the start of the
+// simulation. Using float64 seconds keeps rate arithmetic (bits/sec, events
+// per second) simple; convert at the edges with FromDuration/ToDuration.
+type Time float64
+
+// FromDuration converts a wall-clock duration to simulated seconds.
+func FromDuration(d time.Duration) Time { return Time(d.Seconds()) }
+
+// ToDuration converts a simulated instant/interval to a time.Duration.
+func (t Time) ToDuration() time.Duration { return time.Duration(float64(t) * float64(time.Second)) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// String formats the time with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
+
+// ErrStopped is returned by Run when the simulation was halted via Stop
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. The callback runs with the clock set to the
+// event's due time.
+type Event struct {
+	due    Time
+	seq    uint64 // tie-break: FIFO among same-instant events
+	fn     func()
+	index  int // heap index; -1 once popped or canceled
+	cancel bool
+}
+
+// Canceled reports whether the event was canceled before it fired.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// Due returns the instant the event is scheduled for.
+func (e *Event) Due() Time { return e.due }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event simulator. The zero value is not
+// usable; create one with New.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	ran     uint64
+}
+
+// New returns an empty kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.ran }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// (before Now) clamps to Now, i.e. the event fires before the clock advances
+// further. It returns a handle that can be passed to Cancel.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("sim: scheduling at invalid time %v", float64(t)))
+	}
+	ev := &Event{due: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d simulated seconds from now.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that has
+// already fired or been canceled is a no-op.
+func (k *Kernel) Cancel(ev *Event) {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		if ev != nil {
+			ev.cancel = true
+		}
+		return
+	}
+	ev.cancel = true
+	heap.Remove(&k.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop halts a Run in progress after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its due time.
+// It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		k.now = ev.due
+		k.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the clock passes horizon, or
+// Stop is called. A non-positive horizon means "no horizon". It returns
+// ErrStopped if halted by Stop; otherwise nil.
+func (k *Kernel) Run(horizon Time) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.cancel {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if horizon > 0 && next.due > horizon {
+			k.now = horizon
+			return nil
+		}
+		k.Step()
+	}
+	if horizon > 0 && k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// RunUntil executes events while pred() stays false, stopping (with the clock
+// at the instant of the satisfying event) once pred returns true after an
+// event fires. It returns true if pred was satisfied before the queue drained.
+func (k *Kernel) RunUntil(pred func() bool) bool {
+	if pred() {
+		return true
+	}
+	for k.Step() {
+		if pred() {
+			return true
+		}
+	}
+	return false
+}

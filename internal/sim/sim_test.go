@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.At(3, func() { got = append(got, 3) })
+	k.At(1, func() { got = append(got, 1) })
+	k.At(2, func() { got = append(got, 2) })
+	if err := k.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestKernelFIFOSameInstant(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run(0)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelAfterAndNestedScheduling(t *testing.T) {
+	k := New()
+	var fired []Time
+	k.After(1, func() {
+		fired = append(fired, k.Now())
+		k.After(2, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run(0)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := New()
+	ran := false
+	ev := k.At(1, func() { ran = true })
+	k.Cancel(ev)
+	k.Run(0)
+	if ran {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel and cancel-after-run must not panic.
+	k.Cancel(ev)
+	k.Cancel(nil)
+}
+
+func TestKernelCancelFromEvent(t *testing.T) {
+	k := New()
+	ran := false
+	var later *Event
+	k.At(1, func() { k.Cancel(later) })
+	later = k.At(2, func() { ran = true })
+	k.Run(0)
+	if ran {
+		t.Error("event canceled mid-run still fired")
+	}
+}
+
+func TestKernelHorizon(t *testing.T) {
+	k := New()
+	count := 0
+	k.At(1, func() { count++ })
+	k.At(5, func() { count++ })
+	if err := k.Run(3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("events past horizon ran: count=%d", count)
+	}
+	if k.Now() != 3 {
+		t.Errorf("Now = %v, want horizon 3", k.Now())
+	}
+	// Resuming past the horizon runs the rest.
+	k.Run(0)
+	if count != 2 {
+		t.Errorf("resume did not run remaining events: count=%d", count)
+	}
+}
+
+func TestKernelHorizonAdvancesIdleClock(t *testing.T) {
+	k := New()
+	k.Run(10)
+	if k.Now() != 10 {
+		t.Errorf("Now = %v, want 10 with empty queue", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := New()
+	count := 0
+	k.At(1, func() { count++; k.Stop() })
+	k.At(2, func() { count++ })
+	if err := k.Run(0); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i), func() { n++ })
+	}
+	ok := k.RunUntil(func() bool { return n == 3 })
+	if !ok || n != 3 || k.Now() != 3 {
+		t.Fatalf("RunUntil: ok=%v n=%d now=%v", ok, n, k.Now())
+	}
+	if ok := k.RunUntil(func() bool { return n == 100 }); ok {
+		t.Error("RunUntil satisfied impossible predicate")
+	}
+}
+
+func TestKernelPastScheduling(t *testing.T) {
+	k := New()
+	var at Time = -1
+	k.At(5, func() {
+		k.At(1, func() { at = k.Now() }) // in the past: clamps to now
+	})
+	k.Run(0)
+	if at != 5 {
+		t.Errorf("past-scheduled event ran at %v, want 5 (clamped)", at)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(1500*time.Millisecond) != 1.5 {
+		t.Error("FromDuration(1.5s) != 1.5")
+	}
+	if Time(2.5).ToDuration() != 2500*time.Millisecond {
+		t.Error("ToDuration(2.5) != 2.5s")
+	}
+	if Time(1).String() != "1.000000s" {
+		t.Errorf("String = %q", Time(1).String())
+	}
+	if !Time(1).Before(2) || Time(2).Before(1) {
+		t.Error("Before misordered")
+	}
+}
+
+func TestKernelProcessedAndPending(t *testing.T) {
+	k := New()
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", k.Pending())
+	}
+	k.Run(0)
+	if k.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", k.Processed())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed produced zero output")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("Intn bucket %d frequency %.3f far from 0.1", i, frac)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGParetoTail(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(100, 1.2); v < 100 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(19)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(23)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[500] {
+		t.Error("Zipf rank 0 not more popular than rank 500")
+	}
+	// Rank 0 share under exponent 1, n=1000 is 1/H_1000 ~= 0.133.
+	share := float64(counts[0]) / draws
+	if share < 0.10 || share > 0.17 {
+		t.Errorf("Zipf top-rank share = %.3f, want ~0.133", share)
+	}
+}
+
+func TestZipfPropertyAllRanksValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		z := NewZipf(NewRNG(seed), n, 0.8)
+		for i := 0; i < 200; i++ {
+			d := z.Draw()
+			if d < 0 || d >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the kernel clock is monotone non-decreasing across any schedule.
+func TestKernelClockMonotonicProperty(t *testing.T) {
+	f := func(seed uint64, times []uint16) bool {
+		k := New()
+		last := Time(-1)
+		ok := true
+		for _, raw := range times {
+			k.At(Time(raw)/100, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

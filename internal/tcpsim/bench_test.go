@@ -1,0 +1,33 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"hpop/internal/sim"
+)
+
+func BenchmarkTransfer10MBCleanPath(b *testing.B) {
+	p := Path{RTT: 0.050, Bandwidth: 1e9}
+	for i := 0; i < b.N; i++ {
+		Transfer(p, 10e6, nil)
+	}
+}
+
+func BenchmarkTransfer10MBLossyPath(b *testing.B) {
+	p := Path{RTT: 0.050, Bandwidth: 1e9, Loss: 0.01}
+	rng := sim.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		Transfer(p, 10e6, rng)
+	}
+}
+
+func BenchmarkSessionTwoSubflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSession(MinRTT, nil)
+		s.AddSubflow(Path{RTT: 0.030, Bandwidth: 100e6}, "a")
+		s.AddSubflow(Path{RTT: 0.050, Bandwidth: 100e6}, "b")
+		if _, err := s.Transfer(5e6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

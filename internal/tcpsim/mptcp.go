@@ -1,0 +1,378 @@
+package tcpsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpop/internal/sim"
+)
+
+// SchedulerPolicy selects which subflow receives the next packets when the
+// sender has data and multiple subflows have congestion-window space.
+type SchedulerPolicy int
+
+// Scheduler policies. MinRTT is the stock Linux MPTCP default; the paper's
+// ACK-delay steering mechanism targets exactly this policy.
+const (
+	MinRTT SchedulerPolicy = iota + 1
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case MinRTT:
+		return "minRTT"
+	case RoundRobin:
+		return "roundRobin"
+	default:
+		return fmt.Sprintf("SchedulerPolicy(%d)", int(p))
+	}
+}
+
+// ackEvent records in-flight packets whose fate is learned at time `at`:
+// `acked` arrived, `lost` were dropped and must be retransmitted.
+type ackEvent struct {
+	at    sim.Time
+	acked float64
+	lost  float64
+}
+
+// Subflow is one MPTCP subflow with its own congestion state.
+type Subflow struct {
+	// Path is the subflow's network path (direct, or composed through a
+	// waypoint via Compose).
+	Path Path
+	// AckDelay is extra delay the receiver adds to subflow-level ACKs. The
+	// sender's perceived RTT becomes Path.RTT + AckDelay, so the minRTT
+	// scheduler deprioritizes the subflow — the client-side steering knob
+	// from §IV-C.
+	AckDelay sim.Time
+
+	// Label identifies the subflow in results ("direct", "waypoint-3", ...).
+	Label string
+
+	active    bool
+	cwnd      float64 // packets
+	ssthresh  float64
+	inflight  float64
+	acks      []ackEvent
+	delivered float64 // cumulative packets delivered
+	lastCut   sim.Time
+	rrTurn    int // round-robin bookkeeping
+}
+
+// PerceivedRTT is the RTT the sender's scheduler observes.
+func (sf *Subflow) PerceivedRTT() sim.Time { return sf.Path.RTT + sf.AckDelay }
+
+// Active reports whether the subflow is currently part of the session.
+func (sf *Subflow) Active() bool { return sf.active }
+
+// DeliveredBytes returns cumulative goodput carried by this subflow.
+func (sf *Subflow) DeliveredBytes() float64 { return sf.delivered * sf.Path.mss() }
+
+func (sf *Subflow) reset() {
+	sf.cwnd = InitialWindow
+	sf.ssthresh = math.Inf(1)
+	sf.inflight = 0
+	sf.acks = nil
+	sf.lastCut = -1
+}
+
+// Session is an MPTCP connection composed of subflows. It is simulated at a
+// fixed tick granularity: each tick the scheduler hands backlog packets to
+// subflows with window space, deliveries complete one RTT after sending, and
+// random loss halves the owning subflow's window (at most once per RTT, as
+// fast recovery does).
+type Session struct {
+	Scheduler SchedulerPolicy
+
+	subflows []*Subflow
+	now      sim.Time
+	tick     sim.Time
+	rng      *sim.RNG
+	rrNext   int
+}
+
+// NewSession creates a session with the given scheduler policy and RNG (used
+// for loss; may be nil if all paths are loss-free).
+func NewSession(policy SchedulerPolicy, rng *sim.RNG) *Session {
+	if policy == 0 {
+		policy = MinRTT
+	}
+	return &Session{Scheduler: policy, rng: rng}
+}
+
+// AddSubflow joins a new subflow on the given path, returning it for later
+// control (ACK delay, withdrawal). Subflows start in slow start, as a fresh
+// MPTCP join does.
+func (s *Session) AddSubflow(path Path, label string) *Subflow {
+	sf := &Subflow{Path: path, Label: label, active: true}
+	sf.reset()
+	s.subflows = append(s.subflows, sf)
+	return sf
+}
+
+// Withdraw removes a subflow from the session (the client closing a subflow
+// to drop an undesirable detour). In-flight data is considered lost and is
+// returned to the backlog by the transfer loop.
+func (s *Session) Withdraw(sf *Subflow) {
+	sf.active = false
+}
+
+// Rejoin reactivates a withdrawn subflow with fresh congestion state.
+func (s *Session) Rejoin(sf *Subflow) {
+	sf.reset()
+	sf.active = true
+}
+
+// Subflows returns the session's subflows (active and withdrawn).
+func (s *Session) Subflows() []*Subflow {
+	out := make([]*Subflow, len(s.subflows))
+	copy(out, s.subflows)
+	return out
+}
+
+func (s *Session) activeSubflows() []*Subflow {
+	var out []*Subflow
+	for _, sf := range s.subflows {
+		if sf.active {
+			out = append(out, sf)
+		}
+	}
+	return out
+}
+
+// minTick returns the simulation tick: a quarter of the smallest active RTT.
+func (s *Session) minTick() sim.Time {
+	minRTT := sim.Time(math.Inf(1))
+	for _, sf := range s.subflows {
+		if sf.active && sf.Path.RTT < minRTT {
+			minRTT = sf.Path.RTT
+		}
+	}
+	if math.IsInf(float64(minRTT), 1) {
+		return 0
+	}
+	t := minRTT / 4
+	if t <= 0 {
+		t = sim.Time(0.0001)
+	}
+	return t
+}
+
+// step advances the session by one tick with the given backlog (packets
+// ready to send, across all subflows). It returns packets handed to the
+// network this tick and packets whose loss was detected this tick (which
+// the caller returns to the backlog for retransmission).
+func (s *Session) step(backlog float64) (sent, lostRecovered float64) {
+	s.now += s.tick
+	// Process ACK/loss arrivals: shrink inflight, grow cwnd, recover losses.
+	for _, sf := range s.subflows {
+		if !sf.active {
+			continue
+		}
+		var kept []ackEvent
+		for _, ev := range sf.acks {
+			if ev.at <= s.now {
+				sf.inflight -= ev.acked + ev.lost
+				if sf.inflight < 0 {
+					sf.inflight = 0
+				}
+				sf.delivered += ev.acked
+				lostRecovered += ev.lost
+				// Window growth proportional to acked packets.
+				if sf.cwnd < sf.ssthresh {
+					sf.cwnd += ev.acked // slow start: +1 per ACK
+				} else {
+					sf.cwnd += ev.acked / sf.cwnd // CA: +1 per RTT
+				}
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		sf.acks = kept
+	}
+
+	// Scheduler: order subflows, hand out backlog to window space.
+	order := s.activeSubflows()
+	switch s.Scheduler {
+	case RoundRobin:
+		if len(order) > 0 {
+			r := s.rrNext % len(order)
+			order = append(order[r:], order[:r]...)
+			s.rrNext++
+		}
+	default: // MinRTT
+		sort.SliceStable(order, func(i, j int) bool {
+			return order[i].PerceivedRTT() < order[j].PerceivedRTT()
+		})
+	}
+
+	for _, sf := range order {
+		if backlog <= 0 {
+			break
+		}
+		space := sf.cwnd - sf.inflight
+		if space <= 0 {
+			continue
+		}
+		// Per-tick pacing cap: the path can't absorb more than bw*tick.
+		paceCap := sf.Path.Bandwidth * float64(s.tick) / 8 / sf.Path.mss()
+		n := math.Min(space, math.Min(backlog, paceCap))
+		if n <= 0 {
+			continue
+		}
+		backlog -= n
+		sent += n
+		sf.inflight += n
+
+		// Loss: bernoulli over the burst; halve at most once per RTT. Lost
+		// packets surface at ACK time and return to the backlog for
+		// retransmission (possibly on another subflow, as MPTCP does).
+		lost := 0.0
+		if sf.Path.Loss > 0 && s.rng != nil {
+			pBurst := 1 - math.Pow(1-sf.Path.Loss, n)
+			if s.rng.Float64() < pBurst {
+				lost = math.Max(1, n*sf.Path.Loss)
+				if lost > n {
+					lost = n
+				}
+				if sf.lastCut < 0 || s.now-sf.lastCut >= sf.Path.RTT {
+					sf.ssthresh = math.Max(sf.cwnd/2, 2)
+					sf.cwnd = sf.ssthresh
+					sf.lastCut = s.now
+				}
+			}
+		}
+		// Delivered packets are ACKed one (perceived) RTT later; the ACK
+		// delay postpones window growth, which is exactly how receiver-side
+		// steering slows the sender on this subflow.
+		sf.acks = append(sf.acks, ackEvent{
+			at:    s.now + sf.PerceivedRTT(),
+			acked: n - lost,
+			lost:  lost,
+		})
+	}
+	return sent, lostRecovered
+}
+
+// SessionStats reports the outcome of a bulk Transfer.
+type SessionStats struct {
+	Duration sim.Time
+	Bytes    float64
+	// PerSubflow maps subflow label -> bytes carried.
+	PerSubflow map[string]float64
+}
+
+// MeanRateBps returns aggregate goodput.
+func (st SessionStats) MeanRateBps() float64 {
+	if st.Duration <= 0 {
+		return 0
+	}
+	return st.Bytes * 8 / float64(st.Duration)
+}
+
+// Share returns the fraction of bytes carried by the labeled subflow.
+func (st SessionStats) Share(label string) float64 {
+	if st.Bytes <= 0 {
+		return 0
+	}
+	return st.PerSubflow[label] / st.Bytes
+}
+
+// Transfer simulates a bulk transfer of `bytes` over the session, returning
+// per-subflow accounting. The transfer runs until all bytes are delivered or
+// maxTime elapses (0 = no limit).
+func (s *Session) Transfer(bytes float64, maxTime sim.Time) (SessionStats, error) {
+	active := s.activeSubflows()
+	if len(active) == 0 {
+		return SessionStats{}, ErrNoActiveSubflow
+	}
+	s.now = 0
+	for _, sf := range s.subflows {
+		sf.delivered = 0
+	}
+	s.tick = s.minTick()
+	mss := active[0].Path.mss()
+	totalPackets := math.Ceil(bytes / mss)
+
+	handed := 0.0 // packets given to subflows so far
+	deliveredAll := func() float64 {
+		var d float64
+		for _, sf := range s.subflows {
+			d += sf.delivered
+		}
+		return d
+	}
+	// Floating-point packet fractions can leave delivered asymptotically
+	// below the target; treat within-half-a-packet as done, and bound the
+	// loop as a backstop (ticks are >= minRTT/4, so this allows simulated
+	// hours — far beyond any meaningful transfer).
+	const eps = 0.5
+	for tick := 0; deliveredAll() < totalPackets-eps; tick++ {
+		if maxTime > 0 && s.now >= maxTime {
+			break
+		}
+		if tick > 50_000_000 {
+			break // safety valve
+		}
+		backlog := totalPackets - handed
+		if backlog < 0 {
+			backlog = 0
+		}
+		sent, lost := s.step(backlog)
+		handed += sent - lost // losses rejoin the backlog
+		// Withdrawn subflows strand their in-flight packets; return them to
+		// the backlog (MPTCP retransmits on other subflows).
+		for _, sf := range s.subflows {
+			if !sf.active && sf.inflight > 0 {
+				handed -= sf.inflight
+				sf.inflight = 0
+				sf.acks = nil
+			}
+		}
+		if s.tick <= 0 {
+			return SessionStats{}, ErrNoActiveSubflow
+		}
+	}
+	st := SessionStats{
+		Duration:   s.now,
+		PerSubflow: make(map[string]float64, len(s.subflows)),
+	}
+	for _, sf := range s.subflows {
+		st.PerSubflow[sf.Label] += sf.DeliveredBytes()
+		st.Bytes += sf.DeliveredBytes()
+	}
+	return st, nil
+}
+
+// RunDemand simulates an application-limited sender producing demandBps for
+// the given duration and returns per-subflow byte counts. This exposes
+// scheduler behaviour: with demand below aggregate capacity, the minRTT
+// policy concentrates traffic on the lowest-perceived-RTT subflows, so
+// inflating a subflow's AckDelay visibly shifts its share.
+func (s *Session) RunDemand(demandBps float64, dur sim.Time) (map[string]float64, error) {
+	active := s.activeSubflows()
+	if len(active) == 0 {
+		return nil, ErrNoActiveSubflow
+	}
+	s.now = 0
+	for _, sf := range s.subflows {
+		sf.delivered = 0
+	}
+	s.tick = s.minTick()
+	mss := active[0].Path.mss()
+	var backlog float64
+	for s.now < dur {
+		backlog += demandBps * float64(s.tick) / 8 / mss
+		sent, lost := s.step(backlog)
+		backlog -= sent - lost // losses rejoin the backlog
+	}
+	out := make(map[string]float64, len(s.subflows))
+	for _, sf := range s.subflows {
+		out[sf.Label] += sf.DeliveredBytes()
+	}
+	return out, nil
+}

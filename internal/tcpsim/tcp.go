@@ -1,0 +1,239 @@
+// Package tcpsim models TCP and MPTCP protocol dynamics.
+//
+// Two models live here:
+//
+//   - A round-based single-connection model (Transfer, TimeToFillPipe): slow
+//     start from IW10, NewReno-style congestion avoidance and halving, and a
+//     bandwidth-delay cap. This reproduces the paper's §IV-D observation that
+//     a 1 Gbps x 50 ms path needs ~10 RTTs and >14 MB before TCP utilizes the
+//     capacity.
+//
+//   - A tick-based MPTCP session model (Session): multiple subflows with
+//     independent congestion state, a pluggable packet scheduler (minRTT as
+//     in stock MPTCP, plus round-robin), dynamic subflow add/withdraw, and
+//     client-side ACK-delay manipulation that inflates a subflow's perceived
+//     RTT to steer the sender's minRTT scheduler away from it — the paper's
+//     §IV-C mechanism for indirectly controlling the server's detour usage.
+//
+// The fluid network simulator (internal/netsim) answers bandwidth-sharing
+// questions; this package answers protocol-dynamics questions. The detour
+// experiments compose the two through Path composition helpers.
+package tcpsim
+
+import (
+	"errors"
+	"math"
+
+	"hpop/internal/sim"
+)
+
+// DefaultMSS is the standard Ethernet-derived maximum segment size.
+const DefaultMSS = 1460
+
+// InitialWindow is the IW10 initial congestion window (RFC 6928).
+const InitialWindow = 10
+
+// Path describes one network path as TCP sees it.
+type Path struct {
+	RTT       sim.Time // round-trip time
+	Bandwidth float64  // bottleneck capacity, bits/sec
+	Loss      float64  // per-packet random loss probability
+	MSS       int      // segment size in bytes; 0 means DefaultMSS
+}
+
+func (p Path) mss() float64 {
+	if p.MSS <= 0 {
+		return DefaultMSS
+	}
+	return float64(p.MSS)
+}
+
+// BDPSegments returns the path's bandwidth-delay product in segments.
+func (p Path) BDPSegments() float64 {
+	return p.Bandwidth * float64(p.RTT) / 8 / p.mss()
+}
+
+// Compose concatenates two path segments as a detour does (client->waypoint,
+// waypoint->server): RTTs add, bandwidth is the min, losses combine
+// independently, and tunnel encapsulation overhead (extra header bytes per
+// packet, e.g. 36 for the paper's VPN tunnel) reduces goodput by shrinking
+// the effective payload per MTU-sized packet.
+func Compose(a, b Path, overheadBytes int) Path {
+	mss := math.Min(a.mss(), b.mss())
+	bw := math.Min(a.Bandwidth, b.Bandwidth)
+	if overheadBytes > 0 {
+		bw *= mss / (mss + float64(overheadBytes))
+	}
+	return Path{
+		RTT:       a.RTT + b.RTT,
+		Bandwidth: bw,
+		Loss:      1 - (1-a.Loss)*(1-b.Loss),
+		MSS:       int(mss),
+	}
+}
+
+// RoundSample records connection state at the end of one RTT round.
+type RoundSample struct {
+	Round     int
+	Time      sim.Time
+	Cwnd      float64 // segments
+	BytesSent float64 // cumulative
+	RateBps   float64 // achieved rate during this round
+	Loss      bool
+}
+
+// TransferStats summarizes a simulated transfer.
+type TransferStats struct {
+	Duration  sim.Time
+	Rounds    int
+	Losses    int
+	Bytes     float64
+	Timeline  []RoundSample
+	FinalCwnd float64
+}
+
+// MeanRateBps returns bytes*8/duration.
+func (s TransferStats) MeanRateBps() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return s.Bytes * 8 / float64(s.Duration)
+}
+
+// transferOpts collects Transfer options.
+type transferOpts struct {
+	recordTimeline bool
+	handshake      bool
+	initialCwnd    float64
+}
+
+// TransferOption customizes Transfer.
+type TransferOption func(*transferOpts)
+
+// WithTimeline records a per-round timeline in the returned stats.
+func WithTimeline() TransferOption {
+	return func(o *transferOpts) { o.recordTimeline = true }
+}
+
+// WithHandshake charges one extra RTT for connection establishment.
+func WithHandshake() TransferOption {
+	return func(o *transferOpts) { o.handshake = true }
+}
+
+// WithInitialCwnd overrides the IW10 initial window (in segments).
+func WithInitialCwnd(segs float64) TransferOption {
+	return func(o *transferOpts) {
+		if segs > 0 {
+			o.initialCwnd = segs
+		}
+	}
+}
+
+// Transfer simulates sending `bytes` over the path with a single TCP
+// connection and returns timing statistics. rng drives random loss; pass nil
+// for a loss-free deterministic run (required if p.Loss > 0).
+func Transfer(p Path, bytes float64, rng *sim.RNG, opts ...TransferOption) TransferStats {
+	o := transferOpts{initialCwnd: InitialWindow}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if p.Loss > 0 && rng == nil {
+		panic("tcpsim: lossy path requires an RNG")
+	}
+
+	mss := p.mss()
+	bdp := p.BDPSegments()
+	cwnd := o.initialCwnd
+	ssthresh := math.Inf(1)
+	remaining := bytes
+	var t sim.Time
+	if o.handshake {
+		t += p.RTT
+	}
+	stats := TransferStats{Bytes: bytes}
+
+	for remaining > 0 {
+		// Segments the sender can emit this round: limited by cwnd and by
+		// what is left. The path drains at most bdp segments per RTT; cwnd
+		// beyond bdp sits in the bottleneck queue, so goodput caps at bdp.
+		want := math.Ceil(remaining / mss)
+		segs := math.Min(cwnd, want)
+		delivered := math.Min(segs, math.Max(bdp, 1))
+		moved := math.Min(delivered*mss, remaining)
+
+		// Loss this round: at least one of the delivered segments dropped.
+		lost := false
+		if p.Loss > 0 {
+			pRound := 1 - math.Pow(1-p.Loss, delivered)
+			lost = rng.Float64() < pRound
+		}
+
+		// Round duration: a full RTT, except the final round which only
+		// needs the serialization time of the residue (plus half an RTT for
+		// the data to arrive).
+		// Round duration: a full RTT, except the final round, where the
+		// sender bursts the residue at line rate and the transfer ends when
+		// the last byte arrives (half an RTT of one-way delay later).
+		var dt sim.Time
+		if moved >= remaining {
+			dt = sim.Time(moved*8/p.Bandwidth) + p.RTT/2
+		} else {
+			dt = p.RTT
+		}
+
+		remaining -= moved
+		t += dt
+		stats.Rounds++
+		if lost {
+			stats.Losses++
+			ssthresh = math.Max(cwnd/2, 2)
+			cwnd = ssthresh // fast recovery (NewReno): resume at ssthresh
+		} else if cwnd < ssthresh {
+			cwnd *= 2 // slow start
+		} else {
+			cwnd++ // congestion avoidance
+		}
+		if o.recordTimeline {
+			stats.Timeline = append(stats.Timeline, RoundSample{
+				Round:     stats.Rounds,
+				Time:      t,
+				Cwnd:      cwnd,
+				BytesSent: bytes - remaining,
+				RateBps:   moved * 8 / float64(dt),
+				Loss:      lost,
+			})
+		}
+		if stats.Rounds > 10_000_000 {
+			break // safety valve; never hit by sane parameters
+		}
+	}
+	stats.Duration = t
+	stats.FinalCwnd = cwnd
+	return stats
+}
+
+// TimeToFillPipe computes, on a loss-free path, how many RTT rounds slow
+// start needs before the congestion window reaches the bandwidth-delay
+// product, and how many bytes have been transferred by the end of that round.
+// For a 1 Gbps x 50 ms path this reproduces the paper's "10 RTTs and over
+// 14 MB" claim.
+func TimeToFillPipe(p Path) (rounds int, bytesBefore float64) {
+	mss := p.mss()
+	bdp := p.BDPSegments()
+	cwnd := float64(InitialWindow)
+	var sent float64
+	for cwnd < bdp {
+		sent += cwnd * mss
+		cwnd *= 2
+		rounds++
+	}
+	// The round during which cwnd first covers the BDP still transfers at
+	// below-capacity average rate; count it and its bytes.
+	sent += cwnd * mss
+	rounds++
+	return rounds, sent
+}
+
+// ErrNoActiveSubflow is returned when a session transfer is attempted with
+// every subflow withdrawn.
+var ErrNoActiveSubflow = errors.New("tcpsim: no active subflow")

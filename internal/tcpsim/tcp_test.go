@@ -1,0 +1,215 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpop/internal/sim"
+)
+
+func gigPath() Path {
+	return Path{RTT: 0.050, Bandwidth: 1e9}
+}
+
+// TestPaperSlowStartClaim reproduces the §IV-D claim: "over a 1 Gbps network
+// path with a 50 msec RTT a TCP connection will require 10 RTTs and over
+// 14 MB of data before utilizing the available capacity."
+func TestPaperSlowStartClaim(t *testing.T) {
+	rounds, bytes := TimeToFillPipe(gigPath())
+	if rounds != 10 {
+		t.Errorf("rounds to fill pipe = %d, want 10 (paper claim)", rounds)
+	}
+	if bytes < 14e6 {
+		t.Errorf("bytes before capacity = %.1f MB, want > 14 MB (paper claim)", bytes/1e6)
+	}
+	if bytes > 20e6 {
+		t.Errorf("bytes before capacity = %.1f MB, implausibly high", bytes/1e6)
+	}
+}
+
+func TestBDPSegments(t *testing.T) {
+	// 1 Gbps x 50 ms = 6.25 MB = ~4280 segments of 1460 B.
+	got := gigPath().BDPSegments()
+	if math.Abs(got-4280.8) > 1 {
+		t.Errorf("BDPSegments = %v, want ~4280.8", got)
+	}
+}
+
+func TestTransferSmallObjectRTTBound(t *testing.T) {
+	// A 10 KB object (7 segments) fits in the initial window: one round.
+	st := Transfer(gigPath(), 10e3, nil)
+	if st.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", st.Rounds)
+	}
+	// Latency-dominated: roughly half an RTT plus serialization.
+	if st.Duration < 0.025 || st.Duration > 0.05 {
+		t.Errorf("duration = %v, want latency-dominated (~25ms)", st.Duration)
+	}
+}
+
+func TestTransferLargeApproachesCapacity(t *testing.T) {
+	// A 1 GB transfer should achieve a large fraction of the 1 Gbps link.
+	st := Transfer(gigPath(), 1e9, nil)
+	rate := st.MeanRateBps()
+	if rate < 0.8e9 {
+		t.Errorf("mean rate = %.0f bps, want > 0.8 Gbps for 1 GB transfer", rate)
+	}
+	if rate > 1e9+1 {
+		t.Errorf("mean rate %.0f exceeds link capacity", rate)
+	}
+}
+
+func TestTransferRateMonotoneInSize(t *testing.T) {
+	// Bigger transfers amortize slow start: achieved rate grows with size.
+	prev := 0.0
+	for _, size := range []float64{1e4, 1e5, 1e6, 1e7, 1e8} {
+		rate := Transfer(gigPath(), size, nil).MeanRateBps()
+		if rate < prev {
+			t.Errorf("rate not monotone: size %g got %.0f < previous %.0f", size, rate, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestTransferMostTransfersFarFromCapacity(t *testing.T) {
+	// The paper: "Most transfers carry nowhere near enough data to achieve
+	// these speeds." A 100 KB page transfer achieves only a small fraction
+	// of a 1 Gbps path.
+	rate := Transfer(gigPath(), 100e3, nil).MeanRateBps()
+	if rate > 0.05e9 {
+		t.Errorf("100 KB transfer rate = %.2f Mbps; expected <5%% of capacity", rate/1e6)
+	}
+}
+
+func TestTransferHandshakeAddsRTT(t *testing.T) {
+	base := Transfer(gigPath(), 10e3, nil)
+	hs := Transfer(gigPath(), 10e3, nil, WithHandshake())
+	diff := float64(hs.Duration - base.Duration)
+	if math.Abs(diff-0.050) > 1e-9 {
+		t.Errorf("handshake added %v, want 50ms", diff)
+	}
+}
+
+func TestTransferInitialCwndOption(t *testing.T) {
+	// IW=1 makes a 10 KB (7-segment) transfer take 3 rounds (1+2+4).
+	st := Transfer(gigPath(), 10e3, nil, WithInitialCwnd(1))
+	if st.Rounds != 3 {
+		t.Errorf("IW1 rounds = %d, want 3", st.Rounds)
+	}
+}
+
+func TestTransferLossReducesThroughput(t *testing.T) {
+	rng := sim.NewRNG(42)
+	lossy := Path{RTT: 0.050, Bandwidth: 1e9, Loss: 0.01}
+	clean := Transfer(gigPath(), 50e6, nil).MeanRateBps()
+	dirty := Transfer(lossy, 50e6, rng).MeanRateBps()
+	if dirty >= clean/2 {
+		t.Errorf("1%% loss rate %.1f Mbps not well below clean %.1f Mbps", dirty/1e6, clean/1e6)
+	}
+	if dirty <= 0 {
+		t.Error("lossy transfer made no progress")
+	}
+}
+
+func TestTransferMathisShape(t *testing.T) {
+	// Throughput under random loss should fall roughly like 1/sqrt(p):
+	// quadrupling loss should roughly halve the rate (within loose factors,
+	// this is a stochastic model).
+	rate := func(p float64, seed uint64) float64 {
+		rng := sim.NewRNG(seed)
+		path := Path{RTT: 0.050, Bandwidth: 10e9, Loss: p} // bw not binding
+		var sum float64
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			sum += Transfer(path, 20e6, rng).MeanRateBps()
+		}
+		return sum / reps
+	}
+	r1 := rate(0.001, 1)
+	r4 := rate(0.004, 2)
+	ratio := r1 / r4
+	if ratio < 1.3 || ratio > 3.5 {
+		t.Errorf("rate(p)/rate(4p) = %.2f, want ~2 (Mathis 1/sqrt(p) shape)", ratio)
+	}
+}
+
+func TestTransferTimeline(t *testing.T) {
+	st := Transfer(gigPath(), 1e6, nil, WithTimeline())
+	if len(st.Timeline) != st.Rounds {
+		t.Fatalf("timeline length %d != rounds %d", len(st.Timeline), st.Rounds)
+	}
+	// Slow start: cwnd doubles between early rounds.
+	if st.Timeline[0].Cwnd != 20 {
+		t.Errorf("cwnd after round 1 = %v, want 20 (doubled IW10)", st.Timeline[0].Cwnd)
+	}
+	last := st.Timeline[len(st.Timeline)-1]
+	if last.BytesSent != 1e6 {
+		t.Errorf("final BytesSent = %v, want 1e6", last.BytesSent)
+	}
+}
+
+func TestComposePaths(t *testing.T) {
+	a := Path{RTT: 0.020, Bandwidth: 1e9, Loss: 0.01}
+	b := Path{RTT: 0.030, Bandwidth: 500e6, Loss: 0.02}
+	c := Compose(a, b, 0)
+	if c.RTT != 0.050 {
+		t.Errorf("RTT = %v, want 0.05", c.RTT)
+	}
+	if c.Bandwidth != 500e6 {
+		t.Errorf("Bandwidth = %v, want min 500e6", c.Bandwidth)
+	}
+	wantLoss := 1 - 0.99*0.98
+	if math.Abs(c.Loss-wantLoss) > 1e-12 {
+		t.Errorf("Loss = %v, want %v", c.Loss, wantLoss)
+	}
+}
+
+func TestComposeVPNOverheadIs36Bytes(t *testing.T) {
+	// The paper: VPN tunneling adds 36 bytes of per-packet overhead; NAT
+	// adds none. Goodput ratio must be 1460/1496.
+	a := Path{RTT: 0.010, Bandwidth: 1e9}
+	b := Path{RTT: 0.010, Bandwidth: 1e9}
+	vpn := Compose(a, b, 36)
+	nat := Compose(a, b, 0)
+	wantRatio := 1460.0 / 1496.0
+	gotRatio := vpn.Bandwidth / nat.Bandwidth
+	if math.Abs(gotRatio-wantRatio) > 1e-9 {
+		t.Errorf("VPN/NAT bandwidth ratio = %v, want %v", gotRatio, wantRatio)
+	}
+}
+
+func TestTransferZeroLossDeterministic(t *testing.T) {
+	a := Transfer(gigPath(), 5e6, nil)
+	b := Transfer(gigPath(), 5e6, nil)
+	if a.Duration != b.Duration || a.Rounds != b.Rounds {
+		t.Error("loss-free transfers not deterministic")
+	}
+}
+
+// Property: transfer duration is at least the ideal serialization time and
+// at least half an RTT, for any size.
+func TestTransferLowerBoundProperty(t *testing.T) {
+	f := func(kb uint16) bool {
+		size := float64(kb)*1024 + 1
+		st := Transfer(gigPath(), size, nil)
+		ideal := size * 8 / 1e9
+		return float64(st.Duration) >= ideal && float64(st.Duration) >= 0.025
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all bytes are always delivered, even under heavy loss.
+func TestTransferCompletesUnderLossProperty(t *testing.T) {
+	f := func(seed uint64, lossPct uint8) bool {
+		loss := float64(lossPct%20) / 100
+		p := Path{RTT: 0.02, Bandwidth: 100e6, Loss: loss}
+		st := Transfer(p, 500e3, sim.NewRNG(seed))
+		return st.Bytes == 500e3 && st.Duration > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

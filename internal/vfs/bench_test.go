@@ -1,0 +1,56 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWrite4KB(b *testing.B) {
+	fs := New()
+	data := make([]byte, 4<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Write("/f", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4 << 10)
+}
+
+func BenchmarkRead4KB(b *testing.B) {
+	fs := New()
+	fs.Write("/f", make([]byte, 4<<10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Read("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4 << 10)
+}
+
+func BenchmarkStatDeepPath(b *testing.B) {
+	fs := New()
+	fs.MkdirAll("/a/b/c/d/e")
+	fs.Write("/a/b/c/d/e/f", []byte("x"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/a/b/c/d/e/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot100Files(b *testing.B) {
+	fs := New()
+	fs.MkdirAll("/t")
+	for i := 0; i < 100; i++ {
+		fs.Write(fmt.Sprintf("/t/f%03d", i), make([]byte, 8<<10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Snapshot("/t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package vfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Snapshot serialization: the whole-attic backup path of §IV-A ("replicating
+// the entire HPoP to attics belonging to friends and relatives") needs the
+// filesystem tree as one blob the backup engine can encrypt, shard, and
+// place at peers. The format is a gob-encoded flat entry list.
+
+// snapshotEntry is one serialized file or directory.
+type snapshotEntry struct {
+	Path  string
+	IsDir bool
+	Data  []byte
+	Props map[string]string
+}
+
+// snapshotBlob is the serialized form.
+type snapshotBlob struct {
+	Version int
+	Root    string
+	Entries []snapshotEntry
+}
+
+// Snapshot serializes the subtree rooted at root (inclusive) into a blob.
+// Revision history is not captured — a snapshot is a point-in-time copy.
+func (f *FS) Snapshot(root string) ([]byte, error) {
+	root, err := Clean(root)
+	if err != nil {
+		return nil, err
+	}
+	blob := snapshotBlob{Version: 1, Root: root}
+	err = f.Walk(root, func(info Info) error {
+		e := snapshotEntry{Path: info.Path, IsDir: info.IsDir}
+		if !info.IsDir {
+			data, err := f.Read(info.Path)
+			if err != nil {
+				return err
+			}
+			e.Data = data
+		}
+		props, err := f.Props(info.Path)
+		if err != nil {
+			return err
+		}
+		if len(props) > 0 {
+			e.Props = props
+		}
+		blob.Entries = append(blob.Entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		return nil, fmt.Errorf("vfs: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreSnapshot materializes a snapshot blob under the given target root
+// (which may differ from the snapshot's original root — restoring a friend's
+// attic into a sandbox directory, say). Existing files are overwritten.
+func (f *FS) RestoreSnapshot(blob []byte, targetRoot string) error {
+	targetRoot, err := Clean(targetRoot)
+	if err != nil {
+		return err
+	}
+	var snap snapshotBlob
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+		return fmt.Errorf("vfs: decode snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("vfs: unsupported snapshot version %d", snap.Version)
+	}
+	rebase := func(p string) (string, error) {
+		if p == snap.Root {
+			return targetRoot, nil
+		}
+		rel := p[len(snap.Root):]
+		if snap.Root == "/" {
+			rel = p
+		}
+		return Clean(targetRoot + rel)
+	}
+	for _, e := range snap.Entries {
+		dst, err := rebase(e.Path)
+		if err != nil {
+			return err
+		}
+		if e.IsDir {
+			if err := f.MkdirAll(dst); err != nil {
+				return err
+			}
+		} else {
+			// Ensure the parent exists even for snapshots whose directory
+			// entries were pruned.
+			dir, _ := split(dst)
+			if err := f.MkdirAll(dir); err != nil {
+				return err
+			}
+			if _, err := f.Write(dst, e.Data); err != nil {
+				return err
+			}
+		}
+		for k, v := range e.Props {
+			if err := f.SetProp(dst, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

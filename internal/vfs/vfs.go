@@ -1,0 +1,696 @@
+// Package vfs provides a thread-safe, versioned, in-memory hierarchical
+// filesystem. It is the storage engine under the WebDAV server
+// (internal/webdav) and the data attic (internal/attic).
+//
+// Every file carries an ETag that changes on each write, a monotonically
+// increasing version number, dead properties (WebDAV PROPPATCH storage), and
+// a bounded revision history used by the attic's offline-reconciliation
+// machinery.
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotFound      = errors.New("vfs: not found")
+	ErrExists        = errors.New("vfs: already exists")
+	ErrNotDir        = errors.New("vfs: not a directory")
+	ErrIsDir         = errors.New("vfs: is a directory")
+	ErrDirNotEmpty   = errors.New("vfs: directory not empty")
+	ErrBadPath       = errors.New("vfs: invalid path")
+	ErrRootImmutable = errors.New("vfs: cannot modify root")
+	ErrNoSuchVersion = errors.New("vfs: no such version")
+)
+
+// Revision is one historical version of a file.
+type Revision struct {
+	Version int
+	ETag    string
+	ModTime time.Time
+	Data    []byte
+}
+
+// Info describes a file or directory, as returned by Stat and List.
+type Info struct {
+	Path    string
+	Name    string
+	IsDir   bool
+	Size    int
+	ETag    string
+	Version int
+	ModTime time.Time
+}
+
+type node struct {
+	name     string
+	isDir    bool
+	children map[string]*node // dirs only
+	data     []byte           // files only
+	etag     string
+	version  int
+	modTime  time.Time
+	props    map[string]string // dead properties (namespace:name -> value)
+	history  []Revision
+}
+
+// FS is the filesystem. The zero value is not usable; call New.
+type FS struct {
+	mu         sync.RWMutex
+	root       *node
+	now        func() time.Time
+	maxHistory int
+}
+
+// Option configures an FS.
+type Option func(*FS)
+
+// WithClock injects a time source (for deterministic tests/simulations).
+func WithClock(now func() time.Time) Option {
+	return func(f *FS) { f.now = now }
+}
+
+// WithMaxHistory bounds per-file revision history (default 8; 0 disables).
+func WithMaxHistory(n int) Option {
+	return func(f *FS) { f.maxHistory = n }
+}
+
+// New returns an empty filesystem with a root directory.
+func New(opts ...Option) *FS {
+	f := &FS{
+		root: &node{
+			name:     "/",
+			isDir:    true,
+			children: make(map[string]*node),
+		},
+		now:        time.Now,
+		maxHistory: 8,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.root.modTime = f.now()
+	return f
+}
+
+// Clean canonicalizes a path: leading slash, no trailing slash (except root),
+// no dot segments. Returns ErrBadPath for empty or escaping paths.
+func Clean(p string) (string, error) {
+	if p == "" {
+		return "", ErrBadPath
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	c := path.Clean(p)
+	if strings.Contains(c, "..") {
+		return "", ErrBadPath
+	}
+	return c, nil
+}
+
+// split returns parent path and base name.
+func split(p string) (dir, base string) {
+	return path.Dir(p), path.Base(p)
+}
+
+func etagFor(data []byte, version int) string {
+	h := sha256.Sum256(data)
+	return fmt.Sprintf("\"%d-%s\"", version, hex.EncodeToString(h[:8]))
+}
+
+// lookup walks to the node at path p. Caller holds the lock.
+func (f *FS) lookup(p string) (*node, error) {
+	if p == "/" {
+		return f.root, nil
+	}
+	cur := f.root
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		if !cur.isDir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (f *FS) lookupParent(p string) (*node, string, error) {
+	dir, base := split(p)
+	parent, err := f.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir {
+		return nil, "", ErrNotDir
+	}
+	return parent, base, nil
+}
+
+func (n *node) info(p string) Info {
+	return Info{
+		Path:    p,
+		Name:    n.name,
+		IsDir:   n.isDir,
+		Size:    len(n.data),
+		ETag:    n.etag,
+		Version: n.version,
+		ModTime: n.modTime,
+	}
+}
+
+// Stat returns metadata for the file or directory at p.
+func (f *FS) Stat(p string) (Info, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return Info{}, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return Info{}, err
+	}
+	return n.info(p), nil
+}
+
+// Exists reports whether p names an existing file or directory.
+func (f *FS) Exists(p string) bool {
+	_, err := f.Stat(p)
+	return err == nil
+}
+
+// Mkdir creates a directory. Parent must exist.
+func (f *FS) Mkdir(p string) error {
+	p, err := Clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrExists
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[base]; ok {
+		return ErrExists
+	}
+	parent.children[base] = &node{
+		name:     base,
+		isDir:    true,
+		children: make(map[string]*node),
+		modTime:  f.now(),
+	}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing ancestors.
+func (f *FS) MkdirAll(p string) error {
+	p, err := Clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.root
+	for _, part := range strings.Split(strings.TrimPrefix(p, "/"), "/") {
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{
+				name:     part,
+				isDir:    true,
+				children: make(map[string]*node),
+				modTime:  f.now(),
+			}
+			cur.children[part] = next
+		} else if !next.isDir {
+			return ErrNotDir
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Write creates or replaces the file at p with data, bumping its version and
+// recording the previous content in the revision history. It returns the new
+// file info. Parent directory must exist.
+func (f *FS) Write(p string, data []byte) (Info, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return Info{}, err
+	}
+	if p == "/" {
+		return Info{}, ErrRootImmutable
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return Info{}, err
+	}
+	n, ok := parent.children[base]
+	if ok {
+		if n.isDir {
+			return Info{}, ErrIsDir
+		}
+		// Archive current content before overwriting.
+		if f.maxHistory > 0 {
+			n.history = append(n.history, Revision{
+				Version: n.version,
+				ETag:    n.etag,
+				ModTime: n.modTime,
+				Data:    n.data,
+			})
+			if len(n.history) > f.maxHistory {
+				n.history = n.history[len(n.history)-f.maxHistory:]
+			}
+		}
+	} else {
+		n = &node{name: base, props: make(map[string]string)}
+		parent.children[base] = n
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	n.data = buf
+	n.version++
+	n.etag = etagFor(buf, n.version)
+	n.modTime = f.now()
+	return n.info(p), nil
+}
+
+// WriteIfMatch replaces the file only if its current ETag equals etag
+// (optimistic concurrency for attic reconciliation). An empty etag requires
+// that the file not exist yet.
+func (f *FS) WriteIfMatch(p string, data []byte, etag string) (Info, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return Info{}, err
+	}
+	f.mu.Lock()
+	cur, lookErr := f.lookup(p)
+	if etag == "" {
+		if lookErr == nil {
+			f.mu.Unlock()
+			return Info{}, ErrExists
+		}
+	} else {
+		if lookErr != nil {
+			f.mu.Unlock()
+			return Info{}, lookErr
+		}
+		if cur.etag != etag {
+			f.mu.Unlock()
+			return Info{}, &ConflictError{Path: p, Expected: etag, Actual: cur.etag}
+		}
+	}
+	f.mu.Unlock()
+	// A writer could race between the check and the write from outside the
+	// package boundary; within the process the attic serializes callers, and
+	// WebDAV uses LOCK for multi-client mediation, so check-then-write is
+	// acceptable here.
+	return f.Write(p, data)
+}
+
+// ConflictError reports an ETag mismatch in WriteIfMatch.
+type ConflictError struct {
+	Path     string
+	Expected string
+	Actual   string
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("vfs: etag conflict at %s: expected %s, have %s", e.Path, e.Expected, e.Actual)
+}
+
+// Read returns a copy of the file contents.
+func (f *FS) Read(p string) ([]byte, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, ErrIsDir
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// ReadVersion returns the content of a historical version (or the current
+// one if version matches).
+func (f *FS) ReadVersion(p string, version int) ([]byte, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if n.isDir {
+		return nil, ErrIsDir
+	}
+	if n.version == version {
+		out := make([]byte, len(n.data))
+		copy(out, n.data)
+		return out, nil
+	}
+	for _, r := range n.history {
+		if r.Version == version {
+			out := make([]byte, len(r.Data))
+			copy(out, r.Data)
+			return out, nil
+		}
+	}
+	return nil, ErrNoSuchVersion
+}
+
+// History returns the archived revisions of p, oldest first (without the
+// current version).
+func (f *FS) History(p string) ([]Revision, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Revision, len(n.history))
+	copy(out, n.history)
+	return out, nil
+}
+
+// Delete removes a file or empty directory; with recursive, removes a whole
+// subtree.
+func (f *FS) Delete(p string, recursive bool) error {
+	p, err := Clean(p)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrRootImmutable
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, base, err := f.lookupParent(p)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return ErrNotFound
+	}
+	if n.isDir && len(n.children) > 0 && !recursive {
+		return ErrDirNotEmpty
+	}
+	delete(parent.children, base)
+	return nil
+}
+
+// List returns the immediate children of a directory, sorted by name.
+func (f *FS) List(p string) ([]Info, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir {
+		return nil, ErrNotDir
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		childPath := p + "/" + name
+		if p == "/" {
+			childPath = "/" + name
+		}
+		out = append(out, n.children[name].info(childPath))
+	}
+	return out, nil
+}
+
+// Walk visits every file and directory under root (inclusive), depth-first,
+// in sorted order. The callback receives each entry's Info.
+func (f *FS) Walk(root string, fn func(Info) error) error {
+	root, err := Clean(root)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat(root)
+	if err != nil {
+		return err
+	}
+	if err := fn(info); err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return nil
+	}
+	children, err := f.List(root)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := f.Walk(c.Path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy duplicates src to dst (overwrite replaces an existing destination).
+// Directories are copied recursively. Copies get fresh version counters.
+func (f *FS) Copy(src, dst string, overwrite bool) error {
+	src, err := Clean(src)
+	if err != nil {
+		return err
+	}
+	dst, err = Clean(dst)
+	if err != nil {
+		return err
+	}
+	if src == dst {
+		// Degenerate copy: succeeds iff the source exists.
+		f.mu.RLock()
+		_, err := f.lookup(src)
+		f.mu.RUnlock()
+		return err
+	}
+	if strings.HasPrefix(dst+"/", src+"/") && src != "/" {
+		return ErrBadPath // copying a dir into itself
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sn, err := f.lookup(src)
+	if err != nil {
+		return err
+	}
+	parent, base, err := f.lookupParent(dst)
+	if err != nil {
+		return err
+	}
+	if _, exists := parent.children[base]; exists && !overwrite {
+		return ErrExists
+	}
+	parent.children[base] = f.cloneNode(sn, base)
+	return nil
+}
+
+func (f *FS) cloneNode(n *node, name string) *node {
+	c := &node{
+		name:    name,
+		isDir:   n.isDir,
+		version: 1,
+		modTime: f.now(),
+	}
+	if n.isDir {
+		c.children = make(map[string]*node, len(n.children))
+		for k, v := range n.children {
+			c.children[k] = f.cloneNode(v, k)
+		}
+	} else {
+		c.data = make([]byte, len(n.data))
+		copy(c.data, n.data)
+		c.etag = etagFor(c.data, c.version)
+		c.props = make(map[string]string, len(n.props))
+		for k, v := range n.props {
+			c.props[k] = v
+		}
+	}
+	return c
+}
+
+// Move renames src to dst (overwrite replaces an existing destination).
+func (f *FS) Move(src, dst string, overwrite bool) error {
+	src, err := Clean(src)
+	if err != nil {
+		return err
+	}
+	dst, err = Clean(dst)
+	if err != nil {
+		return err
+	}
+	if src == "/" || dst == "/" {
+		return ErrRootImmutable
+	}
+	if src == dst {
+		// Degenerate move: succeeds iff the source exists.
+		f.mu.RLock()
+		_, err := f.lookup(src)
+		f.mu.RUnlock()
+		return err
+	}
+	if strings.HasPrefix(dst+"/", src+"/") {
+		return ErrBadPath
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sParent, sBase, err := f.lookupParent(src)
+	if err != nil {
+		return err
+	}
+	n, ok := sParent.children[sBase]
+	if !ok {
+		return ErrNotFound
+	}
+	dParent, dBase, err := f.lookupParent(dst)
+	if err != nil {
+		return err
+	}
+	if _, exists := dParent.children[dBase]; exists && !overwrite {
+		return ErrExists
+	}
+	delete(sParent.children, sBase)
+	n.name = dBase
+	n.modTime = f.now()
+	dParent.children[dBase] = n
+	return nil
+}
+
+// SetProp sets a dead property on a file or directory.
+func (f *FS) SetProp(p, key, value string) error {
+	p, err := Clean(p)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return err
+	}
+	if n.props == nil {
+		n.props = make(map[string]string)
+	}
+	n.props[key] = value
+	return nil
+}
+
+// Prop returns a dead property's value and whether it is set.
+func (f *FS) Prop(p, key string) (string, bool, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return "", false, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return "", false, err
+	}
+	v, ok := n.props[key]
+	return v, ok, nil
+}
+
+// RemoveProp deletes a dead property.
+func (f *FS) RemoveProp(p, key string) error {
+	p, err := Clean(p)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return err
+	}
+	delete(n.props, key)
+	return nil
+}
+
+// Props returns a copy of all dead properties on p.
+func (f *FS) Props(p string) (map[string]string, error) {
+	p, err := Clean(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(n.props))
+	for k, v := range n.props {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// TotalBytes returns the sum of all file sizes (for attic quota accounting).
+func (f *FS) TotalBytes() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var total int
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.isDir {
+			for _, c := range n.children {
+				walk(c)
+			}
+		} else {
+			total += len(n.data)
+		}
+	}
+	walk(f.root)
+	return total
+}

@@ -1,0 +1,535 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCleanPaths(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"/a/b", "/a/b", false},
+		{"a/b", "/a/b", false},
+		{"/a/b/", "/a/b", false},
+		{"/a/./b", "/a/b", false},
+		{"/", "/", false},
+		{"", "", true},
+		{"/../x", "/x", false}, // path.Clean resolves within root
+	}
+	for _, c := range cases {
+		got, err := Clean(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("Clean(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteReadStat(t *testing.T) {
+	fs := New()
+	info, err := fs.Write("/hello.txt", []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Size != 5 || info.IsDir {
+		t.Errorf("info = %+v", info)
+	}
+	data, err := fs.Read("/hello.txt")
+	if err != nil || string(data) != "world" {
+		t.Fatalf("Read = %q, %v", data, err)
+	}
+	st, err := fs.Stat("/hello.txt")
+	if err != nil || st.ETag != info.ETag {
+		t.Errorf("Stat etag mismatch: %v vs %v", st.ETag, info.ETag)
+	}
+	if !fs.Exists("/hello.txt") || fs.Exists("/nope") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestWriteVersionsAndETags(t *testing.T) {
+	fs := New()
+	i1, _ := fs.Write("/f", []byte("v1"))
+	i2, _ := fs.Write("/f", []byte("v2"))
+	if i2.Version != 2 {
+		t.Errorf("version = %d, want 2", i2.Version)
+	}
+	if i1.ETag == i2.ETag {
+		t.Error("etag did not change on write")
+	}
+	// Same content, different version: etag still differs (version-salted).
+	i3, _ := fs.Write("/f", []byte("v1"))
+	if i3.ETag == i1.ETag {
+		t.Error("etag reused across versions")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	fs := New(WithMaxHistory(2))
+	fs.Write("/f", []byte("a"))
+	fs.Write("/f", []byte("b"))
+	fs.Write("/f", []byte("c"))
+	fs.Write("/f", []byte("d"))
+	h, err := fs.History("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 2 {
+		t.Fatalf("history len = %d, want 2 (bounded)", len(h))
+	}
+	if string(h[0].Data) != "b" || string(h[1].Data) != "c" {
+		t.Errorf("history = %q, %q", h[0].Data, h[1].Data)
+	}
+	got, err := fs.ReadVersion("/f", 3)
+	if err != nil || string(got) != "c" {
+		t.Errorf("ReadVersion(3) = %q, %v", got, err)
+	}
+	cur, err := fs.ReadVersion("/f", 4)
+	if err != nil || string(cur) != "d" {
+		t.Errorf("ReadVersion(current) = %q, %v", cur, err)
+	}
+	if _, err := fs.ReadVersion("/f", 99); err != ErrNoSuchVersion {
+		t.Errorf("missing version err = %v", err)
+	}
+}
+
+func TestWriteIfMatch(t *testing.T) {
+	fs := New()
+	// Empty etag: create-only.
+	if _, err := fs.WriteIfMatch("/f", []byte("a"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteIfMatch("/f", []byte("x"), ""); err != ErrExists {
+		t.Errorf("create-over-existing err = %v", err)
+	}
+	st, _ := fs.Stat("/f")
+	if _, err := fs.WriteIfMatch("/f", []byte("b"), st.ETag); err != nil {
+		t.Errorf("matching etag write: %v", err)
+	}
+	var conflict *ConflictError
+	if _, err := fs.WriteIfMatch("/f", []byte("c"), st.ETag); !errors.As(err, &conflict) {
+		t.Errorf("stale etag err = %v, want ConflictError", err)
+	} else if conflict.Path != "/f" || conflict.Error() == "" {
+		t.Errorf("conflict detail: %+v", conflict)
+	}
+	if _, err := fs.WriteIfMatch("/missing", []byte("x"), "\"1-zz\""); err != ErrNotFound {
+		t.Errorf("missing file err = %v", err)
+	}
+}
+
+func TestMkdirAndNesting(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/docs"); err != ErrExists {
+		t.Errorf("dup mkdir err = %v", err)
+	}
+	if err := fs.Mkdir("/a/b/c"); err != ErrNotFound {
+		t.Errorf("missing parent err = %v", err)
+	}
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Errorf("idempotent MkdirAll: %v", err)
+	}
+	if _, err := fs.Write("/a/b/c/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// MkdirAll through a file fails.
+	if err := fs.MkdirAll("/a/b/c/f/g"); err != ErrNotDir {
+		t.Errorf("MkdirAll through file err = %v", err)
+	}
+	if err := fs.Mkdir("x"); err != nil {
+		t.Errorf("relative path mkdir: %v", err)
+	}
+}
+
+func TestReadWriteErrors(t *testing.T) {
+	fs := New()
+	fs.Mkdir("/d")
+	if _, err := fs.Read("/d"); err != ErrIsDir {
+		t.Errorf("read dir err = %v", err)
+	}
+	if _, err := fs.Write("/d", []byte("x")); err != ErrIsDir {
+		t.Errorf("write over dir err = %v", err)
+	}
+	if _, err := fs.Write("/", []byte("x")); err != ErrRootImmutable {
+		t.Errorf("write root err = %v", err)
+	}
+	if _, err := fs.Read("/missing"); err != ErrNotFound {
+		t.Errorf("read missing err = %v", err)
+	}
+	if _, err := fs.Write("/no/parent", []byte("x")); err != ErrNotFound {
+		t.Errorf("no parent err = %v", err)
+	}
+	if _, err := fs.Write("", []byte("x")); err != ErrBadPath {
+		t.Errorf("bad path err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/d/sub")
+	fs.Write("/d/sub/f", []byte("x"))
+	if err := fs.Delete("/d", false); err != ErrDirNotEmpty {
+		t.Errorf("non-recursive delete err = %v", err)
+	}
+	if err := fs.Delete("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Error("subtree survived recursive delete")
+	}
+	if err := fs.Delete("/d", false); err != ErrNotFound {
+		t.Errorf("double delete err = %v", err)
+	}
+	if err := fs.Delete("/", true); err != ErrRootImmutable {
+		t.Errorf("delete root err = %v", err)
+	}
+}
+
+func TestListSortedAndWalk(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/w/a")
+	fs.Write("/w/z", []byte("1"))
+	fs.Write("/w/b", []byte("2"))
+	fs.Write("/w/a/c", []byte("3"))
+	ls, err := fs.List("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 3 || ls[0].Name != "a" || ls[1].Name != "b" || ls[2].Name != "z" {
+		t.Errorf("List = %+v", ls)
+	}
+	if _, err := fs.List("/w/z"); err != ErrNotDir {
+		t.Errorf("List(file) err = %v", err)
+	}
+	var visited []string
+	if err := fs.Walk("/w", func(i Info) error {
+		visited = append(visited, i.Path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/w", "/w/a", "/w/a/c", "/w/b", "/w/z"}
+	if fmt.Sprint(visited) != fmt.Sprint(want) {
+		t.Errorf("Walk order = %v, want %v", visited, want)
+	}
+	sentinel := errors.New("stop")
+	err = fs.Walk("/w", func(Info) error { return sentinel })
+	if err != sentinel {
+		t.Errorf("Walk error propagation = %v", err)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/src/sub")
+	fs.Write("/src/f", []byte("data"))
+	fs.Write("/src/sub/g", []byte("nested"))
+	fs.SetProp("/src/f", "dav:author", "alice")
+	if err := fs.Copy("/src", "/dst", false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/dst/sub/g")
+	if err != nil || string(got) != "nested" {
+		t.Fatalf("copied nested read = %q, %v", got, err)
+	}
+	v, ok, _ := fs.Prop("/dst/f", "dav:author")
+	if !ok || v != "alice" {
+		t.Error("props not copied")
+	}
+	// Copy is deep: mutating the copy leaves the source alone.
+	fs.Write("/dst/f", []byte("changed"))
+	orig, _ := fs.Read("/src/f")
+	if string(orig) != "data" {
+		t.Error("copy aliased source data")
+	}
+	if err := fs.Copy("/src", "/dst", false); err != ErrExists {
+		t.Errorf("no-overwrite copy err = %v", err)
+	}
+	if err := fs.Copy("/src", "/dst", true); err != nil {
+		t.Errorf("overwrite copy err = %v", err)
+	}
+	if err := fs.Copy("/src", "/src/inside", false); err != ErrBadPath {
+		t.Errorf("copy into self err = %v", err)
+	}
+	if err := fs.Copy("/missing", "/x", false); err != ErrNotFound {
+		t.Errorf("copy missing err = %v", err)
+	}
+}
+
+func TestMove(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/a")
+	fs.Write("/a/f", []byte("x"))
+	if err := fs.Move("/a/f", "/a/g", false); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/f") || !fs.Exists("/a/g") {
+		t.Error("move did not relocate file")
+	}
+	fs.Write("/a/h", []byte("y"))
+	if err := fs.Move("/a/g", "/a/h", false); err != ErrExists {
+		t.Errorf("no-overwrite move err = %v", err)
+	}
+	if err := fs.Move("/a/g", "/a/h", true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.Read("/a/h")
+	if string(got) != "x" {
+		t.Errorf("moved content = %q", got)
+	}
+	if err := fs.Move("/a", "/a/inside", false); err != ErrBadPath {
+		t.Errorf("move into self err = %v", err)
+	}
+	if err := fs.Move("/", "/x", false); err != ErrRootImmutable {
+		t.Errorf("move root err = %v", err)
+	}
+}
+
+func TestProps(t *testing.T) {
+	fs := New()
+	fs.Write("/f", []byte("x"))
+	if err := fs.SetProp("/f", "ns:color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := fs.Prop("/f", "ns:color")
+	if err != nil || !ok || v != "blue" {
+		t.Errorf("Prop = %q %v %v", v, ok, err)
+	}
+	all, _ := fs.Props("/f")
+	if len(all) != 1 {
+		t.Errorf("Props = %v", all)
+	}
+	fs.RemoveProp("/f", "ns:color")
+	_, ok, _ = fs.Prop("/f", "ns:color")
+	if ok {
+		t.Error("prop survived removal")
+	}
+	if err := fs.SetProp("/missing", "a", "b"); err != ErrNotFound {
+		t.Errorf("SetProp missing err = %v", err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/a/b")
+	fs.Write("/a/x", make([]byte, 100))
+	fs.Write("/a/b/y", make([]byte, 50))
+	if got := fs.TotalBytes(); got != 150 {
+		t.Errorf("TotalBytes = %d, want 150", got)
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	fixed := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	fs := New(WithClock(func() time.Time { return fixed }))
+	info, _ := fs.Write("/f", []byte("x"))
+	if !info.ModTime.Equal(fixed) {
+		t.Errorf("ModTime = %v, want %v", info.ModTime, fixed)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	fs.MkdirAll("/c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/c/f%d", id)
+			for j := 0; j < 100; j++ {
+				fs.Write(p, []byte(fmt.Sprintf("%d-%d", id, j)))
+				fs.Read(p)
+				fs.Stat(p)
+				fs.List("/c")
+			}
+		}(i)
+	}
+	wg.Wait()
+	ls, _ := fs.List("/c")
+	if len(ls) != 8 {
+		t.Errorf("files after concurrent writes = %d, want 8", len(ls))
+	}
+}
+
+// Property: write-then-read returns identical bytes for arbitrary content.
+func TestWriteReadProperty(t *testing.T) {
+	fs := New()
+	f := func(data []byte) bool {
+		if _, err := fs.Write("/p", data); err != nil {
+			return false
+		}
+		got, err := fs.Read("/p")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: version numbers increase strictly monotonically under writes.
+func TestVersionMonotoneProperty(t *testing.T) {
+	fs := New()
+	last := 0
+	f := func(data []byte) bool {
+		info, err := fs.Write("/m", data)
+		if err != nil {
+			return false
+		}
+		ok := info.Version == last+1
+		last = info.Version
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New()
+	src.MkdirAll("/photos/2026")
+	src.Write("/photos/2026/cat.jpg", []byte("meow-bytes"))
+	src.Write("/photos/readme.txt", []byte("family photos"))
+	src.SetProp("/photos/readme.txt", "ns:author", "alice")
+	src.MkdirAll("/photos/empty-dir")
+
+	blob, err := src.Snapshot("/photos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.RestoreSnapshot(blob, "/restored"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := dst.Read("/restored/2026/cat.jpg")
+	if err != nil || string(data) != "meow-bytes" {
+		t.Fatalf("nested file = %q, %v", data, err)
+	}
+	v, ok, _ := dst.Prop("/restored/readme.txt", "ns:author")
+	if !ok || v != "alice" {
+		t.Error("props not restored")
+	}
+	if !dst.Exists("/restored/empty-dir") {
+		t.Error("empty dir not restored")
+	}
+}
+
+func TestSnapshotWholeTree(t *testing.T) {
+	src := New()
+	src.Write("/a", []byte("1"))
+	src.MkdirAll("/d")
+	src.Write("/d/b", []byte("2"))
+	blob, err := src.Snapshot("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.RestoreSnapshot(blob, "/"); err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range map[string]string{"/a": "1", "/d/b": "2"} {
+		got, err := dst.Read(p)
+		if err != nil || string(got) != want {
+			t.Errorf("%s = %q, %v", p, got, err)
+		}
+	}
+}
+
+func TestSnapshotOverwritesExisting(t *testing.T) {
+	src := New()
+	src.Write("/f", []byte("new"))
+	blob, _ := src.Snapshot("/")
+	dst := New()
+	dst.Write("/f", []byte("old"))
+	if err := dst.RestoreSnapshot(blob, "/"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Read("/f")
+	if string(got) != "new" {
+		t.Errorf("restored = %q", got)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.Snapshot("/missing"); err != ErrNotFound {
+		t.Errorf("missing root err = %v", err)
+	}
+	if err := fs.RestoreSnapshot([]byte("garbage"), "/x"); err == nil {
+		t.Error("garbage blob accepted")
+	}
+	if _, err := fs.Snapshot(""); err != ErrBadPath {
+		t.Errorf("bad path err = %v", err)
+	}
+}
+
+// Property: snapshot+restore preserves every file byte-for-byte.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := seededRNG(seed)
+		src := New()
+		src.MkdirAll("/p/q")
+		files := map[string][]byte{}
+		for i := 0; i < 10; i++ {
+			data := make([]byte, rng()%2048)
+			for j := range data {
+				data[j] = byte(rng())
+			}
+			path := fmt.Sprintf("/p/f%d", i)
+			if i%3 == 0 {
+				path = fmt.Sprintf("/p/q/f%d", i)
+			}
+			src.Write(path, data)
+			files[path] = data
+		}
+		blob, err := src.Snapshot("/p")
+		if err != nil {
+			return false
+		}
+		dst := New()
+		if err := dst.RestoreSnapshot(blob, "/p"); err != nil {
+			return false
+		}
+		for p, want := range files {
+			got, err := dst.Read(p)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// seededRNG is a tiny xorshift for the property test (avoiding an sim
+// import cycle is unnecessary, but a local generator keeps it simple).
+func seededRNG(seed uint64) func() uint64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	state := seed
+	return func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545F4914F6CDD1D
+	}
+}

@@ -1,0 +1,55 @@
+package webdav
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"hpop/internal/vfs"
+)
+
+func benchServer(b *testing.B) *Client {
+	b.Helper()
+	fs := vfs.New()
+	srv := httptest.NewServer(NewHandler(fs))
+	b.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL}
+}
+
+func BenchmarkPut16KB(b *testing.B) {
+	c := benchServer(b)
+	data := make([]byte, 16<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put("/f", data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(16 << 10)
+}
+
+func BenchmarkGet16KB(b *testing.B) {
+	c := benchServer(b)
+	c.Put("/f", make([]byte, 16<<10), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get("/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(16 << 10)
+}
+
+func BenchmarkLockUnlock(b *testing.B) {
+	c := benchServer(b)
+	c.Put("/f", []byte("x"), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := c.Lock("/f", "bench", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Unlock("/f", tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

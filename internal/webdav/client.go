@@ -1,0 +1,309 @@
+package webdav
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a minimal WebDAV client used by attic drivers, external
+// "SaaS application" simulators, and the atticctl CLI.
+type Client struct {
+	// BaseURL is the DAV root, e.g. "http://127.0.0.1:8080/dav".
+	BaseURL string
+	// Username and Password are sent as basic auth when non-empty.
+	Username string
+	Password string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// StatusError reports an unexpected HTTP status from the server.
+type StatusError struct {
+	Method string
+	Path   string
+	Code   int
+	Body   string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("webdav: %s %s: status %d: %s", e.Method, e.Path, e.Code, strings.TrimSpace(e.Body))
+}
+
+// IsStatus reports whether err is a StatusError with the given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*http.Response, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if c.Username != "" || c.Password != "" {
+		req.SetBasicAuth(c.Username, c.Password)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	return c.httpClient().Do(req)
+}
+
+func (c *Client) doChecked(method, path string, body []byte, hdr map[string]string, okCodes ...int) (*http.Response, error) {
+	resp, err := c.do(method, path, body, hdr)
+	if err != nil {
+		return nil, err
+	}
+	for _, code := range okCodes {
+		if resp.StatusCode == code {
+			return resp, nil
+		}
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return nil, &StatusError{Method: method, Path: path, Code: resp.StatusCode, Body: string(msg)}
+}
+
+// Get downloads a file and its ETag.
+func (c *Client) Get(path string) (data []byte, etag string, err error) {
+	resp, err := c.doChecked(http.MethodGet, path, nil, nil, http.StatusOK)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return data, resp.Header.Get("ETag"), err
+}
+
+// Put uploads a file, returning the new ETag. Optional headers allow
+// conditional writes (If-Match) and lock tokens (If).
+func (c *Client) Put(path string, data []byte, hdr map[string]string) (etag string, err error) {
+	resp, err := c.doChecked(http.MethodPut, path, data, hdr, http.StatusCreated, http.StatusNoContent)
+	if err != nil {
+		return "", err
+	}
+	resp.Body.Close()
+	return resp.Header.Get("ETag"), nil
+}
+
+// PutIfMatch uploads only if the server's current ETag matches.
+func (c *Client) PutIfMatch(path string, data []byte, etag string) (string, error) {
+	return c.Put(path, data, map[string]string{"If-Match": etag})
+}
+
+// Delete removes a file or collection.
+func (c *Client) Delete(path string, hdr map[string]string) error {
+	resp, err := c.doChecked(http.MethodDelete, path, nil, hdr, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Mkcol creates a collection.
+func (c *Client) Mkcol(path string) error {
+	resp, err := c.doChecked("MKCOL", path, nil, nil, http.StatusCreated)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Copy duplicates src to dst on the server.
+func (c *Client) Copy(src, dst string, overwrite bool) error {
+	ow := "T"
+	if !overwrite {
+		ow = "F"
+	}
+	resp, err := c.doChecked("COPY", src, nil, map[string]string{
+		"Destination": c.BaseURL + dst,
+		"Overwrite":   ow,
+	}, http.StatusCreated, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Move renames src to dst on the server.
+func (c *Client) Move(src, dst string, overwrite bool) error {
+	ow := "T"
+	if !overwrite {
+		ow = "F"
+	}
+	resp, err := c.doChecked("MOVE", src, nil, map[string]string{
+		"Destination": c.BaseURL + dst,
+		"Overwrite":   ow,
+	}, http.StatusCreated, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Entry is one resource in a PROPFIND result.
+type Entry struct {
+	Href    string
+	IsDir   bool
+	Size    int
+	ETag    string
+	ModTime time.Time
+}
+
+// multistatus mirrors the server's PROPFIND response shape.
+type multistatus struct {
+	XMLName   xml.Name `xml:"DAV: multistatus"`
+	Responses []struct {
+		Href     string `xml:"href"`
+		Propstat []struct {
+			Prop struct {
+				ResourceType struct {
+					Collection *struct{} `xml:"collection"`
+				} `xml:"resourcetype"`
+				ContentLength string `xml:"getcontentlength"`
+				ETag          string `xml:"getetag"`
+				LastModified  string `xml:"getlastmodified"`
+			} `xml:"prop"`
+		} `xml:"propstat"`
+	} `xml:"response"`
+}
+
+// Propfind lists resources at path with the given Depth ("0", "1",
+// "infinity").
+func (c *Client) Propfind(path, depth string) ([]Entry, error) {
+	body := []byte(xml.Header + `<D:propfind xmlns:D="DAV:"><D:allprop/></D:propfind>`)
+	resp, err := c.doChecked("PROPFIND", path, body, map[string]string{
+		"Depth":        depth,
+		"Content-Type": "application/xml",
+	}, http.StatusMultiStatus)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var ms multistatus
+	if err := xml.Unmarshal(raw, &ms); err != nil {
+		return nil, fmt.Errorf("webdav: parse multistatus: %w", err)
+	}
+	var out []Entry
+	for _, r := range ms.Responses {
+		e := Entry{Href: r.Href}
+		for _, ps := range r.Propstat {
+			if ps.Prop.ResourceType.Collection != nil {
+				e.IsDir = true
+			}
+			if ps.Prop.ContentLength != "" {
+				e.Size, _ = strconv.Atoi(ps.Prop.ContentLength)
+			}
+			if ps.Prop.ETag != "" {
+				e.ETag = ps.Prop.ETag
+			}
+			if ps.Prop.LastModified != "" {
+				if t, err := time.Parse(http.TimeFormat, ps.Prop.LastModified); err == nil {
+					e.ModTime = t
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Lock acquires an exclusive write lock, returning the lock token.
+func (c *Client) Lock(path, owner string, timeout time.Duration) (token string, err error) {
+	body := []byte(xml.Header + `<D:lockinfo xmlns:D="DAV:">` +
+		`<D:lockscope><D:exclusive/></D:lockscope>` +
+		`<D:locktype><D:write/></D:locktype>` +
+		`<D:owner>` + xmlEscape(owner) + `</D:owner></D:lockinfo>`)
+	hdr := map[string]string{"Content-Type": "application/xml"}
+	if timeout > 0 {
+		hdr["Timeout"] = fmt.Sprintf("Second-%d", int(timeout.Seconds()))
+	}
+	resp, err := c.doChecked("LOCK", path, body, hdr, http.StatusOK, http.StatusCreated)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	tok := strings.Trim(resp.Header.Get("Lock-Token"), "<>")
+	if tok == "" {
+		return "", errors.New("webdav: LOCK response missing Lock-Token")
+	}
+	return tok, nil
+}
+
+// RefreshLock extends a held lock's lifetime (LOCK with an If token and no
+// body), returning the token (unchanged on success).
+func (c *Client) RefreshLock(path, token string, timeout time.Duration) (string, error) {
+	hdr := map[string]string{"If": "(<" + token + ">)"}
+	if timeout > 0 {
+		hdr["Timeout"] = fmt.Sprintf("Second-%d", int(timeout.Seconds()))
+	}
+	resp, err := c.doChecked("LOCK", path, nil, hdr, http.StatusOK)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	tok := strings.Trim(resp.Header.Get("Lock-Token"), "<>")
+	if tok == "" {
+		return "", errors.New("webdav: refresh response missing Lock-Token")
+	}
+	return tok, nil
+}
+
+// Unlock releases a lock by token.
+func (c *Client) Unlock(path, token string) error {
+	resp, err := c.doChecked("UNLOCK", path, nil, map[string]string{
+		"Lock-Token": "<" + token + ">",
+	}, http.StatusNoContent)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// PutLocked uploads under a held lock token.
+func (c *Client) PutLocked(path string, data []byte, token string) (string, error) {
+	return c.Put(path, data, map[string]string{"If": "(<" + token + ">)"})
+}
+
+// Proppatch sets a dead property (namespace + local name) on a resource.
+func (c *Client) Proppatch(path, namespace, name, value string) error {
+	body := []byte(xml.Header + `<D:propertyupdate xmlns:D="DAV:"><D:set><D:prop>` +
+		`<x:` + name + ` xmlns:x="` + xmlEscape(namespace) + `">` + xmlEscape(value) +
+		`</x:` + name + `></D:prop></D:set></D:propertyupdate>`)
+	resp, err := c.doChecked("PROPPATCH", path, body, map[string]string{
+		"Content-Type": "application/xml",
+	}, http.StatusMultiStatus)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

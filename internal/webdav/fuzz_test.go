@@ -1,0 +1,71 @@
+package webdav
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hpop/internal/vfs"
+)
+
+// FuzzPropfindBody throws arbitrary XML at the PROPFIND parser over a live
+// handler: the server must answer (207 or 4xx) without panicking.
+func FuzzPropfindBody(f *testing.F) {
+	f.Add(`<?xml version="1.0"?><D:propfind xmlns:D="DAV:"><D:allprop/></D:propfind>`)
+	f.Add(`<?xml version="1.0"?><D:propfind xmlns:D="DAV:"><D:propname/></D:propfind>`)
+	f.Add(`<propfind xmlns="DAV:"><prop><getetag/></prop></propfind>`)
+	f.Add(`<unclosed`)
+	f.Add(``)
+	f.Add(`<propfind xmlns="DAV:"><prop>` + strings.Repeat("<a/>", 100) + `</prop></propfind>`)
+
+	fs := vfs.New()
+	fs.Write("/f", []byte("x"))
+	srv := httptest.NewServer(NewHandler(fs))
+	f.Cleanup(srv.Close)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := http.NewRequest("PROPFIND", srv.URL+"/f", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Depth", "0")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("request failed (handler crashed?): %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMultiStatus && resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d for body %q", resp.StatusCode, body)
+		}
+	})
+}
+
+// FuzzIfTokens hardens the If/Lock-Token header token extractor.
+func FuzzIfTokens(f *testing.F) {
+	f.Add("(<opaquelocktoken:abc>)", "<opaquelocktoken:def>")
+	f.Add("<<<<", ">>>")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, ifHdr, lockHdr string) {
+		toks := parseIfTokens(ifHdr, lockHdr)
+		for _, tok := range toks {
+			if !strings.HasPrefix(tok, "opaquelocktoken:") {
+				t.Fatalf("non-lock token extracted: %q", tok)
+			}
+		}
+	})
+}
+
+// FuzzTimeoutHeader hardens the Timeout header parser.
+func FuzzTimeoutHeader(f *testing.F) {
+	f.Add("Second-600")
+	f.Add("Infinite, Second-4100000000")
+	f.Add("Second--5")
+	f.Add("second-99999999999999999999")
+	f.Fuzz(func(t *testing.T, h string) {
+		d := parseTimeout(h)
+		if d < 0 || d > MaxLockTimeout {
+			t.Fatalf("parseTimeout(%q) = %v out of range", h, d)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package webdav
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"hpop/internal/sim"
+)
+
+// TestModelBasedRandomOps drives the live WebDAV server with random
+// operation sequences and checks every observable result against a simple
+// in-memory model (map of path -> content). Divergence in either direction
+// — the server succeeding where the model says it must fail, or contents
+// differing — fails the test.
+func TestModelBasedRandomOps(t *testing.T) {
+	const (
+		seqLen = 200
+		seeds  = 10
+	)
+	for seed := uint64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, c, _ := newServer(t)
+			rng := sim.NewRNG(seed)
+			model := newDavModel()
+
+			paths := []string{"/a", "/b", "/dir/x", "/dir/y", "/dir/sub/z"}
+			dirs := []string{"/dir", "/dir/sub"}
+			pick := func(s []string) string { return s[rng.Intn(len(s))] }
+
+			for op := 0; op < seqLen; op++ {
+				switch rng.Intn(6) {
+				case 0: // MKCOL
+					d := pick(dirs)
+					err := c.Mkcol(d)
+					wantOK := model.mkcol(d)
+					if (err == nil) != wantOK {
+						t.Fatalf("op %d MKCOL %s: server ok=%v model ok=%v (%v)", op, d, err == nil, wantOK, err)
+					}
+				case 1: // PUT
+					p := pick(paths)
+					content := []byte(fmt.Sprintf("content-%d-%d", seed, op))
+					_, err := c.Put(p, content, nil)
+					wantOK := model.put(p, content)
+					if (err == nil) != wantOK {
+						t.Fatalf("op %d PUT %s: server ok=%v model ok=%v (%v)", op, p, err == nil, wantOK, err)
+					}
+				case 2: // GET
+					p := pick(paths)
+					data, _, err := c.Get(p)
+					want, exists := model.get(p)
+					if (err == nil) != exists {
+						t.Fatalf("op %d GET %s: server ok=%v model exists=%v", op, p, err == nil, exists)
+					}
+					if exists && string(data) != string(want) {
+						t.Fatalf("op %d GET %s: content %q, model %q", op, p, data, want)
+					}
+				case 3: // DELETE
+					p := pick(append(paths, dirs...))
+					err := c.Delete(p, nil)
+					wantOK := model.del(p)
+					if (err == nil) != wantOK {
+						t.Fatalf("op %d DELETE %s: server ok=%v model ok=%v (%v)", op, p, err == nil, wantOK, err)
+					}
+				case 4: // COPY file
+					src, dst := pick(paths), pick(paths)
+					err := c.Copy(src, dst, true)
+					wantOK := model.copy(src, dst)
+					if (err == nil) != wantOK {
+						t.Fatalf("op %d COPY %s->%s: server ok=%v model ok=%v (%v)", op, src, dst, err == nil, wantOK, err)
+					}
+				case 5: // MOVE file
+					src, dst := pick(paths), pick(paths)
+					err := c.Move(src, dst, true)
+					wantOK := model.move(src, dst)
+					if (err == nil) != wantOK {
+						t.Fatalf("op %d MOVE %s->%s: server ok=%v model ok=%v (%v)", op, src, dst, err == nil, wantOK, err)
+					}
+				}
+			}
+
+			// Final sweep: every model file readable with exact content.
+			for p, want := range model.files {
+				data, _, err := c.Get(p)
+				if err != nil {
+					t.Fatalf("final GET %s: %v", p, err)
+				}
+				if string(data) != string(want) {
+					t.Fatalf("final GET %s: %q != %q", p, data, want)
+				}
+			}
+			// And a depth-infinity PROPFIND sees exactly the model's files.
+			entries, err := c.Propfind("/", "infinity")
+			if err != nil {
+				t.Fatal(err)
+			}
+			serverFiles := 0
+			for _, e := range entries {
+				if !e.IsDir {
+					serverFiles++
+				}
+			}
+			if serverFiles != len(model.files) {
+				t.Fatalf("server has %d files, model %d", serverFiles, len(model.files))
+			}
+		})
+	}
+}
+
+// davModel is the reference model: files plus implicitly tracked dirs.
+type davModel struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+func newDavModel() *davModel {
+	return &davModel{
+		files: make(map[string][]byte),
+		dirs:  map[string]bool{"/": true, "": true},
+	}
+}
+
+func parentOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return p[:i]
+		}
+	}
+	return "/"
+}
+
+func (m *davModel) mkcol(d string) bool {
+	if m.dirs[d] || m.files[d] != nil {
+		return false // exists
+	}
+	if !m.dirs[parentOf(d)] {
+		return false // missing parent
+	}
+	m.dirs[d] = true
+	return true
+}
+
+func (m *davModel) put(p string, content []byte) bool {
+	if m.dirs[p] {
+		return false
+	}
+	if !m.dirs[parentOf(p)] {
+		return false
+	}
+	m.files[p] = content
+	return true
+}
+
+func (m *davModel) get(p string) ([]byte, bool) {
+	data, ok := m.files[p]
+	return data, ok
+}
+
+// del removes a file or a directory subtree (DELETE is recursive).
+func (m *davModel) del(p string) bool {
+	if _, ok := m.files[p]; ok {
+		delete(m.files, p)
+		return true
+	}
+	if m.dirs[p] && p != "/" {
+		delete(m.dirs, p)
+		prefix := p + "/"
+		for f := range m.files {
+			if len(f) > len(prefix) && f[:len(prefix)] == prefix {
+				delete(m.files, f)
+			}
+		}
+		for d := range m.dirs {
+			if len(d) > len(prefix) && d[:len(prefix)] == prefix {
+				delete(m.dirs, d)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (m *davModel) copy(src, dst string) bool {
+	data, ok := m.files[src]
+	if !ok {
+		return false // only file copies are exercised
+	}
+	if src == dst {
+		return true // no-op per vfs semantics
+	}
+	if m.dirs[dst] || !m.dirs[parentOf(dst)] {
+		return false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.files[dst] = cp
+	return true
+}
+
+func (m *davModel) move(src, dst string) bool {
+	data, ok := m.files[src]
+	if !ok {
+		return false
+	}
+	if src == dst {
+		return true
+	}
+	if m.dirs[dst] || !m.dirs[parentOf(dst)] {
+		return false
+	}
+	delete(m.files, src)
+	m.files[dst] = data
+	return true
+}
+
+// TestModelDivergenceRegression pins a specific interleaving that once
+// required care: move onto an existing file with Overwrite, then read.
+func TestModelDivergenceRegression(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Put("/a", []byte("first"), nil)
+	c.Put("/b", []byte("second"), nil)
+	if err := c.Move("/a", "/b", true); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Get("/b")
+	if err != nil || string(data) != "first" {
+		t.Fatalf("after move: %q, %v", data, err)
+	}
+	if _, _, err := c.Get("/a"); !IsStatus(err, http.StatusNotFound) {
+		t.Error("source survived move")
+	}
+}

@@ -1,0 +1,298 @@
+package webdav
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hpop/internal/vfs"
+)
+
+// propfindRequest is the parsed body of a PROPFIND.
+type propfindRequest struct {
+	XMLName  xml.Name  `xml:"DAV: propfind"`
+	AllProp  *struct{} `xml:"allprop"`
+	PropName *struct{} `xml:"propname"`
+	Prop     *propList `xml:"prop"`
+}
+
+type propList struct {
+	Names []xml.Name `xml:",any"`
+}
+
+func (pl *propList) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			pl.Names = append(pl.Names, t.Name)
+			if err := d.Skip(); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			if t.Name == start.Name {
+				return nil
+			}
+		}
+	}
+}
+
+func (h *Handler) handlePropfind(w http.ResponseWriter, r *http.Request, p string) {
+	info, err := h.fs.Stat(p)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	depth := r.Header.Get("Depth")
+	if depth == "" {
+		depth = "infinity"
+	}
+
+	var req propfindRequest
+	if r.ContentLength != 0 {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		if len(body) > 0 {
+			if err := xml.Unmarshal(body, &req); err != nil {
+				http.Error(w, "malformed propfind", http.StatusBadRequest)
+				return
+			}
+		}
+	}
+
+	var infos []vfs.Info
+	switch depth {
+	case "0":
+		infos = []vfs.Info{info}
+	case "1":
+		infos = []vfs.Info{info}
+		if info.IsDir {
+			children, err := h.fs.List(p)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			infos = append(infos, children...)
+		}
+	default: // infinity
+		if err := h.fs.Walk(p, func(i vfs.Info) error {
+			infos = append(infos, i)
+			return nil
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(http.StatusMultiStatus)
+	fmt.Fprint(w, xml.Header)
+	fmt.Fprint(w, `<D:multistatus xmlns:D="DAV:">`)
+	for _, i := range infos {
+		h.writeResponse(w, i, &req)
+	}
+	fmt.Fprint(w, `</D:multistatus>`)
+}
+
+// writeResponse emits one <D:response> element for a resource.
+func (h *Handler) writeResponse(w io.Writer, i vfs.Info, req *propfindRequest) {
+	href := i.Path
+	if h.prefix != "" {
+		href = h.prefix + i.Path
+	}
+	if i.IsDir && href != "/" {
+		href += "/"
+	}
+	fmt.Fprintf(w, `<D:response><D:href>%s</D:href><D:propstat><D:prop>`, xmlEscape(href))
+
+	// propname: names only, no values (RFC 4918 §9.1).
+	if req.PropName != nil {
+		for _, name := range []string{"resourcetype", "getcontentlength", "getetag",
+			"getlastmodified", "displayname", "supportedlock"} {
+			fmt.Fprintf(w, `<D:%s/>`, name)
+		}
+		if props, err := h.fs.Props(i.Path); err == nil {
+			for k := range props {
+				space, local := splitPropKey(k)
+				fmt.Fprintf(w, `<x:%s xmlns:x="%s"/>`, local, xmlEscape(space))
+			}
+		}
+		fmt.Fprint(w, `</D:prop><D:status>HTTP/1.1 200 OK</D:status></D:propstat></D:response>`)
+		return
+	}
+
+	// Live properties.
+	emit := func(name string) {
+		switch name {
+		case "resourcetype":
+			if i.IsDir {
+				fmt.Fprint(w, `<D:resourcetype><D:collection/></D:resourcetype>`)
+			} else {
+				fmt.Fprint(w, `<D:resourcetype/>`)
+			}
+		case "getcontentlength":
+			if !i.IsDir {
+				fmt.Fprintf(w, `<D:getcontentlength>%d</D:getcontentlength>`, i.Size)
+			}
+		case "getetag":
+			if !i.IsDir {
+				fmt.Fprintf(w, `<D:getetag>%s</D:getetag>`, xmlEscape(i.ETag))
+			}
+		case "getlastmodified":
+			fmt.Fprintf(w, `<D:getlastmodified>%s</D:getlastmodified>`,
+				i.ModTime.UTC().Format(http.TimeFormat))
+		case "displayname":
+			fmt.Fprintf(w, `<D:displayname>%s</D:displayname>`, xmlEscape(i.Name))
+		case "supportedlock":
+			fmt.Fprint(w, `<D:supportedlock><D:lockentry><D:lockscope><D:exclusive/>`+
+				`</D:lockscope><D:locktype><D:write/></D:locktype></D:lockentry></D:supportedlock>`)
+		}
+	}
+	liveProps := []string{"resourcetype", "getcontentlength", "getetag", "getlastmodified", "displayname", "supportedlock"}
+
+	if req.Prop != nil && req.AllProp == nil {
+		for _, n := range req.Prop.Names {
+			if n.Space == "DAV:" {
+				emit(n.Local)
+				continue
+			}
+			// Dead property lookup.
+			if v, ok, _ := h.fs.Prop(i.Path, propKey(n)); ok {
+				fmt.Fprintf(w, `<x:%s xmlns:x="%s">%s</x:%s>`,
+					n.Local, xmlEscape(n.Space), xmlEscape(v), n.Local)
+			}
+		}
+	} else {
+		for _, lp := range liveProps {
+			emit(lp)
+		}
+		// allprop includes dead properties too.
+		if props, err := h.fs.Props(i.Path); err == nil {
+			for k, v := range props {
+				space, local := splitPropKey(k)
+				fmt.Fprintf(w, `<x:%s xmlns:x="%s">%s</x:%s>`,
+					local, xmlEscape(space), xmlEscape(v), local)
+			}
+		}
+	}
+	fmt.Fprint(w, `</D:prop><D:status>HTTP/1.1 200 OK</D:status></D:propstat></D:response>`)
+}
+
+// propKey maps an XML name to the vfs dead-property key.
+func propKey(n xml.Name) string { return n.Space + " " + n.Local }
+
+func splitPropKey(k string) (space, local string) {
+	if i := strings.LastIndexByte(k, ' '); i >= 0 {
+		return k[:i], k[i+1:]
+	}
+	return "", k
+}
+
+// proppatchRequest is the parsed body of a PROPPATCH.
+type proppatchRequest struct {
+	XMLName xml.Name `xml:"DAV: propertyupdate"`
+	Sets    []struct {
+		Prop propValues `xml:"prop"`
+	} `xml:"set"`
+	Removes []struct {
+		Prop propList `xml:"prop"`
+	} `xml:"remove"`
+}
+
+type propValues struct {
+	Values []propValue
+}
+
+type propValue struct {
+	Name  xml.Name
+	Value string
+}
+
+func (pv *propValues) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var inner struct {
+				Value string `xml:",chardata"`
+			}
+			if err := d.DecodeElement(&inner, &t); err != nil {
+				return err
+			}
+			pv.Values = append(pv.Values, propValue{Name: t.Name, Value: strings.TrimSpace(inner.Value)})
+		case xml.EndElement:
+			if t.Name == start.Name {
+				return nil
+			}
+		}
+	}
+}
+
+func (h *Handler) handleProppatch(w http.ResponseWriter, r *http.Request, p string) {
+	if !h.checkLock(w, r, p) {
+		return
+	}
+	if !h.fs.Exists(p) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var req proppatchRequest
+	if err := xml.Unmarshal(body, &req); err != nil {
+		http.Error(w, "malformed propertyupdate", http.StatusBadRequest)
+		return
+	}
+	for _, set := range req.Sets {
+		for _, v := range set.Prop.Values {
+			if v.Name.Space == "DAV:" {
+				continue // live properties are read-only
+			}
+			if err := h.fs.SetProp(p, propKey(v.Name), v.Value); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	}
+	for _, rm := range req.Removes {
+		for _, n := range rm.Prop.Names {
+			if n.Space == "DAV:" {
+				continue
+			}
+			if err := h.fs.RemoveProp(p, propKey(n)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(http.StatusMultiStatus)
+	href := p
+	if h.prefix != "" {
+		href = h.prefix + p
+	}
+	fmt.Fprint(w, xml.Header)
+	fmt.Fprintf(w, `<D:multistatus xmlns:D="DAV:"><D:response><D:href>%s</D:href>`+
+		`<D:propstat><D:status>HTTP/1.1 200 OK</D:status></D:propstat></D:response></D:multistatus>`,
+		xmlEscape(href))
+}

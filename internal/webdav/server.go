@@ -1,0 +1,409 @@
+package webdav
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hpop/internal/vfs"
+)
+
+// Authorizer decides whether a request may proceed. It receives the already
+// basic-auth-decoded credentials (empty if absent), the method, and the
+// cleaned resource path. The attic plugs scoped per-provider credentials in
+// here.
+type Authorizer func(user, pass, method, path string) bool
+
+// AllowAll authorizes every request (standalone server, tests).
+func AllowAll(string, string, string, string) bool { return true }
+
+// Handler is a WebDAV HTTP handler over a vfs.FS.
+type Handler struct {
+	fs    *vfs.FS
+	locks *lockTable
+	auth  Authorizer
+	// Prefix is stripped from request URL paths ("/dav").
+	prefix string
+	now    func() time.Time
+}
+
+// HandlerOption configures a Handler.
+type HandlerOption func(*Handler)
+
+// WithAuth installs an authorizer (default AllowAll).
+func WithAuth(a Authorizer) HandlerOption {
+	return func(h *Handler) { h.auth = a }
+}
+
+// WithPrefix strips a URL prefix before mapping to filesystem paths.
+func WithPrefix(p string) HandlerOption {
+	return func(h *Handler) { h.prefix = strings.TrimSuffix(p, "/") }
+}
+
+// WithNow injects a clock (lock expiry in tests).
+func WithNow(now func() time.Time) HandlerOption {
+	return func(h *Handler) { h.now = now }
+}
+
+// NewHandler builds a WebDAV handler over fs.
+func NewHandler(fs *vfs.FS, opts ...HandlerOption) *Handler {
+	h := &Handler{fs: fs, auth: AllowAll, now: time.Now}
+	for _, o := range opts {
+		o(h)
+	}
+	h.locks = newLockTable(h.now)
+	return h
+}
+
+// FS exposes the underlying filesystem (the attic service builds on it).
+func (h *Handler) FS() *vfs.FS { return h.fs }
+
+// Locks returns the active lock covering path, if any (diagnostics).
+func (h *Handler) Locks(path string) (*Lock, bool) { return h.locks.Get(path) }
+
+var _ http.Handler = (*Handler)(nil)
+
+// ServeHTTP dispatches WebDAV methods.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqPath := r.URL.Path
+	if h.prefix != "" {
+		if !strings.HasPrefix(reqPath, h.prefix) {
+			http.Error(w, "outside DAV root", http.StatusNotFound)
+			return
+		}
+		reqPath = strings.TrimPrefix(reqPath, h.prefix)
+		if reqPath == "" {
+			reqPath = "/"
+		}
+	}
+	p, err := vfs.Clean(reqPath)
+	if err != nil {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+
+	user, pass, _ := r.BasicAuth()
+	if !h.auth(user, pass, r.Method, p) {
+		w.Header().Set("WWW-Authenticate", `Basic realm="hpop-attic"`)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+
+	switch r.Method {
+	case http.MethodOptions:
+		h.handleOptions(w)
+	case http.MethodGet, http.MethodHead:
+		h.handleGet(w, r, p)
+	case http.MethodPut:
+		h.handlePut(w, r, p)
+	case http.MethodDelete:
+		h.handleDelete(w, r, p)
+	case "MKCOL":
+		h.handleMkcol(w, r, p)
+	case "COPY":
+		h.handleCopyMove(w, r, p, false)
+	case "MOVE":
+		h.handleCopyMove(w, r, p, true)
+	case "PROPFIND":
+		h.handlePropfind(w, r, p)
+	case "PROPPATCH":
+		h.handleProppatch(w, r, p)
+	case "LOCK":
+		h.handleLock(w, r, p)
+	case "UNLOCK":
+		h.handleUnlock(w, r, p)
+	default:
+		w.Header().Set("Allow", allowedMethods)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+const allowedMethods = "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, PROPFIND, PROPPATCH, LOCK, UNLOCK"
+
+func (h *Handler) handleOptions(w http.ResponseWriter) {
+	w.Header().Set("DAV", "1, 2")
+	w.Header().Set("Allow", allowedMethods)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request, p string) {
+	info, err := h.fs.Stat(p)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if info.IsDir {
+		// Directory GET returns a plain listing (convenience, as httpd does).
+		children, err := h.fs.List(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		for _, c := range children {
+			suffix := ""
+			if c.IsDir {
+				suffix = "/"
+			}
+			fmt.Fprintf(w, "%s%s\n", c.Name, suffix)
+		}
+		return
+	}
+	w.Header().Set("ETag", info.ETag)
+	w.Header().Set("Last-Modified", info.ModTime.UTC().Format(http.TimeFormat))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == info.ETag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	data, err := h.fs.Read(p)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}
+
+func (h *Handler) checkLock(w http.ResponseWriter, r *http.Request, p string) bool {
+	tokens := parseIfTokens(r.Header.Get("If"), r.Header.Get("Lock-Token"))
+	if err := h.locks.Check(p, tokens); err != nil {
+		http.Error(w, "locked", http.StatusLocked)
+		return false
+	}
+	return true
+}
+
+func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
+	if !h.checkLock(w, r, p) {
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	existed := h.fs.Exists(p)
+	// Conditional PUT: If-Match gives optimistic concurrency without locks.
+	if im := r.Header.Get("If-Match"); im != "" {
+		if _, err := h.fs.WriteIfMatch(p, data, im); err != nil {
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
+	} else if r.Header.Get("If-None-Match") == "*" {
+		if _, err := h.fs.WriteIfMatch(p, data, ""); err != nil {
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
+	} else if _, err := h.fs.Write(p, data); err != nil {
+		switch err {
+		case vfs.ErrNotFound:
+			http.Error(w, "parent collection missing", http.StatusConflict)
+		case vfs.ErrIsDir:
+			http.Error(w, "is a collection", http.StatusMethodNotAllowed)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	info, _ := h.fs.Stat(p)
+	w.Header().Set("ETag", info.ETag)
+	if existed {
+		w.WriteHeader(http.StatusNoContent)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+}
+
+func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string) {
+	if !h.checkLock(w, r, p) {
+		return
+	}
+	if err := h.fs.Delete(p, true); err != nil {
+		if err == vfs.ErrNotFound {
+			http.Error(w, "not found", http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusForbidden)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) handleMkcol(w http.ResponseWriter, r *http.Request, p string) {
+	if !h.checkLock(w, r, p) {
+		return
+	}
+	if r.ContentLength > 0 {
+		http.Error(w, "MKCOL with body unsupported", http.StatusUnsupportedMediaType)
+		return
+	}
+	switch err := h.fs.Mkdir(p); err {
+	case nil:
+		w.WriteHeader(http.StatusCreated)
+	case vfs.ErrExists:
+		http.Error(w, "exists", http.StatusMethodNotAllowed)
+	case vfs.ErrNotFound:
+		http.Error(w, "missing parent", http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusForbidden)
+	}
+}
+
+func (h *Handler) handleCopyMove(w http.ResponseWriter, r *http.Request, p string, move bool) {
+	dstHeader := r.Header.Get("Destination")
+	if dstHeader == "" {
+		http.Error(w, "missing Destination", http.StatusBadRequest)
+		return
+	}
+	dst := dstHeader
+	// Destination may be absolute URI; strip scheme://host.
+	if i := strings.Index(dst, "://"); i >= 0 {
+		rest := dst[i+3:]
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			dst = rest[j:]
+		} else {
+			dst = "/"
+		}
+	}
+	if h.prefix != "" {
+		dst = strings.TrimPrefix(dst, h.prefix)
+	}
+	dstPath, err := vfs.Clean(dst)
+	if err != nil {
+		http.Error(w, "bad destination", http.StatusBadRequest)
+		return
+	}
+	overwrite := !strings.EqualFold(r.Header.Get("Overwrite"), "F")
+	if !h.checkLock(w, r, dstPath) {
+		return
+	}
+	if move && !h.checkLock(w, r, p) {
+		return
+	}
+	existed := h.fs.Exists(dstPath)
+	var opErr error
+	if move {
+		opErr = h.fs.Move(p, dstPath, overwrite)
+	} else {
+		opErr = h.fs.Copy(p, dstPath, overwrite)
+	}
+	switch opErr {
+	case nil:
+		if existed {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			w.WriteHeader(http.StatusCreated)
+		}
+	case vfs.ErrNotFound:
+		http.Error(w, "not found", http.StatusNotFound)
+	case vfs.ErrExists:
+		http.Error(w, "destination exists", http.StatusPreconditionFailed)
+	default:
+		http.Error(w, opErr.Error(), http.StatusForbidden)
+	}
+}
+
+func (h *Handler) handleLock(w http.ResponseWriter, r *http.Request, p string) {
+	timeout := parseTimeout(r.Header.Get("Timeout"))
+	tokens := parseIfTokens(r.Header.Get("If"), "")
+
+	// Refresh: LOCK with an If token and empty body.
+	if len(tokens) > 0 && r.ContentLength == 0 {
+		l, err := h.locks.Refresh(tokens[0], timeout)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			return
+		}
+		writeLockResponse(w, l, http.StatusOK)
+		return
+	}
+
+	var owner string
+	if r.ContentLength != 0 {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			owner = parseLockOwner(body)
+		}
+	}
+	depth := DepthInfinity
+	if d := r.Header.Get("Depth"); d == "0" {
+		depth = 0
+	}
+	l, err := h.locks.Acquire(p, owner, depth, timeout)
+	if err != nil {
+		http.Error(w, "locked", http.StatusLocked)
+		return
+	}
+	// LOCK on an unmapped URL creates an empty resource (RFC 4918 §7.3).
+	if !h.fs.Exists(p) {
+		if _, err := h.fs.Write(p, nil); err != nil {
+			h.locks.Release(p, l.Token)
+			http.Error(w, "cannot create lock-null resource", http.StatusConflict)
+			return
+		}
+	}
+	writeLockResponse(w, l, http.StatusOK)
+}
+
+func (h *Handler) handleUnlock(w http.ResponseWriter, r *http.Request, p string) {
+	raw := strings.Trim(strings.TrimSpace(r.Header.Get("Lock-Token")), "<>")
+	if raw == "" {
+		http.Error(w, "missing Lock-Token", http.StatusBadRequest)
+		return
+	}
+	if err := h.locks.Release(p, raw); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func parseLockOwner(body []byte) string {
+	// Extract <D:owner>...</D:owner> content loosely.
+	var info struct {
+		XMLName xml.Name `xml:"lockinfo"`
+		Owner   struct {
+			Inner string `xml:",innerxml"`
+		} `xml:"owner"`
+	}
+	if err := xml.Unmarshal(body, &info); err != nil {
+		return ""
+	}
+	return strings.TrimSpace(info.Owner.Inner)
+}
+
+func writeLockResponse(w http.ResponseWriter, l *Lock, status int) {
+	w.Header().Set("Lock-Token", "<"+l.Token+">")
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.WriteHeader(status)
+	depth := "infinity"
+	if l.Depth == 0 {
+		depth = "0"
+	}
+	fmt.Fprintf(w, `<?xml version="1.0" encoding="utf-8"?>
+<D:prop xmlns:D="DAV:"><D:lockdiscovery><D:activelock>
+<D:locktype><D:write/></D:locktype>
+<D:lockscope><D:exclusive/></D:lockscope>
+<D:depth>%s</D:depth>
+<D:owner>%s</D:owner>
+<D:timeout>Second-%d</D:timeout>
+<D:locktoken><D:href>%s</D:href></D:locktoken>
+</D:activelock></D:lockdiscovery></D:prop>`,
+		depth, xmlEscape(l.Owner), int(time.Until(l.Expires).Seconds()), l.Token)
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

@@ -1,0 +1,522 @@
+package webdav
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpop/internal/vfs"
+)
+
+func newServer(t *testing.T, opts ...HandlerOption) (*httptest.Server, *Client, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New()
+	h := NewHandler(fs, opts...)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, &Client{BaseURL: srv.URL}, fs
+}
+
+func TestOptionsAdvertisesDAV(t *testing.T) {
+	srv, _, _ := newServer(t)
+	req, _ := http.NewRequest(http.MethodOptions, srv.URL+"/", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dav := resp.Header.Get("DAV"); dav != "1, 2" {
+		t.Errorf("DAV header = %q, want \"1, 2\"", dav)
+	}
+	if !strings.Contains(resp.Header.Get("Allow"), "PROPFIND") {
+		t.Error("Allow header missing PROPFIND")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, c, _ := newServer(t)
+	etag, err := c.Put("/file.txt", []byte("attic data"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag == "" {
+		t.Error("PUT returned empty etag")
+	}
+	data, gotTag, err := c.Get("/file.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "attic data" || gotTag != etag {
+		t.Errorf("Get = %q tag %q, want %q tag %q", data, gotTag, "attic data", etag)
+	}
+}
+
+func TestPutCreatedVsNoContent(t *testing.T) {
+	srv, _, _ := newServer(t)
+	put := func() int {
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/f", strings.NewReader("x"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(); code != http.StatusCreated {
+		t.Errorf("first PUT = %d, want 201", code)
+	}
+	if code := put(); code != http.StatusNoContent {
+		t.Errorf("second PUT = %d, want 204", code)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, c, _ := newServer(t)
+	_, _, err := c.Get("/missing")
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Errorf("err = %v, want 404 StatusError", err)
+	}
+}
+
+func TestConditionalGet(t *testing.T) {
+	srv, c, _ := newServer(t)
+	etag, _ := c.Put("/f", []byte("v"), nil)
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/f", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match status = %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestPutIfMatchConflict(t *testing.T) {
+	_, c, _ := newServer(t)
+	etag, _ := c.Put("/f", []byte("v1"), nil)
+	if _, err := c.PutIfMatch("/f", []byte("v2"), etag); err != nil {
+		t.Fatalf("matching If-Match: %v", err)
+	}
+	// Stale etag now.
+	if _, err := c.PutIfMatch("/f", []byte("v3"), etag); !IsStatus(err, http.StatusPreconditionFailed) {
+		t.Errorf("stale If-Match err = %v, want 412", err)
+	}
+}
+
+func TestPutIfNoneMatchStar(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Put("/new", []byte("a"), map[string]string{"If-None-Match": "*"}); err != nil {
+		t.Fatalf("create-only PUT: %v", err)
+	}
+	_, err := c.Put("/new", []byte("b"), map[string]string{"If-None-Match": "*"})
+	if !IsStatus(err, http.StatusPreconditionFailed) {
+		t.Errorf("create-over-existing err = %v, want 412", err)
+	}
+}
+
+func TestPutMissingParentConflict(t *testing.T) {
+	_, c, _ := newServer(t)
+	_, err := c.Put("/no/such/dir/f", []byte("x"), nil)
+	if !IsStatus(err, http.StatusConflict) {
+		t.Errorf("err = %v, want 409", err)
+	}
+}
+
+func TestMkcolAndPropfindDepth1(t *testing.T) {
+	_, c, _ := newServer(t)
+	if err := c.Mkcol("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put("/docs/a.txt", []byte("aaa"), nil)
+	c.Put("/docs/b.txt", []byte("bb"), nil)
+	entries, err := c.Propfind("/docs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (self + 2 children)", len(entries))
+	}
+	if !entries[0].IsDir {
+		t.Error("first entry (collection itself) not marked dir")
+	}
+	var sizes []int
+	for _, e := range entries[1:] {
+		sizes = append(sizes, e.Size)
+		if e.ETag == "" {
+			t.Errorf("entry %s missing etag", e.Href)
+		}
+		if e.ModTime.IsZero() {
+			t.Errorf("entry %s missing modtime", e.Href)
+		}
+	}
+	if sizes[0]+sizes[1] != 5 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestPropfindDepthInfinity(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Mkcol("/a")
+	c.Mkcol("/a/b")
+	c.Put("/a/b/deep.txt", []byte("x"), nil)
+	entries, err := c.Propfind("/", "infinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // /, /a, /a/b, /a/b/deep.txt
+		t.Errorf("entries = %d, want 4", len(entries))
+	}
+}
+
+func TestPropfindMissing(t *testing.T) {
+	_, c, _ := newServer(t)
+	if _, err := c.Propfind("/ghost", "0"); !IsStatus(err, http.StatusNotFound) {
+		t.Errorf("err = %v, want 404", err)
+	}
+}
+
+func TestMkcolErrors(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Mkcol("/d")
+	if err := c.Mkcol("/d"); !IsStatus(err, http.StatusMethodNotAllowed) {
+		t.Errorf("dup MKCOL err = %v, want 405", err)
+	}
+	if err := c.Mkcol("/x/y"); !IsStatus(err, http.StatusConflict) {
+		t.Errorf("orphan MKCOL err = %v, want 409", err)
+	}
+}
+
+func TestDeleteRecursive(t *testing.T) {
+	_, c, fs := newServer(t)
+	c.Mkcol("/d")
+	c.Put("/d/f", []byte("x"), nil)
+	if err := c.Delete("/d", nil); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Error("collection survived DELETE")
+	}
+	if err := c.Delete("/d", nil); !IsStatus(err, http.StatusNotFound) {
+		t.Errorf("double delete err = %v, want 404", err)
+	}
+}
+
+func TestCopyMove(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Put("/src", []byte("payload"), nil)
+	if err := c.Copy("/src", "/dst", false); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.Get("/dst")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("copied read = %q, %v", data, err)
+	}
+	if err := c.Copy("/src", "/dst", false); !IsStatus(err, http.StatusPreconditionFailed) {
+		t.Errorf("no-overwrite copy err = %v, want 412", err)
+	}
+	if err := c.Move("/src", "/moved", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("/src"); !IsStatus(err, http.StatusNotFound) {
+		t.Error("source survived MOVE")
+	}
+	if _, _, err := c.Get("/moved"); err != nil {
+		t.Errorf("moved target: %v", err)
+	}
+}
+
+func TestLockBlocksOtherWriters(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Put("/f", []byte("v1"), nil)
+	token, err := c.Lock("/f", "alice", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlocked writer is refused.
+	if _, err := c.Put("/f", []byte("intruder"), nil); !IsStatus(err, http.StatusLocked) {
+		t.Errorf("unlocked PUT err = %v, want 423", err)
+	}
+	// Holder can write.
+	if _, err := c.PutLocked("/f", []byte("v2"), token); err != nil {
+		t.Errorf("locked PUT by holder: %v", err)
+	}
+	// DELETE also blocked.
+	if err := c.Delete("/f", nil); !IsStatus(err, http.StatusLocked) {
+		t.Errorf("unlocked DELETE err = %v, want 423", err)
+	}
+	if err := c.Unlock("/f", token); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/f", []byte("v3"), nil); err != nil {
+		t.Errorf("PUT after unlock: %v", err)
+	}
+}
+
+func TestLockConflict(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Put("/f", []byte("x"), nil)
+	if _, err := c.Lock("/f", "alice", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lock("/f", "bob", time.Minute); !IsStatus(err, http.StatusLocked) {
+		t.Errorf("second LOCK err = %v, want 423", err)
+	}
+}
+
+func TestLockDepthInfinityCoversChildren(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Mkcol("/tree")
+	c.Put("/tree/f", []byte("x"), nil)
+	token, err := c.Lock("/tree", "alice", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/tree/f", []byte("y"), nil); !IsStatus(err, http.StatusLocked) {
+		t.Errorf("child PUT err = %v, want 423", err)
+	}
+	if _, err := c.PutLocked("/tree/f", []byte("y"), token); err != nil {
+		t.Errorf("child PUT with token: %v", err)
+	}
+}
+
+func TestLockExpiry(t *testing.T) {
+	current := time.Now()
+	clock := func() time.Time { return current }
+	_, c, _ := newServer(t, WithNow(clock))
+	c.Put("/f", []byte("x"), nil)
+	if _, err := c.Lock("/f", "alice", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	current = current.Add(11 * time.Second)
+	if _, err := c.Put("/f", []byte("y"), nil); err != nil {
+		t.Errorf("PUT after lock expiry: %v", err)
+	}
+}
+
+func TestLockCreatesEmptyResource(t *testing.T) {
+	_, c, fs := newServer(t)
+	if _, err := c.Lock("/newfile", "alice", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/newfile")
+	if err != nil || info.IsDir || info.Size != 0 {
+		t.Errorf("lock-null resource: %+v, %v", info, err)
+	}
+}
+
+func TestUnlockErrors(t *testing.T) {
+	_, c, _ := newServer(t)
+	c.Put("/f", []byte("x"), nil)
+	if err := c.Unlock("/f", "opaquelocktoken:deadbeef"); !IsStatus(err, http.StatusConflict) {
+		t.Errorf("bogus unlock err = %v, want 409", err)
+	}
+}
+
+func TestProppatchRoundTrip(t *testing.T) {
+	srv, c, fs := newServer(t)
+	c.Put("/f", []byte("x"), nil)
+	if err := c.Proppatch("/f", "urn:hpop", "provider", "clinic-a"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := fs.Prop("/f", "urn:hpop provider")
+	if err != nil || !ok || v != "clinic-a" {
+		t.Errorf("stored prop = %q %v %v", v, ok, err)
+	}
+	// The property must round-trip through PROPFIND allprop too.
+	body := `<?xml version="1.0"?><D:propfind xmlns:D="DAV:"><D:allprop/></D:propfind>`
+	req, _ := http.NewRequest("PROPFIND", srv.URL+"/f", strings.NewReader(body))
+	req.Header.Set("Depth", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := copyAll(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clinic-a") {
+		t.Error("PROPFIND allprop missing dead property")
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	auth := func(user, pass, method, path string) bool {
+		return user == "alice" && pass == "secret"
+	}
+	srv, _, _ := newServer(t, WithAuth(auth))
+	anon := &Client{BaseURL: srv.URL}
+	if _, err := anon.Put("/f", []byte("x"), nil); !IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("anon err = %v, want 401", err)
+	}
+	good := &Client{BaseURL: srv.URL, Username: "alice", Password: "secret"}
+	if _, err := good.Put("/f", []byte("x"), nil); err != nil {
+		t.Errorf("authorized PUT: %v", err)
+	}
+	bad := &Client{BaseURL: srv.URL, Username: "alice", Password: "wrong"}
+	if _, _, err := bad.Get("/f"); !IsStatus(err, http.StatusUnauthorized) {
+		t.Errorf("bad creds err = %v, want 401", err)
+	}
+}
+
+func TestPrefixStripping(t *testing.T) {
+	fs := vfs.New()
+	h := NewHandler(fs, WithPrefix("/dav"))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL + "/dav"}
+	if _, err := c.Put("/f", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/f") {
+		t.Error("prefix not stripped before fs mapping")
+	}
+	// Outside the prefix: 404.
+	resp, err := http.Get(srv.URL + "/elsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("outside-prefix status = %d, want 404", resp.StatusCode)
+	}
+	// COPY destinations carry the prefix too.
+	if err := c.Copy("/f", "/g", true); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/g") {
+		t.Error("COPY destination prefix not stripped")
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	srv, _, _ := newServer(t)
+	req, _ := http.NewRequest("PATCH", srv.URL+"/f", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestParseTimeout(t *testing.T) {
+	cases := map[string]time.Duration{
+		"Second-600":            600 * time.Second,
+		"Infinite":              MaxLockTimeout,
+		"Infinite, Second-4100": MaxLockTimeout,
+		"":                      0,
+		"garbage":               0,
+	}
+	for in, want := range cases {
+		if got := parseTimeout(in); got != want {
+			t.Errorf("parseTimeout(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseIfTokens(t *testing.T) {
+	toks := parseIfTokens(`(<opaquelocktoken:abc>) (<opaquelocktoken:def>)`, `<opaquelocktoken:ghi>`)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	// Non-lock tokens (etags in If headers) are ignored.
+	toks = parseIfTokens(`(["etag-value"] <urn:other>)`, "")
+	if len(toks) != 0 {
+		t.Errorf("non-lock tokens leaked: %v", toks)
+	}
+}
+
+func TestDirectoryGetListing(t *testing.T) {
+	srv, c, _ := newServer(t)
+	c.Mkcol("/d")
+	c.Put("/d/file", []byte("x"), nil)
+	c.Mkcol("/d/sub")
+	resp, err := http.Get(srv.URL + "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	copyAll(buf, resp.Body)
+	if !strings.Contains(buf.String(), "file\n") || !strings.Contains(buf.String(), "sub/\n") {
+		t.Errorf("directory listing = %q", buf.String())
+	}
+}
+
+// copyAll is a tiny io.Copy wrapper to keep test imports tidy.
+func copyAll(dst *strings.Builder, src interface{ Read([]byte) (int, error) }) (int64, error) {
+	var total int64
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		dst.Write(buf[:n])
+		total += int64(n)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return total, nil
+			}
+			return total, err
+		}
+	}
+}
+
+func TestPropfindPropname(t *testing.T) {
+	srv, c, fs := newServer(t)
+	c.Put("/f", []byte("x"), nil)
+	fs.SetProp("/f", "urn:hpop secret-tag", "should-not-appear")
+	body := `<?xml version="1.0"?><D:propfind xmlns:D="DAV:"><D:propname/></D:propfind>`
+	req, _ := http.NewRequest("PROPFIND", srv.URL+"/f", strings.NewReader(body))
+	req.Header.Set("Depth", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	copyAll(buf, resp.Body)
+	out := buf.String()
+	// Names present...
+	for _, want := range []string{"<D:getetag/>", "<D:resourcetype/>", "secret-tag"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("propname missing %q:\n%s", want, out)
+		}
+	}
+	// ...values absent.
+	if strings.Contains(out, "should-not-appear") {
+		t.Errorf("propname leaked values:\n%s", out)
+	}
+}
+
+func TestLockRefresh(t *testing.T) {
+	current := time.Now()
+	clock := func() time.Time { return current }
+	_, c, _ := newServer(t, WithNow(clock))
+	c.Put("/f", []byte("x"), nil)
+	token, err := c.Lock("/f", "alice", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20s later, refresh for another 30s.
+	current = current.Add(20 * time.Second)
+	got, err := c.RefreshLock("/f", token, 30*time.Second)
+	if err != nil || got != token {
+		t.Fatalf("refresh = %q, %v", got, err)
+	}
+	// 25s later (45s after acquisition): still locked thanks to refresh.
+	current = current.Add(25 * time.Second)
+	if _, err := c.Put("/f", []byte("intruder"), nil); !IsStatus(err, http.StatusLocked) {
+		t.Errorf("PUT after refresh err = %v, want 423", err)
+	}
+	// Refreshing an expired/unknown token fails.
+	current = current.Add(time.Hour)
+	if _, err := c.RefreshLock("/f", token, time.Minute); !IsStatus(err, http.StatusPreconditionFailed) {
+		t.Errorf("stale refresh err = %v, want 412", err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package webmodel provides synthetic web workloads: a Zipf-popularity
+// object corpus with per-object change processes, per-user browsing profiles
+// with temporal locality, and a per-second residential traffic generator
+// calibrated to the Case Connection Zone measurements the paper cites
+// (download rate exceeds 10 Mbps in ~0.1% of seconds; upload exceeds
+// 0.5 Mbps in ~1%).
+//
+// This package substitutes for the real user traces the paper's substrate
+// experiments would need; DESIGN.md records the substitution.
+package webmodel
+
+import (
+	"math"
+
+	"hpop/internal/sim"
+)
+
+// Object is one web resource in the synthetic corpus.
+type Object struct {
+	// ID is the object's index in the corpus (also its popularity rank
+	// under the global Zipf draw: lower = more popular).
+	ID int
+	// Size in bytes.
+	Size int
+	// ChangePeriod is the mean interval between content updates; zero means
+	// the object is immutable.
+	ChangePeriod sim.Time
+	// Phase offsets the change schedule so objects don't update in lockstep.
+	Phase sim.Time
+	// Deep marks "deep web" content: requires user credentials to fetch
+	// (§IV-D), so only a credentialed HPoP collector can prefetch it.
+	Deep bool
+}
+
+// VersionAt returns the content version of the object at simulated time t.
+// Version changes are deterministic given the object's period and phase.
+func (o *Object) VersionAt(t sim.Time) int {
+	if o.ChangePeriod <= 0 {
+		return 0
+	}
+	return int((t + o.Phase) / o.ChangePeriod)
+}
+
+// FreshAt reports whether a copy fetched at fetchTime is still current at t.
+func (o *Object) FreshAt(fetchTime, t sim.Time) bool {
+	return o.VersionAt(fetchTime) == o.VersionAt(t)
+}
+
+// CorpusConfig parameterizes corpus generation.
+type CorpusConfig struct {
+	// Objects is the corpus size (default 100000).
+	Objects int
+	// ZipfExponent sets popularity skew (default 0.9, the classic web value).
+	ZipfExponent float64
+	// MedianSize is the median object size in bytes (default 24 KB).
+	MedianSize float64
+	// SizeSigma is the lognormal sigma of sizes (default 1.5).
+	SizeSigma float64
+	// MeanChangeHours is the mean change period (default 24 h); individual
+	// objects draw exponentially around it, and a fraction are immutable.
+	MeanChangeHours float64
+	// ImmutableFrac is the fraction of never-changing objects (default 0.3).
+	ImmutableFrac float64
+	// DeepFrac is the fraction of credential-gated deep-web objects
+	// (default 0.2).
+	DeepFrac float64
+}
+
+func (c *CorpusConfig) applyDefaults() {
+	if c.Objects <= 0 {
+		c.Objects = 100000
+	}
+	if c.ZipfExponent <= 0 {
+		c.ZipfExponent = 0.9
+	}
+	if c.MedianSize <= 0 {
+		c.MedianSize = 24 << 10
+	}
+	if c.SizeSigma <= 0 {
+		c.SizeSigma = 1.5
+	}
+	if c.MeanChangeHours <= 0 {
+		c.MeanChangeHours = 24
+	}
+	if c.ImmutableFrac <= 0 {
+		c.ImmutableFrac = 0.3
+	}
+	if c.DeepFrac <= 0 {
+		c.DeepFrac = 0.2
+	}
+}
+
+// Corpus is a fixed set of synthetic web objects plus a global popularity
+// distribution.
+type Corpus struct {
+	Objects []Object
+	zipf    *sim.Zipf
+}
+
+// NewCorpus generates a corpus deterministically from the RNG.
+func NewCorpus(rng *sim.RNG, cfg CorpusConfig) *Corpus {
+	cfg.applyDefaults()
+	objs := make([]Object, cfg.Objects)
+	mu := math.Log(cfg.MedianSize)
+	for i := range objs {
+		size := int(rng.LogNormal(mu, cfg.SizeSigma))
+		if size < 200 {
+			size = 200
+		}
+		var period sim.Time
+		if !rng.Bool(cfg.ImmutableFrac) {
+			period = sim.Time(rng.Exp(1.0/(cfg.MeanChangeHours*3600)) + 60)
+		}
+		objs[i] = Object{
+			ID:           i,
+			Size:         size,
+			ChangePeriod: period,
+			Phase:        sim.Time(rng.Float64()) * period,
+			Deep:         rng.Bool(cfg.DeepFrac),
+		}
+	}
+	return &Corpus{
+		Objects: objs,
+		zipf:    sim.NewZipf(rng, cfg.Objects, cfg.ZipfExponent),
+	}
+}
+
+// Draw samples an object ID by global popularity.
+func (c *Corpus) Draw() int { return c.zipf.Draw() }
+
+// Get returns the object with the given ID.
+func (c *Corpus) Get(id int) *Object { return &c.Objects[id] }
+
+// Len returns the corpus size.
+func (c *Corpus) Len() int { return len(c.Objects) }
+
+// Profile is one user's browsing behaviour: a personal catalog drawn from
+// the global distribution, revisited with its own Zipf skew — this produces
+// the long-horizon history that Internet@home mines, plus cross-user overlap
+// on globally popular objects that the cooperative cache exploits.
+type Profile struct {
+	Catalog []int // object IDs, personal popularity order
+	zipf    *sim.Zipf
+	// RequestsPerDay is the mean number of object requests the user issues.
+	RequestsPerDay float64
+}
+
+// NewProfile builds a user profile of catalogSize distinct objects drawn by
+// global popularity (duplicates redrawn), revisited with exponent `skew`.
+func NewProfile(rng *sim.RNG, c *Corpus, catalogSize int, skew, requestsPerDay float64) *Profile {
+	if catalogSize <= 0 {
+		catalogSize = 500
+	}
+	if skew <= 0 {
+		skew = 1.0
+	}
+	if requestsPerDay <= 0 {
+		requestsPerDay = 400
+	}
+	seen := make(map[int]bool, catalogSize)
+	catalog := make([]int, 0, catalogSize)
+	for len(catalog) < catalogSize {
+		id := c.Draw()
+		if seen[id] {
+			// Redraw collisions, but cap attempts to stay O(n) even for
+			// tiny corpora.
+			id = rng.Intn(c.Len())
+			if seen[id] {
+				continue
+			}
+		}
+		seen[id] = true
+		catalog = append(catalog, id)
+	}
+	return &Profile{
+		Catalog:        catalog,
+		zipf:           sim.NewZipf(rng, len(catalog), skew),
+		RequestsPerDay: requestsPerDay,
+	}
+}
+
+// Draw samples an object ID from the user's personal distribution.
+func (p *Profile) Draw() int { return p.Catalog[p.zipf.Draw()] }
+
+// Request is one object access in a trace.
+type Request struct {
+	Time     sim.Time
+	ObjectID int
+}
+
+// Trace generates a request trace covering `days` days, with requests spread
+// by a Poisson process at the profile's daily rate.
+func (p *Profile) Trace(rng *sim.RNG, days float64) []Request {
+	var out []Request
+	horizon := sim.Time(days * 86400)
+	rate := p.RequestsPerDay / 86400
+	t := sim.Time(rng.Exp(rate))
+	for t < horizon {
+		out = append(out, Request{Time: t, ObjectID: p.Draw()})
+		t += sim.Time(rng.Exp(rate))
+	}
+	return out
+}
+
+// Frequencies counts accesses per object in a trace (the history signal the
+// Internet@home prefetcher mines).
+func Frequencies(trace []Request) map[int]int {
+	out := make(map[int]int)
+	for _, r := range trace {
+		out[r.ObjectID]++
+	}
+	return out
+}

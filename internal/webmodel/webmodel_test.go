@@ -1,0 +1,223 @@
+package webmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpop/internal/sim"
+)
+
+func testCorpus(seed uint64, n int) *Corpus {
+	return NewCorpus(sim.NewRNG(seed), CorpusConfig{Objects: n})
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	c := testCorpus(1, 5000)
+	if c.Len() != 5000 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	var immutable, deep int
+	for i := range c.Objects {
+		o := c.Get(i)
+		if o.Size < 200 {
+			t.Fatalf("object %d size %d below floor", i, o.Size)
+		}
+		if o.ChangePeriod == 0 {
+			immutable++
+		}
+		if o.Deep {
+			deep++
+		}
+	}
+	immFrac := float64(immutable) / 5000
+	if immFrac < 0.2 || immFrac > 0.4 {
+		t.Errorf("immutable fraction = %.2f, want ~0.3", immFrac)
+	}
+	deepFrac := float64(deep) / 5000
+	if deepFrac < 0.1 || deepFrac > 0.3 {
+		t.Errorf("deep fraction = %.2f, want ~0.2", deepFrac)
+	}
+}
+
+func TestCorpusPopularitySkew(t *testing.T) {
+	c := testCorpus(2, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 50000; i++ {
+		counts[c.Draw()]++
+	}
+	if counts[0] <= counts[900] {
+		t.Error("rank 0 not more popular than rank 900")
+	}
+}
+
+func TestObjectVersioning(t *testing.T) {
+	o := Object{ChangePeriod: 100, Phase: 0}
+	if o.VersionAt(50) != 0 || o.VersionAt(150) != 1 || o.VersionAt(250) != 2 {
+		t.Error("versions wrong")
+	}
+	if !o.FreshAt(10, 90) {
+		t.Error("copy within period reported stale")
+	}
+	if o.FreshAt(10, 150) {
+		t.Error("copy across change reported fresh")
+	}
+	imm := Object{}
+	if imm.VersionAt(1e9) != 0 || !imm.FreshAt(0, 1e9) {
+		t.Error("immutable object versioning wrong")
+	}
+}
+
+func TestProfileCatalogDistinct(t *testing.T) {
+	c := testCorpus(3, 2000)
+	p := NewProfile(sim.NewRNG(4), c, 300, 1.0, 400)
+	if len(p.Catalog) != 300 {
+		t.Fatalf("catalog = %d", len(p.Catalog))
+	}
+	seen := make(map[int]bool)
+	for _, id := range p.Catalog {
+		if seen[id] {
+			t.Fatal("duplicate in catalog")
+		}
+		if id < 0 || id >= 2000 {
+			t.Fatalf("catalog id %d out of range", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestProfileDrawsWithinCatalog(t *testing.T) {
+	c := testCorpus(5, 1000)
+	p := NewProfile(sim.NewRNG(6), c, 100, 1.0, 400)
+	members := make(map[int]bool, len(p.Catalog))
+	for _, id := range p.Catalog {
+		members[id] = true
+	}
+	for i := 0; i < 5000; i++ {
+		if !members[p.Draw()] {
+			t.Fatal("draw outside catalog")
+		}
+	}
+}
+
+func TestProfileTemporalLocality(t *testing.T) {
+	// The user's top personal object should dominate their trace — the
+	// history signal prefetching depends on.
+	c := testCorpus(7, 1000)
+	p := NewProfile(sim.NewRNG(8), c, 200, 1.2, 400)
+	trace := p.Trace(sim.NewRNG(9), 10)
+	freq := Frequencies(trace)
+	top := freq[p.Catalog[0]]
+	mid := freq[p.Catalog[100]]
+	if top <= mid {
+		t.Errorf("personal rank-0 count %d not above rank-100 count %d", top, mid)
+	}
+}
+
+func TestTraceTiming(t *testing.T) {
+	c := testCorpus(10, 500)
+	p := NewProfile(sim.NewRNG(11), c, 100, 1.0, 200)
+	trace := p.Trace(sim.NewRNG(12), 5)
+	want := 5.0 * 200
+	if float64(len(trace)) < want*0.8 || float64(len(trace)) > want*1.2 {
+		t.Errorf("trace length = %d, want ~%.0f", len(trace), want)
+	}
+	last := sim.Time(-1)
+	for _, r := range trace {
+		if r.Time < last {
+			t.Fatal("trace not time-ordered")
+		}
+		if r.Time >= 5*86400 {
+			t.Fatal("request past horizon")
+		}
+		last = r.Time
+	}
+}
+
+func TestGenerateDayCCZCalibration(t *testing.T) {
+	// Aggregate several simulated homes and check the two headline CCZ
+	// statistics land in the right decade (shape, not exact match).
+	rng := sim.NewRNG(42)
+	cfg := DefaultTrafficConfig()
+	var downAbove, upAbove, total float64
+	for h := 0; h < 20; h++ {
+		d := GenerateDay(rng, cfg)
+		downAbove += FractionAbove(d.DownBps, CCZDownThresholdBps) * DaySeconds
+		upAbove += FractionAbove(d.UpBps, CCZUpThresholdBps) * DaySeconds
+		total += DaySeconds
+	}
+	downFrac := downAbove / total
+	upFrac := upAbove / total
+	if downFrac < 0.0002 || downFrac > 0.005 {
+		t.Errorf("P(down > 10 Mbps) = %.4f%%, want ~0.1%% (paper)", downFrac*100)
+	}
+	if upFrac < 0.003 || upFrac > 0.03 {
+		t.Errorf("P(up > 0.5 Mbps) = %.4f%%, want ~1%% (paper)", upFrac*100)
+	}
+}
+
+func TestGenerateDayMostlyIdle(t *testing.T) {
+	d := GenerateDay(sim.NewRNG(1), DefaultTrafficConfig())
+	idle := 0
+	for _, v := range d.DownBps {
+		if v == 0 {
+			idle++
+		}
+	}
+	if float64(idle)/DaySeconds < 0.5 {
+		t.Errorf("idle fraction = %.2f; homes should be mostly idle", float64(idle)/DaySeconds)
+	}
+}
+
+func TestFractionAboveAndPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := FractionAbove(s, 8); got != 0.2 {
+		t.Errorf("FractionAbove = %v, want 0.2", got)
+	}
+	if got := FractionAbove(nil, 1); got != 0 {
+		t.Errorf("empty FractionAbove = %v", got)
+	}
+	if got := Percentile(s, 50); got != 5 && got != 6 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(s, 100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := sim.NewRNG(13)
+	for _, mean := range []float64{0, 2, 10, 100} {
+		var sum float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if mean == 0 && got != 0 {
+			t.Errorf("poisson(0) mean = %v", got)
+		}
+		if mean > 0 && (got < mean*0.9 || got > mean*1.1) {
+			t.Errorf("poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+// Property: FreshAt is reflexive (a copy is always fresh at its own fetch
+// time) and consistent with VersionAt.
+func TestFreshnessProperty(t *testing.T) {
+	f := func(periodRaw uint16, fetchRaw, atRaw uint32) bool {
+		o := Object{ChangePeriod: sim.Time(periodRaw) + 1, Phase: 3}
+		fetch := sim.Time(fetchRaw)
+		at := sim.Time(atRaw)
+		if !o.FreshAt(fetch, fetch) {
+			return false
+		}
+		return o.FreshAt(fetch, at) == (o.VersionAt(fetch) == o.VersionAt(at))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
