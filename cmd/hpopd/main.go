@@ -42,6 +42,7 @@ func run(args []string) error {
 	relayAddr := fs.String("relay", "", "DCol waypoint relay listen address (empty: disabled)")
 	withPIM := fs.Bool("pim", true, "serve the contacts/calendar/inbox services")
 	quotaMB := fs.Int("quota-mb", 0, "attic storage quota in MB (0 = unlimited)")
+	maxPutMB := fs.Int("max-put-mb", 0, "max single WebDAV upload in MB (0 = default 256)")
 	peerID := fs.String("nocdn-peer", "", "NoCDN peer ID (empty: disabled)")
 	providers := fs.String("nocdn-provider", "", "comma-separated provider=originURL pairs to serve")
 	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
@@ -57,6 +58,9 @@ func run(args []string) error {
 	var atticOpts []attic.Option
 	if *quotaMB > 0 {
 		atticOpts = append(atticOpts, attic.WithQuota(*quotaMB<<20))
+	}
+	if *maxPutMB > 0 {
+		atticOpts = append(atticOpts, attic.WithMaxPutBytes(int64(*maxPutMB)<<20))
 	}
 	a := attic.New(*owner, *password, atticOpts...)
 	if err := h.Register(a); err != nil {

@@ -14,15 +14,22 @@
 // Peer mode:
 //
 //	nocdnd -mode peer -listen :8001 -id peer-a -provider example.com=http://origin:8000
+//
+// Load mode (a client-side page view: wrapper fetch, parallel hash-verified
+// object fetches from peers, usage-record delivery):
+//
+//	nocdnd -mode load -origin http://origin:8000 -page index -concurrency 6 -views 3
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hpop/internal/nocdn"
 )
@@ -60,6 +67,11 @@ func run(args []string) error {
 	content := fs.String("content", "", "origin: content directory")
 	id := fs.String("id", "peer", "peer: peer ID")
 	cacheMB := fs.Int("cache-mb", 64, "peer: cache size in MB")
+	originURL := fs.String("origin", "", "load: origin base URL")
+	page := fs.String("page", "index", "load: page name to fetch")
+	concurrency := fs.Int("concurrency", nocdn.DefaultConcurrency,
+		"load: max simultaneous object/chunk fetches (1 = serial)")
+	views := fs.Int("views", 1, "load: number of page views")
 	var peers kvFlags
 	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -91,9 +103,46 @@ func run(args []string) error {
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
 		return http.ListenAndServe(*listen, p.Handler())
+	case "load":
+		if *originURL == "" {
+			return fmt.Errorf("load mode requires -origin")
+		}
+		if *views < 1 {
+			return fmt.Errorf("load mode wants -views >= 1, got %d", *views)
+		}
+		loader := &nocdn.Loader{OriginURL: *originURL, Concurrency: *concurrency}
+		return runLoads(os.Stdout, loader, *page, *views)
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+}
+
+// runLoads performs page views and prints per-view and aggregate stats.
+func runLoads(out io.Writer, loader *nocdn.Loader, page string, views int) error {
+	var totalBytes int64
+	peerBytes := make(map[string]int64)
+	start := time.Now()
+	for v := 0; v < views; v++ {
+		res, err := loader.LoadPage(page)
+		if err != nil {
+			return fmt.Errorf("view %d: %w", v+1, err)
+		}
+		totalBytes += res.TotalBytes()
+		for id, n := range res.PeerBytes {
+			peerBytes[id] += n
+		}
+		fmt.Fprintf(out, "view %d: %d objects, %d B, tamper=%v, fallbacks=%d, records=%d\n",
+			v+1, len(res.Body), res.TotalBytes(), res.TamperDetected,
+			len(res.FallbackObjects), res.RecordsDelivered)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "%d view(s) in %v (%.1f MB/s, concurrency %d)\n",
+		views, elapsed.Round(time.Millisecond),
+		float64(totalBytes)/1e6/elapsed.Seconds(), loader.Concurrency)
+	for id, n := range peerBytes {
+		fmt.Fprintf(out, "  peer %s served %d B\n", id, n)
+	}
+	return nil
 }
 
 // loadContent walks dir, registering every file as an object and each

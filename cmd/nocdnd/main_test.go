@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hpop/internal/nocdn"
@@ -90,5 +93,41 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-mode", "load"}); err == nil {
+		t.Error("load without -origin accepted")
+	}
+	if err := run([]string{"-mode", "load", "-origin", "http://x", "-views", "0"}); err == nil {
+		t.Error("load with zero views accepted")
+	}
+}
+
+func TestLoadMode(t *testing.T) {
+	dir := writeSite(t)
+	o := nocdn.NewOrigin("t", nocdn.WithRNG(sim.NewRNG(1)))
+	if err := loadContent(o, dir); err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(o.Handler())
+	defer originSrv.Close()
+	p := nocdn.NewPeer("p", 0)
+	p.SignUp("t", originSrv.URL)
+	peerSrv := httptest.NewServer(p.Handler())
+	defer peerSrv.Close()
+	o.RegisterPeer("p", peerSrv.URL, 1)
+
+	var out bytes.Buffer
+	loader := &nocdn.Loader{OriginURL: originSrv.URL, Concurrency: 4}
+	if err := runLoads(&out, loader, "index", 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"view 1:", "view 2:", "2 view(s)", "peer p served"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if err := runLoads(&out, loader, "ghost", 1); err == nil {
+		t.Error("unknown page load succeeded")
 	}
 }

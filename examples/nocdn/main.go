@@ -63,14 +63,14 @@ func run() error {
 
 	// One peer turns malicious: hash verification catches it and the
 	// client falls back to the origin; the page still renders correctly.
-	peers[0].Tamper = true
+	peers[0].Tamper.Store(true)
 	res, err := loader.LoadPage("front")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("with tampering peer: detected=%v, fallback objects=%v, page intact=%v\n",
 		res.TamperDetected, res.FallbackObjects, len(res.Body) == 4)
-	peers[0].Tamper = false
+	peers[0].Tamper.Store(false)
 
 	// Peers upload their usage records for payment.
 	for _, p := range peers {

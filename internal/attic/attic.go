@@ -56,6 +56,9 @@ type Attic struct {
 	// quotaBytes caps total attic storage (0 = unlimited). PUTs that would
 	// exceed it are refused with 507 Insufficient Storage.
 	quotaBytes int
+	// maxPutBytes caps a single upload body (0 = webdav default); passed
+	// through to the WebDAV handler which refuses oversize PUTs with 413.
+	maxPutBytes int64
 
 	mu       sync.Mutex
 	accounts map[string]*account // by username
@@ -76,6 +79,12 @@ type Option func(*Attic)
 // WithQuota caps total attic storage in bytes.
 func WithQuota(bytes int) Option {
 	return func(a *Attic) { a.quotaBytes = bytes }
+}
+
+// WithMaxPutBytes caps a single WebDAV upload body in bytes (<= 0 leaves
+// the webdav package default in place).
+func WithMaxPutBytes(n int64) Option {
+	return func(a *Attic) { a.maxPutBytes = n }
 }
 
 // New creates an attic owned by the given credentials.
@@ -113,10 +122,14 @@ func (a *Attic) Start(ctx *hpop.ServiceContext) error {
 	}
 	a.metrics = ctx.Metrics
 	a.events = ctx.Events
-	a.handler = webdav.NewHandler(a.fs,
+	hopts := []webdav.HandlerOption{
 		webdav.WithPrefix(DAVPrefix),
 		webdav.WithAuth(a.authorize),
-	)
+	}
+	if a.maxPutBytes > 0 {
+		hopts = append(hopts, webdav.WithMaxPutBytes(a.maxPutBytes))
+	}
+	a.handler = webdav.NewHandler(a.fs, hopts...)
 	ctx.Mux.Handle(DAVPrefix+"/", a.instrument(a.handler))
 	ctx.Mux.HandleFunc("/attic/grants", a.handleGrants)
 	a.started = true

@@ -69,15 +69,47 @@ func gfPow(a byte, n int) byte {
 	return gfExp[(int(gfLog[a])*n)%255]
 }
 
-// mulSlice computes dst[i] ^= c * src[i] for all i (accumulating product).
+// gfMulTable[c][x] = c*x in GF(2^8). The 64 KB table turns the per-byte
+// log/exp arithmetic (two loads, an add, a zero-test branch) in the coding
+// hot loop into a single indexed load from a row that stays cache-resident
+// for the duration of a shard pass.
+var gfMulTable [256][256]byte
+
+// Runs after the log/exp init above (init functions in one file execute in
+// source order), so gfMul is ready.
+func init() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			gfMulTable[c][x] = gfMul(byte(c), byte(x))
+		}
+	}
+}
+
+// mulAddSlice computes dst[i] ^= c * src[i] for all i (accumulating
+// product). This is the inner loop of encode/reconstruct: one call per
+// matrix cell over a whole shard. The body is 8-way unrolled over
+// fixed-size subslices; the re-slice of dst and the three-index subslice
+// expressions let the compiler hoist bounds checks out of the loop.
 func mulAddSlice(dst, src []byte, c byte) {
 	if c == 0 {
 		return
 	}
-	logC := int(gfLog[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= gfExp[logC+int(gfLog[s])]
-		}
+	mt := &gfMulTable[c]
+	dst = dst[:len(src)] // one bounds check up front instead of per byte
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] ^= mt[s[0]]
+		d[1] ^= mt[s[1]]
+		d[2] ^= mt[s[2]]
+		d[3] ^= mt[s[3]]
+		d[4] ^= mt[s[4]]
+		d[5] ^= mt[s[5]]
+		d[6] ^= mt[s[6]]
+		d[7] ^= mt[s[7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= mt[src[i]]
 	}
 }

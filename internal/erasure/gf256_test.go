@@ -1,0 +1,62 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+
+	"hpop/internal/sim"
+)
+
+// mulAddSliceRef is the straightforward definition the unrolled
+// implementation must match byte-for-byte.
+func mulAddSliceRef(dst, src []byte, c byte) {
+	for i, s := range src {
+		dst[i] ^= gfMul(c, s)
+	}
+}
+
+func TestMulAddSliceMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(7)
+	// Lengths straddling the 8-way unroll boundary plus larger buffers.
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1024, 4096 + 3} {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(256))
+			base[i] = byte(rng.Intn(256))
+		}
+		for _, c := range []byte{0, 1, 2, 0x53, 0xCA, 0xFF} {
+			got := append([]byte(nil), base...)
+			want := append([]byte(nil), base...)
+			mulAddSlice(got, src, c)
+			mulAddSliceRef(want, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddSlice(n=%d, c=%#x) diverges from reference", n, c)
+			}
+		}
+	}
+}
+
+func TestMulTableMatchesGfMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			if gfMulTable[c][x] != gfMul(byte(c), byte(x)) {
+				t.Fatalf("gfMulTable[%d][%d] = %d, want %d", c, x, gfMulTable[c][x], gfMul(byte(c), byte(x)))
+			}
+		}
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	rng := sim.NewRNG(7)
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(rng.Intn(256))
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulAddSlice(dst, src, 0xCA)
+	}
+}

@@ -55,7 +55,10 @@ func buildRig(cfg E4Config, opts ...nocdn.OriginOption) *nocdnRig {
 		rig.peerSrvs = append(rig.peerSrvs, srv)
 		o.RegisterPeer(p.ID, srv.URL, 5+float64(i)*7)
 	}
-	rig.loader = &nocdn.Loader{OriginURL: rig.originSrv.URL}
+	// The concurrent loader is the production configuration; every E4
+	// integrity/accounting figure must hold under it (and does — attribution
+	// merges deterministically in wrapper order).
+	rig.loader = &nocdn.Loader{OriginURL: rig.originSrv.URL, Concurrency: nocdn.DefaultConcurrency}
 	rig.close = func() {
 		for _, s := range rig.peerSrvs {
 			s.Close()
@@ -116,7 +119,7 @@ func RunE4(cfg E4Config) (*Table, error) {
 		rig2 := buildRig(cfg)
 		bad := int(badFrac * float64(cfg.Peers))
 		for i := 0; i < bad; i++ {
-			rig2.peers[i].Tamper = true
+			rig2.peers[i].Tamper.Store(true)
 		}
 		detected, corrupted := 0, 0
 		views := 10

@@ -8,22 +8,34 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpop/internal/auth"
 )
+
+// DefaultConcurrency is the loader's default bound on simultaneous network
+// fetches — the browser-style per-origin connection pool the paper's
+// JavaScript loader would inherit from the browser.
+const DefaultConcurrency = 6
 
 // Loader is the client side of the NoCDN workflow (the paper's JavaScript
 // loader script, "fully implemented in standard JavaScript" in a browser; a
 // Go client here). It executes Fig. 2: fetch the wrapper, fetch every object
 // from its assigned peer, verify hashes, fall back to the origin for
 // tampered objects, assemble the page, and deliver a signed usage record to
-// each peer.
+// each peer. Object and chunk fetches fan out across a bounded worker pool
+// ("from multiple peers" — the transfers genuinely overlap).
 type Loader struct {
 	// OriginURL is the content provider's base URL.
 	OriginURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Concurrency bounds simultaneous object/chunk/record requests during
+	// LoadPage. <= 0 means DefaultConcurrency; 1 reproduces the serial
+	// loader exactly.
+	Concurrency int
 	// now is injectable for tests.
 	Now func() time.Time
 }
@@ -36,7 +48,7 @@ type PageResult struct {
 	// PeerBytes maps peerID -> verified bytes obtained from that peer.
 	PeerBytes map[string]int64
 	// FallbackObjects lists objects whose peer copy failed verification and
-	// were refetched from the origin.
+	// were refetched from the origin, in wrapper order.
 	FallbackObjects []string
 	// TamperDetected reports whether any hash mismatch occurred.
 	TamperDetected bool
@@ -67,6 +79,21 @@ func (l *Loader) now() time.Time {
 	return time.Now()
 }
 
+func (l *Loader) concurrency() int {
+	if l.Concurrency > 0 {
+		return l.Concurrency
+	}
+	return DefaultConcurrency
+}
+
+// fetchGate bounds in-flight network requests. Holders never block on
+// another acquisition, so the pool cannot deadlock however objects and
+// chunks nest.
+type fetchGate chan struct{}
+
+func (g fetchGate) enter() { g <- struct{}{} }
+func (g fetchGate) leave() { <-g }
+
 // FetchWrapper retrieves and parses the wrapper page.
 func (l *Loader) FetchWrapper(page string) (*Wrapper, error) {
 	resp, err := l.client().Get(l.OriginURL + "/wrapper?page=" + page)
@@ -84,8 +111,11 @@ func (l *Loader) FetchWrapper(page string) (*Wrapper, error) {
 	return &w, nil
 }
 
-// getFrom fetches path from a peer, optionally a byte range.
-func (l *Loader) getFrom(peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+// getFrom fetches path from a peer, optionally a byte range, holding a gate
+// slot for the duration of the request.
+func (l *Loader) getFrom(gate fetchGate, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+	gate.enter()
+	defer gate.leave()
 	req, err := http.NewRequest(http.MethodGet,
 		peerURL+"/proxy/"+provider+path, nil)
 	if err != nil {
@@ -107,7 +137,9 @@ func (l *Loader) getFrom(peerURL, provider, path string, chunk *ChunkRef) ([]byt
 }
 
 // originFallback fetches an object straight from the provider.
-func (l *Loader) originFallback(path string) ([]byte, error) {
+func (l *Loader) originFallback(gate fetchGate, path string) ([]byte, error) {
+	gate.enter()
+	defer gate.leave()
 	resp, err := l.client().Get(l.OriginURL + "/content" + path)
 	if err != nil {
 		return nil, err
@@ -119,7 +151,20 @@ func (l *Loader) originFallback(path string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// LoadPage performs the full Fig. 2 workflow for one page view.
+// objectResult is one object's outcome, produced by a worker and merged
+// into the PageResult in wrapper order.
+type objectResult struct {
+	data      []byte
+	fromPeers map[string]int64
+	fallback  bool
+	tampered  bool
+	err       error
+}
+
+// LoadPage performs the full Fig. 2 workflow for one page view. Object
+// fetches run concurrently (bounded by Concurrency); results merge in
+// wrapper order, so Body, PeerBytes, and FallbackObjects are identical to a
+// serial load.
 func (l *Loader) LoadPage(page string) (*PageResult, error) {
 	w, err := l.FetchWrapper(page)
 	if err != nil {
@@ -131,79 +176,130 @@ func (l *Loader) LoadPage(page string) (*PageResult, error) {
 		PeerBytes: make(map[string]int64),
 	}
 	refs := append([]ObjectRef{w.Container}, w.Objects...)
-	for _, ref := range refs {
-		data, fromPeers, err := l.fetchObject(w.Provider, ref)
-		if err != nil {
-			// Peer unreachable/failing: fall back to the origin, exactly as
-			// for tampered content — "one problematic peer — be it
-			// malicious or overloaded — [must not] have a large overall
-			// impact on the client."
-			fallback, ferr := l.originFallback(ref.Path)
-			if ferr != nil {
-				return nil, fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
-			}
-			data = fallback
-			fromPeers = nil
-			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
-		}
-		// Verify the hash from the wrapper; on mismatch fall back to the
-		// origin ("verifies the objects' hashes").
-		if HashBytes(data) != ref.Hash {
+	gate := make(fetchGate, l.concurrency())
+	results := make([]objectResult, len(refs))
+	var wg sync.WaitGroup
+	for i := range refs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = l.loadObject(gate, w.Provider, refs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Deterministic merge: wrapper order, first error wins.
+	for i, ref := range refs {
+		r := results[i]
+		if r.tampered {
 			res.TamperDetected = true
-			fallback, ferr := l.originFallback(ref.Path)
-			if ferr != nil {
-				return nil, fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
-			}
-			if HashBytes(fallback) != ref.Hash {
-				return nil, fmt.Errorf("%w: %s (origin copy too)", ErrTampered, ref.Path)
-			}
-			data = fallback
-			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
-			fromPeers = nil // peers get no credit for corrupted bytes
 		}
-		res.Body[ref.Path] = data
-		for peer, n := range fromPeers {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.fallback {
+			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
+		}
+		res.Body[ref.Path] = r.data
+		for peer, n := range r.fromPeers {
 			res.PeerBytes[peer] += n
 		}
 	}
 
 	// "Upon finishing the page download, the script transfers a usage
 	// record to each peer."
-	res.RecordsDelivered = l.deliverRecords(w, res)
+	res.RecordsDelivered = l.deliverRecords(gate, w, res)
 	return res, nil
 }
 
+// loadObject runs the per-object Fig. 2 steps: peer fetch, origin fallback
+// on peer failure, hash verification, origin fallback on tampering.
+func (l *Loader) loadObject(gate fetchGate, provider string, ref ObjectRef) objectResult {
+	var out objectResult
+	data, fromPeers, err := l.fetchObject(gate, provider, ref)
+	if err != nil {
+		// Peer unreachable/failing: fall back to the origin, exactly as
+		// for tampered content — "one problematic peer — be it malicious
+		// or overloaded — [must not] have a large overall impact on the
+		// client."
+		fallback, ferr := l.originFallback(gate, ref.Path)
+		if ferr != nil {
+			out.err = fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
+			return out
+		}
+		data = fallback
+		fromPeers = nil
+		out.fallback = true
+	}
+	// Verify the hash from the wrapper; on mismatch fall back to the
+	// origin ("verifies the objects' hashes").
+	if HashBytes(data) != ref.Hash {
+		out.tampered = true
+		fallback, ferr := l.originFallback(gate, ref.Path)
+		if ferr != nil {
+			out.err = fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
+			return out
+		}
+		if HashBytes(fallback) != ref.Hash {
+			out.err = fmt.Errorf("%w: %s (origin copy too)", ErrTampered, ref.Path)
+			return out
+		}
+		data = fallback
+		out.fallback = true
+		fromPeers = nil // peers get no credit for corrupted bytes
+	}
+	out.data = data
+	out.fromPeers = fromPeers
+	return out
+}
+
 // fetchObject retrieves one object whole or chunked, returning the bytes
-// and per-peer byte attribution.
-func (l *Loader) fetchObject(provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
-	attribution := make(map[string]int64)
+// and per-peer byte attribution. Chunks fetch concurrently into disjoint
+// ranges of the assembly buffer.
+func (l *Loader) fetchObject(gate fetchGate, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
 	if len(ref.Chunks) == 0 {
-		data, err := l.getFrom(ref.PeerURL, provider, ref.Path, nil)
+		data, err := l.getFrom(gate, ref.PeerURL, provider, ref.Path, nil)
 		if err != nil {
 			return nil, nil, err
 		}
-		attribution[ref.PeerID] = int64(len(data))
-		return data, attribution, nil
+		return data, map[string]int64{ref.PeerID: int64(len(data))}, nil
 	}
 	buf := make([]byte, ref.Size)
+	errs := make([]error, len(ref.Chunks))
+	var wg sync.WaitGroup
 	for i := range ref.Chunks {
-		c := &ref.Chunks[i]
-		data, err := l.getFrom(c.PeerURL, provider, ref.Path, c)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &ref.Chunks[i]
+			data, err := l.getFrom(gate, c.PeerURL, provider, ref.Path, c)
+			if err != nil {
+				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+				return
+			}
+			if len(data) != c.Length {
+				errs[i] = fmt.Errorf("chunk %d: got %d bytes, want %d", i, len(data), c.Length)
+				return
+			}
+			copy(buf[c.Offset:], data)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("chunk %d: %w", i, err)
+			return nil, nil, err
 		}
-		if len(data) != c.Length {
-			return nil, nil, fmt.Errorf("chunk %d: got %d bytes, want %d", i, len(data), c.Length)
-		}
-		copy(buf[c.Offset:], data)
-		attribution[c.PeerID] += int64(len(data))
+	}
+	attribution := make(map[string]int64)
+	for i := range ref.Chunks {
+		attribution[ref.Chunks[i].PeerID] += int64(ref.Chunks[i].Length)
 	}
 	return buf, attribution, nil
 }
 
 // deliverRecords signs and posts one usage record per peer that served
-// verified bytes.
-func (l *Loader) deliverRecords(w *Wrapper, res *PageResult) int {
+// verified bytes. Deliveries fan out under the same gate as fetches.
+func (l *Loader) deliverRecords(gate fetchGate, w *Wrapper, res *PageResult) int {
 	peerURLs := make(map[string]string)
 	for _, ref := range append([]ObjectRef{w.Container}, w.Objects...) {
 		if ref.PeerID != "" {
@@ -219,7 +315,8 @@ func (l *Loader) deliverRecords(w *Wrapper, res *PageResult) int {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	delivered := 0
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
 	for _, peerID := range ids {
 		key, ok := w.Keys[peerID]
 		if !ok {
@@ -244,14 +341,21 @@ func (l *Loader) deliverRecords(w *Wrapper, res *PageResult) int {
 		if err != nil {
 			continue
 		}
-		resp, err := l.client().Post(peerURLs[peerID]+"/record", "application/json", bytes.NewReader(body))
-		if err != nil {
-			continue
-		}
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusAccepted {
-			delivered++
-		}
+		wg.Add(1)
+		go func(url string, body []byte) {
+			defer wg.Done()
+			gate.enter()
+			defer gate.leave()
+			resp, err := l.client().Post(url+"/record", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				delivered.Add(1)
+			}
+		}(peerURLs[peerID], body)
 	}
-	return delivered
+	wg.Wait()
+	return int(delivered.Load())
 }

@@ -185,8 +185,8 @@ func TestPeerCacheHitPath(t *testing.T) {
 
 func TestTamperingPeerDetectedAndFallback(t *testing.T) {
 	s := newTestSite(t, 2)
-	s.peers[0].Tamper = true
-	s.peers[1].Tamper = true
+	s.peers[0].Tamper.Store(true)
+	s.peers[1].Tamper.Store(true)
 	res, err := s.loader.LoadPage("home")
 	if err != nil {
 		t.Fatal(err)

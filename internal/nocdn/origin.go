@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpop/internal/auth"
@@ -15,6 +16,12 @@ import (
 
 // Origin is a content provider using NoCDN. It owns the content, generates
 // wrapper pages, and settles usage records.
+//
+// Locking is split by role so the three request classes never serialize
+// against each other: contentMu (RWMutex) guards the published objects and
+// pages, mu guards the peer registry and settlement ledger, and the byte
+// counters are atomics. Content serving takes only a read lock; wrapper
+// generation and record settlement contend only on the ledger.
 type Origin struct {
 	// Provider is the site identity peers virtual-host under.
 	Provider string
@@ -35,21 +42,29 @@ type Origin struct {
 	// freshness for origin CPU/selection work.
 	WrapperTTL time.Duration
 
-	mu      sync.Mutex
-	objects map[string]*Object
-	pages   map[string]*Page
-	peers   []*PeerInfo
-	keys    *auth.KeyIssuer
-	nonces  *auth.NonceCache
-	rng     *sim.RNG
-	now     func() time.Time
+	// contentMu guards the published catalog (objects, pages). The serving
+	// hot path takes only the read lock; publishes are rare writes. Object
+	// hashes are computed once at publish time (AddObject), never on the
+	// serving path.
+	contentMu sync.RWMutex
+	objects   map[string]*Object
+	pages     map[string]*Page
+
+	// mu guards the peer registry, selection state, key bookkeeping, the
+	// settlement ledger, and the wrapper cache.
+	mu     sync.Mutex
+	peers  []*PeerInfo
+	keys   *auth.KeyIssuer   // internally locked
+	nonces *auth.NonceCache  // internally locked
+	rng    *sim.RNG
+	now    func() time.Time
 
 	wrapperCache map[string]cachedWrapper
-	// Generations counts actual wrapper builds (vs serves) for the reuse
-	// experiment.
-	wrapperGenerations int64
+	// wrapperGenerations counts actual wrapper builds (vs serves) for the
+	// reuse experiment.
+	wrapperGenerations atomic.Int64
 
-	// accounting
+	// accounting (under mu)
 	credited map[string]int64  // peerID -> bytes credited (payable)
 	assigned map[string]int64  // peerID -> bytes the origin expected to flow
 	rejected map[string]int64  // peerID -> rejected record count
@@ -57,9 +72,9 @@ type Origin struct {
 	keyBytes map[string]int64  // keyID -> bytes assigned under that key
 
 	// served tracks origin bytes out (wrapper + cache-miss backfill), the
-	// scalability metric E4 reports.
-	wrapperBytes int64
-	originBytes  int64
+	// scalability metric E4 reports. Atomic so serving never takes a lock.
+	wrapperBytes atomic.Int64
+	originBytes  atomic.Int64
 }
 
 // OriginOption configures an origin.
@@ -125,18 +140,20 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 	return o
 }
 
-// AddObject registers content.
+// AddObject registers content. The integrity hash is precomputed here, so
+// neither wrapper generation nor content serving ever hashes on a hot path.
 func (o *Origin) AddObject(path string, data []byte) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.objects[path] = &Object{Path: path, Data: data, Hash: HashBytes(data)}
+	obj := &Object{Path: path, Data: data, Hash: HashBytes(data)}
+	o.contentMu.Lock()
+	defer o.contentMu.Unlock()
+	o.objects[path] = obj
 }
 
 // AddPage registers a page (container + embedded object paths). All paths
 // must already exist as objects.
 func (o *Origin) AddPage(p Page) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.contentMu.Lock()
+	defer o.contentMu.Unlock()
 	if _, ok := o.objects[p.Container]; !ok {
 		return fmt.Errorf("%w: container %s", ErrUnknownObject, p.Container)
 	}
@@ -167,22 +184,42 @@ func (o *Origin) Peers() []PeerInfo {
 	return out
 }
 
+// refMeta is the publish-time object metadata wrapper generation needs —
+// snapshotted under the content read lock so generation itself holds only
+// the ledger lock.
+type refMeta struct {
+	hash string
+	size int
+}
+
 // GenerateWrapper builds the wrapper page for one page view: peer
 // assignments, hashes, per-peer short-term keys, and a nonce. With
 // WrapperTTL set, an unexpired previously built wrapper is reused instead.
 func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	// Snapshot the page layout and object metadata under the content read
+	// lock; concurrent content serving is unaffected.
+	o.contentMu.RLock()
 	p, ok := o.pages[page]
 	if !ok {
+		o.contentMu.RUnlock()
 		return nil, ErrUnknownPage
 	}
+	paths := append([]string{p.Container}, p.Embedded...)
+	meta := make(map[string]refMeta, len(paths))
+	for _, path := range paths {
+		obj := o.objects[path]
+		meta[path] = refMeta{hash: obj.Hash, size: len(obj.Data)}
+	}
+	o.contentMu.RUnlock()
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.WrapperTTL > 0 {
 		if cw, ok := o.wrapperCache[page]; ok && o.now().Sub(cw.builtAt) < o.WrapperTTL {
 			return cw.wrapper, nil
 		}
 	}
-	o.wrapperGenerations++
+	o.wrapperGenerations.Add(1)
 	ranked := rank(o.peers, o.Policy, o.rng.Float64)
 	if len(ranked) == 0 {
 		return nil, ErrNoPeers
@@ -214,19 +251,19 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		o.assigned[peer.ID] += int64(size)
 	}
 	makeRef := func(path string) ObjectRef {
-		obj := o.objects[path]
-		ref := ObjectRef{Path: path, Hash: obj.Hash, Size: len(obj.Data)}
-		if o.ChunkPeers > 1 && len(obj.Data) >= o.ChunkThreshold && len(ranked) > 1 {
+		m := meta[path]
+		ref := ObjectRef{Path: path, Hash: m.hash, Size: m.size}
+		if o.ChunkPeers > 1 && m.size >= o.ChunkThreshold && len(ranked) > 1 {
 			n := o.ChunkPeers
 			if n > len(ranked) {
 				n = len(ranked)
 			}
-			chunk := (len(obj.Data) + n - 1) / n
+			chunk := (m.size + n - 1) / n
 			for i := 0; i < n; i++ {
 				off := i * chunk
 				ln := chunk
-				if off+ln > len(obj.Data) {
-					ln = len(obj.Data) - off
+				if off+ln > m.size {
+					ln = m.size - off
 				}
 				peer := pick()
 				ensureKey(peer, ln)
@@ -237,7 +274,7 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 			return ref
 		}
 		peer := pick()
-		ensureKey(peer, len(obj.Data))
+		ensureKey(peer, m.size)
 		ref.PeerID = peer.ID
 		ref.PeerURL = peer.URL
 		return ref
@@ -255,9 +292,7 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 // WrapperGenerations returns how many wrappers were actually built (reused
 // serves do not count) — the savings metric for wrapper reuse.
 func (o *Origin) WrapperGenerations() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.wrapperGenerations
+	return o.wrapperGenerations.Load()
 }
 
 func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
@@ -361,25 +396,17 @@ func (o *Origin) AccountingFor(peerID string) Accounting {
 }
 
 // WrapperBytes returns bytes served as wrapper pages.
-func (o *Origin) WrapperBytes() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.wrapperBytes
-}
+func (o *Origin) WrapperBytes() int64 { return o.wrapperBytes.Load() }
 
 // OriginBytes returns bytes served as raw content (peer cache-miss
 // backfill plus any client integrity fallbacks).
-func (o *Origin) OriginBytes() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.originBytes
-}
+func (o *Origin) OriginBytes() int64 { return o.originBytes.Load() }
 
 // TotalPageBytes returns the full byte weight of a page (what a CDN-less
 // origin would serve per view).
 func (o *Origin) TotalPageBytes(page string) (int64, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.contentMu.RLock()
+	defer o.contentMu.RUnlock()
 	p, ok := o.pages[page]
 	if !ok {
 		return 0, ErrUnknownPage
@@ -416,24 +443,20 @@ func (o *Origin) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		o.mu.Lock()
-		o.wrapperBytes += int64(len(body))
-		o.mu.Unlock()
+		o.wrapperBytes.Add(int64(len(body)))
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 	})
 	mux.HandleFunc("/content/", func(w http.ResponseWriter, r *http.Request) {
 		path := strings.TrimPrefix(r.URL.Path, "/content")
-		o.mu.Lock()
+		o.contentMu.RLock()
 		obj, ok := o.objects[path]
-		o.mu.Unlock()
+		o.contentMu.RUnlock()
 		if !ok {
 			http.Error(w, "unknown object", http.StatusNotFound)
 			return
 		}
-		o.mu.Lock()
-		o.originBytes += int64(len(obj.Data))
-		o.mu.Unlock()
+		o.originBytes.Add(int64(len(obj.Data)))
 		w.Header().Set("X-NoCDN-Hash", obj.Hash)
 		w.Write(obj.Data)
 	})

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Peer is the HPoP-resident NoCDN edge: "a normal reverse proxy ... the
@@ -17,22 +18,40 @@ import (
 // obtains the object from the origin server, forwards it to the user, and
 // caches it locally for future requests", with virtual hosting so one peer
 // can "sign up for content delivery with multiple content providers".
+//
+// The data plane is built for concurrent clients: the cache is sharded by
+// key hash, counters are atomic, and cache misses are coalesced so N
+// simultaneous requests for an uncached object cost one origin fetch.
 type Peer struct {
 	// ID is the peer's identity with providers.
 	ID string
 
-	mu sync.Mutex
+	// providersMu guards the virtual-hosting table only; lookups on the
+	// serving hot path take the read lock.
+	providersMu sync.RWMutex
 	// providers maps provider name -> origin base URL (virtual hosting).
 	providers map[string]string
-	cache     *byteLRU
+
+	cache  *shardedLRU
+	flight flightGroup
+
+	// recordsMu guards the usage-record queue, which has its own lock so
+	// record drops never contend with content serving.
+	recordsMu sync.Mutex
 	records   []UsageRecord
+
 	// Tamper, when set, corrupts served bytes — the malicious-peer mode the
-	// integrity experiment exercises.
-	Tamper bool
+	// integrity experiment exercises. Atomic so tests can flip it while the
+	// peer is serving.
+	Tamper atomic.Bool
+
 	// stats
-	hits, misses int64
-	servedBytes  int64
-	httpClient   *http.Client
+	hits, misses, servedBytes atomic.Int64
+	// originFetches counts actual backfill requests to the origin; with
+	// miss coalescing it can be far below misses under concurrent load.
+	originFetches atomic.Int64
+
+	httpClient *http.Client
 }
 
 // NewPeer creates a peer with the given cache capacity in bytes.
@@ -43,7 +62,7 @@ func NewPeer(id string, cacheBytes int) *Peer {
 	return &Peer{
 		ID:         id,
 		providers:  make(map[string]string),
-		cache:      newByteLRU(cacheBytes),
+		cache:      newShardedLRU(cacheBytes),
 		httpClient: http.DefaultClient,
 	}
 }
@@ -54,58 +73,66 @@ func (p *Peer) SetHTTPClient(c *http.Client) { p.httpClient = c }
 // SignUp registers this peer to serve content for a provider whose origin
 // lives at originURL.
 func (p *Peer) SignUp(provider, originURL string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.providersMu.Lock()
+	defer p.providersMu.Unlock()
 	p.providers[provider] = strings.TrimSuffix(originURL, "/")
 }
 
 // Stats reports cache effectiveness and volume served.
 func (p *Peer) Stats() (hits, misses, servedBytes int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses, p.servedBytes
+	return p.hits.Load(), p.misses.Load(), p.servedBytes.Load()
 }
+
+// OriginFetches returns how many backfill fetches actually reached the
+// origin (misses minus coalesced waiters).
+func (p *Peer) OriginFetches() int64 { return p.originFetches.Load() }
 
 // PendingRecords returns how many usage records await upload.
 func (p *Peer) PendingRecords() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.recordsMu.Lock()
+	defer p.recordsMu.Unlock()
 	return len(p.records)
 }
 
-// fetch obtains an object, from cache or the origin.
+// fetch obtains an object, from cache or the origin. The returned slice is
+// shared with the cache and MUST NOT be mutated by callers; serve paths
+// that transform bytes (Tamper) copy first.
 func (p *Peer) fetch(provider, path string) ([]byte, error) {
-	cacheKey := provider + "|" + path
-	p.mu.Lock()
+	p.providersMu.RLock()
 	origin, ok := p.providers[provider]
+	p.providersMu.RUnlock()
 	if !ok {
-		p.mu.Unlock()
 		return nil, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
 	}
+	cacheKey := provider + "|" + path
 	if data, ok := p.cache.get(cacheKey); ok {
-		p.hits++
-		p.mu.Unlock()
+		p.hits.Add(1)
 		return data, nil
 	}
-	p.misses++
-	p.mu.Unlock()
-
-	resp, err := p.httpClient.Get(origin + "/content" + path)
-	if err != nil {
-		return nil, fmt.Errorf("nocdn: origin fetch: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	p.mu.Lock()
-	p.cache.put(cacheKey, data)
-	p.mu.Unlock()
-	return data, nil
+	p.misses.Add(1)
+	// Coalesce concurrent misses: one origin fetch, everyone shares the
+	// result.
+	return p.flight.do(cacheKey, func() ([]byte, error) {
+		// A waiter that queued behind the leader may find the cache filled.
+		if data, ok := p.cache.get(cacheKey); ok {
+			return data, nil
+		}
+		p.originFetches.Add(1)
+		resp, err := p.httpClient.Get(origin + "/content" + path)
+		if err != nil {
+			return nil, fmt.Errorf("nocdn: origin fetch: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		p.cache.put(cacheKey, data)
+		return data, nil
+	})
 }
 
 // Handler returns the peer's HTTP surface:
@@ -134,6 +161,9 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	// data aliases the cache entry from here on: it is only ever read
+	// (range slicing yields a sub-view), and the one transform below
+	// (corrupt) copies — so a cached object can never be poisoned in place.
 	// Range support for chunked multi-peer fetches.
 	if rng := r.Header.Get("Range"); rng != "" {
 		start, end, ok := parseRange(rng, len(data))
@@ -146,12 +176,10 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 		data = data[start:end]
 		w.WriteHeader(http.StatusPartialContent)
 	}
-	if p.Tamper {
-		data = corrupt(data)
+	if p.Tamper.Load() {
+		data = corrupt(data) // copies; never mutates the cached slice
 	}
-	p.mu.Lock()
-	p.servedBytes += int64(len(data))
-	p.mu.Unlock()
+	p.servedBytes.Add(int64(len(data)))
 	w.Write(data)
 }
 
@@ -170,9 +198,9 @@ func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad record", http.StatusBadRequest)
 		return
 	}
-	p.mu.Lock()
+	p.recordsMu.Lock()
 	p.records = append(p.records, rec)
-	p.mu.Unlock()
+	p.recordsMu.Unlock()
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -194,10 +222,10 @@ func (p *Peer) handleFlush(w http.ResponseWriter, r *http.Request) {
 // how many were sent. Records are cleared regardless of credit decision —
 // settlement disputes are the provider's ledger, not the peer's queue.
 func (p *Peer) Flush(originURL string) (int, error) {
-	p.mu.Lock()
+	p.recordsMu.Lock()
 	batch := p.records
 	p.records = nil
-	p.mu.Unlock()
+	p.recordsMu.Unlock()
 	if len(batch) == 0 {
 		return 0, nil
 	}
@@ -209,9 +237,9 @@ func (p *Peer) Flush(originURL string) (int, error) {
 		strings.TrimSuffix(originURL, "/")+"/usage", "application/json", bytes.NewReader(body))
 	if err != nil {
 		// Put the batch back for a later retry.
-		p.mu.Lock()
+		p.recordsMu.Lock()
 		p.records = append(batch, p.records...)
-		p.mu.Unlock()
+		p.recordsMu.Unlock()
 		return 0, err
 	}
 	resp.Body.Close()
@@ -221,8 +249,8 @@ func (p *Peer) Flush(originURL string) (int, error) {
 // InflateRecords doubles the byte counts of all pending records — the
 // unscrupulous-peer behaviour the accounting experiment must catch.
 func (p *Peer) InflateRecords() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.recordsMu.Lock()
+	defer p.recordsMu.Unlock()
 	for i := range p.records {
 		p.records[i].Bytes *= 2
 	}
@@ -230,8 +258,8 @@ func (p *Peer) InflateRecords() {
 
 // DuplicateRecords replays every pending record once — the replay attack.
 func (p *Peer) DuplicateRecords() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.recordsMu.Lock()
+	defer p.recordsMu.Unlock()
 	p.records = append(p.records, p.records...)
 }
 
@@ -269,7 +297,104 @@ func parseRange(h string, size int) (start, end int, ok bool) {
 	return s, e + 1, true
 }
 
-// byteLRU is a byte-capacity-bounded LRU cache.
+// flightGroup coalesces concurrent calls for the same key into one
+// execution whose result every caller shares (singleflight).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// do runs fn once per key among concurrent callers; latecomers block until
+// the leader finishes and receive its result.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.data, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.data, c.err
+}
+
+// cacheShards is the shard count of the peer cache; a power of two so the
+// shard pick is a mask.
+const cacheShards = 16
+
+// shardedLRU spreads a byteLRU across cacheShards independently locked
+// shards so concurrent lookups on different keys never contend. Stored
+// slices are shared with callers and immutable by contract (see Peer.fetch).
+type shardedLRU struct {
+	shards [cacheShards]struct {
+		mu  sync.Mutex
+		lru *byteLRU
+	}
+}
+
+func newShardedLRU(capacity int) *shardedLRU {
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	s := &shardedLRU{}
+	for i := range s.shards {
+		s.shards[i].lru = newByteLRU(per)
+	}
+	return s
+}
+
+// shardFor hashes key with FNV-1a and masks into the shard array.
+func (s *shardedLRU) shardFor(key string) *struct {
+	mu  sync.Mutex
+	lru *byteLRU
+} {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(cacheShards-1)]
+}
+
+func (s *shardedLRU) get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lru.get(key)
+}
+
+func (s *shardedLRU) put(key string, data []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lru.put(key, data)
+}
+
+// byteLRU is a byte-capacity-bounded LRU cache. It is not safe for
+// concurrent use (shardedLRU adds locking) and hands out its stored slices
+// directly: callers must treat them as immutable.
 type byteLRU struct {
 	capacity int
 	used     int

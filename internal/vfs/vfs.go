@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"path"
 	"sort"
 	"strings"
@@ -30,6 +31,7 @@ var (
 	ErrBadPath       = errors.New("vfs: invalid path")
 	ErrRootImmutable = errors.New("vfs: cannot modify root")
 	ErrNoSuchVersion = errors.New("vfs: no such version")
+	ErrTooLarge      = errors.New("vfs: content exceeds size limit")
 )
 
 // Revision is one historical version of a file.
@@ -251,8 +253,51 @@ func (f *FS) MkdirAll(p string) error {
 
 // Write creates or replaces the file at p with data, bumping its version and
 // recording the previous content in the revision history. It returns the new
-// file info. Parent directory must exist.
+// file info. Parent directory must exist. data is copied; the caller keeps
+// ownership of its slice.
 func (f *FS) Write(p string, data []byte) (Info, error) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return f.commitFile(p, buf)
+}
+
+// WriteFrom streams r into the file at p — the PUT path for large uploads,
+// reading in bounded chunks instead of buffering via io.ReadAll's doubling
+// growth. maxBytes > 0 caps the accepted size: the read aborts with
+// ErrTooLarge as soon as the limit is crossed, without buffering the rest.
+// The stream is fully read before any filesystem state changes, so a
+// failed/oversized upload never leaves a partial file.
+func (f *FS) WriteFrom(p string, r io.Reader, maxBytes int64) (Info, error) {
+	// Validate the path before consuming the stream.
+	if _, err := Clean(p); err != nil {
+		return Info{}, err
+	}
+	const chunk = 256 << 10
+	var buf []byte
+	for {
+		if len(buf)+chunk > cap(buf) {
+			grown := make([]byte, len(buf), cap(buf)+chunk)
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := r.Read(buf[len(buf) : len(buf)+chunk : cap(buf)])
+		buf = buf[:len(buf)+n]
+		if maxBytes > 0 && int64(len(buf)) > maxBytes {
+			return Info{}, ErrTooLarge
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Info{}, err
+		}
+	}
+	return f.commitFile(p, buf)
+}
+
+// commitFile installs buf (ownership transfers to the node) at p under the
+// write lock, archiving the previous revision.
+func (f *FS) commitFile(p string, buf []byte) (Info, error) {
 	p, err := Clean(p)
 	if err != nil {
 		return Info{}, err
@@ -287,8 +332,6 @@ func (f *FS) Write(p string, data []byte) (Info, error) {
 		n = &node{name: base, props: make(map[string]string)}
 		parent.children[base] = n
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
 	n.data = buf
 	n.version++
 	n.etag = etagFor(buf, n.version)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -531,5 +532,104 @@ func seededRNG(seed uint64) func() uint64 {
 		state ^= state << 25
 		state ^= state >> 27
 		return state * 0x2545F4914F6CDD1D
+	}
+}
+
+// trickleReader yields at most max bytes per Read, forcing WriteFrom
+// through many growth iterations.
+type trickleReader struct {
+	data []byte
+	max  int
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := min(len(p), r.max, len(r.data))
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// failReader errors after yielding some bytes.
+type failReader struct{ n int }
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errors.New("connection reset")
+	}
+	n := min(len(p), r.n)
+	r.n -= n
+	return n, nil
+}
+
+func TestWriteFrom(t *testing.T) {
+	fs := New()
+	// Larger than one 256 KB chunk so the growth loop runs, delivered in
+	// small reads so chunk boundaries and partial reads both occur.
+	want := bytes.Repeat([]byte("0123456789abcdef"), 40<<10) // 640 KB
+	info, err := fs.WriteFrom("/big.bin", &trickleReader{data: want, max: 1013}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Size != len(want) {
+		t.Errorf("info = %+v, want version 1 size %d", info, len(want))
+	}
+	got, err := fs.Read("/big.bin")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Read = %d bytes, %v; want %d bytes intact", len(got), err, len(want))
+	}
+	// Streamed writes participate in versioning like Write.
+	if _, err := fs.WriteFrom("/big.bin", bytes.NewReader([]byte("v2")), 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fs.Stat("/big.bin")
+	if st.Version != 2 {
+		t.Errorf("version = %d, want 2", st.Version)
+	}
+	hist, err := fs.History("/big.bin")
+	if err != nil || len(hist) != 1 || len(hist[0].Data) != len(want) {
+		t.Errorf("history = %d entries, %v; want prior revision archived", len(hist), err)
+	}
+}
+
+func TestWriteFromTooLarge(t *testing.T) {
+	fs := New()
+	if _, err := fs.WriteFrom("/cap.bin", bytes.NewReader(make([]byte, 11)), 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if fs.Exists("/cap.bin") {
+		t.Error("oversized stream left a partial file")
+	}
+	// An oversize rewrite must not clobber existing content.
+	if _, err := fs.Write("/cap.bin", []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFrom("/cap.bin", &trickleReader{data: make([]byte, 100), max: 7}, 10); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if data, _ := fs.Read("/cap.bin"); string(data) != "keep" {
+		t.Errorf("content = %q, want %q", data, "keep")
+	}
+	// Exactly at the cap is allowed.
+	if _, err := fs.WriteFrom("/cap.bin", bytes.NewReader(make([]byte, 10)), 10); err != nil {
+		t.Errorf("write at exact cap failed: %v", err)
+	}
+}
+
+func TestWriteFromErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.WriteFrom("/f", &failReader{n: 5}, 0); err == nil {
+		t.Error("reader failure not propagated")
+	}
+	if fs.Exists("/f") {
+		t.Error("failed stream left a partial file")
+	}
+	if _, err := fs.WriteFrom("", bytes.NewReader(nil), 0); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := fs.WriteFrom("/no/such/parent", bytes.NewReader(nil), 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing parent err = %v, want ErrNotFound", err)
 	}
 }

@@ -20,6 +20,10 @@ type Authorizer func(user, pass, method, path string) bool
 // AllowAll authorizes every request (standalone server, tests).
 func AllowAll(string, string, string, string) bool { return true }
 
+// DefaultMaxPutBytes caps PUT request bodies (256 MiB) unless overridden
+// with WithMaxPutBytes.
+const DefaultMaxPutBytes = 256 << 20
+
 // Handler is a WebDAV HTTP handler over a vfs.FS.
 type Handler struct {
 	fs    *vfs.FS
@@ -27,7 +31,10 @@ type Handler struct {
 	auth  Authorizer
 	// Prefix is stripped from request URL paths ("/dav").
 	prefix string
-	now    func() time.Time
+	// maxPutBytes bounds PUT bodies; uploads beyond it are refused with
+	// 413 without buffering the excess. <= 0 means unlimited.
+	maxPutBytes int64
+	now         func() time.Time
 }
 
 // HandlerOption configures a Handler.
@@ -48,9 +55,15 @@ func WithNow(now func() time.Time) HandlerOption {
 	return func(h *Handler) { h.now = now }
 }
 
+// WithMaxPutBytes caps PUT request bodies at n bytes (<= 0 for unlimited).
+// The default is DefaultMaxPutBytes.
+func WithMaxPutBytes(n int64) HandlerOption {
+	return func(h *Handler) { h.maxPutBytes = n }
+}
+
 // NewHandler builds a WebDAV handler over fs.
 func NewHandler(fs *vfs.FS, opts ...HandlerOption) *Handler {
-	h := &Handler{fs: fs, auth: AllowAll, now: time.Now}
+	h := &Handler{fs: fs, auth: AllowAll, maxPutBytes: DefaultMaxPutBytes, now: time.Now}
 	for _, o := range opts {
 		o(h)
 	}
@@ -187,25 +200,40 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 	if !h.checkLock(w, r, p) {
 		return
 	}
-	data, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, "read body", http.StatusBadRequest)
+	// Refuse over-limit uploads up front when the client declares a length;
+	// chunked/lying clients are caught by the capped streaming read below.
+	if h.maxPutBytes > 0 && r.ContentLength > h.maxPutBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	existed := h.fs.Exists(p)
 	// Conditional PUT: If-Match gives optimistic concurrency without locks.
+	// These paths need the whole body for the compare-and-swap, so they
+	// read it through the same cap.
 	if im := r.Header.Get("If-Match"); im != "" {
+		data, ok := h.readPutBody(w, r)
+		if !ok {
+			return
+		}
 		if _, err := h.fs.WriteIfMatch(p, data, im); err != nil {
 			http.Error(w, err.Error(), http.StatusPreconditionFailed)
 			return
 		}
 	} else if r.Header.Get("If-None-Match") == "*" {
+		data, ok := h.readPutBody(w, r)
+		if !ok {
+			return
+		}
 		if _, err := h.fs.WriteIfMatch(p, data, ""); err != nil {
 			http.Error(w, err.Error(), http.StatusPreconditionFailed)
 			return
 		}
-	} else if _, err := h.fs.Write(p, data); err != nil {
+	} else if _, err := h.fs.WriteFrom(p, r.Body, h.maxPutBytes); err != nil {
+		// Plain PUT streams straight into the VFS in bounded chunks — a
+		// multi-GB attic upload never sits in an io.ReadAll buffer.
 		switch err {
+		case vfs.ErrTooLarge:
+			http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
 		case vfs.ErrNotFound:
 			http.Error(w, "parent collection missing", http.StatusConflict)
 		case vfs.ErrIsDir:
@@ -222,6 +250,26 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request, p string) {
 	} else {
 		w.WriteHeader(http.StatusCreated)
 	}
+}
+
+// readPutBody reads a PUT body under the handler's size cap, writing the
+// HTTP error itself when the read fails. ok reports success.
+func (h *Handler) readPutBody(w http.ResponseWriter, r *http.Request) (data []byte, ok bool) {
+	body := r.Body
+	var capped io.Reader = body
+	if h.maxPutBytes > 0 {
+		capped = io.LimitReader(body, h.maxPutBytes+1)
+	}
+	data, err := io.ReadAll(capped)
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return nil, false
+	}
+	if h.maxPutBytes > 0 && int64(len(data)) > h.maxPutBytes {
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return data, true
 }
 
 func (h *Handler) handleDelete(w http.ResponseWriter, r *http.Request, p string) {

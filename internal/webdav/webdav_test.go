@@ -1,6 +1,7 @@
 package webdav
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -518,5 +519,66 @@ func TestLockRefresh(t *testing.T) {
 	current = current.Add(time.Hour)
 	if _, err := c.RefreshLock("/f", token, time.Minute); !IsStatus(err, http.StatusPreconditionFailed) {
 		t.Errorf("stale refresh err = %v, want 412", err)
+	}
+}
+
+// noLenReader hides the body length so the request is sent chunked
+// (ContentLength unknown), exercising the streaming cap rather than the
+// Content-Length pre-check.
+type noLenReader struct{ r io.Reader }
+
+func (n noLenReader) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+func TestPutBodyCap(t *testing.T) {
+	srv, _, fs := newServer(t, WithMaxPutBytes(64))
+	put := func(body io.Reader, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/f", body)
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Under the cap succeeds.
+	if resp := put(strings.NewReader("small"), nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small PUT = %d, want 201", resp.StatusCode)
+	}
+	// Declared Content-Length over the cap is refused before reading.
+	big := strings.Repeat("x", 100)
+	if resp := put(strings.NewReader(big), nil); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized PUT = %d, want 413", resp.StatusCode)
+	}
+	// Chunked upload with no declared length is cut off mid-stream.
+	if resp := put(noLenReader{strings.NewReader(big)}, nil); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("chunked oversized PUT = %d, want 413", resp.StatusCode)
+	}
+	// Conditional paths honor the same cap.
+	st, err := fs.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := put(noLenReader{strings.NewReader(big)}, map[string]string{"If-Match": st.ETag}); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("conditional oversized PUT = %d, want 413", resp.StatusCode)
+	}
+	// Nothing above corrupted the stored file.
+	if data, err := fs.Read("/f"); err != nil || string(data) != "small" {
+		t.Errorf("content = %q, %v; want %q", data, err, "small")
+	}
+	// Exactly at the cap is accepted.
+	if resp := put(strings.NewReader(strings.Repeat("y", 64)), nil); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("PUT at exact cap = %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestPutBodyCapUnlimited(t *testing.T) {
+	_, c, _ := newServer(t, WithMaxPutBytes(0))
+	if _, err := c.Put("/big", make([]byte, DefaultMaxPutBytes/1024), nil); err != nil {
+		t.Fatalf("unlimited handler rejected upload: %v", err)
 	}
 }
