@@ -46,6 +46,8 @@ func run(args []string) error {
 	peerID := fs.String("nocdn-peer", "", "NoCDN peer ID (empty: disabled)")
 	providers := fs.String("nocdn-provider", "", "comma-separated provider=originURL pairs to serve")
 	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
+	fetchTimeout := fs.Duration("fetch-timeout", nocdn.DefaultPeerFetchTimeout,
+		"per-request timeout for NoCDN peer fetches and DCol relay dials")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +82,7 @@ func run(args []string) error {
 
 	if *peerID != "" {
 		peer := nocdn.NewPeer(*peerID, *cacheMB<<20)
+		peer.SetFetchTimeout(*fetchTimeout)
 		for _, pair := range strings.Split(*providers, ",") {
 			if pair == "" {
 				continue
@@ -108,7 +111,7 @@ func run(args []string) error {
 			ServiceName: "dcol-waypoint",
 			OnStart: func(ctx *hpop.ServiceContext) error {
 				var err error
-				relay, err = dcol.StartRelay(*relayAddr)
+				relay, err = dcol.StartRelayTimeout(*relayAddr, *fetchTimeout)
 				if err != nil {
 					return err
 				}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"hpop/internal/faults"
 	"hpop/internal/nocdn"
 )
 
@@ -72,6 +73,12 @@ func run(args []string) error {
 	concurrency := fs.Int("concurrency", nocdn.DefaultConcurrency,
 		"load: max simultaneous object/chunk fetches (1 = serial)")
 	views := fs.Int("views", 1, "load: number of page views")
+	fetchTimeout := fs.Duration("fetch-timeout", nocdn.DefaultFetchTimeout,
+		"per-request HTTP timeout for loader and peer fetches")
+	retries := fs.Int("retries", faults.DefaultMaxAttempts,
+		"load: max attempts per fetch (1 = no retries)")
+	chaos := fs.String("chaos", "", "load: inline fault schedule (see internal/faults)")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "load: override the schedule's seed (0 = keep)")
 	var peers kvFlags
 	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +101,7 @@ func run(args []string) error {
 		return http.ListenAndServe(*listen, o.Handler())
 	case "peer":
 		p := nocdn.NewPeer(*id, *cacheMB<<20)
+		p.SetFetchTimeout(*fetchTimeout)
 		for _, pair := range strings.Split(*provider, ",") {
 			kv := strings.SplitN(pair, "=", 2)
 			if len(kv) != 2 {
@@ -110,7 +118,27 @@ func run(args []string) error {
 		if *views < 1 {
 			return fmt.Errorf("load mode wants -views >= 1, got %d", *views)
 		}
-		loader := &nocdn.Loader{OriginURL: *originURL, Concurrency: *concurrency}
+		loader := &nocdn.Loader{
+			OriginURL:    *originURL,
+			Concurrency:  *concurrency,
+			FetchTimeout: *fetchTimeout,
+			Retry:        faults.Policy{MaxAttempts: *retries},
+		}
+		if *chaos != "" {
+			sched, err := faults.ParseSchedule(*chaos)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			if *chaosSeed != 0 {
+				sched.Seed = *chaosSeed
+			}
+			inj := faults.NewInjector(sched)
+			loader.HTTPClient = &http.Client{
+				Timeout:   *fetchTimeout,
+				Transport: inj.Transport(nil),
+			}
+			fmt.Printf("chaos: %d rule(s), seed %d\n", len(sched.Rules), sched.Seed)
+		}
 		return runLoads(os.Stdout, loader, *page, *views)
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)

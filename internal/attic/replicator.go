@@ -1,11 +1,15 @@
 package attic
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
 
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 	"hpop/internal/vfs"
 	"hpop/internal/webdav"
 )
@@ -14,12 +18,25 @@ import (
 // WebDAV — live whole-attic replication (§IV-A: "replicating the entire
 // HPoP to attics belonging to friends and relatives"), incremental by ETag
 // so steady-state syncs move only changed files.
+//
+// The friend's attic is a residential box: every remote operation retries
+// transient failures (network errors, 5xx) with capped backoff, and a sync
+// interrupted by a blackout resumes incrementally on the next pass — the
+// synced map only advances on confirmed pushes, so convergence needs no
+// bookkeeping beyond retrying Sync.
 type Replicator struct {
 	src *vfs.FS
 	dst *webdav.Client
 	// destRoot is the directory inside the friend's attic that mirrors this
 	// attic ("/backups/alice").
 	destRoot string
+
+	// Retry governs per-operation retries of transient remote failures.
+	// The zero value applies the faults package defaults.
+	Retry faults.Policy
+	// Metrics, when non-nil, receives attic.replicator.retries and
+	// attic.replicator.giveups counters.
+	Metrics *hpop.Metrics
 
 	mu sync.Mutex
 	// synced maps local path -> local ETag at last successful push.
@@ -45,10 +62,46 @@ type SyncStats struct {
 	BytesSent int64
 }
 
+// remoteOp runs one remote WebDAV operation with the retry policy.
+// Non-5xx status errors are permanent and surface unchanged (callers
+// special-case 405/404 by identity); network errors and 5xx retry.
+func (r *Replicator) remoteOp(ctx context.Context, op func() error) error {
+	permanent := false
+	attempts, err := r.Retry.Do(ctx, func(context.Context) error {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var se *webdav.StatusError
+		if errors.As(err, &se) && se.Code < 500 {
+			permanent = true
+			return faults.Permanent(err)
+		}
+		permanent = false
+		return err
+	})
+	if attempts > 1 {
+		r.Metrics.Add("attic.replicator.retries", float64(attempts-1))
+	}
+	// A giveup is an exhausted retry budget; permanent statuses (like the
+	// 405 an existing directory answers to Mkcol) surface to the caller but
+	// are not remote-health events.
+	if err != nil && !permanent {
+		r.Metrics.Inc("attic.replicator.giveups")
+	}
+	return err
+}
+
 // Sync replicates the subtree at root (use "/" for the whole attic). It is
 // incremental: files whose ETag matches the last successful push are
 // skipped, and files that disappeared locally are deleted remotely.
 func (r *Replicator) Sync(root string) (SyncStats, error) {
+	return r.SyncContext(context.Background(), root)
+}
+
+// SyncContext is Sync under a context: canceling ctx stops the walk between
+// files and aborts pending retries.
+func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, error) {
 	root, err := vfs.Clean(root)
 	if err != nil {
 		return SyncStats{}, err
@@ -62,17 +115,20 @@ func (r *Replicator) Sync(root string) (SyncStats, error) {
 	parts := strings.Split(strings.Trim(anchor, "/"), "/")
 	for i := 1; i < len(parts); i++ { // the last element is created by the walk
 		dir := "/" + strings.Join(parts[:i], "/")
-		if err := r.dst.Mkcol(dir); err != nil &&
+		if err := r.remoteOp(ctx, func() error { return r.dst.Mkcol(dir) }); err != nil &&
 			!webdav.IsStatus(err, http.StatusMethodNotAllowed) {
 			return stats, fmt.Errorf("mkcol %s: %w", dir, err)
 		}
 	}
 
 	err = r.src.Walk(root, func(info vfs.Info) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		seen[info.Path] = true
 		remote := r.remotePath(info.Path)
 		if info.IsDir {
-			if err := r.dst.Mkcol(remote); err != nil {
+			if err := r.remoteOp(ctx, func() error { return r.dst.Mkcol(remote) }); err != nil {
 				// 405 = already exists: fine.
 				if !webdav.IsStatus(err, http.StatusMethodNotAllowed) {
 					return fmt.Errorf("mkcol %s: %w", remote, err)
@@ -93,7 +149,10 @@ func (r *Replicator) Sync(root string) (SyncStats, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := r.dst.Put(remote, data, nil); err != nil {
+		if err := r.remoteOp(ctx, func() error {
+			_, perr := r.dst.Put(remote, data, nil)
+			return perr
+		}); err != nil {
 			return fmt.Errorf("put %s: %w", remote, err)
 		}
 		r.mu.Lock()
@@ -118,7 +177,7 @@ func (r *Replicator) Sync(root string) (SyncStats, error) {
 	}
 	r.mu.Unlock()
 	for _, p := range gone {
-		if err := r.dst.Delete(r.remotePath(p), nil); err != nil &&
+		if err := r.remoteOp(ctx, func() error { return r.dst.Delete(r.remotePath(p), nil) }); err != nil &&
 			!webdav.IsStatus(err, http.StatusNotFound) {
 			return stats, fmt.Errorf("delete %s: %w", p, err)
 		}

@@ -1,7 +1,12 @@
 package attic
 
 import (
+	"net/http"
 	"testing"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 )
 
 // twoAttics boots source and destination appliances and a replicator
@@ -102,6 +107,93 @@ func TestReplicatorScopedSync(t *testing.T) {
 	}
 	if dst.FS().Exists("/backups/source/out/g") {
 		t.Error("out-of-scope file replicated")
+	}
+}
+
+// TestFaultReplicatorRetriesTransient injects a 503 burst on the friend's
+// attic: each remote op retries through it, the sync completes in one pass,
+// and the retry counters record the injected failures.
+func TestFaultReplicatorRetriesTransient(t *testing.T) {
+	src, dst, rep := twoAttics(t)
+	src.FS().MkdirAll("/docs")
+	src.FS().Write("/docs/f.txt", []byte("survives 5xx weather"))
+
+	sched, err := faults.ParseSchedule("status 503 p=1 from=0 to=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(sched)
+	rep.dst.HTTPClient = &http.Client{Transport: inj.Transport(nil)}
+	rep.Retry = faults.Policy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}
+	metrics := hpop.NewMetrics()
+	rep.Metrics = metrics
+
+	stats, err := rep.Sync("/")
+	if err != nil {
+		t.Fatalf("sync through 503 burst: %v", err)
+	}
+	if stats.Uploaded != 1 {
+		t.Errorf("uploaded = %d, want 1", stats.Uploaded)
+	}
+	got, err := dst.FS().Read("/backups/source/docs/f.txt")
+	if err != nil || string(got) != "survives 5xx weather" {
+		t.Fatalf("replica = %q, %v", got, err)
+	}
+	if got := metrics.Counter("attic.replicator.retries"); got != 2 {
+		t.Errorf("retries = %v, want 2 (one per injected 503)", got)
+	}
+	if got := metrics.Counter("attic.replicator.giveups"); got != 0 {
+		t.Errorf("giveups = %v, want 0", got)
+	}
+}
+
+// TestFaultReplicatorGivesUpAndResumes verifies a sync that exhausts its
+// retry budget fails cleanly, counts a giveup, and the next pass resumes
+// incrementally rather than starting over.
+func TestFaultReplicatorGivesUpAndResumes(t *testing.T) {
+	src, dst, rep := twoAttics(t)
+	src.FS().MkdirAll("/d")
+	src.FS().Write("/d/a", []byte("first"))
+	src.FS().Write("/d/b", []byte("second"))
+	if _, err := rep.Sync("/"); err != nil {
+		t.Fatal(err)
+	}
+	src.FS().Write("/d/a", []byte("first-v2"))
+	src.FS().Write("/d/b", []byte("second-v2"))
+
+	// Open-ended 503s: every request fails, the retry budget drains, Sync
+	// errors out after the first changed file.
+	sched, err := faults.ParseSchedule("status 503 p=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(sched)
+	healthy := rep.dst.HTTPClient
+	rep.dst.HTTPClient = &http.Client{Transport: inj.Transport(nil)}
+	rep.Retry = faults.Policy{MaxAttempts: 2, Base: time.Millisecond, Max: time.Millisecond, Jitter: -1}
+	metrics := hpop.NewMetrics()
+	rep.Metrics = metrics
+	if _, err := rep.Sync("/"); err == nil {
+		t.Fatal("sync succeeded through open-ended 503s")
+	}
+	if metrics.Counter("attic.replicator.giveups") == 0 {
+		t.Error("no giveup counted for an exhausted retry budget")
+	}
+
+	// Weather clears: the next pass pushes only what never landed.
+	rep.dst.HTTPClient = healthy
+	stats, err := rep.Sync("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Uploaded != 2 {
+		t.Errorf("resume uploaded = %d, want 2", stats.Uploaded)
+	}
+	for p, want := range map[string]string{"/d/a": "first-v2", "/d/b": "second-v2"} {
+		got, err := dst.FS().Read("/backups/source" + p)
+		if err != nil || string(got) != want {
+			t.Errorf("replica %s = %q, %v; want %q", p, got, err, want)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package dcol
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,7 +10,16 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 )
+
+// DefaultDialTimeout bounds relay upstream dials and client-side
+// dial+handshake attempts; waypoints and destinations are residential
+// boxes that silently blackhole.
+const DefaultDialTimeout = 10 * time.Second
 
 // Relay is a live waypoint data path: a TCP listener that accepts a
 // one-line signaling message naming the destination ("DIAL host:port\n"),
@@ -21,6 +31,9 @@ type Relay struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+	// dialTimeout bounds upstream dials and the signaling-line read;
+	// immutable after StartRelay.
+	dialTimeout time.Duration
 
 	// Stats.
 	dials        atomic.Int64
@@ -30,13 +43,24 @@ type Relay struct {
 }
 
 // StartRelay listens on addr ("127.0.0.1:0" for tests) and serves until
-// Close.
+// Close, with the default dial timeout.
 func StartRelay(addr string) (*Relay, error) {
+	return StartRelayTimeout(addr, 0)
+}
+
+// StartRelayTimeout is StartRelay with an explicit upstream dial (and
+// signaling handshake) timeout; 0 means DefaultDialTimeout. A slow-loris
+// client or a blackholed destination can then pin a session goroutine for
+// at most that long.
+func StartRelayTimeout(addr string, dialTimeout time.Duration) (*Relay, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dcol: relay listen: %w", err)
 	}
-	r := &Relay{ln: ln, closed: make(chan struct{})}
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	r := &Relay{ln: ln, closed: make(chan struct{}), dialTimeout: dialTimeout}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -81,11 +105,15 @@ func (r *Relay) acceptLoop() {
 
 func (r *Relay) handle(client net.Conn) {
 	defer client.Close()
+	// The signaling line must arrive within the dial timeout; a client
+	// that connects and stalls must not hold this goroutine forever.
+	client.SetReadDeadline(time.Now().Add(r.dialTimeout))
 	br := bufio.NewReader(client)
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return
 	}
+	client.SetReadDeadline(time.Time{})
 	line = strings.TrimSpace(line)
 	const cmd = "DIAL "
 	if !strings.HasPrefix(line, cmd) {
@@ -97,7 +125,7 @@ func (r *Relay) handle(client net.Conn) {
 		fmt.Fprintf(client, "ERR destination not allowed\n")
 		return
 	}
-	upstream, err := net.Dial("tcp", target)
+	upstream, err := net.DialTimeout("tcp", target, r.dialTimeout)
 	if err != nil {
 		fmt.Fprintf(client, "ERR dial: %v\n", err)
 		return
@@ -137,14 +165,60 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Dialer establishes tunnels through waypoint relays with per-attempt
+// timeouts and capped-backoff retries — the client half of surviving a
+// flapping waypoint.
+type Dialer struct {
+	// Timeout bounds each dial-plus-handshake attempt. <= 0 means
+	// DefaultDialTimeout.
+	Timeout time.Duration
+	// Retry governs attempts; the zero value applies the faults package
+	// defaults. Policy refusals from the relay ("destination not
+	// allowed") are permanent and never retried.
+	Retry faults.Policy
+	// Metrics, when non-nil, receives dcol.dial.retries and
+	// dcol.dial.giveups counters.
+	Metrics *hpop.Metrics
+}
+
+func (d *Dialer) timeout() time.Duration {
+	if d.Timeout > 0 {
+		return d.Timeout
+	}
+	return DefaultDialTimeout
+}
+
 // DialVia connects to destination through the waypoint relay at relayAddr,
 // performing the signaling exchange, and returns the established tunnel
 // connection (what the DCol kernel module does for each detour subflow).
-func DialVia(relayAddr, destination string) (net.Conn, error) {
-	conn, err := net.Dial("tcp", relayAddr)
+func (d *Dialer) DialVia(ctx context.Context, relayAddr, destination string) (net.Conn, error) {
+	var out net.Conn
+	attempts, err := d.Retry.Do(ctx, func(actx context.Context) error {
+		conn, err := d.dialOnce(actx, relayAddr, destination)
+		if err != nil {
+			return err
+		}
+		out = conn
+		return nil
+	})
+	if attempts > 1 {
+		d.Metrics.Add("dcol.dial.retries", float64(attempts-1))
+	}
+	if err != nil {
+		d.Metrics.Inc("dcol.dial.giveups")
+		return nil, err
+	}
+	return out, nil
+}
+
+// dialOnce is one dial-plus-handshake attempt under a deadline.
+func (d *Dialer) dialOnce(ctx context.Context, relayAddr, destination string) (net.Conn, error) {
+	nd := net.Dialer{Timeout: d.timeout()}
+	conn, err := nd.DialContext(ctx, "tcp", relayAddr)
 	if err != nil {
 		return nil, fmt.Errorf("dcol: dial relay: %w", err)
 	}
+	conn.SetDeadline(time.Now().Add(d.timeout()))
 	if _, err := fmt.Fprintf(conn, "DIAL %s\n", destination); err != nil {
 		conn.Close()
 		return nil, err
@@ -157,9 +231,21 @@ func DialVia(relayAddr, destination string) (net.Conn, error) {
 	}
 	if strings.TrimSpace(status) != "OK" {
 		conn.Close()
-		return nil, errors.New("dcol: relay refused: " + strings.TrimSpace(status))
+		refusal := errors.New("dcol: relay refused: " + strings.TrimSpace(status))
+		if strings.Contains(status, "not allowed") {
+			return nil, faults.Permanent(refusal) // policy: retrying won't help
+		}
+		return nil, refusal
 	}
+	conn.SetDeadline(time.Time{})
 	return &tunnelConn{Conn: conn, r: br}, nil
+}
+
+// DialVia connects through the relay with the default timeout and no
+// retries — the original single-shot behaviour.
+func DialVia(relayAddr, destination string) (net.Conn, error) {
+	d := &Dialer{Retry: faults.Policy{MaxAttempts: 1}}
+	return d.DialVia(context.Background(), relayAddr, destination)
 }
 
 // tunnelConn wraps the relay connection so bytes the handshake reader

@@ -1,13 +1,20 @@
 package dcol
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 )
 
 // echoServer is a live TCP destination that echoes what it receives.
@@ -197,6 +204,160 @@ func TestRelayChaining(t *testing.T) {
 	}
 	if !bytes.Equal(buf, payload) {
 		t.Errorf("chained echo = %q", buf)
+	}
+}
+
+// stubRelay serves the waypoint handshake on ln: reads the DIAL line,
+// answers OK, then echoes — enough relay to exercise the client Dialer
+// behind a chaos listener.
+func stubRelay(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := br.ReadString('\n'); err != nil {
+					return
+				}
+				fmt.Fprintf(conn, "OK\n")
+				io.Copy(conn, br)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+}
+
+// TestFaultDialerRetriesThroughResets puts a chaos listener in front of a
+// waypoint: the first two tunnel attempts are reset mid-handshake, the
+// third connects, and the retry counters record the flapping.
+func TestFaultDialerRetriesThroughResets(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faults.ParseSchedule("reset p=1 from=0 to=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := faults.NewInjector(sched).Listener(base)
+	stubRelay(t, ln)
+
+	metrics := hpop.NewMetrics()
+	d := &Dialer{
+		Timeout: 2 * time.Second,
+		Retry:   faults.Policy{MaxAttempts: 5, Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1},
+		Metrics: metrics,
+	}
+	conn, err := d.DialVia(context.Background(), ln.Addr().String(), "127.0.0.1:9")
+	if err != nil {
+		t.Fatalf("dial through resets: %v", err)
+	}
+	defer conn.Close()
+	payload := []byte("still here after two resets")
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Errorf("echo = %q", buf)
+	}
+	if got := metrics.Counter("dcol.dial.retries"); got != 2 {
+		t.Errorf("retries = %v, want 2", got)
+	}
+	if got := metrics.Counter("dcol.dial.giveups"); got != 0 {
+		t.Errorf("giveups = %v, want 0", got)
+	}
+}
+
+// TestFaultDialerRefusalNotRetried verifies a policy refusal is permanent:
+// no retry budget is burned trying to argue with the waypoint.
+func TestFaultDialerRefusalNotRetried(t *testing.T) {
+	dst := echoServer(t)
+	relay, err := StartRelay("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	relay.AllowDial = func(string) bool { return false }
+
+	metrics := hpop.NewMetrics()
+	d := &Dialer{
+		Retry:   faults.Policy{MaxAttempts: 5, Base: time.Millisecond, Max: time.Millisecond, Jitter: -1},
+		Metrics: metrics,
+	}
+	_, err = d.DialVia(context.Background(), relay.Addr(), dst.Addr().String())
+	if err == nil {
+		t.Fatal("policy-denied dial succeeded")
+	}
+	if !strings.Contains(err.Error(), "not allowed") {
+		t.Errorf("err = %v, want the relay's refusal", err)
+	}
+	var pe *faults.PermanentError
+	if errors.As(err, &pe) {
+		t.Error("PermanentError wrapper leaked to the caller")
+	}
+	if got := metrics.Counter("dcol.dial.retries"); got != 0 {
+		t.Errorf("retries = %v, want 0 (refusals are permanent)", got)
+	}
+	if got := metrics.Counter("dcol.dial.giveups"); got != 1 {
+		t.Errorf("giveups = %v, want 1", got)
+	}
+}
+
+// TestFaultDialerTimeoutOnSilentWaypoint verifies the per-attempt deadline:
+// a waypoint that accepts and then says nothing cannot hang the dialer.
+func TestFaultDialerTimeoutOnSilentWaypoint(t *testing.T) {
+	// A bare listener with no accept loop: the kernel completes the TCP
+	// handshake from the backlog, then the handshake read blackholes.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	d := &Dialer{
+		Timeout: 100 * time.Millisecond,
+		Retry:   faults.Policy{MaxAttempts: 1},
+	}
+	start := time.Now()
+	_, err = d.DialVia(context.Background(), ln.Addr().String(), "127.0.0.1:9")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a silent waypoint succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("silent waypoint held the dialer for %v", elapsed)
+	}
+}
+
+// TestFaultRelayHandshakeTimeout verifies the relay side: a client that
+// connects and stalls is cut loose after the handshake deadline instead of
+// pinning a session goroutine.
+func TestFaultRelayHandshakeTimeout(t *testing.T) {
+	relay, err := StartRelayTimeout("127.0.0.1:0", 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	conn, err := net.Dial("tcp", relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the relay must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("relay kept a stalled handshake open")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("relay never closed the stalled connection")
 	}
 }
 

@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Defaults for the zero-value Policy.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBase        = 25 * time.Millisecond
+	DefaultMaxDelay    = 1 * time.Second
+	DefaultJitter      = 0.2
+)
+
+// Policy is a capped exponential backoff with jitter — the retry half of
+// surviving flaky residential peers. The zero value is usable and applies
+// the package defaults.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// Base is the delay after the first failure; it doubles per attempt.
+	// <= 0 means DefaultBase.
+	Base time.Duration
+	// Max caps the per-attempt delay. <= 0 means DefaultMaxDelay.
+	Max time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction. 0 means
+	// DefaultJitter; negative disables jitter entirely.
+	Jitter float64
+	// AttemptTimeout, when > 0, bounds each attempt with a derived
+	// context deadline.
+	AttemptTimeout time.Duration
+	// Rand supplies uniform [0,1) draws for jitter; nil means math/rand.
+	// Inject a seeded source for deterministic tests.
+	Rand func() float64
+}
+
+// PermanentError marks an error that must not be retried.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err so Policy.Do stops retrying and returns the original
+// error unchanged. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base > 0 {
+		return p.Base
+	}
+	return DefaultBase
+}
+
+func (p Policy) maxDelay() time.Duration {
+	if p.Max > 0 {
+		return p.Max
+	}
+	return DefaultMaxDelay
+}
+
+func (p Policy) jitter() float64 {
+	if p.Jitter < 0 {
+		return 0
+	}
+	if p.Jitter == 0 {
+		return DefaultJitter
+	}
+	return p.Jitter
+}
+
+func (p Policy) rand() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	return rand.Float64()
+}
+
+// Delay returns the backoff before attempt+1, given that attempt attempts
+// (1-based) have failed: Base doubled per failure, capped at Max, then
+// jittered.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.base()
+	max := p.maxDelay()
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d <= 0 { // overflow guard
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	if j := p.jitter(); j > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*p.rand()-1)))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Do runs fn until it succeeds, returns a PermanentError, the attempt
+// budget is exhausted, or ctx is canceled. It returns the number of
+// attempts made and the final error (unwrapped if permanent). When
+// AttemptTimeout is set, each attempt's context carries that deadline.
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) (attempts int, err error) {
+	max := p.maxAttempts()
+	for attempts = 1; ; attempts++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return attempts, nil
+		}
+		var pe *PermanentError
+		if errors.As(err, &pe) {
+			return attempts, pe.Err
+		}
+		if attempts >= max || ctx.Err() != nil {
+			return attempts, err
+		}
+		if serr := sleepCtx(ctx, p.Delay(attempts)); serr != nil {
+			return attempts, err
+		}
+	}
+}

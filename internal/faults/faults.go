@@ -1,0 +1,262 @@
+// Package faults is a deterministic, seed-driven fault-injection layer for
+// the HPoP services. The paper's premise is that the home becomes
+// infrastructure: NoCDN peers, Data Attic replicas, and DCol waypoints run
+// on residential boxes that lose power, flap links, and serve garbage
+// (§IV). This package makes those failure shapes reproducible:
+//
+//   - A Schedule is a parsed list of fault Rules (latency, connection
+//     resets, 5xx bursts, truncated bodies, bit-flipped payloads, stalled
+//     slow-loris reads, scheduled blackouts), each scoped by a URL/address
+//     substring match, a per-rule request window, and a fire probability.
+//   - An Injector evaluates the schedule. Decisions are a pure function of
+//     (seed, rule index, per-rule match counter), so the same seed always
+//     yields the same fault budget per rule no matter how goroutines
+//     interleave — chaos tests assert invariants deterministically.
+//   - Injector.Transport wraps an http.RoundTripper for client-side faults;
+//     Injector.Listener wraps a net.Listener for server-side faults.
+//   - Policy is the recovery half: capped exponential backoff with jitter,
+//     per-attempt timeouts, and context cancellation, shared by the NoCDN
+//     loader, peer record flush, attic replicator, and DCol dialer.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the injectable fault shapes.
+type Kind uint8
+
+// Fault kinds. KindNone means "no fault" and is never parsed from a
+// schedule.
+const (
+	KindNone Kind = iota
+	// KindLatency delays the request by Dur before forwarding it.
+	KindLatency
+	// KindReset fails the request with a connection-reset-style error
+	// without reaching the inner transport.
+	KindReset
+	// KindStatus synthesizes an HTTP response with Status (typically a 5xx
+	// burst) without reaching the inner transport.
+	KindStatus
+	// KindTruncate forwards the request but cuts the response body short,
+	// surfacing io.ErrUnexpectedEOF mid-read.
+	KindTruncate
+	// KindBitflip forwards the request but flips one byte of the response
+	// body — the tampered/garbage payload integrity checks must catch.
+	KindBitflip
+	// KindStall forwards the request but delays every body read by Dur
+	// (slow-loris); per-request timeouts must cut it off.
+	KindStall
+	// KindBlackout fails the request as unreachable — a peer that lost
+	// power for a scheduled window.
+	KindBlackout
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"none", "latency", "reset", "status", "truncate", "bitflip", "stall", "blackout",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+func kindByName(name string) (Kind, bool) {
+	for k := Kind(1); k < kindCount; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return KindNone, false
+}
+
+// Rule is one fault clause of a schedule.
+type Rule struct {
+	// Kind is the fault shape.
+	Kind Kind
+	// Match is a substring matched against the request's full URL (client
+	// faults) or the connection's remote address (listener faults). Empty
+	// matches every request.
+	Match string
+	// P is the fire probability per in-window matching request, in (0, 1].
+	P float64
+	// From and To bound the window of requests the rule fires in, counted
+	// 0-based over the requests matching THIS rule's filter: the rule
+	// applies to the k-th matching request when From <= k < To. To == 0
+	// means no upper bound. Every matching request advances the counter
+	// whether or not the rule (or an earlier rule) fires, so stacked rules
+	// over one path see aligned windows.
+	From, To int
+	// Dur parameterizes latency and stall faults.
+	Dur time.Duration
+	// Status is the synthesized response code for status faults.
+	Status int
+}
+
+// String renders the rule in the canonical schedule syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Kind.String())
+	switch r.Kind {
+	case KindLatency, KindStall:
+		b.WriteByte(' ')
+		b.WriteString(r.Dur.String())
+	case KindStatus:
+		fmt.Fprintf(&b, " %d", r.Status)
+	}
+	if r.P != 1 {
+		b.WriteString(" p=")
+		b.WriteString(strconv.FormatFloat(r.P, 'g', -1, 64))
+	}
+	if r.Match != "" {
+		b.WriteString(" match=")
+		b.WriteString(r.Match)
+	}
+	if r.From != 0 {
+		fmt.Fprintf(&b, " from=%d", r.From)
+	}
+	if r.To != 0 {
+		fmt.Fprintf(&b, " to=%d", r.To)
+	}
+	return b.String()
+}
+
+// Schedule is a parsed fault schedule: a seed plus an ordered rule list.
+// The first in-window rule that matches and draws under its probability
+// fires; later rules still advance their window counters.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// String renders the schedule in the canonical parseable syntax;
+// ParseSchedule(s.String()) reproduces s exactly.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", s.Seed)
+	for _, r := range s.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseSchedule parses the chaos schedule syntax. Statements are separated
+// by newlines or semicolons; '#' starts a comment. One statement is either
+// "seed=N" or a rule:
+//
+//	KIND [ARG] [p=PROB] [match=SUBSTR] [from=N] [to=N]
+//
+// where KIND is latency, reset, status, truncate, bitflip, stall, or
+// blackout; latency and stall take a duration argument ("50ms"), status
+// takes a response code. Example:
+//
+//	seed=42
+//	blackout match=/proxy/ from=0 to=12
+//	status 503 p=0.4 match=/proxy/ from=12 to=40
+//	truncate p=0.3 match=/content
+//	latency 5ms p=0.2
+func ParseSchedule(text string) (*Schedule, error) {
+	s := &Schedule{Seed: 1}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			tokens := strings.Fields(stmt)
+			if len(tokens) == 0 {
+				continue
+			}
+			if strings.HasPrefix(tokens[0], "seed=") {
+				if len(tokens) > 1 {
+					return nil, fmt.Errorf("faults: line %d: seed takes no extra tokens", lineNo+1)
+				}
+				seed, err := strconv.ParseUint(strings.TrimPrefix(tokens[0], "seed="), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: line %d: bad seed: %v", lineNo+1, err)
+				}
+				s.Seed = seed
+				continue
+			}
+			rule, err := parseRule(tokens)
+			if err != nil {
+				return nil, fmt.Errorf("faults: line %d: %v", lineNo+1, err)
+			}
+			s.Rules = append(s.Rules, rule)
+		}
+	}
+	return s, nil
+}
+
+func parseRule(tokens []string) (Rule, error) {
+	kind, ok := kindByName(tokens[0])
+	if !ok {
+		return Rule{}, fmt.Errorf("unknown fault kind %q", tokens[0])
+	}
+	r := Rule{Kind: kind, P: 1}
+	rest := tokens[1:]
+	switch kind {
+	case KindLatency, KindStall:
+		if len(rest) == 0 {
+			return Rule{}, fmt.Errorf("%s needs a duration argument", kind)
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil || d <= 0 {
+			return Rule{}, fmt.Errorf("%s: bad duration %q", kind, rest[0])
+		}
+		r.Dur = d
+		rest = rest[1:]
+	case KindStatus:
+		if len(rest) == 0 {
+			return Rule{}, fmt.Errorf("status needs a response-code argument")
+		}
+		code, err := strconv.Atoi(rest[0])
+		if err != nil || code < 100 || code > 599 {
+			return Rule{}, fmt.Errorf("status: bad code %q", rest[0])
+		}
+		r.Status = code
+		rest = rest[1:]
+	}
+	for _, tok := range rest {
+		kv := strings.SplitN(tok, "=", 2)
+		if len(kv) != 2 || kv[1] == "" {
+			return Rule{}, fmt.Errorf("bad option %q (want key=value)", tok)
+		}
+		switch kv[0] {
+		case "p":
+			p, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Rule{}, fmt.Errorf("bad probability %q (want 0 < p <= 1)", kv[1])
+			}
+			r.P = p
+		case "match":
+			r.Match = kv[1]
+		case "from":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("bad from=%q", kv[1])
+			}
+			r.From = n
+		case "to":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil || n <= 0 {
+				return Rule{}, fmt.Errorf("bad to=%q", kv[1])
+			}
+			r.To = n
+		default:
+			return Rule{}, fmt.Errorf("unknown option %q", kv[0])
+		}
+	}
+	if r.To != 0 && r.To <= r.From {
+		return Rule{}, fmt.Errorf("empty window [%d,%d)", r.From, r.To)
+	}
+	return r, nil
+}

@@ -1,0 +1,479 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	text := `
+# chaos for the proxy path
+seed=42
+blackout match=/proxy/ from=0 to=12
+status 503 p=0.4 match=/proxy/ from=12 to=40
+truncate p=0.3 match=/content
+bitflip p=0.25 match=/content from=5
+latency 5ms p=0.2; stall 250ms match=/record to=3
+reset
+`
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if s.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", s.Seed)
+	}
+	if len(s.Rules) != 7 {
+		t.Fatalf("got %d rules, want 7: %v", len(s.Rules), s.Rules)
+	}
+	want := []Rule{
+		{Kind: KindBlackout, Match: "/proxy/", P: 1, To: 12},
+		{Kind: KindStatus, Status: 503, P: 0.4, Match: "/proxy/", From: 12, To: 40},
+		{Kind: KindTruncate, P: 0.3, Match: "/content"},
+		{Kind: KindBitflip, P: 0.25, Match: "/content", From: 5},
+		{Kind: KindLatency, Dur: 5 * time.Millisecond, P: 0.2},
+		{Kind: KindStall, Dur: 250 * time.Millisecond, P: 1, Match: "/record", To: 3},
+		{Kind: KindReset, P: 1},
+	}
+	for i, r := range s.Rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+
+	// Canonical form reparses to the same schedule.
+	again, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("reparse canonical form: %v", err)
+	}
+	if again.String() != s.String() {
+		t.Fatalf("round trip drifted:\n%s\nvs\n%s", s.String(), again.String())
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate",        // unknown kind
+		"latency",           // missing duration
+		"latency zero",      // bad duration
+		"latency -5ms",      // negative duration
+		"status",            // missing code
+		"status 99",         // code out of range
+		"status 600",        // code out of range
+		"reset p=0",         // p out of range
+		"reset p=1.5",       // p out of range
+		"reset p=",          // empty value
+		"reset banana=1",    // unknown option
+		"reset from=-1",     // negative from
+		"reset to=0",        // to must be positive
+		"reset from=5 to=5", // empty window
+		"seed=notanumber",   // bad seed
+		"seed=1 extra",      // seed takes no extra tokens
+		"reset match",       // option without value
+	}
+	for _, text := range bad {
+		if _, err := ParseSchedule(text); err == nil {
+			t.Errorf("ParseSchedule(%q) = nil error, want failure", text)
+		}
+	}
+}
+
+func TestInjectorDeterministicSequence(t *testing.T) {
+	text := "seed=7\nstatus 503 p=0.5 match=/a\nreset p=0.3\nlatency 2ms p=0.9 match=/b"
+	sched, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]string, 200)
+	for i := range targets {
+		targets[i] = fmt.Sprintf("http://x/%c/%d", 'a'+byte(i%3), i)
+	}
+	run := func() []Decision {
+		in := NewInjector(sched)
+		out := make([]Decision, len(targets))
+		for i, tg := range targets {
+			out[i] = in.Decide(tg)
+		}
+		return out
+	}
+	first := run()
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("decision %d differs across runs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	var fired int
+	for _, d := range first {
+		if d.Kind != KindNone {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("schedule fired nothing over 200 requests")
+	}
+}
+
+// Per-rule fault budgets must be independent of goroutine interleaving:
+// every rule's decision depends only on (seed, rule, k), and every matching
+// request advances every matching rule's counter, so total injected counts
+// over a fixed request population are invariant under scheduling.
+func TestInjectorDeterministicUnderConcurrency(t *testing.T) {
+	sched, err := ParseSchedule("seed=99\nreset p=0.4 match=/x from=2 to=60\nstatus 500 p=0.7 match=/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTotals := func() map[Kind]int64 {
+		in := NewInjector(sched)
+		for i := 0; i < 100; i++ {
+			in.Decide("http://peer/x")
+		}
+		return in.Injected()
+	}()
+
+	// Concurrent feed of exactly 100 requests across 8 goroutines, three
+	// trials with different interleavings; totals must match serial exactly.
+	for trial := 0; trial < 3; trial++ {
+		in := NewInjector(sched)
+		feed := make(chan struct{}, 100)
+		for i := 0; i < 100; i++ {
+			feed <- struct{}{}
+		}
+		close(feed)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range feed {
+					in.Decide("http://peer/x")
+				}
+			}()
+		}
+		wg.Wait()
+		got := in.Injected()
+		if len(got) != len(serialTotals) {
+			t.Fatalf("trial %d: injected kinds %v, want %v", trial, got, serialTotals)
+		}
+		for k, n := range serialTotals {
+			if got[k] != n {
+				t.Fatalf("trial %d: injected[%v] = %d, want %d", trial, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestInjectorWindows(t *testing.T) {
+	sched, err := ParseSchedule("seed=1\nreset from=2 to=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(sched)
+	var kinds []Kind
+	for i := 0; i < 6; i++ {
+		kinds = append(kinds, in.Decide("any").Kind)
+	}
+	want := []Kind{KindNone, KindNone, KindReset, KindReset, KindNone, KindNone}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("request %d: kind %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+// Stacked rules on one path must see aligned windows: a matching request
+// advances rule B's counter even when rule A fired on it.
+func TestInjectorStackedWindowsAligned(t *testing.T) {
+	sched, err := ParseSchedule("seed=1\nreset from=0 to=2\nstatus 503 from=2 to=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(sched)
+	var kinds []Kind
+	for i := 0; i < 5; i++ {
+		kinds = append(kinds, in.Decide("any").Kind)
+	}
+	want := []Kind{KindReset, KindReset, KindStatus, KindStatus, KindNone}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("request %d: kind %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func newEchoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func chaosClient(t *testing.T, srv *httptest.Server, text string) (*http.Client, *Injector) {
+	t.Helper()
+	sched, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(sched)
+	return &http.Client{Transport: in.Transport(nil)}, in
+}
+
+func TestTransportReset(t *testing.T) {
+	srv := newEchoServer(t, "hello")
+	client, _ := chaosClient(t, srv, "reset to=1")
+	_, err := client.Get(srv.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	resp, err := client.Get(srv.URL) // window over: passes through
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "hello" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestTransportStatus(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer srv.Close()
+	client, _ := chaosClient(t, srv, "status 503 to=1")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatalf("synthesized status reached the origin (%d hits)", hits)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv := newEchoServer(t, strings.Repeat("x", 1024))
+	client, _ := chaosClient(t, srv, "truncate to=1")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(b) >= 1024 {
+		t.Fatalf("read %d bytes, want truncation", len(b))
+	}
+}
+
+func TestTransportBitflip(t *testing.T) {
+	body := strings.Repeat("y", 64)
+	srv := newEchoServer(t, body)
+	client, _ := chaosClient(t, srv, "bitflip to=1")
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(body) {
+		t.Fatalf("length changed: %d vs %d", len(b), len(body))
+	}
+	if string(b) == body {
+		t.Fatal("body not corrupted")
+	}
+	if b[0] != body[0]^0xFF || string(b[1:]) != body[1:] {
+		t.Fatalf("corruption shape unexpected: %q", b[:4])
+	}
+}
+
+func TestTransportStallHonorsContext(t *testing.T) {
+	srv := newEchoServer(t, "slow")
+	client, _ := chaosClient(t, srv, "stall 10s to=1")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL, nil)
+	resp, err := client.Do(req)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("stalled read finished without error")
+	}
+}
+
+func TestListenerReset(t *testing.T) {
+	sched, err := ParseSchedule("reset to=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(sched)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("up"))
+	})}
+	go srv.Serve(in.Listener(ln))
+	defer srv.Close()
+
+	// Each faulted connection is closed before HTTP exchange; a client
+	// without retries sees errors until the window passes.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	var lastErr error
+	ok := false
+	for i := 0; i < 10; i++ {
+		resp, err := client.Get("http://" + ln.Addr().String())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(b) == "up" {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("server never became reachable: %v", lastErr)
+	}
+	if got := in.Injected()[KindReset]; got != 2 {
+		t.Fatalf("injected resets = %d, want 2", got)
+	}
+}
+
+func TestPolicyDelay(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := p.Delay(i + 1); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+
+	// Jitter bounds.
+	j := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if d := j.Delay(1); d != 50*time.Millisecond {
+		t.Errorf("full-down jitter Delay(1) = %v, want 50ms", d)
+	}
+	j.Rand = func() float64 { return 0.999999 }
+	if d := j.Delay(1); d < 100*time.Millisecond || d > 150*time.Millisecond {
+		t.Errorf("full-up jitter Delay(1) = %v, want ~150ms", d)
+	}
+
+	// Overflow guard: huge attempt counts saturate at Max.
+	if d := p.Delay(500); d != 80*time.Millisecond {
+		t.Errorf("Delay(500) = %v, want Max", d)
+	}
+}
+
+func TestPolicyDoRetriesAndGivesUp(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want success on third", attempts, calls, err)
+	}
+
+	calls = 0
+	boom := errors.New("always")
+	attempts, err = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want exhausted budget", attempts, calls, err)
+	}
+}
+
+func TestPolicyDoPermanentStopsAndUnwraps(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Base: time.Millisecond, Jitter: -1}
+	boom := errors.New("definitive")
+	calls := 0
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("wrapped: %w", boom))
+	})
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("permanent error retried: attempts=%d calls=%d", attempts, calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("identity lost through Permanent: %v", err)
+	}
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		t.Fatal("PermanentError wrapper leaked to the caller")
+	}
+}
+
+func TestPolicyDoContextCancel(t *testing.T) {
+	p := Policy{MaxAttempts: 100, Base: 10 * time.Millisecond, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("Do succeeded after cancel")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("Do ignored cancellation (%d calls)", calls)
+	}
+}
+
+func TestPolicyAttemptTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, Base: time.Millisecond, Jitter: -1, AttemptTimeout: 20 * time.Millisecond}
+	deadlines := 0
+	_, err := p.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if deadlines != 2 {
+		t.Fatalf("attempt contexts with deadline = %d, want 2", deadlines)
+	}
+}

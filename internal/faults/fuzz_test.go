@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSchedule hardens the fault-schedule parser: arbitrary text must
+// never panic, and anything it accepts must survive a canonical-form round
+// trip (String -> ParseSchedule -> String is a fixed point), since chaos
+// runs log the canonical schedule for reproduction.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("seed=42\nblackout match=/proxy/ from=0 to=12")
+	f.Add("status 503 p=0.4 match=/proxy/ from=12 to=40")
+	f.Add("latency 5ms p=0.2; stall 250ms match=/record to=3")
+	f.Add("truncate p=0.3 match=/content\nbitflip\nreset")
+	f.Add("# comment only\n\n;;\n")
+	f.Add("seed=18446744073709551615\nreset from=2147483647")
+	f.Add("latency 9999999h")
+	f.Add("status 9999999999999999999")
+	f.Add("reset p=1e-300 match==== from=00 to=01")
+	f.Add("stall 1ns p=0.0000001 match=日本語 to=9")
+	f.Add("seed=-1")
+	f.Add("latency 5ms latency 5ms")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		again, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form not a fixed point:\n%q\nvs\n%q", canon, again.String())
+		}
+		if again.Seed != s.Seed || len(again.Rules) != len(s.Rules) {
+			t.Fatalf("round trip changed schedule: %+v vs %+v", s, again)
+		}
+	})
+}

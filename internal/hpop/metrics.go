@@ -16,6 +16,9 @@ import (
 )
 
 // Metrics is a simple thread-safe counter/gauge registry shared by services.
+// All methods are nil-receiver safe: instrumented code paths (loader
+// retries, flush backoff, replicator giveups) never need to guard their
+// optional Metrics field.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]float64
@@ -30,29 +33,44 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Add increments a counter by delta.
+// Add increments a counter by delta. No-op on a nil registry.
 func (m *Metrics) Add(name string, delta float64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.counters[name] += delta
 }
 
-// Counter returns a counter's current value.
+// Inc increments a counter by one. No-op on a nil registry.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Counter returns a counter's current value (zero on a nil registry).
 func (m *Metrics) Counter(name string) float64 {
+	if m == nil {
+		return 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.counters[name]
 }
 
-// Set sets a gauge.
+// Set sets a gauge. No-op on a nil registry.
 func (m *Metrics) Set(name string, value float64) {
+	if m == nil {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.gauges[name] = value
 }
 
-// Gauge returns a gauge's current value.
+// Gauge returns a gauge's current value (zero on a nil registry).
 func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.gauges[name]
@@ -61,6 +79,9 @@ func (m *Metrics) Gauge(name string) float64 {
 // Snapshot returns all metrics as a name->value map (counters and gauges
 // merged; gauge names win on collision).
 func (m *Metrics) Snapshot() map[string]float64 {
+	if m == nil {
+		return map[string]float64{}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]float64, len(m.counters)+len(m.gauges))

@@ -270,6 +270,114 @@ func TestConcurrentChunkedFetch(t *testing.T) {
 	wg.Wait()
 }
 
+// truncatingHandler serves only the first half of every response body — a
+// peer that reliably fails mid-transfer (clean EOF short of the promised
+// range), which the loader's chunk-length and hash checks must catch.
+type truncatingHandler struct{ inner http.Handler }
+
+func (h truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := httptest.NewRecorder()
+	h.inner.ServeHTTP(rec, r)
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	body := rec.Body.Bytes()
+	w.Write(body[:len(body)/2])
+}
+
+// TestFaultLoaderFallbackOrderingAcrossConcurrency pins the determinism
+// contract under partial peer failure: with identical wrapper assignments
+// (fixed RNG seed) and peers that fail mid-chunk, Body, PeerBytes,
+// FallbackObjects, and TamperDetected must be identical whether the loader
+// runs serially or fans out — fallback handling must not depend on fetch
+// interleaving.
+func TestFaultLoaderFallbackOrderingAcrossConcurrency(t *testing.T) {
+	load := func(t *testing.T, concurrency int) *PageResult {
+		t.Helper()
+		// Mixed layout: /index.html stays whole, images chunk across 2
+		// peers. Peers 1 and 3 truncate everything they serve, so chunks
+		// they carry fail the length check and whole objects they carry
+		// fail the hash check — both must route to origin fallback.
+		o := NewOrigin("example.com", WithRNG(sim.NewRNG(11)), WithChunking(2, 5000))
+		o.AddObject("/index.html", bytes.Repeat([]byte("<html>"), 500))
+		for _, suffix := range []string{"a", "b", "c", "d"} {
+			o.AddObject("/img/"+suffix+".png", bytes.Repeat([]byte(suffix), 10000))
+		}
+		if err := o.AddPage(Page{
+			Name:      "home",
+			Container: "/index.html",
+			Embedded:  []string{"/img/a.png", "/img/b.png", "/img/c.png", "/img/d.png"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		originSrv := httptest.NewServer(o.Handler())
+		t.Cleanup(originSrv.Close)
+		for i := 0; i < 4; i++ {
+			p := NewPeer(peerID(i), 0)
+			p.SignUp("example.com", originSrv.URL)
+			var h http.Handler = p.Handler()
+			if i == 1 || i == 3 {
+				h = truncatingHandler{inner: h}
+			}
+			srv := httptest.NewServer(h)
+			t.Cleanup(srv.Close)
+			o.RegisterPeer(peerID(i), srv.URL, 10)
+		}
+		loader := &Loader{OriginURL: originSrv.URL, Concurrency: concurrency}
+		res, err := loader.LoadPage("home")
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", concurrency, err)
+		}
+		return res
+	}
+
+	baseline := load(t, 1)
+	// The scenario must actually exercise both paths: some objects fall
+	// back, some peers still earn credit.
+	if len(baseline.FallbackObjects) == 0 {
+		t.Fatal("no fallbacks at concurrency 1 — truncating peers not assigned?")
+	}
+	if len(baseline.PeerBytes) == 0 {
+		t.Fatal("no peer credit at concurrency 1 — every object fell back?")
+	}
+	for path, want := range map[string][]byte{
+		"/index.html": bytes.Repeat([]byte("<html>"), 500),
+		"/img/a.png":  bytes.Repeat([]byte("a"), 10000),
+	} {
+		if !bytes.Equal(baseline.Body[path], want) {
+			t.Fatalf("baseline content wrong for %s", path)
+		}
+	}
+
+	for _, concurrency := range []int{6, 16} {
+		res := load(t, concurrency)
+		if !reflect.DeepEqual(res.FallbackObjects, baseline.FallbackObjects) {
+			t.Errorf("concurrency %d: FallbackObjects %v, serial baseline %v",
+				concurrency, res.FallbackObjects, baseline.FallbackObjects)
+		}
+		if !reflect.DeepEqual(res.PeerBytes, baseline.PeerBytes) {
+			t.Errorf("concurrency %d: PeerBytes %v, serial baseline %v",
+				concurrency, res.PeerBytes, baseline.PeerBytes)
+		}
+		if res.TamperDetected != baseline.TamperDetected {
+			t.Errorf("concurrency %d: TamperDetected %v, serial baseline %v",
+				concurrency, res.TamperDetected, baseline.TamperDetected)
+		}
+		for path, body := range baseline.Body {
+			if !bytes.Equal(res.Body[path], body) {
+				t.Errorf("concurrency %d: object %s differs from serial baseline", concurrency, path)
+			}
+		}
+		if res.RecordsDelivered != baseline.RecordsDelivered {
+			t.Errorf("concurrency %d: records %d, serial baseline %d",
+				concurrency, res.RecordsDelivered, baseline.RecordsDelivered)
+		}
+	}
+}
+
 // TestTamperedServeDoesNotPoisonCache is the cache-aliasing regression: a
 // tampering serve (which corrupts bytes) and range serves must never mutate
 // the cached copy.

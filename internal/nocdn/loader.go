@@ -2,6 +2,7 @@ package nocdn
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -13,12 +14,19 @@ import (
 	"time"
 
 	"hpop/internal/auth"
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 )
 
 // DefaultConcurrency is the loader's default bound on simultaneous network
 // fetches — the browser-style per-origin connection pool the paper's
 // JavaScript loader would inherit from the browser.
 const DefaultConcurrency = 6
+
+// DefaultFetchTimeout bounds each individual HTTP attempt (and becomes the
+// Timeout of the lazily built default client). Residential peers flap;
+// an unbounded fetch would wedge a page load forever.
+const DefaultFetchTimeout = 15 * time.Second
 
 // Loader is the client side of the NoCDN workflow (the paper's JavaScript
 // loader script, "fully implemented in standard JavaScript" in a browser; a
@@ -27,17 +35,38 @@ const DefaultConcurrency = 6
 // tampered objects, assemble the page, and deliver a signed usage record to
 // each peer. Object and chunk fetches fan out across a bounded worker pool
 // ("from multiple peers" — the transfers genuinely overlap).
+//
+// Every request carries a per-attempt timeout and transient failures
+// (network errors, truncated bodies, 5xx responses) retry with capped
+// exponential backoff before the loader falls back to the origin or gives
+// up — one flaky peer must never wedge or corrupt a page view.
 type Loader struct {
 	// OriginURL is the content provider's base URL.
 	OriginURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient, when set, is used as-is. When nil a client with
+	// FetchTimeout is built lazily (the previous default —
+	// http.DefaultClient — is unbounded and unsafe against stalled peers).
 	HTTPClient *http.Client
 	// Concurrency bounds simultaneous object/chunk/record requests during
 	// LoadPage. <= 0 means DefaultConcurrency; 1 reproduces the serial
 	// loader exactly.
 	Concurrency int
+	// FetchTimeout bounds each individual HTTP attempt. <= 0 means
+	// DefaultFetchTimeout.
+	FetchTimeout time.Duration
+	// Retry governs per-request retries of transient failures. The zero
+	// value applies the faults package defaults.
+	Retry faults.Policy
+	// Metrics, when non-nil, receives loader counters:
+	// nocdn.loader.retries (extra attempts), nocdn.loader.giveups
+	// (requests that exhausted their budget), and nocdn.loader.fallbacks
+	// (objects refetched from the origin).
+	Metrics *hpop.Metrics
 	// now is injectable for tests.
 	Now func() time.Time
+
+	clientOnce    sync.Once
+	defaultClient *http.Client
 }
 
 // PageResult is an assembled page download.
@@ -69,7 +98,17 @@ func (l *Loader) client() *http.Client {
 	if l.HTTPClient != nil {
 		return l.HTTPClient
 	}
-	return http.DefaultClient
+	l.clientOnce.Do(func() {
+		l.defaultClient = &http.Client{Timeout: l.fetchTimeout()}
+	})
+	return l.defaultClient
+}
+
+func (l *Loader) fetchTimeout() time.Duration {
+	if l.FetchTimeout > 0 {
+		return l.FetchTimeout
+	}
+	return DefaultFetchTimeout
 }
 
 func (l *Loader) now() time.Time {
@@ -94,61 +133,100 @@ type fetchGate chan struct{}
 func (g fetchGate) enter() { g <- struct{}{} }
 func (g fetchGate) leave() { <-g }
 
+// fetchBytes issues one logical request, rebuilding it per attempt and
+// retrying transient failures (network errors, mid-body truncation, 5xx)
+// with capped backoff. Non-5xx unacceptable statuses are permanent. The
+// retry/giveup counters land in Metrics.
+func (l *Loader) fetchBytes(ctx context.Context, method, url string, hdr map[string]string, body []byte, okStatus func(int) bool) ([]byte, error) {
+	pol := l.Retry
+	if pol.AttemptTimeout <= 0 {
+		pol.AttemptTimeout = l.fetchTimeout()
+	}
+	var out []byte
+	attempts, err := pol.Do(ctx, func(actx context.Context) error {
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(actx, method, url, rdr)
+		if err != nil {
+			return faults.Permanent(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := l.client().Do(req)
+		if err != nil {
+			return err // transient: reset, blackout, timeout
+		}
+		defer resp.Body.Close()
+		if !okStatus(resp.StatusCode) {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			serr := fmt.Errorf("nocdn: status %d for %s %s", resp.StatusCode, method, url)
+			if resp.StatusCode >= 500 {
+				return serr // transient: overloaded/faulting peer
+			}
+			return faults.Permanent(serr)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err // transient: truncated mid-body
+		}
+		out = data
+		return nil
+	})
+	if attempts > 1 {
+		l.Metrics.Add("nocdn.loader.retries", float64(attempts-1))
+	}
+	if err != nil {
+		l.Metrics.Inc("nocdn.loader.giveups")
+		return nil, err
+	}
+	return out, nil
+}
+
+func statusOK(code int) bool { return code == http.StatusOK }
+func statusOKPartial(code int) bool {
+	return code == http.StatusOK || code == http.StatusPartialContent
+}
+
 // FetchWrapper retrieves and parses the wrapper page.
 func (l *Loader) FetchWrapper(page string) (*Wrapper, error) {
-	resp, err := l.client().Get(l.OriginURL + "/wrapper?page=" + page)
+	return l.FetchWrapperContext(context.Background(), page)
+}
+
+// FetchWrapperContext retrieves and parses the wrapper page under ctx.
+func (l *Loader) FetchWrapperContext(ctx context.Context, page string) (*Wrapper, error) {
+	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/wrapper?page="+page, nil, nil, statusOK)
 	if err != nil {
 		return nil, fmt.Errorf("nocdn: wrapper fetch: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("nocdn: wrapper status %d", resp.StatusCode)
-	}
 	var w Wrapper
-	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("nocdn: wrapper decode: %w", err)
 	}
 	return &w, nil
 }
 
 // getFrom fetches path from a peer, optionally a byte range, holding a gate
-// slot for the duration of the request.
-func (l *Loader) getFrom(gate fetchGate, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+// slot for the duration of the request (retries included, so the
+// concurrency bound holds under fault storms too).
+func (l *Loader) getFrom(ctx context.Context, gate fetchGate, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
-	req, err := http.NewRequest(http.MethodGet,
-		peerURL+"/proxy/"+provider+path, nil)
-	if err != nil {
-		return nil, err
-	}
+	var hdr map[string]string
 	if chunk != nil {
-		req.Header.Set("Range",
-			fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1))
+		hdr = map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1)}
 	}
-	resp, err := l.client().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
-		return nil, fmt.Errorf("nocdn: peer status %d", resp.StatusCode)
-	}
-	return io.ReadAll(resp.Body)
+	return l.fetchBytes(ctx, http.MethodGet, peerURL+"/proxy/"+provider+path, hdr, nil, statusOKPartial)
 }
 
 // originFallback fetches an object straight from the provider.
-func (l *Loader) originFallback(gate fetchGate, path string) ([]byte, error) {
+func (l *Loader) originFallback(ctx context.Context, gate fetchGate, path string) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
-	resp, err := l.client().Get(l.OriginURL + "/content" + path)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("nocdn: origin fallback status %d", resp.StatusCode)
-	}
-	return io.ReadAll(resp.Body)
+	l.Metrics.Inc("nocdn.loader.fallbacks")
+	return l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, nil, nil, statusOK)
 }
 
 // objectResult is one object's outcome, produced by a worker and merged
@@ -161,12 +239,18 @@ type objectResult struct {
 	err       error
 }
 
-// LoadPage performs the full Fig. 2 workflow for one page view. Object
+// LoadPage performs the full Fig. 2 workflow for one page view.
+func (l *Loader) LoadPage(page string) (*PageResult, error) {
+	return l.LoadPageContext(context.Background(), page)
+}
+
+// LoadPageContext performs the full Fig. 2 workflow for one page view under
+// ctx; canceling it aborts in-flight fetches and pending retries. Object
 // fetches run concurrently (bounded by Concurrency); results merge in
 // wrapper order, so Body, PeerBytes, and FallbackObjects are identical to a
 // serial load.
-func (l *Loader) LoadPage(page string) (*PageResult, error) {
-	w, err := l.FetchWrapper(page)
+func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult, error) {
+	w, err := l.FetchWrapperContext(ctx, page)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +267,7 @@ func (l *Loader) LoadPage(page string) (*PageResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = l.loadObject(gate, w.Provider, refs[i])
+			results[i] = l.loadObject(ctx, gate, w.Provider, refs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -208,21 +292,21 @@ func (l *Loader) LoadPage(page string) (*PageResult, error) {
 
 	// "Upon finishing the page download, the script transfers a usage
 	// record to each peer."
-	res.RecordsDelivered = l.deliverRecords(gate, w, res)
+	res.RecordsDelivered = l.deliverRecords(ctx, gate, w, res)
 	return res, nil
 }
 
 // loadObject runs the per-object Fig. 2 steps: peer fetch, origin fallback
 // on peer failure, hash verification, origin fallback on tampering.
-func (l *Loader) loadObject(gate fetchGate, provider string, ref ObjectRef) objectResult {
+func (l *Loader) loadObject(ctx context.Context, gate fetchGate, provider string, ref ObjectRef) objectResult {
 	var out objectResult
-	data, fromPeers, err := l.fetchObject(gate, provider, ref)
+	data, fromPeers, err := l.fetchObject(ctx, gate, provider, ref)
 	if err != nil {
 		// Peer unreachable/failing: fall back to the origin, exactly as
 		// for tampered content — "one problematic peer — be it malicious
 		// or overloaded — [must not] have a large overall impact on the
 		// client."
-		fallback, ferr := l.originFallback(gate, ref.Path)
+		fallback, ferr := l.originFallback(ctx, gate, ref.Path)
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
 			return out
@@ -235,7 +319,7 @@ func (l *Loader) loadObject(gate fetchGate, provider string, ref ObjectRef) obje
 	// origin ("verifies the objects' hashes").
 	if HashBytes(data) != ref.Hash {
 		out.tampered = true
-		fallback, ferr := l.originFallback(gate, ref.Path)
+		fallback, ferr := l.originFallback(ctx, gate, ref.Path)
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
 			return out
@@ -256,9 +340,9 @@ func (l *Loader) loadObject(gate fetchGate, provider string, ref ObjectRef) obje
 // fetchObject retrieves one object whole or chunked, returning the bytes
 // and per-peer byte attribution. Chunks fetch concurrently into disjoint
 // ranges of the assembly buffer.
-func (l *Loader) fetchObject(gate fetchGate, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
+func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
 	if len(ref.Chunks) == 0 {
-		data, err := l.getFrom(gate, ref.PeerURL, provider, ref.Path, nil)
+		data, err := l.getFrom(ctx, gate, ref.PeerURL, provider, ref.Path, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -272,7 +356,7 @@ func (l *Loader) fetchObject(gate fetchGate, provider string, ref ObjectRef) ([]
 		go func(i int) {
 			defer wg.Done()
 			c := &ref.Chunks[i]
-			data, err := l.getFrom(gate, c.PeerURL, provider, ref.Path, c)
+			data, err := l.getFrom(ctx, gate, c.PeerURL, provider, ref.Path, c)
 			if err != nil {
 				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
 				return
@@ -298,8 +382,11 @@ func (l *Loader) fetchObject(gate fetchGate, provider string, ref ObjectRef) ([]
 }
 
 // deliverRecords signs and posts one usage record per peer that served
-// verified bytes. Deliveries fan out under the same gate as fetches.
-func (l *Loader) deliverRecords(gate fetchGate, w *Wrapper, res *PageResult) int {
+// verified bytes. Deliveries fan out under the same gate as fetches. Each
+// record is signed exactly once; retries re-post the same signed bytes, so
+// a delivery that succeeded but whose response was lost settles once at the
+// origin (the nonce cache rejects the duplicate) — accounting stays exact.
+func (l *Loader) deliverRecords(ctx context.Context, gate fetchGate, w *Wrapper, res *PageResult) int {
 	peerURLs := make(map[string]string)
 	for _, ref := range append([]ObjectRef{w.Container}, w.Objects...) {
 		if ref.PeerID != "" {
@@ -346,14 +433,12 @@ func (l *Loader) deliverRecords(gate fetchGate, w *Wrapper, res *PageResult) int
 			defer wg.Done()
 			gate.enter()
 			defer gate.leave()
-			resp, err := l.client().Post(url+"/record", "application/json", bytes.NewReader(body))
-			if err != nil {
+			hdr := map[string]string{"Content-Type": "application/json"}
+			if _, err := l.fetchBytes(ctx, http.MethodPost, url+"/record", hdr, body,
+				func(code int) bool { return code == http.StatusAccepted }); err != nil {
 				return
 			}
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusAccepted {
-				delivered.Add(1)
-			}
+			delivered.Add(1)
 		}(peerURLs[peerID], body)
 	}
 	wg.Wait()

@@ -624,6 +624,8 @@ func TestFlushRetryAfterOriginOutage(t *testing.T) {
 	if pending == 0 {
 		t.Fatal("no records to flush")
 	}
+	now := time.Now()
+	s.peers[0].SetClock(func() time.Time { return now })
 	// Origin goes down: flush fails and the batch is retained for retry.
 	s.originSrv.Close()
 	if _, err := s.peers[0].Flush(s.originSrv.URL); err == nil {
@@ -632,7 +634,9 @@ func TestFlushRetryAfterOriginOutage(t *testing.T) {
 	if got := s.peers[0].PendingRecords(); got != pending {
 		t.Errorf("records after failed flush = %d, want %d (retained)", got, pending)
 	}
-	// Origin returns (new server, same accounting state).
+	// Origin returns (new server, same accounting state); step past the
+	// failure-armed backoff gate before retrying.
+	now = now.Add(time.Minute)
 	revived := httptest.NewServer(s.origin.Handler())
 	defer revived.Close()
 	n, err := s.peers[0].Flush(revived.URL)

@@ -54,8 +54,8 @@ type Origin struct {
 	// settlement ledger, and the wrapper cache.
 	mu     sync.Mutex
 	peers  []*PeerInfo
-	keys   *auth.KeyIssuer   // internally locked
-	nonces *auth.NonceCache  // internally locked
+	keys   *auth.KeyIssuer  // internally locked
+	nonces *auth.NonceCache // internally locked
 	rng    *sim.RNG
 	now    func() time.Time
 

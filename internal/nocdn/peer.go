@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,7 +12,26 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
 )
+
+// DefaultPeerFetchTimeout bounds the peer's outbound requests (origin
+// backfill and record uploads); the previous http.DefaultClient was
+// unbounded, so one stalled origin could pin every proxy goroutine.
+const DefaultPeerFetchTimeout = 10 * time.Second
+
+// DefaultMaxPendingRecords caps the usage-record queue. A dead origin must
+// not grow the pending queue without bound on a memory-constrained home
+// box; beyond the cap the oldest records are shed (they are also the first
+// to exceed the origin's nonce horizon anyway).
+const DefaultMaxPendingRecords = 4096
+
+// ErrFlushDeferred is returned by Flush while the backoff gate from a
+// previous failed upload is still closed; no network attempt was made.
+var ErrFlushDeferred = errors.New("nocdn: record flush deferred by backoff")
 
 // Peer is the HPoP-resident NoCDN edge: "a normal reverse proxy ... the
 // peer serves the requested object from its cache if available or, if not,
@@ -35,10 +55,28 @@ type Peer struct {
 	cache  *shardedLRU
 	flight flightGroup
 
-	// recordsMu guards the usage-record queue, which has its own lock so
-	// record drops never contend with content serving.
+	// recordsMu guards the usage-record queue (and the flush backoff
+	// state), which has its own lock so record drops never contend with
+	// content serving.
 	recordsMu sync.Mutex
 	records   []UsageRecord
+	// flushFailures counts consecutive failed uploads; nextFlushAt is the
+	// backoff gate armed after each failure.
+	flushFailures int
+	nextFlushAt   time.Time
+	// maxPending caps len(records); <= 0 means DefaultMaxPendingRecords.
+	maxPending int
+
+	// FlushBackoff shapes the gate delay between failed uploads. The zero
+	// value applies the faults package defaults. Set before serving.
+	FlushBackoff faults.Policy
+
+	// metrics receives nocdn.peer.* counters when set.
+	metrics *hpop.Metrics
+	// nowFn is injectable for backoff tests.
+	nowFn func() time.Time
+
+	droppedRecords atomic.Int64
 
 	// Tamper, when set, corrupts served bytes — the malicious-peer mode the
 	// integrity experiment exercises. Atomic so tests can flip it while the
@@ -63,12 +101,50 @@ func NewPeer(id string, cacheBytes int) *Peer {
 		ID:         id,
 		providers:  make(map[string]string),
 		cache:      newShardedLRU(cacheBytes),
-		httpClient: http.DefaultClient,
+		httpClient: &http.Client{Timeout: DefaultPeerFetchTimeout},
 	}
 }
 
-// SetHTTPClient overrides the outbound client (tests).
+// SetHTTPClient overrides the outbound client (tests, chaos harnesses).
 func (p *Peer) SetHTTPClient(c *http.Client) { p.httpClient = c }
+
+// SetFetchTimeout rebounds the outbound client's per-request timeout,
+// preserving any custom transport.
+func (p *Peer) SetFetchTimeout(d time.Duration) {
+	p.httpClient = &http.Client{Timeout: d, Transport: p.httpClient.Transport}
+}
+
+// SetMetrics wires a metrics registry for nocdn.peer.* counters.
+func (p *Peer) SetMetrics(m *hpop.Metrics) { p.metrics = m }
+
+// SetClock injects a time source (backoff tests).
+func (p *Peer) SetClock(now func() time.Time) { p.nowFn = now }
+
+// SetMaxPendingRecords caps the usage-record queue (<= 0 restores the
+// default).
+func (p *Peer) SetMaxPendingRecords(n int) {
+	p.recordsMu.Lock()
+	defer p.recordsMu.Unlock()
+	p.maxPending = n
+}
+
+// DroppedRecords returns how many usage records were shed by the queue cap.
+func (p *Peer) DroppedRecords() int64 { return p.droppedRecords.Load() }
+
+func (p *Peer) now() time.Time {
+	if p.nowFn != nil {
+		return p.nowFn()
+	}
+	return time.Now()
+}
+
+// maxPendingLocked returns the queue cap; recordsMu must be held.
+func (p *Peer) maxPendingLocked() int {
+	if p.maxPending > 0 {
+		return p.maxPending
+	}
+	return DefaultMaxPendingRecords
+}
 
 // SignUp registers this peer to serve content for a provider whose origin
 // lives at originURL.
@@ -199,6 +275,14 @@ func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.recordsMu.Lock()
+	if len(p.records) >= p.maxPendingLocked() {
+		p.recordsMu.Unlock()
+		p.droppedRecords.Add(1)
+		p.metrics.Inc("nocdn.peer.records_rejected")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "record queue full", http.StatusServiceUnavailable)
+		return
+	}
 	p.records = append(p.records, rec)
 	p.recordsMu.Unlock()
 	w.WriteHeader(http.StatusAccepted)
@@ -211,6 +295,11 @@ func (p *Peer) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n, err := p.Flush(origin)
+	if errors.Is(err, ErrFlushDeferred) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -219,10 +308,19 @@ func (p *Peer) handleFlush(w http.ResponseWriter, r *http.Request) {
 }
 
 // Flush uploads accumulated records to the provider at originURL, returning
-// how many were sent. Records are cleared regardless of credit decision —
-// settlement disputes are the provider's ledger, not the peer's queue.
+// how many were sent. Records are cleared on any settled decision (2xx or a
+// 4xx rejection) — settlement disputes are the provider's ledger, not the
+// peer's queue. On a transport failure or 5xx the batch is requeued (capped
+// at the pending limit, oldest shed first) and a backoff gate opens:
+// further Flush calls return ErrFlushDeferred without touching the network
+// until the gate expires, so a dead origin is never hot-retried.
 func (p *Peer) Flush(originURL string) (int, error) {
+	now := p.now()
 	p.recordsMu.Lock()
+	if now.Before(p.nextFlushAt) {
+		p.recordsMu.Unlock()
+		return 0, ErrFlushDeferred
+	}
 	batch := p.records
 	p.records = nil
 	p.recordsMu.Unlock()
@@ -235,15 +333,32 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	}
 	resp, err := p.httpClient.Post(
 		strings.TrimSuffix(originURL, "/")+"/usage", "application/json", bytes.NewReader(body))
-	if err != nil {
-		// Put the batch back for a later retry.
-		p.recordsMu.Lock()
-		p.records = append(batch, p.records...)
-		p.recordsMu.Unlock()
-		return 0, err
+	if err == nil {
+		code := resp.StatusCode
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if code < 500 {
+			p.recordsMu.Lock()
+			p.flushFailures = 0
+			p.nextFlushAt = time.Time{}
+			p.recordsMu.Unlock()
+			return len(batch), nil
+		}
+		err = fmt.Errorf("nocdn: usage upload status %d", code)
 	}
-	resp.Body.Close()
-	return len(batch), nil
+	// Requeue the batch ahead of anything that arrived meanwhile, shed the
+	// oldest overflow, and arm the backoff gate.
+	p.recordsMu.Lock()
+	p.records = append(batch, p.records...)
+	if over := len(p.records) - p.maxPendingLocked(); over > 0 {
+		p.records = append([]UsageRecord(nil), p.records[over:]...)
+		p.droppedRecords.Add(int64(over))
+	}
+	p.flushFailures++
+	p.nextFlushAt = now.Add(p.FlushBackoff.Delay(p.flushFailures))
+	p.recordsMu.Unlock()
+	p.metrics.Inc("nocdn.peer.flush_failures")
+	return 0, err
 }
 
 // InflateRecords doubles the byte counts of all pending records — the
