@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +49,8 @@ func run(args []string) error {
 	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
 	fetchTimeout := fs.Duration("fetch-timeout", nocdn.DefaultPeerFetchTimeout,
 		"per-request timeout for NoCDN peer fetches and DCol relay dials")
+	debugAddr := fs.String("debug-addr", "",
+		"serve pprof plus /metrics, /healthz and /debug/traces on a second listener (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +99,8 @@ func run(args []string) error {
 		svc := &hpop.FuncService{
 			ServiceName: "nocdn-peer",
 			OnStart: func(ctx *hpop.ServiceContext) error {
+				peer.SetMetrics(ctx.Metrics)
+				peer.SetTracer(ctx.Tracer)
 				ctx.Mux.Handle("/nocdn/", http.StripPrefix("/nocdn", peer.Handler()))
 				return nil
 			},
@@ -115,6 +120,7 @@ func run(args []string) error {
 				if err != nil {
 					return err
 				}
+				relay.SetMetrics(ctx.Metrics)
 				ctx.Events.Logf("dcol-waypoint", "relaying on %s", relay.Addr())
 				return nil
 			},
@@ -144,7 +150,21 @@ func run(args []string) error {
 	if relay != nil {
 		fmt.Printf("DCol waypoint relay at %s\n", relay.Addr())
 	}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			h.Stop(context.Background())
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: hpop.DebugMux(*name, h.Metrics(), h.Tracer(), h.Health)}
+		go debugSrv.Serve(ln)
+		fmt.Printf("debug endpoints (pprof, /metrics, /healthz, /debug/traces) at http://%s/\n", ln.Addr())
+	}
 	<-sig
 	fmt.Println("shutting down")
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	return h.Stop(context.Background())
 }

@@ -23,6 +23,81 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestMetricsDebugAddrEndpoints boots the daemon with -debug-addr and
+// checks the second listener serves the full debug surface (pprof included)
+// while the main listener keeps serving /metrics and /healthz.
+func TestMetricsDebugAddrEndpoints(t *testing.T) {
+	const addr = "127.0.0.1:39811"
+	const debugAddr = "127.0.0.1:39812"
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", addr,
+			"-password", "pw",
+			"-name", "probe-debug",
+			"-debug-addr", debugAddr,
+		})
+	}()
+
+	var err error
+	for i := 0; i < 100; i++ {
+		var resp *http.Response
+		resp, err = http.Get("http://" + debugAddr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("debug listener never came up: %v", err)
+	}
+
+	get := func(base, path, want string) {
+		t.Helper()
+		resp, err := http.Get("http://" + base + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s%s status = %d", base, path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s%s missing %q in: %.200s", base, path, want, body)
+		}
+	}
+	// Prime a metric: even an unauthorized DAV probe is timed by the attic.
+	if resp, err := http.Get("http://" + addr + "/dav/"); err == nil {
+		resp.Body.Close()
+	}
+	get(debugAddr, "/metrics", "# TYPE attic.request_seconds histogram")
+	get(debugAddr, "/healthz", `"status":"ok"`)
+	get(debugAddr, "/debug/traces", `"spans"`)
+	get(debugAddr, "/debug/pprof/", "profiles")
+	// The appliance's own mux serves the observability trio too (no pprof).
+	get(addr, "/metrics", "# TYPE")
+	get(addr, "/healthz", `"probe-debug"`)
+	get(addr, "/debug/traces", `"spans"`)
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+}
+
 // TestFullDaemonLifecycle boots the daemon with every service enabled on
 // fixed loopback ports, probes its HTTP surface, and shuts it down with
 // SIGTERM (signal handling is registered before the listener opens, so the

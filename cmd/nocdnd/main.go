@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"hpop/internal/faults"
+	"hpop/internal/hpop"
 	"hpop/internal/nocdn"
 )
 
@@ -79,15 +81,34 @@ func run(args []string) error {
 		"load: max attempts per fetch (1 = no retries)")
 	chaos := fs.String("chaos", "", "load: inline fault schedule (see internal/faults)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "load: override the schedule's seed (0 = keep)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve pprof plus /metrics, /healthz and /debug/traces on a second listener (empty: disabled)")
 	var peers kvFlags
 	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	metrics := hpop.NewMetrics()
+	tracer := hpop.NewTracer(0)
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		name := "nocdnd-" + *mode
+		srv := &http.Server{Handler: hpop.DebugMux(name, metrics, tracer, func() map[string]error {
+			return map[string]error{*mode: nil}
+		})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("debug endpoints (pprof, /metrics, /healthz, /debug/traces) at http://%s/\n", ln.Addr())
+	}
+
 	switch *mode {
 	case "origin":
 		o := nocdn.NewOrigin(*provider)
+		o.SetMetrics(metrics)
 		if *content == "" {
 			return fmt.Errorf("origin mode requires -content")
 		}
@@ -98,10 +119,12 @@ func run(args []string) error {
 			o.RegisterPeer(kv[0], kv[1], float64(10+i*10))
 		}
 		fmt.Printf("nocdn origin %q on %s (%d peers)\n", *provider, *listen, len(peers.pairs))
-		return http.ListenAndServe(*listen, o.Handler())
+		return http.ListenAndServe(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer))
 	case "peer":
 		p := nocdn.NewPeer(*id, *cacheMB<<20)
 		p.SetFetchTimeout(*fetchTimeout)
+		p.SetMetrics(metrics)
+		p.SetTracer(tracer)
 		for _, pair := range strings.Split(*provider, ",") {
 			kv := strings.SplitN(pair, "=", 2)
 			if len(kv) != 2 {
@@ -110,7 +133,7 @@ func run(args []string) error {
 			p.SignUp(kv[0], kv[1])
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
-		return http.ListenAndServe(*listen, p.Handler())
+		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer))
 	case "load":
 		if *originURL == "" {
 			return fmt.Errorf("load mode requires -origin")
@@ -123,6 +146,8 @@ func run(args []string) error {
 			Concurrency:  *concurrency,
 			FetchTimeout: *fetchTimeout,
 			Retry:        faults.Policy{MaxAttempts: *retries},
+			Metrics:      metrics,
+			Tracer:       tracer,
 		}
 		if *chaos != "" {
 			sched, err := faults.ParseSchedule(*chaos)
@@ -133,6 +158,7 @@ func run(args []string) error {
 				sched.Seed = *chaosSeed
 			}
 			inj := faults.NewInjector(sched)
+			inj.Metrics = metrics
 			loader.HTTPClient = &http.Client{
 				Timeout:   *fetchTimeout,
 				Transport: inj.Transport(nil),
@@ -143,6 +169,21 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+}
+
+// observabilityMux wraps a serving mode's handler with the observability
+// endpoints on the same listener: /metrics, /healthz and /debug/traces
+// (pprof stays behind -debug-addr). Provider objects at those exact paths
+// are shadowed; use a dedicated -debug-addr listener if that matters.
+func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", app)
+	mux.HandleFunc("/metrics", hpop.MetricsHandler(m))
+	mux.HandleFunc("/healthz", hpop.HealthHandler("nocdnd-"+mode, func() map[string]error {
+		return map[string]error{mode: nil}
+	}))
+	mux.HandleFunc("/debug/traces", hpop.TracesHandler(t))
+	return mux
 }
 
 // runLoads performs page views and prints per-view and aggregate stats.

@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"hpop/internal/hpop"
 	"hpop/internal/nocdn"
 	"hpop/internal/sim"
 )
@@ -99,6 +102,54 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "load", "-origin", "http://x", "-views", "0"}); err == nil {
 		t.Error("load with zero views accepted")
+	}
+}
+
+// TestMetricsObservabilityMux checks the serving modes' wrapped mux: the
+// application handler keeps working at "/" while /metrics, /healthz and
+// /debug/traces answer on the same listener.
+func TestMetricsObservabilityMux(t *testing.T) {
+	dir := writeSite(t)
+	o := nocdn.NewOrigin("t", nocdn.WithRNG(sim.NewRNG(1)))
+	if err := loadContent(o, dir); err != nil {
+		t.Fatal(err)
+	}
+	o.RegisterPeer("p", "http://p", 1)
+	metrics := hpop.NewMetrics()
+	tracer := hpop.NewTracer(0)
+	o.SetMetrics(metrics)
+	srv := httptest.NewServer(observabilityMux("origin", o.Handler(), metrics, tracer))
+	defer srv.Close()
+
+	get := func(path string, wantStatus int, wantIn string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("GET %s status = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		if !strings.Contains(string(body), wantIn) {
+			t.Errorf("GET %s missing %q in: %.200s", path, wantIn, body)
+		}
+	}
+	// The origin still answers through the wrapper route...
+	get("/wrapper?page=index", http.StatusOK, `"page"`)
+	// ...and the wrapper generation above landed in the histogram.
+	get("/metrics", http.StatusOK, "# TYPE nocdn.origin.wrapper_seconds histogram")
+	get("/healthz", http.StatusOK, `"nocdnd-origin"`)
+	get("/debug/traces", http.StatusOK, `"spans"`)
+	// pprof stays off the serving listener (only -debug-addr exposes it).
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof reachable on the serving listener")
 	}
 }
 

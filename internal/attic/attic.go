@@ -144,6 +144,21 @@ func (a *Attic) Stop() error {
 	return nil
 }
 
+// Healthy implements hpop.HealthChecker: the attic is ready when started,
+// and degrades when a configured quota is fully consumed (further uploads
+// would all be refused with 507).
+func (a *Attic) Healthy() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.started {
+		return errors.New("attic: not started")
+	}
+	if a.quotaBytes > 0 && a.fs.TotalBytes() >= a.quotaBytes {
+		return fmt.Errorf("attic: quota exhausted (%d/%d bytes)", a.fs.TotalBytes(), a.quotaBytes)
+	}
+	return nil
+}
+
 // SetBaseURL records the externally reachable URL, embedded in new grants.
 func (a *Attic) SetBaseURL(u string) {
 	a.mu.Lock()
@@ -169,7 +184,15 @@ func (a *Attic) instrument(next http.Handler) http.Handler {
 				return
 			}
 		}
+		// The upload hot path gets its own latency histogram (friend
+		// replication streams through here); everything else shares one.
+		start := time.Now()
 		next.ServeHTTP(w, r)
+		if r.Method == http.MethodPut {
+			a.metrics.Observe("attic.put_seconds", time.Since(start).Seconds())
+		} else {
+			a.metrics.Observe("attic.request_seconds", time.Since(start).Seconds())
+		}
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"hpop/internal/faults"
 	"hpop/internal/hpop"
@@ -35,8 +36,13 @@ type Replicator struct {
 	// The zero value applies the faults package defaults.
 	Retry faults.Policy
 	// Metrics, when non-nil, receives attic.replicator.retries and
-	// attic.replicator.giveups counters.
+	// attic.replicator.giveups counters plus the
+	// attic.replicator.op_seconds histogram (one sample per remote WebDAV
+	// operation, retries included).
 	Metrics *hpop.Metrics
+	// Tracer, when non-nil, records one span per Sync pass with upload,
+	// delete, and failure child spans.
+	Tracer *hpop.Tracer
 
 	mu sync.Mutex
 	// synced maps local path -> local ETag at last successful push.
@@ -66,6 +72,10 @@ type SyncStats struct {
 // Non-5xx status errors are permanent and surface unchanged (callers
 // special-case 405/404 by identity); network errors and 5xx retry.
 func (r *Replicator) remoteOp(ctx context.Context, op func() error) error {
+	start := time.Now()
+	defer func() {
+		r.Metrics.Observe("attic.replicator.op_seconds", time.Since(start).Seconds())
+	}()
 	permanent := false
 	attempts, err := r.Retry.Do(ctx, func(context.Context) error {
 		err := op()
@@ -106,7 +116,15 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 	if err != nil {
 		return SyncStats{}, err
 	}
+	sp := r.Tracer.Start("attic.replicator", "sync")
+	sp.SetLabel("root", root)
+	defer sp.End()
 	var stats SyncStats
+	defer func() {
+		sp.SetLabel("uploaded", fmt.Sprint(stats.Uploaded))
+		sp.SetLabel("skipped", fmt.Sprint(stats.Skipped))
+		sp.SetLabel("deleted", fmt.Sprint(stats.Deleted))
+	}()
 	seen := make(map[string]bool)
 
 	// Ensure the destination root chain exists (scoped syncs start below
@@ -149,12 +167,17 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 		if err != nil {
 			return err
 		}
+		psp := sp.Child("put")
+		psp.SetLabel("path", remote)
 		if err := r.remoteOp(ctx, func() error {
 			_, perr := r.dst.Put(remote, data, nil)
 			return perr
 		}); err != nil {
+			psp.SetError(err)
+			psp.End()
 			return fmt.Errorf("put %s: %w", remote, err)
 		}
+		psp.End()
 		r.mu.Lock()
 		r.synced[info.Path] = info.ETag
 		r.mu.Unlock()
@@ -177,10 +200,15 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 	}
 	r.mu.Unlock()
 	for _, p := range gone {
+		dsp := sp.Child("delete")
+		dsp.SetLabel("path", r.remotePath(p))
 		if err := r.remoteOp(ctx, func() error { return r.dst.Delete(r.remotePath(p), nil) }); err != nil &&
 			!webdav.IsStatus(err, http.StatusNotFound) {
+			dsp.SetError(err)
+			dsp.End()
 			return stats, fmt.Errorf("delete %s: %w", p, err)
 		}
+		dsp.End()
 		r.mu.Lock()
 		delete(r.synced, p)
 		r.mu.Unlock()

@@ -40,7 +40,17 @@ type Relay struct {
 	bytesRelayed atomic.Int64
 	// AllowDial filters destinations (policy hook; nil allows all).
 	AllowDial func(hostport string) bool
+
+	// metrics, when set, receives dcol.relay.* counters and the
+	// dial/handshake and session-length histograms.
+	metrics *hpop.Metrics
 }
+
+// SetMetrics wires a metrics registry for dcol.relay.dials,
+// dcol.relay.refusals, dcol.relay.bytes, and the
+// dcol.relay.handshake_seconds / dcol.relay.session_seconds histograms.
+// Safe to call before traffic arrives (hpopd wires it right after start).
+func (r *Relay) SetMetrics(m *hpop.Metrics) { r.metrics = m }
 
 // StartRelay listens on addr ("127.0.0.1:0" for tests) and serves until
 // Close, with the default dial timeout.
@@ -105,6 +115,7 @@ func (r *Relay) acceptLoop() {
 
 func (r *Relay) handle(client net.Conn) {
 	defer client.Close()
+	accepted := time.Now()
 	// The signaling line must arrive within the dial timeout; a client
 	// that connects and stalls must not hold this goroutine forever.
 	client.SetReadDeadline(time.Now().Add(r.dialTimeout))
@@ -122,11 +133,13 @@ func (r *Relay) handle(client net.Conn) {
 	}
 	target := strings.TrimPrefix(line, cmd)
 	if r.AllowDial != nil && !r.AllowDial(target) {
+		r.metrics.Inc("dcol.relay.refusals")
 		fmt.Fprintf(client, "ERR destination not allowed\n")
 		return
 	}
 	upstream, err := net.DialTimeout("tcp", target, r.dialTimeout)
 	if err != nil {
+		r.metrics.Inc("dcol.relay.dial_errors")
 		fmt.Fprintf(client, "ERR dial: %v\n", err)
 		return
 	}
@@ -135,11 +148,15 @@ func (r *Relay) handle(client net.Conn) {
 		return
 	}
 	r.dials.Add(1)
+	r.metrics.Inc("dcol.relay.dials")
+	// Handshake latency: accept to OK, i.e. signaling read + upstream dial.
+	r.metrics.Observe("dcol.relay.handshake_seconds", time.Since(accepted).Seconds())
 
+	var sessionBytes atomic.Int64
 	done := make(chan struct{}, 2)
 	pipe := func(dst net.Conn, firstSrc io.Reader) {
 		// Count bytes as they flow, not only at connection teardown.
-		io.Copy(&countingWriter{w: dst, n: &r.bytesRelayed}, firstSrc)
+		io.Copy(&countingWriter{w: dst, n: &r.bytesRelayed, session: &sessionBytes}, firstSrc)
 		// Half-close towards dst so the other side sees EOF.
 		if tc, ok := dst.(*net.TCPConn); ok {
 			tc.CloseWrite()
@@ -150,18 +167,25 @@ func (r *Relay) handle(client net.Conn) {
 	go pipe(client, upstream)
 	<-done
 	<-done
+	r.metrics.Add("dcol.relay.bytes", float64(sessionBytes.Load()))
+	r.metrics.Observe("dcol.relay.session_seconds", time.Since(accepted).Seconds())
 }
 
-// countingWriter adds written byte counts to an atomic counter.
+// countingWriter adds written byte counts to the relay-wide and per-session
+// atomic counters.
 type countingWriter struct {
-	w io.Writer
-	n *atomic.Int64
+	w       io.Writer
+	n       *atomic.Int64
+	session *atomic.Int64
 }
 
 // Write implements io.Writer.
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n.Add(int64(n))
+	if c.session != nil {
+		c.session.Add(int64(n))
+	}
 	return n, err
 }
 
@@ -177,8 +201,12 @@ type Dialer struct {
 	// allowed") are permanent and never retried.
 	Retry faults.Policy
 	// Metrics, when non-nil, receives dcol.dial.retries and
-	// dcol.dial.giveups counters.
+	// dcol.dial.giveups counters plus the dcol.dial_seconds histogram
+	// (one sample per DialVia call, retries included).
 	Metrics *hpop.Metrics
+	// Tracer, when non-nil, records a span per DialVia call labelled with
+	// the relay and destination addresses.
+	Tracer *hpop.Tracer
 }
 
 func (d *Dialer) timeout() time.Duration {
@@ -192,6 +220,11 @@ func (d *Dialer) timeout() time.Duration {
 // performing the signaling exchange, and returns the established tunnel
 // connection (what the DCol kernel module does for each detour subflow).
 func (d *Dialer) DialVia(ctx context.Context, relayAddr, destination string) (net.Conn, error) {
+	sp := d.Tracer.Start("dcol.dialer", "dial_via")
+	sp.SetLabel("relay", relayAddr)
+	sp.SetLabel("dest", destination)
+	defer sp.End()
+	start := time.Now()
 	var out net.Conn
 	attempts, err := d.Retry.Do(ctx, func(actx context.Context) error {
 		conn, err := d.dialOnce(actx, relayAddr, destination)
@@ -201,11 +234,14 @@ func (d *Dialer) DialVia(ctx context.Context, relayAddr, destination string) (ne
 		out = conn
 		return nil
 	})
+	d.Metrics.Observe("dcol.dial_seconds", time.Since(start).Seconds())
 	if attempts > 1 {
 		d.Metrics.Add("dcol.dial.retries", float64(attempts-1))
+		sp.SetLabel("retries", fmt.Sprint(attempts-1))
 	}
 	if err != nil {
 		d.Metrics.Inc("dcol.dial.giveups")
+		sp.SetError(err)
 		return nil, err
 	}
 	return out, nil

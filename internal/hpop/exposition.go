@@ -1,0 +1,177 @@
+package hpop
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// WriteExposition renders the registry in the stable text exposition format
+// served at /metrics. Output is fully deterministic for a given metric
+// state: counters, then gauges, then histograms, each sorted by name.
+//
+//	# TYPE nocdn.loader.retries counter
+//	nocdn.loader.retries 2
+//	# TYPE nocdn.loader.fetch_seconds histogram
+//	nocdn.loader.fetch_seconds{le="0.001"} 4
+//	nocdn.loader.fetch_seconds{le="+Inf"} 9
+//	nocdn.loader.fetch_seconds.sum 0.0123
+//	nocdn.loader.fetch_seconds.count 9
+//	nocdn.loader.fetch_seconds.p50 0.0004
+//	nocdn.loader.fetch_seconds.p99 0.0038
+func (m *Metrics) WriteExposition(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	writeKind := func(vals map[string]float64, kind string) error {
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+				name, kind, name, formatFloat(vals[name])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeKind(m.counters.snapshot(), "counter"); err != nil {
+		return err
+	}
+	if err := writeKind(m.gauges.snapshot(), "gauge"); err != nil {
+		return err
+	}
+
+	hists := m.Histograms()
+	names := make([]string, 0, len(hists))
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		bounds := h.Bounds()
+		snap := h.bucketSnapshot()
+		var cum uint64
+		for i, bound := range bounds {
+			cum += snap[i]
+			if _, err := fmt.Fprintf(w, "%s{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += snap[len(bounds)]
+		if _, err := fmt.Fprintf(w, "%s{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s.sum %s\n%s.count %d\n%s.p50 %s\n%s.p99 %s\n",
+			name, formatFloat(h.Sum()), name, h.Count(),
+			name, formatFloat(h.Quantile(0.5)), name, formatFloat(h.Quantile(0.99))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a metric value with the shortest round-tripping
+// representation, so exposition output is byte-stable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the text exposition of m at GET /metrics.
+func MetricsHandler(m *Metrics) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		m.WriteExposition(w)
+	}
+}
+
+// TracesHandler serves the tracer's recent spans as JSON at
+// GET /debug/traces. The optional ?n= query bounds how many spans return
+// (default 256, capped at the ring size).
+func TracesHandler(t *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		spans := t.Recent(n)
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(map[string]any{"spans": spans}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// HealthChecker is optionally implemented by services that can report
+// readiness beyond "Start returned nil". A nil return means healthy.
+type HealthChecker interface {
+	Healthy() error
+}
+
+// HealthResponse is the /healthz JSON shape.
+type HealthResponse struct {
+	Name   string `json:"name"`
+	Status string `json:"status"` // "ok" or "degraded"
+	// Services maps service name -> "ok" or the failure message.
+	Services map[string]string `json:"services"`
+}
+
+// HealthHandler serves per-service readiness at GET /healthz: 200 with
+// status "ok" when every service reports healthy, 503 with "degraded" (and
+// the failing services' errors) otherwise. The health callback returns
+// service name -> error (nil = healthy).
+func HealthHandler(name string, health func() map[string]error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		resp := HealthResponse{Name: name, Status: "ok", Services: map[string]string{}}
+		if health != nil {
+			for svc, err := range health() {
+				if err != nil {
+					resp.Status = "degraded"
+					resp.Services[svc] = err.Error()
+				} else {
+					resp.Services[svc] = "ok"
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if resp.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// DebugMux builds the opt-in debug surface both daemons serve behind
+// -debug-addr: the observability endpoints plus net/http/pprof. It is kept
+// off the appliance's public mux so profiling is never reachable unless
+// explicitly enabled.
+func DebugMux(name string, m *Metrics, t *Tracer, health func() map[string]error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", MetricsHandler(m))
+	mux.HandleFunc("/healthz", HealthHandler(name, health))
+	mux.HandleFunc("/debug/traces", TracesHandler(t))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,171 @@
+package hpop
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets returns the default histogram bucket upper bounds:
+// log-spaced (doubling) from 1µs to ~33s, expressed in seconds. They cover
+// everything from an in-memory cache hit to a residential peer timing out,
+// with samples beyond the last bound landing in the overflow bucket.
+func DefaultBuckets() []float64 {
+	bounds := make([]float64, 26)
+	b := 1e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Histogram is a lock-cheap fixed-bucket histogram: bucket counts, the
+// total count, and the running sum are all atomics, so Observe on a serving
+// hot path costs two atomic adds and one CAS — no locks, no allocation.
+// Like Metrics, every method is nil-receiver safe.
+//
+// Buckets are upper bounds (a sample v lands in the first bucket whose
+// bound is >= v); samples above the last bound land in an implicit
+// overflow (+Inf) bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	total  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram creates a histogram with the given bucket upper bounds
+// (sorted copies are taken; nil or empty means DefaultBuckets()).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		sort.Float64s(bounds)
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Bounds returns the bucket upper bounds (shared slice; do not mutate).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the seconds elapsed since start — the common latency
+// instrumentation call. No-op on a nil histogram.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the running sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.load() / float64(n)
+}
+
+// bucketSnapshot copies the bucket counters (index len(bounds) is the
+// overflow bucket) so quantile math runs on one consistent-enough view.
+func (h *Histogram) bucketSnapshot() []uint64 {
+	snap := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+	}
+	return snap
+}
+
+// Quantile estimates the p-quantile (p in [0,1], clamped) by linear
+// interpolation inside the owning bucket. It returns 0 when the histogram
+// is empty; samples in the overflow bucket report the last bound (the
+// histogram cannot see beyond it). Quantile is monotonically non-decreasing
+// in p.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	snap := h.bucketSnapshot()
+	var total uint64
+	for _, c := range snap {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := p * float64(total)
+	var cum uint64
+	for i, c := range snap {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) >= target {
+			if i == len(h.bounds) {
+				// Overflow bucket: the upper edge is unknown, clamp to the
+				// last finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (target - float64(cum-c)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -38,6 +38,8 @@ type ServiceContext struct {
 	Mux *http.ServeMux
 	// Metrics is the shared metrics registry.
 	Metrics *Metrics
+	// Tracer is the shared request tracer (span ring buffer).
+	Tracer *Tracer
 	// Events is the appliance event log.
 	Events *EventLog
 	// Config is the appliance configuration.
@@ -111,6 +113,7 @@ func (l *EventLog) Recent(n int) []Event {
 type HPoP struct {
 	cfg     Config
 	metrics *Metrics
+	tracer  *Tracer
 	events  *EventLog
 
 	mu       sync.Mutex
@@ -129,6 +132,7 @@ func New(cfg Config) *HPoP {
 	return &HPoP{
 		cfg:     cfg,
 		metrics: NewMetrics(),
+		tracer:  NewTracer(0),
 		events:  NewEventLog(0, nil),
 		mux:     http.NewServeMux(),
 	}
@@ -137,8 +141,15 @@ func New(cfg Config) *HPoP {
 // Metrics returns the shared registry.
 func (h *HPoP) Metrics() *Metrics { return h.metrics }
 
+// Tracer returns the shared request tracer.
+func (h *HPoP) Tracer() *Tracer { return h.tracer }
+
 // Events returns the appliance event log.
 func (h *HPoP) Events() *EventLog { return h.events }
+
+// Health reports per-service readiness, as served by /healthz. Useful for
+// wiring the same view onto a second listener (see cmd/hpopd -debug-addr).
+func (h *HPoP) Health() map[string]error { return h.healthSnapshot() }
 
 // Name returns the appliance label.
 func (h *HPoP) Name() string { return h.cfg.Name }
@@ -171,6 +182,7 @@ func (h *HPoP) Start() error {
 	ctx := &ServiceContext{
 		Mux:     h.mux,
 		Metrics: h.metrics,
+		Tracer:  h.tracer,
 		Events:  h.events,
 		Config:  h.cfg,
 	}
@@ -184,6 +196,9 @@ func (h *HPoP) Start() error {
 		h.events.Logf(s.Name(), "started")
 	}
 	h.mux.HandleFunc("/status", h.handleStatus)
+	h.mux.HandleFunc("/metrics", MetricsHandler(h.metrics))
+	h.mux.HandleFunc("/healthz", HealthHandler(h.cfg.Name, h.healthSnapshot))
+	h.mux.HandleFunc("/debug/traces", TracesHandler(h.tracer))
 
 	addr := h.cfg.ListenAddr
 	if addr == "" {
@@ -240,6 +255,25 @@ func (h *HPoP) URL() string {
 // given NAT situation.
 func (h *HPoP) PlanReachability(client nat.Endpoint) nat.Plan {
 	return nat.PlanTraversal(h.cfg.NAT, client)
+}
+
+// healthSnapshot reports per-service readiness: services implementing
+// HealthChecker answer for themselves; the rest are healthy by virtue of
+// having started (Start rolls back on any failure, so a serving appliance
+// only hosts started services).
+func (h *HPoP) healthSnapshot() map[string]error {
+	h.mu.Lock()
+	services := append([]Service(nil), h.services...)
+	h.mu.Unlock()
+	out := make(map[string]error, len(services))
+	for _, s := range services {
+		if hc, ok := s.(HealthChecker); ok {
+			out[s.Name()] = hc.Healthy()
+		} else {
+			out[s.Name()] = nil
+		}
+	}
+	return out
 }
 
 // statusResponse is the /status JSON shape.

@@ -1,36 +1,32 @@
-// Package hpop implements the home point of presence appliance core: a
-// service registry with lifecycle management, an HTTP front end that hosts
-// service handlers, a metrics registry, an event log, and the reachability
-// planner that applies §III's NAT-traversal ladder (UPnP, then STUN, then
-// TURN relaying).
-//
-// Services (the data attic, a NoCDN peer, a DCol waypoint, the
-// Internet@home cache) implement the Service interface and are registered
-// on one HPoP, which is "operational as long as there is power and online as
-// long as there is Internet connectivity".
 package hpop
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// Metrics is a simple thread-safe counter/gauge registry shared by services.
-// All methods are nil-receiver safe: instrumented code paths (loader
-// retries, flush backoff, replicator giveups) never need to guard their
-// optional Metrics field.
+// Metrics is a thread-safe registry of counters, gauges, and latency
+// histograms shared by services. All methods are nil-receiver safe:
+// instrumented code paths (loader retries, flush backoff, replicator
+// giveups, proxy latency) never need to guard their optional Metrics field.
+//
+// Counters and gauges are sharded by name hash and stored as atomic cells,
+// so hot-path increments from the loader/peer fan-out never serialize on a
+// single registry lock: a shard's read lock is taken only to find the cell,
+// and the update itself is a lock-free CAS.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]float64
-	gauges   map[string]float64
+	counters shardedFloats
+	gauges   shardedFloats
+
+	histMu sync.RWMutex
+	hists  map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		counters: make(map[string]float64),
-		gauges:   make(map[string]float64),
-	}
+	return &Metrics{}
 }
 
 // Add increments a counter by delta. No-op on a nil registry.
@@ -38,9 +34,7 @@ func (m *Metrics) Add(name string, delta float64) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counters[name] += delta
+	m.counters.cell(name).add(delta)
 }
 
 // Inc increments a counter by one. No-op on a nil registry.
@@ -51,9 +45,7 @@ func (m *Metrics) Counter(name string) float64 {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	return m.counters.load(name)
 }
 
 // Set sets a gauge. No-op on a nil registry.
@@ -61,9 +53,7 @@ func (m *Metrics) Set(name string, value float64) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.gauges[name] = value
+	m.gauges.cell(name).store(value)
 }
 
 // Gauge returns a gauge's current value (zero on a nil registry).
@@ -71,30 +61,93 @@ func (m *Metrics) Gauge(name string) float64 {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.gauges[name]
+	return m.gauges.load(name)
 }
 
-// Snapshot returns all metrics as a name->value map (counters and gauges
-// merged; gauge names win on collision).
-func (m *Metrics) Snapshot() map[string]float64 {
+// Histogram returns the named histogram, creating it with DefaultBuckets on
+// first use. Returns nil on a nil registry (and *Histogram methods are
+// nil-receiver safe, so callers never need to check).
+func (m *Metrics) Histogram(name string) *Histogram {
+	return m.HistogramWithBounds(name, nil)
+}
+
+// HistogramWithBounds returns the named histogram, creating it with the
+// given bucket upper bounds on first use (nil bounds means DefaultBuckets).
+// Bounds of an already-registered histogram are never changed.
+func (m *Metrics) HistogramWithBounds(name string, bounds []float64) *Histogram {
 	if m == nil {
-		return map[string]float64{}
+		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]float64, len(m.counters)+len(m.gauges))
-	for k, v := range m.counters {
-		out[k] = v
+	m.histMu.RLock()
+	h := m.hists[name]
+	m.histMu.RUnlock()
+	if h != nil {
+		return h
 	}
-	for k, v := range m.gauges {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	if h = m.hists[name]; h != nil {
+		return h
+	}
+	if m.hists == nil {
+		m.hists = make(map[string]*Histogram)
+	}
+	h = NewHistogram(bounds)
+	m.hists[name] = h
+	return h
+}
+
+// Observe records one sample in the named histogram. No-op on a nil
+// registry.
+func (m *Metrics) Observe(name string, v float64) {
+	m.Histogram(name).Observe(v)
+}
+
+// Histograms returns a snapshot of the registered histograms (name ->
+// histogram; the histograms themselves are live, not copies).
+func (m *Metrics) Histograms() map[string]*Histogram {
+	if m == nil {
+		return map[string]*Histogram{}
+	}
+	m.histMu.RLock()
+	defer m.histMu.RUnlock()
+	out := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
 		out[k] = v
 	}
 	return out
 }
 
-// Names returns all metric names, sorted (stable output for status pages).
+// Snapshot returns counters and gauges as a name->value map. A name used as
+// both a counter and a gauge is reported under "counter:NAME" and
+// "gauge:NAME" so neither silently shadows the other; non-colliding names
+// stay bare.
+func (m *Metrics) Snapshot() map[string]float64 {
+	if m == nil {
+		return map[string]float64{}
+	}
+	counters := m.counters.snapshot()
+	gauges := m.gauges.snapshot()
+	out := make(map[string]float64, len(counters)+len(gauges))
+	for k, v := range counters {
+		if _, dup := gauges[k]; dup {
+			out["counter:"+k] = v
+		} else {
+			out[k] = v
+		}
+	}
+	for k, v := range gauges {
+		if _, dup := counters[k]; dup {
+			out["gauge:"+k] = v
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Names returns all counter and gauge names, sorted (stable output for
+// status pages). Histogram names are listed by Histograms.
 func (m *Metrics) Names() []string {
 	snap := m.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -103,4 +156,98 @@ func (m *Metrics) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// metricShards is the shard count for counter/gauge maps; a power of two so
+// the shard pick is a mask.
+const metricShards = 16
+
+// atomicFloat is a float64 updated lock-free via its IEEE-754 bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// shardedFloats maps names to atomic float cells across independently locked
+// shards. The shard lock guards only the map; cell updates are atomic, so
+// two goroutines bumping different (or even the same) counter in one shard
+// contend only on the brief read lock.
+type shardedFloats struct {
+	shards [metricShards]struct {
+		mu   sync.RWMutex
+		vals map[string]*atomicFloat
+	}
+}
+
+// shardFor hashes name with FNV-1a and masks into the shard array.
+func (s *shardedFloats) shardFor(name string) *struct {
+	mu   sync.RWMutex
+	vals map[string]*atomicFloat
+} {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &s.shards[h&(metricShards-1)]
+}
+
+// cell returns the named cell, creating it on first use.
+func (s *shardedFloats) cell(name string) *atomicFloat {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	c := sh.vals[name]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.vals[name]; c != nil {
+		return c
+	}
+	if sh.vals == nil {
+		sh.vals = make(map[string]*atomicFloat)
+	}
+	c = &atomicFloat{}
+	sh.vals[name] = c
+	return c
+}
+
+// load returns the named value without creating a cell.
+func (s *shardedFloats) load(name string) float64 {
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if c := sh.vals[name]; c != nil {
+		return c.load()
+	}
+	return 0
+}
+
+// snapshot copies every shard's values into one map.
+func (s *shardedFloats) snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, c := range sh.vals {
+			out[k] = c.load()
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }

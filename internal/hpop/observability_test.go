@@ -1,0 +1,472 @@
+package hpop
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsSnapshotCollision is the regression test for the
+// gauge-shadows-counter bug: a name used as both a counter and a gauge used
+// to collapse into one map entry (whichever kind iterated last won). Now
+// both survive under kind prefixes, while non-colliding names stay bare.
+func TestMetricsSnapshotCollision(t *testing.T) {
+	m := NewMetrics()
+	m.Add("requests", 3)
+	m.Set("requests", 41) // same name as a gauge — the old code lost one
+	m.Inc("retries")
+	m.Set("cache.bytes", 512)
+
+	snap := m.Snapshot()
+	if got := snap["counter:requests"]; got != 3 {
+		t.Errorf("counter:requests = %v, want 3", got)
+	}
+	if got := snap["gauge:requests"]; got != 41 {
+		t.Errorf("gauge:requests = %v, want 41", got)
+	}
+	if _, ok := snap["requests"]; ok {
+		t.Error("colliding bare name still present in snapshot")
+	}
+	// Non-colliding names are unprefixed, so existing callers keep working.
+	if got := snap["retries"]; got != 1 {
+		t.Errorf("retries = %v, want 1", got)
+	}
+	if got := snap["cache.bytes"]; got != 512 {
+		t.Errorf("cache.bytes = %v, want 512", got)
+	}
+}
+
+// TestMetricsHistogramQuantileTable drives Quantile through the edge cases:
+// empty histograms, single samples, exact bucket boundaries, sub-first-bound
+// samples, the overflow bucket, and out-of-range p.
+func TestMetricsHistogramQuantileTable(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single mid-bucket p=0", []float64{1.5}, 0, 1},
+		{"single mid-bucket p=0.5", []float64{1.5}, 0.5, 1.5},
+		{"single mid-bucket p=1", []float64{1.5}, 1, 2},
+		{"exact boundary lands inclusive", []float64{2}, 1, 2},
+		{"below first bound interpolates from 0", []float64{0.5}, 0.5, 0.5},
+		{"overflow clamps to last bound", []float64{100}, 0.99, 4},
+		{"spread p=0.25", []float64{0.5, 1.5, 3, 100}, 0.25, 1},
+		{"spread p=0.5", []float64{0.5, 1.5, 3, 100}, 0.5, 2},
+		{"spread p=0.75", []float64{0.5, 1.5, 3, 100}, 0.75, 4},
+		{"spread p=1 hits overflow", []float64{0.5, 1.5, 3, 100}, 1, 4},
+		{"spread fractional", []float64{0.5, 1.5, 3, 100}, 0.1, 0.4},
+		{"p clamped below", []float64{1.5}, -3, 1},
+		{"p clamped above", []float64{1.5}, 7, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.p); got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v (samples %v)", tc.p, got, tc.want, tc.samples)
+			}
+		})
+	}
+}
+
+// TestMetricsHistogramStats covers Count/Sum/Mean and default bounds.
+func TestMetricsHistogramStats(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := len(h.Bounds()); got != 26 {
+		t.Fatalf("default bounds = %d, want 26", got)
+	}
+	if h.Mean() != 0 {
+		t.Error("empty Mean != 0")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 6 || h.Mean() != 2 {
+		t.Errorf("count/sum/mean = %d/%v/%v, want 3/6/2", h.Count(), h.Sum(), h.Mean())
+	}
+	// Nil histograms absorb everything (unregistered metrics paths).
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveSince(time.Now())
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 || nilH.Bounds() != nil {
+		t.Error("nil histogram not inert")
+	}
+}
+
+// TestMetricsHistogramQuantileMonotone is the property test: for any sample
+// set, Quantile must be non-decreasing in p (the acceptance criterion's
+// "p50 <= p99" generalized).
+func TestMetricsHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram(nil)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Mix of microseconds to minutes, including overflow territory.
+			h.Observe(math.Exp(rng.Float64()*24 - 14))
+		}
+		prev := -1.0
+		for p := 0.0; p <= 1.0; p += 0.01 {
+			q := h.Quantile(p)
+			if q < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %v < Quantile(prev) = %v", trial, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+// TestMetricsHistogramHammer races Observe against Snapshot/Quantile/
+// exposition readers; run with -race this proves the lock-free hot path is
+// actually safe, not just fast.
+func TestMetricsHistogramHammer(t *testing.T) {
+	m := NewMetrics()
+	const workers = 8
+	const perWorker = 5000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent readers while writes are in flight
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Snapshot()
+			m.Histogram("lat").Quantile(0.99)
+			m.WriteExposition(io.Discard)
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Observe("lat", float64(i%100)/1000)
+				m.Inc("ops")
+				m.Set("gauge", float64(i))
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := m.Histogram("lat").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := m.Counter("ops"); got != workers*perWorker {
+		t.Errorf("ops = %v, want %d", got, workers*perWorker)
+	}
+}
+
+// TestMetricsExpositionGolden pins the /metrics text format byte for byte.
+// Regenerate with: go test ./internal/hpop -run TestMetricsExpositionGolden -update
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Add("nocdn.loader.retries", 2)
+	m.Inc("attic.replicator.giveups")
+	m.Set("cache.bytes", 1536)
+	h := m.HistogramWithBounds("fetch_seconds", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.002, 0.05, 0.5, 2.5} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := m.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Rendering twice must be byte-identical (sorted sections, stable floats).
+	var sb2 strings.Builder
+	m.WriteExposition(&sb2)
+	if sb2.String() != got {
+		t.Error("exposition not deterministic across calls")
+	}
+}
+
+// TestMetricsTracesJSONRoundTrip pushes a span tree through TracesHandler
+// and checks the JSON decodes back into identical records.
+func TestMetricsTracesJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	step := 0
+	tr.SetClock(func() time.Time { step++; return base.Add(time.Duration(step) * time.Millisecond) })
+
+	root := tr.Start("nocdn.loader", "load_page")
+	root.SetLabel("page", "home")
+	child := root.Child("origin_fallback")
+	child.SetLabel("reason", "tampered")
+	child.SetError(errors.New("hash mismatch"))
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(TracesHandler(tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var got struct {
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Recent(0)
+	if len(got.Spans) != len(want) || len(want) != 2 {
+		t.Fatalf("spans = %d, want %d (and 2)", len(got.Spans), len(want))
+	}
+	for i := range want {
+		g, w := got.Spans[i], want[i]
+		if g.ID != w.ID || g.ParentID != w.ParentID || g.Service != w.Service ||
+			g.Name != w.Name || g.DurationMS != w.DurationMS || g.Error != w.Error {
+			t.Errorf("span %d: got %+v, want %+v", i, g, w)
+		}
+		if !g.Start.Equal(w.Start) || !g.End.Equal(w.End) {
+			t.Errorf("span %d times drifted through JSON: %v/%v vs %v/%v",
+				i, g.Start, g.End, w.Start, w.End)
+		}
+		if fmt.Sprint(g.Labels) != fmt.Sprint(w.Labels) {
+			t.Errorf("span %d labels = %v, want %v", i, g.Labels, w.Labels)
+		}
+	}
+	// The child committed first (spans commit at End), parented to the root.
+	if got.Spans[0].Name != "origin_fallback" || got.Spans[0].ParentID != got.Spans[1].ID {
+		t.Errorf("span tree shape wrong: %+v", got.Spans)
+	}
+
+	// Malformed n is a client error, not a panic or empty 200.
+	resp2, err := http.Get(srv.URL + "?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestMetricsTracerRingAndSampling covers the bounded ring (oldest spans
+// evicted, order preserved) and per-service sampling with an injected RNG.
+func TestMetricsTracerRingAndSampling(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Start("svc", fmt.Sprintf("op%d", i)).End()
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(recent))
+	}
+	for i, rec := range recent {
+		if want := fmt.Sprintf("op%d", i+2); rec.Name != want {
+			t.Errorf("recent[%d] = %q, want %q (oldest first)", i, rec.Name, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Name != "op5" {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+
+	// rate 0: never sampled; the nil span absorbs the whole API.
+	tr.SetSampleRate("quiet", 0)
+	sp := tr.Start("quiet", "dropped")
+	if sp != nil {
+		t.Fatal("rate-0 service still sampled")
+	}
+	sp.SetLabel("k", "v")
+	sp.SetError(errors.New("x"))
+	sp.Child("c").End()
+	sp.End()
+
+	// Deterministic draw just above/below the rate flips the decision.
+	tr2 := NewTracer(4)
+	tr2.SetSampleRate("s", 0.5)
+	tr2.SetRand(func() float64 { return 0.9 })
+	if tr2.Start("s", "a") != nil {
+		t.Error("draw 0.9 >= rate 0.5 should drop")
+	}
+	tr2.SetRand(func() float64 { return 0.1 })
+	if tr2.Start("s", "b") == nil {
+		t.Error("draw 0.1 < rate 0.5 should record")
+	}
+
+	// Nil tracer: everything absorbs.
+	var nilT *Tracer
+	nilT.SetSampleRate("x", 1)
+	nilT.Start("x", "y").End()
+	if nilT.Recent(0) != nil {
+		t.Error("nil tracer returned spans")
+	}
+}
+
+// TestMetricsHealthHandler covers both readiness verdicts and the JSON shape.
+func TestMetricsHealthHandler(t *testing.T) {
+	okBody := func(health func() map[string]error) (int, HealthResponse) {
+		rec := httptest.NewRecorder()
+		HealthHandler("box", health)(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var hr HealthResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, hr
+	}
+	code, hr := okBody(func() map[string]error { return map[string]error{"attic": nil, "pim": nil} })
+	if code != http.StatusOK || hr.Status != "ok" || hr.Services["attic"] != "ok" {
+		t.Errorf("healthy = %d %+v", code, hr)
+	}
+	code, hr = okBody(func() map[string]error {
+		return map[string]error{"attic": errors.New("quota exhausted"), "pim": nil}
+	})
+	if code != http.StatusServiceUnavailable || hr.Status != "degraded" ||
+		hr.Services["attic"] != "quota exhausted" || hr.Services["pim"] != "ok" {
+		t.Errorf("degraded = %d %+v", code, hr)
+	}
+	if code, hr = okBody(nil); code != http.StatusOK || hr.Status != "ok" {
+		t.Errorf("nil health fn = %d %+v", code, hr)
+	}
+}
+
+// TestMetricsDebugMux checks the opt-in debug surface wires every endpoint,
+// including pprof.
+func TestMetricsDebugMux(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("x")
+	tr := NewTracer(4)
+	tr.Start("s", "op").End()
+	srv := httptest.NewServer(DebugMux("box", m, tr, nil))
+	defer srv.Close()
+	for path, wantIn := range map[string]string{
+		"/metrics":      "# TYPE x counter",
+		"/healthz":      `"status":"ok"`,
+		"/debug/traces": `"spans"`,
+		"/debug/pprof/": "profiles",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(body, wantIn) {
+			t.Errorf("%s body missing %q: %.200s", path, wantIn, body)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// BenchmarkMetricsAddParallel is the sharded hot path; compare against
+// BenchmarkMetricsAddParallelMutexBaseline (the old design: one registry
+// lock around a plain map) to confirm sharding did not regress and scales
+// under parallel writers.
+func BenchmarkMetricsAddParallel(b *testing.B) {
+	m := NewMetrics()
+	names := benchNames()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Add(names[i&7], 1)
+			i++
+		}
+	})
+}
+
+// mutexFloats is the pre-sharding design, kept here as the benchmark
+// baseline: every Add serializes on one lock.
+type mutexFloats struct {
+	mu   sync.Mutex
+	vals map[string]float64
+}
+
+func (m *mutexFloats) Add(name string, delta float64) {
+	m.mu.Lock()
+	m.vals[name] += delta
+	m.mu.Unlock()
+}
+
+func BenchmarkMetricsAddParallelMutexBaseline(b *testing.B) {
+	m := &mutexFloats{vals: make(map[string]float64)}
+	names := benchNames()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Add(names[i&7], 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkMetricsObserveParallel(b *testing.B) {
+	m := NewMetrics()
+	h := m.Histogram("lat")
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i&1023) / 1e4)
+			i++
+		}
+	})
+}
+
+func benchNames() [8]string {
+	var names [8]string
+	for i := range names {
+		names[i] = fmt.Sprintf("bench.counter.%d", i)
+	}
+	return names
+}

@@ -1,0 +1,252 @@
+package hpop
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the tracer's span ring buffer.
+const DefaultTraceCapacity = 2048
+
+// SpanRecord is one completed span as stored in the ring buffer and served
+// by /debug/traces. It round-trips through JSON unchanged.
+type SpanRecord struct {
+	ID         uint64            `json:"id"`
+	ParentID   uint64            `json:"parentId,omitempty"`
+	Service    string            `json:"service"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	End        time.Time         `json:"end"`
+	DurationMS float64           `json:"durationMs"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Tracer records span trees into a bounded ring buffer with per-service
+// sampling. Like Metrics, it is nil-receiver safe end to end: a nil Tracer
+// returns nil Spans, and every Span method is a no-op on nil — instrumented
+// paths never branch on "is tracing on".
+//
+// A sampling decision is made once per root span; children of a sampled
+// root are always recorded, so recorded trees are complete.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []SpanRecord
+	next   int
+	filled bool
+
+	rateMu sync.RWMutex
+	rates  map[string]float64 // service -> sample rate in [0,1]; absent = 1
+
+	nextID atomic.Uint64
+	now    func() time.Time
+	rand   func() float64
+}
+
+// NewTracer creates a tracer whose ring holds max completed spans
+// (<= 0 means DefaultTraceCapacity).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultTraceCapacity
+	}
+	return &Tracer{
+		ring: make([]SpanRecord, max),
+		now:  time.Now,
+		rand: rand.Float64,
+	}
+}
+
+// SetClock injects a time source (golden tests).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.now = now
+}
+
+// SetRand injects the uniform [0,1) source sampling draws from
+// (deterministic tests).
+func (t *Tracer) SetRand(r func() float64) {
+	if t == nil {
+		return
+	}
+	t.rand = r
+}
+
+// SetSampleRate sets the fraction of root spans recorded for a service
+// (clamped to [0,1]; services default to 1 — record everything).
+func (t *Tracer) SetSampleRate(service string, rate float64) {
+	if t == nil {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.rateMu.Lock()
+	defer t.rateMu.Unlock()
+	if t.rates == nil {
+		t.rates = make(map[string]float64)
+	}
+	t.rates[service] = rate
+}
+
+func (t *Tracer) sampled(service string) bool {
+	t.rateMu.RLock()
+	rate, ok := t.rates[service]
+	t.rateMu.RUnlock()
+	if !ok || rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	return t.rand() < rate
+}
+
+// Start opens a root span for a service operation, or returns nil when the
+// service's sampling rate drops it (and on a nil tracer). The returned
+// *Span is always safe to use.
+func (t *Tracer) Start(service, name string) *Span {
+	if t == nil || !t.sampled(service) {
+		return nil
+	}
+	return t.newSpan(service, name, 0)
+}
+
+func (t *Tracer) newSpan(service, name string, parent uint64) *Span {
+	return &Span{
+		t:       t,
+		id:      t.nextID.Add(1),
+		parent:  parent,
+		service: service,
+		name:    name,
+		start:   t.now(),
+	}
+}
+
+// record appends one completed span to the ring.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Recent returns up to n most recently completed spans, oldest first
+// (n <= 0 means all). Label maps are copies.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.filled {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SpanRecord, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		rec := t.ring[(start+i)%len(t.ring)]
+		if rec.Labels != nil {
+			labels := make(map[string]string, len(rec.Labels))
+			for k, v := range rec.Labels {
+				labels[k] = v
+			}
+			rec.Labels = labels
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Span is one in-flight operation. A nil *Span (unsampled root, nil tracer)
+// absorbs every call.
+type Span struct {
+	t       *Tracer
+	id      uint64
+	parent  uint64
+	service string
+	name    string
+	start   time.Time
+
+	mu     sync.Mutex
+	labels map[string]string
+	errMsg string
+	ended  bool
+}
+
+// Child opens a sub-span under this span (same service).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(s.service, name, s.id)
+}
+
+// SetLabel attaches a key=value annotation.
+func (s *Span) SetLabel(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labels == nil {
+		s.labels = make(map[string]string)
+	}
+	s.labels[key] = value
+}
+
+// SetError marks the span failed. SetError(nil) is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errMsg = err.Error()
+}
+
+// End completes the span and commits it to the tracer's ring buffer.
+// Calling End twice records once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	labels := s.labels
+	errMsg := s.errMsg
+	s.mu.Unlock()
+	end := s.t.now()
+	s.t.record(SpanRecord{
+		ID:         s.id,
+		ParentID:   s.parent,
+		Service:    s.service,
+		Name:       s.name,
+		Start:      s.start,
+		End:        end,
+		DurationMS: float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Labels:     labels,
+		Error:      errMsg,
+	})
+}

@@ -1,0 +1,241 @@
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
+	"hpop/internal/nocdn"
+	"hpop/internal/sim"
+)
+
+// parsedMetrics is a decoded /metrics exposition body.
+type parsedMetrics struct {
+	values map[string]float64 // bare counter/gauge lines and histogram .sum/.count/.p50/.p99
+}
+
+// parseExposition decodes the text format served at /metrics: "name value"
+// lines, skipping # TYPE comments and bucket lines (le="...").
+func parseExposition(t *testing.T, body string) *parsedMetrics {
+	t.Helper()
+	pm := &parsedMetrics{values: make(map[string]float64)}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{le=") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		pm.values[name] = f
+	}
+	return pm
+}
+
+// TestMetricsObservabilityChaosPageLoad is the acceptance test for this
+// change: a chaos-seeded (seed 7) NoCDN page load against live origin and
+// peer servers — one of which tampers with every object it serves — must be
+// fully visible through the daemon debug surface: retry counters, per-peer
+// fetch latency histograms with plausible quantiles (p50 <= p99), and at
+// least one origin-fallback span in /debug/traces.
+func TestMetricsObservabilityChaosPageLoad(t *testing.T) {
+	metrics := hpop.NewMetrics()
+	tracer := hpop.NewTracer(0)
+
+	// Origin with a deterministic peer-assignment RNG.
+	origin := nocdn.NewOrigin("example.com", nocdn.WithRNG(sim.NewRNG(7)))
+	origin.SetMetrics(metrics)
+	origin.AddObject("/index.html", bytes.Repeat([]byte("<html>"), 500))
+	for _, suffix := range []string{"a", "b", "c", "d"} {
+		origin.AddObject("/img/"+suffix+".png", bytes.Repeat([]byte(suffix), 10000))
+	}
+	if err := origin.AddPage(nocdn.Page{
+		Name:      "home",
+		Container: "/index.html",
+		Embedded:  []string{"/img/a.png", "/img/b.png", "/img/c.png", "/img/d.png"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin.Handler())
+	defer originSrv.Close()
+
+	// An honest caching peer, instrumented like cmd/hpopd wires it.
+	peer := nocdn.NewPeer("peer-good", 0)
+	peer.SignUp("example.com", originSrv.URL)
+	peer.SetMetrics(metrics)
+	peer.SetTracer(tracer)
+	peerSrv := httptest.NewServer(peer.Handler())
+	defer peerSrv.Close()
+
+	// A tampering peer: answers every proxy request with garbage, so each
+	// object it is assigned fails hash verification and falls back to the
+	// origin — guaranteeing fallback spans regardless of chaos draws.
+	tamperSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/proxy/") {
+			w.Write([]byte("not the bytes you ordered"))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer tamperSrv.Close()
+
+	origin.RegisterPeer("peer-good", peerSrv.URL, 50)
+	origin.RegisterPeer("peer-evil", tamperSrv.URL, 50)
+
+	// Chaos schedule, seed 7: a deterministic 503 burst on the wrapper
+	// fetch (guarantees retry counters move) plus probabilistic 503s on the
+	// proxy path.
+	sched, err := faults.ParseSchedule(
+		"status 503 p=1 match=/wrapper from=0 to=2\nstatus 503 p=0.4 match=/proxy/ from=0 to=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Seed = 7
+	inj := faults.NewInjector(sched)
+	inj.Metrics = metrics
+
+	loader := &nocdn.Loader{
+		OriginURL:   originSrv.URL,
+		Concurrency: 1, // serial: request order, and so chaos draws, are deterministic
+		Retry:       faults.Policy{MaxAttempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1},
+		HTTPClient:  &http.Client{Transport: inj.Transport(nil)},
+		Metrics:     metrics,
+		Tracer:      tracer,
+	}
+	res, err := loader.LoadPage("home")
+	if err != nil {
+		t.Fatalf("chaos page load failed outright: %v", err)
+	}
+	if !res.TamperDetected || len(res.FallbackObjects) == 0 {
+		t.Fatalf("tampering peer undetected: tamper=%v fallbacks=%v", res.TamperDetected, res.FallbackObjects)
+	}
+
+	// Serve the same debug surface the daemons expose and read everything
+	// back over HTTP — the test sees only what an operator would.
+	debug := httptest.NewServer(hpop.DebugMux("it", metrics, tracer, func() map[string]error {
+		return map[string]error{"nocdn": nil}
+	}))
+	defer debug.Close()
+
+	resp, err := http.Get(debug.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	pm := parseExposition(t, body)
+
+	// Retry counters moved: the wrapper 503 burst forces exactly the
+	// deterministic minimum, chaos on the proxy path can only add more.
+	if got := pm.values["nocdn.loader.retries"]; got < 2 {
+		t.Errorf("nocdn.loader.retries = %v, want >= 2", got)
+	}
+	if got := pm.values["faults.injected.status"]; got < 2 {
+		t.Errorf("faults.injected.status = %v, want >= 2", got)
+	}
+
+	// Per-peer fetch latency histograms are populated for every peer the
+	// loader actually touched, and every populated histogram has plausible
+	// quantiles.
+	perPeer := 0
+	for name, count := range pm.values {
+		if !strings.HasSuffix(name, ".count") {
+			continue
+		}
+		base := strings.TrimSuffix(name, ".count")
+		if strings.HasPrefix(base, "nocdn.loader.peer.") && strings.HasSuffix(base, ".fetch_seconds") && count > 0 {
+			perPeer++
+		}
+		if count > 0 {
+			p50, p99 := pm.values[base+".p50"], pm.values[base+".p99"]
+			if p50 > p99 {
+				t.Errorf("%s: p50 %v > p99 %v", base, p50, p99)
+			}
+		}
+	}
+	if perPeer == 0 {
+		t.Error("no per-peer fetch histogram recorded any samples")
+	}
+	if pm.values["nocdn.loader.fetch_seconds.count"] == 0 {
+		t.Error("nocdn.loader.fetch_seconds histogram is empty")
+	}
+	if pm.values["nocdn.loader.verify_seconds.count"] == 0 {
+		t.Error("nocdn.loader.verify_seconds histogram is empty")
+	}
+
+	// /debug/traces shows the span tree, including at least one fallback
+	// span parented under an object fetch.
+	resp, err = http.Get(debug.URL + "/debug/traces?n=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Spans []hpop.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(readBody(t, resp)), &traces); err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[uint64]hpop.SpanRecord, len(traces.Spans))
+	for _, sp := range traces.Spans {
+		byID[sp.ID] = sp
+	}
+	fallbacks := 0
+	for _, sp := range traces.Spans {
+		if sp.Name != "origin_fallback" {
+			continue
+		}
+		fallbacks++
+		if sp.Labels["reason"] == "" {
+			t.Errorf("fallback span missing reason label: %+v", sp)
+		}
+		parent, ok := byID[sp.ParentID]
+		if !ok || parent.Name != "fetch_object" {
+			t.Errorf("fallback span not parented under fetch_object: %+v", sp)
+		}
+	}
+	if fallbacks == 0 {
+		t.Error("no origin_fallback span recorded despite tampering peer")
+	}
+	roots := 0
+	for _, sp := range traces.Spans {
+		if sp.ParentID == 0 && sp.Service == "nocdn.loader" && sp.Name == "load_page" {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("load_page root spans = %d, want 1", roots)
+	}
+
+	// /healthz answers ok.
+	resp, err = http.Get(debug.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb := readBody(t, resp); resp.StatusCode != http.StatusOK || !strings.Contains(hb, `"ok"`) {
+		t.Errorf("/healthz = %d %s", resp.StatusCode, hb)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

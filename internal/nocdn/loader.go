@@ -57,11 +57,20 @@ type Loader struct {
 	// Retry governs per-request retries of transient failures. The zero
 	// value applies the faults package defaults.
 	Retry faults.Policy
-	// Metrics, when non-nil, receives loader counters:
+	// Metrics, when non-nil, receives loader counters —
 	// nocdn.loader.retries (extra attempts), nocdn.loader.giveups
-	// (requests that exhausted their budget), and nocdn.loader.fallbacks
-	// (objects refetched from the origin).
+	// (requests that exhausted their budget), nocdn.loader.fallbacks
+	// (objects refetched from the origin), and per-peer byte attribution
+	// (nocdn.loader.peer.<id>.bytes) — plus latency histograms:
+	// nocdn.loader.fetch_seconds (every network fetch),
+	// nocdn.loader.peer.<id>.fetch_seconds (per serving peer),
+	// nocdn.loader.verify_seconds (hash verification), and
+	// nocdn.loader.page_seconds (whole page views).
 	Metrics *hpop.Metrics
+	// Tracer, when non-nil, records one span tree per page view: a
+	// load_page root with fetch_object children and an origin_fallback
+	// child wherever a peer failed or served tampered bytes.
+	Tracer *hpop.Tracer
 	// now is injectable for tests.
 	Now func() time.Time
 
@@ -210,23 +219,44 @@ func (l *Loader) FetchWrapperContext(ctx context.Context, page string) (*Wrapper
 
 // getFrom fetches path from a peer, optionally a byte range, holding a gate
 // slot for the duration of the request (retries included, so the
-// concurrency bound holds under fault storms too).
-func (l *Loader) getFrom(ctx context.Context, gate fetchGate, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+// concurrency bound holds under fault storms too). Latency lands in the
+// overall and per-peer fetch histograms; verified bytes are attributed to
+// the peer when the transfer succeeds.
+func (l *Loader) getFrom(ctx context.Context, gate fetchGate, peerID, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
 	var hdr map[string]string
 	if chunk != nil {
 		hdr = map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1)}
 	}
-	return l.fetchBytes(ctx, http.MethodGet, peerURL+"/proxy/"+provider+path, hdr, nil, statusOKPartial)
+	start := time.Now()
+	data, err := l.fetchBytes(ctx, http.MethodGet, peerURL+"/proxy/"+provider+path, hdr, nil, statusOKPartial)
+	elapsed := time.Since(start).Seconds()
+	l.Metrics.Observe("nocdn.loader.fetch_seconds", elapsed)
+	if peerID != "" {
+		l.Metrics.Observe("nocdn.loader.peer."+peerID+".fetch_seconds", elapsed)
+		if err == nil {
+			l.Metrics.Add("nocdn.loader.peer."+peerID+".bytes", float64(len(data)))
+		}
+	}
+	return data, err
 }
 
-// originFallback fetches an object straight from the provider.
-func (l *Loader) originFallback(ctx context.Context, gate fetchGate, path string) ([]byte, error) {
+// originFallback fetches an object straight from the provider, recording an
+// origin_fallback span under parent.
+func (l *Loader) originFallback(ctx context.Context, gate fetchGate, parent *hpop.Span, path, reason string) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
 	l.Metrics.Inc("nocdn.loader.fallbacks")
-	return l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, nil, nil, statusOK)
+	sp := parent.Child("origin_fallback")
+	sp.SetLabel("path", path)
+	sp.SetLabel("reason", reason)
+	defer sp.End()
+	start := time.Now()
+	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, nil, nil, statusOK)
+	l.Metrics.Observe("nocdn.loader.fetch_seconds", time.Since(start).Seconds())
+	sp.SetError(err)
+	return data, err
 }
 
 // objectResult is one object's outcome, produced by a worker and merged
@@ -250,8 +280,14 @@ func (l *Loader) LoadPage(page string) (*PageResult, error) {
 // wrapper order, so Body, PeerBytes, and FallbackObjects are identical to a
 // serial load.
 func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult, error) {
+	sp := l.Tracer.Start("nocdn.loader", "load_page")
+	sp.SetLabel("page", page)
+	defer sp.End()
+	start := time.Now()
+	defer func() { l.Metrics.Observe("nocdn.loader.page_seconds", time.Since(start).Seconds()) }()
 	w, err := l.FetchWrapperContext(ctx, page)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	res := &PageResult{
@@ -267,7 +303,7 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = l.loadObject(ctx, gate, w.Provider, refs[i])
+			results[i] = l.loadObject(ctx, gate, sp, w.Provider, refs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -279,6 +315,7 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 			res.TamperDetected = true
 		}
 		if r.err != nil {
+			sp.SetError(r.err)
 			return nil, r.err
 		}
 		if r.fallback {
@@ -293,12 +330,29 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 	// "Upon finishing the page download, the script transfers a usage
 	// record to each peer."
 	res.RecordsDelivered = l.deliverRecords(ctx, gate, w, res)
+	sp.SetLabel("fallbacks", fmt.Sprint(len(res.FallbackObjects)))
 	return res, nil
 }
 
+// verify hash-checks fetched bytes against the wrapper, timing the check
+// into the verify histogram.
+func (l *Loader) verify(data []byte, wantHash string) bool {
+	start := time.Now()
+	ok := HashBytes(data) == wantHash
+	l.Metrics.Observe("nocdn.loader.verify_seconds", time.Since(start).Seconds())
+	return ok
+}
+
 // loadObject runs the per-object Fig. 2 steps: peer fetch, origin fallback
-// on peer failure, hash verification, origin fallback on tampering.
-func (l *Loader) loadObject(ctx context.Context, gate fetchGate, provider string, ref ObjectRef) objectResult {
+// on peer failure, hash verification, origin fallback on tampering. Each
+// object gets a fetch_object span under the page's root span.
+func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Span, provider string, ref ObjectRef) objectResult {
+	osp := parent.Child("fetch_object")
+	osp.SetLabel("path", ref.Path)
+	if ref.PeerID != "" {
+		osp.SetLabel("peer", ref.PeerID)
+	}
+	defer osp.End()
 	var out objectResult
 	data, fromPeers, err := l.fetchObject(ctx, gate, provider, ref)
 	if err != nil {
@@ -306,9 +360,10 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, provider string
 		// for tampered content — "one problematic peer — be it malicious
 		// or overloaded — [must not] have a large overall impact on the
 		// client."
-		fallback, ferr := l.originFallback(ctx, gate, ref.Path)
+		fallback, ferr := l.originFallback(ctx, gate, osp, ref.Path, "peer_failure")
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
+			osp.SetError(out.err)
 			return out
 		}
 		data = fallback
@@ -317,15 +372,18 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, provider string
 	}
 	// Verify the hash from the wrapper; on mismatch fall back to the
 	// origin ("verifies the objects' hashes").
-	if HashBytes(data) != ref.Hash {
+	if !l.verify(data, ref.Hash) {
 		out.tampered = true
-		fallback, ferr := l.originFallback(ctx, gate, ref.Path)
+		osp.SetLabel("tampered", "true")
+		fallback, ferr := l.originFallback(ctx, gate, osp, ref.Path, "tampered")
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
+			osp.SetError(out.err)
 			return out
 		}
-		if HashBytes(fallback) != ref.Hash {
+		if !l.verify(fallback, ref.Hash) {
 			out.err = fmt.Errorf("%w: %s (origin copy too)", ErrTampered, ref.Path)
+			osp.SetError(out.err)
 			return out
 		}
 		data = fallback
@@ -342,7 +400,7 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, provider string
 // ranges of the assembly buffer.
 func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
 	if len(ref.Chunks) == 0 {
-		data, err := l.getFrom(ctx, gate, ref.PeerURL, provider, ref.Path, nil)
+		data, err := l.getFrom(ctx, gate, ref.PeerID, ref.PeerURL, provider, ref.Path, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -356,7 +414,7 @@ func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider strin
 		go func(i int) {
 			defer wg.Done()
 			c := &ref.Chunks[i]
-			data, err := l.getFrom(ctx, gate, c.PeerURL, provider, ref.Path, c)
+			data, err := l.getFrom(ctx, gate, c.PeerID, c.PeerURL, provider, ref.Path, c)
 			if err != nil {
 				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
 				return

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hpop/internal/auth"
+	"hpop/internal/hpop"
 	"hpop/internal/sim"
 )
 
@@ -41,6 +42,12 @@ type Origin struct {
 	// cached by the user for a certain time", trading per-view key
 	// freshness for origin CPU/selection work.
 	WrapperTTL time.Duration
+
+	// metrics, when set, receives the origin-side histograms:
+	// nocdn.origin.wrapper_seconds (actual wrapper builds, reused serves
+	// excluded) and nocdn.origin.settle_seconds (usage-record batch
+	// settlement), plus nocdn.origin.records_rejected.
+	metrics *hpop.Metrics
 
 	// contentMu guards the published catalog (objects, pages). The serving
 	// hot path takes only the read lock; publishes are rare writes. Object
@@ -107,6 +114,15 @@ func WithClock(now func() time.Time) OriginOption {
 func WithWrapperReuse(ttl time.Duration) OriginOption {
 	return func(o *Origin) { o.WrapperTTL = ttl }
 }
+
+// WithMetrics wires a metrics registry for the nocdn.origin.* histograms
+// and counters.
+func WithMetrics(m *hpop.Metrics) OriginOption {
+	return func(o *Origin) { o.metrics = m }
+}
+
+// SetMetrics wires a metrics registry after construction (daemon wiring).
+func (o *Origin) SetMetrics(m *hpop.Metrics) { o.metrics = m }
 
 // cachedWrapper is one reusable wrapper with its build time.
 type cachedWrapper struct {
@@ -220,6 +236,10 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		}
 	}
 	o.wrapperGenerations.Add(1)
+	buildStart := time.Now()
+	defer func() {
+		o.metrics.Observe("nocdn.origin.wrapper_seconds", time.Since(buildStart).Seconds())
+	}()
 	ranked := rank(o.peers, o.Policy, o.rng.Float64)
 	if len(ranked) == 0 {
 		return nil, ErrNoPeers
@@ -302,17 +322,20 @@ func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
 // for that peer, a fresh nonce, and a plausible byte count. It returns how
 // many records were credited.
 func (o *Origin) SettleRecords(records []UsageRecord) int {
+	start := time.Now()
 	credited := 0
 	for _, r := range records {
 		if err := o.settleOne(r); err != nil {
 			o.mu.Lock()
 			o.rejected[r.PeerID]++
 			o.mu.Unlock()
+			o.metrics.Inc("nocdn.origin.records_rejected")
 			continue
 		}
 		credited++
 	}
 	o.detectAnomalies()
+	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited
 }
 

@@ -71,8 +71,11 @@ type Peer struct {
 	// value applies the faults package defaults. Set before serving.
 	FlushBackoff faults.Policy
 
-	// metrics receives nocdn.peer.* counters when set.
+	// metrics receives nocdn.peer.* counters and the cache hit/miss
+	// latency-split histograms when set.
 	metrics *hpop.Metrics
+	// tracer records flush-cycle spans when set.
+	tracer *hpop.Tracer
 	// nowFn is injectable for backoff tests.
 	nowFn func() time.Time
 
@@ -116,6 +119,9 @@ func (p *Peer) SetFetchTimeout(d time.Duration) {
 
 // SetMetrics wires a metrics registry for nocdn.peer.* counters.
 func (p *Peer) SetMetrics(m *hpop.Metrics) { p.metrics = m }
+
+// SetTracer wires a tracer for flush-cycle spans.
+func (p *Peer) SetTracer(t *hpop.Tracer) { p.tracer = t }
 
 // SetClock injects a time source (backoff tests).
 func (p *Peer) SetClock(now func() time.Time) { p.nowFn = now }
@@ -170,25 +176,26 @@ func (p *Peer) PendingRecords() int {
 	return len(p.records)
 }
 
-// fetch obtains an object, from cache or the origin. The returned slice is
-// shared with the cache and MUST NOT be mutated by callers; serve paths
-// that transform bytes (Tamper) copy first.
-func (p *Peer) fetch(provider, path string) ([]byte, error) {
+// fetch obtains an object, from cache or the origin, reporting whether the
+// cache served it (so the proxy can split its latency histograms). The
+// returned slice is shared with the cache and MUST NOT be mutated by
+// callers; serve paths that transform bytes (Tamper) copy first.
+func (p *Peer) fetch(provider, path string) (data []byte, hit bool, err error) {
 	p.providersMu.RLock()
 	origin, ok := p.providers[provider]
 	p.providersMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
+		return nil, false, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
 	}
 	cacheKey := provider + "|" + path
 	if data, ok := p.cache.get(cacheKey); ok {
 		p.hits.Add(1)
-		return data, nil
+		return data, true, nil
 	}
 	p.misses.Add(1)
 	// Coalesce concurrent misses: one origin fetch, everyone shares the
 	// result.
-	return p.flight.do(cacheKey, func() ([]byte, error) {
+	data, err = p.flight.do(cacheKey, func() ([]byte, error) {
 		// A waiter that queued behind the leader may find the cache filled.
 		if data, ok := p.cache.get(cacheKey); ok {
 			return data, nil
@@ -209,6 +216,7 @@ func (p *Peer) fetch(provider, path string) ([]byte, error) {
 		p.cache.put(cacheKey, data)
 		return data, nil
 	})
+	return data, false, err
 }
 
 // Handler returns the peer's HTTP surface:
@@ -232,8 +240,19 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	provider, path := rest[:slash], rest[slash:]
-	data, err := p.fetch(provider, path)
+	start := time.Now()
+	data, hit, err := p.fetch(provider, path)
+	// The hit/miss latency split: hits should sit in the microsecond
+	// buckets, misses carry the origin round-trip.
+	if hit {
+		p.metrics.Inc("nocdn.peer.hits")
+		p.metrics.Observe("nocdn.peer.hit_seconds", time.Since(start).Seconds())
+	} else {
+		p.metrics.Inc("nocdn.peer.misses")
+		p.metrics.Observe("nocdn.peer.miss_seconds", time.Since(start).Seconds())
+	}
 	if err != nil {
+		p.metrics.Inc("nocdn.peer.proxy_errors")
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -327,12 +346,21 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	if len(batch) == 0 {
 		return 0, nil
 	}
+	// One span per real flush cycle (deferred and empty flushes don't
+	// open spans, so a dead origin can't spam the ring via its own gate).
+	sp := p.tracer.Start("nocdn.peer", "flush")
+	sp.SetLabel("peer", p.ID)
+	sp.SetLabel("records", strconv.Itoa(len(batch)))
+	defer sp.End()
+	start := time.Now()
 	body, err := EncodeRecords(batch)
 	if err != nil {
+		sp.SetError(err)
 		return 0, err
 	}
 	resp, err := p.httpClient.Post(
 		strings.TrimSuffix(originURL, "/")+"/usage", "application/json", bytes.NewReader(body))
+	p.metrics.Observe("nocdn.peer.flush_seconds", time.Since(start).Seconds())
 	if err == nil {
 		code := resp.StatusCode
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
@@ -342,10 +370,12 @@ func (p *Peer) Flush(originURL string) (int, error) {
 			p.flushFailures = 0
 			p.nextFlushAt = time.Time{}
 			p.recordsMu.Unlock()
+			sp.SetLabel("uploaded", strconv.Itoa(len(batch)))
 			return len(batch), nil
 		}
 		err = fmt.Errorf("nocdn: usage upload status %d", code)
 	}
+	sp.SetError(err)
 	// Requeue the batch ahead of anything that arrived meanwhile, shed the
 	// oldest overflow, and arm the backoff gate.
 	p.recordsMu.Lock()
