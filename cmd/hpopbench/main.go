@@ -8,6 +8,13 @@
 //	hpopbench -exp E4         # one experiment
 //	hpopbench -exp E7a,E7b    # a subset
 //	hpopbench -list           # list experiment IDs
+//
+// It also stitches cross-process distributed traces: trace-join queries a
+// set of daemons' /debug/trace?id= endpoints and assembles the spans every
+// process recorded for one trace ID into a single tree.
+//
+//	hpopbench trace-join -id TRACEID \
+//	    -daemon http://loader:9000 -daemon http://peer-a:9001 -daemon http://origin:9002
 package main
 
 import (
@@ -27,6 +34,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "trace-join" {
+		return runTraceJoin(os.Stdout, args[1:])
+	}
 	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
 	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"hpop/internal/hpop"
+)
+
+// traceResponse mirrors the /debug/trace?id= JSON shape.
+type traceResponse struct {
+	TraceID string            `json:"traceId"`
+	Spans   []hpop.SpanRecord `json:"spans"`
+}
+
+// stringList accumulates repeated -daemon flags.
+type stringList []string
+
+// String implements flag.Value.
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+// Set implements flag.Value.
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// runTraceJoin is the trace-join mode: fetch one trace's spans from every
+// named daemon's /debug/trace endpoint, merge them (duplicate span IDs from
+// a daemon listed twice collapse), and print the stitched cross-process tree.
+func runTraceJoin(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("hpopbench trace-join", flag.ContinueOnError)
+	idStr := fs.String("id", "", "trace ID (32 hex chars) to stitch")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-daemon request timeout")
+	var daemons stringList
+	fs.Var(&daemons, "daemon", "daemon base URL serving /debug/trace (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := hpop.ParseTraceID(*idStr)
+	if err != nil {
+		return fmt.Errorf("-id: %w", err)
+	}
+	if len(daemons) == 0 {
+		return fmt.Errorf("at least one -daemon is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+	var spans []hpop.SpanRecord
+	for _, base := range daemons {
+		got, err := fetchTrace(client, base, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", base, err)
+		}
+		fmt.Fprintf(out, "%s: %d span(s)\n", base, len(got))
+		spans = append(spans, got...)
+	}
+	roots := hpop.StitchTrace(spans)
+	fmt.Fprintf(out, "trace %s: %d span(s), %d root(s)\n", id, countNodes(roots), len(roots))
+	for _, root := range roots {
+		printTree(out, root, 0)
+	}
+	return nil
+}
+
+// fetchTrace retrieves one daemon's spans for the trace.
+func fetchTrace(client *http.Client, base string, id hpop.TraceID) ([]hpop.SpanRecord, error) {
+	url := strings.TrimSuffix(base, "/") + "/debug/trace?id=" + id.String()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var tr traceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	return tr.Spans, nil
+}
+
+// countNodes sizes a stitched forest.
+func countNodes(nodes []*hpop.SpanNode) int {
+	n := len(nodes)
+	for _, node := range nodes {
+		n += countNodes(node.Children)
+	}
+	return n
+}
+
+// printTree renders one span subtree, two spaces per depth level:
+//
+//	nocdn.loader/load_page 12.3ms page=index
+//	  nocdn.peer/proxy 2.1ms peer=peer-a [remote parent]
+func printTree(out io.Writer, n *hpop.SpanNode, depth int) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s/%s %.3gms", strings.Repeat("  ", depth), n.Service, n.Name, n.DurationMS)
+	keys := make([]string, 0, len(n.Labels))
+	for k := range n.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, n.Labels[k])
+	}
+	if n.Error != "" {
+		fmt.Fprintf(&b, " ERROR=%q", n.Error)
+	}
+	fmt.Fprintln(out, b.String())
+	for _, c := range n.Children {
+		printTree(out, c, depth+1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hpop/internal/hpop"
+)
+
+// traceServer exposes a tracer at /debug/trace like a real daemon.
+func traceServer(t *testing.T, tr *hpop.Tracer) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/trace", hpop.TraceHandler(tr))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunTraceJoinStitchesAcrossDaemons(t *testing.T) {
+	loaderT := hpop.NewTracer(0)
+	peerT := hpop.NewTracer(0)
+
+	root := loaderT.Start("nocdn.loader", "load_page")
+	fetch := root.Child("fetch_object")
+	remote := peerT.StartRemote("nocdn.peer", "proxy", fetch.Context())
+	remote.SetLabel("peer", "peer-a")
+	remote.End()
+	fetch.End()
+	root.End()
+	id := root.Context().TraceID.String()
+
+	loaderSrv := traceServer(t, loaderT)
+	peerSrv := traceServer(t, peerT)
+
+	var out strings.Builder
+	err := runTraceJoin(&out, []string{
+		"-id", id,
+		"-daemon", loaderSrv.URL,
+		"-daemon", peerSrv.URL,
+		"-daemon", loaderSrv.URL, // duplicate daemon: spans must collapse
+	})
+	if err != nil {
+		t.Fatalf("runTraceJoin: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace "+id+": 3 span(s), 1 root(s)") {
+		t.Errorf("summary line wrong:\n%s", got)
+	}
+	for _, want := range []string{
+		"nocdn.loader/load_page",
+		"\n  nocdn.loader/fetch_object",
+		"\n    nocdn.peer/proxy",
+		"peer=peer-a",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTraceJoinArgumentErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runTraceJoin(&out, []string{"-id", "nope", "-daemon", "http://x"}); err == nil {
+		t.Error("malformed -id accepted")
+	}
+	id := strings.Repeat("ab", 16)
+	if err := runTraceJoin(&out, []string{"-id", id}); err == nil {
+		t.Error("missing -daemon accepted")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such trace store", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	if err := runTraceJoin(&out, []string{"-id", id, "-daemon", srv.URL}); err == nil {
+		t.Error("daemon error status not surfaced")
+	}
+}

@@ -121,6 +121,7 @@ func run(args []string) error {
 					return err
 				}
 				relay.SetMetrics(ctx.Metrics)
+				relay.SetTracer(ctx.Tracer)
 				ctx.Events.Logf("dcol-waypoint", "relaying on %s", relay.Addr())
 				return nil
 			},

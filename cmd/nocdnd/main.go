@@ -109,6 +109,7 @@ func run(args []string) error {
 	case "origin":
 		o := nocdn.NewOrigin(*provider)
 		o.SetMetrics(metrics)
+		o.SetTracer(tracer)
 		if *content == "" {
 			return fmt.Errorf("origin mode requires -content")
 		}
@@ -172,9 +173,10 @@ func run(args []string) error {
 }
 
 // observabilityMux wraps a serving mode's handler with the observability
-// endpoints on the same listener: /metrics, /healthz and /debug/traces
-// (pprof stays behind -debug-addr). Provider objects at those exact paths
-// are shadowed; use a dedicated -debug-addr listener if that matters.
+// endpoints on the same listener: /metrics, /healthz, /debug/traces and
+// /debug/trace?id= (pprof stays behind -debug-addr). Provider objects at
+// those exact paths are shadowed; use a dedicated -debug-addr listener if
+// that matters.
 func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", app)
@@ -183,6 +185,7 @@ func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tr
 		return map[string]error{mode: nil}
 	}))
 	mux.HandleFunc("/debug/traces", hpop.TracesHandler(t))
+	mux.HandleFunc("/debug/trace", hpop.TraceHandler(t))
 	return mux
 }
 

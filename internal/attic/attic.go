@@ -65,6 +65,7 @@ type Attic struct {
 	fs       *vfs.FS
 	handler  *webdav.Handler
 	metrics  *hpop.Metrics
+	tracer   *hpop.Tracer
 	events   *hpop.EventLog
 	baseURL  string // set at start for grant encoding
 	started  bool
@@ -121,6 +122,7 @@ func (a *Attic) Start(ctx *hpop.ServiceContext) error {
 		return errors.New("attic: already started")
 	}
 	a.metrics = ctx.Metrics
+	a.tracer = ctx.Tracer
 	a.events = ctx.Events
 	hopts := []webdav.HandlerOption{
 		webdav.WithPrefix(DAVPrefix),
@@ -184,6 +186,13 @@ func (a *Attic) instrument(next http.Handler) http.Handler {
 				return
 			}
 		}
+		// Continue the caller's distributed trace (a friend's replicator
+		// stamps its sync span onto every WebDAV request); an absent or
+		// corrupted traceparent degrades to a fresh root.
+		sp := a.tracer.StartRemote("attic", "dav_"+strings.ToLower(r.Method),
+			hpop.ExtractTraceparent(r.Header))
+		sp.SetLabel("path", r.URL.Path)
+		defer sp.End()
 		// The upload hot path gets its own latency histogram (friend
 		// replication streams through here); everything else shares one.
 		start := time.Now()

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpop/internal/faults"
@@ -47,16 +49,30 @@ type Replicator struct {
 	mu sync.Mutex
 	// synced maps local path -> local ETag at last successful push.
 	synced map[string]string
+
+	// curTP holds the traceparent (string) of whichever span currently
+	// covers remote operations — the sync span between files, the put/delete
+	// child during one. The client's RequestHook stamps it onto every
+	// outbound WebDAV request, so the friend's attic joins the sync trace.
+	curTP atomic.Value
 }
 
-// NewReplicator mirrors src into destRoot at the destination client.
+// NewReplicator mirrors src into destRoot at the destination client. The
+// client's RequestHook is installed to carry the active sync span's
+// traceparent on every remote operation.
 func NewReplicator(src *vfs.FS, dst *webdav.Client, destRoot string) *Replicator {
-	return &Replicator{
+	r := &Replicator{
 		src:      src,
 		dst:      dst,
 		destRoot: "/" + strings.Trim(destRoot, "/"),
 		synced:   make(map[string]string),
 	}
+	dst.RequestHook = func(req *http.Request) {
+		if tp, _ := r.curTP.Load().(string); tp != "" {
+			req.Header.Set(hpop.TraceparentHeader, tp)
+		}
+	}
+	return r
 }
 
 // SyncStats reports one replication pass.
@@ -110,7 +126,9 @@ func (r *Replicator) Sync(root string) (SyncStats, error) {
 }
 
 // SyncContext is Sync under a context: canceling ctx stops the walk between
-// files and aborts pending retries.
+// files and aborts pending retries. The pass runs under pprof labels
+// (service=attic.replicator, span=sync) so goroutine profiles attribute sync
+// work, and every remote operation carries the sync trace's traceparent.
 func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, error) {
 	root, err := vfs.Clean(root)
 	if err != nil {
@@ -125,6 +143,24 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 		sp.SetLabel("skipped", fmt.Sprint(stats.Skipped))
 		sp.SetLabel("deleted", fmt.Sprint(stats.Deleted))
 	}()
+	pprof.Do(ctx, pprof.Labels("service", "attic.replicator", "span", "sync"),
+		func(ctx context.Context) {
+			stats, err = r.syncPass(ctx, sp, root)
+		})
+	return stats, err
+}
+
+// setTraceparent makes sp's context the one stamped onto outbound WebDAV
+// requests from here on.
+func (r *Replicator) setTraceparent(sp *hpop.Span) {
+	r.curTP.Store(sp.Context().Traceparent())
+}
+
+// syncPass is one replication pass under the sync span sp.
+func (r *Replicator) syncPass(ctx context.Context, sp *hpop.Span, root string) (SyncStats, error) {
+	var stats SyncStats
+	r.setTraceparent(sp)
+	defer r.curTP.Store("")
 	seen := make(map[string]bool)
 
 	// Ensure the destination root chain exists (scoped syncs start below
@@ -139,7 +175,7 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 		}
 	}
 
-	err = r.src.Walk(root, func(info vfs.Info) error {
+	err := r.src.Walk(root, func(info vfs.Info) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -169,15 +205,18 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 		}
 		psp := sp.Child("put")
 		psp.SetLabel("path", remote)
+		r.setTraceparent(psp)
 		if err := r.remoteOp(ctx, func() error {
 			_, perr := r.dst.Put(remote, data, nil)
 			return perr
 		}); err != nil {
 			psp.SetError(err)
 			psp.End()
+			r.setTraceparent(sp)
 			return fmt.Errorf("put %s: %w", remote, err)
 		}
 		psp.End()
+		r.setTraceparent(sp)
 		r.mu.Lock()
 		r.synced[info.Path] = info.ETag
 		r.mu.Unlock()
@@ -202,13 +241,16 @@ func (r *Replicator) SyncContext(ctx context.Context, root string) (SyncStats, e
 	for _, p := range gone {
 		dsp := sp.Child("delete")
 		dsp.SetLabel("path", r.remotePath(p))
+		r.setTraceparent(dsp)
 		if err := r.remoteOp(ctx, func() error { return r.dst.Delete(r.remotePath(p), nil) }); err != nil &&
 			!webdav.IsStatus(err, http.StatusNotFound) {
 			dsp.SetError(err)
 			dsp.End()
+			r.setTraceparent(sp)
 			return stats, fmt.Errorf("delete %s: %w", p, err)
 		}
 		dsp.End()
+		r.setTraceparent(sp)
 		r.mu.Lock()
 		delete(r.synced, p)
 		r.mu.Unlock()

@@ -44,6 +44,10 @@ type Relay struct {
 	// metrics, when set, receives dcol.relay.* counters and the
 	// dial/handshake and session-length histograms.
 	metrics *hpop.Metrics
+	// tracer, when set, records one session span per forwarding session,
+	// continuing the dialer's trace when the DIAL line carried a
+	// traceparent token.
+	tracer *hpop.Tracer
 }
 
 // SetMetrics wires a metrics registry for dcol.relay.dials,
@@ -51,6 +55,10 @@ type Relay struct {
 // dcol.relay.handshake_seconds / dcol.relay.session_seconds histograms.
 // Safe to call before traffic arrives (hpopd wires it right after start).
 func (r *Relay) SetMetrics(m *hpop.Metrics) { r.metrics = m }
+
+// SetTracer wires a tracer for per-session spans. Safe to call before
+// traffic arrives (hpopd wires it right after start).
+func (r *Relay) SetTracer(t *hpop.Tracer) { r.tracer = t }
 
 // StartRelay listens on addr ("127.0.0.1:0" for tests) and serves until
 // Close, with the default dial timeout.
@@ -125,21 +133,34 @@ func (r *Relay) handle(client net.Conn) {
 		return
 	}
 	client.SetReadDeadline(time.Time{})
-	line = strings.TrimSpace(line)
-	const cmd = "DIAL "
-	if !strings.HasPrefix(line, cmd) {
+	// Signaling grammar: "DIAL host:port [traceparent]". The optional third
+	// token carries the dialer's span context, so relay session spans join
+	// the dialer's distributed trace; a malformed token is ignored and the
+	// session records under a fresh root — signaling never fails on trace
+	// garbage.
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || len(fields) > 3 || fields[0] != "DIAL" {
 		fmt.Fprintf(client, "ERR want DIAL host:port\n")
 		return
 	}
-	target := strings.TrimPrefix(line, cmd)
+	target := fields[1]
+	var parent hpop.TraceContext
+	if len(fields) == 3 {
+		parent, _ = hpop.ParseTraceparent(fields[2])
+	}
+	sp := r.tracer.StartRemote("dcol.relay", "session", parent)
+	sp.SetLabel("target", target)
+	defer sp.End()
 	if r.AllowDial != nil && !r.AllowDial(target) {
 		r.metrics.Inc("dcol.relay.refusals")
+		sp.SetError(errors.New("dcol: destination not allowed"))
 		fmt.Fprintf(client, "ERR destination not allowed\n")
 		return
 	}
 	upstream, err := net.DialTimeout("tcp", target, r.dialTimeout)
 	if err != nil {
 		r.metrics.Inc("dcol.relay.dial_errors")
+		sp.SetError(err)
 		fmt.Fprintf(client, "ERR dial: %v\n", err)
 		return
 	}
@@ -169,6 +190,7 @@ func (r *Relay) handle(client net.Conn) {
 	<-done
 	r.metrics.Add("dcol.relay.bytes", float64(sessionBytes.Load()))
 	r.metrics.Observe("dcol.relay.session_seconds", time.Since(accepted).Seconds())
+	sp.SetLabel("bytes", fmt.Sprint(sessionBytes.Load()))
 }
 
 // countingWriter adds written byte counts to the relay-wide and per-session
@@ -225,9 +247,10 @@ func (d *Dialer) DialVia(ctx context.Context, relayAddr, destination string) (ne
 	sp.SetLabel("dest", destination)
 	defer sp.End()
 	start := time.Now()
+	tp := sp.Context().Traceparent()
 	var out net.Conn
 	attempts, err := d.Retry.Do(ctx, func(actx context.Context) error {
-		conn, err := d.dialOnce(actx, relayAddr, destination)
+		conn, err := d.dialOnce(actx, relayAddr, destination, tp)
 		if err != nil {
 			return err
 		}
@@ -247,15 +270,21 @@ func (d *Dialer) DialVia(ctx context.Context, relayAddr, destination string) (ne
 	return out, nil
 }
 
-// dialOnce is one dial-plus-handshake attempt under a deadline.
-func (d *Dialer) dialOnce(ctx context.Context, relayAddr, destination string) (net.Conn, error) {
+// dialOnce is one dial-plus-handshake attempt under a deadline. A non-empty
+// tp (the dial_via span's traceparent) rides the DIAL line as its optional
+// third token, linking the relay's session span into the dialer's trace.
+func (d *Dialer) dialOnce(ctx context.Context, relayAddr, destination, tp string) (net.Conn, error) {
 	nd := net.Dialer{Timeout: d.timeout()}
 	conn, err := nd.DialContext(ctx, "tcp", relayAddr)
 	if err != nil {
 		return nil, fmt.Errorf("dcol: dial relay: %w", err)
 	}
 	conn.SetDeadline(time.Now().Add(d.timeout()))
-	if _, err := fmt.Fprintf(conn, "DIAL %s\n", destination); err != nil {
+	line := "DIAL " + destination
+	if tp != "" {
+		line += " " + tp
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -87,9 +87,12 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// MetricsHandler serves the text exposition of m at GET /metrics.
+// MetricsHandler serves the text exposition of m at GET /metrics. Each
+// scrape first refreshes the Go runtime health metrics (goroutines, heap
+// bytes, GC pause histogram), so every daemon exports them for free.
 func MetricsHandler(m *Metrics) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		m.SampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		m.WriteExposition(w)
 	}
@@ -115,6 +118,32 @@ func TracesHandler(t *Tracer) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(map[string]any{"spans": spans}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// TraceHandler serves all local spans of one distributed trace as JSON at
+// GET /debug/trace?id=TRACEID (32 hex chars). The response is
+// {"traceId": ..., "spans": [...]}; spans from other processes must be
+// fetched from their own daemons and stitched (see StitchTrace and the
+// hpopbench trace-join mode).
+func TraceHandler(t *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := ParseTraceID(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "want ?id=<32 hex chars>: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := t.TraceSpans(id)
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(map[string]any{
+			"traceId": id.String(),
+			"spans":   spans,
+		}); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}
@@ -168,6 +197,7 @@ func DebugMux(name string, m *Metrics, t *Tracer, health func() map[string]error
 	mux.HandleFunc("/metrics", MetricsHandler(m))
 	mux.HandleFunc("/healthz", HealthHandler(name, health))
 	mux.HandleFunc("/debug/traces", TracesHandler(t))
+	mux.HandleFunc("/debug/trace", TraceHandler(t))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

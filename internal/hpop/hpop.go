@@ -199,6 +199,7 @@ func (h *HPoP) Start() error {
 	h.mux.HandleFunc("/metrics", MetricsHandler(h.metrics))
 	h.mux.HandleFunc("/healthz", HealthHandler(h.cfg.Name, h.healthSnapshot))
 	h.mux.HandleFunc("/debug/traces", TracesHandler(h.tracer))
+	h.mux.HandleFunc("/debug/trace", TraceHandler(h.tracer))
 
 	addr := h.cfg.ListenAddr
 	if addr == "" {

@@ -22,6 +22,10 @@ type Metrics struct {
 
 	histMu sync.RWMutex
 	hists  map[string]*Histogram
+
+	// gcSeen is the GC-cycle high-water mark SampleRuntime has drained
+	// pause samples up to (see runtime.go).
+	gcSeen atomic.Uint32
 }
 
 // NewMetrics returns an empty registry.

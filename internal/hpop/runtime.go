@@ -1,0 +1,60 @@
+package hpop
+
+import (
+	"runtime"
+)
+
+// Runtime health metric names exported by SampleRuntime.
+const (
+	// MetricGoroutines is the live goroutine count gauge.
+	MetricGoroutines = "go.goroutines"
+	// MetricHeapBytes is the in-use heap bytes gauge.
+	MetricHeapBytes = "go.heap_bytes"
+	// MetricGCPauseSeconds is the stop-the-world GC pause histogram.
+	MetricGCPauseSeconds = "go.gc_pause_seconds"
+)
+
+// gcPauseBounds sizes the GC pause histogram for sub-millisecond pauses
+// (healthy) up to the hundreds of milliseconds an overloaded home box shows.
+var gcPauseBounds = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+}
+
+// SampleRuntime refreshes the Go runtime health metrics in the registry:
+// the goroutine-count and heap-bytes gauges, and one histogram sample per GC
+// pause completed since the previous call (each pause is observed exactly
+// once across calls). It is invoked on every /metrics scrape, so runtime
+// health costs nothing between scrapes. No-op on a nil registry.
+func (m *Metrics) SampleRuntime() {
+	if m == nil {
+		return
+	}
+	m.Set(MetricGoroutines, float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Set(MetricHeapBytes, float64(ms.HeapAlloc))
+
+	h := m.HistogramWithBounds(MetricGCPauseSeconds, gcPauseBounds)
+	// Drain pauses newer than the high-water mark. PauseNs is a 256-entry
+	// ring indexed by GC number; if more than 256 GCs ran between scrapes the
+	// overwritten pauses are gone — observe only what the ring still holds.
+	for {
+		seen := m.gcSeen.Load()
+		num := ms.NumGC
+		if num <= seen {
+			return
+		}
+		if !m.gcSeen.CompareAndSwap(seen, num) {
+			continue // another scraper claimed this range
+		}
+		first := seen
+		if num > 256 && first < num-256 {
+			first = num - 256
+		}
+		for gc := first + 1; gc <= num; gc++ {
+			h.Observe(float64(ms.PauseNs[(gc+255)%256]) / 1e9)
+		}
+		return
+	}
+}

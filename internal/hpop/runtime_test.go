@@ -1,0 +1,55 @@
+package hpop
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSampleRuntimeHealth checks the Go runtime health satellite: goroutine
+// and heap gauges are set, GC pauses land in the histogram exactly once per
+// cycle, and the values surface through the /metrics exposition.
+func TestSampleRuntimeHealth(t *testing.T) {
+	m := NewMetrics()
+	runtime.GC() // guarantee at least one completed GC cycle
+	m.SampleRuntime()
+
+	if got := m.Gauge(MetricGoroutines); got < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoroutines, got)
+	}
+	if got := m.Gauge(MetricHeapBytes); got <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricHeapBytes, got)
+	}
+	h := m.Histogram(MetricGCPauseSeconds)
+	first := h.Count()
+	if first == 0 {
+		t.Errorf("%s empty after a forced GC", MetricGCPauseSeconds)
+	}
+
+	// Re-sampling without new GC cycles must not double-observe pauses.
+	m.SampleRuntime()
+	if again := h.Count(); again != first {
+		t.Errorf("pause count changed %d -> %d without a GC", first, again)
+	}
+	// A new cycle adds exactly one more pause sample.
+	runtime.GC()
+	m.SampleRuntime()
+	if after := h.Count(); after != first+1 {
+		t.Errorf("pause count after one GC = %d, want %d", after, first+1)
+	}
+
+	var sb strings.Builder
+	if err := m.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{MetricGoroutines, MetricHeapBytes, MetricGCPauseSeconds} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+
+	// Nil registry is a no-op, like the rest of the metrics API.
+	var nilM *Metrics
+	nilM.SampleRuntime()
+}

@@ -2,6 +2,7 @@ package hpop
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,10 @@ const DefaultTraceCapacity = 2048
 // SpanRecord is one completed span as stored in the ring buffer and served
 // by /debug/traces. It round-trips through JSON unchanged.
 type SpanRecord struct {
+	// TraceID is the 32-hex-char distributed trace this span belongs to;
+	// spans recorded in different processes share it when the traceparent
+	// header was propagated between them.
+	TraceID    string            `json:"traceId,omitempty"`
 	ID         uint64            `json:"id"`
 	ParentID   uint64            `json:"parentId,omitempty"`
 	Service    string            `json:"service"`
@@ -43,6 +48,9 @@ type Tracer struct {
 	nextID atomic.Uint64
 	now    func() time.Time
 	rand   func() float64
+	// id64 supplies randomness for trace IDs and the span-ID base;
+	// injectable so tests can pin IDs.
+	id64 func() uint64
 }
 
 // NewTracer creates a tracer whose ring holds max completed spans
@@ -51,11 +59,17 @@ func NewTracer(max int) *Tracer {
 	if max <= 0 {
 		max = DefaultTraceCapacity
 	}
-	return &Tracer{
+	t := &Tracer{
 		ring: make([]SpanRecord, max),
 		now:  time.Now,
 		rand: rand.Float64,
+		id64: rand.Uint64,
 	}
+	// Span IDs count up from a random 64-bit base, so IDs minted by
+	// different processes recording the same distributed trace do not
+	// collide — parent links survive cross-process stitching.
+	t.nextID.Store(t.id64())
+	return t
 }
 
 // SetClock injects a time source (golden tests).
@@ -110,18 +124,56 @@ func (t *Tracer) sampled(service string) bool {
 
 // Start opens a root span for a service operation, or returns nil when the
 // service's sampling rate drops it (and on a nil tracer). The returned
-// *Span is always safe to use.
+// *Span is always safe to use. The root is assigned a fresh 128-bit trace
+// ID; propagate it to other processes with InjectTraceparent.
 func (t *Tracer) Start(service, name string) *Span {
 	if t == nil || !t.sampled(service) {
 		return nil
 	}
-	return t.newSpan(service, name, 0)
+	return t.newSpan(service, name, t.newTraceID(), 0)
 }
 
-func (t *Tracer) newSpan(service, name string, parent uint64) *Span {
+// StartRemote opens a span that continues a trace begun in another process
+// (the server half of a traceparent hop). With a valid sampled parent the
+// span shares the parent's trace ID and links to its span ID; a valid but
+// unsampled parent drops the span (honoring the upstream decision); an
+// invalid or zero parent — absent or corrupted header — degrades to a fresh
+// root exactly like Start, so malformed headers never poison a trace.
+func (t *Tracer) StartRemote(service, name string, parent TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.Start(service, name)
+	}
+	if !parent.Sampled {
+		return nil
+	}
+	return t.newSpan(service, name, parent.TraceID, parent.SpanID)
+}
+
+// newTraceID mints a random non-zero 128-bit trace ID.
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := t.id64(), t.id64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (56 - 8*i))
+			id[8+i] = byte(lo >> (56 - 8*i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpan(service, name string, trace TraceID, parent uint64) *Span {
+	id := t.nextID.Add(1)
+	if id == 0 { // the random base wrapped; 0 is reserved for "no parent"
+		id = t.nextID.Add(1)
+	}
 	return &Span{
 		t:       t,
-		id:      t.nextID.Add(1),
+		trace:   trace,
+		id:      id,
 		parent:  parent,
 		service: service,
 		name:    name,
@@ -175,10 +227,74 @@ func (t *Tracer) Recent(n int) []SpanRecord {
 	return out
 }
 
+// TraceSpans returns this process's completed spans belonging to one
+// distributed trace, oldest first. Label maps are copies. It scans the ring,
+// so it is a debug-endpoint operation, not a hot path.
+func (t *Tracer) TraceSpans(id TraceID) []SpanRecord {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	want := id.String()
+	var out []SpanRecord
+	for _, rec := range t.Recent(0) {
+		if rec.TraceID == want {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// SpanNode is one span in a stitched cross-process trace tree.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode
+}
+
+// StitchTrace assembles spans — typically gathered from several daemons'
+// /debug/trace endpoints — into trees. Duplicate span IDs (the same daemon
+// queried twice) collapse to one node; spans whose parent is absent from the
+// set (the parent process was not queried, or the parent span has not ended)
+// become roots. Roots and children are ordered by start time, ties by ID, so
+// output is deterministic for a given span set.
+func StitchTrace(spans []SpanRecord) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for _, rec := range spans {
+		if _, dup := nodes[rec.ID]; dup {
+			continue
+		}
+		n := &SpanNode{SpanRecord: rec}
+		nodes[rec.ID] = n
+		order = append(order, n)
+	}
+	var roots []*SpanNode
+	for _, n := range order {
+		if parent, ok := nodes[n.ParentID]; ok && n.ParentID != n.ID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(nodes []*SpanNode) {
+		sort.SliceStable(nodes, func(i, j int) bool {
+			if !nodes[i].Start.Equal(nodes[j].Start) {
+				return nodes[i].Start.Before(nodes[j].Start)
+			}
+			return nodes[i].ID < nodes[j].ID
+		})
+	}
+	byStart(roots)
+	for _, n := range order {
+		byStart(n.Children)
+	}
+	return roots
+}
+
 // Span is one in-flight operation. A nil *Span (unsampled root, nil tracer)
 // absorbs every call.
 type Span struct {
 	t       *Tracer
+	trace   TraceID
 	id      uint64
 	parent  uint64
 	service string
@@ -191,12 +307,22 @@ type Span struct {
 	ended  bool
 }
 
-// Child opens a sub-span under this span (same service).
+// Child opens a sub-span under this span (same service and trace).
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.t.newSpan(s.service, name, s.id)
+	return s.t.newSpan(s.service, name, s.trace, s.id)
+}
+
+// Context returns the span's position in its distributed trace, for
+// propagation to another process (see InjectTraceparent). A nil span yields
+// the zero (invalid) context, whose Traceparent renders as "".
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id, Sampled: true}
 }
 
 // SetLabel attaches a key=value annotation.
@@ -238,7 +364,12 @@ func (s *Span) End() {
 	errMsg := s.errMsg
 	s.mu.Unlock()
 	end := s.t.now()
+	traceID := ""
+	if !s.trace.IsZero() {
+		traceID = s.trace.String()
+	}
 	s.t.record(SpanRecord{
+		TraceID:    traceID,
 		ID:         s.id,
 		ParentID:   s.parent,
 		Service:    s.service,

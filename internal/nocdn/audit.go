@@ -1,0 +1,284 @@
+package nocdn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"hpop/internal/hpop"
+)
+
+// Audit defaults.
+const (
+	// DefaultAuditThreshold is the deviation score above which a peer is
+	// flagged. Honest peers sit near zero (small byte-claim z-score, no
+	// rejects); a record-inflating or replaying peer clears 2 quickly
+	// because its reject rate alone contributes up to 2.
+	DefaultAuditThreshold = 2.0
+	// DefaultAuditMinRecords is how many records a peer must have submitted
+	// before its score can flag it — two records are not a statistic.
+	DefaultAuditMinRecords = 3
+	// auditMaxOffending caps how many offending trace IDs are retained per
+	// peer; enough to investigate, bounded so a reject storm can't grow the
+	// auditor without limit.
+	auditMaxOffending = 8
+)
+
+// welford accumulates mean and variance online (Welford's algorithm), so the
+// auditor never stores per-record samples.
+type welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (w *welford) observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// stddev returns the population standard deviation (zero below two samples).
+func (w *welford) stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// peerAudit is the per-peer settlement statistics the auditor maintains.
+type peerAudit struct {
+	records int64
+	rejects int64
+	replays int64
+	bytes   int64 // claimed bytes, pre-verification — inflation registers here
+	stats   welford
+	score   float64
+	flagged bool
+	// offending holds trace IDs of rejected records (bounded), so a flagged
+	// peer's misbehaviour links straight back to the page views involved.
+	offending []string
+}
+
+// Auditor grows the origin's binary anomaly factor into a settlement audit
+// pipeline: it observes every uploaded usage record before verification,
+// keeps per-peer rolling statistics (records, claimed bytes, rejects, replay
+// hits, byte-claim mean/stddev), scores each peer's deviation from the peer
+// population, and flags peers whose score crosses the threshold — emitting
+// an audit span carrying the offending records' trace IDs, so a flag links
+// directly to the distributed traces that triggered it.
+//
+// The deviation score is
+//
+//	z = |peerMeanBytes - populationMeanBytes| / denom + 2 * rejectRate
+//
+// where denom is the population stddev floored at a quarter of the
+// population mean (so honest variation between peers of different sizes
+// never explodes the z term) and rejectRate is rejects/records. A peer
+// inflating byte claims moves both terms; a replaying peer moves the second.
+type Auditor struct {
+	// Threshold is the flagging score (<= 0 means DefaultAuditThreshold).
+	Threshold float64
+	// MinRecords gates flagging until a peer has a sample
+	// (<= 0 means DefaultAuditMinRecords).
+	MinRecords int
+
+	mu    sync.Mutex
+	peers map[string]*peerAudit
+	pop   welford
+
+	metrics *hpop.Metrics
+	tracer  *hpop.Tracer
+}
+
+// NewAuditor creates an empty audit pipeline.
+func NewAuditor() *Auditor {
+	return &Auditor{peers: make(map[string]*peerAudit)}
+}
+
+// SetMetrics wires the nocdn.audit.* exports.
+func (a *Auditor) SetMetrics(m *hpop.Metrics) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.metrics = m
+}
+
+// SetTracer wires the tracer audit spans are emitted into.
+func (a *Auditor) SetTracer(t *hpop.Tracer) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tracer = t
+}
+
+func (a *Auditor) threshold() float64 {
+	if a.Threshold > 0 {
+		return a.Threshold
+	}
+	return DefaultAuditThreshold
+}
+
+func (a *Auditor) minRecords() int64 {
+	if a.MinRecords > 0 {
+		return int64(a.MinRecords)
+	}
+	return DefaultAuditMinRecords
+}
+
+// Observe feeds one uploaded usage record and its settlement outcome
+// (nil = credited; replayed reports nonce reuse) into the audit statistics,
+// rescoring the peer. Nil-receiver safe, like the rest of the observability
+// plumbing.
+func (a *Auditor) Observe(rec UsageRecord, settleErr error, replayed bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	pa := a.peers[rec.PeerID]
+	if pa == nil {
+		pa = &peerAudit{}
+		a.peers[rec.PeerID] = pa
+	}
+	pa.records++
+	pa.bytes += rec.Bytes
+	claimed := float64(rec.Bytes)
+	pa.stats.observe(claimed)
+	a.pop.observe(claimed)
+	a.metrics.Inc("nocdn.audit.records")
+	a.metrics.Observe("nocdn.audit.claimed_bytes", claimed)
+	if settleErr != nil {
+		pa.rejects++
+		a.metrics.Inc("nocdn.audit.rejects")
+		if replayed {
+			pa.replays++
+			a.metrics.Inc("nocdn.audit.replays")
+		}
+		if len(pa.offending) < auditMaxOffending {
+			if tc, err := hpop.ParseTraceparent(rec.Traceparent); err == nil {
+				pa.offending = append(pa.offending, tc.TraceID.String())
+			}
+		}
+	}
+	pa.score = a.scoreLocked(pa)
+	a.metrics.Set("nocdn.audit.peer."+rec.PeerID+".deviation", pa.score)
+	newlyFlagged := false
+	if !pa.flagged && pa.records >= a.minRecords() && pa.score > a.threshold() {
+		pa.flagged = true
+		newlyFlagged = true
+		a.metrics.Inc("nocdn.audit.flagged")
+	}
+	tracer := a.tracer
+	var offending []string
+	if newlyFlagged {
+		offending = append([]string(nil), pa.offending...)
+	}
+	score := pa.score
+	a.mu.Unlock()
+
+	if newlyFlagged {
+		// The audit span carries the evidence: which peer, what score, and
+		// the trace IDs of the offending records, so an operator can pull
+		// each implicated page view's full tree from /debug/trace.
+		sp := tracer.Start("nocdn.audit", "peer_flagged")
+		sp.SetLabel("peer", rec.PeerID)
+		sp.SetLabel("score", strconv.FormatFloat(score, 'g', 4, 64))
+		for i, id := range offending {
+			sp.SetLabel(fmt.Sprintf("offending_trace_%d", i), id)
+		}
+		sp.End()
+	}
+}
+
+// scoreLocked computes a peer's deviation score; a.mu must be held.
+func (a *Auditor) scoreLocked(pa *peerAudit) float64 {
+	denom := a.pop.stddev()
+	if floor := a.pop.mean / 4; denom < floor {
+		denom = floor
+	}
+	if denom < 1 {
+		denom = 1
+	}
+	z := math.Abs(pa.stats.mean-a.pop.mean) / denom
+	rejectRate := 0.0
+	if pa.records > 0 {
+		rejectRate = float64(pa.rejects) / float64(pa.records)
+	}
+	return z + 2*rejectRate
+}
+
+// PeerAudit is one peer's row in the audit snapshot.
+type PeerAudit struct {
+	PeerID      string   `json:"peerId"`
+	Records     int64    `json:"records"`
+	Rejects     int64    `json:"rejects"`
+	Replays     int64    `json:"replays"`
+	ClaimedByte int64    `json:"claimedBytes"`
+	MeanBytes   float64  `json:"meanBytes"`
+	StddevBytes float64  `json:"stddevBytes"`
+	Deviation   float64  `json:"deviation"`
+	Flagged     bool     `json:"flagged"`
+	Offending   []string `json:"offendingTraces,omitempty"`
+}
+
+// AuditSnapshot is the /debug/audit JSON shape.
+type AuditSnapshot struct {
+	PopulationMeanBytes   float64     `json:"populationMeanBytes"`
+	PopulationStddevBytes float64     `json:"populationStddevBytes"`
+	Peers                 []PeerAudit `json:"peers"`
+}
+
+// Snapshot returns the current audit state, peers sorted by descending
+// deviation score (ties by ID, so output is deterministic).
+func (a *Auditor) Snapshot() AuditSnapshot {
+	if a == nil {
+		return AuditSnapshot{Peers: []PeerAudit{}}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := AuditSnapshot{
+		PopulationMeanBytes:   a.pop.mean,
+		PopulationStddevBytes: a.pop.stddev(),
+		Peers:                 make([]PeerAudit, 0, len(a.peers)),
+	}
+	for id, pa := range a.peers {
+		snap.Peers = append(snap.Peers, PeerAudit{
+			PeerID:      id,
+			Records:     pa.records,
+			Rejects:     pa.rejects,
+			Replays:     pa.replays,
+			ClaimedByte: pa.bytes,
+			MeanBytes:   pa.stats.mean,
+			StddevBytes: pa.stats.stddev(),
+			Deviation:   pa.score,
+			Flagged:     pa.flagged,
+			Offending:   append([]string(nil), pa.offending...),
+		})
+	}
+	sort.Slice(snap.Peers, func(i, j int) bool {
+		if snap.Peers[i].Deviation != snap.Peers[j].Deviation {
+			return snap.Peers[i].Deviation > snap.Peers[j].Deviation
+		}
+		return snap.Peers[i].PeerID < snap.Peers[j].PeerID
+	})
+	return snap
+}
+
+// Handler serves the audit snapshot as JSON at GET /debug/audit.
+func (a *Auditor) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(a.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

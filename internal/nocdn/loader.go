@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -206,29 +207,58 @@ func (l *Loader) FetchWrapper(page string) (*Wrapper, error) {
 
 // FetchWrapperContext retrieves and parses the wrapper page under ctx.
 func (l *Loader) FetchWrapperContext(ctx context.Context, page string) (*Wrapper, error) {
-	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/wrapper?page="+page, nil, nil, statusOK)
+	return l.fetchWrapper(ctx, nil, page)
+}
+
+// fetchWrapper retrieves the wrapper page, recording a fetch_wrapper span
+// under parent whose context rides the request as a traceparent header — the
+// origin's wrapper span continues the page view's trace.
+func (l *Loader) fetchWrapper(ctx context.Context, parent *hpop.Span, page string) (*Wrapper, error) {
+	sp := parent.Child("fetch_wrapper")
+	sp.SetLabel("page", page)
+	defer sp.End()
+	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/wrapper?page="+page, traceHeader(sp, nil), nil, statusOK)
 	if err != nil {
+		sp.SetError(err)
 		return nil, fmt.Errorf("nocdn: wrapper fetch: %w", err)
 	}
 	var w Wrapper
 	if err := json.Unmarshal(data, &w); err != nil {
+		sp.SetError(err)
 		return nil, fmt.Errorf("nocdn: wrapper decode: %w", err)
 	}
 	return &w, nil
 }
 
+// traceHeader adds sp's traceparent to hdr (allocating it when needed),
+// returning hdr unchanged for a nil or unsampled span.
+func traceHeader(sp *hpop.Span, hdr map[string]string) map[string]string {
+	tp := sp.Context().Traceparent()
+	if tp == "" {
+		return hdr
+	}
+	if hdr == nil {
+		hdr = make(map[string]string, 1)
+	}
+	hdr[hpop.TraceparentHeader] = tp
+	return hdr
+}
+
 // getFrom fetches path from a peer, optionally a byte range, holding a gate
 // slot for the duration of the request (retries included, so the
-// concurrency bound holds under fault storms too). Latency lands in the
-// overall and per-peer fetch histograms; verified bytes are attributed to
-// the peer when the transfer succeeds.
-func (l *Loader) getFrom(ctx context.Context, gate fetchGate, peerID, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+// concurrency bound holds under fault storms too). The fetch_object span's
+// context rides the request as a traceparent header, so the peer's proxy
+// span joins the page view's trace. Latency lands in the overall and
+// per-peer fetch histograms; verified bytes are attributed to the peer when
+// the transfer succeeds.
+func (l *Loader) getFrom(ctx context.Context, gate fetchGate, sp *hpop.Span, peerID, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
 	var hdr map[string]string
 	if chunk != nil {
 		hdr = map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1)}
 	}
+	hdr = traceHeader(sp, hdr)
 	start := time.Now()
 	data, err := l.fetchBytes(ctx, http.MethodGet, peerURL+"/proxy/"+provider+path, hdr, nil, statusOKPartial)
 	elapsed := time.Since(start).Seconds()
@@ -253,7 +283,7 @@ func (l *Loader) originFallback(ctx context.Context, gate fetchGate, parent *hpo
 	sp.SetLabel("reason", reason)
 	defer sp.End()
 	start := time.Now()
-	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, nil, nil, statusOK)
+	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, traceHeader(sp, nil), nil, statusOK)
 	l.Metrics.Observe("nocdn.loader.fetch_seconds", time.Since(start).Seconds())
 	sp.SetError(err)
 	return data, err
@@ -285,7 +315,7 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 	defer sp.End()
 	start := time.Now()
 	defer func() { l.Metrics.Observe("nocdn.loader.page_seconds", time.Since(start).Seconds()) }()
-	w, err := l.FetchWrapperContext(ctx, page)
+	w, err := l.fetchWrapper(ctx, sp, page)
 	if err != nil {
 		sp.SetError(err)
 		return nil, err
@@ -299,11 +329,14 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 	gate := make(fetchGate, l.concurrency())
 	results := make([]objectResult, len(refs))
 	var wg sync.WaitGroup
+	workerLabels := pprof.Labels("service", "nocdn.loader", "span", "fetch_object")
 	for i := range refs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = l.loadObject(ctx, gate, sp, w.Provider, refs[i])
+			pprof.Do(ctx, workerLabels, func(ctx context.Context) {
+				results[i] = l.loadObject(ctx, gate, sp, w.Provider, refs[i])
+			})
 		}(i)
 	}
 	wg.Wait()
@@ -329,7 +362,7 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 
 	// "Upon finishing the page download, the script transfers a usage
 	// record to each peer."
-	res.RecordsDelivered = l.deliverRecords(ctx, gate, w, res)
+	res.RecordsDelivered = l.deliverRecords(ctx, gate, sp, w, res)
 	sp.SetLabel("fallbacks", fmt.Sprint(len(res.FallbackObjects)))
 	return res, nil
 }
@@ -354,7 +387,7 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Sp
 	}
 	defer osp.End()
 	var out objectResult
-	data, fromPeers, err := l.fetchObject(ctx, gate, provider, ref)
+	data, fromPeers, err := l.fetchObject(ctx, gate, osp, provider, ref)
 	if err != nil {
 		// Peer unreachable/failing: fall back to the origin, exactly as
 		// for tampered content — "one problematic peer — be it malicious
@@ -397,10 +430,11 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Sp
 
 // fetchObject retrieves one object whole or chunked, returning the bytes
 // and per-peer byte attribution. Chunks fetch concurrently into disjoint
-// ranges of the assembly buffer.
-func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
+// ranges of the assembly buffer. Whole-object and range requests alike
+// carry sp's traceparent to the serving peer.
+func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, sp *hpop.Span, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
 	if len(ref.Chunks) == 0 {
-		data, err := l.getFrom(ctx, gate, ref.PeerID, ref.PeerURL, provider, ref.Path, nil)
+		data, err := l.getFrom(ctx, gate, sp, ref.PeerID, ref.PeerURL, provider, ref.Path, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -414,7 +448,7 @@ func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider strin
 		go func(i int) {
 			defer wg.Done()
 			c := &ref.Chunks[i]
-			data, err := l.getFrom(ctx, gate, c.PeerID, c.PeerURL, provider, ref.Path, c)
+			data, err := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, c)
 			if err != nil {
 				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
 				return
@@ -444,7 +478,11 @@ func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, provider strin
 // record is signed exactly once; retries re-post the same signed bytes, so
 // a delivery that succeeded but whose response was lost settles once at the
 // origin (the nonce cache rejects the duplicate) — accounting stays exact.
-func (l *Loader) deliverRecords(ctx context.Context, gate fetchGate, w *Wrapper, res *PageResult) int {
+// Each record embeds its deliver_record span's traceparent (under the
+// signature), so the origin's eventual settlement span for this record
+// joins the page view's trace even though it arrives via the peer, a
+// process the loader never talks to about settlement.
+func (l *Loader) deliverRecords(ctx context.Context, gate fetchGate, parent *hpop.Span, w *Wrapper, res *PageResult) int {
 	peerURLs := make(map[string]string)
 	for _, ref := range append([]ObjectRef{w.Container}, w.Objects...) {
 		if ref.PeerID != "" {
@@ -471,33 +509,39 @@ func (l *Loader) deliverRecords(ctx context.Context, gate fetchGate, w *Wrapper,
 		if err != nil {
 			continue
 		}
+		dsp := parent.Child("deliver_record")
+		dsp.SetLabel("peer", peerID)
 		rec := UsageRecord{
-			Provider: w.Provider,
-			PeerID:   peerID,
-			KeyID:    key.KeyID,
-			Page:     w.Page,
-			Bytes:    res.PeerBytes[peerID],
-			Objects:  len(res.Body),
-			Nonce:    auth.NewNonce(),
-			IssuedAt: l.now(),
+			Provider:    w.Provider,
+			PeerID:      peerID,
+			KeyID:       key.KeyID,
+			Page:        w.Page,
+			Bytes:       res.PeerBytes[peerID],
+			Objects:     len(res.Body),
+			Nonce:       auth.NewNonce(),
+			IssuedAt:    l.now(),
+			Traceparent: dsp.Context().Traceparent(),
 		}
 		rec.Sign(secret)
 		body, err := json.Marshal(rec)
 		if err != nil {
+			dsp.End()
 			continue
 		}
 		wg.Add(1)
-		go func(url string, body []byte) {
+		go func(dsp *hpop.Span, url string, body []byte) {
 			defer wg.Done()
+			defer dsp.End()
 			gate.enter()
 			defer gate.leave()
-			hdr := map[string]string{"Content-Type": "application/json"}
+			hdr := traceHeader(dsp, map[string]string{"Content-Type": "application/json"})
 			if _, err := l.fetchBytes(ctx, http.MethodPost, url+"/record", hdr, body,
 				func(code int) bool { return code == http.StatusAccepted }); err != nil {
+				dsp.SetError(err)
 				return
 			}
 			delivered.Add(1)
-		}(peerURLs[peerID], body)
+		}(dsp, peerURLs[peerID], body)
 	}
 	wg.Wait()
 	return int(delivered.Load())

@@ -115,16 +115,22 @@ type UsageRecord struct {
 	Objects  int       `json:"objects"`
 	Nonce    string    `json:"nonce"`
 	IssuedAt time.Time `json:"issuedAt"`
+	// Traceparent carries the loader's delivery span context (W3C
+	// traceparent format) so the origin's settlement span joins the page
+	// view's distributed trace. It is signed: a peer cannot re-attribute a
+	// record to a different trace without breaking the signature.
+	Traceparent string `json:"traceparent,omitempty"`
 	// Signature is HMAC-SHA256 over CanonicalBytes with the peer's
 	// short-term key.
 	Signature string `json:"signature"`
 }
 
 // CanonicalBytes is the byte string the signature covers. Every field that
-// affects payment is included; JSON field order never matters.
+// affects payment is included; JSON field order never matters. (Version v2
+// added the traceparent field; there are no v1 signers left.)
 func (r UsageRecord) CanonicalBytes() []byte {
 	return []byte(strings.Join([]string{
-		"v1",
+		"v2",
 		r.Provider,
 		r.PeerID,
 		r.KeyID,
@@ -133,6 +139,7 @@ func (r UsageRecord) CanonicalBytes() []byte {
 		fmt.Sprint(r.Objects),
 		r.Nonce,
 		r.IssuedAt.UTC().Format(time.RFC3339Nano),
+		r.Traceparent,
 	}, "|"))
 }
 

@@ -2,9 +2,11 @@ package nocdn
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,8 +48,16 @@ type Origin struct {
 	// metrics, when set, receives the origin-side histograms:
 	// nocdn.origin.wrapper_seconds (actual wrapper builds, reused serves
 	// excluded) and nocdn.origin.settle_seconds (usage-record batch
-	// settlement), plus nocdn.origin.records_rejected.
+	// settlement), plus nocdn.origin.records_rejected and the nocdn.audit.*
+	// family.
 	metrics *hpop.Metrics
+	// tracer, when set, records settlement spans: one settle_records batch
+	// span per upload (continuing the uploading peer's flush trace) and one
+	// settle_record span per record (continuing the page view's trace via
+	// the record's embedded traceparent).
+	tracer *hpop.Tracer
+	// audit is the settlement audit pipeline fed by every uploaded record.
+	audit *Auditor
 
 	// contentMu guards the published catalog (objects, pages). The serving
 	// hot path takes only the read lock; publishes are rare writes. Object
@@ -118,11 +128,28 @@ func WithWrapperReuse(ttl time.Duration) OriginOption {
 // WithMetrics wires a metrics registry for the nocdn.origin.* histograms
 // and counters.
 func WithMetrics(m *hpop.Metrics) OriginOption {
-	return func(o *Origin) { o.metrics = m }
+	return func(o *Origin) { o.SetMetrics(m) }
+}
+
+// WithTracer wires a tracer for settlement and audit spans.
+func WithTracer(t *hpop.Tracer) OriginOption {
+	return func(o *Origin) { o.SetTracer(t) }
 }
 
 // SetMetrics wires a metrics registry after construction (daemon wiring).
-func (o *Origin) SetMetrics(m *hpop.Metrics) { o.metrics = m }
+func (o *Origin) SetMetrics(m *hpop.Metrics) {
+	o.metrics = m
+	o.audit.SetMetrics(m)
+}
+
+// SetTracer wires a tracer after construction (daemon wiring).
+func (o *Origin) SetTracer(t *hpop.Tracer) {
+	o.tracer = t
+	o.audit.SetTracer(t)
+}
+
+// Audit returns the origin's settlement audit pipeline.
+func (o *Origin) Audit() *Auditor { return o.audit }
 
 // cachedWrapper is one reusable wrapper with its build time.
 type cachedWrapper struct {
@@ -147,6 +174,7 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 		keyPeer:        make(map[string]string),
 		keyBytes:       make(map[string]int64),
 		wrapperCache:   make(map[string]cachedWrapper),
+		audit:          NewAuditor(),
 	}
 	for _, fn := range opts {
 		fn(o)
@@ -322,18 +350,44 @@ func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
 // for that peer, a fresh nonce, and a plausible byte count. It returns how
 // many records were credited.
 func (o *Origin) SettleRecords(records []UsageRecord) int {
+	return o.settleBatch(hpop.TraceContext{}, records)
+}
+
+// settleBatch settles one upload. The batch span continues the uploading
+// peer's flush trace (parent, from the request's traceparent header); each
+// per-record span continues the page view's trace via the traceparent the
+// loader embedded (and signed) in the record — if that is absent or
+// malformed, the record span falls back to a child of the batch span.
+func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) int {
+	sp := o.tracer.StartRemote("nocdn.origin", "settle_records", parent)
+	sp.SetLabel("records", strconv.Itoa(len(records)))
+	defer sp.End()
 	start := time.Now()
 	credited := 0
 	for _, r := range records {
-		if err := o.settleOne(r); err != nil {
+		var rsp *hpop.Span
+		if rtc, perr := hpop.ParseTraceparent(r.Traceparent); perr == nil {
+			rsp = o.tracer.StartRemote("nocdn.origin", "settle_record", rtc)
+		} else {
+			rsp = sp.Child("settle_record")
+		}
+		rsp.SetLabel("peer", r.PeerID)
+		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
+		err := o.settleOne(r)
+		o.audit.Observe(r, err, errors.Is(err, auth.ErrReplayed))
+		if err != nil {
 			o.mu.Lock()
 			o.rejected[r.PeerID]++
 			o.mu.Unlock()
 			o.metrics.Inc("nocdn.origin.records_rejected")
+			rsp.SetError(err)
+			rsp.End()
 			continue
 		}
+		rsp.End()
 		credited++
 	}
+	sp.SetLabel("credited", strconv.Itoa(credited))
 	o.detectAnomalies()
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited
@@ -363,7 +417,9 @@ func (o *Origin) settleOne(r UsageRecord) error {
 		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
 	}
 	if err := o.nonces.Use(r.KeyID + "|" + r.Nonce); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+		// Double-wrap so callers can classify replays (auth.ErrReplayed)
+		// separately from other rejections — the audit pipeline counts them.
+		return fmt.Errorf("%w: %w", ErrBadRecord, err)
 	}
 	o.mu.Lock()
 	o.credited[r.PeerID] += r.Bytes
@@ -448,12 +504,21 @@ func (o *Origin) TotalPageBytes(page string) (int64, error) {
 //	GET  /wrapper?page=NAME   -> wrapper page JSON
 //	GET  /content/PATH        -> raw object (peer backfill / client fallback)
 //	POST /usage               -> usage-record batch upload
+//	GET  /debug/audit         -> settlement audit snapshot JSON
+//
+// Every endpoint continues the caller's distributed trace when the request
+// carries a traceparent header; absent or malformed headers open fresh
+// roots.
 func (o *Origin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/wrapper", func(w http.ResponseWriter, r *http.Request) {
+		sp := o.tracer.StartRemote("nocdn.origin", "wrapper", hpop.ExtractTraceparent(r.Header))
+		defer sp.End()
 		page := r.URL.Query().Get("page")
+		sp.SetLabel("page", page)
 		wrapper, err := o.GenerateWrapper(page)
 		if err != nil {
+			sp.SetError(err)
 			status := http.StatusNotFound
 			if err == ErrNoPeers {
 				status = http.StatusServiceUnavailable
@@ -463,6 +528,7 @@ func (o *Origin) Handler() http.Handler {
 		}
 		body, err := json.Marshal(wrapper)
 		if err != nil {
+			sp.SetError(err)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -471,11 +537,15 @@ func (o *Origin) Handler() http.Handler {
 		w.Write(body)
 	})
 	mux.HandleFunc("/content/", func(w http.ResponseWriter, r *http.Request) {
+		sp := o.tracer.StartRemote("nocdn.origin", "serve_content", hpop.ExtractTraceparent(r.Header))
+		defer sp.End()
 		path := strings.TrimPrefix(r.URL.Path, "/content")
+		sp.SetLabel("path", path)
 		o.contentMu.RLock()
 		obj, ok := o.objects[path]
 		o.contentMu.RUnlock()
 		if !ok {
+			sp.SetError(ErrUnknownObject)
 			http.Error(w, "unknown object", http.StatusNotFound)
 			return
 		}
@@ -498,9 +568,10 @@ func (o *Origin) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		n := o.SettleRecords(records)
+		n := o.settleBatch(hpop.ExtractTraceparent(r.Header), records)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"credited":%d,"submitted":%d}`, n, len(records))
 	})
+	mux.HandleFunc("/debug/audit", o.audit.Handler())
 	return mux
 }

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"context"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -240,8 +242,16 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	provider, path := rest[:slash], rest[slash:]
+	// Continue the loader's trace when it sent a traceparent; a missing or
+	// corrupted header degrades to a fresh root span.
+	sp := p.tracer.StartRemote("nocdn.peer", "proxy", hpop.ExtractTraceparent(r.Header))
+	sp.SetLabel("peer", p.ID)
+	sp.SetLabel("provider", provider)
+	sp.SetLabel("path", path)
+	defer sp.End()
 	start := time.Now()
 	data, hit, err := p.fetch(provider, path)
+	sp.SetLabel("cache", map[bool]string{true: "hit", false: "miss"}[hit])
 	// The hit/miss latency split: hits should sit in the microsecond
 	// buckets, misses carry the origin round-trip.
 	if hit {
@@ -253,6 +263,7 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		p.metrics.Inc("nocdn.peer.proxy_errors")
+		sp.SetError(err)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -293,6 +304,10 @@ func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad record", http.StatusBadRequest)
 		return
 	}
+	sp := p.tracer.StartRemote("nocdn.peer", "receive_record", hpop.ExtractTraceparent(r.Header))
+	sp.SetLabel("peer", p.ID)
+	sp.SetLabel("provider", rec.Provider)
+	defer sp.End()
 	p.recordsMu.Lock()
 	if len(p.records) >= p.maxPendingLocked() {
 		p.recordsMu.Unlock()
@@ -358,8 +373,22 @@ func (p *Peer) Flush(originURL string) (int, error) {
 		sp.SetError(err)
 		return 0, err
 	}
-	resp, err := p.httpClient.Post(
-		strings.TrimSuffix(originURL, "/")+"/usage", "application/json", bytes.NewReader(body))
+	// The flush span's context rides the upload, so the origin's batch
+	// settlement span parents under this flush cycle; the goroutine carries
+	// pprof labels for the duration of the network round trip.
+	var resp *http.Response
+	pprof.Do(context.Background(), pprof.Labels("service", "nocdn.peer", "span", "flush"),
+		func(ctx context.Context) {
+			var req *http.Request
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+				strings.TrimSuffix(originURL, "/")+"/usage", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			hpop.InjectTraceparent(req.Header, sp)
+			resp, err = p.httpClient.Do(req)
+		})
 	p.metrics.Observe("nocdn.peer.flush_seconds", time.Since(start).Seconds())
 	if err == nil {
 		code := resp.StatusCode

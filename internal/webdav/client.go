@@ -22,6 +22,10 @@ type Client struct {
 	Password string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// RequestHook, when set, sees every outbound request just before it is
+	// sent — the attic replicator uses it to stamp the current sync span's
+	// traceparent header onto every WebDAV operation.
+	RequestHook func(*http.Request)
 }
 
 // StatusError reports an unexpected HTTP status from the server.
@@ -64,6 +68,9 @@ func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*h
 	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
+	}
+	if c.RequestHook != nil {
+		c.RequestHook(req)
 	}
 	return c.httpClient().Do(req)
 }
