@@ -49,6 +49,10 @@ func run(args []string) error {
 	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
 	fetchTimeout := fs.Duration("fetch-timeout", nocdn.DefaultPeerFetchTimeout,
 		"per-request timeout for NoCDN peer fetches and DCol relay dials")
+	maxInflight := fs.Int("nocdn-max-inflight", 0,
+		"NoCDN peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
+	scrubInterval := fs.Duration("scrub-interval", 0,
+		"attic scrub-and-repair pass cadence (0 = hourly default)")
 	debugAddr := fs.String("debug-addr", "",
 		"serve pprof plus /metrics, /healthz and /debug/traces on a second listener (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -83,9 +87,20 @@ func run(args []string) error {
 		}
 	}
 
+	// Background scrub-and-repair over whatever backup engine gets attached
+	// (none at boot — the service idles but its attic.scrub.* counters are
+	// exported immediately, so dashboards and CI can assert the family).
+	scrubber := &attic.Scrubber{Interval: *scrubInterval}
+	if err := h.Register(scrubber); err != nil {
+		return err
+	}
+
 	if *peerID != "" {
 		peer := nocdn.NewPeer(*peerID, *cacheMB<<20)
 		peer.SetFetchTimeout(*fetchTimeout)
+		if *maxInflight > 0 {
+			peer.SetMaxInflight(*maxInflight)
+		}
 		for _, pair := range strings.Split(*providers, ",") {
 			if pair == "" {
 				continue
@@ -158,7 +173,7 @@ func run(args []string) error {
 			h.Stop(context.Background())
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		debugSrv = &http.Server{Handler: hpop.DebugMux(*name, h.Metrics(), h.Tracer(), h.Health)}
+		debugSrv = &http.Server{Handler: hpop.DebugMux(*name, h.Metrics(), h.Tracer(), h.Health, h.HealthRegistry())}
 		go debugSrv.Serve(ln)
 		fmt.Printf("debug endpoints (pprof, /metrics, /healthz, /debug/traces) at http://%s/\n", ln.Addr())
 	}

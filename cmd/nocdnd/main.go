@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -83,6 +84,24 @@ func run(args []string) error {
 	chaosSeed := fs.Uint64("chaos-seed", 0, "load: override the schedule's seed (0 = keep)")
 	debugAddr := fs.String("debug-addr", "",
 		"serve pprof plus /metrics, /healthz and /debug/traces on a second listener (empty: disabled)")
+	breakerWindow := fs.Int("breaker-window", hpop.DefaultBreakerWindow,
+		"circuit breaker: sliding outcome window size")
+	breakerThreshold := fs.Float64("breaker-threshold", hpop.DefaultFailureThreshold,
+		"circuit breaker: windowed failure rate that opens the breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", hpop.DefaultBreakerCooldown,
+		"circuit breaker: open -> half-open delay")
+	breakerProbes := fs.Int("breaker-probes", hpop.DefaultProbeBudget,
+		"circuit breaker: concurrent half-open probe budget")
+	breakerReadmit := fs.Int("breaker-readmit", hpop.DefaultReadmitAfter,
+		"circuit breaker: consecutive probe successes that close it again")
+	probeInterval := fs.Duration("probe-interval", 0,
+		"origin: poll every registered peer's /health on this cadence (0 = disabled)")
+	maxInflight := fs.Int("max-inflight", 0,
+		"peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
+	replicas := fs.Int("replicas", 0,
+		"origin: alternate peers listed per wrapper object for client failover")
+	brownout := fs.Bool("brownout", false,
+		"load: serve pages with degraded-object markers instead of failing the view")
 	var peers kvFlags
 	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +110,16 @@ func run(args []string) error {
 
 	metrics := hpop.NewMetrics()
 	tracer := hpop.NewTracer(0)
+	// One health registry per process: the origin's wrapper gate, the
+	// loader's candidate ranking, and /debug/health all read the same state.
+	health := hpop.NewHealthRegistry(hpop.BreakerConfig{
+		Window:           *breakerWindow,
+		FailureThreshold: *breakerThreshold,
+		Cooldown:         *breakerCooldown,
+		ProbeBudget:      *breakerProbes,
+		ReadmitAfter:     *breakerReadmit,
+	})
+	health.SetMetrics(metrics)
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -99,15 +128,17 @@ func run(args []string) error {
 		name := "nocdnd-" + *mode
 		srv := &http.Server{Handler: hpop.DebugMux(name, metrics, tracer, func() map[string]error {
 			return map[string]error{*mode: nil}
-		})}
+		}, health)}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("debug endpoints (pprof, /metrics, /healthz, /debug/traces) at http://%s/\n", ln.Addr())
+		fmt.Printf("debug endpoints (pprof, /metrics, /healthz, /debug/traces, /debug/health) at http://%s/\n", ln.Addr())
 	}
 
 	switch *mode {
 	case "origin":
-		o := nocdn.NewOrigin(*provider)
+		o := nocdn.NewOrigin(*provider,
+			nocdn.WithReplicas(*replicas),
+			nocdn.WithHealthRegistry(health))
 		o.SetMetrics(metrics)
 		o.SetTracer(tracer)
 		if *content == "" {
@@ -119,13 +150,26 @@ func run(args []string) error {
 		for i, kv := range peers.pairs {
 			o.RegisterPeer(kv[0], kv[1], float64(10+i*10))
 		}
+		if *probeInterval > 0 {
+			go func() {
+				ticker := time.NewTicker(*probeInterval)
+				defer ticker.Stop()
+				for range ticker.C {
+					o.ProbePeers(context.Background())
+				}
+			}()
+			fmt.Printf("probing peer health every %v\n", *probeInterval)
+		}
 		fmt.Printf("nocdn origin %q on %s (%d peers)\n", *provider, *listen, len(peers.pairs))
-		return http.ListenAndServe(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer))
+		return http.ListenAndServe(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer, health))
 	case "peer":
 		p := nocdn.NewPeer(*id, *cacheMB<<20)
 		p.SetFetchTimeout(*fetchTimeout)
 		p.SetMetrics(metrics)
 		p.SetTracer(tracer)
+		if *maxInflight > 0 {
+			p.SetMaxInflight(*maxInflight)
+		}
 		for _, pair := range strings.Split(*provider, ",") {
 			kv := strings.SplitN(pair, "=", 2)
 			if len(kv) != 2 {
@@ -134,7 +178,7 @@ func run(args []string) error {
 			p.SignUp(kv[0], kv[1])
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
-		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer))
+		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer, health))
 	case "load":
 		if *originURL == "" {
 			return fmt.Errorf("load mode requires -origin")
@@ -149,6 +193,8 @@ func run(args []string) error {
 			Retry:        faults.Policy{MaxAttempts: *retries},
 			Metrics:      metrics,
 			Tracer:       tracer,
+			Health:       health,
+			Brownout:     *brownout,
 		}
 		if *chaos != "" {
 			sched, err := faults.ParseSchedule(*chaos)
@@ -173,11 +219,11 @@ func run(args []string) error {
 }
 
 // observabilityMux wraps a serving mode's handler with the observability
-// endpoints on the same listener: /metrics, /healthz, /debug/traces and
-// /debug/trace?id= (pprof stays behind -debug-addr). Provider objects at
-// those exact paths are shadowed; use a dedicated -debug-addr listener if
-// that matters.
-func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tracer) *http.ServeMux {
+// endpoints on the same listener: /metrics, /healthz, /debug/traces,
+// /debug/trace?id= and /debug/health (pprof stays behind -debug-addr).
+// Provider objects at those exact paths are shadowed; use a dedicated
+// -debug-addr listener if that matters.
+func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tracer, h *hpop.HealthRegistry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", app)
 	mux.HandleFunc("/metrics", hpop.MetricsHandler(m))
@@ -186,6 +232,7 @@ func observabilityMux(mode string, app http.Handler, m *hpop.Metrics, t *hpop.Tr
 	}))
 	mux.HandleFunc("/debug/traces", hpop.TracesHandler(t))
 	mux.HandleFunc("/debug/trace", hpop.TraceHandler(t))
+	mux.HandleFunc("/debug/health", h.Handler())
 	return mux
 }
 

@@ -118,7 +118,7 @@ func TestMetricsObservabilityMux(t *testing.T) {
 	metrics := hpop.NewMetrics()
 	tracer := hpop.NewTracer(0)
 	o.SetMetrics(metrics)
-	srv := httptest.NewServer(observabilityMux("origin", o.Handler(), metrics, tracer))
+	srv := httptest.NewServer(observabilityMux("origin", o.Handler(), metrics, tracer, hpop.NewHealthRegistry(hpop.BreakerConfig{})))
 	defer srv.Close()
 
 	get := func(path string, wantStatus int, wantIn string) {

@@ -195,7 +195,9 @@ func binomial(n, k int) float64 {
 	return res
 }
 
-// manifest records how a backup was laid out.
+// manifest records how a backup was laid out. After Backup it is mutated
+// only by the scrubber (shard relocation), always under the engine's mu;
+// readers snapshot it first.
 type manifest struct {
 	plan     Plan
 	length   int
@@ -203,6 +205,27 @@ type manifest struct {
 	iv       []byte
 	keys     []string // storage key per replica/shard
 	peers    []PeerStore
+	// shardSums holds the hex SHA-256 of each stored ciphertext blob
+	// (replica or shard), so the scrubber can verify placements at rest
+	// without the encryption key.
+	shardSums []string
+}
+
+// snapshot copies the manifest so callers can work on it without holding
+// the engine lock (the scrubber mutates peers on relocation).
+func (m *manifest) snapshot() manifest {
+	cp := *m
+	cp.iv = append([]byte(nil), m.iv...)
+	cp.keys = append([]string(nil), m.keys...)
+	cp.peers = append([]PeerStore(nil), m.peers...)
+	cp.shardSums = append([]string(nil), m.shardSums...)
+	return cp
+}
+
+// sumHex is the scrubber's at-rest integrity primitive.
+func sumHex(data []byte) string {
+	s := sha256.Sum256(data)
+	return hex.EncodeToString(s[:])
 }
 
 // BackupEngine encrypts attic content and places it at peers per a plan.
@@ -276,6 +299,7 @@ func (e *BackupEngine) Backup(name string, data []byte) error {
 	}
 	switch e.plan.Kind {
 	case PlanReplicas:
+		encSum := sumHex(enc)
 		for i := 0; i < e.plan.N; i++ {
 			key := fmt.Sprintf("%s-%d-rep%d", name, id, i)
 			if err := e.peers[i].Put(key, enc); err != nil {
@@ -283,6 +307,7 @@ func (e *BackupEngine) Backup(name string, data []byte) error {
 			}
 			m.keys = append(m.keys, key)
 			m.peers = append(m.peers, e.peers[i])
+			m.shardSums = append(m.shardSums, encSum)
 		}
 	case PlanErasure:
 		coder, err := erasure.New(e.plan.K, e.plan.M)
@@ -300,6 +325,7 @@ func (e *BackupEngine) Backup(name string, data []byte) error {
 			}
 			m.keys = append(m.keys, key)
 			m.peers = append(m.peers, e.peers[i])
+			m.shardSums = append(m.shardSums, sumHex(shard))
 		}
 	}
 	e.mu.Lock()
@@ -312,11 +338,13 @@ func (e *BackupEngine) Backup(name string, data []byte) error {
 // decrypts, and verifies its checksum.
 func (e *BackupEngine) Restore(name string) ([]byte, error) {
 	e.mu.Lock()
-	m, ok := e.manifests[name]
-	e.mu.Unlock()
+	mp, ok := e.manifests[name]
 	if !ok {
+		e.mu.Unlock()
 		return nil, ErrNoSuchBackup
 	}
+	m := mp.snapshot()
+	e.mu.Unlock()
 	var enc []byte
 	switch m.plan.Kind {
 	case PlanReplicas:
@@ -382,11 +410,13 @@ func (e *BackupEngine) Restore(name string) ([]byte, error) {
 // moving data (used by the availability sweep).
 func (e *BackupEngine) Recoverable(name string) bool {
 	e.mu.Lock()
-	m, ok := e.manifests[name]
-	e.mu.Unlock()
+	mp, ok := e.manifests[name]
 	if !ok {
+		e.mu.Unlock()
 		return false
 	}
+	m := mp.snapshot()
+	e.mu.Unlock()
 	up := 0
 	for _, p := range m.peers {
 		if p.Up() {

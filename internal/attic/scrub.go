@@ -1,0 +1,356 @@
+package attic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hpop/internal/erasure"
+	"hpop/internal/hpop"
+)
+
+// DefaultScrubInterval paces the background scrubber. Residential peers rot
+// quietly — disks flip bits, friends reinstall boxes — so placements must be
+// re-verified on a cadence, not only at restore time.
+const DefaultScrubInterval = time.Hour
+
+// ShardState classifies one placement the scrubber examined.
+type ShardState string
+
+// Shard verdicts.
+const (
+	ShardOK      ShardState = "ok"
+	ShardCorrupt ShardState = "corrupt" // present but checksum mismatch
+	ShardMissing ShardState = "missing" // peer down or blob gone
+)
+
+// ScrubReport is one backup's scrub outcome.
+type ScrubReport struct {
+	Name    string `json:"name"`
+	Checked int    `json:"checked"`
+	Corrupt int    `json:"corrupt"`
+	Missing int    `json:"missing"`
+	// Repaired counts placements rebuilt from survivors and re-stored.
+	Repaired int `json:"repaired"`
+	// Relocated counts repaired placements that had to move to a different
+	// peer because the original host is down.
+	Relocated int `json:"relocated"`
+	// Unrecoverable is set when more placements are bad than the plan's
+	// redundancy covers; Err then wraps ErrNotEnoughUp.
+	Unrecoverable bool  `json:"unrecoverable"`
+	Err           error `json:"-"`
+}
+
+// ScrubSummary aggregates one full scrub pass.
+type ScrubSummary struct {
+	Backups []ScrubReport
+}
+
+// Totals sums the per-backup counters.
+func (s ScrubSummary) Totals() (checked, corrupt, missing, repaired, relocated, unrecoverable int) {
+	for _, r := range s.Backups {
+		checked += r.Checked
+		corrupt += r.Corrupt
+		missing += r.Missing
+		repaired += r.Repaired
+		relocated += r.Relocated
+		if r.Unrecoverable {
+			unrecoverable++
+		}
+	}
+	return
+}
+
+// Scrub walks every backup manifest, verifies each placement's ciphertext
+// checksum at its peer, and repairs what it can: corrupt or missing
+// placements are rebuilt from survivors (erasure decode for PlanErasure, a
+// surviving copy for PlanReplicas) and re-stored — relocated to a healthy
+// peer when the original host is down. CTR encryption means the scrubber
+// never needs the data key: it verifies and rebuilds ciphertext only.
+//
+// Backups whose losses exceed the plan's redundancy are reported
+// unrecoverable (Err wraps ErrNotEnoughUp) and left untouched — degraded but
+// never made worse.
+func (e *BackupEngine) Scrub(met *hpop.Metrics, tr *hpop.Tracer) ScrubSummary {
+	sp := tr.Start("attic.scrub", "scrub_pass")
+	defer sp.End()
+	met.Inc("attic.scrub.passes")
+
+	e.mu.Lock()
+	names := make([]string, 0, len(e.manifests))
+	for name := range e.manifests {
+		names = append(names, name)
+	}
+	e.mu.Unlock()
+	sort.Strings(names)
+
+	var sum ScrubSummary
+	for _, name := range names {
+		rep := e.scrubOne(name, sp)
+		met.Add("attic.scrub.checked", float64(rep.Checked))
+		met.Add("attic.scrub.corrupt", float64(rep.Corrupt))
+		met.Add("attic.scrub.missing", float64(rep.Missing))
+		met.Add("attic.scrub.repaired", float64(rep.Repaired))
+		met.Add("attic.scrub.relocated", float64(rep.Relocated))
+		if rep.Unrecoverable {
+			met.Inc("attic.scrub.unrecoverable")
+		}
+		sum.Backups = append(sum.Backups, rep)
+	}
+	checked, corrupt, missing, repaired, _, unrec := sum.Totals()
+	sp.SetLabel("checked", strconv.Itoa(checked))
+	sp.SetLabel("corrupt", strconv.Itoa(corrupt))
+	sp.SetLabel("missing", strconv.Itoa(missing))
+	sp.SetLabel("repaired", strconv.Itoa(repaired))
+	if unrec > 0 {
+		sp.SetError(fmt.Errorf("attic: %d backups unrecoverable", unrec))
+	}
+	return sum
+}
+
+// scrubOne verifies and repairs one backup's placements.
+func (e *BackupEngine) scrubOne(name string, parent *hpop.Span) ScrubReport {
+	rep := ScrubReport{Name: name}
+	e.mu.Lock()
+	mp, ok := e.manifests[name]
+	if !ok {
+		e.mu.Unlock()
+		return rep
+	}
+	m := mp.snapshot()
+	e.mu.Unlock()
+	if m.plan.Kind == PlanNone || len(m.keys) == 0 {
+		return rep
+	}
+
+	sp := parent.Child("scrub_backup")
+	sp.SetLabel("backup", name)
+	defer sp.End()
+
+	// Classify every placement: fetch the ciphertext and verify its
+	// manifest checksum. A corrupt blob is treated exactly like a missing
+	// one from here on — it must not participate in reconstruction.
+	blobs := make([][]byte, len(m.keys))
+	var bad []int
+	for i, key := range m.keys {
+		rep.Checked++
+		if !m.peers[i].Up() {
+			rep.Missing++
+			bad = append(bad, i)
+			continue
+		}
+		data, err := m.peers[i].Get(key)
+		if err != nil {
+			rep.Missing++
+			bad = append(bad, i)
+			continue
+		}
+		if sumHex(data) != m.shardSums[i] {
+			rep.Corrupt++
+			bad = append(bad, i)
+			continue
+		}
+		blobs[i] = data
+	}
+	if len(bad) == 0 {
+		return rep
+	}
+	sp.SetLabel("bad", strconv.Itoa(len(bad)))
+
+	// Rebuild the bad placements from survivors.
+	switch m.plan.Kind {
+	case PlanReplicas:
+		var good []byte
+		for _, b := range blobs {
+			if b != nil {
+				good = b
+				break
+			}
+		}
+		if good == nil {
+			rep.Unrecoverable = true
+			rep.Err = fmt.Errorf("attic: scrub %s: no intact replica: %w", name, ErrNotEnoughUp)
+			sp.SetError(rep.Err)
+			return rep
+		}
+		for _, idx := range bad {
+			blobs[idx] = good
+		}
+	case PlanErasure:
+		intact := 0
+		for _, b := range blobs {
+			if b != nil {
+				intact++
+			}
+		}
+		if intact < m.plan.K {
+			rep.Unrecoverable = true
+			rep.Err = fmt.Errorf("attic: scrub %s: %d of %d shards intact, need %d: %w",
+				name, intact, len(m.keys), m.plan.K, ErrNotEnoughUp)
+			sp.SetError(rep.Err)
+			return rep
+		}
+		coder, err := erasure.New(m.plan.K, m.plan.M)
+		if err != nil {
+			rep.Err = err
+			sp.SetError(err)
+			return rep
+		}
+		if _, err := coder.Repair(blobs, bad); err != nil {
+			rep.Err = err
+			sp.SetError(err)
+			return rep
+		}
+	}
+
+	// Re-store each rebuilt placement: back to its original peer when that
+	// peer is reachable, otherwise relocated to a healthy peer not already
+	// holding part of this backup. RS reconstruction is deterministic, so a
+	// repaired shard is byte-identical to the original and the manifest
+	// checksum stays valid.
+	for _, idx := range bad {
+		target := m.peers[idx]
+		relocated := false
+		if !target.Up() {
+			if alt := e.spareFor(m.peers); alt != nil {
+				target = alt
+				relocated = true
+			} else {
+				continue // nowhere to put it; next pass retries
+			}
+		}
+		if err := target.Put(m.keys[idx], blobs[idx]); err != nil {
+			rsp := sp.Child("repair_failed")
+			rsp.SetLabel("key", m.keys[idx])
+			rsp.SetError(err)
+			rsp.End()
+			continue
+		}
+		rep.Repaired++
+		rsp := sp.Child("shard_repaired")
+		rsp.SetLabel("key", m.keys[idx])
+		rsp.SetLabel("peer", target.Name())
+		if relocated {
+			rep.Relocated++
+			rsp.SetLabel("relocated", "true")
+			m.peers[idx] = target
+			// Publish the relocation so restores look at the new host.
+			e.mu.Lock()
+			if cur, ok := e.manifests[name]; ok && idx < len(cur.peers) {
+				cur.peers[idx] = target
+			}
+			e.mu.Unlock()
+		}
+		rsp.End()
+	}
+	return rep
+}
+
+// spareFor returns an engine peer that is up and not already hosting one of
+// the backup's placements, or nil.
+func (e *BackupEngine) spareFor(used []PeerStore) PeerStore {
+	inUse := make(map[PeerStore]bool, len(used))
+	for _, p := range used {
+		inUse[p] = true
+	}
+	for _, p := range e.peers {
+		if !inUse[p] && p.Up() {
+			return p
+		}
+	}
+	return nil
+}
+
+// Scrubber runs Scrub on a cadence as an HPoP service ("attic-scrub"),
+// exporting the attic.scrub.* counters and one scrub_pass span tree per
+// pass. Attach an engine before Start; a Scrubber without one idles.
+type Scrubber struct {
+	// Interval paces passes (<= 0 means DefaultScrubInterval).
+	Interval time.Duration
+
+	mu      sync.Mutex
+	engine  *BackupEngine
+	metrics *hpop.Metrics
+	tracer  *hpop.Tracer
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+var _ hpop.Service = (*Scrubber)(nil)
+
+// Attach points the scrubber at a backup engine (callable before or after
+// Start; the next pass picks it up).
+func (s *Scrubber) Attach(e *BackupEngine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine = e
+}
+
+// Name implements hpop.Service.
+func (s *Scrubber) Name() string { return "attic-scrub" }
+
+// Start implements hpop.Service: it launches the scrub loop and zeroes the
+// attic.scrub.* counters so the full family is visible on /metrics before
+// the first pass completes.
+func (s *Scrubber) Start(ctx *hpop.ServiceContext) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = ctx.Metrics
+	s.tracer = ctx.Tracer
+	for _, c := range []string{
+		"attic.scrub.passes", "attic.scrub.checked", "attic.scrub.corrupt",
+		"attic.scrub.missing", "attic.scrub.repaired", "attic.scrub.relocated",
+		"attic.scrub.unrecoverable",
+	} {
+		ctx.Metrics.Add(c, 0)
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = DefaultScrubInterval
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(interval, s.stop, s.done)
+	return nil
+}
+
+// Stop implements hpop.Service.
+func (s *Scrubber) Stop() error {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
+}
+
+func (s *Scrubber) loop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.ScrubOnce()
+		}
+	}
+}
+
+// ScrubOnce runs one pass immediately (the loop's body; also handy for
+// tests and operators). It is a no-op without an attached engine.
+func (s *Scrubber) ScrubOnce() ScrubSummary {
+	s.mu.Lock()
+	engine, met, tr := s.engine, s.metrics, s.tracer
+	s.mu.Unlock()
+	if engine == nil {
+		return ScrubSummary{}
+	}
+	return engine.Scrub(met, tr)
+}

@@ -3,6 +3,7 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Errors returned by the coder.
@@ -253,6 +254,42 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		shards[c.k+i] = p
 	}
 	return nil
+}
+
+// Repair rebuilds the shards at the given indices from the survivors: the
+// bad shards are discarded (a corrupt shard is worse than a missing one —
+// it would poison reconstruction) and regenerated in place. It returns the
+// indices actually rebuilt, sorted ascending. ErrTooFewShards is returned
+// when more than m shards are bad.
+func (c *Coder) Repair(shards [][]byte, bad []int) ([]int, error) {
+	if len(shards) < c.k+c.m {
+		return nil, ErrShortShardSlice
+	}
+	rebuilt := make([]int, 0, len(bad))
+	for _, idx := range bad {
+		if idx < 0 || idx >= c.k+c.m {
+			return nil, fmt.Errorf("erasure: repair index %d out of range", idx)
+		}
+		if shards[idx] != nil {
+			shards[idx] = nil
+		}
+	}
+	for _, idx := range bad {
+		rebuilt = append(rebuilt, idx)
+	}
+	sort.Ints(rebuilt)
+	// Deduplicate (a shard can be both reported missing and corrupt).
+	dedup := rebuilt[:0]
+	for i, idx := range rebuilt {
+		if i == 0 || idx != rebuilt[i-1] {
+			dedup = append(dedup, idx)
+		}
+	}
+	rebuilt = dedup
+	if err := c.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	return rebuilt, nil
 }
 
 // Verify checks that the parity shards are consistent with the data shards.

@@ -1,0 +1,283 @@
+package hpop
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults. The window is deliberately small: a residential
+// peer that fails half of its last 16 requests is not about to get better on
+// request 17, and a small window keeps open/close decisions responsive to
+// flapping links.
+const (
+	// DefaultBreakerWindow is the sliding outcome window size.
+	DefaultBreakerWindow = 16
+	// DefaultFailureThreshold opens the breaker when the windowed failure
+	// rate reaches it (with at least DefaultBreakerMinSamples outcomes).
+	DefaultFailureThreshold = 0.5
+	// DefaultBreakerMinSamples gates opening until the window holds a
+	// sample — one failed request out of one is not a statistic.
+	DefaultBreakerMinSamples = 4
+	// DefaultBreakerCooldown is how long an open breaker blocks before
+	// half-opening for probes.
+	DefaultBreakerCooldown = 5 * time.Second
+	// DefaultProbeBudget bounds concurrent half-open probes, so a recovering
+	// peer is never stampeded by every waiting client at once.
+	DefaultProbeBudget = 1
+	// DefaultReadmitAfter is how many consecutive half-open probe successes
+	// close the breaker again — the hysteresis against flapping: one lucky
+	// response does not re-admit a peer.
+	DefaultReadmitAfter = 2
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The classic three states.
+const (
+	// BreakerClosed: traffic flows, outcomes are windowed.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: a bounded number of probes may pass; their outcomes
+	// decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig shapes a Breaker. The zero value applies the defaults above.
+type BreakerConfig struct {
+	// Window is the sliding outcome window size (<= 0: default).
+	Window int
+	// FailureThreshold in [0, 1] opens the breaker when the windowed
+	// failure rate reaches it (<= 0: default).
+	FailureThreshold float64
+	// MinSamples gates opening until the window holds that many outcomes
+	// (<= 0: default).
+	MinSamples int
+	// Cooldown is the open -> half-open delay (<= 0: default).
+	Cooldown time.Duration
+	// ProbeBudget bounds concurrent half-open probes (<= 0: default).
+	ProbeBudget int
+	// ReadmitAfter is how many consecutive probe successes close a
+	// half-open breaker (<= 0: default).
+	ReadmitAfter int
+	// Now is injectable for tests (nil: time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultBreakerWindow
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = DefaultFailureThreshold
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultBreakerMinSamples
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = DefaultProbeBudget
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = DefaultReadmitAfter
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a race-clean closed/open/half-open circuit breaker over a
+// sliding outcome window. Allow asks permission before an attempt; Record
+// reports the attempt's outcome. An outcome recorded after the breaker has
+// moved on (a slow request straddling a transition) lands in whatever state
+// the breaker is in now — stale outcomes are deliberately treated as
+// current, which at worst delays one transition by one sample.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu    sync.Mutex
+	state BreakerState
+	// failed is the sliding outcome ring (true = failure); count is how much
+	// of it is populated, pos the next write slot, fails the failure total.
+	failed []bool
+	pos    int
+	count  int
+	fails  int
+
+	openedAt time.Time
+	opens    int64
+	// probes counts half-open probes granted but not yet recorded; probeOK
+	// counts consecutive successful probes.
+	probes  int
+	probeOK int
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, failed: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether an attempt may proceed, granting a probe slot when
+// half-open. A cooled-down open breaker half-opens here (and the call that
+// trips the transition gets the first probe).
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes = 1
+		b.probeOK = 0
+		return true
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.ProbeBudget {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return true
+	}
+}
+
+// Record reports one attempt outcome. Closed: the outcome enters the window
+// and may open the breaker. Half-open: a failure re-opens immediately;
+// ReadmitAfter consecutive successes close. Open: ignored (stale).
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !ok {
+			b.openLocked()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.ReadmitAfter {
+			b.closeLocked()
+		}
+	case BreakerClosed:
+		if b.count == len(b.failed) && b.failed[b.pos] {
+			b.fails-- // evicted outcome leaves the window
+		}
+		b.failed[b.pos] = !ok
+		if !ok {
+			b.fails++
+		}
+		b.pos = (b.pos + 1) % len(b.failed)
+		if b.count < len(b.failed) {
+			b.count++
+		}
+		if b.count >= b.cfg.MinSamples &&
+			float64(b.fails)/float64(b.count) >= b.cfg.FailureThreshold {
+			b.openLocked()
+		}
+	}
+}
+
+// openLocked transitions to open; b.mu must be held.
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.probes = 0
+	b.probeOK = 0
+}
+
+// closeLocked transitions to closed with a fresh window; b.mu must be held.
+func (b *Breaker) closeLocked() {
+	b.state = BreakerClosed
+	for i := range b.failed {
+		b.failed[i] = false
+	}
+	b.pos, b.count, b.fails = 0, 0, 0
+	b.probes = 0
+	b.probeOK = 0
+}
+
+// ProbeDue reports whether the breaker would admit a probe right now: open
+// with the cooldown elapsed (the next Allow half-opens), or half-open with
+// probe budget to spare. Read-only — routing layers use it to steer one real
+// request at the recovering peer, because without that canary traffic an
+// open breaker on a deprioritized peer would never see the Allow call that
+// drives recovery.
+func (b *Breaker) ProbeDue() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown
+	case BreakerHalfOpen:
+		return b.probes < b.cfg.ProbeBudget
+	}
+	return false
+}
+
+// State returns the current position. Note that an open breaker past its
+// cooldown still reports open until an Allow call half-opens it — the
+// transition is driven by traffic, not by observation.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// FailureRate returns the windowed failure rate and sample count.
+func (b *Breaker) FailureRate() (rate float64, samples int) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count == 0 {
+		return 0, 0
+	}
+	return float64(b.fails) / float64(b.count), b.count
+}
+
+// Opens returns how many times the breaker has tripped open.
+func (b *Breaker) Opens() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

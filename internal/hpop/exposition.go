@@ -191,13 +191,19 @@ func HealthHandler(name string, health func() map[string]error) http.HandlerFunc
 // DebugMux builds the opt-in debug surface both daemons serve behind
 // -debug-addr: the observability endpoints plus net/http/pprof. It is kept
 // off the appliance's public mux so profiling is never reachable unless
-// explicitly enabled.
-func DebugMux(name string, m *Metrics, t *Tracer, health func() map[string]error) *http.ServeMux {
+// explicitly enabled. An optional HealthRegistry backs /debug/health; the
+// endpoint is always mounted (a nil registry serves an empty peer list).
+func DebugMux(name string, m *Metrics, t *Tracer, health func() map[string]error, reg ...*HealthRegistry) *http.ServeMux {
+	var hr *HealthRegistry
+	if len(reg) > 0 {
+		hr = reg[0]
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", MetricsHandler(m))
 	mux.HandleFunc("/healthz", HealthHandler(name, health))
 	mux.HandleFunc("/debug/traces", TracesHandler(t))
 	mux.HandleFunc("/debug/trace", TraceHandler(t))
+	mux.HandleFunc("/debug/health", hr.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -42,6 +42,9 @@ type ServiceContext struct {
 	Tracer *Tracer
 	// Events is the appliance event log.
 	Events *EventLog
+	// Health is the shared peer-health registry (breaker state, audit
+	// flags, latency quantiles), served at /debug/health.
+	Health *HealthRegistry
 	// Config is the appliance configuration.
 	Config Config
 }
@@ -115,6 +118,7 @@ type HPoP struct {
 	metrics *Metrics
 	tracer  *Tracer
 	events  *EventLog
+	health  *HealthRegistry
 
 	mu       sync.Mutex
 	services []Service
@@ -129,13 +133,16 @@ func New(cfg Config) *HPoP {
 	if cfg.Name == "" {
 		cfg.Name = "hpop"
 	}
-	return &HPoP{
+	h := &HPoP{
 		cfg:     cfg,
 		metrics: NewMetrics(),
 		tracer:  NewTracer(0),
 		events:  NewEventLog(0, nil),
+		health:  NewHealthRegistry(BreakerConfig{}),
 		mux:     http.NewServeMux(),
 	}
+	h.health.SetMetrics(h.metrics)
+	return h
 }
 
 // Metrics returns the shared registry.
@@ -146,6 +153,9 @@ func (h *HPoP) Tracer() *Tracer { return h.tracer }
 
 // Events returns the appliance event log.
 func (h *HPoP) Events() *EventLog { return h.events }
+
+// HealthRegistry returns the shared peer-health registry.
+func (h *HPoP) HealthRegistry() *HealthRegistry { return h.health }
 
 // Health reports per-service readiness, as served by /healthz. Useful for
 // wiring the same view onto a second listener (see cmd/hpopd -debug-addr).
@@ -184,6 +194,7 @@ func (h *HPoP) Start() error {
 		Metrics: h.metrics,
 		Tracer:  h.tracer,
 		Events:  h.events,
+		Health:  h.health,
 		Config:  h.cfg,
 	}
 	for i, s := range h.services {
@@ -200,6 +211,7 @@ func (h *HPoP) Start() error {
 	h.mux.HandleFunc("/healthz", HealthHandler(h.cfg.Name, h.healthSnapshot))
 	h.mux.HandleFunc("/debug/traces", TracesHandler(h.tracer))
 	h.mux.HandleFunc("/debug/trace", TraceHandler(h.tracer))
+	h.mux.HandleFunc("/debug/health", h.health.Handler())
 
 	addr := h.cfg.ListenAddr
 	if addr == "" {

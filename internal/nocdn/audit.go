@@ -87,6 +87,10 @@ type Auditor struct {
 	// MinRecords gates flagging until a peer has a sample
 	// (<= 0 means DefaultAuditMinRecords).
 	MinRecords int
+	// OnFlag, when set, is invoked (outside the auditor's lock) each time a
+	// peer is newly flagged — the origin uses it to eject the peer from
+	// future wrapper maps immediately instead of waiting for the next probe.
+	OnFlag func(peerID string)
 
 	mu    sync.Mutex
 	peers map[string]*peerAudit
@@ -169,33 +173,44 @@ func (a *Auditor) Observe(rec UsageRecord, settleErr error, replayed bool) {
 			}
 		}
 	}
-	pa.score = a.scoreLocked(pa)
-	a.metrics.Set("nocdn.audit.peer."+rec.PeerID+".deviation", pa.score)
-	newlyFlagged := false
-	if !pa.flagged && pa.records >= a.minRecords() && pa.score > a.threshold() {
-		pa.flagged = true
-		newlyFlagged = true
-		a.metrics.Inc("nocdn.audit.flagged")
+	// Every record moves the population statistics, so EVERY peer's score is
+	// stale, not just the submitter's. Rescoring them all keeps the verdict
+	// independent of upload order: a peer whose inflated claims settle before
+	// the honest population exists scores low against itself at that moment,
+	// but is re-judged — and flagged — as soon as honest records arrive.
+	type flaggedPeer struct {
+		id        string
+		score     float64
+		offending []string
 	}
+	var newly []flaggedPeer
+	for id, p := range a.peers {
+		p.score = a.scoreLocked(p)
+		a.metrics.Set("nocdn.audit.peer."+id+".deviation", p.score)
+		if !p.flagged && p.records >= a.minRecords() && p.score > a.threshold() {
+			p.flagged = true
+			a.metrics.Inc("nocdn.audit.flagged")
+			newly = append(newly, flaggedPeer{id, p.score, append([]string(nil), p.offending...)})
+		}
+	}
+	sort.Slice(newly, func(i, j int) bool { return newly[i].id < newly[j].id })
 	tracer := a.tracer
-	var offending []string
-	if newlyFlagged {
-		offending = append([]string(nil), pa.offending...)
-	}
-	score := pa.score
 	a.mu.Unlock()
 
-	if newlyFlagged {
+	for _, fp := range newly {
 		// The audit span carries the evidence: which peer, what score, and
 		// the trace IDs of the offending records, so an operator can pull
 		// each implicated page view's full tree from /debug/trace.
 		sp := tracer.Start("nocdn.audit", "peer_flagged")
-		sp.SetLabel("peer", rec.PeerID)
-		sp.SetLabel("score", strconv.FormatFloat(score, 'g', 4, 64))
-		for i, id := range offending {
+		sp.SetLabel("peer", fp.id)
+		sp.SetLabel("score", strconv.FormatFloat(fp.score, 'g', 4, 64))
+		for i, id := range fp.offending {
 			sp.SetLabel(fmt.Sprintf("offending_trace_%d", i), id)
 		}
 		sp.End()
+		if a.OnFlag != nil {
+			a.OnFlag(fp.id)
+		}
 	}
 }
 

@@ -72,6 +72,18 @@ type Loader struct {
 	// load_page root with fetch_object children and an origin_fallback
 	// child wherever a peer failed or served tampered bytes.
 	Tracer *hpop.Tracer
+	// Health, when non-nil, closes the self-healing loop on the client
+	// side: every fetch outcome feeds the serving peer's circuit breaker,
+	// open-circuit peers are skipped (nocdn.loader.circuit_skips), an
+	// object's candidate peers (primary + wrapper replicas) are re-ranked
+	// by health before fetching, and origin fallbacks charge the
+	// responsible peer an extra breaker failure.
+	Health *hpop.HealthRegistry
+	// Brownout, when true, degrades instead of failing: an object whose
+	// peers and origin fallback all failed is reported in
+	// PageResult.Degraded (no bytes — never unverified ones) and the rest
+	// of the page still loads.
+	Brownout bool
 	// now is injectable for tests.
 	Now func() time.Time
 
@@ -89,6 +101,10 @@ type PageResult struct {
 	// FallbackObjects lists objects whose peer copy failed verification and
 	// were refetched from the origin, in wrapper order.
 	FallbackObjects []string
+	// Degraded lists objects that could not be fetched from any peer or the
+	// origin, in wrapper order — brownout mode's degraded-object markers.
+	// These paths have no Body entry; nothing unverified is ever rendered.
+	Degraded []string
 	// TamperDetected reports whether any hash mismatch occurred.
 	TamperDetected bool
 	// RecordsDelivered counts usage records handed to peers.
@@ -267,20 +283,31 @@ func (l *Loader) getFrom(ctx context.Context, gate fetchGate, sp *hpop.Span, pee
 		l.Metrics.Observe("nocdn.loader.peer."+peerID+".fetch_seconds", elapsed)
 		if err == nil {
 			l.Metrics.Add("nocdn.loader.peer."+peerID+".bytes", float64(len(data)))
+			l.Health.RecordSuccess(peerID, elapsed)
+		} else {
+			l.Health.RecordFailure(peerID)
 		}
 	}
 	return data, err
 }
 
 // originFallback fetches an object straight from the provider, recording an
-// origin_fallback span under parent.
-func (l *Loader) originFallback(ctx context.Context, gate fetchGate, parent *hpop.Span, path, reason string) ([]byte, error) {
+// origin_fallback span under parent. peerID names the peer responsible for
+// forcing the fallback ("" when no single peer is): it is charged an extra
+// breaker failure on top of the failed attempt itself, because a fallback
+// costs the page an extra origin round trip — a peer that keeps forcing them
+// must stop looking healthy just because the page still loads.
+func (l *Loader) originFallback(ctx context.Context, gate fetchGate, parent *hpop.Span, peerID, path, reason string) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
 	l.Metrics.Inc("nocdn.loader.fallbacks")
+	l.Health.RecordFallback(peerID)
 	sp := parent.Child("origin_fallback")
 	sp.SetLabel("path", path)
 	sp.SetLabel("reason", reason)
+	if peerID != "" {
+		sp.SetLabel("peer", peerID)
+	}
 	defer sp.End()
 	start := time.Now()
 	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/content"+path, traceHeader(sp, nil), nil, statusOK)
@@ -296,6 +323,7 @@ type objectResult struct {
 	fromPeers map[string]int64
 	fallback  bool
 	tampered  bool
+	degraded  bool
 	err       error
 }
 
@@ -354,6 +382,10 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 		if r.fallback {
 			res.FallbackObjects = append(res.FallbackObjects, ref.Path)
 		}
+		if r.degraded {
+			res.Degraded = append(res.Degraded, ref.Path)
+			continue // degraded objects never get a Body entry
+		}
 		res.Body[ref.Path] = r.data
 		for peer, n := range r.fromPeers {
 			res.PeerBytes[peer] += n
@@ -364,6 +396,9 @@ func (l *Loader) LoadPageContext(ctx context.Context, page string) (*PageResult,
 	// record to each peer."
 	res.RecordsDelivered = l.deliverRecords(ctx, gate, sp, w, res)
 	sp.SetLabel("fallbacks", fmt.Sprint(len(res.FallbackObjects)))
+	if len(res.Degraded) > 0 {
+		sp.SetLabel("degraded", fmt.Sprint(len(res.Degraded)))
+	}
 	return res, nil
 }
 
@@ -376,9 +411,75 @@ func (l *Loader) verify(data []byte, wantHash string) bool {
 	return ok
 }
 
-// loadObject runs the per-object Fig. 2 steps: peer fetch, origin fallback
-// on peer failure, hash verification, origin fallback on tampering. Each
-// object gets a fetch_object span under the page's root span.
+// candidates returns the peers that may serve ref whole — the assigned
+// primary plus any wrapper replicas — re-ranked by health when a registry is
+// wired, so a known-bad primary is tried last instead of first.
+func (l *Loader) candidates(ref ObjectRef) []PeerRef {
+	cands := make([]PeerRef, 0, 1+len(ref.Replicas))
+	if ref.PeerID != "" {
+		cands = append(cands, PeerRef{PeerID: ref.PeerID, PeerURL: ref.PeerURL})
+	}
+	for _, rep := range ref.Replicas {
+		if rep.PeerID != "" && rep.PeerID != ref.PeerID {
+			cands = append(cands, rep)
+		}
+	}
+	if l.Health == nil || len(cands) < 2 {
+		return cands
+	}
+	ids := make([]string, len(cands))
+	byID := make(map[string]PeerRef, len(cands))
+	for i, c := range cands {
+		ids[i] = c.PeerID
+		byID[c.PeerID] = c
+	}
+	out := make([]PeerRef, 0, len(cands))
+	for _, id := range l.Health.Rank(ids) {
+		out = append(out, byID[id])
+	}
+	return out
+}
+
+// fetchFromCandidates tries ref's health-ranked candidate peers in turn,
+// skipping open-circuit ones, and returns the first successful transfer with
+// the serving peer's ID. On total failure, reason is "circuit_open" when no
+// candidate was even admitted by its breaker (nothing hit the network) and
+// "peer_failure" otherwise. Chunked refs keep their multi-peer fan-out.
+func (l *Loader) fetchFromCandidates(ctx context.Context, gate fetchGate, sp *hpop.Span, provider string, ref ObjectRef) (data []byte, fromPeers map[string]int64, servedBy, reason string, err error) {
+	if len(ref.Chunks) > 0 {
+		data, fromPeers, err = l.fetchObject(ctx, gate, sp, provider, ref)
+		return data, fromPeers, "", "peer_failure", err
+	}
+	tried := 0
+	var lastErr error
+	for _, c := range l.candidates(ref) {
+		if !l.Health.Allow(c.PeerID) {
+			l.Metrics.Inc("nocdn.loader.circuit_skips")
+			continue
+		}
+		tried++
+		data, ferr := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, nil)
+		if ferr != nil {
+			lastErr = ferr
+			continue
+		}
+		if c.PeerID != ref.PeerID {
+			sp.SetLabel("served_by", c.PeerID)
+		}
+		return data, map[string]int64{c.PeerID: int64(len(data))}, c.PeerID, "", nil
+	}
+	if tried == 0 {
+		return nil, nil, "", "circuit_open",
+			fmt.Errorf("nocdn: every candidate peer open-circuit for %s", ref.Path)
+	}
+	return nil, nil, "", "peer_failure", lastErr
+}
+
+// loadObject runs the per-object Fig. 2 steps: peer fetch (now across the
+// health-ranked candidate set), origin fallback on peer failure, hash
+// verification, origin fallback on tampering. Each object gets a
+// fetch_object span under the page's root span. In brownout mode a total
+// failure degrades the object instead of failing the page.
 func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Span, provider string, ref ObjectRef) objectResult {
 	osp := parent.Child("fetch_object")
 	osp.SetLabel("path", ref.Path)
@@ -387,20 +488,34 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Sp
 	}
 	defer osp.End()
 	var out objectResult
-	data, fromPeers, err := l.fetchObject(ctx, gate, osp, provider, ref)
+	brownout := func(err error) objectResult {
+		l.Metrics.Inc("nocdn.loader.brownouts")
+		osp.SetLabel("degraded", "true")
+		osp.SetError(err)
+		out.degraded = true
+		out.data = nil
+		out.fromPeers = nil
+		out.err = nil
+		return out
+	}
+	data, fromPeers, servedBy, reason, err := l.fetchFromCandidates(ctx, gate, osp, provider, ref)
 	if err != nil {
-		// Peer unreachable/failing: fall back to the origin, exactly as
-		// for tampered content — "one problematic peer — be it malicious
-		// or overloaded — [must not] have a large overall impact on the
-		// client."
-		fallback, ferr := l.originFallback(ctx, gate, osp, ref.Path, "peer_failure")
+		// Every candidate peer unreachable, failing, or open-circuit: fall
+		// back to the origin, exactly as for tampered content — "one
+		// problematic peer — be it malicious or overloaded — [must not]
+		// have a large overall impact on the client."
+		fallback, ferr := l.originFallback(ctx, gate, osp, ref.PeerID, ref.Path, reason)
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: object %s: peer: %v; origin fallback: %w", ref.Path, err, ferr)
+			if l.Brownout {
+				return brownout(out.err)
+			}
 			osp.SetError(out.err)
 			return out
 		}
 		data = fallback
 		fromPeers = nil
+		servedBy = ""
 		out.fallback = true
 	}
 	// Verify the hash from the wrapper; on mismatch fall back to the
@@ -408,14 +523,20 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Sp
 	if !l.verify(data, ref.Hash) {
 		out.tampered = true
 		osp.SetLabel("tampered", "true")
-		fallback, ferr := l.originFallback(ctx, gate, osp, ref.Path, "tampered")
+		fallback, ferr := l.originFallback(ctx, gate, osp, servedBy, ref.Path, "tampered")
 		if ferr != nil {
 			out.err = fmt.Errorf("nocdn: tampered %s and fallback failed: %w", ref.Path, ferr)
+			if l.Brownout {
+				return brownout(out.err)
+			}
 			osp.SetError(out.err)
 			return out
 		}
 		if !l.verify(fallback, ref.Hash) {
 			out.err = fmt.Errorf("%w: %s (origin copy too)", ErrTampered, ref.Path)
+			if l.Brownout {
+				return brownout(out.err)
+			}
 			osp.SetError(out.err)
 			return out
 		}
@@ -448,6 +569,11 @@ func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, sp *hpop.Span,
 		go func(i int) {
 			defer wg.Done()
 			c := &ref.Chunks[i]
+			if !l.Health.Allow(c.PeerID) {
+				l.Metrics.Inc("nocdn.loader.circuit_skips")
+				errs[i] = fmt.Errorf("chunk %d: peer %s open-circuit", i, c.PeerID)
+				return
+			}
 			data, err := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, c)
 			if err != nil {
 				errs[i] = fmt.Errorf("chunk %d: %w", i, err)

@@ -79,15 +79,27 @@ type ChunkRef struct {
 	Length  int    `json:"length"`
 }
 
+// PeerRef names one peer that can serve an object — the replica entries of
+// an ObjectRef ("Leveraging Redundancy": the wrapper can list alternates so
+// the loader routes around a dead primary without an origin round trip).
+type PeerRef struct {
+	PeerID  string `json:"peerId"`
+	PeerURL string `json:"peerUrl"`
+}
+
 // ObjectRef is one wrapper-page entry: where to get an object and how to
 // verify it.
 type ObjectRef struct {
-	Path    string     `json:"path"`
-	Hash    string     `json:"hash"`
-	Size    int        `json:"size"`
-	PeerID  string     `json:"peerId"`
-	PeerURL string     `json:"peerUrl"`
-	Chunks  []ChunkRef `json:"chunks,omitempty"`
+	Path    string `json:"path"`
+	Hash    string `json:"hash"`
+	Size    int    `json:"size"`
+	PeerID  string `json:"peerId"`
+	PeerURL string `json:"peerUrl"`
+	// Replicas lists alternate peers holding keys for this object (the
+	// primary excluded). The origin assigns bytes under every replica's key
+	// too, so whichever peer actually serves can settle its usage record.
+	Replicas []PeerRef  `json:"replicas,omitempty"`
+	Chunks   []ChunkRef `json:"chunks,omitempty"`
 }
 
 // Wrapper is the wrapper page: the only thing the origin must serve per

@@ -1,6 +1,7 @@
 package nocdn
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,12 @@ type Origin struct {
 	ChunkPeers int
 	// ChunkThreshold is the minimum object size to chunk (default 256 KB).
 	ChunkThreshold int
+	// Replicas lists that many alternate peers per whole-object wrapper
+	// entry beyond the primary ("Leveraging Redundancy"): the loader can
+	// route around a dead primary without an origin round trip. Bytes are
+	// assigned under every replica's key too, so whichever peer actually
+	// serves can settle its usage record.
+	Replicas int
 	// AnomalyFactor: a peer whose credited bytes exceed assigned bytes by
 	// this factor is flagged and suspended (default 1.5).
 	AnomalyFactor float64
@@ -58,6 +65,13 @@ type Origin struct {
 	tracer *hpop.Tracer
 	// audit is the settlement audit pipeline fed by every uploaded record.
 	audit *Auditor
+	// health, when set, closes the self-healing loop on the origin side:
+	// probe outcomes and audit flags feed it, and wrapper generation ejects
+	// unhealthy peers from new peer maps (with hysteresis — readmission goes
+	// through the breaker's half-open probe cycle, never a single success).
+	health *hpop.HealthRegistry
+	// probeClient issues peer health probes (bounded; lazily built).
+	probeClient *http.Client
 
 	// contentMu guards the published catalog (objects, pages). The serving
 	// hot path takes only the read lock; publishes are rare writes. Object
@@ -77,6 +91,9 @@ type Origin struct {
 	now    func() time.Time
 
 	wrapperCache map[string]cachedWrapper
+	// probeHealthy is each peer's health verdict as of the last probe pass,
+	// so ProbePeers can detect ejection/readmission transitions.
+	probeHealthy map[string]bool
 	// wrapperGenerations counts actual wrapper builds (vs serves) for the
 	// reuse experiment.
 	wrapperGenerations atomic.Int64
@@ -108,6 +125,16 @@ func WithChunking(n, threshold int) OriginOption {
 		o.ChunkPeers = n
 		o.ChunkThreshold = threshold
 	}
+}
+
+// WithReplicas lists n alternate peers per whole-object wrapper entry.
+func WithReplicas(n int) OriginOption {
+	return func(o *Origin) { o.Replicas = n }
+}
+
+// WithHealthRegistry wires the peer-health registry at construction.
+func WithHealthRegistry(h *hpop.HealthRegistry) OriginOption {
+	return func(o *Origin) { o.SetHealthRegistry(h) }
 }
 
 // WithRNG injects deterministic randomness.
@@ -151,6 +178,21 @@ func (o *Origin) SetTracer(t *hpop.Tracer) {
 // Audit returns the origin's settlement audit pipeline.
 func (o *Origin) Audit() *Auditor { return o.audit }
 
+// SetHealthRegistry wires the peer-health registry after construction
+// (daemon wiring — the same registry the loader and /debug/health use).
+// Already registered peers are enrolled so their breaker gauges export.
+func (o *Origin) SetHealthRegistry(h *hpop.HealthRegistry) {
+	o.health = h
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, p := range o.peers {
+		h.Register(p.ID)
+	}
+}
+
+// HealthRegistry returns the wired peer-health registry (nil when unset).
+func (o *Origin) HealthRegistry() *hpop.HealthRegistry { return o.health }
+
 // cachedWrapper is one reusable wrapper with its build time.
 type cachedWrapper struct {
 	wrapper *Wrapper
@@ -174,8 +216,11 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 		keyPeer:        make(map[string]string),
 		keyBytes:       make(map[string]int64),
 		wrapperCache:   make(map[string]cachedWrapper),
+		probeHealthy:   make(map[string]bool),
 		audit:          NewAuditor(),
 	}
+	// An audit flag ejects the peer from future wrapper maps immediately.
+	o.audit.OnFlag = o.ejectFlagged
 	for _, fn := range opts {
 		fn(o)
 	}
@@ -212,6 +257,7 @@ func (o *Origin) AddPage(p Page) error {
 
 // RegisterPeer recruits a peer.
 func (o *Origin) RegisterPeer(id, url string, rttMillis float64) {
+	o.health.Register(id)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.peers = append(o.peers, &PeerInfo{ID: id, URL: url, RTTMillis: rttMillis})
@@ -272,6 +318,23 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 	if len(ranked) == 0 {
 		return nil, ErrNoPeers
 	}
+	// Health gate: eject open-circuit and audit-flagged peers from the new
+	// map. If that would empty a non-empty candidate list, keep the full
+	// list (degraded — the loader's own breakers and origin fallback still
+	// protect the page) rather than refusing to serve wrappers at all.
+	if o.health != nil {
+		healthy := make([]*PeerInfo, 0, len(ranked))
+		for _, p := range ranked {
+			if o.health.Healthy(p.ID) {
+				healthy = append(healthy, p)
+			}
+		}
+		if len(healthy) > 0 {
+			ranked = healthy
+		} else {
+			o.metrics.Inc("nocdn.origin.wrapper_degraded")
+		}
+	}
 
 	w := &Wrapper{
 		Provider: o.Provider,
@@ -325,6 +388,21 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		ensureKey(peer, m.size)
 		ref.PeerID = peer.ID
 		ref.PeerURL = peer.URL
+		// Replicas: the next distinct peers in the ring. Each gets a key and
+		// a byte assignment too, so a failover serve settles exactly.
+		if o.Replicas > 0 && len(ranked) > 1 {
+			seen := map[string]bool{peer.ID: true}
+			for i := 0; len(ref.Replicas) < o.Replicas && i < len(ranked); i++ {
+				rp := ranked[(next+i)%len(ranked)]
+				if seen[rp.ID] {
+					continue
+				}
+				seen[rp.ID] = true
+				rp.Assigned++
+				ensureKey(rp, m.size)
+				ref.Replicas = append(ref.Replicas, PeerRef{PeerID: rp.ID, PeerURL: rp.URL})
+			}
+		}
 		return ref
 	}
 	w.Container = makeRef(p.Container)
@@ -427,6 +505,115 @@ func (o *Origin) settleOne(r UsageRecord) error {
 	return nil
 }
 
+// ejectFlagged pulls an audit-flagged peer from rotation: it is marked in
+// the health registry (so wrapper generation and the loader both shun it),
+// suspended in the peer registry, and any cached wrappers naming it are
+// invalidated so the next page view gets a clean map.
+func (o *Origin) ejectFlagged(peerID string) {
+	o.health.SetFlagged(peerID, true)
+	o.mu.Lock()
+	for _, p := range o.peers {
+		if p.ID == peerID {
+			p.Suspended = true
+		}
+	}
+	o.wrapperCache = make(map[string]cachedWrapper)
+	o.mu.Unlock()
+	o.metrics.Inc("nocdn.origin.peer_ejections")
+}
+
+// ProbePeers runs one health-probe pass: every registered peer's GET /health
+// endpoint is polled (respecting the peer's breaker — an open breaker skips
+// the network until its cooldown grants a half-open probe), outcomes and
+// self-reported saturation feed the health registry, and any ejection or
+// readmission transition invalidates cached wrappers so the next wrapper
+// reflects the new peer map. A peer reporting saturation >= 1 (actively
+// shedding) counts as a probe failure: new maps route around it until it
+// drains. Readmission has hysteresis by construction — it takes the
+// breaker's full half-open probe cycle, never a single good poll.
+func (o *Origin) ProbePeers(ctx context.Context) {
+	if o.health == nil {
+		return
+	}
+	sp := o.tracer.Start("nocdn.origin", "probe_peers")
+	defer sp.End()
+	o.mu.Lock()
+	peers := make([]PeerInfo, len(o.peers))
+	for i, p := range o.peers {
+		peers[i] = *p
+	}
+	if o.probeClient == nil {
+		o.probeClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	client := o.probeClient
+	o.mu.Unlock()
+
+	for _, p := range peers {
+		if !o.health.Allow(p.ID) {
+			continue // open breaker: wait out the cooldown
+		}
+		start := time.Now()
+		ok, saturation := o.probeOne(ctx, client, p.URL)
+		if ok {
+			o.health.RecordSuccess(p.ID, time.Since(start).Seconds())
+			o.health.ReportSaturation(p.ID, saturation)
+		} else {
+			o.health.RecordFailure(p.ID)
+		}
+		after := o.health.Healthy(p.ID)
+		o.mu.Lock()
+		before, known := o.probeHealthy[p.ID]
+		if !known {
+			before = true
+		}
+		o.probeHealthy[p.ID] = after
+		transition := before != after
+		if transition {
+			o.wrapperCache = make(map[string]cachedWrapper)
+		}
+		o.mu.Unlock()
+		if transition {
+			name := "peer_ejected"
+			metric := "nocdn.origin.peer_ejections"
+			if after {
+				name = "peer_readmitted"
+				metric = "nocdn.origin.peer_readmissions"
+			}
+			o.metrics.Inc(metric)
+			tsp := sp.Child(name)
+			tsp.SetLabel("peer", p.ID)
+			tsp.End()
+		}
+	}
+}
+
+// probeOne polls one peer's /health endpoint, returning success and the
+// peer's self-reported saturation. A shedding peer (saturation >= 1) fails
+// the probe. A 200 with an unparsable body still counts as up (older peers
+// without the report shape).
+func (o *Origin) probeOne(ctx context.Context, client *http.Client, peerURL string) (ok bool, saturation float64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL+"/health", nil)
+	if err != nil {
+		return false, 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, 0
+	}
+	var rep PeerHealthReport
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&rep); err == nil {
+		if rep.Saturation >= 1 {
+			return false, rep.Saturation
+		}
+		return true, rep.Saturation
+	}
+	return true, 0
+}
+
 // detectAnomalies suspends peers whose credited bytes exceed what the origin
 // ever assigned to them by the anomaly factor — the paper's "anomalous
 // behavior detection" collusion mitigation.
@@ -505,6 +692,7 @@ func (o *Origin) TotalPageBytes(page string) (int64, error) {
 //	GET  /content/PATH        -> raw object (peer backfill / client fallback)
 //	POST /usage               -> usage-record batch upload
 //	GET  /debug/audit         -> settlement audit snapshot JSON
+//	GET  /debug/health        -> peer-health registry snapshot JSON
 //
 // Every endpoint continues the caller's distributed trace when the request
 // carries a traceparent header; absent or malformed headers open fresh
@@ -573,5 +761,6 @@ func (o *Origin) Handler() http.Handler {
 		fmt.Fprintf(w, `{"credited":%d,"submitted":%d}`, n, len(records))
 	})
 	mux.HandleFunc("/debug/audit", o.audit.Handler())
+	mux.HandleFunc("/debug/health", o.health.Handler())
 	return mux
 }

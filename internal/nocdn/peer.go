@@ -3,10 +3,10 @@ package nocdn
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"context"
 	"io"
 	"net/http"
 	"runtime/pprof"
@@ -30,6 +30,13 @@ const DefaultPeerFetchTimeout = 10 * time.Second
 // box; beyond the cap the oldest records are shed (they are also the first
 // to exceed the origin's nonce horizon anyway).
 const DefaultMaxPendingRecords = 4096
+
+// DefaultMaxInflight caps simultaneous proxy requests per peer. A home
+// uplink saturates long before a data center's would; shedding the excess
+// with 503 + Retry-After keeps the requests the peer does accept fast and
+// lets loaders fail over to replicas instead of queueing behind a melted
+// box.
+const DefaultMaxInflight = 256
 
 // ErrFlushDeferred is returned by Flush while the backoff gate from a
 // previous failed upload is still closed; no network attempt was made.
@@ -94,6 +101,12 @@ type Peer struct {
 	// miss coalescing it can be far below misses under concurrent load.
 	originFetches atomic.Int64
 
+	// Admission control: inflight proxy requests versus the cap, and how
+	// many requests were shed at the door.
+	inflight    atomic.Int64
+	maxInflight atomic.Int64
+	shed        atomic.Int64
+
 	httpClient *http.Client
 }
 
@@ -134,6 +147,27 @@ func (p *Peer) SetMaxPendingRecords(n int) {
 	p.recordsMu.Lock()
 	defer p.recordsMu.Unlock()
 	p.maxPending = n
+}
+
+// SetMaxInflight caps simultaneous proxy requests (<= 0 restores the
+// default).
+func (p *Peer) SetMaxInflight(n int) { p.maxInflight.Store(int64(n)) }
+
+// maxInflightCap returns the effective admission cap.
+func (p *Peer) maxInflightCap() int64 {
+	if n := p.maxInflight.Load(); n > 0 {
+		return n
+	}
+	return DefaultMaxInflight
+}
+
+// ShedRequests returns how many proxy requests admission control refused.
+func (p *Peer) ShedRequests() int64 { return p.shed.Load() }
+
+// Saturation returns inflight/capacity at this instant (>= 1 while the peer
+// is shedding).
+func (p *Peer) Saturation() float64 {
+	return float64(p.inflight.Load()) / float64(p.maxInflightCap())
 }
 
 // DroppedRecords returns how many usage records were shed by the queue cap.
@@ -226,15 +260,59 @@ func (p *Peer) fetch(provider, path string) (data []byte, hit bool, err error) {
 //	GET  /proxy/PROVIDER/PATH   (Range supported)  -> content
 //	POST /record                                   -> client drops a usage record
 //	GET  /flush?origin=URL                         -> upload records to the provider
+//	GET  /health                                   -> saturation/queue self-report
 func (p *Peer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/proxy/", p.handleProxy)
 	mux.HandleFunc("/record", p.handleRecord)
 	mux.HandleFunc("/flush", p.handleFlush)
+	mux.HandleFunc("/health", p.handleHealth)
 	return mux
 }
 
+// PeerHealthReport is the GET /health self-report origins poll: how loaded
+// the peer is right now and how its record queue is doing. Saturation >= 1
+// means admission control is actively shedding.
+type PeerHealthReport struct {
+	PeerID         string  `json:"peerId"`
+	Inflight       int64   `json:"inflight"`
+	MaxInflight    int64   `json:"maxInflight"`
+	Saturation     float64 `json:"saturation"`
+	Shed           int64   `json:"shed"`
+	PendingRecords int     `json:"pendingRecords"`
+	DroppedRecords int64   `json:"droppedRecords"`
+}
+
+func (p *Peer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rep := PeerHealthReport{
+		PeerID:         p.ID,
+		Inflight:       p.inflight.Load(),
+		MaxInflight:    p.maxInflightCap(),
+		Saturation:     p.Saturation(),
+		Shed:           p.shed.Load(),
+		PendingRecords: p.PendingRecords(),
+		DroppedRecords: p.droppedRecords.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
 func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
+	// Admission control first: a saturated home box sheds excess load with
+	// 503 + Retry-After instead of queueing every comer into a meltdown.
+	// The shed count and live saturation gauge feed the self-healing loop
+	// via /health and /metrics.
+	if p.inflight.Add(1) > p.maxInflightCap() {
+		p.inflight.Add(-1)
+		p.shed.Add(1)
+		p.metrics.Inc("nocdn.peer.shed")
+		p.metrics.Set("nocdn.peer.saturation", p.Saturation())
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "peer overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	defer p.inflight.Add(-1)
+	p.metrics.Set("nocdn.peer.saturation", p.Saturation())
 	rest := strings.TrimPrefix(r.URL.Path, "/proxy/")
 	slash := strings.IndexByte(rest, '/')
 	if slash < 0 {
@@ -409,13 +487,20 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	// oldest overflow, and arm the backoff gate.
 	p.recordsMu.Lock()
 	p.records = append(batch, p.records...)
-	if over := len(p.records) - p.maxPendingLocked(); over > 0 {
+	over := len(p.records) - p.maxPendingLocked()
+	if over > 0 {
 		p.records = append([]UsageRecord(nil), p.records[over:]...)
 		p.droppedRecords.Add(int64(over))
 	}
 	p.flushFailures++
 	p.nextFlushAt = now.Add(p.FlushBackoff.Delay(p.flushFailures))
 	p.recordsMu.Unlock()
+	if over > 0 {
+		// Shed records are unpaid work — surface them on the flush span and
+		// as a counter, not just the lifetime drop total.
+		p.metrics.Add("nocdn.peer.records_shed", float64(over))
+		sp.SetLabel("shed", strconv.Itoa(over))
+	}
 	p.metrics.Inc("nocdn.peer.flush_failures")
 	return 0, err
 }
