@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/nocdn"
+	"hpop/internal/sim"
+)
+
+// cache-sweep drives one peer's two-tier cache across working-set sizes
+// from RAM-fit to far past RAM, measuring what the tiers actually deliver:
+// per-request latency quantiles, aggregate throughput, and the hit split
+// between the memory LRU, the disk segment store, and origin fallbacks.
+// The output is the repo's first machine-readable benchmark artifact
+// (BENCH_nocdn_cache.json), the baseline later PRs regress against.
+
+// sweepPoint is one working-set size's measured result.
+type sweepPoint struct {
+	WorkingSetMB float64 `json:"workingSetMb"`
+	RatioToRAM   float64 `json:"ratioToRam"`
+	Objects      int     `json:"objects"`
+	Requests     int     `json:"requests"`
+	P50Ms        float64 `json:"p50Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	MBps         float64 `json:"mbPerSec"`
+	HitRatioMem  float64 `json:"hitRatioMem"`
+	HitRatioDisk float64 `json:"hitRatioDisk"`
+	MissRatio    float64 `json:"missRatio"`
+	DiskEntries  int     `json:"diskEntries"`
+	DiskBytesMB  float64 `json:"diskBytesMb"`
+}
+
+// sweepResult is the whole artifact.
+type sweepResult struct {
+	Bench       string       `json:"bench"`
+	GeneratedBy string       `json:"generatedBy"`
+	Config      sweepConfig  `json:"config"`
+	Sweep       []sweepPoint `json:"sweep"`
+}
+
+type sweepConfig struct {
+	MemMB    int       `json:"memMb"`
+	DiskMB   int       `json:"diskMb"`
+	SegMB    int       `json:"segmentMb"`
+	ObjectKB int       `json:"objectKb"`
+	Requests int       `json:"requestsPerPoint"`
+	Ratios   []float64 `json:"ratios"`
+	Seed     uint64    `json:"seed"`
+}
+
+func runCacheSweep(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cache-sweep", flag.ContinueOnError)
+	memMB := fs.Int("mem-mb", 8, "peer memory tier budget in MB")
+	diskMB := fs.Int("disk-mb", 256, "peer disk tier budget in MB")
+	segMB := fs.Int("segment-mb", 8, "segment rotation size in MB")
+	objectKB := fs.Int("object-kb", 64, "object size in KB")
+	requests := fs.Int("requests", 1500, "measured requests per sweep point")
+	ratios := fs.String("ratios", "0.5,2,10", "working-set : RAM ratios to sweep")
+	seed := fs.Uint64("seed", 1, "request-stream RNG seed")
+	outPath := fs.String("out", "BENCH_nocdn_cache.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ratioList []float64
+	for _, tok := range strings.Split(*ratios, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &r); err != nil || r <= 0 {
+			return fmt.Errorf("bad -ratios entry %q", tok)
+		}
+		ratioList = append(ratioList, r)
+	}
+
+	res := sweepResult{
+		Bench:       "nocdn_cache",
+		GeneratedBy: "hpopbench cache-sweep",
+		Config: sweepConfig{
+			MemMB: *memMB, DiskMB: *diskMB, SegMB: *segMB,
+			ObjectKB: *objectKB, Requests: *requests,
+			Ratios: ratioList, Seed: *seed,
+		},
+	}
+	fmt.Fprintf(out, "cache-sweep: %d MB memory tier, %d MB disk tier, %d KB objects, %d reqs/point\n",
+		*memMB, *diskMB, *objectKB, *requests)
+	fmt.Fprintf(out, "%-12s %-9s %-9s %-9s %-9s %-8s %-8s %-8s\n",
+		"working-set", "p50(ms)", "p99(ms)", "MB/s", "objects", "mem%", "disk%", "miss%")
+
+	for _, ratio := range ratioList {
+		pt, err := sweepOnePoint(*memMB, *diskMB, *segMB, *objectKB, *requests, ratio, *seed)
+		if err != nil {
+			return err
+		}
+		res.Sweep = append(res.Sweep, pt)
+		fmt.Fprintf(out, "%8.1f MB  %-9.3f %-9.3f %-9.1f %-9d %-8.1f %-8.1f %-8.1f\n",
+			pt.WorkingSetMB, pt.P50Ms, pt.P99Ms, pt.MBps, pt.Objects,
+			pt.HitRatioMem*100, pt.HitRatioDisk*100, pt.MissRatio*100)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+// sweepOnePoint measures one working-set size against a fresh origin+peer
+// stack over real HTTP, with the peer's disk tier in a temp dir.
+func sweepOnePoint(memMB, diskMB, segMB, objectKB, requests int, ratio float64, seed uint64) (sweepPoint, error) {
+	memBytes := memMB << 20
+	objBytes := objectKB << 10
+	objects := int(float64(memBytes) * ratio / float64(objBytes))
+	if objects < 4 {
+		objects = 4
+	}
+	pt := sweepPoint{
+		WorkingSetMB: float64(objects*objBytes) / (1 << 20),
+		RatioToRAM:   ratio,
+		Objects:      objects,
+		Requests:     requests,
+	}
+
+	payload := make([]byte, objBytes)
+	rng := sim.NewRNG(seed)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer origin.Close()
+
+	cacheDir, err := os.MkdirTemp("", "hpopbench-cache-*")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	peer := nocdn.NewPeer("sweep", memBytes)
+	peer.SetMetrics(hpop.NewMetrics())
+	if err := peer.AttachDiskCache(cacheDir, int64(diskMB)<<20, int64(segMB)<<20); err != nil {
+		return pt, err
+	}
+	defer peer.CloseDiskCache()
+	peer.SetMaxInflight(1 << 20) // the sweep measures the cache, not shedding
+	peer.SignUp("sweep.example", origin.URL)
+	srv := httptest.NewServer(peer.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	get := func(i int) error {
+		resp, err := client.Get(srv.URL + fmt.Sprintf("/proxy/sweep.example/o/%06d", i))
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("sweep: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Warm pass: pull the whole working set through once so the tiers are
+	// populated (memory holds the tail, disk the rest).
+	for i := 0; i < objects; i++ {
+		if err := get(i); err != nil {
+			return pt, err
+		}
+	}
+
+	// Measured pass: uniform random over the working set.
+	memHits0, diskHits0, misses0 := peer.TierStats()
+	lat := make([]float64, 0, requests)
+	start := time.Now()
+	for n := 0; n < requests; n++ {
+		t0 := time.Now()
+		if err := get(int(rng.Intn(objects))); err != nil {
+			return pt, err
+		}
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+	}
+	elapsed := time.Since(start)
+	memHits, diskHits, misses := peer.TierStats()
+
+	sort.Float64s(lat)
+	pt.P50Ms = lat[len(lat)/2]
+	pt.P99Ms = lat[len(lat)*99/100]
+	pt.MBps = float64(requests*objBytes) / 1e6 / elapsed.Seconds()
+	total := float64(requests)
+	pt.HitRatioMem = float64(memHits-memHits0) / total
+	pt.HitRatioDisk = float64(diskHits-diskHits0) / total
+	pt.MissRatio = float64(misses-misses0) / total
+	entries, diskBytes, _ := peer.DiskCacheStats()
+	pt.DiskEntries = entries
+	pt.DiskBytesMB = float64(diskBytes) / (1 << 20)
+	return pt, nil
+}

@@ -15,6 +15,12 @@
 //
 //	hpopbench trace-join -id TRACEID \
 //	    -daemon http://loader:9000 -daemon http://peer-a:9001 -daemon http://origin:9002
+//
+// And it measures the two-tier peer cache: cache-sweep drives working sets
+// from RAM-fit to 10x RAM through a live origin+peer stack and writes the
+// per-tier latency/throughput/hit-ratio curve to BENCH_nocdn_cache.json.
+//
+//	hpopbench cache-sweep -mem-mb 8 -disk-mb 256 -ratios 0.5,2,10
 package main
 
 import (
@@ -36,6 +42,9 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "trace-join" {
 		return runTraceJoin(os.Stdout, args[1:])
+	}
+	if len(args) > 0 && args[0] == "cache-sweep" {
+		return runCacheSweep(os.Stdout, args[1:])
 	}
 	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
 	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")

@@ -46,7 +46,13 @@ func run(args []string) error {
 	maxPutMB := fs.Int("max-put-mb", 0, "max single WebDAV upload in MB (0 = default 256)")
 	peerID := fs.String("nocdn-peer", "", "NoCDN peer ID (empty: disabled)")
 	providers := fs.String("nocdn-provider", "", "comma-separated provider=originURL pairs to serve")
-	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer cache size in MB")
+	cacheMB := fs.Int("nocdn-cache-mb", 64, "NoCDN peer memory cache size in MB")
+	cacheDir := fs.String("cache-dir", "",
+		"NoCDN peer disk cache tier directory (empty: memory-only)")
+	diskCacheMB := fs.Int("disk-cache-mb", 1024,
+		"NoCDN peer disk cache budget in MB (needs -cache-dir)")
+	segmentMB := fs.Int("segment-mb", 64,
+		"NoCDN peer disk cache segment rotation size in MB")
 	fetchTimeout := fs.Duration("fetch-timeout", nocdn.DefaultPeerFetchTimeout,
 		"per-request timeout for NoCDN peer fetches and DCol relay dials")
 	maxInflight := fs.Int("nocdn-max-inflight", 0,
@@ -116,7 +122,21 @@ func run(args []string) error {
 			OnStart: func(ctx *hpop.ServiceContext) error {
 				peer.SetMetrics(ctx.Metrics)
 				peer.SetTracer(ctx.Tracer)
+				if *cacheDir != "" {
+					if err := peer.AttachDiskCache(*cacheDir,
+						int64(*diskCacheMB)<<20, int64(*segmentMB)<<20); err != nil {
+						return err
+					}
+					// The appliance's one scrub cadence covers both the
+					// attic placements and the peer's segment store.
+					peer.StartCacheScrub(*scrubInterval)
+					ctx.Events.Logf("nocdn-peer", "disk cache tier at %s (%d MB)", *cacheDir, *diskCacheMB)
+				}
 				ctx.Mux.Handle("/nocdn/", http.StripPrefix("/nocdn", peer.Handler()))
+				return nil
+			},
+			OnStop: func() error {
+				peer.CloseDiskCache()
 				return nil
 			},
 		}

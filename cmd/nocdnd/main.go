@@ -70,7 +70,15 @@ func run(args []string) error {
 	provider := fs.String("provider", "example.com", "origin: provider name; peer: provider=originURL list")
 	content := fs.String("content", "", "origin: content directory")
 	id := fs.String("id", "peer", "peer: peer ID")
-	cacheMB := fs.Int("cache-mb", 64, "peer: cache size in MB")
+	cacheMB := fs.Int("cache-mb", 64, "peer: memory cache size in MB")
+	cacheDir := fs.String("cache-dir", "",
+		"peer: directory for the disk cache tier (empty: memory-only)")
+	diskCacheMB := fs.Int("disk-cache-mb", 1024,
+		"peer: disk cache tier budget in MB (needs -cache-dir)")
+	segmentMB := fs.Int("segment-mb", 64,
+		"peer: disk cache segment rotation size in MB")
+	cacheScrub := fs.Duration("cache-scrub-interval", 0,
+		"peer: at-rest segment verification cadence (0 = hourly default; needs -cache-dir)")
 	originURL := fs.String("origin", "", "load: origin base URL")
 	page := fs.String("page", "index", "load: page name to fetch")
 	concurrency := fs.Int("concurrency", nocdn.DefaultConcurrency,
@@ -169,6 +177,16 @@ func run(args []string) error {
 		p.SetTracer(tracer)
 		if *maxInflight > 0 {
 			p.SetMaxInflight(*maxInflight)
+		}
+		if *cacheDir != "" {
+			if err := p.AttachDiskCache(*cacheDir,
+				int64(*diskCacheMB)<<20, int64(*segmentMB)<<20); err != nil {
+				return err
+			}
+			p.StartCacheScrub(*cacheScrub)
+			defer p.CloseDiskCache()
+			fmt.Printf("disk cache tier at %s (%d MB budget, %d MB segments)\n",
+				*cacheDir, *diskCacheMB, *segmentMB)
 		}
 		for _, pair := range strings.Split(*provider, ",") {
 			kv := strings.SplitN(pair, "=", 2)

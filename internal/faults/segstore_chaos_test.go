@@ -1,0 +1,206 @@
+package faults_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
+	"hpop/internal/nocdn"
+)
+
+// TestChaosSegmentBitflipAtRest extends the bitflip fault to the peer's
+// disk cache tier: after a working set spills to segment files, an
+// injector-chosen subset of entries is flipped at rest (the PR 2 bitflip
+// kind, applied to the segment store instead of a wire). The invariants:
+//
+//  1. the segment scrubber quarantines every flipped entry,
+//  2. re-requesting a quarantined object refetches clean bytes from the
+//     origin (a miss, never a corrupt serve),
+//  3. corrupt disk bytes are NEVER served — every response byte-matches
+//     the origin's truth,
+//
+// so the chaos suite's "no unverified bytes" invariant now holds at rest.
+// Deterministic per seed; CI runs seeds 1, 7, and 1337.
+func TestChaosSegmentBitflipAtRest(t *testing.T) {
+	seed := chaosSeed(t)
+	// The bitflip decision stream: roughly a third of the disk-resident
+	// entries rot. Which ones is a pure function of the seed.
+	sched := mustSchedule(t, seed, `bitflip p=0.35 match=/o/`)
+	inj := faults.NewInjector(sched)
+
+	const objects = 24
+	truth := make(map[string][]byte)
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		data := make([]byte, 8<<10)
+		for j := range data {
+			data[j] = byte(i*31 + j)
+		}
+		truth[path] = data
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		data, ok := truth[strings.TrimPrefix(r.URL.Path, "/content")]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(data)
+	}))
+	defer origin.Close()
+
+	metrics := hpop.NewMetrics()
+	// 32 KiB of memory vs a 192 KiB working set: most entries live on disk.
+	peer := nocdn.NewPeer("chaos-disk", 32<<10)
+	peer.SetMetrics(metrics)
+	if err := peer.AttachDiskCache(t.TempDir(), 8<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	defer peer.CloseDiskCache()
+	peer.SignUp("prov", origin.URL)
+	srv := httptest.NewServer(peer.Handler())
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := srv.Client().Get(srv.URL + "/proxy/prov" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// Fill: every object passes through memory; evictions spill to disk.
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		if !bytes.Equal(get(path), truth[path]) {
+			t.Fatalf("fill: %s corrupted", path)
+		}
+	}
+	if entries, _, _ := peer.DiskCacheStats(); entries == 0 {
+		t.Fatal("working set never spilled to the segment store")
+	}
+
+	// Rot: the injector picks the victims, the peer flips their at-rest
+	// bytes. Only disk-resident entries can rot (memory-tier residents
+	// report false and are skipped, exactly like a disk that only damages
+	// what it holds).
+	flipped := make(map[string]bool)
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		if d := inj.Decide(path); d.Kind == faults.KindBitflip {
+			if peer.CorruptDiskEntry("prov", path) {
+				flipped[path] = true
+			}
+		}
+	}
+	if len(flipped) == 0 {
+		t.Fatalf("seed %d flipped no disk-resident entries; loosen the schedule", seed)
+	}
+	t.Logf("seed %d: flipped %d of %d objects at rest", seed, len(flipped), objects)
+
+	// Scrub: every flipped entry must be quarantined, every intact entry
+	// left alone.
+	checked, quarantined := peer.ScrubCache()
+	if quarantined != len(flipped) {
+		t.Fatalf("scrub quarantined %d entries, want %d (checked %d)",
+			quarantined, len(flipped), checked)
+	}
+	if got := metrics.Counter("nocdn.scrub.quarantined"); got != float64(len(flipped)) {
+		t.Fatalf("nocdn.scrub.quarantined = %v, want %d", got, len(flipped))
+	}
+
+	// Serve everything again: quarantined objects must come back as clean
+	// origin refetches; nothing may ever serve the flipped bytes.
+	_, _, missesBefore := peer.TierStats()
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		if got := get(path); !bytes.Equal(got, truth[path]) {
+			t.Fatalf("post-scrub: %s served corrupt bytes (flipped=%v)", path, flipped[path])
+		}
+	}
+	_, _, missesAfter := peer.TierStats()
+	if refetches := missesAfter - missesBefore; refetches < int64(len(flipped)) {
+		t.Fatalf("only %d origin refetches for %d quarantined entries", refetches, len(flipped))
+	}
+
+	// A second scrub pass is clean: the refetched copies are intact.
+	if _, q2 := peer.ScrubCache(); q2 != 0 {
+		t.Fatalf("second scrub still quarantined %d entries", q2)
+	}
+}
+
+// TestChaosSegmentBitflipWithoutScrub covers the other path to safety: the
+// scrubber hasn't run yet, so the promotion read itself must catch the
+// at-rest flip, quarantine the entry, and fall through to the origin within
+// the same request.
+func TestChaosSegmentBitflipWithoutScrub(t *testing.T) {
+	seed := chaosSeed(t)
+	sched := mustSchedule(t, seed, `bitflip p=0.5 match=/o/`)
+	inj := faults.NewInjector(sched)
+
+	const objects = 12
+	truth := make(map[string][]byte)
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		data := bytes.Repeat([]byte{byte(i + 1)}, 6<<10)
+		truth[path] = data
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(truth[strings.TrimPrefix(r.URL.Path, "/content")])
+	}))
+	defer origin.Close()
+
+	peer := nocdn.NewPeer("chaos-disk2", 16<<10)
+	peer.SetMetrics(hpop.NewMetrics())
+	if err := peer.AttachDiskCache(t.TempDir(), 8<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	defer peer.CloseDiskCache()
+	peer.SignUp("prov", origin.URL)
+	srv := httptest.NewServer(peer.Handler())
+	defer srv.Close()
+
+	for i := 0; i < objects; i++ {
+		resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/proxy/prov/o/%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	flips := 0
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		if d := inj.Decide(path); d.Kind == faults.KindBitflip && peer.CorruptDiskEntry("prov", path) {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatalf("seed %d produced no flips", seed)
+	}
+	for i := 0; i < objects; i++ {
+		path := fmt.Sprintf("/o/%02d", i)
+		resp, err := srv.Client().Get(srv.URL + "/proxy/prov" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(body, truth[path]) {
+			t.Fatalf("%s: promotion served corrupt bytes without scrub", path)
+		}
+	}
+}

@@ -164,6 +164,37 @@ func BenchmarkPeerProxyThroughput(b *testing.B) {
 	b.SetBytes(32 << 10)
 }
 
+// BenchmarkPeerOriginBackfill measures the peer's miss path — origin fetch,
+// body read, cache fill — with a unique key per iteration so every request
+// is a cold miss. The interesting number is allocs/op: the body read and
+// response buffering dominate, which is what the pooled-buffer fetch path
+// exists to flatten.
+func BenchmarkPeerOriginBackfill(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer origin.Close()
+	p := NewPeer("p", 1<<30)
+	p.SignUp("bench.example", origin.URL)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(srv.URL + fmt.Sprintf("/proxy/bench.example/cold/%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.SetBytes(64 << 10)
+}
+
 func BenchmarkWrapperGeneration(b *testing.B) {
 	o := NewOrigin("bench.example", WithRNG(sim.NewRNG(1)))
 	o.AddObject("/i", make([]byte, 1024))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"container/list"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -64,6 +65,16 @@ type Peer struct {
 	cache  *shardedLRU
 	flight flightGroup
 
+	// store is the optional disk tier (two-tier cache). Attached once via
+	// AttachDiskCache; an atomic pointer so serving, scrubbing, and late
+	// attachment never race. Nil means today's memory-only mode.
+	store atomic.Pointer[segmentStore]
+
+	// scrubMu guards the background segment-scrubber lifecycle.
+	scrubMu   sync.Mutex
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+
 	// recordsMu guards the usage-record queue (and the flush backoff
 	// state), which has its own lock so record drops never contend with
 	// content serving.
@@ -97,6 +108,9 @@ type Peer struct {
 
 	// stats
 	hits, misses, servedBytes atomic.Int64
+	// Tier split: hits = memHits + diskHits. Disk hits include both
+	// promoted reads and zero-copy streams off the segment files.
+	memHits, diskHits atomic.Int64
 	// originFetches counts actual backfill requests to the origin; with
 	// miss coalescing it can be far below misses under concurrent load.
 	originFetches atomic.Int64
@@ -110,7 +124,20 @@ type Peer struct {
 	httpClient *http.Client
 }
 
-// NewPeer creates a peer with the given cache capacity in bytes.
+// newPeerTransport builds the tuned upstream transport: a deep idle pool
+// per origin so backfill bursts reuse persistent connections instead of
+// paying a TCP+TLS handshake per miss. One transport per peer for its whole
+// life — nothing on the request path ever rebuilds it.
+func newPeerTransport() *http.Transport {
+	return &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// NewPeer creates a peer with the given memory cache capacity in bytes.
 func NewPeer(id string, cacheBytes int) *Peer {
 	if cacheBytes <= 0 {
 		cacheBytes = 64 << 20
@@ -119,7 +146,98 @@ func NewPeer(id string, cacheBytes int) *Peer {
 		ID:         id,
 		providers:  make(map[string]string),
 		cache:      newShardedLRU(cacheBytes),
-		httpClient: &http.Client{Timeout: DefaultPeerFetchTimeout},
+		httpClient: &http.Client{Timeout: DefaultPeerFetchTimeout, Transport: newPeerTransport()},
+	}
+}
+
+// AttachDiskCache adds the warm tier: an append-only segment store under
+// dir. Objects evicted from the memory LRU spill there; disk hits are
+// hash-verified and promoted back (or streamed zero-copy when they don't
+// fit a memory shard). maxBytes caps the tier's disk footprint and
+// segBytes the per-segment rotation size (<= 0 picks the defaults).
+// Without this call the peer runs in the seed's memory-only mode.
+func (p *Peer) AttachDiskCache(dir string, maxBytes, segBytes int64) error {
+	st, err := openSegmentStore(dir, maxBytes, segBytes)
+	if err != nil {
+		return err
+	}
+	if p.metrics != nil {
+		st.setMetrics(p.metrics)
+	}
+	p.store.Store(st)
+	return nil
+}
+
+// CloseDiskCache detaches and closes the disk tier (tests, shutdown).
+func (p *Peer) CloseDiskCache() {
+	p.StopCacheScrub()
+	if st := p.store.Swap(nil); st != nil {
+		st.close()
+	}
+}
+
+// DiskCacheStats reports the disk tier's footprint (zeros when detached).
+func (p *Peer) DiskCacheStats() (entries int, bytes int64, segments int) {
+	if st := p.store.Load(); st != nil {
+		return st.stats()
+	}
+	return 0, 0, 0
+}
+
+// TierStats splits cache hits by serving tier.
+func (p *Peer) TierStats() (memHits, diskHits, misses int64) {
+	return p.memHits.Load(), p.diskHits.Load(), p.misses.Load()
+}
+
+// ScrubCache runs one at-rest verification pass over the segment store,
+// quarantining any entry whose bytes no longer match their indexed SHA-256
+// (the PR 5 Scrubber pattern applied to the peer's disk tier). Returns how
+// many entries were checked and quarantined; a no-op without a disk tier.
+func (p *Peer) ScrubCache() (checked, quarantined int) {
+	if st := p.store.Load(); st != nil {
+		return st.scrub()
+	}
+	return 0, 0
+}
+
+// DefaultCacheScrubInterval paces the background segment scrubber.
+const DefaultCacheScrubInterval = time.Hour
+
+// StartCacheScrub launches the background segment scrubber (<= 0 interval
+// means DefaultCacheScrubInterval). Restarting replaces the previous loop.
+func (p *Peer) StartCacheScrub(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultCacheScrubInterval
+	}
+	p.StopCacheScrub()
+	p.scrubMu.Lock()
+	defer p.scrubMu.Unlock()
+	stop, done := make(chan struct{}), make(chan struct{})
+	p.scrubStop, p.scrubDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				p.ScrubCache()
+			}
+		}
+	}()
+}
+
+// StopCacheScrub halts the background scrubber (no-op when not running).
+func (p *Peer) StopCacheScrub() {
+	p.scrubMu.Lock()
+	stop, done := p.scrubStop, p.scrubDone
+	p.scrubStop, p.scrubDone = nil, nil
+	p.scrubMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
 	}
 }
 
@@ -132,8 +250,14 @@ func (p *Peer) SetFetchTimeout(d time.Duration) {
 	p.httpClient = &http.Client{Timeout: d, Transport: p.httpClient.Transport}
 }
 
-// SetMetrics wires a metrics registry for nocdn.peer.* counters.
-func (p *Peer) SetMetrics(m *hpop.Metrics) { p.metrics = m }
+// SetMetrics wires a metrics registry for nocdn.peer.* counters (and the
+// nocdn.cache.* / nocdn.scrub.* families once a disk tier is attached).
+func (p *Peer) SetMetrics(m *hpop.Metrics) {
+	p.metrics = m
+	if st := p.store.Load(); st != nil {
+		st.setMetrics(m)
+	}
+}
 
 // SetTracer wires a tracer for flush-cycle spans.
 func (p *Peer) SetTracer(t *hpop.Tracer) { p.tracer = t }
@@ -212,48 +336,156 @@ func (p *Peer) PendingRecords() int {
 	return len(p.records)
 }
 
-// fetch obtains an object, from cache or the origin, reporting whether the
-// cache served it (so the proxy can split its latency histograms). The
+// cacheTier identifies which layer satisfied a fetch.
+type cacheTier uint8
+
+const (
+	// tierOrigin: both cache tiers missed; the bytes came from a backfill.
+	tierOrigin cacheTier = iota
+	// tierMem: served from the in-memory LRU.
+	tierMem
+	// tierDisk: found in the segment store, hash-verified and promoted to
+	// the memory tier (the returned slice is the promoted copy).
+	tierDisk
+	// tierDiskStream: found in the segment store but larger than a memory
+	// shard; the caller should stream it zero-copy off the segment file
+	// (fetch returns no data for this tier).
+	tierDiskStream
+)
+
+func (t cacheTier) label() string {
+	switch t {
+	case tierMem:
+		return "mem"
+	case tierDisk, tierDiskStream:
+		return "disk"
+	default:
+		return "origin"
+	}
+}
+
+// cachePut fills the memory tier and spills whatever that evicts into the
+// disk tier. Objects too large for a memory shard go straight to disk (the
+// memory LRU would reject them), so Internet@home-scale blobs are still
+// cacheable on the appliance's disk. Hashing and segment appends happen
+// outside the shard locks.
+func (p *Peer) cachePut(key string, data []byte) {
+	st := p.store.Load()
+	if len(data) > p.cache.maxObjectBytes() {
+		if st != nil {
+			st.put(key, data, sha256.Sum256(data))
+		}
+		return
+	}
+	evicted := p.cache.put(key, data)
+	if st == nil {
+		return
+	}
+	for _, e := range evicted {
+		st.put(e.key, e.data, sha256.Sum256(e.data))
+	}
+}
+
+// fetch obtains an object — memory tier, disk tier, or origin backfill —
+// reporting which tier served it (so the proxy can label its metrics). The
 // returned slice is shared with the cache and MUST NOT be mutated by
-// callers; serve paths that transform bytes (Tamper) copy first.
-func (p *Peer) fetch(provider, path string) (data []byte, hit bool, err error) {
+// callers; serve paths that transform bytes (Tamper) copy first. A
+// tierDiskStream result carries no data: the object is disk-resident and
+// too large to promote, and the caller streams it via serveFromDisk.
+func (p *Peer) fetch(provider, path string) (data []byte, tier cacheTier, err error) {
 	p.providersMu.RLock()
 	origin, ok := p.providers[provider]
 	p.providersMu.RUnlock()
 	if !ok {
-		return nil, false, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
+		return nil, tierOrigin, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
 	}
 	cacheKey := provider + "|" + path
 	if data, ok := p.cache.get(cacheKey); ok {
 		p.hits.Add(1)
-		return data, true, nil
+		p.memHits.Add(1)
+		return data, tierMem, nil
 	}
-	p.misses.Add(1)
-	// Coalesce concurrent misses: one origin fetch, everyone shares the
-	// result.
-	data, err = p.flight.do(cacheKey, func() ([]byte, error) {
+	// The flight group guards the whole fill: concurrent misses share one
+	// disk promotion (one read + one hash check) or one origin fetch.
+	data, tier, err = p.flight.do(cacheKey, func() ([]byte, cacheTier, error) {
 		// A waiter that queued behind the leader may find the cache filled.
 		if data, ok := p.cache.get(cacheKey); ok {
-			return data, nil
+			return data, tierMem, nil
+		}
+		if st := p.store.Load(); st != nil {
+			if e, seg, ok := st.get(cacheKey); ok {
+				if e.n > int64(p.cache.maxObjectBytes()) {
+					seg.release()
+					return nil, tierDiskStream, nil
+				}
+				promoted, err := st.readVerify(cacheKey, e, seg)
+				seg.release()
+				if err == nil {
+					p.cachePut(cacheKey, promoted)
+					p.metrics.Inc("nocdn.cache.promotions")
+					return promoted, tierDisk, nil
+				}
+				// Corrupt at rest: readVerify quarantined the entry, so
+				// this falls through to a clean origin refetch — corrupt
+				// disk bytes are never served.
+			}
 		}
 		p.originFetches.Add(1)
 		resp, err := p.httpClient.Get(origin + "/content" + path)
 		if err != nil {
-			return nil, fmt.Errorf("nocdn: origin fetch: %w", err)
+			return nil, tierOrigin, fmt.Errorf("nocdn: origin fetch: %w", err)
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
+			return nil, tierOrigin, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
 		}
-		data, err := io.ReadAll(resp.Body)
+		data, err := readBodyPooled(resp)
 		if err != nil {
-			return nil, err
+			return nil, tierOrigin, err
 		}
-		p.cache.put(cacheKey, data)
-		return data, nil
+		p.cachePut(cacheKey, data)
+		return data, tierOrigin, nil
 	})
-	return data, false, err
+	if err != nil {
+		p.misses.Add(1)
+		return nil, tierOrigin, err
+	}
+	switch tier {
+	case tierMem:
+		p.hits.Add(1)
+		p.memHits.Add(1)
+	case tierDisk, tierDiskStream:
+		p.hits.Add(1)
+		p.diskHits.Add(1)
+	default:
+		p.misses.Add(1)
+	}
+	return data, tier, nil
 }
+
+// readBodyPooled drains a response body through a pooled buffer, returning
+// an exact-size owned slice. io.ReadAll's repeated grow-and-copy was the
+// dominant allocation on the miss path; the pool flattens it to one
+// exact-size allocation per object (the slice the cache keeps).
+func readBodyPooled(resp *http.Response) ([]byte, error) {
+	bp := bodyBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		bp.Reset()
+		bodyBufPool.Put(bp)
+	}()
+	if n := resp.ContentLength; n > 0 && int64(bp.Cap()) < n {
+		bp.Grow(int(n))
+	}
+	if _, err := bp.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	data := make([]byte, bp.Len())
+	copy(data, bp.Bytes())
+	return data, nil
+}
+
+// bodyBufPool recycles origin-backfill read buffers across misses.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Handler returns the peer's HTTP surface:
 //
@@ -328,21 +560,38 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 	sp.SetLabel("path", path)
 	defer sp.End()
 	start := time.Now()
-	data, hit, err := p.fetch(provider, path)
+	data, tier, err := p.fetch(provider, path)
+	hit := err == nil && tier != tierOrigin
 	sp.SetLabel("cache", map[bool]string{true: "hit", false: "miss"}[hit])
-	// The hit/miss latency split: hits should sit in the microsecond
-	// buckets, misses carry the origin round-trip.
+	sp.SetLabel("tier", tier.label())
+	// The tier-labelled hit/miss latency split: memory hits sit in the
+	// microsecond buckets, disk hits carry one verified read, misses the
+	// origin round trip. The legacy nocdn.peer.* pair aggregates both hit
+	// tiers so existing dashboards keep working.
+	elapsed := time.Since(start).Seconds()
 	if hit {
 		p.metrics.Inc("nocdn.peer.hits")
-		p.metrics.Observe("nocdn.peer.hit_seconds", time.Since(start).Seconds())
+		p.metrics.Observe("nocdn.peer.hit_seconds", elapsed)
+		p.metrics.Inc("nocdn.cache.hits." + tier.label())
+		p.metrics.Observe("nocdn.cache.hit_seconds."+tier.label(), elapsed)
 	} else {
 		p.metrics.Inc("nocdn.peer.misses")
-		p.metrics.Observe("nocdn.peer.miss_seconds", time.Since(start).Seconds())
+		p.metrics.Observe("nocdn.peer.miss_seconds", elapsed)
+		p.metrics.Inc("nocdn.cache.misses")
+		p.metrics.Observe("nocdn.cache.miss_seconds", elapsed)
 	}
 	if err != nil {
 		p.metrics.Inc("nocdn.peer.proxy_errors")
 		sp.SetError(err)
 		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if tier == tierDiskStream {
+		// Too large for the memory tier: verify at rest, then let
+		// http.ServeContent stream the segment file section zero-copy
+		// (Range handling included). Tamper mode needs mutable bytes, so
+		// it falls back to a full read.
+		p.serveFromDisk(w, r, provider, path)
 		return
 	}
 	// data aliases the cache entry from here on: it is only ever read
@@ -364,7 +613,98 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 		data = corrupt(data) // copies; never mutates the cached slice
 	}
 	p.servedBytes.Add(int64(len(data)))
+	p.metrics.Add("nocdn.cache.bytes."+tier.label(), float64(len(data)))
 	w.Write(data)
+}
+
+// serveFromDisk streams a disk-resident object that does not fit the memory
+// tier. The bytes are hash-verified at rest first (streaming, pooled chunk
+// buffer — corrupt entries are quarantined and the request degrades to a
+// fresh origin fetch), then handed to http.ServeContent as an
+// *io.SectionReader over the segment's *os.File so the response write rides
+// the kernel's file-to-socket path instead of a userspace object copy.
+func (p *Peer) serveFromDisk(w http.ResponseWriter, r *http.Request, provider, path string) {
+	key := provider + "|" + path
+	st := p.store.Load()
+	if st != nil {
+		if e, seg, ok := st.get(key); ok {
+			if err := st.verifyAtRest(key, e, seg); err != nil {
+				seg.release()
+			} else if p.Tamper.Load() {
+				data, err := st.readVerify(key, e, seg)
+				seg.release()
+				if err == nil {
+					data = corrupt(data) // copies; the segment is untouched
+					p.servedBytes.Add(int64(len(data)))
+					p.metrics.Add("nocdn.cache.bytes.disk", float64(len(data)))
+					w.Write(data)
+					return
+				}
+			} else {
+				cw := &countingResponseWriter{ResponseWriter: w}
+				http.ServeContent(cw, r, path, time.Time{}, sectionReader(e, seg))
+				seg.release()
+				p.servedBytes.Add(cw.n)
+				p.metrics.Add("nocdn.cache.bytes.disk", float64(cw.n))
+				return
+			}
+		}
+	}
+	// The entry vanished (evicted, reclaimed, or quarantined) between the
+	// index lookup and the stream: degrade to a normal fetch, which
+	// backfills from the origin.
+	data, tier, err := p.fetch(provider, path)
+	if err != nil || data == nil {
+		if err == nil {
+			err = fmt.Errorf("nocdn: disk entry for %s unavailable", path)
+		}
+		p.metrics.Inc("nocdn.peer.proxy_errors")
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if rng := r.Header.Get("Range"); rng != "" {
+		start, end, ok := parseRange(rng, len(data))
+		if !ok {
+			http.Error(w, "bad range", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		w.Header().Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", start, end-1, len(data)))
+		data = data[start:end]
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if p.Tamper.Load() {
+		data = corrupt(data)
+	}
+	p.servedBytes.Add(int64(len(data)))
+	p.metrics.Add("nocdn.cache.bytes."+tier.label(), float64(len(data)))
+	w.Write(data)
+}
+
+// countingResponseWriter counts bytes written so zero-copy serves still
+// feed the servedBytes ledger. It forwards ReadFrom when the underlying
+// writer supports it, preserving the sendfile fast path ServeContent's
+// io.Copy probes for.
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingResponseWriter) Write(b []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(b)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingResponseWriter) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := c.ResponseWriter.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(src)
+		c.n += n
+		return n, err
+	}
+	n, err := io.Copy(struct{ io.Writer }{c.ResponseWriter}, src)
+	c.n += n
+	return n, err
 }
 
 func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
@@ -505,6 +845,29 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	return 0, err
 }
 
+// CorruptDiskEntry flips one at-rest byte of the object's disk-tier entry
+// — the rotting-home-disk mode chaos tests drive (the disk equivalent of
+// Tamper). Returns false when the object is not disk-resident. The index's
+// SHA-256 is left intact, so the next read or scrub must detect the flip.
+func (p *Peer) CorruptDiskEntry(provider, path string) bool {
+	st := p.store.Load()
+	if st == nil {
+		return false
+	}
+	e, seg, ok := st.get(provider + "|" + path)
+	if !ok {
+		return false
+	}
+	defer seg.release()
+	var b [1]byte
+	if _, err := seg.f.ReadAt(b[:], e.off+e.n/2); err != nil {
+		return false
+	}
+	b[0] ^= 0xFF
+	_, err := seg.f.WriteAt(b[:], e.off+e.n/2)
+	return err == nil
+}
+
 // InflateRecords doubles the byte counts of all pending records — the
 // unscrupulous-peer behaviour the accounting experiment must catch.
 func (p *Peer) InflateRecords() {
@@ -557,7 +920,9 @@ func parseRange(h string, size int) (start, end int, ok bool) {
 }
 
 // flightGroup coalesces concurrent calls for the same key into one
-// execution whose result every caller shares (singleflight).
+// execution whose result every caller shares (singleflight). It guards the
+// whole cache-fill ladder, so N concurrent misses cost one disk promotion
+// (one verified read) or one origin fetch — never N.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -566,12 +931,13 @@ type flightGroup struct {
 type flightCall struct {
 	done chan struct{}
 	data []byte
+	tier cacheTier
 	err  error
 }
 
 // do runs fn once per key among concurrent callers; latecomers block until
 // the leader finishes and receive its result.
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error) {
+func (g *flightGroup) do(key string, fn func() ([]byte, cacheTier, error)) ([]byte, cacheTier, error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
@@ -579,19 +945,19 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error) 
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.data, c.err
+		return c.data, c.tier, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.data, c.err = fn()
+	c.data, c.tier, c.err = fn()
 
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.data, c.err
+	return c.data, c.tier, c.err
 }
 
 // cacheShards is the shard count of the peer cache; a power of two so the
@@ -644,11 +1010,21 @@ func (s *shardedLRU) get(key string) ([]byte, bool) {
 	return sh.lru.get(key)
 }
 
-func (s *shardedLRU) put(key string, data []byte) {
+// put stores the entry and returns whatever the shard evicted to make room,
+// collected outside the shard lock's critical path so callers can spill
+// evictions to the disk tier without holding up that shard's lookups.
+func (s *shardedLRU) put(key string, data []byte) []lruEntry {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.lru.put(key, data)
+	evicted := sh.lru.put(key, data)
+	sh.mu.Unlock()
+	return evicted
+}
+
+// maxObjectBytes is the largest object the memory tier can hold (one
+// shard's full capacity); anything bigger lives only on the disk tier.
+func (s *shardedLRU) maxObjectBytes() int {
+	return s.shards[0].lru.capacity
 }
 
 // byteLRU is a byte-capacity-bounded LRU cache. It is not safe for
@@ -683,9 +1059,11 @@ func (c *byteLRU) get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).data, true
 }
 
-func (c *byteLRU) put(key string, data []byte) {
+// put stores the entry, returning the entries evicted to stay within
+// capacity (the two-tier cache spills these to disk).
+func (c *byteLRU) put(key string, data []byte) []lruEntry {
 	if len(data) > c.capacity {
-		return // never cache objects larger than the whole cache
+		return nil // never cache objects larger than the whole cache
 	}
 	if el, ok := c.items[key]; ok {
 		c.used += len(data) - len(el.Value.(*lruEntry).data)
@@ -696,6 +1074,7 @@ func (c *byteLRU) put(key string, data []byte) {
 		c.items[key] = el
 		c.used += len(data)
 	}
+	var evicted []lruEntry
 	for c.used > c.capacity {
 		oldest := c.order.Back()
 		if oldest == nil {
@@ -705,5 +1084,7 @@ func (c *byteLRU) put(key string, data []byte) {
 		c.order.Remove(oldest)
 		delete(c.items, entry.key)
 		c.used -= len(entry.data)
+		evicted = append(evicted, *entry)
 	}
+	return evicted
 }

@@ -1,0 +1,585 @@
+package nocdn
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpop/internal/hpop"
+)
+
+// The warm tier of the two-tier peer cache: an append-only segment store on
+// real disk. The paper's HPoP is a home appliance — "a big disk and a modest
+// RAM budget" — so the working set must not be capped by RAM. Hot objects
+// live in the sharded memory LRU; on eviction they spill here, into
+// fixed-cap segment files with an in-memory index (key -> segment, offset,
+// length, SHA-256). Disk hits are hash-verified before a single byte leaves
+// the box (the PR 2 "no unverified bytes" invariant, now held at rest), and
+// either promoted back to the memory tier or served zero-copy with
+// http.ServeContent over an *io.SectionReader on the segment's *os.File.
+
+// ErrCacheCorrupt reports an at-rest hash mismatch; the entry has been
+// quarantined (dropped from the index) by the time a caller sees this.
+var ErrCacheCorrupt = errors.New("nocdn: disk cache entry failed hash verification")
+
+const (
+	// segMagic starts every record so a recovery scan can tell a record
+	// boundary from a torn tail or stray bytes.
+	segMagic = "hSG1"
+
+	// segHeaderSize is magic + keyLen(u16) + dataLen(u32) + SHA-256.
+	segHeaderSize = 4 + 2 + 4 + sha256.Size
+
+	// maxSegKeyLen bounds keys a record may carry; the recovery scan
+	// rejects anything larger as corruption.
+	maxSegKeyLen = 4096
+
+	// DefaultSegmentBytes is the per-segment rotation cap.
+	DefaultSegmentBytes = 64 << 20
+
+	// DefaultDiskCacheBytes is the disk-tier budget when a cache dir is
+	// configured without an explicit size.
+	DefaultDiskCacheBytes = 1 << 30
+)
+
+// segEntry locates one object inside a segment. off is the data offset (the
+// record header and key precede it in the file).
+type segEntry struct {
+	seg uint64
+	off int64
+	n   int64
+	sum [sha256.Size]byte
+}
+
+// segment is one append-only file. Readers take a reference before touching
+// the *os.File so reclamation can unlink a segment while a ServeContent
+// stream is still draining it: the name disappears immediately, the fd (and
+// the kernel's pages) live until the last reader releases.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File
+	size int64 // bytes written (file size)
+	dead int64 // bytes belonging to superseded/quarantined entries
+	live map[string]struct{}
+
+	refs      atomic.Int64 // store's own reference plus one per active reader
+	condemned atomic.Bool
+}
+
+// acquire takes a read reference. It returns false when the segment is
+// already condemned and the fd may be gone.
+func (s *segment) acquire() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference; the last one out closes the file.
+func (s *segment) release() {
+	if s.refs.Add(-1) == 0 {
+		s.f.Close()
+	}
+}
+
+// segmentStore is the disk tier. All index and segment-set mutation happens
+// under mu; reads resolve the entry under mu, take a segment reference, and
+// do file IO outside the lock.
+type segmentStore struct {
+	dir      string
+	maxBytes int64
+	segMax   int64
+
+	metrics atomic.Pointer[hpop.Metrics]
+
+	mu       sync.Mutex
+	index    map[string]segEntry
+	segments map[uint64]*segment
+	order    []uint64 // segment ids, oldest first
+	active   *segment
+	nextID   uint64
+	total    int64 // sum of segment file sizes
+
+	quarantined atomic.Int64
+}
+
+// openSegmentStore opens (or creates) the store rooted at dir and rebuilds
+// the index by scanning every segment file. A torn tail — a record whose
+// header or payload extends past EOF, or whose magic does not match — ends
+// that segment's scan and the file is truncated back to the last good
+// record, so a crash mid-append costs exactly the in-flight entry.
+func openSegmentStore(dir string, maxBytes, segBytes int64) (*segmentStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskCacheBytes
+	}
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nocdn: cache dir: %w", err)
+	}
+	s := &segmentStore{
+		dir:      dir,
+		maxBytes: maxBytes,
+		segMax:   segBytes,
+		index:    make(map[string]segEntry),
+		segments: make(map[uint64]*segment),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// setMetrics (re)wires the metrics registry; nil-safe like the registry
+// itself.
+func (s *segmentStore) setMetrics(m *hpop.Metrics) {
+	s.metrics.Store(m)
+	// Export the whole nocdn.cache.* / nocdn.scrub.* family at attach time
+	// so dashboards and CI can assert the names before any traffic.
+	for _, c := range []string{
+		"nocdn.cache.hits.mem", "nocdn.cache.hits.disk", "nocdn.cache.misses",
+		"nocdn.cache.bytes.mem", "nocdn.cache.bytes.disk", "nocdn.cache.bytes.origin",
+		"nocdn.cache.spills", "nocdn.cache.spill_bytes", "nocdn.cache.promotions",
+		"nocdn.cache.quarantined", "nocdn.cache.segments_rotated", "nocdn.cache.segments_reclaimed",
+		"nocdn.scrub.passes", "nocdn.scrub.checked", "nocdn.scrub.quarantined",
+	} {
+		m.Add(c, 0)
+	}
+	s.publishGauges()
+}
+
+func (s *segmentStore) met() *hpop.Metrics { return s.metrics.Load() }
+
+// publishGauges refreshes the disk-tier gauges.
+func (s *segmentStore) publishGauges() {
+	m := s.met()
+	if m == nil {
+		return
+	}
+	s.mu.Lock()
+	entries, total, segs := len(s.index), s.total, len(s.segments)
+	s.mu.Unlock()
+	m.Set("nocdn.cache.disk_entries", float64(entries))
+	m.Set("nocdn.cache.disk_bytes", float64(total))
+	m.Set("nocdn.cache.segments", float64(segs))
+}
+
+// segPath names segment id's file.
+func (s *segmentStore) segPath(id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%08d.seg", id))
+}
+
+// recover scans existing segment files oldest-first, rebuilding the index.
+// Later records supersede earlier ones for the same key (dead bytes are
+// accounted to the superseded segment). The newest segment is reopened for
+// append when it still has room.
+func (s *segmentStore) recover() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.seg"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var id uint64
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.seg", &id); err != nil {
+			continue // not ours
+		}
+		seg, err := s.scanSegment(id, name)
+		if err != nil {
+			return err
+		}
+		if seg == nil {
+			continue // empty after truncation; removed
+		}
+		s.segments[seg.id] = seg
+		s.order = append(s.order, seg.id)
+		s.total += seg.size
+		if seg.id >= s.nextID {
+			s.nextID = seg.id + 1
+		}
+	}
+	// Reuse the newest segment for appends when it has room; otherwise the
+	// first put rotates.
+	if n := len(s.order); n > 0 {
+		last := s.segments[s.order[n-1]]
+		if last.size < s.segMax {
+			s.active = last
+		}
+	}
+	// Drop segments made fully dead by supersession, and enforce the budget
+	// in case it shrank between runs.
+	s.reclaimLocked()
+	return nil
+}
+
+// scanSegment replays one file's records into the index, truncating at the
+// first sign of a torn or corrupt record. Returns nil when the file holds no
+// valid records (it is deleted).
+func (s *segmentStore) scanSegment(id uint64, path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	seg := &segment{id: id, path: path, f: f, live: make(map[string]struct{})}
+	seg.refs.Store(1)
+
+	var (
+		off    int64
+		hdr    [segHeaderSize]byte
+		keyBuf [maxSegKeyLen]byte
+		good   int64 // end of the last intact record
+	)
+	for off+segHeaderSize <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		if string(hdr[:4]) != segMagic {
+			break // stray bytes or torn write: everything from here is waste
+		}
+		keyLen := int64(binary.LittleEndian.Uint16(hdr[4:6]))
+		dataLen := int64(binary.LittleEndian.Uint32(hdr[6:10]))
+		if keyLen == 0 || keyLen > maxSegKeyLen {
+			break
+		}
+		end := off + segHeaderSize + keyLen + dataLen
+		if end > size {
+			break // torn tail: payload never finished hitting the disk
+		}
+		if _, err := f.ReadAt(keyBuf[:keyLen], off+segHeaderSize); err != nil {
+			break
+		}
+		key := string(keyBuf[:keyLen])
+		e := segEntry{seg: id, off: off + segHeaderSize + keyLen, n: dataLen}
+		copy(e.sum[:], hdr[10:10+sha256.Size])
+		if prev, ok := s.index[key]; ok {
+			if prev.seg == id {
+				// Superseded within the segment being scanned (it is not
+				// in s.segments yet).
+				seg.dead += prev.n
+			} else {
+				s.retireLocked(key, prev)
+			}
+		}
+		s.index[key] = e
+		seg.live[key] = struct{}{}
+		good = end
+		off = end
+	}
+	if good < size {
+		// Discard the torn tail so the next append starts on a record
+		// boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	seg.size = good
+	if len(seg.live) == 0 && good == 0 {
+		f.Close()
+		os.Remove(path)
+		return nil, nil
+	}
+	return seg, nil
+}
+
+// retireLocked marks a previously-indexed entry's bytes dead and removes
+// the key from its segment's live set (mu held; the index entry itself is
+// the caller's to overwrite/delete).
+func (s *segmentStore) retireLocked(key string, e segEntry) {
+	if seg, ok := s.segments[e.seg]; ok {
+		seg.dead += e.n
+		delete(seg.live, key)
+	}
+}
+
+// put appends one record. A key already stored with the same hash is a
+// no-op, so memory<->disk ping-pong (evict, promote, evict again) costs one
+// write, not one per round trip.
+func (s *segmentStore) put(key string, data []byte, sum [sha256.Size]byte) error {
+	if int64(len(key)) > maxSegKeyLen {
+		return fmt.Errorf("nocdn: cache key too long (%d bytes)", len(key))
+	}
+	recLen := int64(segHeaderSize + len(key) + len(data))
+	if recLen > s.segMax {
+		return nil // never store an object bigger than a whole segment
+	}
+
+	s.mu.Lock()
+	if prev, ok := s.index[key]; ok {
+		if prev.sum == sum {
+			s.mu.Unlock()
+			return nil // identical bytes already at rest
+		}
+		s.supersedeLocked(key, prev)
+	}
+	if s.active == nil || s.active.size+recLen > s.segMax {
+		if err := s.rotateLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	seg := s.active
+	off := seg.size
+
+	rec := make([]byte, recLen)
+	copy(rec, segMagic)
+	binary.LittleEndian.PutUint16(rec[4:6], uint16(len(key)))
+	binary.LittleEndian.PutUint32(rec[6:10], uint32(len(data)))
+	copy(rec[10:10+sha256.Size], sum[:])
+	copy(rec[segHeaderSize:], key)
+	copy(rec[segHeaderSize+len(key):], data)
+
+	if _, err := seg.f.WriteAt(rec, off); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("nocdn: segment append: %w", err)
+	}
+	seg.size += recLen
+	s.total += recLen
+	s.index[key] = segEntry{seg: seg.id, off: off + int64(segHeaderSize+len(key)), n: int64(len(data)), sum: sum}
+	seg.live[key] = struct{}{}
+	s.reclaimLocked()
+	s.mu.Unlock()
+
+	m := s.met()
+	m.Inc("nocdn.cache.spills")
+	m.Add("nocdn.cache.spill_bytes", float64(len(data)))
+	s.publishGauges()
+	return nil
+}
+
+// supersedeLocked retires key's previous entry (mu held).
+func (s *segmentStore) supersedeLocked(key string, prev segEntry) {
+	s.retireLocked(key, prev)
+	delete(s.index, key)
+}
+
+// rotateLocked seals the active segment and opens a fresh one (mu held).
+func (s *segmentStore) rotateLocked() error {
+	id := s.nextID
+	s.nextID++
+	path := s.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("nocdn: new segment: %w", err)
+	}
+	seg := &segment{id: id, path: path, f: f, live: make(map[string]struct{})}
+	seg.refs.Store(1)
+	s.segments[id] = seg
+	s.order = append(s.order, id)
+	s.active = seg
+	s.met().Inc("nocdn.cache.segments_rotated")
+	return nil
+}
+
+// reclaimLocked frees disk space (mu held): first any fully-dead sealed
+// segment, then — while still over budget — whole oldest segments, dropping
+// whatever live keys they carry (the disk tier's eviction is FIFO by
+// segment, which is exactly what an append-only log can do cheaply).
+func (s *segmentStore) reclaimLocked() {
+	keep := s.order[:0]
+	for _, id := range s.order {
+		seg := s.segments[id]
+		if seg != s.active && len(seg.live) == 0 {
+			s.condemnLocked(seg)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+	for s.total > s.maxBytes && len(s.order) > 0 {
+		seg := s.segments[s.order[0]]
+		if seg == s.active {
+			break // never drop the segment being appended to
+		}
+		for key := range seg.live {
+			delete(s.index, key)
+		}
+		seg.live = make(map[string]struct{})
+		s.condemnLocked(seg)
+		s.order = s.order[1:]
+	}
+}
+
+// condemnLocked unlinks a segment and drops the store's reference; readers
+// mid-stream keep the fd alive until they finish (mu held).
+func (s *segmentStore) condemnLocked(seg *segment) {
+	delete(s.segments, seg.id)
+	s.total -= seg.size
+	seg.condemned.Store(true)
+	os.Remove(seg.path)
+	seg.release()
+	s.met().Inc("nocdn.cache.segments_reclaimed")
+}
+
+// get resolves key to its entry and pins the segment for reading. The
+// caller must release() the returned segment exactly once on success.
+func (s *segmentStore) get(key string) (segEntry, *segment, bool) {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	if !ok {
+		s.mu.Unlock()
+		return segEntry{}, nil, false
+	}
+	seg, ok := s.segments[e.seg]
+	if !ok || !seg.acquire() {
+		delete(s.index, key)
+		s.mu.Unlock()
+		return segEntry{}, nil, false
+	}
+	s.mu.Unlock()
+	return e, seg, true
+}
+
+// contains reports whether key is indexed (no segment pin).
+func (s *segmentStore) contains(key string) bool {
+	s.mu.Lock()
+	_, ok := s.index[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// sectionReader returns a reader over exactly the entry's data bytes — the
+// zero-copy serving shape: http.ServeContent hands this to the response
+// writer, and the bytes go file -> socket without a userspace object copy.
+func sectionReader(e segEntry, seg *segment) *io.SectionReader {
+	return io.NewSectionReader(seg.f, e.off, e.n)
+}
+
+// readVerify reads the entry's data into a fresh exact-size slice and
+// checks it against the indexed SHA-256. A mismatch quarantines the entry
+// and returns ErrCacheCorrupt: corrupt disk bytes are never handed to a
+// caller. The returned slice is the caller's to own (it goes straight into
+// the memory LRU on promotion).
+func (s *segmentStore) readVerify(key string, e segEntry, seg *segment) ([]byte, error) {
+	data := make([]byte, e.n)
+	if _, err := seg.f.ReadAt(data, e.off); err != nil {
+		s.quarantine(key, e)
+		return nil, fmt.Errorf("nocdn: segment read: %w", err)
+	}
+	if sha256.Sum256(data) != e.sum {
+		s.quarantine(key, e)
+		return nil, ErrCacheCorrupt
+	}
+	return data, nil
+}
+
+// verifyAtRest streams the entry through SHA-256 with a pooled chunk buffer
+// (no whole-object allocation) and quarantines on mismatch.
+func (s *segmentStore) verifyAtRest(key string, e segEntry, seg *segment) error {
+	h := sha256.New()
+	buf := chunkPool.Get().(*[]byte)
+	_, err := io.CopyBuffer(h, sectionReader(e, seg), *buf)
+	chunkPool.Put(buf)
+	if err != nil {
+		s.quarantine(key, e)
+		return fmt.Errorf("nocdn: segment read: %w", err)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	if sum != e.sum {
+		s.quarantine(key, e)
+		return ErrCacheCorrupt
+	}
+	return nil
+}
+
+// quarantine drops a corrupt (or unreadable) entry from the index so it can
+// never be served again; the next request for the key is a clean miss that
+// refetches from the origin.
+func (s *segmentStore) quarantine(key string, e segEntry) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur == e {
+		s.supersedeLocked(key, cur)
+		s.reclaimLocked()
+	}
+	s.mu.Unlock()
+	s.quarantined.Add(1)
+	s.met().Inc("nocdn.cache.quarantined")
+	s.publishGauges()
+}
+
+// scrub hash-verifies every indexed entry at rest, quarantining mismatches.
+// It pins one segment at a time and never blocks writers for longer than an
+// index snapshot.
+func (s *segmentStore) scrub() (checked, quarantined int) {
+	m := s.met()
+	m.Inc("nocdn.scrub.passes")
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		e, seg, ok := s.get(key)
+		if !ok {
+			continue // evicted or superseded since the snapshot
+		}
+		checked++
+		err := s.verifyAtRest(key, e, seg)
+		seg.release()
+		if err != nil {
+			quarantined++
+		}
+	}
+	m.Add("nocdn.scrub.checked", float64(checked))
+	m.Add("nocdn.scrub.quarantined", float64(quarantined))
+	return checked, quarantined
+}
+
+// stats reports the disk tier's index and file footprint.
+func (s *segmentStore) stats() (entries int, bytes int64, segments int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index), s.total, len(s.segments)
+}
+
+// close releases every segment. Readers mid-stream finish safely; new gets
+// fail.
+func (s *segmentStore) close() {
+	s.mu.Lock()
+	segs := make([]*segment, 0, len(s.segments))
+	for _, seg := range s.segments {
+		segs = append(segs, seg)
+	}
+	s.segments = make(map[uint64]*segment)
+	s.index = make(map[string]segEntry)
+	s.order = nil
+	s.active = nil
+	s.mu.Unlock()
+	for _, seg := range segs {
+		seg.condemned.Store(true)
+		seg.release()
+	}
+}
+
+// chunkPool holds 64 KiB scratch buffers for streaming reads (at-rest
+// verification, proxy body drains) so the hot path stops allocating
+// per-request chunk buffers.
+var chunkPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	},
+}
