@@ -108,6 +108,12 @@ func run(args []string) error {
 		"peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
 	replicas := fs.Int("replicas", 0,
 		"origin: alternate peers listed per wrapper object for client failover")
+	objectMaxAge := fs.Duration("object-max-age", nocdn.DefaultObjectMaxAge,
+		"origin: Cache-Control max-age for /content responses (negative: no Cache-Control)")
+	staleWhileReval := fs.Duration("stale-while-revalidate", nocdn.DefaultStaleWhileRevalidate,
+		"origin: stale-while-revalidate window granted past max-age (0: omit)")
+	staleIfError := fs.Duration("stale-if-error", nocdn.DefaultStaleIfError,
+		"origin: stale-if-error window granted past max-age (0: omit)")
 	brownout := fs.Bool("brownout", false,
 		"load: serve pages with degraded-object markers instead of failing the view")
 	var peers kvFlags
@@ -146,6 +152,7 @@ func run(args []string) error {
 	case "origin":
 		o := nocdn.NewOrigin(*provider,
 			nocdn.WithReplicas(*replicas),
+			nocdn.WithCachePolicy(*objectMaxAge, *staleWhileReval, *staleIfError),
 			nocdn.WithHealthRegistry(health))
 		o.SetMetrics(metrics)
 		o.SetTracer(tracer)

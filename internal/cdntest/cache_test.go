@@ -1,0 +1,191 @@
+package cdntest
+
+// The cache suite: hit/miss/TTL expiry, Cache-Control directive handling,
+// conditional revalidation, Vary keying, and the Age header — each case a
+// black-box request sequence against a live origin + peer.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"hpop/internal/nocdn"
+)
+
+func TestMissThenHit(t *testing.T) {
+	s := NewStack(t, Config{})
+	body := []byte("<html>hello ultrabroadband</html>")
+	s.Publish("/index.html", body)
+
+	r := s.WantXCache(0, "/index.html", nocdn.XCacheMiss)
+	if !bytes.Equal(r.Body, body) {
+		t.Fatalf("MISS body = %q, want %q", r.Body, body)
+	}
+	if r.Age() != 0 {
+		t.Fatalf("MISS Age = %d, want 0", r.Age())
+	}
+
+	r = s.WantXCache(0, "/index.html", nocdn.XCacheHit)
+	if !bytes.Equal(r.Body, body) {
+		t.Fatalf("HIT body = %q, want %q", r.Body, body)
+	}
+	if got := s.Peers[0].OriginFetches(); got != 1 {
+		t.Fatalf("origin fetches = %d, want 1 (second request must be served from cache)", got)
+	}
+	if got := s.OriginGate.ContentRequests.Load(); got != 1 {
+		t.Fatalf("origin /content requests = %d, want 1", got)
+	}
+}
+
+func TestTTLExpiryRevalidates(t *testing.T) {
+	s := NewStack(t, Config{}) // default policy: max-age=60, swr=30
+	s.Publish("/a.bin", []byte("payload-a"))
+
+	s.WantXCache(0, "/a.bin", nocdn.XCacheMiss)
+	s.WantXCache(0, "/a.bin", nocdn.XCacheHit)
+
+	// Beyond max-age + stale-while-revalidate: the peer must confirm with
+	// the origin before serving. Content is unchanged, so the conditional
+	// request comes back 304 and the entry is refreshed in place.
+	s.Clock.Advance(91 * time.Second)
+	s.WantXCache(0, "/a.bin", nocdn.XCacheRevalidated)
+	if got := s.OriginGate.Content304s.Load(); got != 1 {
+		t.Fatalf("origin 304s = %d, want 1", got)
+	}
+
+	// The 304 reset the entry's age: fresh again.
+	r := s.WantXCache(0, "/a.bin", nocdn.XCacheHit)
+	if !bytes.Equal(r.Body, []byte("payload-a")) {
+		t.Fatalf("post-revalidation body = %q", r.Body)
+	}
+}
+
+func TestMaxAgeHonored(t *testing.T) {
+	s := NewStack(t, Config{OriginOpts: []nocdn.OriginOption{
+		nocdn.WithCachePolicy(10*time.Second, 0, 0),
+	}})
+	s.Publish("/short.bin", []byte("short-lived"))
+
+	s.WantXCache(0, "/short.bin", nocdn.XCacheMiss)
+	s.Clock.Advance(9 * time.Second)
+	s.WantXCache(0, "/short.bin", nocdn.XCacheHit)
+	// One second past max-age, with no stale windows granted: revalidate.
+	s.Clock.Advance(2 * time.Second)
+	s.WantXCache(0, "/short.bin", nocdn.XCacheRevalidated)
+}
+
+func TestNoStoreNeverCached(t *testing.T) {
+	s := NewStack(t, Config{})
+	s.Publish("/private.json", []byte(`{"secret":1}`))
+	s.Origin.SetObjectHeader("/private.json", "Cache-Control", "no-store")
+
+	for i := 0; i < 3; i++ {
+		r := s.WantXCache(0, "/private.json", nocdn.XCacheMiss)
+		if !bytes.Equal(r.Body, []byte(`{"secret":1}`)) {
+			t.Fatalf("request %d: body = %q", i, r.Body)
+		}
+	}
+	if got := s.Peers[0].OriginFetches(); got != 3 {
+		t.Fatalf("origin fetches = %d, want 3 (no-store must fetch every time)", got)
+	}
+}
+
+func TestNoCacheRevalidatesEveryServe(t *testing.T) {
+	s := NewStack(t, Config{})
+	s.Publish("/live.json", []byte(`{"v":1}`))
+	s.Origin.SetObjectHeader("/live.json", "Cache-Control", "no-cache")
+
+	s.WantXCache(0, "/live.json", nocdn.XCacheMiss)
+	// no-cache allows storing but demands revalidation before every serve —
+	// each subsequent request is a conditional round trip answered 304.
+	s.WantXCache(0, "/live.json", nocdn.XCacheRevalidated)
+	s.WantXCache(0, "/live.json", nocdn.XCacheRevalidated)
+	if got := s.OriginGate.Content304s.Load(); got != 2 {
+		t.Fatalf("origin 304s = %d, want 2", got)
+	}
+	if got := s.Peers[0].OriginFetches(); got != 1 {
+		t.Fatalf("origin body fetches = %d, want 1 (revalidations must not refetch the body)", got)
+	}
+}
+
+func TestSMaxAgeTakesPrecedenceForSharedCache(t *testing.T) {
+	s := NewStack(t, Config{})
+	s.Publish("/shared.css", []byte("body{}"))
+	s.Origin.SetObjectHeader("/shared.css", "Cache-Control", "max-age=1, s-maxage=120")
+
+	s.WantXCache(0, "/shared.css", nocdn.XCacheMiss)
+	// Past max-age but inside s-maxage: the peer is a shared cache, so
+	// s-maxage governs and this is still a fresh hit.
+	s.Clock.Advance(60 * time.Second)
+	s.WantXCache(0, "/shared.css", nocdn.XCacheHit)
+	// Past s-maxage too: revalidation required.
+	s.Clock.Advance(61 * time.Second)
+	s.WantXCache(0, "/shared.css", nocdn.XCacheRevalidated)
+}
+
+func TestExpiresFallbackWhenNoCacheControl(t *testing.T) {
+	s := NewStack(t, Config{OriginOpts: []nocdn.OriginOption{
+		// Negative max-age: the origin sends no Cache-Control at all.
+		nocdn.WithCachePolicy(-1, 0, 0),
+	}})
+	s.Publish("/legacy.bin", []byte("expires-era content"))
+	s.Origin.SetObjectHeader("/legacy.bin", "Expires",
+		s.Clock.Now().Add(40*time.Second).UTC().Format(http.TimeFormat))
+
+	s.WantXCache(0, "/legacy.bin", nocdn.XCacheMiss)
+	s.Clock.Advance(39 * time.Second)
+	s.WantXCache(0, "/legacy.bin", nocdn.XCacheHit)
+	s.Clock.Advance(2 * time.Second)
+	s.WantXCache(0, "/legacy.bin", nocdn.XCacheRevalidated)
+}
+
+func TestETagRevalidationSavesBodyBytes(t *testing.T) {
+	s := NewStack(t, Config{})
+	big := bytes.Repeat([]byte("x"), 64<<10)
+	s.Publish("/big.bin", big)
+
+	s.WantXCache(0, "/big.bin", nocdn.XCacheMiss)
+	served := s.Origin.OriginBytes()
+
+	s.Clock.Advance(2 * time.Minute)
+	s.WantXCache(0, "/big.bin", nocdn.XCacheRevalidated)
+	if got := s.Origin.OriginBytes(); got != served {
+		t.Fatalf("origin body bytes grew %d -> %d across a 304 revalidation", served, got)
+	}
+	if got := s.OriginGate.Content304s.Load(); got != 1 {
+		t.Fatalf("origin 304s = %d, want 1", got)
+	}
+}
+
+func TestVaryKeysVariantsSeparately(t *testing.T) {
+	s := NewStack(t, Config{})
+	s.Publish("/greet.txt", []byte("hello"))
+	s.Origin.SetObjectHeader("/greet.txt", "Vary", "Accept-Language")
+
+	// First response teaches the peer the Vary names; it was keyed without
+	// them, so the first request per variant misses once, then hits.
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheMiss, "Accept-Language", "en")
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheMiss, "Accept-Language", "en")
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheHit, "Accept-Language", "en")
+	// A different variant value must not be served from the en entry.
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheMiss, "Accept-Language", "fr")
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheHit, "Accept-Language", "fr")
+	// And en stays cached independently.
+	s.WantXCache(0, "/greet.txt", nocdn.XCacheHit, "Accept-Language", "en")
+}
+
+func TestAgeHeaderCountsResidency(t *testing.T) {
+	s := NewStack(t, Config{})
+	s.Publish("/aged.bin", []byte("aging payload"))
+
+	s.WantXCache(0, "/aged.bin", nocdn.XCacheMiss)
+	s.Clock.Advance(30 * time.Second)
+	if r := s.WantXCache(0, "/aged.bin", nocdn.XCacheHit); r.Age() != 30 {
+		t.Fatalf("Age after 30s = %d, want 30", r.Age())
+	}
+	s.Clock.Advance(15 * time.Second)
+	if r := s.WantXCache(0, "/aged.bin", nocdn.XCacheHit); r.Age() != 45 {
+		t.Fatalf("Age after 45s = %d, want 45", r.Age())
+	}
+}

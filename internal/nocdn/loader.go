@@ -267,12 +267,22 @@ func traceHeader(sp *hpop.Span, hdr map[string]string) map[string]string {
 // span joins the page view's trace. Latency lands in the overall and
 // per-peer fetch histograms; verified bytes are attributed to the peer when
 // the transfer succeeds.
-func (l *Loader) getFrom(ctx context.Context, gate fetchGate, sp *hpop.Span, peerID, peerURL, provider, path string, chunk *ChunkRef) ([]byte, error) {
+// expectHash, when non-empty, rides the request as X-NoCDN-Hash: the
+// wrapper's hash for the object, which lets the peer apply the hash-epoch
+// freshness rule (a matching cached entry is current at any age; a
+// mismatched one must be refetched, never served stale).
+func (l *Loader) getFrom(ctx context.Context, gate fetchGate, sp *hpop.Span, peerID, peerURL, provider, path, expectHash string, chunk *ChunkRef) ([]byte, error) {
 	gate.enter()
 	defer gate.leave()
 	var hdr map[string]string
 	if chunk != nil {
 		hdr = map[string]string{"Range": fmt.Sprintf("bytes=%d-%d", chunk.Offset, chunk.Offset+chunk.Length-1)}
+	}
+	if expectHash != "" {
+		if hdr == nil {
+			hdr = make(map[string]string, 2)
+		}
+		hdr[ExpectHashHeader] = expectHash
 	}
 	hdr = traceHeader(sp, hdr)
 	start := time.Now()
@@ -458,7 +468,7 @@ func (l *Loader) fetchFromCandidates(ctx context.Context, gate fetchGate, sp *hp
 			continue
 		}
 		tried++
-		data, ferr := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, nil)
+		data, ferr := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, ref.Hash, nil)
 		if ferr != nil {
 			lastErr = ferr
 			continue
@@ -555,7 +565,7 @@ func (l *Loader) loadObject(ctx context.Context, gate fetchGate, parent *hpop.Sp
 // carry sp's traceparent to the serving peer.
 func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, sp *hpop.Span, provider string, ref ObjectRef) ([]byte, map[string]int64, error) {
 	if len(ref.Chunks) == 0 {
-		data, err := l.getFrom(ctx, gate, sp, ref.PeerID, ref.PeerURL, provider, ref.Path, nil)
+		data, err := l.getFrom(ctx, gate, sp, ref.PeerID, ref.PeerURL, provider, ref.Path, ref.Hash, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -574,7 +584,7 @@ func (l *Loader) fetchObject(ctx context.Context, gate fetchGate, sp *hpop.Span,
 				errs[i] = fmt.Errorf("chunk %d: peer %s open-circuit", i, c.PeerID)
 				return
 			}
-			data, err := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, c)
+			data, err := l.getFrom(ctx, gate, sp, c.PeerID, c.PeerURL, provider, ref.Path, ref.Hash, c)
 			if err != nil {
 				errs[i] = fmt.Errorf("chunk %d: %w", i, err)
 				return

@@ -54,6 +54,9 @@ type Object struct {
 	Path string `json:"path"`
 	Data []byte `json:"-"`
 	Hash string `json:"hash"`
+	// ContentType is the media type the origin serves (and peers must
+	// replay) for this object; detected at publish time when not set.
+	ContentType string `json:"contentType,omitempty"`
 }
 
 // Page is a container object plus its recursively embedded objects.

@@ -557,6 +557,64 @@ func TestWrapperReuse(t *testing.T) {
 	}
 }
 
+func TestWrapperCacheHashEpochInvalidation(t *testing.T) {
+	// A publish inside the reuse TTL must invalidate the cached wrapper:
+	// a wrapper advertising superseded hashes would force every loader
+	// into origin fallback against peers holding the fresh bytes.
+	current := time.Now()
+	clock := func() time.Time { return current }
+	o := NewOrigin("x", WithRNG(sim.NewRNG(1)), WithClock(clock), WithWrapperReuse(time.Minute))
+	o.AddObject("/i", []byte("v1"))
+	o.AddPage(Page{Name: "p", Container: "/i"})
+	o.RegisterPeer("peer", "http://peer", 10)
+
+	w1, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Container.Hash != HashBytes([]byte("v1")) {
+		t.Fatalf("wrapper hash = %s, want hash of v1", w1.Container.Hash)
+	}
+
+	// Republish well inside the TTL window; the clock barely moves.
+	current = current.Add(time.Second)
+	o.AddObject("/i", []byte("v2"))
+	w2, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == w1 {
+		t.Fatal("cached wrapper survived a publish inside its TTL")
+	}
+	if w2.Container.Hash != HashBytes([]byte("v2")) {
+		t.Fatalf("rebuilt wrapper hash = %s, want hash of v2", w2.Container.Hash)
+	}
+	if o.WrapperGenerations() != 2 {
+		t.Errorf("generations = %d, want 2", o.WrapperGenerations())
+	}
+
+	// With the epoch stable again, reuse resumes.
+	w3, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 != w2 {
+		t.Error("wrapper not reused after the epoch settled")
+	}
+
+	// Header overrides are published content too: changing one must also
+	// invalidate (loaders see headers via peers, and peers key revalidation
+	// off them).
+	o.SetObjectHeader("/i", "Cache-Control", "no-store")
+	w4, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w4 == w3 {
+		t.Error("cached wrapper survived a header publish inside its TTL")
+	}
+}
+
 func TestWrapperReuseSettlementStillWorks(t *testing.T) {
 	// Records signed under a reused wrapper's key settle normally, and the
 	// nonce cache still kills replays across users sharing the wrapper.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
@@ -49,8 +50,18 @@ type Origin struct {
 	// for that long instead of regenerating per view — the paper's "even
 	// the wrapper page may be reused among users and/or allowed to be
 	// cached by the user for a certain time", trading per-view key
-	// freshness for origin CPU/selection work.
+	// freshness for origin CPU/selection work. A publish always invalidates
+	// the cached wrapper regardless of TTL: the wrapper is the hash-epoch
+	// authority, so it must never advertise hashes of superseded bytes.
 	WrapperTTL time.Duration
+
+	// ObjectMaxAge, StaleWhileRevalidate, and StaleIfError shape the
+	// Cache-Control policy /content emits (see WithCachePolicy). NewOrigin
+	// applies the Default* values; ObjectMaxAge < 0 means "no Cache-Control
+	// header" (peers fall back to heuristic freshness).
+	ObjectMaxAge         time.Duration
+	StaleWhileRevalidate time.Duration
+	StaleIfError         time.Duration
 
 	// metrics, when set, receives the origin-side histograms:
 	// nocdn.origin.wrapper_seconds (actual wrapper builds, reused serves
@@ -73,13 +84,19 @@ type Origin struct {
 	// probeClient issues peer health probes (bounded; lazily built).
 	probeClient *http.Client
 
-	// contentMu guards the published catalog (objects, pages). The serving
-	// hot path takes only the read lock; publishes are rare writes. Object
-	// hashes are computed once at publish time (AddObject), never on the
-	// serving path.
-	contentMu sync.RWMutex
-	objects   map[string]*Object
-	pages     map[string]*Page
+	// contentMu guards the published catalog (objects, pages) and the
+	// per-object header overrides. The serving hot path takes only the read
+	// lock; publishes are rare writes. Object hashes are computed once at
+	// publish time (AddObject), never on the serving path.
+	contentMu  sync.RWMutex
+	objects    map[string]*Object
+	pages      map[string]*Page
+	objHeaders map[string]http.Header
+
+	// contentEpoch advances on every publish. The wrapper cache records the
+	// epoch it was built under, so a publish invalidates cached wrappers
+	// immediately even inside WrapperTTL (hash-epoch-aware expiry).
+	contentEpoch atomic.Int64
 
 	// mu guards the peer registry, selection state, key bookkeeping, the
 	// settlement ledger, and the wrapper cache.
@@ -152,6 +169,27 @@ func WithWrapperReuse(ttl time.Duration) OriginOption {
 	return func(o *Origin) { o.WrapperTTL = ttl }
 }
 
+// Default object cache policy: short freshness with modest serve-stale
+// windows. Loaders don't depend on these (the wrapper hash is their
+// freshness authority); they govern plain HTTP clients and give peers
+// honest revalidation cadence.
+const (
+	DefaultObjectMaxAge         = time.Minute
+	DefaultStaleWhileRevalidate = 30 * time.Second
+	DefaultStaleIfError         = 5 * time.Minute
+)
+
+// WithCachePolicy sets the Cache-Control policy /content emits for every
+// object (per-object overrides via SetObjectHeader win). maxAge < 0
+// suppresses the header entirely; swr/sie <= 0 omit their directives.
+func WithCachePolicy(maxAge, swr, sie time.Duration) OriginOption {
+	return func(o *Origin) {
+		o.ObjectMaxAge = maxAge
+		o.StaleWhileRevalidate = swr
+		o.StaleIfError = sie
+	}
+}
+
 // WithMetrics wires a metrics registry for the nocdn.origin.* histograms
 // and counters.
 func WithMetrics(m *hpop.Metrics) OriginOption {
@@ -193,31 +231,37 @@ func (o *Origin) SetHealthRegistry(h *hpop.HealthRegistry) {
 // HealthRegistry returns the wired peer-health registry (nil when unset).
 func (o *Origin) HealthRegistry() *hpop.HealthRegistry { return o.health }
 
-// cachedWrapper is one reusable wrapper with its build time.
+// cachedWrapper is one reusable wrapper with its build time and the
+// content epoch it was built under.
 type cachedWrapper struct {
 	wrapper *Wrapper
 	builtAt time.Time
+	epoch   int64
 }
 
 // NewOrigin creates a content provider.
 func NewOrigin(provider string, opts ...OriginOption) *Origin {
 	o := &Origin{
-		Provider:       provider,
-		Policy:         SelectRandom,
-		ChunkThreshold: 256 << 10,
-		AnomalyFactor:  1.5,
-		objects:        make(map[string]*Object),
-		pages:          make(map[string]*Page),
-		rng:            sim.NewRNG(1),
-		now:            time.Now,
-		credited:       make(map[string]int64),
-		assigned:       make(map[string]int64),
-		rejected:       make(map[string]int64),
-		keyPeer:        make(map[string]string),
-		keyBytes:       make(map[string]int64),
-		wrapperCache:   make(map[string]cachedWrapper),
-		probeHealthy:   make(map[string]bool),
-		audit:          NewAuditor(),
+		Provider:             provider,
+		Policy:               SelectRandom,
+		ChunkThreshold:       256 << 10,
+		AnomalyFactor:        1.5,
+		objects:              make(map[string]*Object),
+		pages:                make(map[string]*Page),
+		objHeaders:           make(map[string]http.Header),
+		ObjectMaxAge:         DefaultObjectMaxAge,
+		StaleWhileRevalidate: DefaultStaleWhileRevalidate,
+		StaleIfError:         DefaultStaleIfError,
+		rng:                  sim.NewRNG(1),
+		now:                  time.Now,
+		credited:             make(map[string]int64),
+		assigned:             make(map[string]int64),
+		rejected:             make(map[string]int64),
+		keyPeer:              make(map[string]string),
+		keyBytes:             make(map[string]int64),
+		wrapperCache:         make(map[string]cachedWrapper),
+		probeHealthy:         make(map[string]bool),
+		audit:                NewAuditor(),
 	}
 	// An audit flag ejects the peer from future wrapper maps immediately.
 	o.audit.OnFlag = o.ejectFlagged
@@ -231,11 +275,53 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 
 // AddObject registers content. The integrity hash is precomputed here, so
 // neither wrapper generation nor content serving ever hashes on a hot path.
+// The Content-Type is detected from the path extension (falling back to
+// content sniffing); use AddObjectWithType to set it explicitly. Publishing
+// advances the content epoch, which invalidates any cached wrappers — they
+// carry per-object hashes and must never outlive the bytes they attest.
 func (o *Origin) AddObject(path string, data []byte) {
-	obj := &Object{Path: path, Data: data, Hash: HashBytes(data)}
+	o.AddObjectWithType(path, data, detectContentType(path, data))
+}
+
+// AddObjectWithType registers content with an explicit media type.
+func (o *Origin) AddObjectWithType(path string, data []byte, contentType string) {
+	obj := &Object{Path: path, Data: data, Hash: HashBytes(data), ContentType: contentType}
 	o.contentMu.Lock()
-	defer o.contentMu.Unlock()
 	o.objects[path] = obj
+	o.contentMu.Unlock()
+	o.contentEpoch.Add(1)
+}
+
+// detectContentType resolves a published object's media type: the path
+// extension first (stable across republish), content sniffing second.
+func detectContentType(path string, data []byte) string {
+	if dot := strings.LastIndexByte(path, '.'); dot >= 0 && !strings.ContainsRune(path[dot:], '/') {
+		if ct := mime.TypeByExtension(path[dot:]); ct != "" {
+			return ct
+		}
+	}
+	return http.DetectContentType(data)
+}
+
+// SetObjectHeader overrides (or, with an empty value, clears) one response
+// header /content sends for path — how a provider opts an object into
+// no-store, a longer max-age, an Expires date, or Vary keying. Counts as a
+// publish for wrapper-cache purposes: policy changes take effect on the
+// next wrapper, not after WrapperTTL.
+func (o *Origin) SetObjectHeader(path, name, value string) {
+	o.contentMu.Lock()
+	h := o.objHeaders[path]
+	if h == nil {
+		h = make(http.Header)
+		o.objHeaders[path] = h
+	}
+	if value == "" {
+		h.Del(name)
+	} else {
+		h.Set(name, value)
+	}
+	o.contentMu.Unlock()
+	o.contentEpoch.Add(1)
 }
 
 // AddPage registers a page (container + embedded object paths). All paths
@@ -302,10 +388,16 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 	}
 	o.contentMu.RUnlock()
 
+	epoch := o.contentEpoch.Load()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.WrapperTTL > 0 {
-		if cw, ok := o.wrapperCache[page]; ok && o.now().Sub(cw.builtAt) < o.WrapperTTL {
+		// Reuse demands both an unexpired TTL and an unchanged content
+		// epoch: a publish inside the TTL window supersedes object hashes,
+		// and a wrapper advertising superseded hashes would force every
+		// loader into origin fallback (peers' fresh bytes would "fail"
+		// verification against the stale wrapper).
+		if cw, ok := o.wrapperCache[page]; ok && cw.epoch == epoch && o.now().Sub(cw.builtAt) < o.WrapperTTL {
 			return cw.wrapper, nil
 		}
 	}
@@ -410,7 +502,7 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		w.Objects = append(w.Objects, makeRef(e))
 	}
 	if o.WrapperTTL > 0 {
-		o.wrapperCache[page] = cachedWrapper{wrapper: w, builtAt: o.now()}
+		o.wrapperCache[page] = cachedWrapper{wrapper: w, builtAt: o.now(), epoch: epoch}
 	}
 	return w, nil
 }
@@ -422,6 +514,23 @@ func (o *Origin) WrapperGenerations() int64 {
 }
 
 func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
+
+// etagMatches implements the If-None-Match comparison: "*" matches any
+// representation, otherwise each listed (possibly W/-prefixed) tag is
+// weak-compared against the current one.
+func etagMatches(ifNoneMatch, etag string) bool {
+	if strings.TrimSpace(ifNoneMatch) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
 
 // SettleRecords processes a batch of uploaded usage records from one peer.
 // Each record must carry a valid signature under a key this origin issued
@@ -731,14 +840,39 @@ func (o *Origin) Handler() http.Handler {
 		sp.SetLabel("path", path)
 		o.contentMu.RLock()
 		obj, ok := o.objects[path]
+		var overrides http.Header
+		if h := o.objHeaders[path]; h != nil {
+			overrides = h.Clone()
+		}
 		o.contentMu.RUnlock()
 		if !ok {
 			sp.SetError(ErrUnknownObject)
 			http.Error(w, "unknown object", http.StatusNotFound)
 			return
 		}
+		// The strong validator is the object's integrity hash itself, so a
+		// 304 is exactly the hash-epoch check over plain HTTP.
+		etag := `"` + obj.Hash + `"`
+		hdr := w.Header()
+		hdr.Set("ETag", etag)
+		hdr.Set(ExpectHashHeader, obj.Hash)
+		if obj.ContentType != "" {
+			hdr.Set("Content-Type", obj.ContentType)
+		}
+		if o.ObjectMaxAge >= 0 {
+			hdr.Set("Cache-Control", FormatCacheControl(o.ObjectMaxAge, o.StaleWhileRevalidate, o.StaleIfError))
+		}
+		for name, vals := range overrides {
+			hdr.Del(name)
+			for _, v := range vals {
+				hdr.Add(name, v)
+			}
+		}
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		o.originBytes.Add(int64(len(obj.Data)))
-		w.Header().Set("X-NoCDN-Hash", obj.Hash)
 		w.Write(obj.Data)
 	})
 	mux.HandleFunc("/usage", func(w http.ResponseWriter, r *http.Request) {

@@ -65,6 +65,18 @@ type Peer struct {
 	cache  *shardedLRU
 	flight flightGroup
 
+	// metaMu guards the HTTP-semantics sidecars: per-entry caching metadata
+	// (freshness, hash, Content-Type — peercache.go) and the per-base-key
+	// Vary specs learned from origin responses. The sidecar spans both cache
+	// tiers; disk entries that outlive the process get minimal metadata
+	// reconstructed from the segment index on first touch.
+	metaMu sync.RWMutex
+	meta   map[string]*entryMeta
+	vary   map[string][]string
+	// revalInflight dedups background stale-while-revalidate refreshes so a
+	// hot stale key triggers one revalidation, not one per request.
+	revalInflight sync.Map
+
 	// store is the optional disk tier (two-tier cache). Attached once via
 	// AttachDiskCache; an atomic pointer so serving, scrubbing, and late
 	// attachment never race. Nil means today's memory-only mode.
@@ -146,6 +158,8 @@ func NewPeer(id string, cacheBytes int) *Peer {
 		ID:         id,
 		providers:  make(map[string]string),
 		cache:      newShardedLRU(cacheBytes),
+		meta:       make(map[string]*entryMeta),
+		vary:       make(map[string][]string),
 		httpClient: &http.Client{Timeout: DefaultPeerFetchTimeout, Transport: newPeerTransport()},
 	}
 }
@@ -386,83 +400,6 @@ func (p *Peer) cachePut(key string, data []byte) {
 	}
 }
 
-// fetch obtains an object — memory tier, disk tier, or origin backfill —
-// reporting which tier served it (so the proxy can label its metrics). The
-// returned slice is shared with the cache and MUST NOT be mutated by
-// callers; serve paths that transform bytes (Tamper) copy first. A
-// tierDiskStream result carries no data: the object is disk-resident and
-// too large to promote, and the caller streams it via serveFromDisk.
-func (p *Peer) fetch(provider, path string) (data []byte, tier cacheTier, err error) {
-	p.providersMu.RLock()
-	origin, ok := p.providers[provider]
-	p.providersMu.RUnlock()
-	if !ok {
-		return nil, tierOrigin, fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
-	}
-	cacheKey := provider + "|" + path
-	if data, ok := p.cache.get(cacheKey); ok {
-		p.hits.Add(1)
-		p.memHits.Add(1)
-		return data, tierMem, nil
-	}
-	// The flight group guards the whole fill: concurrent misses share one
-	// disk promotion (one read + one hash check) or one origin fetch.
-	data, tier, err = p.flight.do(cacheKey, func() ([]byte, cacheTier, error) {
-		// A waiter that queued behind the leader may find the cache filled.
-		if data, ok := p.cache.get(cacheKey); ok {
-			return data, tierMem, nil
-		}
-		if st := p.store.Load(); st != nil {
-			if e, seg, ok := st.get(cacheKey); ok {
-				if e.n > int64(p.cache.maxObjectBytes()) {
-					seg.release()
-					return nil, tierDiskStream, nil
-				}
-				promoted, err := st.readVerify(cacheKey, e, seg)
-				seg.release()
-				if err == nil {
-					p.cachePut(cacheKey, promoted)
-					p.metrics.Inc("nocdn.cache.promotions")
-					return promoted, tierDisk, nil
-				}
-				// Corrupt at rest: readVerify quarantined the entry, so
-				// this falls through to a clean origin refetch — corrupt
-				// disk bytes are never served.
-			}
-		}
-		p.originFetches.Add(1)
-		resp, err := p.httpClient.Get(origin + "/content" + path)
-		if err != nil {
-			return nil, tierOrigin, fmt.Errorf("nocdn: origin fetch: %w", err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, tierOrigin, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
-		}
-		data, err := readBodyPooled(resp)
-		if err != nil {
-			return nil, tierOrigin, err
-		}
-		p.cachePut(cacheKey, data)
-		return data, tierOrigin, nil
-	})
-	if err != nil {
-		p.misses.Add(1)
-		return nil, tierOrigin, err
-	}
-	switch tier {
-	case tierMem:
-		p.hits.Add(1)
-		p.memHits.Add(1)
-	case tierDisk, tierDiskStream:
-		p.hits.Add(1)
-		p.diskHits.Add(1)
-	default:
-		p.misses.Add(1)
-	}
-	return data, tier, nil
-}
-
 // readBodyPooled drains a response body through a pooled buffer, returning
 // an exact-size owned slice. io.ReadAll's repeated grow-and-copy was the
 // dominant allocation on the miss path; the pool flattens it to one
@@ -559,126 +496,47 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 	sp.SetLabel("provider", provider)
 	sp.SetLabel("path", path)
 	defer sp.End()
+	p.providersMu.RLock()
+	origin, signed := p.providers[provider]
+	p.providersMu.RUnlock()
 	start := time.Now()
-	data, tier, err := p.fetch(provider, path)
-	hit := err == nil && tier != tierOrigin
+	var out serveOutcome
+	var err error
+	if !signed {
+		err = fmt.Errorf("nocdn: peer %s not signed up for %s", p.ID, provider)
+	} else {
+		// The full caching state machine (peercache.go): freshness versus
+		// hash epoch, conditional revalidation, serve-stale windows.
+		out, err = p.serveObject(origin, provider, path, r.Header)
+	}
+	hit := err == nil && out.xcache != XCacheMiss
 	sp.SetLabel("cache", map[bool]string{true: "hit", false: "miss"}[hit])
-	sp.SetLabel("tier", tier.label())
+	sp.SetLabel("tier", out.tier.label())
+	if out.xcache != "" {
+		sp.SetLabel("xcache", out.xcache)
+	}
 	// The tier-labelled hit/miss latency split: memory hits sit in the
 	// microsecond buckets, disk hits carry one verified read, misses the
 	// origin round trip. The legacy nocdn.peer.* pair aggregates both hit
 	// tiers so existing dashboards keep working.
-	elapsed := time.Since(start).Seconds()
-	if hit {
-		p.metrics.Inc("nocdn.peer.hits")
-		p.metrics.Observe("nocdn.peer.hit_seconds", elapsed)
-		p.metrics.Inc("nocdn.cache.hits." + tier.label())
-		p.metrics.Observe("nocdn.cache.hit_seconds."+tier.label(), elapsed)
-	} else {
-		p.metrics.Inc("nocdn.peer.misses")
-		p.metrics.Observe("nocdn.peer.miss_seconds", elapsed)
-		p.metrics.Inc("nocdn.cache.misses")
-		p.metrics.Observe("nocdn.cache.miss_seconds", elapsed)
-	}
+	p.countServe(out, err, time.Since(start).Seconds())
 	if err != nil {
 		p.metrics.Inc("nocdn.peer.proxy_errors")
 		sp.SetError(err)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	if tier == tierDiskStream {
+	if out.tier == tierDiskStream && out.data == nil {
 		// Too large for the memory tier: verify at rest, then let
 		// http.ServeContent stream the segment file section zero-copy
 		// (Range handling included). Tamper mode needs mutable bytes, so
 		// it falls back to a full read.
-		p.serveFromDisk(w, r, provider, path)
+		base := provider + "|" + path
+		key := varyKey(base, p.varyNamesFor(base), r.Header)
+		p.streamOutcome(w, r, sp, origin, provider, path, key, out)
 		return
 	}
-	// data aliases the cache entry from here on: it is only ever read
-	// (range slicing yields a sub-view), and the one transform below
-	// (corrupt) copies — so a cached object can never be poisoned in place.
-	// Range support for chunked multi-peer fetches.
-	if rng := r.Header.Get("Range"); rng != "" {
-		start, end, ok := parseRange(rng, len(data))
-		if !ok {
-			http.Error(w, "bad range", http.StatusRequestedRangeNotSatisfiable)
-			return
-		}
-		w.Header().Set("Content-Range",
-			fmt.Sprintf("bytes %d-%d/%d", start, end-1, len(data)))
-		data = data[start:end]
-		w.WriteHeader(http.StatusPartialContent)
-	}
-	if p.Tamper.Load() {
-		data = corrupt(data) // copies; never mutates the cached slice
-	}
-	p.servedBytes.Add(int64(len(data)))
-	p.metrics.Add("nocdn.cache.bytes."+tier.label(), float64(len(data)))
-	w.Write(data)
-}
-
-// serveFromDisk streams a disk-resident object that does not fit the memory
-// tier. The bytes are hash-verified at rest first (streaming, pooled chunk
-// buffer — corrupt entries are quarantined and the request degrades to a
-// fresh origin fetch), then handed to http.ServeContent as an
-// *io.SectionReader over the segment's *os.File so the response write rides
-// the kernel's file-to-socket path instead of a userspace object copy.
-func (p *Peer) serveFromDisk(w http.ResponseWriter, r *http.Request, provider, path string) {
-	key := provider + "|" + path
-	st := p.store.Load()
-	if st != nil {
-		if e, seg, ok := st.get(key); ok {
-			if err := st.verifyAtRest(key, e, seg); err != nil {
-				seg.release()
-			} else if p.Tamper.Load() {
-				data, err := st.readVerify(key, e, seg)
-				seg.release()
-				if err == nil {
-					data = corrupt(data) // copies; the segment is untouched
-					p.servedBytes.Add(int64(len(data)))
-					p.metrics.Add("nocdn.cache.bytes.disk", float64(len(data)))
-					w.Write(data)
-					return
-				}
-			} else {
-				cw := &countingResponseWriter{ResponseWriter: w}
-				http.ServeContent(cw, r, path, time.Time{}, sectionReader(e, seg))
-				seg.release()
-				p.servedBytes.Add(cw.n)
-				p.metrics.Add("nocdn.cache.bytes.disk", float64(cw.n))
-				return
-			}
-		}
-	}
-	// The entry vanished (evicted, reclaimed, or quarantined) between the
-	// index lookup and the stream: degrade to a normal fetch, which
-	// backfills from the origin.
-	data, tier, err := p.fetch(provider, path)
-	if err != nil || data == nil {
-		if err == nil {
-			err = fmt.Errorf("nocdn: disk entry for %s unavailable", path)
-		}
-		p.metrics.Inc("nocdn.peer.proxy_errors")
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
-	}
-	if rng := r.Header.Get("Range"); rng != "" {
-		start, end, ok := parseRange(rng, len(data))
-		if !ok {
-			http.Error(w, "bad range", http.StatusRequestedRangeNotSatisfiable)
-			return
-		}
-		w.Header().Set("Content-Range",
-			fmt.Sprintf("bytes %d-%d/%d", start, end-1, len(data)))
-		data = data[start:end]
-		w.WriteHeader(http.StatusPartialContent)
-	}
-	if p.Tamper.Load() {
-		data = corrupt(data)
-	}
-	p.servedBytes.Add(int64(len(data)))
-	p.metrics.Add("nocdn.cache.bytes."+tier.label(), float64(len(data)))
-	w.Write(data)
+	p.writeOutcome(w, r, out)
 }
 
 // countingResponseWriter counts bytes written so zero-copy serves still
@@ -1021,6 +879,15 @@ func (s *shardedLRU) put(key string, data []byte) []lruEntry {
 	return evicted
 }
 
+// remove drops key from its shard (cache invalidation: no-store responses,
+// hash-epoch supersession).
+func (s *shardedLRU) remove(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.lru.remove(key)
+	sh.mu.Unlock()
+}
+
 // maxObjectBytes is the largest object the memory tier can hold (one
 // shard's full capacity); anything bigger lives only on the disk tier.
 func (s *shardedLRU) maxObjectBytes() int {
@@ -1057,6 +924,18 @@ func (c *byteLRU) get(key string) ([]byte, bool) {
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).data, true
+}
+
+// remove drops key if present (no-op otherwise).
+func (c *byteLRU) remove(key string) {
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	entry := el.Value.(*lruEntry)
+	c.order.Remove(el)
+	delete(c.items, key)
+	c.used -= len(entry.data)
 }
 
 // put stores the entry, returning the entries evicted to stay within

@@ -1,0 +1,695 @@
+package nocdn
+
+// The stateful half of the peer's HTTP caching semantics: per-entry
+// freshness metadata riding alongside both cache tiers, conditional
+// revalidation against the origin, stale-while-revalidate /
+// stale-if-error serving, Vary keying, and the X-Cache / Age headers that
+// make cache state observable from outside. See httpcache.go for the
+// directive parser and the hash-epoch freshness rule this implements.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hpop/internal/hpop"
+)
+
+// maxMetaEntries bounds the metadata sidecar. Metadata normally tracks the
+// cache tiers (whose budgets bound it), but reclaimed disk segments and
+// no-store serves can leave orphans; past the cap arbitrary entries are
+// dropped — the cost is one extra revalidation on a key's next serve.
+const maxMetaEntries = 1 << 16
+
+// entryMeta is one cache entry's HTTP metadata, captured from the origin
+// response that filled it and replayed on every serve (the no-manipulation
+// property covers headers, not just bytes). Values are immutable once
+// published: refreshes install a new copy via setMeta, so readers never
+// race writers.
+type entryMeta struct {
+	contentType string
+	etag        string
+	hash        string // hex SHA-256 of the body — the wrapper's integrity unit
+	ccRaw       string // raw Cache-Control value, replayed verbatim
+	cc          CacheControl
+	expires     time.Time // Expires fallback when Cache-Control has no TTL
+	fetchedAt   time.Time
+	// recovered marks metadata reconstructed from the disk index after a
+	// restart: the hash is trustworthy (it is the at-rest checksum) but the
+	// origin's header set is unknown, so the first serve revalidates.
+	recovered bool
+}
+
+// metaFromHeaders captures an origin response's caching metadata. bodyHash
+// is the hex SHA-256 of the (already read) body.
+func metaFromHeaders(h http.Header, bodyHash string, now time.Time) *entryMeta {
+	m := &entryMeta{
+		contentType: h.Get("Content-Type"),
+		etag:        h.Get("ETag"),
+		hash:        bodyHash,
+		ccRaw:       h.Get("Cache-Control"),
+		fetchedAt:   now,
+	}
+	if m.etag == "" {
+		m.etag = `"` + bodyHash + `"`
+	}
+	m.cc = ParseCacheControl(m.ccRaw)
+	if exp := h.Get("Expires"); exp != "" {
+		if t, err := http.ParseTime(exp); err == nil {
+			m.expires = t
+		}
+	}
+	return m
+}
+
+// refreshed returns a copy of m revalidated at now, folding in any headers
+// the 304 carried (RFC 7234 lets a 304 update stored metadata).
+func (m *entryMeta) refreshed(h http.Header, now time.Time) *entryMeta {
+	nm := *m
+	nm.fetchedAt = now
+	nm.recovered = false
+	if ct := h.Get("Content-Type"); ct != "" {
+		nm.contentType = ct
+	}
+	if cc := h.Get("Cache-Control"); cc != "" {
+		nm.ccRaw = cc
+		nm.cc = ParseCacheControl(cc)
+	}
+	if et := h.Get("ETag"); et != "" {
+		nm.etag = et
+	}
+	if exp := h.Get("Expires"); exp != "" {
+		if t, err := http.ParseTime(exp); err == nil {
+			nm.expires = t
+		}
+	}
+	return &nm
+}
+
+// ttl resolves the entry's freshness lifetime: Cache-Control (s-maxage
+// over max-age) first, the Expires header as fallback. ok is false when
+// the origin supplied no freshness information at all.
+func (m *entryMeta) ttl() (time.Duration, bool) {
+	if d, ok := m.cc.TTL(); ok {
+		return d, true
+	}
+	if !m.expires.IsZero() {
+		d := m.expires.Sub(m.fetchedAt)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// fresh reports whether the entry may be served without revalidation at
+// the given age. An origin that sent no freshness information gets the
+// pre-CDN-semantics behavior: cached forever (heuristic freshness — the
+// wrapper hash still protects loaders).
+func (m *entryMeta) fresh(age time.Duration) bool {
+	ttl, ok := m.ttl()
+	if !ok {
+		return true
+	}
+	return age <= ttl
+}
+
+// withinSWR reports whether an expired entry is inside its
+// stale-while-revalidate window.
+func (m *entryMeta) withinSWR(age time.Duration) bool {
+	ttl, ok := m.ttl()
+	return ok && m.cc.HasSWR && age <= ttl+m.cc.StaleWhileRevalidate
+}
+
+// withinSIE reports whether an expired entry is inside its stale-if-error
+// window.
+func (m *entryMeta) withinSIE(age time.Duration) bool {
+	ttl, ok := m.ttl()
+	return ok && m.cc.HasSIE && age <= ttl+m.cc.StaleIfError
+}
+
+// applyHeaders replays the entry's captured origin headers on a serve.
+func (m *entryMeta) applyHeaders(h http.Header) {
+	if m.contentType != "" {
+		h.Set("Content-Type", m.contentType)
+	}
+	if m.etag != "" {
+		h.Set("ETag", m.etag)
+	}
+	if m.ccRaw != "" {
+		h.Set("Cache-Control", m.ccRaw)
+	}
+	if !m.expires.IsZero() {
+		h.Set("Expires", m.expires.UTC().Format(http.TimeFormat))
+	}
+	if m.hash != "" {
+		h.Set(ExpectHashHeader, m.hash)
+	}
+}
+
+// serveDecision is what the semantic layer decided to do with a request
+// that found a cache entry.
+type serveDecision int
+
+const (
+	// decHit: fresh — serve as-is.
+	decHit serveDecision = iota
+	// decStaleEpoch: expired by wall clock but hash-epoch fresh (the
+	// loader's expected hash matches) — serve as STALE, no revalidation
+	// needed: the hash proves the bytes are current.
+	decStaleEpoch
+	// decStaleSWR: expired, inside stale-while-revalidate — serve STALE
+	// now and revalidate in the background.
+	decStaleSWR
+	// decRevalidate: expired (or no-cache, or recovered without headers) —
+	// confirm with the origin before serving.
+	decRevalidate
+	// decRefetch: unusable for this request (the loader's expected hash
+	// does not match) — full refetch; never serve these bytes, stale
+	// windows notwithstanding.
+	decRefetch
+)
+
+// decide classifies a cache entry against one request. expectHash is the
+// loader's wrapper hash for the object ("" for plain HTTP clients); age is
+// the entry's age at serve time.
+func decide(m *entryMeta, expectHash string, age time.Duration) serveDecision {
+	if expectHash != "" {
+		// Hash-epoch rule: the wrapper is the freshness authority for
+		// loaders. Match: fresh at any age. Mismatch: the wrapper moved on —
+		// the entry is not just stale but wrong, so refetch unconditionally.
+		if m.hash == expectHash {
+			if !m.cc.NoCache && m.fresh(age) && !m.recovered {
+				return decHit
+			}
+			return decStaleEpoch
+		}
+		return decRefetch
+	}
+	if m.recovered || m.cc.NoCache {
+		return decRevalidate
+	}
+	if m.fresh(age) {
+		return decHit
+	}
+	if m.withinSWR(age) {
+		return decStaleSWR
+	}
+	return decRevalidate
+}
+
+// ---- metadata sidecar ----
+
+// metaFor returns key's published metadata (nil when unknown).
+func (p *Peer) metaFor(key string) *entryMeta {
+	p.metaMu.RLock()
+	defer p.metaMu.RUnlock()
+	return p.meta[key]
+}
+
+// setMeta publishes metadata for key, evicting an arbitrary entry when the
+// sidecar is at its cap.
+func (p *Peer) setMeta(key string, m *entryMeta) {
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	if _, ok := p.meta[key]; !ok && len(p.meta) >= maxMetaEntries {
+		for k := range p.meta {
+			delete(p.meta, k)
+			break
+		}
+	}
+	p.meta[key] = m
+}
+
+// dropMeta forgets key's metadata.
+func (p *Peer) dropMeta(key string) {
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	delete(p.meta, key)
+}
+
+// varyNamesFor returns the header names the origin declared in Vary for
+// this base key (provider|path), recorded from its responses.
+func (p *Peer) varyNamesFor(base string) []string {
+	p.metaMu.RLock()
+	defer p.metaMu.RUnlock()
+	return p.vary[base]
+}
+
+// setVaryNames records base's Vary header-name list.
+func (p *Peer) setVaryNames(base string, names []string) {
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	if len(names) == 0 {
+		delete(p.vary, base)
+		return
+	}
+	p.vary[base] = names
+}
+
+// parseVaryNames canonicalizes a Vary header value into a sorted,
+// lower-cased name list. "*" means uncacheable-per-request; it is kept as
+// a name so varyKey makes every request its own key.
+func parseVaryNames(v string) []string {
+	var names []string
+	for _, part := range strings.Split(v, ",") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		if part != "" {
+			names = append(names, part)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// varyKey derives the secondary cache key for a request from the recorded
+// Vary names: the base key plus each varying header's request value.
+func varyKey(base string, names []string, reqHdr http.Header) string {
+	if len(names) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString("|vary")
+	for _, name := range names {
+		b.WriteByte('|')
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(reqHdr.Get(name))
+	}
+	return b.String()
+}
+
+// ---- cache lookup / fill ----
+
+// cacheGet resolves key against the memory and disk tiers without ever
+// contacting the origin. A disk hit small enough for the memory tier is
+// verified and promoted; a larger one reports tierDiskStream with no data
+// (the caller streams it straight off the segment file). No hit/miss
+// counters move here — the serve path counts once per request after it
+// knows how the request was satisfied.
+func (p *Peer) cacheGet(key string) (data []byte, tier cacheTier, ok bool) {
+	if data, ok := p.cache.get(key); ok {
+		return data, tierMem, true
+	}
+	st := p.store.Load()
+	if st == nil {
+		return nil, tierOrigin, false
+	}
+	e, seg, found := st.get(key)
+	if !found {
+		return nil, tierOrigin, false
+	}
+	if e.n > int64(p.cache.maxObjectBytes()) {
+		seg.release()
+		return nil, tierDiskStream, true
+	}
+	promoted, err := st.readVerify(key, e, seg)
+	seg.release()
+	if err != nil {
+		// Corrupt at rest: readVerify quarantined the entry; the caller
+		// sees a clean miss and refetches — corrupt bytes are never served.
+		return nil, tierOrigin, false
+	}
+	p.cachePut(key, promoted)
+	p.metrics.Inc("nocdn.cache.promotions")
+	return promoted, tierDisk, true
+}
+
+// recoveredMeta reconstructs minimal metadata for a disk entry that
+// survived a restart: the at-rest checksum gives the hash (and therefore
+// the ETag our origin derives from it), but the original header set is
+// gone, so the entry is marked recovered and revalidates before its first
+// plain-HTTP serve.
+func (p *Peer) recoveredMeta(key string) *entryMeta {
+	st := p.store.Load()
+	if st == nil {
+		return nil
+	}
+	e, seg, ok := st.get(key)
+	if !ok {
+		return nil
+	}
+	seg.release()
+	hash := fmt.Sprintf("%x", e.sum)
+	return &entryMeta{
+		hash:      hash,
+		etag:      `"` + hash + `"`,
+		fetchedAt: p.now(),
+		recovered: true,
+	}
+}
+
+// backfill fetches path from the origin and fills the cache, coalescing
+// concurrent callers per key under the flight group. Vary-named request
+// headers are forwarded so the origin sees what the variant key encodes.
+// A no-store response is served but never cached (and evicts whatever the
+// key held). Returns the body and its published metadata.
+func (p *Peer) backfill(origin, base, key, provider, path string, reqHdr http.Header) ([]byte, *entryMeta, error) {
+	expect := reqHdr.Get(ExpectHashHeader)
+	data, _, err := p.flight.do(key, func() ([]byte, cacheTier, error) {
+		// A waiter that queued behind a leader may find the cache filled —
+		// but only a copy matching the request's expected hash may satisfy
+		// it. A refetch (epoch mismatch) must never short-circuit into the
+		// very bytes it is replacing.
+		if data, ok := p.cache.get(key); ok {
+			if expect == "" {
+				return data, tierMem, nil
+			}
+			if m := p.metaFor(key); m != nil && m.hash == expect {
+				return data, tierMem, nil
+			}
+		}
+		p.originFetches.Add(1)
+		req, err := http.NewRequest(http.MethodGet, origin+"/content"+path, nil)
+		if err != nil {
+			return nil, tierOrigin, fmt.Errorf("nocdn: origin fetch: %w", err)
+		}
+		for _, name := range p.varyNamesFor(base) {
+			if v := reqHdr.Get(name); v != "" {
+				req.Header.Set(name, v)
+			}
+		}
+		resp, err := p.httpClient.Do(req)
+		if err != nil {
+			return nil, tierOrigin, fmt.Errorf("nocdn: origin fetch: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, tierOrigin, fmt.Errorf("nocdn: origin status %d for %s", resp.StatusCode, path)
+		}
+		data, err := readBodyPooled(resp)
+		if err != nil {
+			return nil, tierOrigin, err
+		}
+		m := metaFromHeaders(resp.Header, HashBytes(data), p.now())
+		if vary := resp.Header.Get("Vary"); vary != "" {
+			p.setVaryNames(base, parseVaryNames(vary))
+		}
+		p.setMeta(key, m)
+		if m.cc.NoStore {
+			// Policy says never store; also drop whatever the key held so a
+			// previously cached copy cannot outlive the policy change.
+			p.cacheRemove(key, false)
+			p.setMeta(key, m) // keep headers for this serve
+		} else {
+			p.cachePut(key, data)
+		}
+		return data, tierOrigin, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, p.metaFor(key), nil
+}
+
+// cacheRemove drops key from both tiers (and, when dropMetadata is set,
+// the metadata sidecar) — cache invalidation, distinct from quarantine.
+func (p *Peer) cacheRemove(key string, dropMetadata bool) {
+	p.cache.remove(key)
+	if st := p.store.Load(); st != nil {
+		st.remove(key)
+	}
+	if dropMetadata {
+		p.dropMeta(key)
+	}
+}
+
+// revalidate confirms a cached entry with the origin via a conditional
+// request. A 304 refreshes the metadata (notModified true, data nil); a
+// 200 replaces the entry (full body returned); anything else is an error
+// the caller may absorb with stale-if-error.
+func (p *Peer) revalidate(origin, base, key, path string, old *entryMeta, reqHdr http.Header) (data []byte, m *entryMeta, notModified bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, origin+"/content"+path, nil)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if old.etag != "" {
+		req.Header.Set("If-None-Match", old.etag)
+	}
+	for _, name := range p.varyNamesFor(base) {
+		if v := reqHdr.Get(name); v != "" {
+			req.Header.Set(name, v)
+		}
+	}
+	p.metrics.Inc("nocdn.peer.revalidations")
+	resp, err := p.httpClient.Do(req)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("nocdn: revalidate: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		nm := old.refreshed(resp.Header, p.now())
+		p.setMeta(key, nm)
+		return nil, nm, true, nil
+	case resp.StatusCode == http.StatusOK:
+		p.originFetches.Add(1)
+		body, err := readBodyPooled(resp)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		nm := metaFromHeaders(resp.Header, HashBytes(body), p.now())
+		if vary := resp.Header.Get("Vary"); vary != "" {
+			p.setVaryNames(base, parseVaryNames(vary))
+		}
+		p.setMeta(key, nm)
+		if nm.cc.NoStore {
+			p.cacheRemove(key, false)
+			p.setMeta(key, nm)
+		} else {
+			p.cachePut(key, body)
+		}
+		return body, nm, false, nil
+	default:
+		return nil, nil, false, fmt.Errorf("nocdn: revalidate status %d for %s", resp.StatusCode, path)
+	}
+}
+
+// revalidateAsync kicks one background revalidation for key (the
+// stale-while-revalidate contract: the stale serve returns immediately,
+// the refresh happens off the request path). At most one revalidation per
+// key runs at a time.
+func (p *Peer) revalidateAsync(origin, base, key, path string, old *entryMeta, reqHdr http.Header) {
+	if _, loaded := p.revalInflight.LoadOrStore(key, struct{}{}); loaded {
+		return
+	}
+	hdr := make(http.Header, len(reqHdr))
+	for _, name := range p.varyNamesFor(base) {
+		if v := reqHdr.Get(name); v != "" {
+			hdr.Set(name, v)
+		}
+	}
+	go func() {
+		defer p.revalInflight.Delete(key)
+		if _, _, _, err := p.revalidate(origin, base, key, path, old, hdr); err != nil {
+			p.metrics.Inc("nocdn.peer.revalidation_errors")
+		}
+	}()
+}
+
+// ---- the semantic serve path ----
+
+// serveOutcome is everything handleProxy needs to finish one request:
+// the body (nil for tierDiskStream — stream off the segment file), its
+// metadata, the X-Cache verdict, and the Age to report.
+type serveOutcome struct {
+	data   []byte
+	meta   *entryMeta
+	tier   cacheTier
+	xcache string
+	age    time.Duration
+}
+
+// serveObject runs the full caching state machine for one proxy request
+// and returns how it was satisfied. It never returns unverifiable bytes:
+// a hash-epoch mismatch refetches or fails, it never serves the old copy.
+func (p *Peer) serveObject(origin, provider, path string, reqHdr http.Header) (serveOutcome, error) {
+	base := provider + "|" + path
+	key := varyKey(base, p.varyNamesFor(base), reqHdr)
+	expect := reqHdr.Get(ExpectHashHeader)
+	now := p.now()
+
+	data, tier, found := p.cacheGet(key)
+	if !found {
+		return p.serveMiss(origin, base, key, provider, path, reqHdr)
+	}
+	m := p.metaFor(key)
+	if m == nil {
+		m = p.recoveredMeta(key)
+		if m == nil {
+			// The entry vanished between lookup and metadata reconstruction
+			// (reclaimed or quarantined): degrade to a clean miss.
+			return p.serveMiss(origin, base, key, provider, path, reqHdr)
+		}
+		p.setMeta(key, m)
+	}
+	age := now.Sub(m.fetchedAt)
+	if age < 0 {
+		age = 0
+	}
+	switch decide(m, expect, age) {
+	case decHit:
+		return serveOutcome{data: data, meta: m, tier: tier, xcache: XCacheHit, age: age}, nil
+	case decStaleEpoch:
+		p.metrics.Inc("nocdn.peer.stale_serves")
+		return serveOutcome{data: data, meta: m, tier: tier, xcache: XCacheStale, age: age}, nil
+	case decStaleSWR:
+		p.metrics.Inc("nocdn.peer.stale_serves")
+		p.revalidateAsync(origin, base, key, path, m, reqHdr)
+		return serveOutcome{data: data, meta: m, tier: tier, xcache: XCacheStale, age: age}, nil
+	case decRefetch:
+		// Wrong hash epoch: the cached bytes can never satisfy this loader.
+		nd, nm, err := p.backfill(origin, base, key, provider, path, reqHdr)
+		if err != nil {
+			return serveOutcome{}, err
+		}
+		return serveOutcome{data: nd, meta: nm, tier: tierOrigin, xcache: XCacheMiss}, nil
+	default: // decRevalidate
+		nd, nm, notModified, err := p.revalidate(origin, base, key, path, m, reqHdr)
+		if err != nil {
+			if expect == "" && m.withinSIE(age) {
+				// Origin down or erroring: serve the stale copy inside the
+				// granted window rather than failing the edge.
+				p.metrics.Inc("nocdn.peer.stale_serves")
+				return serveOutcome{data: data, meta: m, tier: tier, xcache: XCacheStale, age: age}, nil
+			}
+			return serveOutcome{}, err
+		}
+		if notModified {
+			return serveOutcome{data: data, meta: nm, tier: tier, xcache: XCacheRevalidated}, nil
+		}
+		return serveOutcome{data: nd, meta: nm, tier: tierOrigin, xcache: XCacheMiss}, nil
+	}
+}
+
+// serveMiss fills from the origin and reports a MISS.
+func (p *Peer) serveMiss(origin, base, key, provider, path string, reqHdr http.Header) (serveOutcome, error) {
+	data, m, err := p.backfill(origin, base, key, provider, path, reqHdr)
+	if err != nil {
+		return serveOutcome{}, err
+	}
+	// With Vary learned on this first response, the entry was stored under
+	// the pre-Vary key; subsequent requests recompute the variant key. The
+	// first requester still gets its own response — correct by construction.
+	return serveOutcome{data: data, meta: m, tier: tierOrigin, xcache: XCacheMiss}, nil
+}
+
+// writeCacheHeaders emits the observable cache state plus the entry's
+// captured origin headers.
+func writeCacheHeaders(h http.Header, out serveOutcome) {
+	if out.meta != nil {
+		out.meta.applyHeaders(h)
+	}
+	h.Set(XCacheHeader, out.xcache)
+	h.Set(AgeHeader, strconv.Itoa(int(out.age/time.Second)))
+}
+
+// xcacheLabel lowercases an X-Cache verdict for metric names.
+func xcacheLabel(v string) string { return strings.ToLower(v) }
+
+// countServe moves the per-request counters exactly once: every request is
+// either a hit (any serve out of cache: HIT, STALE, REVALIDATED) or a miss
+// (a full origin round trip fetched the body, or the request failed).
+func (p *Peer) countServe(out serveOutcome, err error, elapsed float64) {
+	if err == nil {
+		p.metrics.Inc("nocdn.peer.xcache." + xcacheLabel(out.xcache))
+	}
+	hit := err == nil && out.xcache != XCacheMiss
+	if hit {
+		p.hits.Add(1)
+		switch out.tier {
+		case tierMem:
+			p.memHits.Add(1)
+		default:
+			p.diskHits.Add(1)
+		}
+		p.metrics.Inc("nocdn.peer.hits")
+		p.metrics.Observe("nocdn.peer.hit_seconds", elapsed)
+		p.metrics.Inc("nocdn.cache.hits." + out.tier.label())
+		p.metrics.Observe("nocdn.cache.hit_seconds."+out.tier.label(), elapsed)
+		return
+	}
+	p.misses.Add(1)
+	p.metrics.Inc("nocdn.peer.misses")
+	p.metrics.Observe("nocdn.peer.miss_seconds", elapsed)
+	p.metrics.Inc("nocdn.cache.misses")
+	p.metrics.Observe("nocdn.cache.miss_seconds", elapsed)
+}
+
+// streamOutcome finishes a tierDiskStream serve: verify at rest, then hand
+// http.ServeContent an *io.SectionReader over the segment file (zero-copy,
+// Range included). Falls back to a full origin fetch when the entry
+// vanished or failed verification mid-flight.
+func (p *Peer) streamOutcome(w http.ResponseWriter, r *http.Request, sp *hpop.Span, origin, provider, path, key string, out serveOutcome) {
+	st := p.store.Load()
+	if st != nil {
+		if e, seg, ok := st.get(key); ok {
+			if err := st.verifyAtRest(key, e, seg); err != nil {
+				seg.release()
+			} else if p.Tamper.Load() {
+				data, err := st.readVerify(key, e, seg)
+				seg.release()
+				if err == nil {
+					data = corrupt(data) // copies; the segment is untouched
+					writeCacheHeaders(w.Header(), out)
+					p.servedBytes.Add(int64(len(data)))
+					p.metrics.Add("nocdn.cache.bytes.disk", float64(len(data)))
+					w.Write(data)
+					return
+				}
+			} else {
+				writeCacheHeaders(w.Header(), out)
+				cw := &countingResponseWriter{ResponseWriter: w}
+				http.ServeContent(cw, r, path, time.Time{}, sectionReader(e, seg))
+				seg.release()
+				p.servedBytes.Add(cw.n)
+				p.metrics.Add("nocdn.cache.bytes.disk", float64(cw.n))
+				return
+			}
+		}
+	}
+	// Entry gone (evicted, reclaimed, quarantined) between decision and
+	// stream: degrade to a fresh origin fetch.
+	base := provider + "|" + path
+	data, m, err := p.backfill(origin, base, key, provider, path, r.Header)
+	if err != nil {
+		p.metrics.Inc("nocdn.peer.proxy_errors")
+		sp.SetError(err)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	fallback := serveOutcome{data: data, meta: m, tier: tierOrigin, xcache: XCacheMiss}
+	p.writeOutcome(w, r, fallback)
+}
+
+// writeOutcome writes an in-memory serve: headers, optional Range slice,
+// optional tamper corruption, body.
+func (p *Peer) writeOutcome(w http.ResponseWriter, r *http.Request, out serveOutcome) {
+	writeCacheHeaders(w.Header(), out)
+	data := out.data
+	// data aliases the cache entry: it is only ever read (range slicing
+	// yields a sub-view), and the one transform below (corrupt) copies — so
+	// a cached object can never be poisoned in place.
+	if rng := r.Header.Get("Range"); rng != "" {
+		start, end, ok := parseRange(rng, len(data))
+		if !ok {
+			http.Error(w, "bad range", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		w.Header().Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", start, end-1, len(data)))
+		data = data[start:end]
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if p.Tamper.Load() {
+		data = corrupt(data) // copies; never mutates the cached slice
+	}
+	p.servedBytes.Add(int64(len(data)))
+	p.metrics.Add("nocdn.cache.bytes."+out.tier.label(), float64(len(data)))
+	w.Write(data)
+}

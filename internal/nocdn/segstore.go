@@ -373,6 +373,19 @@ func (s *segmentStore) supersedeLocked(key string, prev segEntry) {
 	delete(s.index, key)
 }
 
+// remove drops key from the index — cache invalidation (no-store policy,
+// hash-epoch supersession), distinct from quarantine: the corruption
+// counters don't move. A no-op for unknown keys.
+func (s *segmentStore) remove(key string) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok {
+		s.supersedeLocked(key, cur)
+		s.reclaimLocked()
+	}
+	s.mu.Unlock()
+	s.publishGauges()
+}
+
 // rotateLocked seals the active segment and opens a fresh one (mu held).
 func (s *segmentStore) rotateLocked() error {
 	id := s.nextID
