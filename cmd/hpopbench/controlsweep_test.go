@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestControlSweepSmoke runs a tiny sweep end-to-end and validates the JSON
+// artifact: it parses back into the schema, covers every fleet size, every
+// settlement record credits, and — the tentpole assertion — wrapper-map
+// generation never happens during the measured serving pass.
+func TestControlSweepSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_nocdn_control.json")
+	err := runControlSweep(io.Discard, []string{
+		"-peers", "50,400", "-clients", "32", "-requests", "300",
+		"-batches", "6", "-batch", "8", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res controlResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if res.Bench != "nocdn_control" {
+		t.Fatalf("bench = %q, want nocdn_control", res.Bench)
+	}
+	if len(res.Sweep) != 2 {
+		t.Fatalf("got %d sweep points, want 2", len(res.Sweep))
+	}
+	for _, pt := range res.Sweep {
+		if pt.BuildsDuringMeasure != 0 {
+			t.Errorf("%d peers: %d wrapper builds during the measured pass, want 0 (pool missed)",
+				pt.Peers, pt.BuildsDuringMeasure)
+		}
+		if pt.RecordsCredited != 6*8 {
+			t.Errorf("%d peers: credited %d records, want %d", pt.Peers, pt.RecordsCredited, 6*8)
+		}
+		if pt.WrapperServesPerSec <= 0 || pt.SettleRecordsPerSec <= 0 {
+			t.Errorf("%d peers: non-positive throughput: %+v", pt.Peers, pt)
+		}
+		if pt.Submitters <= 0 {
+			t.Errorf("%d peers: no settlement submitters harvested", pt.Peers)
+		}
+		if pt.WarmBuilds == 0 {
+			t.Errorf("%d peers: warm pass built nothing — measurement would be vacuous", pt.Peers)
+		}
+	}
+}
+
+func TestControlSweepBadPeers(t *testing.T) {
+	if err := runControlSweep(io.Discard, []string{"-peers", "100,zero"}); err == nil {
+		t.Error("bad -peers entry accepted")
+	}
+}

@@ -21,6 +21,14 @@
 // per-tier latency/throughput/hit-ratio curve to BENCH_nocdn_cache.json.
 //
 //	hpopbench cache-sweep -mem-mb 8 -disk-mb 256 -ratios 0.5,2,10
+//
+// And the origin control plane: control-sweep registers fleets from 1k to
+// 1M simulated peers, serves pooled wrappers and settles Merkle-committed
+// record batches at each size, and writes the latency/throughput curve to
+// BENCH_nocdn_control.json — asserting wrapper-map generation stays off
+// the request hot path as the fleet grows.
+//
+//	hpopbench control-sweep -peers 1000,100000,1000000
 package main
 
 import (
@@ -45,6 +53,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "cache-sweep" {
 		return runCacheSweep(os.Stdout, args[1:])
+	}
+	if len(args) > 0 && args[0] == "control-sweep" {
+		return runControlSweep(os.Stdout, args[1:])
 	}
 	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
 	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")

@@ -81,6 +81,8 @@ func run(args []string) error {
 		"peer: at-rest segment verification cadence (0 = hourly default; needs -cache-dir)")
 	originURL := fs.String("origin", "", "load: origin base URL")
 	page := fs.String("page", "index", "load: page name to fetch")
+	clientID := fs.String("client", "",
+		"load: stable client identity — the origin serves a pooled wrapper map for it (empty: per-request map)")
 	concurrency := fs.Int("concurrency", nocdn.DefaultConcurrency,
 		"load: max simultaneous object/chunk fetches (1 = serial)")
 	views := fs.Int("views", 1, "load: number of page views")
@@ -104,6 +106,12 @@ func run(args []string) error {
 		"circuit breaker: consecutive probe successes that close it again")
 	probeInterval := fs.Duration("probe-interval", 0,
 		"origin: poll every registered peer's /health on this cadence (0 = disabled)")
+	probeSample := fs.Int("probe-sample", 0,
+		"origin: probe only this many randomly sampled peers per pass (0 = full scan; pair with -gossip-interval on peers)")
+	epochTick := fs.Duration("epoch-tick", 0,
+		"origin: assignment-epoch heartbeat — refresh pooled wrapper maps on this cadence (0 = disabled)")
+	gossipInterval := fs.Duration("gossip-interval", 0,
+		"peer: probe ring neighbors and gossip their health to the first provider's origin on this cadence (0 = disabled)")
 	maxInflight := fs.Int("max-inflight", 0,
 		"peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
 	replicas := fs.Int("replicas", 0,
@@ -166,14 +174,33 @@ func run(args []string) error {
 			o.RegisterPeer(kv[0], kv[1], float64(10+i*10))
 		}
 		if *probeInterval > 0 {
+			sample := *probeSample
 			go func() {
 				ticker := time.NewTicker(*probeInterval)
 				defer ticker.Stop()
 				for range ticker.C {
-					o.ProbePeers(context.Background())
+					if sample > 0 {
+						o.ProbeSample(context.Background(), sample)
+					} else {
+						o.ProbePeers(context.Background())
+					}
 				}
 			}()
-			fmt.Printf("probing peer health every %v\n", *probeInterval)
+			if sample > 0 {
+				fmt.Printf("spot-checking %d sampled peers every %v (delegated probing)\n", sample, *probeInterval)
+			} else {
+				fmt.Printf("probing peer health every %v\n", *probeInterval)
+			}
+		}
+		if *epochTick > 0 {
+			go func() {
+				ticker := time.NewTicker(*epochTick)
+				defer ticker.Stop()
+				for range ticker.C {
+					o.EpochTick()
+				}
+			}()
+			fmt.Printf("refreshing pooled wrapper maps every %v\n", *epochTick)
 		}
 		fmt.Printf("nocdn origin %q on %s (%d peers)\n", *provider, *listen, len(peers.pairs))
 		return http.ListenAndServe(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer, health))
@@ -195,12 +222,21 @@ func run(args []string) error {
 			fmt.Printf("disk cache tier at %s (%d MB budget, %d MB segments)\n",
 				*cacheDir, *diskCacheMB, *segmentMB)
 		}
+		gossipOrigin := ""
 		for _, pair := range strings.Split(*provider, ",") {
 			kv := strings.SplitN(pair, "=", 2)
 			if len(kv) != 2 {
 				return fmt.Errorf("peer mode wants -provider name=originURL, got %q", pair)
 			}
 			p.SignUp(kv[0], kv[1])
+			if gossipOrigin == "" {
+				gossipOrigin = kv[1]
+			}
+		}
+		if *gossipInterval > 0 && gossipOrigin != "" {
+			p.StartGossip(gossipOrigin, *gossipInterval)
+			defer p.StopGossip()
+			fmt.Printf("gossiping neighbor health to %s every %v\n", gossipOrigin, *gossipInterval)
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
 		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer, health))
@@ -213,6 +249,7 @@ func run(args []string) error {
 		}
 		loader := &nocdn.Loader{
 			OriginURL:    *originURL,
+			ClientID:     *clientID,
 			Concurrency:  *concurrency,
 			FetchTimeout: *fetchTimeout,
 			Retry:        faults.Policy{MaxAttempts: *retries},

@@ -214,6 +214,46 @@ func (a *Auditor) Observe(rec UsageRecord, settleErr error, replayed bool) {
 	}
 }
 
+// FlagTampered flags a peer on direct cryptographic evidence — a sampled
+// leaf of a Merkle-committed settlement batch that failed verification. No
+// statistics are needed: the peer committed to the exact record bytes by
+// signing up to the batch root, so a non-verifying leaf cannot be transport
+// corruption. Fires OnFlag exactly like a score-based flag. Nil-receiver
+// safe.
+func (a *Auditor) FlagTampered(peerID string, cause error) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	pa := a.peers[peerID]
+	if pa == nil {
+		pa = &peerAudit{}
+		a.peers[peerID] = pa
+	}
+	already := pa.flagged
+	pa.flagged = true
+	if !already {
+		a.metrics.Inc("nocdn.audit.flagged")
+		a.metrics.Inc("nocdn.audit.tamper_flags")
+	}
+	tracer := a.tracer
+	onFlag := a.OnFlag
+	a.mu.Unlock()
+	if already {
+		return
+	}
+	sp := tracer.Start("nocdn.audit", "peer_flagged")
+	sp.SetLabel("peer", peerID)
+	sp.SetLabel("cause", "merkle_sample")
+	if cause != nil {
+		sp.SetError(cause)
+	}
+	sp.End()
+	if onFlag != nil {
+		onFlag(peerID)
+	}
+}
+
 // scoreLocked computes a peer's deviation score; a.mu must be held.
 func (a *Auditor) scoreLocked(pa *peerAudit) float64 {
 	denom := a.pop.stddev()

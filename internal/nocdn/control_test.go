@@ -1,0 +1,524 @@
+package nocdn
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/sim"
+)
+
+// controlOrigin builds an origin with content and a registered fleet, the
+// shared fixture for the pooled-assignment and batch-settlement tests.
+func controlOrigin(t *testing.T, peers int, opts ...OriginOption) *Origin {
+	t.Helper()
+	o := NewOrigin("x", append([]OriginOption{WithRNG(sim.NewRNG(7))}, opts...)...)
+	o.AddObject("/c", make([]byte, 400))
+	o.AddObject("/a", make([]byte, 300))
+	if err := o.AddPage(Page{Name: "p", Container: "/c", Embedded: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < peers; i++ {
+		o.RegisterPeer(fmt.Sprintf("peer-%02d", i), fmt.Sprintf("http://peer-%02d", i), 10)
+	}
+	return o
+}
+
+// wrapperPeers collects the distinct peer IDs a wrapper names.
+func wrapperPeers(w *Wrapper) map[string]bool {
+	out := make(map[string]bool, len(w.Keys))
+	for id := range w.Keys {
+		out[id] = true
+	}
+	return out
+}
+
+// signedRecord crafts a valid usage record under one of a wrapper's keys.
+func signedRecord(t *testing.T, w *Wrapper, peerID string, bytes int64, nonce string) UsageRecord {
+	t.Helper()
+	k, ok := w.Keys[peerID]
+	if !ok {
+		t.Fatalf("wrapper has no key for %s (has %v)", peerID, w.Keys)
+	}
+	secret, err := hex.DecodeString(k.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := UsageRecord{
+		Provider: "x", PeerID: peerID, KeyID: k.KeyID,
+		Page: "p", Bytes: bytes, Objects: 1, Nonce: nonce, IssuedAt: time.Now(),
+	}
+	r.Sign(secret)
+	return r
+}
+
+// anyPeer returns one peer a wrapper names (deterministic: smallest ID).
+func anyPeer(w *Wrapper) string {
+	best := ""
+	for id := range w.Keys {
+		if best == "" || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// TestAssignWrapperStableWithinEpoch: the same client and page hit the same
+// pooled map across requests — no rebuild, identical peer set — while every
+// serve still charges the assigned-bytes ledger.
+func TestAssignWrapperStableWithinEpoch(t *testing.T) {
+	o := controlOrigin(t, 20)
+	w1, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := o.WrapperGenerations()
+	if builds != 1 {
+		t.Fatalf("first serve took %d builds, want 1", builds)
+	}
+	peer := anyPeer(w1)
+	assignedAfterOne := o.AccountingFor(peer).AssignedBytes
+	if assignedAfterOne == 0 {
+		t.Fatal("serve did not charge assigned bytes")
+	}
+	for i := 0; i < 10; i++ {
+		w, err := o.AssignWrapper("p", "client-a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != w1 {
+			t.Fatalf("serve %d rebuilt the wrapper within the epoch", i)
+		}
+	}
+	if got := o.WrapperGenerations(); got != builds {
+		t.Fatalf("pooled serves generated wrappers: %d -> %d", builds, got)
+	}
+	// Per-serve charging: 11 serves of the same map = 11x the bytes.
+	if got := o.AccountingFor(peer).AssignedBytes; got != 11*assignedAfterOne {
+		t.Fatalf("assigned = %d after 11 serves, want %d", got, 11*assignedAfterOne)
+	}
+}
+
+// TestAssignWrapperSlotting: distinct clients spread over pool slots but
+// each client's slot is deterministic, so two requests from the same client
+// always agree even interleaved with other clients.
+func TestAssignWrapperSlotting(t *testing.T) {
+	o := controlOrigin(t, 20)
+	first := make(map[string]*Wrapper)
+	for round := 0; round < 3; round++ {
+		for c := 0; c < 40; c++ {
+			client := fmt.Sprintf("client-%d", c)
+			w, err := o.AssignWrapper("p", client)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := first[client]; ok && prev != w {
+				t.Fatalf("client %s saw two different maps within an epoch", client)
+			}
+			first[client] = w
+		}
+	}
+	if builds := o.WrapperGenerations(); builds > int64(o.poolSlots()) {
+		t.Fatalf("%d builds for %d slots — pool not bounding generation", builds, o.poolSlots())
+	}
+}
+
+// TestAssignWrapperPublishInvalidates: a publish advances the content epoch
+// and the next serve rebuilds (pooled maps are hash-epoch authorities, like
+// the legacy cache).
+func TestAssignWrapperPublishInvalidates(t *testing.T) {
+	o := controlOrigin(t, 8)
+	w1, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AddObject("/c", make([]byte, 500))
+	w2, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == w1 {
+		t.Fatal("pooled wrapper survived a publish")
+	}
+	if w2.Container.Size != 500 {
+		t.Fatalf("rebuilt wrapper container size = %d, want 500", w2.Container.Size)
+	}
+}
+
+// TestAssignWrapperEjectionPullsPeer: flagging a peer (here via tamper
+// evidence) must pull it from pooled maps on the very next serve — before
+// any epoch tick.
+func TestAssignWrapperEjectionPullsPeer(t *testing.T) {
+	o := controlOrigin(t, 10)
+	w1, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := anyPeer(w1)
+	o.Audit().FlagTampered(victim, errors.New("test evidence"))
+	if !o.AccountingFor(victim).Suspended {
+		t.Fatal("flagged peer not suspended in the ledger")
+	}
+	w2, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == w1 {
+		t.Fatal("pooled map naming an ejected peer was served again")
+	}
+	if wrapperPeers(w2)[victim] {
+		t.Fatalf("rebuilt map still names ejected peer %s", victim)
+	}
+}
+
+// TestAssignWrapperUnhealthyPeerRebuild: a health-registry failure verdict
+// (breaker open) on a pooled peer forces a rebuild excluding it — the
+// serve-time revalidation, not just build-time filtering.
+func TestAssignWrapperUnhealthyPeerRebuild(t *testing.T) {
+	h := hpop.NewHealthRegistry(hpop.BreakerConfig{MinSamples: 1, Cooldown: time.Hour})
+	o := controlOrigin(t, 10, WithHealthRegistry(h))
+	w1, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := anyPeer(w1)
+	h.RecordFailure(victim)
+	if h.Healthy(victim) {
+		t.Fatal("breaker did not open on failure (test config)")
+	}
+	w2, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == w1 || wrapperPeers(w2)[victim] {
+		t.Fatalf("unhealthy peer %s still served from the pool", victim)
+	}
+}
+
+// TestEpochTickRefreshesPool: the tick rebuilds pooled maps eagerly, so the
+// first serve after it is a pool hit (no build on the request path), and a
+// fleet change that happened between ticks is reflected.
+func TestEpochTickRefreshesPool(t *testing.T) {
+	o := controlOrigin(t, 5)
+	w1, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EpochTick()
+	builds := o.WrapperGenerations()
+	w2, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 == w1 {
+		t.Fatal("tick did not refresh the pooled map")
+	}
+	if got := o.WrapperGenerations(); got != builds {
+		t.Fatalf("serve after tick built a wrapper (%d -> %d): generation on the hot path", builds, got)
+	}
+}
+
+// TestSettleBatchCreditsAndReplays: a committed batch settles every record
+// under the sampled-verification path, accounting matches, and replaying
+// the batch (same root) or an individual nonce is rejected.
+func TestSettleBatchCreditsAndReplays(t *testing.T) {
+	o := controlOrigin(t, 4)
+	w, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	records := make([]UsageRecord, 5)
+	for i := range records {
+		records[i] = signedRecord(t, w, peer, 10+int64(i), fmt.Sprintf("n-%d", i))
+	}
+	b := NewRecordBatch(peer, records)
+	n, err := o.SettleBatch(b)
+	if err != nil || n != 5 {
+		t.Fatalf("SettleBatch = %d, %v; want 5, nil", n, err)
+	}
+	wantCredit := int64(10 + 11 + 12 + 13 + 14)
+	if got := o.AccountingFor(peer).CreditedBytes; got != wantCredit {
+		t.Fatalf("credited %d bytes, want %d", got, wantCredit)
+	}
+	// Whole-batch replay: the root nonce blocks before any record settles.
+	if n, err := o.SettleBatch(b); err == nil || n != 0 {
+		t.Fatalf("replayed batch settled %d records, err=%v", n, err)
+	}
+	if got := o.AccountingFor(peer).CreditedBytes; got != wantCredit {
+		t.Fatalf("replay moved credits to %d", got)
+	}
+	// Single-record replay inside a fresh batch: batch accepted, record not.
+	replay := []UsageRecord{
+		records[0],
+		signedRecord(t, w, peer, 20, "fresh-nonce"),
+	}
+	n, err = o.SettleBatch(NewRecordBatch(peer, replay))
+	if err != nil || n != 1 {
+		t.Fatalf("replay-containing batch = %d, %v; want 1, nil", n, err)
+	}
+	if got := o.AccountingFor(peer).CreditedBytes; got != wantCredit+20 {
+		t.Fatalf("credited %d, want %d", got, wantCredit+20)
+	}
+}
+
+// TestSettleBatchRootMismatch: tampering a record after committing to the
+// root rejects the whole batch without consuming any nonce — the same
+// records settle fine afterwards under an honest root.
+func TestSettleBatchRootMismatch(t *testing.T) {
+	o := controlOrigin(t, 4)
+	w, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	records := []UsageRecord{
+		signedRecord(t, w, peer, 30, "rm-0"),
+		signedRecord(t, w, peer, 40, "rm-1"),
+	}
+	tampered := append([]UsageRecord(nil), records...)
+	b := NewRecordBatch(peer, tampered)
+	b.Records[1].Bytes = 400000 // inflate after committing
+	n, err := o.SettleBatch(b)
+	if !errors.Is(err, ErrBadBatch) || n != 0 {
+		t.Fatalf("tampered batch = %d, %v; want 0, ErrBadBatch", n, err)
+	}
+	if got := o.AccountingFor(peer).CreditedBytes; got != 0 {
+		t.Fatalf("tampered batch credited %d bytes", got)
+	}
+	// The rejection consumed no nonces: the honest batch still settles.
+	if n, err := o.SettleBatch(NewRecordBatch(peer, records)); err != nil || n != 2 {
+		t.Fatalf("honest batch after rejection = %d, %v; want 2, nil", n, err)
+	}
+}
+
+// TestSettleBatchSampledLeafFlagsPeer: a batch whose root honestly commits
+// to a record with a bad signature is cryptographic tamper evidence — the
+// sampled leaf fails full verification, the batch is rejected, and the peer
+// is flagged in the audit snapshot and ejected from pooled maps.
+func TestSettleBatchSampledLeafFlagsPeer(t *testing.T) {
+	o := controlOrigin(t, 6)
+	w, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	records := make([]UsageRecord, 4)
+	for i := range records {
+		records[i] = signedRecord(t, w, peer, 25, fmt.Sprintf("sl-%d", i))
+		// Inflate AFTER signing, then commit to the inflated bytes: the root
+		// recomputes, but every sampled leaf's signature fails.
+		records[i].Bytes = 25000
+	}
+	n, err := o.SettleBatch(NewRecordBatch(peer, records))
+	if !errors.Is(err, ErrBadBatch) || n != 0 {
+		t.Fatalf("tampered-leaf batch = %d, %v; want 0, ErrBadBatch", n, err)
+	}
+	var row *PeerAudit
+	for _, pa := range o.Audit().Snapshot().Peers {
+		if pa.PeerID == peer {
+			row = &pa
+			break
+		}
+	}
+	if row == nil || !row.Flagged {
+		t.Fatalf("peer %s not flagged in audit snapshot: %+v", peer, row)
+	}
+	if !o.AccountingFor(peer).Suspended {
+		t.Fatal("flagged peer not suspended")
+	}
+	w2, err := o.AssignWrapper("p", "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapperPeers(w2)[peer] {
+		t.Fatalf("tamper-flagged peer %s still in pooled maps", peer)
+	}
+}
+
+// TestPerServeChargingKeepsHonestPeersUnsuspended: many clients sharing
+// pooled maps settle every view honestly; because serves charge assigned
+// bytes per serve, total credits never outrun assignments and nobody trips
+// the anomaly factor.
+func TestPerServeChargingKeepsHonestPeersUnsuspended(t *testing.T) {
+	o := controlOrigin(t, 6)
+	nonce := 0
+	for view := 0; view < 30; view++ {
+		client := fmt.Sprintf("client-%d", view%5)
+		w, err := o.AssignWrapper("p", client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var records []UsageRecord
+		for id := range w.Keys {
+			nonce++
+			records = append(records, signedRecord(t, w, id, 100, fmt.Sprintf("ps-%d", nonce)))
+		}
+		if n := o.SettleRecords(records); n != len(records) {
+			t.Fatalf("view %d: settled %d of %d", view, n, len(records))
+		}
+	}
+	for _, p := range o.Peers() {
+		acct := o.AccountingFor(p.ID)
+		if acct.Suspended {
+			t.Fatalf("honest peer %s suspended (credited %d, assigned %d)",
+				p.ID, acct.CreditedBytes, acct.AssignedBytes)
+		}
+		if acct.CreditedBytes > 0 && acct.AssignedBytes == 0 {
+			t.Fatalf("peer %s credited without assignment", p.ID)
+		}
+	}
+}
+
+// TestNeighborsAndGossip: the ring hands each peer a stable neighbor set,
+// honest gossip about a dead peer is applied after the spot-check agrees,
+// and a reporter whose claims keep contradicting direct probes is
+// quarantined.
+func TestNeighborsAndGossip(t *testing.T) {
+	h := hpop.NewHealthRegistry(hpop.BreakerConfig{MinSamples: 1, Cooldown: time.Hour})
+	o := NewOrigin("x", WithRNG(sim.NewRNG(3)), WithHealthRegistry(h))
+	o.AddObject("/c", make([]byte, 100))
+	if err := o.AddPage(Page{Name: "p", Container: "/c"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unroutable URLs: every direct probe fails fast, so "dead" is what the
+	// origin's spot-check will conclude too.
+	for i := 0; i < 8; i++ {
+		o.RegisterPeer(fmt.Sprintf("peer-%d", i), "http://127.0.0.1:1", 10)
+	}
+	nbrs := o.Neighbors("peer-0", 3)
+	if len(nbrs) != 3 {
+		t.Fatalf("Neighbors = %d peers, want 3", len(nbrs))
+	}
+	for _, nb := range nbrs {
+		if nb.ID == "peer-0" {
+			t.Fatal("peer listed as its own neighbor")
+		}
+	}
+	if again := o.Neighbors("peer-0", 3); fmt.Sprint(again) != fmt.Sprint(nbrs) {
+		t.Fatalf("neighbor set unstable: %v vs %v", nbrs, again)
+	}
+
+	// Honest report: neighbor observed dead; direct spot-check agrees
+	// (connection refused), so the observation is applied.
+	rep := GossipReport{From: "peer-0", Observations: []PeerObservation{
+		{PeerID: nbrs[0].ID, Healthy: false},
+	}}
+	if applied := o.ReportGossip(t.Context(), rep); applied != 1 {
+		t.Fatalf("honest gossip applied %d observations, want 1", applied)
+	}
+	if h.Healthy(nbrs[0].ID) {
+		t.Fatal("applied failure observation did not open the breaker")
+	}
+
+	// Lying reporter: claims a dead peer is healthy. Spot-check contradicts
+	// every report; after the mismatch limit its reports are quarantined.
+	lie := GossipReport{From: "peer-1", Observations: []PeerObservation{
+		{PeerID: nbrs[1].ID, Healthy: true, LatencySeconds: 0.001},
+	}}
+	for i := 0; i < DefaultGossipMismatchLimit; i++ {
+		if applied := o.ReportGossip(t.Context(), lie); applied != 0 {
+			t.Fatalf("contradicted report %d applied %d observations", i, applied)
+		}
+	}
+	if h.Healthy(nbrs[1].ID) != true {
+		t.Fatal("rejected gossip still moved health state")
+	}
+	// Even a now-honest report from the quarantined reporter is ignored.
+	honest := GossipReport{From: "peer-1", Observations: []PeerObservation{
+		{PeerID: nbrs[2].ID, Healthy: false},
+	}}
+	if applied := o.ReportGossip(t.Context(), honest); applied != 0 {
+		t.Fatalf("quarantined reporter's gossip applied %d observations", applied)
+	}
+}
+
+// TestConcurrentControlPlaneHammer is the -race regression for the sharded
+// refactor: settlement (legacy and batched), registration, pooled and
+// legacy wrapper serving, ticks, and accounting reads all run concurrently.
+// Before the ledger refactor, SettleRecords held the origin mutex per
+// record and raced registration for it; now every combination must be
+// race-clean and deadlock-free.
+func TestConcurrentControlPlaneHammer(t *testing.T) {
+	o := controlOrigin(t, 8)
+	const (
+		settlers   = 4
+		registrars = 2
+		servers    = 4
+		rounds     = 50
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Settlers: half legacy uploads, half Merkle batches, with valid and
+	// garbage records mixed in.
+	for s := 0; s < settlers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			<-start
+			client := fmt.Sprintf("hammer-client-%d", s)
+			for i := 0; i < rounds; i++ {
+				w, err := o.AssignWrapper("p", client)
+				if err != nil {
+					continue
+				}
+				peer := anyPeer(w)
+				rec := signedRecord(t, w, peer, 50, fmt.Sprintf("h-%d-%d", s, i))
+				bad := rec
+				bad.Bytes = 1 << 40 // implausible: always rejected
+				if i%2 == 0 {
+					o.SettleRecords([]UsageRecord{rec, bad})
+				} else {
+					o.SettleBatch(NewRecordBatch(peer, []UsageRecord{rec}))
+				}
+			}
+		}(s)
+	}
+	// Registrars: continuous fleet churn (re-registration updates in place,
+	// fresh IDs grow the ring) racing settlement for the shards.
+	for r := 0; r < registrars; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				o.RegisterPeer(fmt.Sprintf("churn-%d-%d", r, i%10), "http://churn", 5)
+				o.AccountingFor(fmt.Sprintf("churn-%d-%d", r, i%10))
+			}
+		}(r)
+	}
+	// Servers: pooled and legacy wrapper paths, plus ticks.
+	for v := 0; v < servers; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				if v == 0 && i%10 == 9 {
+					o.EpochTick()
+					continue
+				}
+				if v%2 == 0 {
+					o.AssignWrapper("p", fmt.Sprintf("hammer-viewer-%d-%d", v, i%7))
+				} else {
+					o.GenerateWrapper("p")
+				}
+			}
+		}(v)
+	}
+	close(start)
+	wg.Wait()
+
+	// Sanity after the storm: ledger rows are internally consistent.
+	for _, p := range o.Peers() {
+		acct := o.AccountingFor(p.ID)
+		if acct.CreditedBytes < 0 || acct.AssignedBytes < 0 || acct.Rejected < 0 {
+			t.Fatalf("negative ledger row for %s: %+v", p.ID, acct)
+		}
+	}
+}

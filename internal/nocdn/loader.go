@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime/pprof"
 	"sort"
 	"sync"
@@ -44,6 +45,11 @@ const DefaultFetchTimeout = 15 * time.Second
 type Loader struct {
 	// OriginURL is the content provider's base URL.
 	OriginURL string
+	// ClientID, when set, identifies this client to the origin's wrapper
+	// endpoint, opting into the pooled consistent-hash assignment path:
+	// the same client keeps hitting the same precomputed peer map within
+	// an epoch. Empty keeps the legacy per-request wrapper.
+	ClientID string
 	// HTTPClient, when set, is used as-is. When nil a client with
 	// FetchTimeout is built lazily (the previous default —
 	// http.DefaultClient — is unbounded and unsafe against stalled peers).
@@ -233,7 +239,11 @@ func (l *Loader) fetchWrapper(ctx context.Context, parent *hpop.Span, page strin
 	sp := parent.Child("fetch_wrapper")
 	sp.SetLabel("page", page)
 	defer sp.End()
-	data, err := l.fetchBytes(ctx, http.MethodGet, l.OriginURL+"/wrapper?page="+page, traceHeader(sp, nil), nil, statusOK)
+	wurl := l.OriginURL + "/wrapper?page=" + page
+	if l.ClientID != "" {
+		wurl += "&client=" + url.QueryEscape(l.ClientID)
+	}
+	data, err := l.fetchBytes(ctx, http.MethodGet, wurl, traceHeader(sp, nil), nil, statusOK)
 	if err != nil {
 		sp.SetError(err)
 		return nil, fmt.Errorf("nocdn: wrapper fetch: %w", err)

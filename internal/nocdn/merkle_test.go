@@ -1,0 +1,213 @@
+package nocdn
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"hpop/internal/sim"
+)
+
+func randomLeaves(rng *sim.RNG, n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		b := make([]byte, 1+rng.Intn(64))
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		leaves[i] = b
+	}
+	return leaves
+}
+
+// TestMerkleRootRecomputation: the root is a deterministic function of the
+// leaf sequence, and any single-leaf change, reorder, or truncation moves it.
+func TestMerkleRootRecomputation(t *testing.T) {
+	rng := sim.NewRNG(42)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100} {
+		leaves := randomLeaves(rng, n)
+		root := MerkleRoot(leaves)
+		if again := MerkleRoot(leaves); again != root {
+			t.Fatalf("n=%d: root not deterministic: %s vs %s", n, root, again)
+		}
+		copied := make([][]byte, n)
+		for i, l := range leaves {
+			copied[i] = append([]byte(nil), l...)
+		}
+		if MerkleRoot(copied) != root {
+			t.Fatalf("n=%d: root depends on backing arrays, not content", n)
+		}
+		// Tamper one random leaf.
+		i := rng.Intn(n)
+		tampered := make([][]byte, n)
+		copy(tampered, leaves)
+		tampered[i] = append(append([]byte(nil), leaves[i]...), 0x01)
+		if MerkleRoot(tampered) == root {
+			t.Fatalf("n=%d: tampering leaf %d did not change the root", n, i)
+		}
+		if n > 1 {
+			swapped := make([][]byte, n)
+			copy(swapped, leaves)
+			j := (i + 1) % n
+			if !bytes.Equal(swapped[i], swapped[j]) {
+				swapped[i], swapped[j] = swapped[j], swapped[i]
+				if MerkleRoot(swapped) == root {
+					t.Fatalf("n=%d: reordering leaves did not change the root", n)
+				}
+			}
+			if MerkleRoot(leaves[:n-1]) == root {
+				t.Fatalf("n=%d: truncating did not change the root", n)
+			}
+		}
+	}
+	if MerkleRoot(nil) != MerkleRoot([][]byte{}) {
+		t.Fatal("empty roots disagree")
+	}
+	if MerkleRoot(nil) == MerkleRoot([][]byte{{}}) {
+		t.Fatal("empty tree collides with single empty leaf")
+	}
+}
+
+// TestMerkleProofs: every leaf of trees of awkward sizes proves inclusion,
+// and a tampered leaf fails against every proof.
+func TestMerkleProofs(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 31} {
+		leaves := randomLeaves(rng, n)
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			proof, err := BuildMerkleProof(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !VerifyMerkleProof(leaves[i], proof, root) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			bad := append(append([]byte(nil), leaves[i]...), 0xFF)
+			if VerifyMerkleProof(bad, proof, root) {
+				t.Fatalf("n=%d i=%d: tampered leaf accepted", n, i)
+			}
+			if n > 1 {
+				j := (i + 1) % n
+				if !bytes.Equal(leaves[j], leaves[i]) {
+					if VerifyMerkleProof(leaves[j], proof, root) {
+						t.Fatalf("n=%d: leaf %d accepted under leaf %d's proof", n, j, i)
+					}
+				}
+			}
+			// Trailing path garbage is not a valid proof.
+			padded := proof
+			extra := hexEncode(make([]byte, 32))
+			padded.Path = append(append([]string(nil), proof.Path...), extra)
+			if VerifyMerkleProof(leaves[i], padded, root) {
+				t.Fatalf("n=%d i=%d: padded path accepted", n, i)
+			}
+		}
+		if _, err := BuildMerkleProof(leaves, n); err == nil {
+			t.Fatalf("n=%d: out-of-range index built a proof", n)
+		}
+		if _, err := BuildMerkleProof(leaves, -1); err == nil {
+			t.Fatal("negative index built a proof")
+		}
+	}
+}
+
+// TestRecordBatchCommitment: the wire shape round-trips and the root
+// commits to both the claims and their signatures.
+func TestRecordBatchCommitment(t *testing.T) {
+	secret := []byte("batch-secret")
+	records := make([]UsageRecord, 5)
+	for i := range records {
+		records[i] = UsageRecord{
+			Provider: "example.com",
+			PeerID:   "peer-1",
+			KeyID:    fmt.Sprintf("key-%d", i),
+			Page:     "index",
+			Bytes:    int64(1000 + i),
+			Objects:  3,
+			Nonce:    fmt.Sprintf("nonce-%d", i),
+			IssuedAt: time.Unix(1700000000, 0).UTC(),
+		}
+		records[i].Sign(secret)
+	}
+	b := NewRecordBatch("peer-1", records)
+	enc, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Root != b.Root || dec.PeerID != b.PeerID || len(dec.Records) != len(b.Records) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", dec, b)
+	}
+	leaves := make([][]byte, len(dec.Records))
+	for i := range dec.Records {
+		leaves[i] = dec.Records[i].LeafBytes()
+	}
+	if MerkleRoot(leaves) != dec.Root {
+		t.Fatal("decoded batch root does not recompute")
+	}
+	// Inflating a claim after committing breaks the root.
+	dec.Records[2].Bytes *= 2
+	leaves[2] = dec.Records[2].LeafBytes()
+	if MerkleRoot(leaves) == dec.Root {
+		t.Fatal("inflated record did not change the root")
+	}
+	// So does stripping a signature.
+	dec2, _ := DecodeBatch(enc)
+	dec2.Records[1].Signature = ""
+	leaves2 := make([][]byte, len(dec2.Records))
+	for i := range dec2.Records {
+		leaves2[i] = dec2.Records[i].LeafBytes()
+	}
+	if MerkleRoot(leaves2) == dec2.Root {
+		t.Fatal("stripped signature did not change the root")
+	}
+}
+
+// FuzzMerkleProof: Verify must never panic on arbitrary proofs and never
+// accept a forged one.
+func FuzzMerkleProof(f *testing.F) {
+	f.Add([]byte("seed data"), uint8(4), uint8(1), []byte("junk"))
+	f.Add([]byte{}, uint8(0), uint8(0), []byte{})
+	f.Add([]byte{0xff}, uint8(255), uint8(200), []byte{0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte, nRaw, idxRaw uint8, junk []byte) {
+		n := int(nRaw)%32 + 1
+		leaves := make([][]byte, n)
+		for i := range leaves {
+			leaves[i] = append(append([]byte(nil), data...), byte(i))
+		}
+		root := MerkleRoot(leaves)
+		i := int(idxRaw) % n
+		proof, err := BuildMerkleProof(leaves, i)
+		if err != nil {
+			t.Fatalf("building valid proof: %v", err)
+		}
+		if !VerifyMerkleProof(leaves[i], proof, root) {
+			t.Fatal("valid proof rejected")
+		}
+		// Forged leaf content must never verify (distinct by construction:
+		// every real leaf ends with its index byte after the same prefix).
+		forged := append(append([]byte(nil), data...), junk...)
+		forged = append(forged, 0xA5, byte(i))
+		if !bytes.Equal(forged, leaves[i]) && VerifyMerkleProof(forged, proof, root) {
+			t.Fatal("forged leaf accepted")
+		}
+		// Mangled proofs must not panic, and junk siblings must not verify.
+		mangled := proof
+		mangled.Path = append([]string{string(junk)}, proof.Path...)
+		if VerifyMerkleProof(leaves[i], mangled, root) {
+			t.Fatal("proof with junk sibling prefix accepted")
+		}
+		wild := MerkleProof{Index: int(idxRaw) - 128, Leaves: int(nRaw) - 64, Path: []string{string(junk), string(data)}}
+		VerifyMerkleProof(leaves[i], wild, root)             // must not panic
+		VerifyMerkleProof(junk, proof, string(data))         // must not panic
+		VerifyMerkleProof(nil, MerkleProof{}, "")            // must not panic
+		if VerifyMerkleProof(leaves[i], proof, string(junk)) {
+			t.Fatal("proof accepted under junk root")
+		}
+	})
+}

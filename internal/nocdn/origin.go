@@ -8,6 +8,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,18 +20,35 @@ import (
 	"hpop/internal/sim"
 )
 
+// Control-plane defaults.
+const (
+	// DefaultSettleSampleK is how many leaves of a Merkle-committed
+	// settlement batch get full signature verification. Batches at or below
+	// this size are fully verified; above it, verification cost is
+	// O(batches·K) instead of O(records) while the root commitment keeps any
+	// tampering detectable (and sampled, it is caught with probability
+	// 1-(1-f)^K for tamper fraction f).
+	DefaultSettleSampleK = 16
+	// DefaultGossipMismatchLimit is how many failed spot-checks a gossip
+	// reporter gets before its reports are quarantined (ignored).
+	DefaultGossipMismatchLimit = 3
+)
+
 // Origin is a content provider using NoCDN. It owns the content, generates
 // wrapper pages, and settles usage records.
 //
-// Locking is split by role so the three request classes never serialize
-// against each other: contentMu (RWMutex) guards the published objects and
-// pages, mu guards the peer registry and settlement ledger, and the byte
-// counters are atomics. Content serving takes only a read lock; wrapper
-// generation and record settlement contend only on the ledger.
+// Locking is split by role so the request classes never serialize against
+// each other: contentMu (RWMutex) guards the published objects and pages;
+// the peer directory lives in an RWMutex'd registry; the settlement ledger
+// and short-term key table are sharded 32 ways by hash with per-shard locks
+// (settlement for disjoint peers never contends); client→peer assignment
+// reads a consistent-hash ring; and the byte counters are atomics. The only
+// origin-wide mutex left (selMu) guards the legacy randomized wrapper build
+// path and its cache.
 type Origin struct {
 	// Provider is the site identity peers virtual-host under.
 	Provider string
-	// Policy selects peers for objects.
+	// Policy selects peers for objects (legacy randomized wrapper path).
 	Policy SelectionPolicy
 	// ChunkPeers > 1 splits large objects into that many ranges served by
 	// disparate peers ("Leveraging Redundancy").
@@ -54,6 +72,18 @@ type Origin struct {
 	// the cached wrapper regardless of TTL: the wrapper is the hash-epoch
 	// authority, so it must never advertise hashes of superseded bytes.
 	WrapperTTL time.Duration
+	// PoolSlots is how many precomputed wrapper variants the pool keeps per
+	// page (default 16). Clients hash onto a slot, so one page's load
+	// spreads over PoolSlots distinct peer maps while any one client sees a
+	// stable map.
+	PoolSlots int
+	// RingVnodes is the virtual-node count per peer on the assignment ring
+	// (default DefaultRingVnodes).
+	RingVnodes int
+	// SettleSampleK overrides DefaultSettleSampleK when > 0.
+	SettleSampleK int
+	// GossipMismatchLimit overrides DefaultGossipMismatchLimit when > 0.
+	GossipMismatchLimit int
 
 	// ObjectMaxAge, StaleWhileRevalidate, and StaleIfError shape the
 	// Cache-Control policy /content emits (see WithCachePolicy). NewOrigin
@@ -81,8 +111,6 @@ type Origin struct {
 	// unhealthy peers from new peer maps (with hysteresis — readmission goes
 	// through the breaker's half-open probe cycle, never a single success).
 	health *hpop.HealthRegistry
-	// probeClient issues peer health probes (bounded; lazily built).
-	probeClient *http.Client
 
 	// contentMu guards the published catalog (objects, pages) and the
 	// per-object header overrides. The serving hot path takes only the read
@@ -93,34 +121,47 @@ type Origin struct {
 	pages      map[string]*Page
 	objHeaders map[string]http.Header
 
-	// contentEpoch advances on every publish. The wrapper cache records the
-	// epoch it was built under, so a publish invalidates cached wrappers
+	// contentEpoch advances on every publish. Cached and pooled wrappers
+	// record the epoch they were built under, so a publish invalidates them
 	// immediately even inside WrapperTTL (hash-epoch-aware expiry).
 	contentEpoch atomic.Int64
+	// assignEpoch advances whenever the assignable peer set changes
+	// (registration, ejection, readmission, anomaly suspension) and on
+	// every EpochTick. Pooled wrapper maps are valid for one assignEpoch.
+	assignEpoch atomic.Int64
 
-	// mu guards the peer registry, selection state, key bookkeeping, the
-	// settlement ledger, and the wrapper cache.
-	mu     sync.Mutex
-	peers  []*PeerInfo
+	// registry is the peer directory (static ID/URL/RTT rows); ledger is
+	// the sharded settlement state; ring is the consistent-hash
+	// client→peer assignment structure; pool holds precomputed wrapper maps.
+	registry *registry
+	ledger   *ledger
+	ring     *hashRing
+	pool     *wrapperPool
+
 	keys   *auth.KeyIssuer  // internally locked
 	nonces *auth.NonceCache // internally locked
-	rng    *sim.RNG
 	now    func() time.Time
 
+	// selMu guards the legacy wrapper build path: the selection RNG and the
+	// per-page wrapper cache.
+	selMu        sync.Mutex
+	rng          *sim.RNG
 	wrapperCache map[string]cachedWrapper
-	// probeHealthy is each peer's health verdict as of the last probe pass,
-	// so ProbePeers can detect ejection/readmission transitions.
-	probeHealthy map[string]bool
-	// wrapperGenerations counts actual wrapper builds (vs serves) for the
-	// reuse experiment.
-	wrapperGenerations atomic.Int64
 
-	// accounting (under mu)
-	credited map[string]int64  // peerID -> bytes credited (payable)
-	assigned map[string]int64  // peerID -> bytes the origin expected to flow
-	rejected map[string]int64  // peerID -> rejected record count
-	keyPeer  map[string]string // keyID -> peerID the key was issued for
-	keyBytes map[string]int64  // keyID -> bytes assigned under that key
+	// probeMu guards probe bookkeeping: the per-peer health verdict as of
+	// the last probe pass (so transitions are detected) and the lazy client.
+	probeMu      sync.Mutex
+	probeHealthy map[string]bool
+	probeClient  *http.Client
+
+	// gossipMu guards delegated-probing trust state: spot-check mismatch
+	// counts per reporter.
+	gossipMu       sync.Mutex
+	gossipMismatch map[string]int
+
+	// wrapperGenerations counts actual wrapper builds (vs serves) for the
+	// reuse experiment and the control-plane sweep's hot-path assertion.
+	wrapperGenerations atomic.Int64
 
 	// served tracks origin bytes out (wrapper + cache-miss backfill), the
 	// scalability metric E4 reports. Atomic so serving never takes a lock.
@@ -221,10 +262,8 @@ func (o *Origin) Audit() *Auditor { return o.audit }
 // Already registered peers are enrolled so their breaker gauges export.
 func (o *Origin) SetHealthRegistry(h *hpop.HealthRegistry) {
 	o.health = h
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	for _, p := range o.peers {
-		h.Register(p.ID)
+	for _, p := range o.registry.snapshot() {
+		h.Register(p.id)
 	}
 }
 
@@ -254,13 +293,12 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 		StaleIfError:         DefaultStaleIfError,
 		rng:                  sim.NewRNG(1),
 		now:                  time.Now,
-		credited:             make(map[string]int64),
-		assigned:             make(map[string]int64),
-		rejected:             make(map[string]int64),
-		keyPeer:              make(map[string]string),
-		keyBytes:             make(map[string]int64),
+		registry:             newRegistry(),
+		ledger:               newLedger(),
 		wrapperCache:         make(map[string]cachedWrapper),
 		probeHealthy:         make(map[string]bool),
+		gossipMismatch:       make(map[string]int),
+		pool:                 newWrapperPool(),
 		audit:                NewAuditor(),
 	}
 	// An audit flag ejects the peer from future wrapper maps immediately.
@@ -268,6 +306,7 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 	for _, fn := range opts {
 		fn(o)
 	}
+	o.ring = newRing(o.RingVnodes)
 	o.keys = auth.NewKeyIssuer(10*time.Minute, o.now)
 	o.nonces = auth.NewNonceCache(time.Hour, o.now)
 	return o
@@ -341,44 +380,61 @@ func (o *Origin) AddPage(p Page) error {
 	return nil
 }
 
-// RegisterPeer recruits a peer.
+// RegisterPeer recruits a peer: directory row, health enrollment, and a set
+// of virtual nodes on the assignment ring. Fleet changes advance the
+// assignment epoch so pooled wrapper maps refresh to include (or drop) the
+// peer on their next serve.
 func (o *Origin) RegisterPeer(id, url string, rttMillis float64) {
 	o.health.Register(id)
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.peers = append(o.peers, &PeerInfo{ID: id, URL: url, RTTMillis: rttMillis})
+	o.registry.add(id, url, rttMillis)
+	o.ring.add(id)
+	o.assignEpoch.Add(1)
+}
+
+// peerSnapshot materializes the legacy []*PeerInfo view: directory rows
+// with the mutable Assigned/Suspended state filled from the ledger.
+func (o *Origin) peerSnapshot() []*PeerInfo {
+	static := o.registry.snapshot()
+	out := make([]*PeerInfo, len(static))
+	for i, p := range static {
+		out[i] = &PeerInfo{
+			ID:        p.id,
+			URL:       p.url,
+			RTTMillis: p.rtt,
+			Assigned:  int(o.ledger.assignedCount(p.id)),
+			Suspended: o.ledger.isSuspended(p.id),
+		}
+	}
+	return out
 }
 
 // Peers returns a snapshot of the registry.
 func (o *Origin) Peers() []PeerInfo {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	out := make([]PeerInfo, len(o.peers))
-	for i, p := range o.peers {
+	ptrs := o.peerSnapshot()
+	out := make([]PeerInfo, len(ptrs))
+	for i, p := range ptrs {
 		out[i] = *p
 	}
 	return out
 }
 
 // refMeta is the publish-time object metadata wrapper generation needs —
-// snapshotted under the content read lock so generation itself holds only
-// the ledger lock.
+// snapshotted under the content read lock so generation itself never holds
+// the content lock.
 type refMeta struct {
 	hash string
 	size int
 }
 
-// GenerateWrapper builds the wrapper page for one page view: peer
-// assignments, hashes, per-peer short-term keys, and a nonce. With
-// WrapperTTL set, an unexpired previously built wrapper is reused instead.
-func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
-	// Snapshot the page layout and object metadata under the content read
-	// lock; concurrent content serving is unaffected.
+// pageMeta snapshots one page's layout and object metadata under the
+// content read lock: the ordered paths (container first) and each object's
+// publish-time hash and size.
+func (o *Origin) pageMeta(page string) ([]string, map[string]refMeta, error) {
 	o.contentMu.RLock()
+	defer o.contentMu.RUnlock()
 	p, ok := o.pages[page]
 	if !ok {
-		o.contentMu.RUnlock()
-		return nil, ErrUnknownPage
+		return nil, nil, ErrUnknownPage
 	}
 	paths := append([]string{p.Container}, p.Embedded...)
 	meta := make(map[string]refMeta, len(paths))
@@ -386,11 +442,25 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		obj := o.objects[path]
 		meta[path] = refMeta{hash: obj.Hash, size: len(obj.Data)}
 	}
-	o.contentMu.RUnlock()
+	return paths, meta, nil
+}
+
+// GenerateWrapper builds the wrapper page for one page view: peer
+// assignments, hashes, per-peer short-term keys, and a nonce. With
+// WrapperTTL set, an unexpired previously built wrapper is reused instead.
+//
+// This is the legacy randomized path (policy-ranked, fresh selection per
+// build). AssignWrapper is the pooled consistent-hash path; /wrapper routes
+// to it when the client identifies itself.
+func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
+	paths, meta, err := o.pageMeta(page)
+	if err != nil {
+		return nil, err
+	}
 
 	epoch := o.contentEpoch.Load()
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.selMu.Lock()
+	defer o.selMu.Unlock()
 	if o.WrapperTTL > 0 {
 		// Reuse demands both an unexpired TTL and an unchanged content
 		// epoch: a publish inside the TTL window supersedes object hashes,
@@ -406,7 +476,7 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 	defer func() {
 		o.metrics.Observe("nocdn.origin.wrapper_seconds", time.Since(buildStart).Seconds())
 	}()
-	ranked := rank(o.peers, o.Policy, o.rng.Float64)
+	ranked := rank(o.peerSnapshot(), o.Policy, o.rng.Float64)
 	if len(ranked) == 0 {
 		return nil, ErrNoPeers
 	}
@@ -436,6 +506,7 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		IssuedAt: o.now(),
 		Loader:   "loader-v1",
 	}
+	var charges []charge
 	next := 0
 	pick := func() *PeerInfo {
 		peer := ranked[next%len(ranked)]
@@ -447,11 +518,11 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		if _, ok := w.Keys[peer.ID]; !ok {
 			k := o.keys.Issue(peer.ID)
 			w.Keys[peer.ID] = PeerKey{KeyID: k.ID, Secret: hexEncode(k.Secret)}
-			o.keyPeer[k.ID] = peer.ID
+			o.ledger.issueKey(k.ID, peer.ID)
 		}
 		kid := w.Keys[peer.ID].KeyID
-		o.keyBytes[kid] += int64(size)
-		o.assigned[peer.ID] += int64(size)
+		o.ledger.addKeyBytes(kid, int64(size))
+		charges = append(charges, charge{peerID: peer.ID, bytes: int64(size)})
 	}
 	makeRef := func(path string) ObjectRef {
 		m := meta[path]
@@ -480,8 +551,8 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		ensureKey(peer, m.size)
 		ref.PeerID = peer.ID
 		ref.PeerURL = peer.URL
-		// Replicas: the next distinct peers in the ring. Each gets a key and
-		// a byte assignment too, so a failover serve settles exactly.
+		// Replicas: the next distinct peers in the ranking. Each gets a key
+		// and a byte assignment too, so a failover serve settles exactly.
 		if o.Replicas > 0 && len(ranked) > 1 {
 			seen := map[string]bool{peer.ID: true}
 			for i := 0; len(ref.Replicas) < o.Replicas && i < len(ranked); i++ {
@@ -490,17 +561,17 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 					continue
 				}
 				seen[rp.ID] = true
-				rp.Assigned++
 				ensureKey(rp, m.size)
 				ref.Replicas = append(ref.Replicas, PeerRef{PeerID: rp.ID, PeerURL: rp.URL})
 			}
 		}
 		return ref
 	}
-	w.Container = makeRef(p.Container)
-	for _, e := range p.Embedded {
+	w.Container = makeRef(paths[0])
+	for _, e := range paths[1:] {
 		w.Objects = append(w.Objects, makeRef(e))
 	}
+	o.ledger.assignCharges(charges)
 	if o.WrapperTTL > 0 {
 		o.wrapperCache[page] = cachedWrapper{wrapper: w, builtAt: o.now(), epoch: epoch}
 	}
@@ -508,12 +579,30 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 }
 
 // WrapperGenerations returns how many wrappers were actually built (reused
-// serves do not count) — the savings metric for wrapper reuse.
+// and pooled serves do not count) — the savings metric for wrapper reuse
+// and the control-plane sweep's hot-path assertion.
 func (o *Origin) WrapperGenerations() int64 {
 	return o.wrapperGenerations.Load()
 }
 
 func hexEncode(b []byte) string { return fmt.Sprintf("%x", b) }
+
+// randIntn draws from the origin's deterministic RNG under the selection
+// lock (probe sampling and gossip spot-checks share it).
+func (o *Origin) randIntn(n int) int {
+	o.selMu.Lock()
+	defer o.selMu.Unlock()
+	return o.rng.Intn(n)
+}
+
+// invalidateWrappers drops every cached legacy wrapper and advances the
+// assignment epoch so pooled maps rebuild on their next serve.
+func (o *Origin) invalidateWrappers() {
+	o.selMu.Lock()
+	o.wrapperCache = make(map[string]cachedWrapper)
+	o.selMu.Unlock()
+	o.assignEpoch.Add(1)
+}
 
 // etagMatches implements the If-None-Match comparison: "*" matches any
 // representation, otherwise each listed (possibly W/-prefixed) tag is
@@ -532,6 +621,8 @@ func etagMatches(ifNoneMatch, etag string) bool {
 	return false
 }
 
+// ---- settlement ----
+
 // SettleRecords processes a batch of uploaded usage records from one peer.
 // Each record must carry a valid signature under a key this origin issued
 // for that peer, a fresh nonce, and a plausible byte count. It returns how
@@ -540,17 +631,23 @@ func (o *Origin) SettleRecords(records []UsageRecord) int {
 	return o.settleBatch(hpop.TraceContext{}, records)
 }
 
-// settleBatch settles one upload. The batch span continues the uploading
-// peer's flush trace (parent, from the request's traceparent header); each
-// per-record span continues the page view's trace via the traceparent the
-// loader embedded (and signed) in the record — if that is absent or
-// malformed, the record span falls back to a child of the batch span.
+// settleBatch settles one legacy (uncommitted) upload. Verification runs
+// per record, but the ledger writes are accumulated and applied once per
+// involved shard at the end — the ledger lock is no longer taken per
+// record. The batch span continues the uploading peer's flush trace
+// (parent, from the request's traceparent header); each per-record span
+// continues the page view's trace via the traceparent the loader embedded
+// (and signed) in the record — if that is absent or malformed, the record
+// span falls back to a child of the batch span.
 func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) int {
 	sp := o.tracer.StartRemote("nocdn.origin", "settle_records", parent)
 	sp.SetLabel("records", strconv.Itoa(len(records)))
 	defer sp.End()
 	start := time.Now()
 	credited := 0
+	creditDeltas := make(map[string]int64)
+	rejectCounts := make(map[string]int64)
+	involved := make(map[string]struct{})
 	for _, r := range records {
 		var rsp *hpop.Span
 		if rtc, perr := hpop.ParseTraceparent(r.Traceparent); perr == nil {
@@ -562,24 +659,28 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
 		err := o.settleOne(r)
 		o.audit.Observe(r, err, errors.Is(err, auth.ErrReplayed))
+		involved[r.PeerID] = struct{}{}
 		if err != nil {
-			o.mu.Lock()
-			o.rejected[r.PeerID]++
-			o.mu.Unlock()
+			rejectCounts[r.PeerID]++
 			o.metrics.Inc("nocdn.origin.records_rejected")
 			rsp.SetError(err)
 			rsp.End()
 			continue
 		}
+		creditDeltas[r.PeerID] += r.Bytes
 		rsp.End()
 		credited++
 	}
+	o.ledger.creditBatch(creditDeltas)
+	o.ledger.rejectBatch(rejectCounts)
 	sp.SetLabel("credited", strconv.Itoa(credited))
-	o.detectAnomalies()
+	o.suspendAnomalous(involved)
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited
 }
 
+// settleOne fully verifies one record (signature included) and consumes its
+// nonce. It does NOT write credits — callers batch those per shard.
 func (o *Origin) settleOne(r UsageRecord) error {
 	if r.Provider != o.Provider {
 		return ErrBadRecord
@@ -588,10 +689,7 @@ func (o *Origin) settleOne(r UsageRecord) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRecord, err)
 	}
-	o.mu.Lock()
-	issuedFor := o.keyPeer[r.KeyID]
-	maxBytes := o.keyBytes[r.KeyID]
-	o.mu.Unlock()
+	issuedFor, maxBytes, _ := o.ledger.keyInfo(r.KeyID)
 	if issuedFor != r.PeerID {
 		return fmt.Errorf("%w: key issued for different peer", ErrBadRecord)
 	}
@@ -608,92 +706,318 @@ func (o *Origin) settleOne(r UsageRecord) error {
 		// separately from other rejections — the audit pipeline counts them.
 		return fmt.Errorf("%w: %w", ErrBadRecord, err)
 	}
-	o.mu.Lock()
-	o.credited[r.PeerID] += r.Bytes
-	o.mu.Unlock()
 	return nil
+}
+
+// commitRecord runs the cheap (non-cryptographic) settlement checks for one
+// record inside an accepted Merkle batch and consumes its nonce. Signature
+// verification is what sampling elides: the batch root committed the peer
+// to these exact bytes, and the sampled leaves' signatures all verified.
+func (o *Origin) commitRecord(r UsageRecord, batchPeer string) error {
+	if r.Provider != o.Provider {
+		return ErrBadRecord
+	}
+	if r.PeerID != batchPeer {
+		return fmt.Errorf("%w: record peer %q in batch from %q", ErrBadRecord, r.PeerID, batchPeer)
+	}
+	if _, err := o.keys.Lookup(r.KeyID); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	issuedFor, maxBytes, _ := o.ledger.keyInfo(r.KeyID)
+	if issuedFor != r.PeerID {
+		return fmt.Errorf("%w: key issued for different peer", ErrBadRecord)
+	}
+	if r.Bytes < 0 || r.Bytes > maxBytes {
+		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
+	}
+	if err := o.nonces.Use(r.KeyID + "|" + r.Nonce); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadRecord, err)
+	}
+	return nil
+}
+
+// verifyRecordFull is the sampled-leaf check: everything settleOne verifies
+// except the nonce (nonces are only consumed once the whole batch is
+// accepted, so a rejected batch leaves settlement state untouched).
+func (o *Origin) verifyRecordFull(r UsageRecord, batchPeer string) error {
+	if r.Provider != o.Provider {
+		return ErrBadRecord
+	}
+	if r.PeerID != batchPeer {
+		return fmt.Errorf("%w: record peer %q in batch from %q", ErrBadRecord, r.PeerID, batchPeer)
+	}
+	key, err := o.keys.Lookup(r.KeyID)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	issuedFor, maxBytes, _ := o.ledger.keyInfo(r.KeyID)
+	if issuedFor != r.PeerID {
+		return fmt.Errorf("%w: key issued for different peer", ErrBadRecord)
+	}
+	if err := r.VerifySignature(key.Secret); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if r.Bytes < 0 || r.Bytes > maxBytes {
+		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
+	}
+	return nil
+}
+
+func (o *Origin) settleSampleK() int {
+	if o.SettleSampleK > 0 {
+		return o.SettleSampleK
+	}
+	return DefaultSettleSampleK
+}
+
+// sampleIndices picks k distinct leaf indices in [0, n) deterministically
+// from the batch root — the peer cannot predict the sample before
+// committing to the root, and any verifier can reproduce it.
+func sampleIndices(root string, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seed := uint64(1)
+	if len(root) >= 16 {
+		if v, err := strconv.ParseUint(root[:16], 16, 64); err == nil {
+			seed = v
+		}
+	}
+	rng := sim.NewRNG(seed)
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		i := rng.Intn(n)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SettleBatch settles a Merkle-committed record batch: the root is
+// recomputed over the uploaded records (any tampered, dropped, reordered,
+// or injected record changes it and rejects the batch), the root's nonce
+// guards whole-batch replay, and K deterministically sampled leaves get
+// full signature verification. A sampled leaf that fails is cryptographic
+// evidence — the peer committed to a record that does not verify — so the
+// peer is flagged straight into the audit pipeline and the batch is
+// rejected with no nonce consumed. Accepted batches settle every record
+// under one per-shard ledger acquisition: cheap bounds/nonce checks keep
+// accounting exact while the expensive HMAC work stays O(K).
+func (o *Origin) SettleBatch(b RecordBatch) (int, error) {
+	return o.settleMerkle(hpop.TraceContext{}, b)
+}
+
+func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, error) {
+	sp := o.tracer.StartRemote("nocdn.origin", "settle_batch", parent)
+	sp.SetLabel("peer", b.PeerID)
+	sp.SetLabel("records", strconv.Itoa(len(b.Records)))
+	defer sp.End()
+	start := time.Now()
+	o.metrics.Inc("nocdn.origin.batches")
+
+	leaves := make([][]byte, len(b.Records))
+	for i := range b.Records {
+		leaves[i] = b.Records[i].LeafBytes()
+	}
+	if MerkleRoot(leaves) != b.Root {
+		o.metrics.Inc("nocdn.origin.batches_rejected")
+		o.ledger.rejectBatch(map[string]int64{b.PeerID: int64(len(b.Records))})
+		err := fmt.Errorf("%w: root mismatch", ErrBadBatch)
+		sp.SetError(err)
+		return 0, err
+	}
+	if len(b.Records) == 0 {
+		return 0, nil
+	}
+	if err := o.nonces.Use("batch|" + b.Root); err != nil {
+		o.metrics.Inc("nocdn.origin.batches_replayed")
+		err = fmt.Errorf("%w: %w", ErrBadBatch, err)
+		sp.SetError(err)
+		return 0, err
+	}
+
+	idxs := sampleIndices(b.Root, len(b.Records), o.settleSampleK())
+	sp.SetLabel("sampled", strconv.Itoa(len(idxs)))
+	for _, i := range idxs {
+		o.metrics.Inc("nocdn.origin.sampled_leaves")
+		if err := o.verifyRecordFull(b.Records[i], b.PeerID); err != nil {
+			// Feed the auditor both statistically (the record observation)
+			// and directly (tamper evidence flags without waiting for a
+			// score), then reject the whole batch without consuming nonces.
+			o.metrics.Inc("nocdn.origin.sample_failures")
+			o.metrics.Inc("nocdn.origin.batches_rejected")
+			o.audit.Observe(b.Records[i], err, false)
+			o.audit.FlagTampered(b.PeerID, err)
+			o.ledger.rejectBatch(map[string]int64{b.PeerID: int64(len(b.Records))})
+			err = fmt.Errorf("%w: sampled leaf %d: %v", ErrBadBatch, i, err)
+			sp.SetError(err)
+			return 0, err
+		}
+	}
+
+	credited := 0
+	creditDeltas := make(map[string]int64)
+	rejectCounts := make(map[string]int64)
+	involved := map[string]struct{}{b.PeerID: {}}
+	for i := range b.Records {
+		r := b.Records[i]
+		// Each record's span continues the page view's trace via the signed
+		// traceparent, exactly as the legacy per-record path does — batching
+		// must not sever the loader→peer→origin settlement leg.
+		var rsp *hpop.Span
+		if rtc, perr := hpop.ParseTraceparent(r.Traceparent); perr == nil {
+			rsp = o.tracer.StartRemote("nocdn.origin", "settle_record", rtc)
+		} else {
+			rsp = sp.Child("settle_record")
+		}
+		rsp.SetLabel("peer", r.PeerID)
+		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
+		err := o.commitRecord(r, b.PeerID)
+		o.audit.Observe(r, err, errors.Is(err, auth.ErrReplayed))
+		if err != nil {
+			rejectCounts[r.PeerID]++
+			o.metrics.Inc("nocdn.origin.records_rejected")
+			rsp.SetError(err)
+			rsp.End()
+			continue
+		}
+		creditDeltas[r.PeerID] += r.Bytes
+		rsp.End()
+		credited++
+	}
+	o.ledger.creditBatch(creditDeltas)
+	o.ledger.rejectBatch(rejectCounts)
+	o.suspendAnomalous(involved)
+	sp.SetLabel("credited", strconv.Itoa(credited))
+	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
+	return credited, nil
+}
+
+// suspendAnomalous runs anomaly detection over the peers a settlement
+// touched (credits only move for peers in the batch, so scanning the fleet
+// would find nothing more) and pulls pooled wrapper maps naming newly
+// suspended peers.
+func (o *Origin) suspendAnomalous(involved map[string]struct{}) {
+	newly := o.ledger.anomalyCheck(involved, o.AnomalyFactor)
+	if len(newly) > 0 {
+		o.assignEpoch.Add(1)
+		for range newly {
+			o.metrics.Inc("nocdn.origin.anomaly_suspensions")
+		}
+	}
 }
 
 // ejectFlagged pulls an audit-flagged peer from rotation: it is marked in
 // the health registry (so wrapper generation and the loader both shun it),
-// suspended in the peer registry, and any cached wrappers naming it are
+// suspended in the ledger, and cached/pooled wrappers naming it are
 // invalidated so the next page view gets a clean map.
 func (o *Origin) ejectFlagged(peerID string) {
 	o.health.SetFlagged(peerID, true)
-	o.mu.Lock()
-	for _, p := range o.peers {
-		if p.ID == peerID {
-			p.Suspended = true
-		}
-	}
-	o.wrapperCache = make(map[string]cachedWrapper)
-	o.mu.Unlock()
+	o.ledger.suspend(peerID)
+	o.invalidateWrappers()
 	o.metrics.Inc("nocdn.origin.peer_ejections")
 }
 
-// ProbePeers runs one health-probe pass: every registered peer's GET /health
-// endpoint is polled (respecting the peer's breaker — an open breaker skips
-// the network until its cooldown grants a half-open probe), outcomes and
-// self-reported saturation feed the health registry, and any ejection or
-// readmission transition invalidates cached wrappers so the next wrapper
-// reflects the new peer map. A peer reporting saturation >= 1 (actively
-// shedding) counts as a probe failure: new maps route around it until it
-// drains. Readmission has hysteresis by construction — it takes the
-// breaker's full half-open probe cycle, never a single good poll.
+// ---- health probing ----
+
+// ProbePeers runs one full health-probe pass: every registered peer's GET
+// /health endpoint is polled. At fleet scale prefer ProbeSample plus
+// delegated gossip (ReportGossip) — this full scan is O(fleet).
 func (o *Origin) ProbePeers(ctx context.Context) {
 	if o.health == nil {
 		return
 	}
 	sp := o.tracer.Start("nocdn.origin", "probe_peers")
 	defer sp.End()
-	o.mu.Lock()
-	peers := make([]PeerInfo, len(o.peers))
-	for i, p := range o.peers {
-		peers[i] = *p
-	}
-	if o.probeClient == nil {
-		o.probeClient = &http.Client{Timeout: 2 * time.Second}
-	}
-	client := o.probeClient
-	o.mu.Unlock()
+	o.probeList(ctx, sp, o.registry.snapshot())
+}
 
+// ProbeSample probes k randomly sampled registered peers — the origin's
+// trust-but-verify share of delegated health probing. Gossip covers the
+// fleet; the sample keeps reporters honest and catches silent corners.
+func (o *Origin) ProbeSample(ctx context.Context, k int) {
+	if o.health == nil {
+		return
+	}
+	sp := o.tracer.Start("nocdn.origin", "probe_sample")
+	sp.SetLabel("k", strconv.Itoa(k))
+	defer sp.End()
+	o.probeList(ctx, sp, o.registry.sample(k, o.randIntn))
+}
+
+// probeList probes one set of peers, feeding outcomes and self-reported
+// saturation into the health registry (respecting each peer's breaker — an
+// open breaker skips the network until its cooldown grants a half-open
+// probe). Any ejection or readmission transition invalidates cached and
+// pooled wrappers so the next wrapper reflects the new peer map. A peer
+// reporting saturation >= 1 (actively shedding) counts as a probe failure:
+// new maps route around it until it drains. Readmission has hysteresis by
+// construction — it takes the breaker's full half-open probe cycle, never a
+// single good poll.
+func (o *Origin) probeList(ctx context.Context, sp *hpop.Span, peers []peerStatic) {
+	client := o.httpProbeClient()
 	for _, p := range peers {
-		if !o.health.Allow(p.ID) {
+		if !o.health.Allow(p.id) {
 			continue // open breaker: wait out the cooldown
 		}
 		start := time.Now()
-		ok, saturation := o.probeOne(ctx, client, p.URL)
+		ok, saturation := o.probeOne(ctx, client, p.url)
 		if ok {
-			o.health.RecordSuccess(p.ID, time.Since(start).Seconds())
-			o.health.ReportSaturation(p.ID, saturation)
+			o.health.RecordSuccess(p.id, time.Since(start).Seconds())
+			o.health.ReportSaturation(p.id, saturation)
 		} else {
-			o.health.RecordFailure(p.ID)
+			o.health.RecordFailure(p.id)
 		}
-		after := o.health.Healthy(p.ID)
-		o.mu.Lock()
-		before, known := o.probeHealthy[p.ID]
-		if !known {
-			before = true
-		}
-		o.probeHealthy[p.ID] = after
-		transition := before != after
-		if transition {
-			o.wrapperCache = make(map[string]cachedWrapper)
-		}
-		o.mu.Unlock()
-		if transition {
-			name := "peer_ejected"
-			metric := "nocdn.origin.peer_ejections"
-			if after {
-				name = "peer_readmitted"
-				metric = "nocdn.origin.peer_readmissions"
-			}
-			o.metrics.Inc(metric)
-			tsp := sp.Child(name)
-			tsp.SetLabel("peer", p.ID)
-			tsp.End()
-		}
+		o.noteHealthTransition(sp, p.id)
 	}
+}
+
+// httpProbeClient lazily builds the bounded probe client.
+func (o *Origin) httpProbeClient() *http.Client {
+	o.probeMu.Lock()
+	defer o.probeMu.Unlock()
+	if o.probeClient == nil {
+		o.probeClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	return o.probeClient
+}
+
+// noteHealthTransition compares a peer's current health verdict against the
+// last recorded one; on a transition it invalidates wrapper state and
+// emits the ejection/readmission metric and span.
+func (o *Origin) noteHealthTransition(sp *hpop.Span, peerID string) {
+	after := o.health.Healthy(peerID)
+	o.probeMu.Lock()
+	before, known := o.probeHealthy[peerID]
+	if !known {
+		before = true
+	}
+	o.probeHealthy[peerID] = after
+	transition := before != after
+	o.probeMu.Unlock()
+	if !transition {
+		return
+	}
+	o.invalidateWrappers()
+	name := "peer_ejected"
+	metric := "nocdn.origin.peer_ejections"
+	if after {
+		name = "peer_readmitted"
+		metric = "nocdn.origin.peer_readmissions"
+	}
+	o.metrics.Inc(metric)
+	tsp := sp.Child(name)
+	tsp.SetLabel("peer", peerID)
+	tsp.End()
 }
 
 // probeOne polls one peer's /health endpoint, returning success and the
@@ -723,25 +1047,110 @@ func (o *Origin) probeOne(ctx context.Context, client *http.Client, peerURL stri
 	return true, 0
 }
 
-// detectAnomalies suspends peers whose credited bytes exceed what the origin
-// ever assigned to them by the anomaly factor — the paper's "anomalous
-// behavior detection" collusion mitigation.
-func (o *Origin) detectAnomalies() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	for _, p := range o.peers {
-		if o.assigned[p.ID] == 0 {
-			if o.credited[p.ID] > 0 {
-				p.Suspended = true
-			}
-			continue
-		}
-		ratio := float64(o.credited[p.ID]) / float64(o.assigned[p.ID])
-		if ratio > o.AnomalyFactor {
-			p.Suspended = true
+// ---- delegated health gossip ----
+
+// PeerObservation is one neighbor's health as a gossiping peer saw it.
+type PeerObservation struct {
+	PeerID         string  `json:"peerId"`
+	Healthy        bool    `json:"healthy"`
+	LatencySeconds float64 `json:"latencySeconds"`
+	Saturation     float64 `json:"saturation"`
+}
+
+// GossipReport is a peer's upload of neighbor health summaries — the
+// delegated share of fleet probing. POST /gossip carries this shape.
+type GossipReport struct {
+	From         string            `json:"from"`
+	Observations []PeerObservation `json:"observations"`
+}
+
+func (o *Origin) gossipMismatchLimit() int {
+	if o.GossipMismatchLimit > 0 {
+		return o.GossipMismatchLimit
+	}
+	return DefaultGossipMismatchLimit
+}
+
+// ReportGossip ingests one peer's neighbor health report. Observations
+// about unregistered peers are dropped. The origin trusts but verifies:
+// one randomly chosen observation per report is spot-checked with a direct
+// probe, and a reporter whose claims keep contradicting direct evidence is
+// quarantined (subsequent reports ignored). Returns how many observations
+// were applied.
+func (o *Origin) ReportGossip(ctx context.Context, rep GossipReport) int {
+	if o.health == nil || len(rep.Observations) == 0 {
+		return 0
+	}
+	sp := o.tracer.Start("nocdn.origin", "gossip_report")
+	sp.SetLabel("from", rep.From)
+	sp.SetLabel("observations", strconv.Itoa(len(rep.Observations)))
+	defer sp.End()
+	o.metrics.Inc("nocdn.origin.gossip_reports")
+
+	o.gossipMu.Lock()
+	quarantined := o.gossipMismatch[rep.From] >= o.gossipMismatchLimit()
+	o.gossipMu.Unlock()
+	if quarantined {
+		o.metrics.Inc("nocdn.origin.gossip_quarantined")
+		sp.SetLabel("quarantined", "true")
+		return 0
+	}
+
+	// Spot-check one observation against a direct probe before applying any
+	// of the report: a reporter contradicted by direct evidence gets a
+	// mismatch strike and the report is dropped.
+	pick := rep.Observations[o.randIntn(len(rep.Observations))]
+	if p, ok := o.registry.get(pick.PeerID); ok {
+		probeOK, _ := o.probeOne(ctx, o.httpProbeClient(), p.url)
+		if probeOK != pick.Healthy {
+			o.gossipMu.Lock()
+			o.gossipMismatch[rep.From]++
+			strikes := o.gossipMismatch[rep.From]
+			o.gossipMu.Unlock()
+			o.metrics.Inc("nocdn.origin.gossip_mismatches")
+			sp.SetLabel("mismatch_strikes", strconv.Itoa(strikes))
+			return 0
 		}
 	}
+
+	applied := 0
+	for _, obs := range rep.Observations {
+		if obs.PeerID == rep.From {
+			continue // self-reports don't count as neighbor evidence
+		}
+		if _, ok := o.registry.get(obs.PeerID); !ok {
+			continue
+		}
+		if obs.Healthy {
+			o.health.RecordSuccess(obs.PeerID, obs.LatencySeconds)
+			o.health.ReportSaturation(obs.PeerID, obs.Saturation)
+		} else {
+			o.health.RecordFailure(obs.PeerID)
+		}
+		o.noteHealthTransition(sp, obs.PeerID)
+		applied++
+	}
+	sp.SetLabel("applied", strconv.Itoa(applied))
+	return applied
 }
+
+// Neighbors returns up to n of a peer's ring successors — the neighbor set
+// it should probe and gossip about. Derived from the consistent-hash ring,
+// so the fleet's probe graph shifts only ~1/N on membership changes.
+func (o *Origin) Neighbors(peerID string, n int) []PeerInfo {
+	ids := o.ring.successors("nbr|"+peerID, n, func(id string) bool {
+		return id != peerID && !o.ledger.isSuspended(id)
+	})
+	out := make([]PeerInfo, 0, len(ids))
+	for _, id := range ids {
+		if p, ok := o.registry.get(id); ok {
+			out = append(out, PeerInfo{ID: p.id, URL: p.url, RTTMillis: p.rtt})
+		}
+	}
+	return out
+}
+
+// ---- accounting ----
 
 // Accounting summarizes settlement state for one peer.
 type Accounting struct {
@@ -754,20 +1163,14 @@ type Accounting struct {
 
 // AccountingFor returns one peer's ledger row.
 func (o *Origin) AccountingFor(peerID string) Accounting {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	acc := Accounting{
+	credited, assigned, rejected, suspended := o.ledger.row(peerID)
+	return Accounting{
 		PeerID:        peerID,
-		CreditedBytes: o.credited[peerID],
-		AssignedBytes: o.assigned[peerID],
-		Rejected:      o.rejected[peerID],
+		CreditedBytes: credited,
+		AssignedBytes: assigned,
+		Rejected:      rejected,
+		Suspended:     suspended,
 	}
-	for _, p := range o.peers {
-		if p.ID == peerID {
-			acc.Suspended = p.Suspended
-		}
-	}
-	return acc
 }
 
 // WrapperBytes returns bytes served as wrapper pages.
@@ -797,9 +1200,13 @@ func (o *Origin) TotalPageBytes(page string) (int64, error) {
 
 // Handler returns the origin's HTTP handler:
 //
-//	GET  /wrapper?page=NAME   -> wrapper page JSON
+//	GET  /wrapper?page=NAME[&client=ID] -> wrapper page JSON (client set:
+//	                                       pooled consistent-hash map)
 //	GET  /content/PATH        -> raw object (peer backfill / client fallback)
-//	POST /usage               -> usage-record batch upload
+//	POST /usage               -> usage-record batch upload (legacy)
+//	POST /usage/batch         -> Merkle-committed record batch upload
+//	POST /gossip              -> delegated neighbor-health report
+//	GET  /neighbors?peer=ID   -> the peer's ring-successor probe set
 //	GET  /debug/audit         -> settlement audit snapshot JSON
 //	GET  /debug/health        -> peer-health registry snapshot JSON
 //
@@ -811,9 +1218,18 @@ func (o *Origin) Handler() http.Handler {
 	mux.HandleFunc("/wrapper", func(w http.ResponseWriter, r *http.Request) {
 		sp := o.tracer.StartRemote("nocdn.origin", "wrapper", hpop.ExtractTraceparent(r.Header))
 		defer sp.End()
-		page := r.URL.Query().Get("page")
+		q := r.URL.Query()
+		page := q.Get("page")
+		client := q.Get("client")
 		sp.SetLabel("page", page)
-		wrapper, err := o.GenerateWrapper(page)
+		var wrapper *Wrapper
+		var err error
+		if client != "" {
+			sp.SetLabel("client", client)
+			wrapper, err = o.AssignWrapper(page, client)
+		} else {
+			wrapper, err = o.GenerateWrapper(page)
+		}
 		if err != nil {
 			sp.SetError(err)
 			status := http.StatusNotFound
@@ -893,6 +1309,60 @@ func (o *Origin) Handler() http.Handler {
 		n := o.settleBatch(hpop.ExtractTraceparent(r.Header), records)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"credited":%d,"submitted":%d}`, n, len(records))
+	})
+	mux.HandleFunc("/usage/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			http.Error(w, "read body", http.StatusBadRequest)
+			return
+		}
+		batch, err := DecodeBatch(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := o.settleMerkle(hpop.ExtractTraceparent(r.Header), batch)
+		if err != nil {
+			// 400: the batch is settled from the peer's perspective (it must
+			// not retry a rejected or replayed commitment).
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"credited":%d,"submitted":%d}`, n, len(batch.Records))
+	})
+	mux.HandleFunc("/gossip", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var rep GossipReport
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&rep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		applied := o.ReportGossip(r.Context(), rep)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"applied":%d}`, applied)
+	})
+	mux.HandleFunc("/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		peer := r.URL.Query().Get("peer")
+		if peer == "" {
+			http.Error(w, "peer required", http.StatusBadRequest)
+			return
+		}
+		n := 3
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 && parsed <= 32 {
+				n = parsed
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.Neighbors(peer, n))
 	})
 	mux.HandleFunc("/debug/audit", o.audit.Handler())
 	mux.HandleFunc("/debug/health", o.health.Handler())

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -112,6 +113,16 @@ type Peer struct {
 	nowFn func() time.Time
 
 	droppedRecords atomic.Int64
+
+	// legacyUsage flips on when the origin answers /usage/batch with
+	// 404/405 — an older control plane without Merkle settlement. Flushes
+	// then fall back to the uncommitted /usage upload permanently.
+	legacyUsage atomic.Bool
+
+	// gossipMu guards the background neighbor-gossip lifecycle.
+	gossipMu   sync.Mutex
+	gossipStop chan struct{}
+	gossipDone chan struct{}
 
 	// Tamper, when set, corrupts served bytes — the malicious-peer mode the
 	// integrity experiment exercises. Atomic so tests can flip it while the
@@ -644,27 +655,36 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	sp.SetLabel("records", strconv.Itoa(len(batch)))
 	defer sp.End()
 	start := time.Now()
-	body, err := EncodeRecords(batch)
+	// Preferred upload is the Merkle-committed batch: the peer commits to
+	// the exact record set under one root, and the origin verifies the root
+	// plus a sample of leaves instead of every signature. Origins without
+	// /usage/batch (404/405) switch this peer to the legacy per-record
+	// upload permanently.
+	endpoint := "/usage/batch"
+	var body []byte
+	var err error
+	if p.legacyUsage.Load() {
+		endpoint = "/usage"
+		body, err = EncodeRecords(batch)
+	} else {
+		body, err = EncodeBatch(NewRecordBatch(p.ID, batch))
+	}
 	if err != nil {
 		sp.SetError(err)
 		return 0, err
 	}
-	// The flush span's context rides the upload, so the origin's batch
-	// settlement span parents under this flush cycle; the goroutine carries
-	// pprof labels for the duration of the network round trip.
-	var resp *http.Response
-	pprof.Do(context.Background(), pprof.Labels("service", "nocdn.peer", "span", "flush"),
-		func(ctx context.Context) {
-			var req *http.Request
-			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
-				strings.TrimSuffix(originURL, "/")+"/usage", bytes.NewReader(body))
-			if err != nil {
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			hpop.InjectTraceparent(req.Header, sp)
-			resp, err = p.httpClient.Do(req)
-		})
+	resp, err := p.postRecords(sp, originURL, endpoint, body)
+	if err == nil && endpoint == "/usage/batch" &&
+		(resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		p.legacyUsage.Store(true)
+		p.metrics.Inc("nocdn.peer.flush_legacy_fallback")
+		sp.SetLabel("fallback", "legacy_usage")
+		if body, err = EncodeRecords(batch); err == nil {
+			resp, err = p.postRecords(sp, originURL, "/usage", body)
+		}
+	}
 	p.metrics.Observe("nocdn.peer.flush_seconds", time.Since(start).Seconds())
 	if err == nil {
 		code := resp.StatusCode
@@ -701,6 +721,143 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	}
 	p.metrics.Inc("nocdn.peer.flush_failures")
 	return 0, err
+}
+
+// postRecords uploads one settlement payload. The flush span's context
+// rides the upload, so the origin's batch settlement span parents under
+// this flush cycle; the goroutine carries pprof labels for the duration of
+// the network round trip.
+func (p *Peer) postRecords(sp *hpop.Span, originURL, endpoint string, body []byte) (*http.Response, error) {
+	var resp *http.Response
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("service", "nocdn.peer", "span", "flush"),
+		func(ctx context.Context) {
+			var req *http.Request
+			req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+				strings.TrimSuffix(originURL, "/")+endpoint, bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			hpop.InjectTraceparent(req.Header, sp)
+			resp, err = p.httpClient.Do(req)
+		})
+	return resp, err
+}
+
+// GossipOnce runs one delegated-probing cycle: fetch this peer's ring
+// neighbors from the origin, probe each neighbor's /health directly, and
+// upload the observations as a GossipReport. Returns how many neighbors
+// were observed. This is the fleet-scale replacement for the origin
+// probing every peer itself — each peer watches O(neighbors), the origin
+// spot-checks a sample.
+func (p *Peer) GossipOnce(originURL string) (int, error) {
+	base := strings.TrimSuffix(originURL, "/")
+	sp := p.tracer.Start("nocdn.peer", "gossip")
+	sp.SetLabel("peer", p.ID)
+	defer sp.End()
+
+	resp, err := p.httpClient.Get(base + "/neighbors?peer=" + url.QueryEscape(p.ID))
+	if err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	var neighbors []PeerInfo
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&neighbors)
+	resp.Body.Close()
+	if err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	if len(neighbors) == 0 {
+		return 0, nil
+	}
+
+	rep := GossipReport{From: p.ID}
+	for _, nbr := range neighbors {
+		obs := PeerObservation{PeerID: nbr.ID}
+		start := time.Now()
+		hr, err := p.httpClient.Get(nbr.URL + "/health")
+		if err == nil {
+			obs.LatencySeconds = time.Since(start).Seconds()
+			var report PeerHealthReport
+			if hr.StatusCode == http.StatusOK {
+				obs.Healthy = true
+				if json.NewDecoder(io.LimitReader(hr.Body, 64<<10)).Decode(&report) == nil {
+					obs.Saturation = report.Saturation
+					if report.Saturation >= 1 {
+						obs.Healthy = false // shedding: report it unassignable
+					}
+				}
+			}
+			hr.Body.Close()
+		}
+		rep.Observations = append(rep.Observations, obs)
+	}
+	sp.SetLabel("observations", strconv.Itoa(len(rep.Observations)))
+
+	body, err := json.Marshal(rep)
+	if err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	pr, err := p.httpClient.Post(base+"/gossip", "application/json", bytes.NewReader(body))
+	if err != nil {
+		sp.SetError(err)
+		p.metrics.Inc("nocdn.peer.gossip_failures")
+		return 0, err
+	}
+	io.Copy(io.Discard, io.LimitReader(pr.Body, 4<<10))
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		err = fmt.Errorf("nocdn: gossip upload status %d", pr.StatusCode)
+		sp.SetError(err)
+		p.metrics.Inc("nocdn.peer.gossip_failures")
+		return 0, err
+	}
+	p.metrics.Inc("nocdn.peer.gossip_reports")
+	return len(rep.Observations), nil
+}
+
+// StartGossip launches the background neighbor-gossip loop against
+// originURL (<= 0 interval picks 15s). Restarting replaces the previous
+// loop, mirroring the cache-scrubber lifecycle.
+func (p *Peer) StartGossip(originURL string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	p.StopGossip()
+	p.gossipMu.Lock()
+	defer p.gossipMu.Unlock()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p.gossipStop, p.gossipDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				p.GossipOnce(originURL)
+			}
+		}
+	}()
+}
+
+// StopGossip halts the background gossip loop (no-op when not running).
+func (p *Peer) StopGossip() {
+	p.gossipMu.Lock()
+	stop, done := p.gossipStop, p.gossipDone
+	p.gossipStop, p.gossipDone = nil, nil
+	p.gossipMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
 }
 
 // CorruptDiskEntry flips one at-rest byte of the object's disk-tier entry
