@@ -29,6 +29,14 @@
 // the request hot path as the fleet grows.
 //
 //	hpopbench control-sweep -peers 1000,100000,1000000
+//
+// And the fleet telemetry plane: fleet-sweep ships synthetic delta reports
+// from 1k to 100k peers per interval into the origin's sharded aggregator
+// and writes ingest throughput plus /debug/fleet serve latency to
+// BENCH_nocdn_fleet.json — asserting the origin absorbs fleet-scale
+// telemetry while the debug view stays in single-digit milliseconds.
+//
+//	hpopbench fleet-sweep -sources 1000,10000,100000
 package main
 
 import (
@@ -56,6 +64,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "control-sweep" {
 		return runControlSweep(os.Stdout, args[1:])
+	}
+	if len(args) > 0 && args[0] == "fleet-sweep" {
+		return runFleetSweep(os.Stdout, args[1:])
 	}
 	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
 	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")

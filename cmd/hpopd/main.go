@@ -57,6 +57,8 @@ func run(args []string) error {
 		"per-request timeout for NoCDN peer fetches and DCol relay dials")
 	maxInflight := fs.Int("nocdn-max-inflight", 0,
 		"NoCDN peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
+	telemetryInterval := fs.Duration("nocdn-telemetry-interval", 0,
+		"NoCDN peer: ship metric delta reports to the first provider's origin on this cadence (0 = disabled)")
 	scrubInterval := fs.Duration("scrub-interval", 0,
 		"attic scrub-and-repair pass cadence (0 = hourly default)")
 	debugAddr := fs.String("debug-addr", "",
@@ -107,6 +109,7 @@ func run(args []string) error {
 		if *maxInflight > 0 {
 			peer.SetMaxInflight(*maxInflight)
 		}
+		telemetryOrigin := ""
 		for _, pair := range strings.Split(*providers, ",") {
 			if pair == "" {
 				continue
@@ -116,6 +119,9 @@ func run(args []string) error {
 				return fmt.Errorf("bad -nocdn-provider entry %q (want name=url)", pair)
 			}
 			peer.SignUp(kv[0], kv[1])
+			if telemetryOrigin == "" {
+				telemetryOrigin = kv[1]
+			}
 		}
 		svc := &hpop.FuncService{
 			ServiceName: "nocdn-peer",
@@ -133,9 +139,17 @@ func run(args []string) error {
 					ctx.Events.Logf("nocdn-peer", "disk cache tier at %s (%d MB)", *cacheDir, *diskCacheMB)
 				}
 				ctx.Mux.Handle("/nocdn/", http.StripPrefix("/nocdn", peer.Handler()))
+				if *telemetryInterval > 0 && telemetryOrigin != "" {
+					// SetMetrics ran above, so the reporter snapshots the
+					// appliance registry the peer actually writes to.
+					peer.StartTelemetry(telemetryOrigin, *telemetryInterval)
+					ctx.Events.Logf("nocdn-peer", "shipping telemetry deltas to %s every %v",
+						telemetryOrigin, *telemetryInterval)
+				}
 				return nil
 			},
 			OnStop: func() error {
+				peer.StopTelemetry()
 				peer.CloseDiskCache()
 				return nil
 			},

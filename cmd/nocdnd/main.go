@@ -90,8 +90,8 @@ func run(args []string) error {
 		"per-request HTTP timeout for loader and peer fetches")
 	retries := fs.Int("retries", faults.DefaultMaxAttempts,
 		"load: max attempts per fetch (1 = no retries)")
-	chaos := fs.String("chaos", "", "load: inline fault schedule (see internal/faults)")
-	chaosSeed := fs.Uint64("chaos-seed", 0, "load: override the schedule's seed (0 = keep)")
+	chaos := fs.String("chaos", "", "load/peer: inline fault schedule on outbound fetches (see internal/faults)")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "load/peer: override the schedule's seed (0 = keep)")
 	debugAddr := fs.String("debug-addr", "",
 		"serve pprof plus /metrics, /healthz and /debug/traces on a second listener (empty: disabled)")
 	breakerWindow := fs.Int("breaker-window", hpop.DefaultBreakerWindow,
@@ -112,6 +112,16 @@ func run(args []string) error {
 		"origin: assignment-epoch heartbeat — refresh pooled wrapper maps on this cadence (0 = disabled)")
 	gossipInterval := fs.Duration("gossip-interval", 0,
 		"peer: probe ring neighbors and gossip their health to the first provider's origin on this cadence (0 = disabled)")
+	telemetryInterval := fs.Duration("telemetry-interval", 0,
+		"peer: ship metric delta reports to the first provider's origin on this cadence (0 = disabled)")
+	sloAvailability := fs.Float64("slo-availability", nocdn.DefaultAvailabilityObjective,
+		"origin: fleet availability SLO objective (fraction of proxy requests that must serve bytes)")
+	sloLatency := fs.Float64("slo-latency", nocdn.DefaultServeLatencyObjective,
+		"origin: fleet serve-latency SLO objective (fraction of serves under the threshold)")
+	sloServeThreshold := fs.Duration("slo-serve-threshold", 0,
+		"origin: serve-latency SLO good/bad threshold (0 = 250ms default)")
+	fleetStaleAfter := fs.Duration("fleet-stale-after", 0,
+		"origin: telemetry sources silent past this window stop counting as active (0 = 2m default)")
 	maxInflight := fs.Int("max-inflight", 0,
 		"peer: max simultaneous proxy requests before shedding with 503 (0 = default)")
 	replicas := fs.Int("replicas", 0,
@@ -164,6 +174,10 @@ func run(args []string) error {
 			nocdn.WithHealthRegistry(health))
 		o.SetMetrics(metrics)
 		o.SetTracer(tracer)
+		o.DeclareFleetSLOs(*sloAvailability, *sloLatency, sloServeThreshold.Seconds())
+		if *fleetStaleAfter > 0 {
+			o.Fleet().StaleAfter = *fleetStaleAfter
+		}
 		if *content == "" {
 			return fmt.Errorf("origin mode requires -content")
 		}
@@ -209,6 +223,22 @@ func run(args []string) error {
 		p.SetFetchTimeout(*fetchTimeout)
 		p.SetMetrics(metrics)
 		p.SetTracer(tracer)
+		if *chaos != "" {
+			// Degrade this peer's own origin fetches — the fault-injected
+			// peer shows up in the origin's /debug/fleet worst rankings and
+			// burns the fleet SLO budgets once telemetry ships.
+			sched, err := faults.ParseSchedule(*chaos)
+			if err != nil {
+				return fmt.Errorf("-chaos: %w", err)
+			}
+			if *chaosSeed != 0 {
+				sched.Seed = *chaosSeed
+			}
+			inj := faults.NewInjector(sched)
+			inj.Metrics = metrics
+			p.SetHTTPClient(&http.Client{Timeout: *fetchTimeout, Transport: inj.Transport(nil)})
+			fmt.Printf("chaos: %d rule(s), seed %d on outbound fetches\n", len(sched.Rules), sched.Seed)
+		}
 		if *maxInflight > 0 {
 			p.SetMaxInflight(*maxInflight)
 		}
@@ -237,6 +267,11 @@ func run(args []string) error {
 			p.StartGossip(gossipOrigin, *gossipInterval)
 			defer p.StopGossip()
 			fmt.Printf("gossiping neighbor health to %s every %v\n", gossipOrigin, *gossipInterval)
+		}
+		if *telemetryInterval > 0 && gossipOrigin != "" {
+			p.StartTelemetry(gossipOrigin, *telemetryInterval)
+			defer p.StopTelemetry()
+			fmt.Printf("shipping telemetry deltas to %s every %v\n", gossipOrigin, *telemetryInterval)
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
 		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer, health))

@@ -163,6 +163,7 @@ func NewStack(t *testing.T, cfg Config) *Stack {
 		p := nocdn.NewPeer("peer-"+strconv.Itoa(i), cfg.PeerCacheBytes)
 		p.SetClock(s.Clock.Now)
 		p.SetMetrics(hpop.NewMetrics())
+		p.EnableTelemetry(0)
 		if cfg.DiskCache {
 			if err := p.AttachDiskCache(t.TempDir(), 64<<20, 8<<20); err != nil {
 				t.Fatal(err)

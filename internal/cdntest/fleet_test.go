@@ -1,0 +1,121 @@
+package cdntest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/nocdn"
+)
+
+// getJSON fetches an origin debug endpoint and decodes it.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func findSLO(t *testing.T, snap hpop.SLOSnapshot, name string) hpop.SLOStatus {
+	t.Helper()
+	for _, s := range snap.SLOs {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("SLO %q missing from %+v", name, snap)
+	return hpop.SLOStatus{}
+}
+
+// TestFleetTelemetrySurfacesDegradedPeer: a fault-injected degraded peer
+// shows up in the origin's /debug/fleet worst-peer rankings, and the fleet
+// availability error budget visibly drains on the shared fake clock — then
+// the 5m burn window recovers while the 1h budget stays spent, the
+// multi-window behavior an operator pages on.
+func TestFleetTelemetrySurfacesDegradedPeer(t *testing.T) {
+	s := NewStack(t, Config{Peers: 2})
+	s.Publish("/site.html", []byte("<html>fleet acceptance</html>"))
+
+	// peer-0 is healthy: one miss fills the cache, then hits.
+	for i := 0; i < 5; i++ {
+		s.GetOK(0, "/site.html")
+	}
+
+	// Fault injection: the origin's content path goes dark, and peer-1 has
+	// nothing cached — every proxy attempt fails at the edge.
+	s.OriginGate.ContentDown.Store(true)
+	for i := 0; i < 4; i++ {
+		if r := s.Get(1, "/site.html"); r.Status == http.StatusOK {
+			t.Fatalf("peer-1 served %d during injected outage", r.Status)
+		}
+	}
+	s.OriginGate.ContentDown.Store(false)
+
+	// Both peers ship their telemetry deltas to the origin.
+	for _, p := range s.Peers {
+		if sent, err := p.TelemetryOnce(context.Background(), s.OriginSrv.URL); err != nil || !sent {
+			t.Fatalf("telemetry from %s: sent=%v err=%v", p.ID, sent, err)
+		}
+	}
+
+	// The degraded peer leads the worst-peer ranking on /debug/fleet.
+	var fleet nocdn.FleetSnapshot
+	getJSON(t, s.OriginSrv.URL+"/debug/fleet", &fleet)
+	if fleet.Sources != 2 || fleet.Reports != 2 {
+		t.Fatalf("fleet saw %d sources / %d reports, want 2/2", fleet.Sources, fleet.Reports)
+	}
+	worst := fleet.WorstPeers.ByErrorRate
+	if len(worst) != 1 || worst[0].Peer != "peer-1" {
+		t.Fatalf("byErrorRate = %+v, want only peer-1", worst)
+	}
+	if worst[0].ErrorRate != 1 {
+		t.Fatalf("peer-1 error rate = %v, want 1 (every request failed)", worst[0].ErrorRate)
+	}
+	if len(fleet.HotKeys) == 0 || fleet.HotKeys[0].Key != s.Provider+"/site.html" {
+		t.Fatalf("hot keys = %+v", fleet.HotKeys)
+	}
+
+	// The availability budget drained: 4 bad of 9 events against a 0.1%
+	// objective burns far past the fast-burn threshold.
+	var slo hpop.SLOSnapshot
+	getJSON(t, s.OriginSrv.URL+"/debug/slo", &slo)
+	avail := findSLO(t, slo, nocdn.SLOFleetAvailability)
+	if avail.TotalGood != 5 || avail.TotalBad != 4 {
+		t.Fatalf("availability events = %v/%v, want 5 good / 4 bad", avail.TotalGood, avail.TotalBad)
+	}
+	if avail.BudgetRemaining1h != 0 {
+		t.Fatalf("budget should be fully drained: %+v", avail)
+	}
+	if !avail.FastBurn || avail.BurnRate5m < hpop.DefaultFastBurn {
+		t.Fatalf("outage must trip fast burn: %+v", avail)
+	}
+
+	// Six fake-clock minutes of clean traffic later, the 5m window has
+	// forgotten the burst but the 1h budget is still spent.
+	s.Clock.Advance(6 * time.Minute)
+	for i := 0; i < 5; i++ {
+		s.GetOK(0, "/site.html")
+	}
+	if sent, err := s.Peers[0].TelemetryOnce(context.Background(), s.OriginSrv.URL); err != nil || !sent {
+		t.Fatalf("second telemetry cycle: sent=%v err=%v", sent, err)
+	}
+	getJSON(t, s.OriginSrv.URL+"/debug/slo", &slo)
+	avail = findSLO(t, slo, nocdn.SLOFleetAvailability)
+	if avail.BurnRate5m != 0 || avail.FastBurn {
+		t.Fatalf("burst did not age out of the 5m window: %+v", avail)
+	}
+	if avail.BurnRate1h == 0 || avail.BudgetRemaining1h != 0 {
+		t.Fatalf("1h window forgot the outage: %+v", avail)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // WriteExposition renders the registry in the stable text exposition format
@@ -89,18 +90,27 @@ func formatFloat(v float64) string {
 
 // MetricsHandler serves the text exposition of m at GET /metrics. Each
 // scrape first refreshes the Go runtime health metrics (goroutines, heap
-// bytes, GC pause histogram), so every daemon exports them for free.
+// bytes, GC pause histogram), so every daemon exports them for free. The
+// scrape itself is timed into the hpop.scrape.duration_seconds histogram —
+// the self-metric that tells an operator when a registry has grown so large
+// that scraping it is the bottleneck (the cost shows up from the second
+// scrape onward, since the sample is recorded after the write).
 func MetricsHandler(m *Metrics) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		m.SampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		m.WriteExposition(w)
+		m.Histogram("hpop.scrape.duration_seconds").ObserveSince(start)
 	}
 }
 
 // TracesHandler serves the tracer's recent spans as JSON at
 // GET /debug/traces. The optional ?n= query bounds how many spans return
-// (default 256, capped at the ring size).
+// (default 256, capped at the ring size); ?service= keeps only spans from
+// that service, and ?min_ms= keeps only spans at least that long — without
+// the filters the raw ring is unusable at fleet scale. Filters apply before
+// the n-limit, so "the slowest recent nocdn-peer spans" is one query.
 func TracesHandler(t *Tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		n := 256
@@ -112,7 +122,37 @@ func TracesHandler(t *Tracer) http.HandlerFunc {
 			}
 			n = v
 		}
-		spans := t.Recent(n)
+		service := r.URL.Query().Get("service")
+		minMS := 0.0
+		if q := r.URL.Query().Get("min_ms"); q != "" {
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v < 0 {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			minMS = v
+		}
+		fetch := n
+		if service != "" || minMS > 0 {
+			fetch = 0 // scan the whole ring, then filter and tail-limit
+		}
+		spans := t.Recent(fetch)
+		if service != "" || minMS > 0 {
+			kept := spans[:0]
+			for _, s := range spans {
+				if service != "" && s.Service != service {
+					continue
+				}
+				if s.DurationMS < minMS {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			spans = kept
+			if len(spans) > n {
+				spans = spans[len(spans)-n:] // newest n, matching Recent's contract
+			}
+		}
 		if spans == nil {
 			spans = []SpanRecord{}
 		}

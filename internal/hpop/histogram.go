@@ -1,10 +1,16 @@
 package hpop
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 )
+
+// ErrBoundsMismatch is returned by Merge/MergeBuckets when the incoming
+// buckets were built against different bounds than the receiver's.
+var ErrBoundsMismatch = errors.New("hpop: histogram bucket bounds mismatch")
 
 // DefaultBuckets returns the default histogram bucket upper bounds:
 // log-spaced (doubling) from 1µs to ~33s, expressed in seconds. They cover
@@ -114,6 +120,68 @@ func (h *Histogram) bucketSnapshot() []uint64 {
 		snap[i] = h.counts[i].Load()
 	}
 	return snap
+}
+
+// BucketCounts returns a copy of the bucket counters; the last element is
+// the overflow (+Inf) bucket, so len == len(Bounds())+1. Nil-safe.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.bucketSnapshot()
+}
+
+// boundsEqual reports whether two bound slices describe the same buckets.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds every bucket, the total, and the sum of other into h. The two
+// histograms must have identical bounds (ErrBoundsMismatch otherwise):
+// merging histograms with different buckets would silently redistribute
+// samples, so incompatibility is an error, never a best-effort remap.
+// Merging is commutative and associative — merging K peers' histograms is
+// bucket-exact equivalent to one histogram observing the union stream.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h == nil || other == nil {
+		return nil
+	}
+	if !boundsEqual(h.bounds, other.bounds) {
+		return ErrBoundsMismatch
+	}
+	return h.MergeBuckets(other.bucketSnapshot(), other.sum.load())
+}
+
+// MergeBuckets folds raw bucket-count deltas (len(bounds)+1, overflow last)
+// and a sum delta into h. This is the aggregation primitive TelemetryReport
+// deltas apply through; counts are added bucket-by-bucket so the merged
+// histogram is exactly what observing those samples locally would produce.
+func (h *Histogram) MergeBuckets(counts []uint64, sum float64) error {
+	if h == nil {
+		return nil
+	}
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("%w: got %d buckets, want %d", ErrBoundsMismatch, len(counts), len(h.counts))
+	}
+	var added uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		h.counts[i].Add(c)
+		added += c
+	}
+	h.total.Add(added)
+	h.sum.add(sum)
+	return nil
 }
 
 // Quantile estimates the p-quantile (p in [0,1], clamped) by linear

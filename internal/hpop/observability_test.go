@@ -193,6 +193,14 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	for _, v := range []float64{0.0005, 0.002, 0.05, 0.5, 2.5} {
 		h.Observe(v)
 	}
+	// The fleet-telemetry rollup names and the scrape self-metric (PR 9).
+	m.Add("fleet.nocdn.peer.hits", 12)
+	m.Add("fleet.telemetry.reports", 3)
+	m.Set("fleet.telemetry.active_sources", 2)
+	fh := m.HistogramWithBounds("fleet.nocdn.peer.serve_seconds", []float64{0.001, 0.01, 0.1, 1})
+	fh.Observe(0.004)
+	fh.Observe(0.02)
+	m.HistogramWithBounds("hpop.scrape.duration_seconds", []float64{0.001, 0.01, 0.1, 1}).Observe(0.002)
 
 	var sb strings.Builder
 	if err := m.WriteExposition(&sb); err != nil {
@@ -222,6 +230,106 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.WriteExposition(&sb2)
 	if sb2.String() != got {
 		t.Error("exposition not deterministic across calls")
+	}
+}
+
+// TestMetricsScrapeSelfMetric: each /metrics scrape times itself into
+// hpop.scrape.duration_seconds; the sample lands after the write, so it is
+// visible from the second scrape onward.
+func TestMetricsScrapeSelfMetric(t *testing.T) {
+	m := NewMetrics()
+	handler := MetricsHandler(m)
+
+	rr := httptest.NewRecorder()
+	handler(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if strings.Contains(rr.Body.String(), "hpop.scrape.duration_seconds") {
+		t.Fatal("first scrape should not yet expose the self-metric")
+	}
+	if got := m.Histogram("hpop.scrape.duration_seconds").Count(); got != 1 {
+		t.Fatalf("scrape histogram count = %d after first scrape, want 1", got)
+	}
+
+	rr = httptest.NewRecorder()
+	handler(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	if !strings.Contains(body, "# TYPE hpop.scrape.duration_seconds histogram") {
+		t.Fatalf("second scrape missing self-metric:\n%s", body)
+	}
+	if !strings.Contains(body, "hpop.scrape.duration_seconds.count 1") {
+		t.Fatalf("self-metric count not exposed:\n%s", body)
+	}
+}
+
+// TestTracesHandlerFilters (satellite): ?service= and ?min_ms= narrow the
+// span dump, individually and combined, and bad values are a 400.
+func TestTracesHandlerFilters(t *testing.T) {
+	clock := newSLOClock()
+	tr := NewTracer(64)
+	tr.SetClock(clock.Now)
+	emit := func(service, name string, d time.Duration) {
+		sp := tr.Start(service, name)
+		clock.Advance(d)
+		sp.End()
+	}
+	emit("nocdn.peer", "proxy", 2*time.Millisecond)
+	emit("nocdn.peer", "proxy", 40*time.Millisecond)
+	emit("nocdn.origin", "wrapper", 60*time.Millisecond)
+	emit("nocdn.origin", "wrapper", time.Millisecond)
+
+	handler := TracesHandler(tr)
+	fetch := func(query string) []SpanRecord {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		handler(rr, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", query, rr.Code, rr.Body.String())
+		}
+		var resp struct {
+			Spans []SpanRecord `json:"spans"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad JSON for %s: %v", query, err)
+		}
+		return resp.Spans
+	}
+
+	if spans := fetch(""); len(spans) != 4 {
+		t.Fatalf("unfiltered = %d spans, want 4", len(spans))
+	}
+	spans := fetch("?service=nocdn.peer")
+	if len(spans) != 2 {
+		t.Fatalf("service filter = %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Service != "nocdn.peer" {
+			t.Fatalf("service filter leaked %q", s.Service)
+		}
+	}
+	spans = fetch("?min_ms=10")
+	if len(spans) != 2 {
+		t.Fatalf("min_ms filter = %d spans, want 2 (40ms + 60ms)", len(spans))
+	}
+	for _, s := range spans {
+		if s.DurationMS < 10 {
+			t.Fatalf("min_ms filter leaked %vms", s.DurationMS)
+		}
+	}
+	spans = fetch("?service=nocdn.origin&min_ms=10")
+	if len(spans) != 1 || spans[0].Name != "wrapper" || spans[0].DurationMS < 10 {
+		t.Fatalf("combined filter = %+v, want the one slow wrapper span", spans)
+	}
+	// Filters apply before the n-limit: the newest matching span survives.
+	spans = fetch("?service=nocdn.peer&n=1")
+	if len(spans) != 1 || spans[0].DurationMS < 10 {
+		t.Fatalf("filter+limit = %+v, want the newest (slow) peer span", spans)
+	}
+
+	for _, bad := range []string{"?min_ms=-1", "?min_ms=x", "?n=0"} {
+		rr := httptest.NewRecorder()
+		handler(rr, httptest.NewRequest("GET", "/debug/traces"+bad, nil))
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", bad, rr.Code)
+		}
 	}
 }
 

@@ -1,0 +1,326 @@
+package hpop
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SLO window geometry: good/bad events land in 15-second buckets on a ring
+// covering one hour; the 5-minute fast window is the newest 20 buckets of
+// the same ring. Everything is driven by the engine's injected clock, so
+// tests advance a fake clock and burn rates move deterministically.
+const (
+	sloBucketDur = 15 * time.Second
+	sloRingLen   = 240 // 1h of buckets
+	sloShortLen  = 20  // 5m of buckets
+)
+
+// DefaultFastBurn is the 5m burn-rate threshold that raises the fast-burn
+// signal: at 14.4x the whole 30-day budget would be gone in ~2 days, the
+// classic page-now threshold.
+const DefaultFastBurn = 14.4
+
+// SLOConfig declares one service-level objective.
+type SLOConfig struct {
+	// Name keys the SLO in /debug/slo and the exported metric names
+	// (slo.<name>.burn_rate_5m etc.).
+	Name string
+	// Description is operator-facing prose.
+	Description string
+	// Objective is the target good fraction in (0, 1]. Objective == 1
+	// declares a zero-tolerance SLO: any bad event empties the budget, and
+	// burn "rates" degrade to raw bad-event counts (a ratio against a zero
+	// budget is undefined).
+	Objective float64
+	// FastBurn is the 5m burn-rate threshold that trips the fast-burn
+	// signal (DefaultFastBurn when zero). For zero-tolerance SLOs the
+	// threshold compares against the raw 5m bad count.
+	FastBurn float64
+}
+
+// sloBucketCell is one ring slot of good/bad event weight.
+type sloBucketCell struct {
+	start     time.Time
+	good, bad float64
+}
+
+// sloState is one declared SLO's live state.
+type sloState struct {
+	cfg       SLOConfig
+	buckets   [sloRingLen]sloBucketCell
+	totalGood float64
+	totalBad  float64
+	fastBurn  bool
+}
+
+// SLOStatus is one SLO's row in the /debug/slo snapshot.
+type SLOStatus struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description,omitempty"`
+	Objective   float64 `json:"objective"`
+	// Window sums.
+	Good5m float64 `json:"good5m"`
+	Bad5m  float64 `json:"bad5m"`
+	Good1h float64 `json:"good1h"`
+	Bad1h  float64 `json:"bad1h"`
+	// BurnRate is (bad fraction)/(error budget) over the window — 1.0
+	// means spending exactly the allowed budget. Zero-tolerance SLOs
+	// report raw bad counts here instead.
+	BurnRate5m float64 `json:"burnRate5m"`
+	BurnRate1h float64 `json:"burnRate1h"`
+	// BudgetRemaining1h is the fraction of the 1h error budget left:
+	// 1 = untouched, 0 = spent (overspending clamps to 0 — the pageable
+	// fact is "the budget is gone", not how far past it went; burn rates
+	// carry the magnitude).
+	BudgetRemaining1h float64 `json:"budgetRemaining1h"`
+	FastBurn          bool    `json:"fastBurn"`
+	TotalGood         float64 `json:"totalGood"`
+	TotalBad          float64 `json:"totalBad"`
+}
+
+// SLOSnapshot is the /debug/slo JSON shape.
+type SLOSnapshot struct {
+	Now  time.Time   `json:"now"`
+	SLOs []SLOStatus `json:"slos"`
+}
+
+// SLOEngine computes multi-window burn rates and error budgets over
+// declared SLOs. Components feed it good/bad event weights (fleet rollup
+// deltas, in the origin's case); the engine buckets them on its clock and
+// derives 5m/1h burn rates, budget gauges, a fast-burn metric, and an
+// slo_burn span on each fast-burn rising edge so alerting/self-healing
+// machinery can consume it. Nil-receiver safe throughout.
+type SLOEngine struct {
+	mu          sync.Mutex
+	now         func() time.Time
+	metrics     *Metrics
+	tracer      *Tracer
+	slos        map[string]*sloState
+	order       []string
+	lastRefresh time.Time
+}
+
+// NewSLOEngine creates an engine on the given clock (nil means wall time).
+func NewSLOEngine(now func() time.Time) *SLOEngine {
+	if now == nil {
+		now = time.Now
+	}
+	return &SLOEngine{now: now, slos: make(map[string]*sloState)}
+}
+
+// SetMetrics wires gauge export (slo.<name>.burn_rate_5m / burn_rate_1h /
+// error_budget_remaining / fast_burn). Gauges refresh on Snapshot and at
+// bucket cadence during Record.
+func (e *SLOEngine) SetMetrics(m *Metrics) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metrics = m
+}
+
+// SetTracer wires slo_burn span emission on fast-burn rising edges.
+func (e *SLOEngine) SetTracer(t *Tracer) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = t
+}
+
+// Declare registers an SLO (idempotent by name; re-declaring updates the
+// config but keeps accumulated state).
+func (e *SLOEngine) Declare(cfg SLOConfig) {
+	if e == nil || cfg.Name == "" {
+		return
+	}
+	if cfg.Objective <= 0 || cfg.Objective > 1 {
+		cfg.Objective = 1
+	}
+	if cfg.FastBurn <= 0 {
+		cfg.FastBurn = DefaultFastBurn
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.slos[cfg.Name]; ok {
+		st.cfg = cfg
+		return
+	}
+	e.slos[cfg.Name] = &sloState{cfg: cfg}
+	e.order = append(e.order, cfg.Name)
+}
+
+// Record adds good/bad event weight to the named SLO's current bucket.
+// Unknown names are dropped (declare first). Negative weights are clamped
+// to zero. Nil-safe.
+func (e *SLOEngine) Record(name string, good, bad float64) {
+	if e == nil {
+		return
+	}
+	if good < 0 {
+		good = 0
+	}
+	if bad < 0 {
+		bad = 0
+	}
+	if good == 0 && bad == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.slos[name]
+	if !ok {
+		return
+	}
+	now := e.now()
+	b := currentBucket(&st.buckets, now)
+	b.good += good
+	b.bad += bad
+	st.totalGood += good
+	st.totalBad += bad
+	// Refresh gauges/edges at most once per bucket interval so a hot
+	// ingest path isn't recomputing windows on every report.
+	if now.Sub(e.lastRefresh) >= sloBucketDur || e.lastRefresh.After(now) {
+		e.refreshLocked(now)
+	}
+}
+
+// currentBucket returns the ring slot for now, resetting it when the slot
+// last held an older interval.
+func currentBucket(ring *[sloRingLen]sloBucketCell, now time.Time) *sloBucketCell {
+	aligned := now.Truncate(sloBucketDur)
+	idx := int(aligned.UnixNano()/int64(sloBucketDur)) % sloRingLen
+	if idx < 0 {
+		idx += sloRingLen
+	}
+	b := &ring[idx]
+	if !b.start.Equal(aligned) {
+		*b = sloBucketCell{start: aligned}
+	}
+	return b
+}
+
+// windowSums totals good/bad over the newest n buckets ending at now.
+func windowSums(ring *[sloRingLen]sloBucketCell, now time.Time, n int) (good, bad float64) {
+	aligned := now.Truncate(sloBucketDur)
+	oldest := aligned.Add(-time.Duration(n-1) * sloBucketDur)
+	for i := range ring {
+		b := &ring[i]
+		if b.start.IsZero() || b.start.Before(oldest) || b.start.After(aligned) {
+			continue
+		}
+		good += b.good
+		bad += b.bad
+	}
+	return good, bad
+}
+
+// burnRate computes bad-fraction over error-budget; zero-tolerance SLOs
+// (objective == 1) report the raw bad count, since any bad event at all is
+// a violation and a ratio against a zero budget is undefined.
+func burnRate(good, bad, objective float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		return bad
+	}
+	return (bad / total) / budget
+}
+
+// statusLocked computes one SLO's status at now; e.mu must be held.
+func (e *SLOEngine) statusLocked(st *sloState, now time.Time) SLOStatus {
+	s := SLOStatus{
+		Name:        st.cfg.Name,
+		Description: st.cfg.Description,
+		Objective:   st.cfg.Objective,
+		TotalGood:   st.totalGood,
+		TotalBad:    st.totalBad,
+	}
+	s.Good5m, s.Bad5m = windowSums(&st.buckets, now, sloShortLen)
+	s.Good1h, s.Bad1h = windowSums(&st.buckets, now, sloRingLen)
+	s.BurnRate5m = burnRate(s.Good5m, s.Bad5m, st.cfg.Objective)
+	s.BurnRate1h = burnRate(s.Good1h, s.Bad1h, st.cfg.Objective)
+	budget := 1 - st.cfg.Objective
+	switch {
+	case budget <= 0:
+		if s.Bad1h > 0 {
+			s.BudgetRemaining1h = 0
+		} else {
+			s.BudgetRemaining1h = 1
+		}
+	case s.Good1h+s.Bad1h == 0:
+		s.BudgetRemaining1h = 1
+	default:
+		allowed := (s.Good1h + s.Bad1h) * budget
+		s.BudgetRemaining1h = 1 - s.Bad1h/allowed
+		if s.BudgetRemaining1h < 0 {
+			s.BudgetRemaining1h = 0
+		}
+	}
+	s.FastBurn = s.Bad5m > 0 && s.BurnRate5m >= st.cfg.FastBurn
+	return s
+}
+
+// refreshLocked recomputes every SLO's status, exports gauges, and emits an
+// slo_burn span on each fast-burn rising edge; e.mu must be held.
+func (e *SLOEngine) refreshLocked(now time.Time) []SLOStatus {
+	e.lastRefresh = now
+	out := make([]SLOStatus, 0, len(e.order))
+	for _, name := range e.order {
+		st := e.slos[name]
+		s := e.statusLocked(st, now)
+		out = append(out, s)
+		prefix := "slo." + name + "."
+		e.metrics.Set(prefix+"burn_rate_5m", s.BurnRate5m)
+		e.metrics.Set(prefix+"burn_rate_1h", s.BurnRate1h)
+		e.metrics.Set(prefix+"error_budget_remaining", s.BudgetRemaining1h)
+		fast := 0.0
+		if s.FastBurn {
+			fast = 1
+		}
+		e.metrics.Set(prefix+"fast_burn", fast)
+		if s.FastBurn && !st.fastBurn {
+			// Rising edge: surface a span the health machinery (and a
+			// human tailing /debug/traces) can react to.
+			sp := e.tracer.Start("slo", "slo_burn")
+			sp.SetLabel("slo", name)
+			sp.SetLabel("burn_rate_5m", fmt.Sprintf("%.2f", s.BurnRate5m))
+			sp.SetLabel("burn_rate_1h", fmt.Sprintf("%.2f", s.BurnRate1h))
+			sp.SetLabel("budget_remaining", fmt.Sprintf("%.4f", s.BudgetRemaining1h))
+			sp.End()
+		}
+		st.fastBurn = s.FastBurn
+	}
+	return out
+}
+
+// Snapshot returns every SLO's status in declaration order, refreshing the
+// exported gauges as a side effect.
+func (e *SLOEngine) Snapshot() SLOSnapshot {
+	if e == nil {
+		return SLOSnapshot{SLOs: []SLOStatus{}}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	return SLOSnapshot{Now: now, SLOs: e.refreshLocked(now)}
+}
+
+// Handler serves the snapshot as JSON at GET /debug/slo. Nil-safe: an
+// engine-less daemon serves an empty SLO list.
+func (e *SLOEngine) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(e.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

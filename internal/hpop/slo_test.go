@@ -1,0 +1,188 @@
+package hpop
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sloClock is a mutex-guarded fake clock for deterministic burn windows.
+type sloClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newSLOClock() *sloClock {
+	return &sloClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *sloClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *sloClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func findSLO(t *testing.T, snap SLOSnapshot, name string) SLOStatus {
+	t.Helper()
+	for _, s := range snap.SLOs {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("SLO %q missing from %+v", name, snap)
+	return SLOStatus{}
+}
+
+// TestSLOEngineBurnWindows: the 5m window trips before the 1h window on a
+// burst of bad events, budget drains deterministically on the fake clock,
+// and the fast-burn rising edge exports a gauge and an slo_burn span.
+func TestSLOEngineBurnWindows(t *testing.T) {
+	clock := newSLOClock()
+	e := NewSLOEngine(clock.Now)
+	m := NewMetrics()
+	tr := NewTracer(64)
+	tr.SetClock(clock.Now)
+	e.SetMetrics(m)
+	e.SetTracer(tr)
+	e.Declare(SLOConfig{Name: "availability", Objective: 0.999})
+
+	// An hour of clean traffic spread over the ring.
+	for i := 0; i < 60; i++ {
+		e.Record("availability", 1000, 0)
+		clock.Advance(time.Minute)
+	}
+	s := findSLO(t, e.Snapshot(), "availability")
+	if s.BurnRate1h != 0 || s.BudgetRemaining1h != 1 || s.FastBurn {
+		t.Fatalf("clean traffic burned budget: %+v", s)
+	}
+
+	// A two-minute 50% outage burst: the 5m window sees mostly the burst,
+	// the 1h window dilutes it — multi-window burn in action.
+	for i := 0; i < 2; i++ {
+		e.Record("availability", 500, 500)
+		clock.Advance(time.Minute)
+	}
+	s = findSLO(t, e.Snapshot(), "availability")
+	if s.BurnRate5m <= s.BurnRate1h {
+		t.Fatalf("5m window (%v) should trip before 1h (%v)", s.BurnRate5m, s.BurnRate1h)
+	}
+	if s.BurnRate5m < DefaultFastBurn {
+		t.Fatalf("a 50%% outage must exceed the fast-burn threshold: %v", s.BurnRate5m)
+	}
+	if !s.FastBurn {
+		t.Fatalf("fast burn not raised: %+v", s)
+	}
+	// Exact determinism on the fake clock: the 1h ring (240 x 15s) ends at
+	// minute 62, so it holds the clean minutes 3..59 plus the burst —
+	// 58000 good, 1000 bad; the allowed budget is 59000 * 0.001 = 59, so
+	// the budget is overspent and the gauge clamps at 0.
+	if s.Good1h != 58000 || s.Bad1h != 1000 {
+		t.Fatalf("1h window sums = %v/%v, want 58000/1000", s.Good1h, s.Bad1h)
+	}
+	if s.BudgetRemaining1h != 0 {
+		t.Fatalf("overspent budget must clamp to 0: %v", s.BudgetRemaining1h)
+	}
+
+	if m.Gauge("slo.availability.fast_burn") != 1 {
+		t.Fatalf("fast_burn gauge = %v", m.Gauge("slo.availability.fast_burn"))
+	}
+	if m.Gauge("slo.availability.burn_rate_5m") != s.BurnRate5m {
+		t.Fatalf("burn gauge diverged from snapshot")
+	}
+	var burnSpans int
+	for _, rec := range tr.Recent(0) {
+		if rec.Name == "slo_burn" && rec.Labels["slo"] == "availability" {
+			burnSpans++
+		}
+	}
+	if burnSpans != 1 {
+		t.Fatalf("slo_burn spans = %d, want exactly 1 (edge-triggered)", burnSpans)
+	}
+
+	// The burst ages out of the 5m window; fast burn clears and the span
+	// count stays at one (no re-trigger without a new edge).
+	for i := 0; i < 10; i++ {
+		e.Record("availability", 1000, 0)
+		clock.Advance(time.Minute)
+	}
+	s = findSLO(t, e.Snapshot(), "availability")
+	if s.FastBurn || s.BurnRate5m != 0 {
+		t.Fatalf("burst did not age out of 5m window: %+v", s)
+	}
+	if m.Gauge("slo.availability.fast_burn") != 0 {
+		t.Fatal("fast_burn gauge stuck")
+	}
+}
+
+// TestSLOBudgetPartialDrain: a drain within the budget reports the exact
+// remaining fraction.
+func TestSLOBudgetPartialDrain(t *testing.T) {
+	clock := newSLOClock()
+	e := NewSLOEngine(clock.Now)
+	e.Declare(SLOConfig{Name: "avail", Objective: 0.99})
+	// 10 bad of 10000 against a 1% budget: allowed = 100, remaining = 0.9.
+	e.Record("avail", 9990, 10)
+	s := findSLO(t, e.Snapshot(), "avail")
+	if diff := s.BudgetRemaining1h - 0.9; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("budget remaining = %v, want 0.9", s.BudgetRemaining1h)
+	}
+}
+
+// TestSLOEngineZeroTolerance: objective 1 means any bad event empties the
+// budget and the "burn rate" is the raw bad count.
+func TestSLOEngineZeroTolerance(t *testing.T) {
+	clock := newSLOClock()
+	e := NewSLOEngine(clock.Now)
+	e.Declare(SLOConfig{Name: "integrity", Objective: 1})
+
+	e.Record("integrity", 10000, 0)
+	s := findSLO(t, e.Snapshot(), "integrity")
+	if s.BudgetRemaining1h != 1 || s.BurnRate5m != 0 {
+		t.Fatalf("clean zero-tolerance: %+v", s)
+	}
+	e.Record("integrity", 0, 2)
+	s = findSLO(t, e.Snapshot(), "integrity")
+	if s.BudgetRemaining1h != 0 {
+		t.Fatalf("one bad event must empty a zero-tolerance budget: %+v", s)
+	}
+	if s.BurnRate5m != 2 {
+		t.Fatalf("zero-tolerance burn should be the raw bad count: %v", s.BurnRate5m)
+	}
+}
+
+// TestSLOHandler: /debug/slo serves the snapshot as JSON; nil engine and
+// unknown names degrade cleanly.
+func TestSLOHandler(t *testing.T) {
+	clock := newSLOClock()
+	e := NewSLOEngine(clock.Now)
+	e.Declare(SLOConfig{Name: "avail", Objective: 0.99, Description: "d"})
+	e.Record("avail", 90, 10)
+	e.Record("no-such-slo", 1, 1) // dropped, never panics
+
+	rr := httptest.NewRecorder()
+	e.Handler()(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	var snap SLOSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	s := findSLO(t, snap, "avail")
+	// 10% bad against a 1% budget: burn rate 10.
+	if s.BurnRate1h < 9.99 || s.BurnRate1h > 10.01 {
+		t.Fatalf("burn = %v, want 10", s.BurnRate1h)
+	}
+
+	var nilEngine *SLOEngine
+	rr = httptest.NewRecorder()
+	nilEngine.Handler()(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil || snap.SLOs == nil {
+		t.Fatalf("nil engine handler: err=%v body=%s", err, rr.Body.String())
+	}
+}

@@ -1,0 +1,382 @@
+package hpop
+
+import (
+	"container/heap"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TelemetryReport is one source's compact delta snapshot: counter and
+// histogram-bucket deltas accumulated since the last acknowledged report,
+// plus absolute gauge values and a drained hot-key sketch. Reports are
+// sequence-numbered per source; a retried report carries the same Seq and
+// identical payload, so the aggregator can apply each sequence exactly once
+// no matter how many times the network delivers it.
+type TelemetryReport struct {
+	Source     string                    `json:"source"`
+	Seq        uint64                    `json:"seq"`
+	Counters   map[string]float64        `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramDelta `json:"histograms,omitempty"`
+	HotKeys    map[string]uint64         `json:"hotKeys,omitempty"`
+}
+
+// HistogramDelta is a histogram's bucket-count deltas since the last ack.
+// Counts has len(Bounds)+1 entries (overflow last); Sum is the sample-sum
+// delta. Shipping raw bucket deltas keeps fleet merging bucket-exact:
+// Histogram.MergeBuckets of K peers' deltas equals observing the union
+// stream locally.
+type HistogramDelta struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+}
+
+// histBase is the per-histogram baseline a reporter diffs against.
+type histBase struct {
+	counts []uint64
+	sum    float64
+}
+
+// telemetryBase is the last-acknowledged snapshot of the underlying
+// registry. Deltas are computed against it, and it only advances when the
+// aggregator acknowledges the report built from it.
+type telemetryBase struct {
+	counters map[string]float64
+	hists    map[string]histBase
+}
+
+// TelemetryReporter builds idempotent delta reports from a Metrics registry.
+//
+// The protocol is build-once/ack-to-commit: NextReport computes the delta
+// against the acked baseline, assigns the next sequence number, and pins the
+// report as pending. Until Ack is called with that sequence, every
+// NextReport call returns the identical pending report — so retries resend
+// the same payload and a report the aggregator already applied is
+// recognizable (and droppable) by its sequence number alone. Ack commits the
+// baseline; the next report then carries everything observed since,
+// including anything that accumulated while the origin was dark. Nothing is
+// ever lost, only batched.
+type TelemetryReporter struct {
+	mu          sync.Mutex
+	source      string
+	m           *Metrics
+	seq         uint64
+	pending     *TelemetryReport
+	pendingBase *telemetryBase
+	base        telemetryBase
+	hot         *SpaceSaving
+	exclude     []string
+}
+
+// NewTelemetryReporter creates a reporter for the source id over registry m.
+// hotKeys bounds the per-interval hot-key sketch (<= 0 disables hot-key
+// tracking).
+func NewTelemetryReporter(source string, m *Metrics, hotKeys int) *TelemetryReporter {
+	r := &TelemetryReporter{
+		source: source,
+		m:      m,
+		base:   telemetryBase{counters: map[string]float64{}, hists: map[string]histBase{}},
+	}
+	if hotKeys > 0 {
+		r.hot = NewSpaceSaving(hotKeys)
+	}
+	return r
+}
+
+// ExcludePrefix excludes metric names matching any of the prefixes from
+// reports. The shipping path uses this for its own bookkeeping counters
+// (reports sent, failures): without the exclusion every successful ship
+// would change the registry and re-arm the next report, so an otherwise
+// idle peer could never fall silent.
+func (r *TelemetryReporter) ExcludePrefix(prefixes ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exclude = append(r.exclude, prefixes...)
+}
+
+// excluded reports whether a metric name is filtered; r.mu must be held.
+func (r *TelemetryReporter) excluded(name string) bool {
+	for _, p := range r.exclude {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveKey charges weight to a hot key (a served page/object path). The
+// sketch drains into the next built report. Nil-safe.
+func (r *TelemetryReporter) ObserveKey(key string, weight uint64) {
+	if r == nil || r.hot == nil || key == "" {
+		return
+	}
+	r.hot.Add(key, weight)
+}
+
+// Seq returns the sequence number of the most recently built report.
+func (r *TelemetryReporter) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Pending reports whether a built report is awaiting acknowledgment.
+func (r *TelemetryReporter) Pending() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending != nil
+}
+
+// NextReport returns the report to ship now: the still-unacknowledged
+// pending report if there is one (identical payload, same Seq — this is
+// what makes retries idempotent), otherwise a freshly built delta against
+// the acked baseline. Returns nil when there is nothing to report (no
+// pending report and no deltas since the last ack), so idle peers stay
+// silent. Callers must treat the returned report as immutable.
+func (r *TelemetryReporter) NextReport() *TelemetryReport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending != nil {
+		return r.pending
+	}
+
+	counters := r.m.counters.snapshot()
+	gauges := r.m.gauges.snapshot()
+	hists := r.m.Histograms()
+
+	rep := &TelemetryReport{Source: r.source}
+	for name, v := range counters {
+		if r.excluded(name) {
+			continue
+		}
+		if delta := v - r.base.counters[name]; delta != 0 {
+			if rep.Counters == nil {
+				rep.Counters = map[string]float64{}
+			}
+			rep.Counters[name] = delta
+		}
+	}
+	newHistBase := make(map[string]histBase, len(hists))
+	for name, h := range hists {
+		if r.excluded(name) {
+			continue
+		}
+		counts := h.BucketCounts()
+		sum := h.Sum()
+		newHistBase[name] = histBase{counts: counts, sum: sum}
+		prev := r.base.hists[name]
+		delta := HistogramDelta{Bounds: h.Bounds(), Counts: make([]uint64, len(counts)), Sum: sum - prev.sum}
+		any := false
+		for i, c := range counts {
+			var p uint64
+			if i < len(prev.counts) {
+				p = prev.counts[i]
+			}
+			if c >= p {
+				delta.Counts[i] = c - p
+			}
+			if delta.Counts[i] != 0 {
+				any = true
+			}
+		}
+		if any {
+			if rep.Histograms == nil {
+				rep.Histograms = map[string]HistogramDelta{}
+			}
+			rep.Histograms[name] = delta
+		}
+	}
+	if r.hot != nil {
+		if hot := r.hot.Drain(); len(hot) > 0 {
+			rep.HotKeys = hot
+		}
+	}
+	if len(rep.Counters) == 0 && len(rep.Histograms) == 0 && len(rep.HotKeys) == 0 {
+		// Nothing happened since the last ack; don't burn a sequence
+		// number on an empty report. (Gauges alone don't warrant a send.)
+		return nil
+	}
+	for name, v := range gauges {
+		if r.excluded(name) {
+			continue
+		}
+		if rep.Gauges == nil {
+			rep.Gauges = map[string]float64{}
+		}
+		rep.Gauges[name] = v
+	}
+	r.seq++
+	rep.Seq = r.seq
+	r.pending = rep
+	r.pendingBase = &telemetryBase{counters: counters, hists: newHistBase}
+	return rep
+}
+
+// Ack acknowledges the pending report. If seq covers the pending sequence,
+// the baseline advances and the next NextReport builds a fresh delta.
+// Returns true when an ack was consumed. Stale acks (from an earlier,
+// already-superseded report) are ignored.
+func (r *TelemetryReporter) Ack(seq uint64) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending == nil || seq < r.pending.Seq {
+		return false
+	}
+	r.base = *r.pendingBase
+	r.pending = nil
+	r.pendingBase = nil
+	return true
+}
+
+// KeyCount is one entry of a SpaceSaving sketch: an estimated count and the
+// maximum possible overestimation inherited from evictions.
+type KeyCount struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// SpaceSaving is the Metwally et al. space-saving heavy-hitter sketch: at
+// most cap keys are tracked; when a new key arrives at capacity it evicts
+// the minimum-count entry and inherits its count (recorded as the new
+// entry's error bound). Any key whose true count exceeds N/cap is guaranteed
+// to be present. Operations are O(log cap) via a min-heap, so the origin can
+// absorb hot-key streams from 100k reports per interval without scanning.
+type SpaceSaving struct {
+	mu    sync.Mutex
+	cap   int
+	heap  ssHeap
+	index map[string]*ssEntry
+}
+
+type ssEntry struct {
+	key   string
+	count uint64
+	err   uint64
+	idx   int
+}
+
+// ssHeap is a min-heap of entries by count.
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int            { return len(h) }
+func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *ssHeap) Push(x interface{}) { e := x.(*ssEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewSpaceSaving creates a sketch tracking at most capacity keys
+// (minimum 1).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving{cap: capacity, index: make(map[string]*ssEntry, capacity)}
+}
+
+// Add charges weight to key. Nil-safe.
+func (s *SpaceSaving) Add(key string, weight uint64) {
+	if s == nil || key == "" || weight == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.index[key]; ok {
+		e.count += weight
+		heap.Fix(&s.heap, e.idx)
+		return
+	}
+	if len(s.heap) < s.cap {
+		e := &ssEntry{key: key, count: weight}
+		heap.Push(&s.heap, e)
+		s.index[key] = e
+		return
+	}
+	// At capacity: replace the minimum, inheriting its count as the error
+	// bound (classic space-saving eviction).
+	min := s.heap[0]
+	delete(s.index, min.key)
+	min.err = min.count
+	min.count += weight
+	min.key = key
+	s.index[key] = min
+	heap.Fix(&s.heap, 0)
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap)
+}
+
+// Top returns the k highest-count entries, sorted by count descending (ties
+// by key ascending, for deterministic output). k <= 0 returns every entry.
+func (s *SpaceSaving) Top(k int) []KeyCount {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]KeyCount, 0, len(s.heap))
+	for _, e := range s.heap {
+		out = append(out, KeyCount{Key: e.key, Count: e.count, Err: e.err})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Drain returns every tracked key with its count and resets the sketch —
+// the per-report hot-key harvest on the peer side.
+func (s *SpaceSaving) Drain() map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.heap) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.heap))
+	for _, e := range s.heap {
+		out[e.key] = e.count
+	}
+	s.heap = s.heap[:0]
+	s.index = make(map[string]*ssEntry, s.cap)
+	return out
+}

@@ -1,0 +1,211 @@
+package hpop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramMergeBoundsMismatch: merging across different bucket layouts
+// must fail loudly, never remap.
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2, 4})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across different bounds succeeded")
+	}
+	c := NewHistogram([]float64{1, 2})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge across different bucket counts succeeded")
+	}
+	if err := a.MergeBuckets([]uint64{1, 2}, 3); err == nil {
+		t.Fatal("MergeBuckets with wrong length succeeded")
+	}
+	// Same bounds merge fine, nil receivers and args are no-ops.
+	if err := a.Merge(NewHistogram([]float64{1, 2, 3})); err != nil {
+		t.Fatalf("compatible merge: %v", err)
+	}
+	var nilH *Histogram
+	if err := nilH.Merge(a); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+}
+
+// TestHistogramMergeProperty (satellite): merging K histograms is
+// bucket-exact equivalent to observing the union stream, and quantiles
+// stay monotone in p after the merge. Samples are small multiples of 1/8
+// so the float sums compare exactly regardless of addition order.
+func TestHistogramMergeProperty(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	prop := func(streams [][]uint16) bool {
+		union := NewHistogram(bounds)
+		merged := NewHistogram(bounds)
+		for _, stream := range streams {
+			part := NewHistogram(bounds)
+			for _, raw := range stream {
+				v := float64(raw%128) / 8 // exact in float64: sums add exactly
+				union.Observe(v)
+				part.Observe(v)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Logf("merge: %v", err)
+				return false
+			}
+		}
+		if !reflect.DeepEqual(merged.BucketCounts(), union.BucketCounts()) {
+			t.Logf("bucket counts diverged: %v vs %v", merged.BucketCounts(), union.BucketCounts())
+			return false
+		}
+		if merged.Count() != union.Count() || merged.Sum() != union.Sum() {
+			t.Logf("count/sum diverged: %d/%v vs %d/%v",
+				merged.Count(), merged.Sum(), union.Count(), union.Sum())
+			return false
+		}
+		// Quantiles are monotone in p and identical to the union stream's.
+		prev := -1.0
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := merged.Quantile(p)
+			if q < prev {
+				t.Logf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+				return false
+			}
+			if uq := union.Quantile(p); q != uq {
+				t.Logf("quantile diverged at p=%v: %v vs %v", p, q, uq)
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryReporterDeltas: reports carry deltas since the last ack,
+// retries resend the identical pending payload, and the ack advances the
+// baseline.
+func TestTelemetryReporterDeltas(t *testing.T) {
+	m := NewMetrics()
+	r := NewTelemetryReporter("peer-1", m, 8)
+
+	if rep := r.NextReport(); rep != nil {
+		t.Fatalf("empty registry produced report %+v", rep)
+	}
+
+	m.Add("nocdn.peer.hits", 5)
+	m.Set("nocdn.peer.saturation", 0.25)
+	m.HistogramWithBounds("nocdn.peer.serve_seconds", []float64{0.01, 0.1}).Observe(0.005)
+	r.ObserveKey("example.com/index.html", 3)
+
+	rep := r.NextReport()
+	if rep == nil {
+		t.Fatal("no report despite deltas")
+	}
+	if rep.Source != "peer-1" || rep.Seq != 1 {
+		t.Fatalf("source/seq = %s/%d", rep.Source, rep.Seq)
+	}
+	if rep.Counters["nocdn.peer.hits"] != 5 {
+		t.Fatalf("hits delta = %v", rep.Counters["nocdn.peer.hits"])
+	}
+	if rep.Gauges["nocdn.peer.saturation"] != 0.25 {
+		t.Fatalf("saturation gauge = %v", rep.Gauges["nocdn.peer.saturation"])
+	}
+	d, ok := rep.Histograms["nocdn.peer.serve_seconds"]
+	if !ok || d.Counts[0] != 1 || d.Sum != 0.005 {
+		t.Fatalf("serve delta = %+v (ok=%v)", d, ok)
+	}
+	if rep.HotKeys["example.com/index.html"] != 3 {
+		t.Fatalf("hot keys = %v", rep.HotKeys)
+	}
+
+	// Unacked: more traffic arrives, but the pending report is immutable
+	// and NextReport resends the same payload (idempotent retry).
+	m.Add("nocdn.peer.hits", 2)
+	again := r.NextReport()
+	if again != rep {
+		t.Fatal("pending report was rebuilt, retries are not idempotent")
+	}
+
+	// A stale ack is ignored; the real ack commits the baseline.
+	if r.Ack(0) {
+		t.Fatal("stale ack consumed")
+	}
+	if !r.Ack(rep.Seq) {
+		t.Fatal("ack refused")
+	}
+	next := r.NextReport()
+	if next == nil {
+		t.Fatal("post-ack deltas lost")
+	}
+	if next.Seq != 2 || next.Counters["nocdn.peer.hits"] != 2 {
+		t.Fatalf("second report = seq %d, hits %v (want 2, 2)",
+			next.Seq, next.Counters["nocdn.peer.hits"])
+	}
+	r.Ack(next.Seq)
+	if rep := r.NextReport(); rep != nil {
+		t.Fatalf("quiescent registry produced report %+v", rep)
+	}
+}
+
+// TestSpaceSavingSketch: exact under capacity, guarantees heavy hitters
+// over capacity, deterministic Top ordering, Drain resets.
+func TestSpaceSavingSketch(t *testing.T) {
+	s := NewSpaceSaving(3)
+	s.Add("a", 10)
+	s.Add("b", 5)
+	s.Add("c", 2)
+	top := s.Top(0)
+	if len(top) != 3 || top[0].Key != "a" || top[0].Count != 10 || top[2].Key != "c" {
+		t.Fatalf("top = %+v", top)
+	}
+
+	// d evicts the minimum (c, count 2) and inherits its count.
+	s.Add("d", 1)
+	top = s.Top(2)
+	if len(top) != 2 || top[0].Key != "a" {
+		t.Fatalf("top after eviction = %+v", top)
+	}
+	all := s.Top(0)
+	var foundD bool
+	for _, kc := range all {
+		if kc.Key == "c" {
+			t.Fatalf("evicted key still present: %+v", all)
+		}
+		if kc.Key == "d" {
+			foundD = true
+			if kc.Count != 3 || kc.Err != 2 {
+				t.Fatalf("d inherited wrong count/err: %+v", kc)
+			}
+		}
+	}
+	if !foundD {
+		t.Fatalf("new key missing after eviction: %+v", all)
+	}
+
+	// A true heavy hitter always survives: hammer one key against churn.
+	s2 := NewSpaceSaving(4)
+	for i := 0; i < 1000; i++ {
+		s2.Add("hot", 10)
+		s2.Add(string(rune('a'+i%26)), 1)
+	}
+	if top := s2.Top(1); top[0].Key != "hot" {
+		t.Fatalf("heavy hitter lost: %+v", top)
+	}
+
+	drained := s2.Drain()
+	if drained["hot"] == 0 {
+		t.Fatalf("drain lost the hot key: %v", drained)
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("sketch not reset after drain: %d", s2.Len())
+	}
+}

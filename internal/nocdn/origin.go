@@ -111,6 +111,12 @@ type Origin struct {
 	// unhealthy peers from new peer maps (with hysteresis — readmission goes
 	// through the breaker's half-open probe cycle, never a single success).
 	health *hpop.HealthRegistry
+	// fleet merges peer TelemetryReports (POST /telemetry/batch) into
+	// fleet.* rollups, hot-key sketches, and /debug/fleet; slo computes
+	// multi-window burn rates over those rollups for /debug/slo. Both are
+	// always constructed (they are cheap when nothing reports).
+	fleet *FleetAggregator
+	slo   *hpop.SLOEngine
 
 	// contentMu guards the published catalog (objects, pages) and the
 	// per-object header overrides. The serving hot path takes only the read
@@ -246,12 +252,15 @@ func WithTracer(t *hpop.Tracer) OriginOption {
 func (o *Origin) SetMetrics(m *hpop.Metrics) {
 	o.metrics = m
 	o.audit.SetMetrics(m)
+	o.fleet.SetMetrics(m)
+	o.slo.SetMetrics(m)
 }
 
 // SetTracer wires a tracer after construction (daemon wiring).
 func (o *Origin) SetTracer(t *hpop.Tracer) {
 	o.tracer = t
 	o.audit.SetTracer(t)
+	o.slo.SetTracer(t)
 }
 
 // Audit returns the origin's settlement audit pipeline.
@@ -262,6 +271,9 @@ func (o *Origin) Audit() *Auditor { return o.audit }
 // Already registered peers are enrolled so their breaker gauges export.
 func (o *Origin) SetHealthRegistry(h *hpop.HealthRegistry) {
 	o.health = h
+	// fleet is nil while options run inside NewOrigin; the constructor
+	// re-wires the registry once the aggregator exists.
+	o.fleet.SetHealthRegistry(h)
 	for _, p := range o.registry.snapshot() {
 		h.Register(p.id)
 	}
@@ -309,8 +321,71 @@ func NewOrigin(provider string, opts ...OriginOption) *Origin {
 	o.ring = newRing(o.RingVnodes)
 	o.keys = auth.NewKeyIssuer(10*time.Minute, o.now)
 	o.nonces = auth.NewNonceCache(time.Hour, o.now)
+	// The telemetry plane shares the origin's (possibly fake) clock, so
+	// staleness windows and burn rates advance deterministically in tests.
+	o.fleet = NewFleetAggregator(o.now)
+	o.slo = hpop.NewSLOEngine(o.now)
+	o.fleet.SetSLOEngine(o.slo)
+	o.DeclareFleetSLOs(DefaultAvailabilityObjective, DefaultServeLatencyObjective, DefaultServeSLOThreshold)
+	if o.health != nil {
+		o.fleet.SetHealthRegistry(o.health)
+	}
+	if o.metrics != nil {
+		o.fleet.SetMetrics(o.metrics)
+		o.slo.SetMetrics(o.metrics)
+	}
+	if o.tracer != nil {
+		o.slo.SetTracer(o.tracer)
+	}
 	return o
 }
+
+// Default fleet SLO objectives.
+const (
+	// DefaultAvailabilityObjective is the fleet availability target: at
+	// most 1 in 1000 proxy requests may fail or shed.
+	DefaultAvailabilityObjective = 0.999
+	// DefaultServeLatencyObjective is the fleet serve-latency target: 99%
+	// of serves complete within the serve threshold.
+	DefaultServeLatencyObjective = 0.99
+)
+
+// DeclareFleetSLOs (re)declares the origin's three fleet SLOs:
+// availability, serve latency (good = served within thresholdSeconds), and
+// the zero-tolerance unverified-bytes budget. Out-of-range objectives keep
+// the defaults; accumulated burn state survives re-declaration.
+func (o *Origin) DeclareFleetSLOs(availability, latency, thresholdSeconds float64) {
+	if availability <= 0 || availability > 1 {
+		availability = DefaultAvailabilityObjective
+	}
+	if latency <= 0 || latency > 1 {
+		latency = DefaultServeLatencyObjective
+	}
+	if thresholdSeconds > 0 {
+		o.fleet.ServeSLOThreshold = thresholdSeconds
+	}
+	o.slo.Declare(hpop.SLOConfig{
+		Name:        SLOFleetAvailability,
+		Description: "fleet proxy requests that served bytes (failed or shed requests burn the budget)",
+		Objective:   availability,
+	})
+	o.slo.Declare(hpop.SLOConfig{
+		Name:        SLOFleetServeLatency,
+		Description: fmt.Sprintf("fleet serves completing within %.3fs", o.fleet.serveThreshold()),
+		Objective:   latency,
+	})
+	o.slo.Declare(hpop.SLOConfig{
+		Name:        SLOZeroUnverified,
+		Description: "unverified bytes caught at peers (quarantines); any event empties the budget",
+		Objective:   1,
+	})
+}
+
+// Fleet returns the origin's telemetry aggregator.
+func (o *Origin) Fleet() *FleetAggregator { return o.fleet }
+
+// SLOEngine returns the origin's SLO engine.
+func (o *Origin) SLOEngine() *hpop.SLOEngine { return o.slo }
 
 // AddObject registers content. The integrity hash is precomputed here, so
 // neither wrapper generation nor content serving ever hashes on a hot path.
@@ -1364,6 +1439,9 @@ func (o *Origin) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(o.Neighbors(peer, n))
 	})
+	mux.HandleFunc("/telemetry/batch", o.fleet.BatchHandler())
+	mux.HandleFunc("/debug/fleet", o.fleet.Handler())
+	mux.HandleFunc("/debug/slo", o.slo.Handler())
 	mux.HandleFunc("/debug/audit", o.audit.Handler())
 	mux.HandleFunc("/debug/health", o.health.Handler())
 	return mux

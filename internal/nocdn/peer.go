@@ -124,6 +124,18 @@ type Peer struct {
 	gossipStop chan struct{}
 	gossipDone chan struct{}
 
+	// telemetryMu guards the background fleet-telemetry lifecycle;
+	// reporter is the attached delta reporter (atomic so the serving hot
+	// path can charge hot keys without a lock).
+	telemetryMu   sync.Mutex
+	telemetryStop chan struct{}
+	telemetryDone chan struct{}
+	reporter      atomic.Pointer[hpop.TelemetryReporter]
+
+	// TelemetryBackoff shapes per-cycle telemetry upload retries. The zero
+	// value applies the faults package defaults. Set before serving.
+	TelemetryBackoff faults.Policy
+
 	// Tamper, when set, corrupts served bytes — the malicious-peer mode the
 	// integrity experiment exercises. Atomic so tests can flip it while the
 	// peer is serving.
@@ -531,6 +543,10 @@ func (p *Peer) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// origin round trip. The legacy nocdn.peer.* pair aggregates both hit
 	// tiers so existing dashboards keep working.
 	p.countServe(out, err, time.Since(start).Seconds())
+	// Demand signal for the fleet's hot-key sketch: every proxy request
+	// charges its object key, so the origin's /debug/fleet can rank the
+	// hottest pages across the city. Nil-safe until telemetry is enabled.
+	p.reporter.Load().ObserveKey(provider+path, 1)
 	if err != nil {
 		p.metrics.Inc("nocdn.peer.proxy_errors")
 		sp.SetError(err)

@@ -596,6 +596,10 @@ func xcacheLabel(v string) string { return strings.ToLower(v) }
 // either a hit (any serve out of cache: HIT, STALE, REVALIDATED) or a miss
 // (a full origin round trip fetched the body, or the request failed).
 func (p *Peer) countServe(out serveOutcome, err error, elapsed float64) {
+	// The unified serve histogram (hits, misses, and failures alike) is
+	// the fleet serve-p99 source: its bucket deltas ship in telemetry
+	// reports and merge bucket-exactly at the origin.
+	p.metrics.Observe("nocdn.peer.serve_seconds", elapsed)
 	if err == nil {
 		p.metrics.Inc("nocdn.peer.xcache." + xcacheLabel(out.xcache))
 	}

@@ -1,0 +1,163 @@
+package nocdn
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hpop/internal/faults"
+	"hpop/internal/hpop"
+)
+
+// Peer-side fleet telemetry: a background reporter builds idempotent
+// hpop.TelemetryReport deltas from the peer's own metrics registry and
+// ships them to the origin's POST /telemetry/batch on the gossip/flush
+// cadence. The shared faults retry policy shapes the per-cycle attempts;
+// when the origin is dark the cycle gives up silently and the unshipped
+// delta simply rides along in the next report — telemetry must never make
+// a degraded peer worse.
+
+// DefaultTelemetryInterval paces the background telemetry loop.
+const DefaultTelemetryInterval = 15 * time.Second
+
+// DefaultPeerHotKeys bounds the peer-side hot-key sketch drained into each
+// report.
+const DefaultPeerHotKeys = 128
+
+// EnableTelemetry attaches a delta reporter over the peer's metrics
+// registry (call after SetMetrics; hotKeys <= 0 picks DefaultPeerHotKeys).
+// Idempotent: a reporter survives re-enabling so sequence numbers and the
+// acked baseline are never reset mid-flight.
+func (p *Peer) EnableTelemetry(hotKeys int) *hpop.TelemetryReporter {
+	if r := p.reporter.Load(); r != nil {
+		return r
+	}
+	if hotKeys <= 0 {
+		hotKeys = DefaultPeerHotKeys
+	}
+	r := hpop.NewTelemetryReporter(p.ID, p.metrics, hotKeys)
+	// The shipping path's own bookkeeping must not re-arm the next report,
+	// or an idle peer would ship a fresh delta every interval forever.
+	r.ExcludePrefix("nocdn.peer.telemetry_")
+	if p.reporter.CompareAndSwap(nil, r) {
+		return r
+	}
+	return p.reporter.Load()
+}
+
+// TelemetryReporter returns the attached reporter (nil until
+// EnableTelemetry; hpop reporter methods are nil-safe).
+func (p *Peer) TelemetryReporter() *hpop.TelemetryReporter {
+	return p.reporter.Load()
+}
+
+// TelemetryOnce builds (or re-uses the pending) delta report and ships it
+// to the origin, retrying under TelemetryBackoff. Returns whether a report
+// was acknowledged this cycle; (false, nil) means there was nothing to
+// report. EnableTelemetry is implied.
+func (p *Peer) TelemetryOnce(ctx context.Context, originURL string) (bool, error) {
+	r := p.EnableTelemetry(0)
+	rep := r.NextReport()
+	if rep == nil {
+		return false, nil
+	}
+	sp := p.tracer.Start("nocdn.peer", "telemetry")
+	sp.SetLabel("peer", p.ID)
+	sp.SetLabel("seq", fmt.Sprintf("%d", rep.Seq))
+	defer sp.End()
+
+	body, err := json.Marshal(TelemetryBatch{Reports: []*hpop.TelemetryReport{rep}})
+	if err != nil {
+		sp.SetError(err)
+		return false, err
+	}
+	base := strings.TrimSuffix(originURL, "/")
+	var ack TelemetryAck
+	attempts, err := p.TelemetryBackoff.Do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/telemetry/batch", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		hpop.InjectTraceparent(req.Header, sp)
+		resp, err := p.httpClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			err = fmt.Errorf("nocdn: telemetry upload status %d", resp.StatusCode)
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				// A 4xx will not improve on retry; the report stays
+				// pending for the next cycle anyway.
+				return faults.Permanent(err)
+			}
+			return err
+		}
+		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ack)
+	})
+	sp.SetLabel("attempts", fmt.Sprintf("%d", attempts))
+	if err != nil {
+		// Degrade silently: count it, keep the report pending (same bytes,
+		// same seq next cycle — that is what makes retries idempotent).
+		sp.SetError(err)
+		p.metrics.Inc("nocdn.peer.telemetry_failures")
+		return false, err
+	}
+	if seq, ok := ack.Acks[p.ID]; ok {
+		r.Ack(seq)
+	}
+	p.metrics.Inc("nocdn.peer.telemetry_reports")
+	return true, nil
+}
+
+// StartTelemetry launches the background reporter loop against originURL
+// (<= 0 interval picks DefaultTelemetryInterval). Restarting replaces the
+// previous loop, mirroring the gossip lifecycle.
+func (p *Peer) StartTelemetry(originURL string, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultTelemetryInterval
+	}
+	p.EnableTelemetry(0)
+	p.StopTelemetry()
+	p.telemetryMu.Lock()
+	defer p.telemetryMu.Unlock()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p.telemetryStop, p.telemetryDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				p.TelemetryOnce(ctx, originURL)
+				cancel()
+			}
+		}
+	}()
+}
+
+// StopTelemetry halts the background reporter loop (no-op when not
+// running).
+func (p *Peer) StopTelemetry() {
+	p.telemetryMu.Lock()
+	stop, done := p.telemetryStop, p.telemetryDone
+	p.telemetryStop, p.telemetryDone = nil, nil
+	p.telemetryMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
