@@ -37,6 +37,15 @@
 // telemetry while the debug view stays in single-digit milliseconds.
 //
 //	hpopbench fleet-sweep -sources 1000,10000,100000
+//
+// And crash recovery of the durable control plane: recover-sweep journals
+// 10k to 1M settlement commits with snapshots disabled, kills the origin
+// with no shutdown, and times the cold WAL replay — asserting recovery
+// stays linear and fast (tens of thousands of journal records per second)
+// and that the recovered ledger matches the write-side ledger exactly. The
+// curve lands in BENCH_nocdn_recovery.json.
+//
+//	hpopbench recover-sweep -records 10000,100000,1000000 -min-replay 50000
 package main
 
 import (
@@ -67,6 +76,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "fleet-sweep" {
 		return runFleetSweep(os.Stdout, args[1:])
+	}
+	if len(args) > 0 && args[0] == "recover-sweep" {
+		return runRecoverSweep(os.Stdout, args[1:])
 	}
 	fs := flag.NewFlagSet("hpopbench", flag.ContinueOnError)
 	exp := fs.String("exp", "", "comma-separated experiment IDs (default: all)")

@@ -136,6 +136,11 @@ func run(args []string) error {
 					// The appliance's one scrub cadence covers both the
 					// attic placements and the peer's segment store.
 					peer.StartCacheScrub(*scrubInterval)
+					// Spool unflushed usage records alongside the segments
+					// so an appliance restart keeps earned credit queued.
+					if err := peer.AttachRecordSpool(*cacheDir); err != nil {
+						return err
+					}
 					ctx.Events.Logf("nocdn-peer", "disk cache tier at %s (%d MB)", *cacheDir, *diskCacheMB)
 				}
 				ctx.Mux.Handle("/nocdn/", http.StripPrefix("/nocdn", peer.Handler()))
@@ -150,6 +155,7 @@ func run(args []string) error {
 			},
 			OnStop: func() error {
 				peer.StopTelemetry()
+				peer.CloseRecordSpool()
 				peer.CloseDiskCache()
 				return nil
 			},

@@ -29,8 +29,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hpop/internal/faults"
@@ -134,6 +136,10 @@ func run(args []string) error {
 		"origin: stale-if-error window granted past max-age (0: omit)")
 	brownout := fs.Bool("brownout", false,
 		"load: serve pages with degraded-object markers instead of failing the view")
+	stateDir := fs.String("state-dir", "",
+		"origin: directory for the control-plane WAL and snapshots (empty: in-memory only)")
+	fsyncPolicy := fs.String("fsync", "always",
+		"origin: WAL fsync policy — always (group commit before each settlement ack), interval (100ms), never")
 	var peers kvFlags
 	fs.Var(&peers, "peer", "origin: peerID=peerURL (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -178,6 +184,22 @@ func run(args []string) error {
 		if *fleetStaleAfter > 0 {
 			o.Fleet().StaleAfter = *fleetStaleAfter
 		}
+		if *stateDir != "" {
+			policy, err := nocdn.ParseFsyncPolicy(*fsyncPolicy)
+			if err != nil {
+				return fmt.Errorf("-fsync: %w", err)
+			}
+			stats, err := o.AttachWAL(*stateDir, nocdn.WALOptions{Fsync: policy})
+			if err != nil {
+				return fmt.Errorf("attach WAL: %w", err)
+			}
+			fmt.Printf("control-plane WAL at %s (fsync=%s): replayed %d record(s) from seq %d in %v\n",
+				*stateDir, policy, stats.RecordsReplayed, stats.SnapshotSeq,
+				stats.Duration.Round(time.Millisecond))
+			if stats.TruncatedTail {
+				fmt.Println("WAL recovery truncated a torn tail (crash mid-append; unacked work only)")
+			}
+		}
 		if *content == "" {
 			return fmt.Errorf("origin mode requires -content")
 		}
@@ -217,7 +239,13 @@ func run(args []string) error {
 			fmt.Printf("refreshing pooled wrapper maps every %v\n", *epochTick)
 		}
 		fmt.Printf("nocdn origin %q on %s (%d peers)\n", *provider, *listen, len(peers.pairs))
-		return http.ListenAndServe(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer, health))
+		// SIGTERM drains in-flight settlements, takes a final snapshot, and
+		// closes the WAL — a clean restart replays the snapshot, not the log.
+		return serveUntilSignal(*listen, observabilityMux(*mode, o.Handler(), metrics, tracer, health), func() {
+			if err := o.Shutdown(); err != nil {
+				fmt.Fprintln(os.Stderr, "nocdnd: shutdown snapshot:", err)
+			}
+		})
 	case "peer":
 		p := nocdn.NewPeer(*id, *cacheMB<<20)
 		p.SetFetchTimeout(*fetchTimeout)
@@ -249,6 +277,12 @@ func run(args []string) error {
 			}
 			p.StartCacheScrub(*cacheScrub)
 			defer p.CloseDiskCache()
+			// Spool unflushed usage records next to the disk tier so a peer
+			// restart doesn't vaporize earned-but-unsettled credit.
+			if err := p.AttachRecordSpool(*cacheDir); err != nil {
+				return err
+			}
+			defer p.CloseRecordSpool()
 			fmt.Printf("disk cache tier at %s (%d MB budget, %d MB segments)\n",
 				*cacheDir, *diskCacheMB, *segmentMB)
 		}
@@ -274,7 +308,9 @@ func run(args []string) error {
 			fmt.Printf("shipping telemetry deltas to %s every %v\n", gossipOrigin, *telemetryInterval)
 		}
 		fmt.Printf("nocdn peer %q on %s\n", *id, *listen)
-		return http.ListenAndServe(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer, health))
+		// SIGTERM stops the listener and lets the deferred CloseRecordSpool /
+		// CloseDiskCache persist the queue and the disk tier manifest.
+		return serveUntilSignal(*listen, observabilityMux(*mode, p.Handler(), metrics, tracer, health), nil)
 	case "load":
 		if *originURL == "" {
 			return fmt.Errorf("load mode requires -origin")
@@ -312,6 +348,33 @@ func run(args []string) error {
 		return runLoads(os.Stdout, loader, *page, *views)
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+}
+
+// serveUntilSignal serves handler on addr until SIGINT/SIGTERM, then drains
+// in-flight requests (bounded) and runs the optional drain hook — the
+// graceful half of crash recovery: a clean stop leaves no work for replay.
+func serveUntilSignal(addr string, handler http.Handler, drain func()) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errC := make(chan error, 1)
+	go func() { errC <- srv.ListenAndServe() }()
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	select {
+	case err := <-errC:
+		return err
+	case sig := <-sigC:
+		fmt.Printf("%v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		if drain != nil {
+			drain()
+		}
+		return nil
 	}
 }
 

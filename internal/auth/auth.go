@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -84,11 +86,16 @@ func Verify(secret, msg []byte, sigHex string) error {
 // NonceCache remembers seen nonces for a window, rejecting replays. Entries
 // older than the window are purged lazily.
 type NonceCache struct {
-	mu     sync.Mutex
-	seen   map[string]time.Time
-	window time.Duration
-	now    func() time.Time
+	mu        sync.Mutex
+	seen      map[string]time.Time
+	window    time.Duration
+	now       func() time.Time
+	purgeAt   int       // sweep when the map reaches this size
+	lastSweep time.Time // ... or when a full window has passed without one
 }
+
+// noncePurgeFloor keeps the amortized sweep from thrashing on small maps.
+const noncePurgeFloor = 1024
 
 // NewNonceCache creates a cache with the given replay window (how long a
 // nonce is remembered; signers must also timestamp messages within it).
@@ -100,9 +107,11 @@ func NewNonceCache(window time.Duration, now func() time.Time) *NonceCache {
 		window = 10 * time.Minute
 	}
 	return &NonceCache{
-		seen:   make(map[string]time.Time),
-		window: window,
-		now:    now,
+		seen:      make(map[string]time.Time),
+		window:    window,
+		now:       now,
+		purgeAt:   noncePurgeFloor,
+		lastSweep: now(),
 	}
 }
 
@@ -112,13 +121,24 @@ func (c *NonceCache) Use(nonce string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
-	// Lazy purge.
-	for n, at := range c.seen {
-		if now.Sub(at) > c.window {
-			delete(c.seen, n)
+	// Amortized lazy purge. A full sweep costs O(live window), so running
+	// one per call makes Use quadratic once the window holds many nonces —
+	// a settlement path submitting 100k+ nonces inside one window ground
+	// to a tenth of its throughput on exactly that. Sweep only when the
+	// map has doubled since the last sweep (amortized O(1) per Use) or a
+	// whole window has passed (bounds idle memory); the replay check below
+	// consults the entry's own timestamp, so a not-yet-swept expired entry
+	// never falsely rejects.
+	if len(c.seen) >= c.purgeAt || now.Sub(c.lastSweep) > c.window {
+		for n, at := range c.seen {
+			if now.Sub(at) > c.window {
+				delete(c.seen, n)
+			}
 		}
+		c.purgeAt = 2*len(c.seen) + noncePurgeFloor
+		c.lastSweep = now
 	}
-	if _, ok := c.seen[nonce]; ok {
+	if at, ok := c.seen[nonce]; ok && now.Sub(at) <= c.window {
 		return ErrReplayed
 	}
 	c.seen[nonce] = now
@@ -130,6 +150,41 @@ func (c *NonceCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.seen)
+}
+
+// Export copies the live nonce window: every remembered nonce with the wall
+// time it was first seen. Crash-recovery persists this so a restart cannot
+// reopen the replay window — the TTL is wall-clock-anchored, so without the
+// original seen times a fast restart would accept a nonce consumed seconds
+// before the crash.
+func (c *NonceCache) Export() map[string]time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Time, len(c.seen))
+	for n, at := range c.seen {
+		out[n] = at
+	}
+	return out
+}
+
+// Restore re-anchors previously exported nonces at their original seen
+// times. Entries already past the window are dropped; an entry already
+// present keeps the earlier of the two times (the window must never shrink
+// on replay). Idempotent, so journal replay may restore the same nonce more
+// than once.
+func (c *NonceCache) Restore(entries map[string]time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for n, at := range entries {
+		if now.Sub(at) > c.window {
+			continue
+		}
+		if prev, ok := c.seen[n]; ok && prev.Before(at) {
+			continue
+		}
+		c.seen[n] = at
+	}
 }
 
 // KeyIssuer mints and tracks short-term keys, as the NoCDN origin does for
@@ -187,6 +242,41 @@ func (ki *KeyIssuer) Revoke(id string) {
 	ki.mu.Lock()
 	defer ki.mu.Unlock()
 	delete(ki.keys, id)
+}
+
+// Export copies every live (unexpired) key — the short-term key table a
+// crash-recoverable issuer persists so records signed before a restart still
+// verify after it.
+func (ki *KeyIssuer) Export() []Key {
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	now := ki.now()
+	out := make([]Key, 0, len(ki.keys))
+	for _, k := range ki.keys {
+		if k.Expired(now) {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Restore reinserts a previously issued key (expired keys are dropped) and
+// re-anchors the issuer's ID counter past the key's "-N" suffix, so keys
+// minted after recovery can never collide with — and silently overwrite —
+// keys minted before the crash. Idempotent.
+func (ki *KeyIssuer) Restore(k Key) {
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	if k.ID == "" || k.Expired(ki.now()) {
+		return
+	}
+	ki.keys[k.ID] = k
+	if dash := strings.LastIndexByte(k.ID, '-'); dash >= 0 {
+		if n, err := strconv.Atoi(k.ID[dash+1:]); err == nil && n > ki.next {
+			ki.next = n
+		}
+	}
 }
 
 // Grant is the attic's provider-bootstrap payload — the contents of the QR

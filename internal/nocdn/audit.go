@@ -254,6 +254,278 @@ func (a *Auditor) FlagTampered(peerID string, cause error) {
 	}
 }
 
+// merge folds another Welford accumulator into this one exactly (Chan et
+// al.'s parallel variance combination): the result is identical to having
+// observed both sample streams, which is what lets settlement batches
+// journal their audit contribution as an (n, mean, m2) delta and replay it
+// without per-record fidelity loss.
+func (w *welford) merge(n int64, mean, m2 float64) {
+	if n <= 0 {
+		return
+	}
+	if w.n == 0 {
+		w.n, w.mean, w.m2 = n, mean, m2
+		return
+	}
+	total := w.n + n
+	delta := mean - w.mean
+	w.mean += delta * float64(n) / float64(total)
+	w.m2 += m2 + delta*delta*float64(w.n)*float64(n)/float64(total)
+	w.n = total
+}
+
+// welfordState is a welford accumulator's persisted form.
+type welfordState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// peerAuditState is one peer's audit row in persisted form (full fidelity:
+// a restored auditor scores peers identically to the pre-crash one).
+type peerAuditState struct {
+	PeerID    string       `json:"peerId"`
+	Records   int64        `json:"records"`
+	Rejects   int64        `json:"rejects"`
+	Replays   int64        `json:"replays"`
+	Bytes     int64        `json:"bytes"`
+	Stats     welfordState `json:"stats"`
+	Flagged   bool         `json:"flagged,omitempty"`
+	Offending []string     `json:"offending,omitempty"`
+}
+
+// auditState is the auditor's full persisted form.
+type auditState struct {
+	Pop   welfordState     `json:"pop"`
+	Peers []peerAuditState `json:"peers"`
+}
+
+// exportState captures the auditor for a snapshot, peers sorted by ID so
+// snapshot bytes are deterministic. Nil-receiver safe.
+func (a *Auditor) exportState() auditState {
+	if a == nil {
+		return auditState{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := auditState{
+		Pop:   welfordState{N: a.pop.n, Mean: a.pop.mean, M2: a.pop.m2},
+		Peers: make([]peerAuditState, 0, len(a.peers)),
+	}
+	for id, pa := range a.peers {
+		st.Peers = append(st.Peers, peerAuditState{
+			PeerID:    id,
+			Records:   pa.records,
+			Rejects:   pa.rejects,
+			Replays:   pa.replays,
+			Bytes:     pa.bytes,
+			Stats:     welfordState{N: pa.stats.n, Mean: pa.stats.mean, M2: pa.stats.m2},
+			Flagged:   pa.flagged,
+			Offending: append([]string(nil), pa.offending...),
+		})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].PeerID < st.Peers[j].PeerID })
+	return st
+}
+
+// restoreState overwrites the auditor from a snapshot. No OnFlag callbacks
+// fire — flag consequences (ejection, suspension) are restored separately
+// from their own journal records. Nil-receiver safe.
+func (a *Auditor) restoreState(st auditState) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pop = welford{n: st.Pop.N, mean: st.Pop.Mean, m2: st.Pop.M2}
+	a.peers = make(map[string]*peerAudit, len(st.Peers))
+	for _, ps := range st.Peers {
+		a.peers[ps.PeerID] = &peerAudit{
+			records:   ps.Records,
+			rejects:   ps.Rejects,
+			replays:   ps.Replays,
+			bytes:     ps.Bytes,
+			stats:     welford{n: ps.Stats.N, mean: ps.Stats.Mean, m2: ps.Stats.M2},
+			flagged:   ps.Flagged,
+			offending: append([]string(nil), ps.Offending...),
+		}
+	}
+}
+
+// mergeDeltasLocked folds per-peer batch deltas into the rolling
+// statistics; a.mu must be held.
+func (a *Auditor) mergeDeltasLocked(deltas []walAuditDelta) {
+	for _, d := range deltas {
+		pa := a.peers[d.PeerID]
+		if pa == nil {
+			pa = &peerAudit{}
+			a.peers[d.PeerID] = pa
+		}
+		pa.records += d.Records
+		pa.rejects += d.Rejects
+		pa.replays += d.Replays
+		pa.bytes += d.Bytes
+		pa.stats.merge(d.N, d.Mean, d.M2)
+		a.pop.merge(d.N, d.Mean, d.M2)
+		for _, tid := range d.Offending {
+			if len(pa.offending) < auditMaxOffending {
+				pa.offending = append(pa.offending, tid)
+			}
+		}
+	}
+}
+
+// applyDeltas folds journaled per-batch audit contributions back in during
+// replay. Statistics only: scores are recomputed afterwards by rescoreAll,
+// and flags are NOT re-derived here (they replay from their own audit-flag
+// records, so recovery can't fire OnFlag side effects twice). Nil-receiver
+// safe.
+func (a *Auditor) applyDeltas(deltas []walAuditDelta) {
+	if a == nil || len(deltas) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mergeDeltasLocked(deltas)
+}
+
+// settleOutcome is one record's settlement verdict, collected during batch
+// verification and applied (plus journaled, as part of its batch's audit
+// deltas) at commit time.
+type settleOutcome struct {
+	rec      UsageRecord
+	err      error
+	replayed bool
+}
+
+// buildAuditDeltas reduces a batch's per-record outcomes to the per-peer
+// journal deltas — a pure function, computed before the journal append so
+// the settle record carries exactly what observeSettled will apply.
+func buildAuditDeltas(outcomes []settleOutcome) []walAuditDelta {
+	if len(outcomes) == 0 {
+		return nil
+	}
+	byPeer := make(map[string]*walAuditDelta)
+	stats := make(map[string]*welford)
+	for _, oc := range outcomes {
+		d := byPeer[oc.rec.PeerID]
+		if d == nil {
+			d = &walAuditDelta{PeerID: oc.rec.PeerID}
+			byPeer[oc.rec.PeerID] = d
+			stats[oc.rec.PeerID] = &welford{}
+		}
+		d.Records++
+		d.Bytes += oc.rec.Bytes
+		stats[oc.rec.PeerID].observe(float64(oc.rec.Bytes))
+		if oc.err != nil {
+			d.Rejects++
+			if oc.replayed {
+				d.Replays++
+			}
+			if len(d.Offending) < auditMaxOffending {
+				if tc, err := hpop.ParseTraceparent(oc.rec.Traceparent); err == nil {
+					d.Offending = append(d.Offending, tc.TraceID.String())
+				}
+			}
+		}
+	}
+	out := make([]walAuditDelta, 0, len(byPeer))
+	for id, d := range byPeer {
+		w := stats[id]
+		d.N, d.Mean, d.M2 = w.n, w.mean, w.m2
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PeerID < out[j].PeerID })
+	return out
+}
+
+// observeSettled applies one settled batch's outcomes at commit time: the
+// same statistics, metrics, rescoring, and flagging semantics as calling
+// Observe per record, but the statistics arrive as the pre-built deltas
+// (identical to the journaled ones — what you replay is what you applied)
+// and the whole-population rescore runs once per batch instead of once per
+// record. Newly flagged peers get their audit span and OnFlag callback
+// outside the lock, exactly like Observe. Nil-receiver safe.
+func (a *Auditor) observeSettled(outcomes []settleOutcome, deltas []walAuditDelta) {
+	if a == nil || len(outcomes) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.mergeDeltasLocked(deltas)
+	for _, oc := range outcomes {
+		a.metrics.Inc("nocdn.audit.records")
+		a.metrics.Observe("nocdn.audit.claimed_bytes", float64(oc.rec.Bytes))
+		if oc.err != nil {
+			a.metrics.Inc("nocdn.audit.rejects")
+			if oc.replayed {
+				a.metrics.Inc("nocdn.audit.replays")
+			}
+		}
+	}
+	type flaggedPeer struct {
+		id        string
+		score     float64
+		offending []string
+	}
+	var newly []flaggedPeer
+	for id, p := range a.peers {
+		p.score = a.scoreLocked(p)
+		a.metrics.Set("nocdn.audit.peer."+id+".deviation", p.score)
+		if !p.flagged && p.records >= a.minRecords() && p.score > a.threshold() {
+			p.flagged = true
+			a.metrics.Inc("nocdn.audit.flagged")
+			newly = append(newly, flaggedPeer{id, p.score, append([]string(nil), p.offending...)})
+		}
+	}
+	sort.Slice(newly, func(i, j int) bool { return newly[i].id < newly[j].id })
+	tracer := a.tracer
+	a.mu.Unlock()
+
+	for _, fp := range newly {
+		sp := tracer.Start("nocdn.audit", "peer_flagged")
+		sp.SetLabel("peer", fp.id)
+		sp.SetLabel("score", strconv.FormatFloat(fp.score, 'g', 4, 64))
+		for i, id := range fp.offending {
+			sp.SetLabel(fmt.Sprintf("offending_trace_%d", i), id)
+		}
+		sp.End()
+		if a.OnFlag != nil {
+			a.OnFlag(fp.id)
+		}
+	}
+}
+
+// restoreFlag marks a peer flagged during replay without firing OnFlag (the
+// origin re-applies ejection itself, idempotently). Nil-receiver safe.
+func (a *Auditor) restoreFlag(peerID string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pa := a.peers[peerID]
+	if pa == nil {
+		pa = &peerAudit{}
+		a.peers[peerID] = pa
+	}
+	pa.flagged = true
+}
+
+// rescoreAll recomputes every peer's deviation score after a restore, so
+// /debug/audit reads identically to the pre-crash origin. No flagging and no
+// OnFlag — this is bookkeeping, not judgment. Nil-receiver safe.
+func (a *Auditor) rescoreAll() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, pa := range a.peers {
+		pa.score = a.scoreLocked(pa)
+		a.metrics.Set("nocdn.audit.peer."+id+".deviation", pa.score)
+	}
+}
+
 // scoreLocked computes a peer's deviation score; a.mu must be held.
 func (a *Auditor) scoreLocked(pa *peerAudit) float64 {
 	denom := a.pop.stddev()

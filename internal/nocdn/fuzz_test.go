@@ -44,6 +44,34 @@ func FuzzParseRange(f *testing.F) {
 	})
 }
 
+// FuzzWALDecode hardens the journal frame decoder: arbitrary bytes with an
+// arbitrary expected chain/sequence must never panic, and anything that
+// decodes must round-trip through the encoder to identical bytes.
+func FuzzWALDecode(f *testing.F) {
+	var prev [32]byte
+	payload := []byte(`{"assignEpoch":3}`)
+	good := encodeWALFrame(walEpochTick, 1, payload, walChain(prev, walEpochTick, 1, payload))
+	f.Add(good, []byte{}, uint64(1))
+	f.Add(good[:len(good)-3], []byte{}, uint64(1)) // torn tail
+	f.Add([]byte("hWL1garbage"), []byte{1}, uint64(0))
+	f.Add([]byte{}, []byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, data, chainSeed []byte, wantSeq uint64) {
+		var chain [32]byte
+		copy(chain[:], chainSeed)
+		fr, n, err := decodeWALFrame(data, chain, wantSeq)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		again := encodeWALFrame(fr.typ, fr.seq, fr.payload, walChain(chain, fr.typ, fr.seq, fr.payload))
+		if string(again) != string(data[:n]) {
+			t.Fatal("decoded frame does not re-encode to its own bytes")
+		}
+	})
+}
+
 // FuzzSettleRecords throws arbitrary record fields at the settlement path:
 // it must neither panic nor credit anything unsigned.
 func FuzzSettleRecords(f *testing.F) {

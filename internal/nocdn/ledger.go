@@ -1,6 +1,9 @@
 package nocdn
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // ledgerShardCount shards the settlement ledger and key table by hash; a
 // power of two so the shard pick is a mask. Settlement for different peers
@@ -184,6 +187,101 @@ func (l *ledger) anomalyCheck(peerIDs map[string]struct{}, factor float64) []str
 		sh.mu.Unlock()
 	}
 	return newly
+}
+
+// ledgerRow is one peer's full settlement row, as persisted in snapshots.
+type ledgerRow struct {
+	ID          string `json:"id"`
+	Credited    int64  `json:"credited"`
+	Assigned    int64  `json:"assigned"`
+	Rejected    int64  `json:"rejected"`
+	AssignCount int64  `json:"assignCount"`
+	Suspended   bool   `json:"suspended,omitempty"`
+}
+
+// exportRows copies every peer's settlement row, sorted by ID so snapshot
+// bytes are deterministic for identical state.
+func (l *ledger) exportRows() []ledgerRow {
+	byID := make(map[string]*ledgerRow)
+	touch := func(id string) *ledgerRow {
+		r := byID[id]
+		if r == nil {
+			r = &ledgerRow{ID: id}
+			byID[id] = r
+		}
+		return r
+	}
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.RLock()
+		for id, n := range sh.credited {
+			touch(id).Credited = n
+		}
+		for id, n := range sh.assigned {
+			touch(id).Assigned = n
+		}
+		for id, n := range sh.rejected {
+			touch(id).Rejected = n
+		}
+		for id, n := range sh.assignCount {
+			touch(id).AssignCount = n
+		}
+		for id, s := range sh.suspended {
+			if s {
+				touch(id).Suspended = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]ledgerRow, 0, len(byID))
+	for _, r := range byID {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// restoreRow sets one peer's row to absolute snapshot values.
+func (l *ledger) restoreRow(r ledgerRow) {
+	sh := l.shardFor(r.ID)
+	sh.mu.Lock()
+	sh.credited[r.ID] = r.Credited
+	sh.assigned[r.ID] = r.Assigned
+	sh.rejected[r.ID] = r.Rejected
+	sh.assignCount[r.ID] = r.AssignCount
+	if r.Suspended {
+		sh.suspended[r.ID] = true
+	}
+	sh.mu.Unlock()
+}
+
+// floorAssigned raises a peer's assigned-bytes figure to at least n. Journal
+// replay uses this: settle records carry the absolute assigned value at
+// settlement time, and max semantics make replaying the same record — or
+// records interleaved with a snapshot — idempotent, keeping the anomaly
+// ratio (credited/assigned) sane after recovery even though individual
+// wrapper-serve charges are not journaled.
+func (l *ledger) floorAssigned(peerID string, n int64) {
+	if n <= 0 {
+		return
+	}
+	sh := l.shardFor(peerID)
+	sh.mu.Lock()
+	if sh.assigned[peerID] < n {
+		sh.assigned[peerID] = n
+	}
+	sh.mu.Unlock()
+}
+
+// floorKeyBytes raises a key's byte budget to at least n (idempotent replay
+// of keys-issued records, which carry the budget as an absolute value).
+func (l *ledger) floorKeyBytes(keyID string, n int64) {
+	sh := l.keyShardFor(keyID)
+	sh.mu.Lock()
+	if sh.keyBytes[keyID] < n {
+		sh.keyBytes[keyID] = n
+	}
+	sh.mu.Unlock()
 }
 
 // issueKey records which peer a short-term key was minted for.

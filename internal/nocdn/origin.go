@@ -148,6 +148,19 @@ type Origin struct {
 	nonces *auth.NonceCache // internally locked
 	now    func() time.Time
 
+	// commitMu orders settlement commits against snapshot capture: a settle
+	// record's journal append and its ledger/audit application happen
+	// atomically with respect to the snapshot cut, which is what makes the
+	// (only) non-idempotent record type safe to replay. Every other record
+	// type replays idempotently and journals without this lock.
+	commitMu sync.Mutex
+	// wal, when attached, is the durable control-plane journal; walOpts and
+	// walRecovery remember the attach configuration and startup replay.
+	wal          *controlWAL
+	walOpts      WALOptions
+	walRecovery  RecoveryStats
+	snapshotGate atomic.Bool
+
 	// selMu guards the legacy wrapper build path: the selection RNG and the
 	// per-page wrapper cache.
 	selMu        sync.Mutex
@@ -463,7 +476,10 @@ func (o *Origin) RegisterPeer(id, url string, rttMillis float64) {
 	o.health.Register(id)
 	o.registry.add(id, url, rttMillis)
 	o.ring.add(id)
-	o.assignEpoch.Add(1)
+	ep := o.assignEpoch.Add(1)
+	// Apply-then-journal: every effect above replays idempotently, so a
+	// crash between apply and append loses nothing that was acknowledged.
+	o.journalPeerRegister(id, url, rttMillis, ep)
 }
 
 // peerSnapshot materializes the legacy []*PeerInfo view: directory rows
@@ -647,6 +663,10 @@ func (o *Origin) GenerateWrapper(page string) (*Wrapper, error) {
 		w.Objects = append(w.Objects, makeRef(e))
 	}
 	o.ledger.assignCharges(charges)
+	// The key table must be durable before the wrapper leaves the origin:
+	// records signed under these keys must still settle after a crash.
+	// Charges are already in the ledger here, so no pending delta.
+	o.journalKeysIssued(w, nil)
 	if o.WrapperTTL > 0 {
 		o.wrapperCache[page] = cachedWrapper{wrapper: w, builtAt: o.now(), epoch: epoch}
 	}
@@ -723,6 +743,9 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 	creditDeltas := make(map[string]int64)
 	rejectCounts := make(map[string]int64)
 	involved := make(map[string]struct{})
+	var nonces []string
+	outcomes := make([]settleOutcome, 0, len(records))
+	batchPeer := ""
 	for _, r := range records {
 		var rsp *hpop.Span
 		if rtc, perr := hpop.ParseTraceparent(r.Traceparent); perr == nil {
@@ -733,8 +756,9 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 		rsp.SetLabel("peer", r.PeerID)
 		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
 		err := o.settleOne(r)
-		o.audit.Observe(r, err, errors.Is(err, auth.ErrReplayed))
+		outcomes = append(outcomes, settleOutcome{rec: r, err: err, replayed: errors.Is(err, auth.ErrReplayed)})
 		involved[r.PeerID] = struct{}{}
+		batchPeer = r.PeerID
 		if err != nil {
 			rejectCounts[r.PeerID]++
 			o.metrics.Inc("nocdn.origin.records_rejected")
@@ -742,16 +766,59 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 			rsp.End()
 			continue
 		}
+		nonces = append(nonces, r.KeyID+"|"+r.Nonce)
 		creditDeltas[r.PeerID] += r.Bytes
 		rsp.End()
 		credited++
 	}
-	o.ledger.creditBatch(creditDeltas)
-	o.ledger.rejectBatch(rejectCounts)
+	o.commitSettlement(walSettleRec{
+		PeerID:  batchPeer,
+		At:      o.now().UnixNano(),
+		Nonces:  nonces,
+		Credits: creditDeltas,
+		Rejects: rejectCounts,
+	}, involved, outcomes)
 	sp.SetLabel("credited", strconv.Itoa(credited))
-	o.suspendAnomalous(involved)
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited
+}
+
+// commitSettlement is the durable apply step every settlement path funnels
+// through: under the commit lock the settle record (credits, rejects,
+// consumed nonces, audit deltas, assigned floors) is journaled first, then
+// applied to the ledger and auditor — so a snapshot can never capture a
+// half-applied batch, and replaying the journal reproduces exactly the
+// acknowledged state. The fsync wait happens after the lock is released
+// (group commit), before the caller acknowledges the peer.
+func (o *Origin) commitSettlement(rec walSettleRec, involved map[string]struct{}, outcomes []settleOutcome) {
+	deltas := buildAuditDeltas(outcomes)
+	var endSeq uint64
+	o.commitMu.Lock()
+	if o.wal != nil {
+		rec.Audit = deltas
+		// Absolute assigned-bytes floors for the involved peers: per-serve
+		// wrapper charges are not journaled (hot path), so the settle
+		// record carries the running totals and replay floors them — the
+		// anomaly ratio stays sane across a restart.
+		rec.Assigned = make(map[string]int64, len(involved))
+		for id := range involved {
+			_, assigned, _, _ := o.ledger.row(id)
+			rec.Assigned[id] = assigned
+		}
+		o.journalAppend(walSettle, rec)
+	}
+	o.ledger.creditBatch(rec.Credits)
+	o.ledger.rejectBatch(rec.Rejects)
+	o.audit.observeSettled(outcomes, deltas)
+	o.suspendAnomalous(involved)
+	if o.wal != nil {
+		// Wait through the last record this commit produced (the settle
+		// append plus any suspension/flag records it cascaded into).
+		endSeq, _ = o.wal.position()
+	}
+	o.commitMu.Unlock()
+	o.walWait(endSeq)
+	o.maybeSnapshot()
 }
 
 // settleOne fully verifies one record (signature included) and consumes its
@@ -903,9 +970,17 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 	for i := range b.Records {
 		leaves[i] = b.Records[i].LeafBytes()
 	}
+	involved := map[string]struct{}{b.PeerID: {}}
 	if MerkleRoot(leaves) != b.Root {
 		o.metrics.Inc("nocdn.origin.batches_rejected")
-		o.ledger.rejectBatch(map[string]int64{b.PeerID: int64(len(b.Records))})
+		// A rejection is still a settlement outcome — the peer must not
+		// retry it — so it journals like one (no nonce was consumed).
+		o.commitSettlement(walSettleRec{
+			PeerID:  b.PeerID,
+			Root:    b.Root,
+			At:      o.now().UnixNano(),
+			Rejects: map[string]int64{b.PeerID: int64(len(b.Records))},
+		}, involved, nil)
 		err := fmt.Errorf("%w: root mismatch", ErrBadBatch)
 		sp.SetError(err)
 		return 0, err
@@ -927,12 +1002,19 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 		if err := o.verifyRecordFull(b.Records[i], b.PeerID); err != nil {
 			// Feed the auditor both statistically (the record observation)
 			// and directly (tamper evidence flags without waiting for a
-			// score), then reject the whole batch without consuming nonces.
+			// score), then reject the whole batch. The batch nonce was
+			// already consumed, so it journals with the rejection — a
+			// crash must not reopen the root to a "fixed" replay.
 			o.metrics.Inc("nocdn.origin.sample_failures")
 			o.metrics.Inc("nocdn.origin.batches_rejected")
-			o.audit.Observe(b.Records[i], err, false)
+			o.commitSettlement(walSettleRec{
+				PeerID:  b.PeerID,
+				Root:    b.Root,
+				At:      o.now().UnixNano(),
+				Nonces:  []string{"batch|" + b.Root},
+				Rejects: map[string]int64{b.PeerID: int64(len(b.Records))},
+			}, involved, []settleOutcome{{rec: b.Records[i], err: err}})
 			o.audit.FlagTampered(b.PeerID, err)
-			o.ledger.rejectBatch(map[string]int64{b.PeerID: int64(len(b.Records))})
 			err = fmt.Errorf("%w: sampled leaf %d: %v", ErrBadBatch, i, err)
 			sp.SetError(err)
 			return 0, err
@@ -942,7 +1024,8 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 	credited := 0
 	creditDeltas := make(map[string]int64)
 	rejectCounts := make(map[string]int64)
-	involved := map[string]struct{}{b.PeerID: {}}
+	nonces := []string{"batch|" + b.Root}
+	outcomes := make([]settleOutcome, 0, len(b.Records))
 	for i := range b.Records {
 		r := b.Records[i]
 		// Each record's span continues the page view's trace via the signed
@@ -957,7 +1040,7 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 		rsp.SetLabel("peer", r.PeerID)
 		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
 		err := o.commitRecord(r, b.PeerID)
-		o.audit.Observe(r, err, errors.Is(err, auth.ErrReplayed))
+		outcomes = append(outcomes, settleOutcome{rec: r, err: err, replayed: errors.Is(err, auth.ErrReplayed)})
 		if err != nil {
 			rejectCounts[r.PeerID]++
 			o.metrics.Inc("nocdn.origin.records_rejected")
@@ -965,13 +1048,19 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 			rsp.End()
 			continue
 		}
+		nonces = append(nonces, r.KeyID+"|"+r.Nonce)
 		creditDeltas[r.PeerID] += r.Bytes
 		rsp.End()
 		credited++
 	}
-	o.ledger.creditBatch(creditDeltas)
-	o.ledger.rejectBatch(rejectCounts)
-	o.suspendAnomalous(involved)
+	o.commitSettlement(walSettleRec{
+		PeerID:  b.PeerID,
+		Root:    b.Root,
+		At:      o.now().UnixNano(),
+		Nonces:  nonces,
+		Credits: creditDeltas,
+		Rejects: rejectCounts,
+	}, involved, outcomes)
 	sp.SetLabel("credited", strconv.Itoa(credited))
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited, nil
@@ -985,8 +1074,10 @@ func (o *Origin) suspendAnomalous(involved map[string]struct{}) {
 	newly := o.ledger.anomalyCheck(involved, o.AnomalyFactor)
 	if len(newly) > 0 {
 		o.assignEpoch.Add(1)
-		for range newly {
+		sort.Strings(newly)
+		for _, id := range newly {
 			o.metrics.Inc("nocdn.origin.anomaly_suspensions")
+			o.journalSuspend(id)
 		}
 	}
 }
@@ -1000,6 +1091,10 @@ func (o *Origin) ejectFlagged(peerID string) {
 	o.ledger.suspend(peerID)
 	o.invalidateWrappers()
 	o.metrics.Inc("nocdn.origin.peer_ejections")
+	// The flag and its consequences must survive a restart: tampering
+	// evidence is exactly the state an attacker would most like a crash to
+	// erase.
+	o.journalAuditFlag(peerID, "audit_flag")
 }
 
 // ---- health probing ----
@@ -1282,8 +1377,10 @@ func (o *Origin) TotalPageBytes(page string) (int64, error) {
 //	POST /usage/batch         -> Merkle-committed record batch upload
 //	POST /gossip              -> delegated neighbor-health report
 //	GET  /neighbors?peer=ID   -> the peer's ring-successor probe set
+//	GET  /accounting?peer=ID  -> the peer's settlement ledger row JSON
 //	GET  /debug/audit         -> settlement audit snapshot JSON
 //	GET  /debug/health        -> peer-health registry snapshot JSON
+//	GET  /debug/wal           -> durable control-plane (WAL) status JSON
 //
 // Every endpoint continues the caller's distributed trace when the request
 // carries a traceparent header; absent or malformed headers open fresh
@@ -1439,7 +1536,17 @@ func (o *Origin) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(o.Neighbors(peer, n))
 	})
+	mux.HandleFunc("/accounting", func(w http.ResponseWriter, r *http.Request) {
+		peer := r.URL.Query().Get("peer")
+		if peer == "" {
+			http.Error(w, "peer required", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.AccountingFor(peer))
+	})
 	mux.HandleFunc("/telemetry/batch", o.fleet.BatchHandler())
+	mux.HandleFunc("/debug/wal", o.WALHandler())
 	mux.HandleFunc("/debug/fleet", o.fleet.Handler())
 	mux.HandleFunc("/debug/slo", o.slo.Handler())
 	mux.HandleFunc("/debug/audit", o.audit.Handler())

@@ -99,6 +99,9 @@ type Peer struct {
 	nextFlushAt   time.Time
 	// maxPending caps len(records); <= 0 means DefaultMaxPendingRecords.
 	maxPending int
+	// spool, when attached, persists the unflushed queue across restarts
+	// (AttachRecordSpool); guarded by recordsMu like the queue it mirrors.
+	spool *recordSpool
 
 	// FlushBackoff shapes the gate delay between failed uploads. The zero
 	// value applies the faults package defaults. Set before serving.
@@ -621,7 +624,9 @@ func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.records = append(p.records, rec)
+	spool := p.spool
 	p.recordsMu.Unlock()
+	spool.append(rec)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -710,7 +715,12 @@ func (p *Peer) Flush(originURL string) (int, error) {
 			p.recordsMu.Lock()
 			p.flushFailures = 0
 			p.nextFlushAt = time.Time{}
+			spool := p.spool
+			queue := append([]UsageRecord(nil), p.records...)
 			p.recordsMu.Unlock()
+			// The batch is settled: compact the spool down to whatever
+			// arrived meanwhile so a restart doesn't re-upload it.
+			spool.rewrite(queue)
 			sp.SetLabel("uploaded", strconv.Itoa(len(batch)))
 			return len(batch), nil
 		}
@@ -728,7 +738,17 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	}
 	p.flushFailures++
 	p.nextFlushAt = now.Add(p.FlushBackoff.Delay(p.flushFailures))
+	spool := p.spool
+	var queue []UsageRecord
+	if spool != nil && over > 0 {
+		queue = append([]UsageRecord(nil), p.records...)
+	}
 	p.recordsMu.Unlock()
+	if spool != nil && over > 0 {
+		// Only a shed changes what should replay on boot — a plain requeue
+		// leaves the spool contents correct as-is.
+		spool.rewrite(queue)
+	}
 	if over > 0 {
 		// Shed records are unpaid work — surface them on the flush span and
 		// as a counter, not just the lifetime drop total.

@@ -1,0 +1,531 @@
+package nocdn
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hpop/internal/auth"
+)
+
+// WALOptions configures the origin's durable control plane.
+type WALOptions struct {
+	// Fsync is the durability policy ("" means FsyncAlways).
+	Fsync FsyncPolicy
+	// SnapshotEvery compacts the journal after that many appends
+	// (0 = DefaultSnapshotEvery, negative = never auto-snapshot — benches
+	// use this to measure pure-replay recovery).
+	SnapshotEvery int
+}
+
+func (opts WALOptions) snapshotEvery() int64 {
+	switch {
+	case opts.SnapshotEvery < 0:
+		return 0
+	case opts.SnapshotEvery == 0:
+		return DefaultSnapshotEvery
+	}
+	return int64(opts.SnapshotEvery)
+}
+
+// RecoveryStats describes one startup replay.
+type RecoveryStats struct {
+	SnapshotSeq     uint64        `json:"snapshotSeq"`
+	RecordsReplayed int           `json:"recordsReplayed"`
+	RecordsSkipped  int           `json:"recordsSkipped"`
+	TruncatedTail   bool          `json:"truncatedTail"`
+	LastSeq         uint64        `json:"lastSeq"`
+	Duration        time.Duration `json:"durationNanos"`
+}
+
+// originSnapshot is the compacted control-plane state one snapshot file
+// holds: everything a restarted origin needs besides the content catalog
+// (which the daemon republishes) and the journal tail.
+type originSnapshot struct {
+	Seq          uint64      `json:"seq"`
+	ChainHex     string      `json:"chainHex"`
+	ContentEpoch int64       `json:"contentEpoch"`
+	AssignEpoch  int64       `json:"assignEpoch"`
+	TakenAt      int64       `json:"takenAtUnixNano"`
+	Peers        []snapPeer  `json:"peers"`
+	Ledger       []ledgerRow `json:"ledger"`
+	Keys         []walKeyRec `json:"keys"`
+	Nonces       []snapNonce `json:"nonces"`
+	Audit        auditState  `json:"audit"`
+}
+
+type snapPeer struct {
+	ID  string  `json:"id"`
+	URL string  `json:"url"`
+	RTT float64 `json:"rtt"`
+}
+
+type snapNonce struct {
+	N  string `json:"n"`
+	At int64  `json:"atUnixNano"`
+}
+
+// storeMax floors an atomic epoch at v (idempotent journal replay: epochs
+// are journaled as absolute values and only ever move forward).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AttachWAL makes the origin's control plane durable: it recovers state
+// from dir (newest valid snapshot, then the journal tail with torn-record
+// truncation) and journals every control-plane mutation from here on.
+// Call it after construction and observability wiring but before publishing
+// content or registering live peers — recovery restores the pre-crash
+// registry, ledger, audit state, key table, and replay-nonce window, and
+// rebuilds the assignment ring deterministically so wrapper maps come back
+// byte-stable.
+func (o *Origin) AttachWAL(dir string, opts WALOptions) (RecoveryStats, error) {
+	if o.wal != nil {
+		return RecoveryStats{}, fmt.Errorf("nocdn: wal already attached")
+	}
+	policy := opts.Fsync
+	if policy == "" {
+		policy = FsyncAlways
+	}
+	start := time.Now()
+	sp := o.tracer.Start("nocdn.origin", "wal_recover")
+	defer sp.End()
+	sp.SetLabel("dir", dir)
+
+	w, err := openControlWAL(dir, policy, o.metrics)
+	if err != nil {
+		sp.SetError(err)
+		return RecoveryStats{}, err
+	}
+
+	// Newest valid snapshot wins; a corrupt one falls back to the next
+	// (older) candidate with a correspondingly longer journal replay.
+	var stats RecoveryStats
+	var snapChain [32]byte
+	snapSeq, snapAt := uint64(0), int64(0)
+	for _, cand := range snapshotCandidates(dir) {
+		state, rerr := readSnapshotFile(cand.path)
+		if rerr != nil {
+			o.metrics.Inc("nocdn.wal.snapshot_read_errors")
+			continue
+		}
+		var snap originSnapshot
+		if json.Unmarshal(state, &snap) != nil {
+			o.metrics.Inc("nocdn.wal.snapshot_read_errors")
+			continue
+		}
+		o.restoreSnapshot(snap)
+		snapSeq, snapAt = snap.Seq, snap.TakenAt
+		if ch, derr := hex.DecodeString(snap.ChainHex); derr == nil && len(ch) == 32 {
+			copy(snapChain[:], ch)
+		}
+		break
+	}
+	stats.SnapshotSeq = snapSeq
+
+	res, err := scanWALDir(dir, snapSeq, snapChain, o.applyWALRecord)
+	if err != nil {
+		sp.SetError(err)
+		return stats, err
+	}
+	if res.truncated {
+		o.metrics.Inc("nocdn.wal.truncated_tails")
+	}
+	stats.RecordsReplayed = res.replayed
+	stats.RecordsSkipped = res.skipped
+	stats.TruncatedTail = res.truncated
+	stats.LastSeq = res.lastSeq
+	if err := w.setPosition(res.lastSeq, res.chain, snapSeq, snapAt, res.lastFile, res.lastSize); err != nil {
+		sp.SetError(err)
+		return stats, err
+	}
+
+	// Replay restored statistics without judging them; recompute the scores
+	// so /debug/audit reads identically to the pre-crash origin.
+	o.audit.rescoreAll()
+	o.invalidateWrappers()
+
+	stats.Duration = time.Since(start)
+	o.wal = w
+	o.walOpts = opts
+	o.walRecovery = stats
+	o.metrics.Observe("nocdn.wal.recovery_seconds", stats.Duration.Seconds())
+	o.metrics.Add("nocdn.wal.recovered_records", float64(stats.RecordsReplayed))
+	sp.SetLabel("snapshot_seq", fmt.Sprint(snapSeq))
+	sp.SetLabel("replayed", fmt.Sprint(stats.RecordsReplayed))
+	sp.SetLabel("truncated", fmt.Sprint(stats.TruncatedTail))
+	return stats, nil
+}
+
+// snapshotCandidates lists snapshot files newest-first.
+func snapshotCandidates(dir string) []struct {
+	seq  uint64
+	path string
+} {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []struct {
+		seq  uint64
+		path string
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if seq, ok := parseSeqName(name, "snap-", ".json"); ok {
+			out = append(out, struct {
+				seq  uint64
+				path string
+			}{seq, filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out
+}
+
+// restoreSnapshot loads one compacted snapshot into the (fresh) origin.
+func (o *Origin) restoreSnapshot(snap originSnapshot) {
+	storeMax(&o.contentEpoch, snap.ContentEpoch)
+	storeMax(&o.assignEpoch, snap.AssignEpoch)
+	for _, p := range snap.Peers {
+		o.health.Register(p.ID)
+		o.registry.add(p.ID, p.URL, p.RTT)
+		o.ring.add(p.ID)
+	}
+	for _, row := range snap.Ledger {
+		o.ledger.restoreRow(row)
+	}
+	o.restoreKeys(snap.Keys)
+	nonces := make(map[string]time.Time, len(snap.Nonces))
+	for _, n := range snap.Nonces {
+		nonces[n.N] = time.Unix(0, n.At)
+	}
+	o.nonces.Restore(nonces)
+	o.audit.restoreState(snap.Audit)
+	for _, ps := range snap.Audit.Peers {
+		if ps.Flagged {
+			o.health.SetFlagged(ps.PeerID, true)
+		}
+	}
+}
+
+// restoreKeys reinserts journaled short-term keys so usage records signed
+// before the crash still verify after it.
+func (o *Origin) restoreKeys(keys []walKeyRec) {
+	for _, kr := range keys {
+		secret, err := hex.DecodeString(kr.SecretHex)
+		if err != nil {
+			continue
+		}
+		o.keys.Restore(auth.Key{ID: kr.ID, Secret: secret, Expires: time.Unix(0, kr.Expires)})
+		o.ledger.issueKey(kr.ID, kr.PeerID)
+		o.ledger.floorKeyBytes(kr.ID, kr.MaxBytes)
+	}
+}
+
+// applyWALRecord replays one journaled mutation. Every branch is
+// idempotent — replaying a record whose effect the snapshot (or an earlier
+// pass) already holds changes nothing — and none of them fire operator
+// side effects (OnFlag spans, metrics counters for live settlement):
+// recovery restores state, it does not re-settle.
+func (o *Origin) applyWALRecord(fr walFrame) error {
+	switch fr.typ {
+	case walPeerRegister:
+		var rec walPeerRegisterRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		o.health.Register(rec.ID)
+		o.registry.add(rec.ID, rec.URL, rec.RTT)
+		o.ring.add(rec.ID)
+		storeMax(&o.assignEpoch, rec.AssignEpoch)
+	case walPeerSuspend:
+		var rec walPeerSuspendRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		o.ledger.suspend(rec.ID)
+		storeMax(&o.assignEpoch, rec.AssignEpoch)
+	case walEpochTick:
+		var rec walEpochTickRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		storeMax(&o.assignEpoch, rec.AssignEpoch)
+	case walAuditFlag:
+		var rec walAuditFlagRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		o.audit.restoreFlag(rec.ID)
+		o.health.SetFlagged(rec.ID, true)
+		o.ledger.suspend(rec.ID)
+		storeMax(&o.assignEpoch, rec.AssignEpoch)
+	case walKeysIssued:
+		var rec walKeysIssuedRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		o.restoreKeys(rec.Keys)
+		for id, n := range rec.Assigned {
+			o.ledger.floorAssigned(id, n)
+		}
+	case walSettle:
+		var rec walSettleRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		if len(rec.Nonces) > 0 {
+			at := time.Unix(0, rec.At)
+			nonces := make(map[string]time.Time, len(rec.Nonces))
+			for _, n := range rec.Nonces {
+				nonces[n] = at
+			}
+			o.nonces.Restore(nonces)
+		}
+		o.ledger.creditBatch(rec.Credits)
+		o.ledger.rejectBatch(rec.Rejects)
+		for id, n := range rec.Assigned {
+			o.ledger.floorAssigned(id, n)
+		}
+		o.audit.applyDeltas(rec.Audit)
+	default:
+		// Unknown record type (newer writer): skip rather than refuse to
+		// start — the chain already proved the bytes are authentic.
+		o.metrics.Inc("nocdn.wal.unknown_records")
+	}
+	return nil
+}
+
+// ---- journaling (live-path write side) ----
+
+// journalAppend appends one record, nil-WAL safe. Journal failures never
+// fail the control-plane operation itself (availability over durability);
+// they surface on nocdn.wal.append_errors.
+func (o *Origin) journalAppend(typ walRecType, payload any) uint64 {
+	if o.wal == nil {
+		return 0
+	}
+	seq, err := o.wal.appendJSON(typ, payload)
+	if err != nil {
+		return 0
+	}
+	return seq
+}
+
+// walWait blocks until seq is durable per policy, nil-WAL safe.
+func (o *Origin) walWait(seq uint64) {
+	if o.wal != nil {
+		o.wal.waitDurable(seq)
+	}
+}
+
+func (o *Origin) journalPeerRegister(id, url string, rtt float64, epoch int64) {
+	o.walWait(o.journalAppend(walPeerRegister, walPeerRegisterRec{ID: id, URL: url, RTT: rtt, AssignEpoch: epoch}))
+}
+
+func (o *Origin) journalEpochTick(epoch int64) {
+	o.walWait(o.journalAppend(walEpochTick, walEpochTickRec{AssignEpoch: epoch}))
+}
+
+func (o *Origin) journalSuspend(id string) {
+	o.journalAppend(walPeerSuspend, walPeerSuspendRec{ID: id, AssignEpoch: o.assignEpoch.Load()})
+}
+
+func (o *Origin) journalAuditFlag(id, cause string) {
+	o.walWait(o.journalAppend(walAuditFlag, walAuditFlagRec{ID: id, Cause: cause, AssignEpoch: o.assignEpoch.Load()}))
+}
+
+// journalKeysIssued makes a freshly built wrapper's key table durable
+// before the wrapper is handed out, so records signed under those keys
+// still settle after a crash. The record also floors each named peer's
+// assigned bytes at its post-charge figure: per-serve assignment charges
+// are not journaled, so without the floor a peer whose first settlement
+// lands after a restart would replay as credited-with-no-assignment and be
+// suspended as anomalous. pending holds this build's charges when the
+// caller has not applied them to the ledger yet (the pooled path journals
+// at build time, before the serve charges); pass nil if they are already
+// in.
+func (o *Origin) journalKeysIssued(w *Wrapper, pending []charge) {
+	if o.wal == nil || len(w.Keys) == 0 {
+		return
+	}
+	pendingBytes := make(map[string]int64, len(pending))
+	for _, c := range pending {
+		pendingBytes[c.peerID] += c.bytes
+	}
+	rec := walKeysIssuedRec{
+		Keys:     make([]walKeyRec, 0, len(w.Keys)),
+		Assigned: make(map[string]int64, len(w.Keys)),
+	}
+	for peerID, pk := range w.Keys {
+		k, err := o.keys.Lookup(pk.KeyID)
+		if err != nil {
+			continue
+		}
+		_, maxBytes, _ := o.ledger.keyInfo(pk.KeyID)
+		rec.Keys = append(rec.Keys, walKeyRec{
+			ID:        pk.KeyID,
+			PeerID:    peerID,
+			SecretHex: hexEncode(k.Secret),
+			Expires:   k.Expires.UnixNano(),
+			MaxBytes:  maxBytes,
+		})
+		_, assigned, _, _ := o.ledger.row(peerID)
+		rec.Assigned[peerID] = assigned + pendingBytes[peerID]
+	}
+	sort.Slice(rec.Keys, func(i, j int) bool { return rec.Keys[i].ID < rec.Keys[j].ID })
+	o.walWait(o.journalAppend(walKeysIssued, rec))
+}
+
+// maybeSnapshot compacts the journal when it has grown past the configured
+// append budget. Synchronous in the caller (a settlement commit), gated so
+// only one snapshot runs at a time.
+func (o *Origin) maybeSnapshot() {
+	if o.wal == nil {
+		return
+	}
+	every := o.walOpts.snapshotEvery()
+	if every <= 0 || o.wal.sinceSnapshot() < every {
+		return
+	}
+	if !o.snapshotGate.CompareAndSwap(false, true) {
+		return
+	}
+	defer o.snapshotGate.Store(false)
+	o.SnapshotNow()
+}
+
+// SnapshotNow writes a compacted snapshot of the control plane and
+// truncates the journal behind it. Safe to call any time after AttachWAL.
+func (o *Origin) SnapshotNow() error {
+	if o.wal == nil {
+		return fmt.Errorf("nocdn: no wal attached")
+	}
+	start := time.Now()
+	// The commit lock orders the capture against settlement commits: every
+	// journaled settle record with seq <= the cut is in the capture, and
+	// none past it are. All other record types replay idempotently, so
+	// concurrent registers/ticks can straddle the cut harmlessly.
+	o.commitMu.Lock()
+	seq, chain := o.wal.position()
+	snap := o.captureState(seq, chain)
+	o.commitMu.Unlock()
+
+	state, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(o.wal.dir, seq, state); err != nil {
+		o.metrics.Inc("nocdn.wal.snapshot_errors")
+		return err
+	}
+	if err := o.wal.rotateAfterSnapshot(seq, chain, o.now()); err != nil {
+		o.metrics.Inc("nocdn.wal.snapshot_errors")
+		return err
+	}
+	o.metrics.Inc("nocdn.wal.snapshots")
+	o.metrics.Observe("nocdn.wal.snapshot_seconds", time.Since(start).Seconds())
+	return nil
+}
+
+// captureState materializes the full control-plane state at a journal cut.
+func (o *Origin) captureState(seq uint64, chain [32]byte) originSnapshot {
+	snap := originSnapshot{
+		Seq:          seq,
+		ChainHex:     hex.EncodeToString(chain[:]),
+		ContentEpoch: o.contentEpoch.Load(),
+		AssignEpoch:  o.assignEpoch.Load(),
+		TakenAt:      o.now().UnixNano(),
+		Ledger:       o.ledger.exportRows(),
+		Audit:        o.audit.exportState(),
+	}
+	for _, p := range o.registry.snapshot() {
+		snap.Peers = append(snap.Peers, snapPeer{ID: p.id, URL: p.url, RTT: p.rtt})
+	}
+	for _, k := range o.keys.Export() {
+		peerID, maxBytes, _ := o.ledger.keyInfo(k.ID)
+		snap.Keys = append(snap.Keys, walKeyRec{
+			ID:        k.ID,
+			PeerID:    peerID,
+			SecretHex: hexEncode(k.Secret),
+			Expires:   k.Expires.UnixNano(),
+			MaxBytes:  maxBytes,
+		})
+	}
+	sort.Slice(snap.Keys, func(i, j int) bool { return snap.Keys[i].ID < snap.Keys[j].ID })
+	for n, at := range o.nonces.Export() {
+		snap.Nonces = append(snap.Nonces, snapNonce{N: n, At: at.UnixNano()})
+	}
+	sort.Slice(snap.Nonces, func(i, j int) bool { return snap.Nonces[i].N < snap.Nonces[j].N })
+	return snap
+}
+
+// Shutdown drains the durable control plane: one final snapshot, then the
+// journal is fsynced and closed. Idempotent; a nil-WAL origin is a no-op.
+func (o *Origin) Shutdown() error {
+	if o.wal == nil {
+		return nil
+	}
+	err := o.SnapshotNow()
+	if cerr := o.wal.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALStatus is the /debug/wal JSON shape.
+type WALStatus struct {
+	Attached         bool          `json:"attached"`
+	Dir              string        `json:"dir,omitempty"`
+	Policy           string        `json:"policy,omitempty"`
+	LastSeq          uint64        `json:"lastSeq"`
+	DurableSeq       uint64        `json:"durableSeq"`
+	SnapshotSeq      uint64        `json:"snapshotSeq"`
+	SnapshotAt       int64         `json:"snapshotAtUnixNano,omitempty"`
+	AppendsSinceSnap int64         `json:"appendsSinceSnapshot"`
+	Recovery         RecoveryStats `json:"recovery"`
+}
+
+// WALStatusSnapshot reports the durable control plane's live status.
+func (o *Origin) WALStatusSnapshot() WALStatus {
+	if o.wal == nil {
+		return WALStatus{}
+	}
+	seq, _ := o.wal.position()
+	snapSeq, snapAt := o.wal.snapshotInfo()
+	return WALStatus{
+		Attached:         true,
+		Dir:              o.wal.dir,
+		Policy:           string(o.wal.policy),
+		LastSeq:          seq,
+		DurableSeq:       o.wal.durableSeq(),
+		SnapshotSeq:      snapSeq,
+		SnapshotAt:       snapAt,
+		AppendsSinceSnap: o.wal.sinceSnapshot(),
+		Recovery:         o.walRecovery,
+	}
+}
+
+// WALHandler serves GET /debug/wal.
+func (o *Origin) WALHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(o.WALStatusSnapshot())
+	}
+}

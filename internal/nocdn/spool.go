@@ -1,0 +1,187 @@
+package nocdn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hpop/internal/hpop"
+)
+
+// spoolFileName is the durable usage-record spool inside a peer's cache dir.
+const spoolFileName = "records.spool"
+
+// recordSpool persists a peer's unflushed usage records so a peer crash
+// doesn't vaporize earned-but-unsettled credit. The format is JSONL: one
+// record per line, appended as records arrive and compacted (tmp + rename)
+// whenever the in-memory queue is rewritten — after a flush settles or
+// sheds. Appends are buffered-write best-effort (no per-record fsync: this
+// is a credit spool on a home appliance, not a ledger; the origin's WAL is
+// the settlement authority), and loading tolerates a torn final line
+// exactly like the segment store tolerates a torn tail.
+type recordSpool struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	bw      *bufio.Writer
+	metrics *hpop.Metrics
+}
+
+// openRecordSpool opens (creating if needed) the spool in dir and loads any
+// previously spooled records.
+func openRecordSpool(dir string, m *hpop.Metrics) (*recordSpool, []UsageRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &recordSpool{path: filepath.Join(dir, spoolFileName), metrics: m}
+	recs := s.load()
+	if err := s.openAppend(); err != nil {
+		return nil, nil, err
+	}
+	return s, recs, nil
+}
+
+// load reads every intact record line; a torn or corrupt line ends the
+// spool (a crash mid-append can only tear the last line).
+func (s *recordSpool) load() []UsageRecord {
+	raw, err := os.ReadFile(s.path)
+	if err != nil || len(raw) == 0 {
+		return nil
+	}
+	var recs []UsageRecord
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec UsageRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			s.metrics.Inc("nocdn.peer.spool_torn_tail")
+			break
+		}
+		recs = append(recs, rec)
+	}
+	s.metrics.Add("nocdn.peer.spool_loaded", float64(len(recs)))
+	return recs
+}
+
+func (s *recordSpool) openAppend() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.bw = bufio.NewWriterSize(f, 16<<10)
+	return nil
+}
+
+// append spools one newly accepted record.
+func (s *recordSpool) append(rec UsageRecord) {
+	if s == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw == nil {
+		return
+	}
+	s.bw.Write(b)
+	s.bw.WriteByte('\n')
+	s.bw.Flush()
+	s.metrics.Inc("nocdn.peer.spool_appends")
+}
+
+// rewrite compacts the spool to exactly the given queue (tmp + rename), so
+// settled or shed records stop being replayed on the next boot.
+func (s *recordSpool) rewrite(recs []UsageRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw == nil {
+		return
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return
+	}
+	s.bw.Flush()
+	s.f.Close()
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		s.openAppend()
+		return
+	}
+	s.openAppend()
+	s.metrics.Inc("nocdn.peer.spool_rewrites")
+}
+
+// close flushes and closes the spool handle (the file stays for next boot).
+func (s *recordSpool) close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw != nil {
+		s.bw.Flush()
+		s.f.Close()
+		s.bw, s.f = nil, nil
+	}
+}
+
+// AttachRecordSpool makes the peer's usage-record queue durable under dir
+// (typically the same -cache-dir as the disk tier): previously spooled
+// records are requeued — flowing to the origin through the normal Flush
+// path, backoff gate included — and every accepted record is spooled until
+// its batch settles.
+func (p *Peer) AttachRecordSpool(dir string) error {
+	spool, recs, err := openRecordSpool(dir, p.metrics)
+	if err != nil {
+		return err
+	}
+	p.recordsMu.Lock()
+	p.spool = spool
+	if len(recs) > 0 {
+		p.records = append(recs, p.records...)
+		if over := len(p.records) - p.maxPendingLocked(); over > 0 {
+			p.records = append([]UsageRecord(nil), p.records[over:]...)
+			p.droppedRecords.Add(int64(over))
+		}
+	}
+	queue := append([]UsageRecord(nil), p.records...)
+	p.recordsMu.Unlock()
+	// Compact immediately: drops any torn tail and the over-cap shed.
+	spool.rewrite(queue)
+	return nil
+}
+
+// CloseRecordSpool persists the current queue and detaches the spool.
+func (p *Peer) CloseRecordSpool() {
+	p.recordsMu.Lock()
+	spool := p.spool
+	p.spool = nil
+	queue := append([]UsageRecord(nil), p.records...)
+	p.recordsMu.Unlock()
+	if spool == nil {
+		return
+	}
+	spool.rewrite(queue)
+	spool.close()
+}

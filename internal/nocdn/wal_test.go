@@ -1,0 +1,579 @@
+package nocdn
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpop/internal/hpop"
+	"hpop/internal/sim"
+)
+
+// buildTestWAL writes n epoch-tick records into a fresh journal in dir and
+// returns the single journal file's path.
+func buildTestWAL(t *testing.T, dir string, n int) string {
+	t.Helper()
+	w, err := openControlWAL(dir, FsyncNever, hpop.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := w.appendJSON(walEpochTick, walEpochTickRec{AssignEpoch: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, walFileName(1))
+}
+
+// frameEnds decodes a journal file and returns each frame's end offset.
+func frameEnds(t *testing.T, raw []byte) []int {
+	t.Helper()
+	firstSeq, chain, err := decodeWALFileHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	off := walFileHeaderLen
+	want := firstSeq
+	for off < len(raw) {
+		fr, n, derr := decodeWALFrame(raw[off:], chain, want)
+		if derr != nil {
+			t.Fatalf("clean journal failed to decode at %d: %v", off, derr)
+		}
+		chain = walChain(chain, fr.typ, fr.seq, fr.payload)
+		want = fr.seq + 1
+		off += n
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// replayTicks scans dir and returns the replayed epoch values in order.
+func replayTicks(t *testing.T, dir string) ([]int64, walScanResult) {
+	t.Helper()
+	var epochs []int64
+	res, err := scanWALDir(dir, 0, [32]byte{}, func(fr walFrame) error {
+		var rec walEpochTickRec
+		if err := json.Unmarshal(fr.payload, &rec); err != nil {
+			return err
+		}
+		epochs = append(epochs, rec.AssignEpoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epochs, res
+}
+
+// wantPrefix asserts the replayed epochs are exactly 1..len(epochs) — the
+// core recovery guarantee: a damaged journal always yields a strict prefix,
+// never a reordered, skipped, or invented record.
+func wantPrefix(t *testing.T, epochs []int64) {
+	t.Helper()
+	for i, e := range epochs {
+		if e != int64(i+1) {
+			t.Fatalf("replay is not a prefix: position %d holds epoch %d", i, e)
+		}
+	}
+}
+
+// TestWALScanRoundTrip: an undamaged journal replays every record in order.
+func TestWALScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	buildTestWAL(t, dir, 25)
+	epochs, res := replayTicks(t, dir)
+	if len(epochs) != 25 || res.lastSeq != 25 || res.truncated {
+		t.Fatalf("replayed %d lastSeq %d truncated %v, want 25/25/false", len(epochs), res.lastSeq, res.truncated)
+	}
+	wantPrefix(t, epochs)
+}
+
+// TestWALTornTailProperty: truncating the journal at ANY byte offset leaves
+// a log that replays the longest complete prefix, repairs itself, and scans
+// cleanly (no truncation) the second time.
+func TestWALTornTailProperty(t *testing.T) {
+	check := func(nRaw uint8, cutRaw uint16) bool {
+		n := int(nRaw)%20 + 2
+		dir := t.TempDir()
+		path := buildTestWAL(t, dir, n)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends := frameEnds(t, raw)
+		cut := walFileHeaderLen + int(cutRaw)%(len(raw)-walFileHeaderLen)
+		wantFrames := 0
+		for _, e := range ends {
+			if e <= cut {
+				wantFrames++
+			}
+		}
+		if err := os.Truncate(path, int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		epochs, res := replayTicks(t, dir)
+		wantPrefix(t, epochs)
+		if len(epochs) != wantFrames {
+			t.Errorf("n=%d cut=%d: replayed %d frames, want %d", n, cut, len(epochs), wantFrames)
+			return false
+		}
+		// A cut landing exactly on a frame boundary leaves no torn bytes —
+		// the scan cannot (and must not) report truncation for a file that
+		// simply ends cleanly early.
+		atBoundary := cut == walFileHeaderLen
+		for _, e := range ends {
+			if e == cut {
+				atBoundary = true
+			}
+		}
+		if wantFrames < n && !atBoundary && !res.truncated {
+			t.Errorf("n=%d cut=%d: tail was torn but scan did not report truncation", n, cut)
+			return false
+		}
+		// The scan repaired the file: a second scan is clean and identical.
+		epochs2, res2 := replayTicks(t, dir)
+		if len(epochs2) != wantFrames || res2.truncated {
+			t.Errorf("n=%d cut=%d: post-repair scan replayed %d truncated=%v", n, cut, len(epochs2), res2.truncated)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCorruptByteProperty: flipping ANY single byte past the file header
+// ends the log at the frame holding that byte — everything before replays,
+// nothing after does.
+func TestWALCorruptByteProperty(t *testing.T) {
+	check := func(nRaw uint8, posRaw uint16) bool {
+		n := int(nRaw)%20 + 2
+		dir := t.TempDir()
+		path := buildTestWAL(t, dir, n)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ends := frameEnds(t, raw)
+		pos := walFileHeaderLen + int(posRaw)%(len(raw)-walFileHeaderLen)
+		// The frame containing the flipped byte is the first that must fail.
+		wantFrames := 0
+		for _, e := range ends {
+			if e <= pos {
+				wantFrames++
+			}
+		}
+		raw[pos] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		epochs, res := replayTicks(t, dir)
+		wantPrefix(t, epochs)
+		if len(epochs) != wantFrames {
+			t.Errorf("n=%d pos=%d: replayed %d frames, want %d", n, pos, len(epochs), wantFrames)
+			return false
+		}
+		if !res.truncated {
+			t.Errorf("n=%d pos=%d: corruption not reported as truncation", n, pos)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALChainBreakDetected: a frame whose CRC is valid but whose chain
+// value does not commit to its predecessors (a spliced or reordered record)
+// is rejected with errWALBadChain.
+func TestWALChainBreakDetected(t *testing.T) {
+	var prev [32]byte
+	payload := []byte(`{"assignEpoch":1}`)
+	good := encodeWALFrame(walEpochTick, 1, payload, walChain(prev, walEpochTick, 1, payload))
+	if _, _, err := decodeWALFrame(good, prev, 1); err != nil {
+		t.Fatalf("good frame rejected: %v", err)
+	}
+	// Forge the chain value and recompute a valid CRC over the forged body —
+	// only the chain check can catch this.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-5] ^= 0xff // inside chain[32]
+	binary.BigEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if _, _, err := decodeWALFrame(bad, prev, 1); !errors.Is(err, errWALBadChain) {
+		t.Fatalf("forged chain decoded with err=%v, want errWALBadChain", err)
+	}
+	// A sequence discontinuity is its own error.
+	if _, _, err := decodeWALFrame(good, prev, 7); !errors.Is(err, errWALBadSeq) {
+		t.Fatalf("wrong wantSeq decoded with err=%v, want errWALBadSeq", err)
+	}
+}
+
+// TestWALConcurrentAppendHammer: many goroutines appending and waiting for
+// durability concurrently must produce one gapless, chain-valid journal.
+// (Run under -race in CI.)
+func TestWALConcurrentAppendHammer(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openControlWAL(dir, FsyncAlways, hpop.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seq, err := w.appendJSON(walEpochTick, walEpochTickRec{AssignEpoch: int64(g*perG + i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				w.waitDurable(seq)
+				if got := w.durableSeq(); got < seq {
+					t.Errorf("waitDurable(%d) returned with durableSeq %d", seq, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scanWALDir(dir, 0, [32]byte{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.lastSeq != goroutines*perG || res.replayed != goroutines*perG || res.truncated {
+		t.Fatalf("scan: lastSeq %d replayed %d truncated %v, want %d/%d/false",
+			res.lastSeq, res.replayed, res.truncated, goroutines*perG, goroutines*perG)
+	}
+}
+
+// walOrigin builds an origin with a durable control plane in dir: WAL first
+// (per the AttachWAL contract), then content and fleet.
+func walOrigin(t *testing.T, dir string, opts WALOptions, peers int) *Origin {
+	t.Helper()
+	o := NewOrigin("x", WithRNG(sim.NewRNG(7)))
+	if _, err := o.AttachWAL(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	o.AddObject("/c", make([]byte, 400))
+	o.AddObject("/a", make([]byte, 300))
+	if err := o.AddPage(Page{Name: "p", Container: "/c", Embedded: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < peers; i++ {
+		o.RegisterPeer(fmt.Sprintf("peer-%02d", i), fmt.Sprintf("http://peer-%02d", i), 10)
+	}
+	return o
+}
+
+// recoverOrigin boots a fresh origin from dir alone — no content republish,
+// no peer re-registration — so what the test observes is pure replay.
+func recoverOrigin(t *testing.T, dir string, opts WALOptions) (*Origin, RecoveryStats) {
+	t.Helper()
+	o := NewOrigin("x", WithRNG(sim.NewRNG(7)))
+	stats, err := o.AttachWAL(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AddObject("/c", make([]byte, 400))
+	o.AddObject("/a", make([]byte, 300))
+	if err := o.AddPage(Page{Name: "p", Container: "/c", Embedded: []string{"/a"}}); err != nil {
+		t.Fatal(err)
+	}
+	return o, stats
+}
+
+// TestOriginRecoveryExactlyOnce is the round-trip heart of the durable
+// control plane: credits survive a crash exactly once, consumed nonces stay
+// consumed, keys issued before the crash still verify records after it, and
+// the auditor's flags persist.
+func TestOriginRecoveryExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever}, 8)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	rec := signedRecord(t, w, peer, 100, "nonce-1")
+	if n := o.SettleRecords([]UsageRecord{rec}); n != 1 {
+		t.Fatalf("settled %d, want 1", n)
+	}
+	o.Audit().FlagTampered("peer-07", errors.New("planted evidence"))
+	if !o.AccountingFor("peer-07").Suspended {
+		t.Fatal("flag did not suspend peer-07 pre-crash")
+	}
+	// Crash: the origin is abandoned without Shutdown — no final snapshot,
+	// the journal tail is all recovery has.
+
+	o2, stats := recoverOrigin(t, dir, WALOptions{Fsync: FsyncNever})
+	if stats.RecordsReplayed == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != 100 {
+		t.Fatalf("credited after recovery = %d, want exactly 100", got)
+	}
+	// Exactly-once: replaying the already-settled record must not re-credit.
+	if n := o2.SettleRecords([]UsageRecord{rec}); n != 0 {
+		t.Fatal("recovered origin re-credited an already-settled record")
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != 100 {
+		t.Fatalf("credited after replay attempt = %d, want 100", got)
+	}
+	// Key durability: a fresh record under the pre-crash key still settles.
+	rec2 := signedRecord(t, w, peer, 50, "nonce-2")
+	if n := o2.SettleRecords([]UsageRecord{rec2}); n != 1 {
+		t.Fatal("pre-crash key no longer verifies a fresh record")
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != 150 {
+		t.Fatalf("credited after fresh settle = %d, want 150", got)
+	}
+	// Flag and suspension durability.
+	if !o2.AccountingFor("peer-07").Suspended {
+		t.Fatal("audit suspension lost across recovery")
+	}
+	flagged := false
+	for _, pa := range o2.Audit().Snapshot().Peers {
+		if pa.PeerID == "peer-07" && pa.Flagged {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("audit flag lost across recovery")
+	}
+}
+
+// TestOriginRecoveryStableAssignment: the recovered ring reproduces the same
+// client→peer wrapper maps (assignment projection — keys and nonces are
+// fresh by design).
+func TestOriginRecoveryStableAssignment(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever}, 12)
+	project := func(o *Origin, client string) string {
+		w, err := o.AssignWrapper("p", client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := w.Container.PeerID + "|" + w.Container.PeerURL
+		for _, obj := range w.Objects {
+			s += "|" + obj.Path + "=" + obj.PeerID + "@" + obj.PeerURL
+		}
+		return s
+	}
+	before := make(map[string]string)
+	for i := 0; i < 6; i++ {
+		c := fmt.Sprintf("client-%d", i)
+		before[c] = project(o, c)
+	}
+
+	o2, _ := recoverOrigin(t, dir, WALOptions{Fsync: FsyncNever})
+	for c, want := range before {
+		if got := project(o2, c); got != want {
+			t.Fatalf("client %s assignment drifted across recovery:\n  before %s\n  after  %s", c, want, got)
+		}
+	}
+}
+
+// TestSnapshotCompactsAndRecovers: crossing the snapshot budget rotates the
+// journal (old files deleted, snapshot written) and recovery from snapshot +
+// tail equals recovery from the full log.
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever, SnapshotEvery: 8}, 8)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	total := int64(0)
+	for i := 0; i < 30; i++ {
+		rec := signedRecord(t, w, peer, 10, fmt.Sprintf("nonce-%d", i))
+		if n := o.SettleRecords([]UsageRecord{rec}); n != 1 {
+			t.Fatalf("settle %d failed", i)
+		}
+		total += 10
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.json"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot written after 30 settlements (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFileName(1))); !os.IsNotExist(err) {
+		t.Fatal("snapshot rotation left the seq-1 journal file behind")
+	}
+
+	o2, stats := recoverOrigin(t, dir, WALOptions{Fsync: FsyncNever})
+	if stats.SnapshotSeq == 0 {
+		t.Fatal("recovery ignored the snapshot")
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != total {
+		t.Fatalf("credited after snapshot recovery = %d, want %d", got, total)
+	}
+	// The nonce window survived compaction: every consumed nonce, including
+	// those only present in the snapshot (pre-rotation), still rejects.
+	rec := signedRecord(t, w, peer, 10, "nonce-0")
+	if n := o2.SettleRecords([]UsageRecord{rec}); n != 0 {
+		t.Fatal("snapshot recovery reopened a consumed nonce")
+	}
+}
+
+// TestShutdownSnapshotThenCleanRecovery: a graceful Shutdown leaves a state
+// where recovery replays zero journal records (everything is in the final
+// snapshot) — the clean-restart fast path.
+func TestShutdownSnapshotThenCleanRecovery(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever}, 8)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	if n := o.SettleRecords([]UsageRecord{signedRecord(t, w, peer, 100, "n1")}); n != 1 {
+		t.Fatal("settle failed")
+	}
+	if err := o.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, stats := recoverOrigin(t, dir, WALOptions{Fsync: FsyncNever})
+	if stats.RecordsReplayed != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0 (snapshot covers all)", stats.RecordsReplayed)
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != 100 {
+		t.Fatalf("credited after clean restart = %d, want 100", got)
+	}
+	if n := o2.SettleRecords([]UsageRecord{signedRecord(t, w, peer, 100, "n1")}); n != 0 {
+		t.Fatal("clean restart reopened a consumed nonce")
+	}
+}
+
+// TestNonceWindowReanchoredOnRecovery: consumed-nonce timestamps are
+// journaled in wall time and re-anchored on restore, so a fast restart does
+// not shorten (or restart) the replay-rejection window.
+func TestNonceWindowReanchoredOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	now := base
+	o := NewOrigin("x", WithRNG(sim.NewRNG(7)), WithClock(func() time.Time { return now }))
+	if _, err := o.AttachWAL(dir, WALOptions{Fsync: FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	o.AddObject("/c", make([]byte, 400))
+	if err := o.AddPage(Page{Name: "p", Container: "/c"}); err != nil {
+		t.Fatal(err)
+	}
+	o.RegisterPeer("peer-00", "http://peer-00", 10)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := signedRecord(t, w, "peer-00", 100, "n1")
+	if n := o.SettleRecords([]UsageRecord{rec}); n != 1 {
+		t.Fatal("settle failed")
+	}
+
+	// Restart 30 fake minutes later — inside the 1h nonce window. The nonce
+	// must still be consumed; at +2h it must have aged out naturally.
+	now = base.Add(30 * time.Minute)
+	o2 := NewOrigin("x", WithRNG(sim.NewRNG(7)), WithClock(func() time.Time { return now }))
+	if _, err := o2.AttachWAL(dir, WALOptions{Fsync: FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.nonces.Use("k|n1-not-used"); err != nil {
+		t.Fatalf("fresh nonce rejected: %v", err)
+	}
+	if err := o2.nonces.Use(rec.KeyID + "|" + rec.Nonce); err == nil {
+		t.Fatal("recovered origin accepted a nonce consumed 30m ago (window re-anchored wrong)")
+	}
+}
+
+// TestRecordSpoolRoundTrip: spooled records survive close/reopen, a torn
+// final line is dropped, and AttachRecordSpool requeues into the peer.
+func TestRecordSpoolRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, loaded, err := openRecordSpool(dir, hpop.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 0 {
+		t.Fatalf("fresh spool loaded %d records", len(loaded))
+	}
+	for i := 0; i < 3; i++ {
+		s.append(UsageRecord{Provider: "x", PeerID: "peer-a", Bytes: int64(i + 1), Nonce: fmt.Sprintf("n%d", i)})
+	}
+	s.close()
+
+	// Tear the tail mid-append.
+	f, err := os.OpenFile(filepath.Join(dir, spoolFileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"provider":"x","peerId":"torn`)
+	f.Close()
+
+	s2, loaded, err := openRecordSpool(dir, hpop.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	if len(loaded) != 3 {
+		t.Fatalf("reloaded %d records, want 3 (torn tail dropped)", len(loaded))
+	}
+	for i, r := range loaded {
+		if r.Bytes != int64(i+1) {
+			t.Fatalf("record %d holds bytes %d, want %d (order lost)", i, r.Bytes, i+1)
+		}
+	}
+}
+
+// TestPeerAttachRecordSpoolRequeues: a peer booted over an existing spool
+// requeues the records into its pending queue, and CloseRecordSpool persists
+// the queue for the next boot.
+func TestPeerAttachRecordSpoolRequeues(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := openRecordSpool(dir, hpop.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.append(UsageRecord{Provider: "x", PeerID: "peer-a", Bytes: int64(i), Nonce: fmt.Sprintf("n%d", i)})
+	}
+	s.close()
+
+	p := NewPeer("peer-a", 1<<20)
+	if err := p.AttachRecordSpool(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PendingRecords(); got != 5 {
+		t.Fatalf("peer requeued %d records, want 5", got)
+	}
+	p.CloseRecordSpool()
+
+	// Second boot sees the same queue (compacted, not duplicated).
+	p2 := NewPeer("peer-a", 1<<20)
+	if err := p2.AttachRecordSpool(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.PendingRecords(); got != 5 {
+		t.Fatalf("second boot requeued %d records, want 5", got)
+	}
+	p2.CloseRecordSpool()
+}

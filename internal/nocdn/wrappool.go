@@ -267,6 +267,9 @@ func (o *Origin) buildPoolEntry(page string, slot int) (*poolEntry, error) {
 	for id := range w.Keys {
 		ids = append(ids, id)
 	}
+	// Durable keys before the map can serve: a settlement for this map must
+	// survive an origin restart between the serve and the flush.
+	o.journalKeysIssued(w, charges)
 	return &poolEntry{w: w, peerIDs: ids, charges: charges, content: cep, assign: aep}, nil
 }
 
@@ -276,7 +279,8 @@ func (o *Origin) buildPoolEntry(page string, slot int) (*poolEntry, error) {
 // (picking up fleet changes, fresh keys, and current health) so wrapper
 // generation stays off the request hot path entirely.
 func (o *Origin) EpochTick() {
-	o.assignEpoch.Add(1)
+	ep := o.assignEpoch.Add(1)
+	o.journalEpochTick(ep)
 	o.metrics.Inc("nocdn.origin.epoch_ticks")
 	for page, slots := range o.pool.filled() {
 		for _, slot := range slots {
