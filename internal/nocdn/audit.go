@@ -391,11 +391,14 @@ func (a *Auditor) applyDeltas(deltas []walAuditDelta) {
 
 // settleOutcome is one record's settlement verdict, collected during batch
 // verification and applied (plus journaled, as part of its batch's audit
-// deltas) at commit time.
+// deltas) at commit time. nonceKey is set on records that passed
+// verification; the nonce is consumed — and the record can still demote to a
+// replay rejection — under the commit lock, never before it.
 type settleOutcome struct {
 	rec      UsageRecord
 	err      error
 	replayed bool
+	nonceKey string
 }
 
 // buildAuditDeltas reduces a batch's per-record outcomes to the per-peer

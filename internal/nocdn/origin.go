@@ -739,13 +739,11 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 	sp.SetLabel("records", strconv.Itoa(len(records)))
 	defer sp.End()
 	start := time.Now()
-	credited := 0
 	creditDeltas := make(map[string]int64)
 	rejectCounts := make(map[string]int64)
 	involved := make(map[string]struct{})
-	var nonces []string
 	outcomes := make([]settleOutcome, 0, len(records))
-	batchPeer := ""
+	batchPeer, mixedPeers := "", false
 	for _, r := range records {
 		var rsp *hpop.Span
 		if rtc, perr := hpop.ParseTraceparent(r.Traceparent); perr == nil {
@@ -756,44 +754,102 @@ func (o *Origin) settleBatch(parent hpop.TraceContext, records []UsageRecord) in
 		rsp.SetLabel("peer", r.PeerID)
 		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
 		err := o.settleOne(r)
-		outcomes = append(outcomes, settleOutcome{rec: r, err: err, replayed: errors.Is(err, auth.ErrReplayed)})
+		oc := settleOutcome{rec: r, err: err}
 		involved[r.PeerID] = struct{}{}
-		batchPeer = r.PeerID
+		if batchPeer == "" {
+			batchPeer = r.PeerID
+		} else if r.PeerID != batchPeer {
+			mixedPeers = true
+		}
 		if err != nil {
+			outcomes = append(outcomes, oc)
 			rejectCounts[r.PeerID]++
 			o.metrics.Inc("nocdn.origin.records_rejected")
 			rsp.SetError(err)
 			rsp.End()
 			continue
 		}
-		nonces = append(nonces, r.KeyID+"|"+r.Nonce)
+		// Credit is tentative until the commit consumes the nonce; a replay
+		// detected there demotes the record to a rejection.
+		oc.nonceKey = r.KeyID + "|" + r.Nonce
+		outcomes = append(outcomes, oc)
 		creditDeltas[r.PeerID] += r.Bytes
 		rsp.End()
-		credited++
 	}
-	o.commitSettlement(walSettleRec{
+	if mixedPeers {
+		// A legacy /usage batch may mix peers; naming any single one in the
+		// journal would be misleading metadata (credits/rejects are per-peer
+		// maps either way).
+		batchPeer = ""
+	}
+	credited, _ := o.commitSettlement(walSettleRec{
 		PeerID:  batchPeer,
 		At:      o.now().UnixNano(),
-		Nonces:  nonces,
 		Credits: creditDeltas,
 		Rejects: rejectCounts,
-	}, involved, outcomes)
+	}, "", involved, outcomes)
 	sp.SetLabel("credited", strconv.Itoa(credited))
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited
 }
 
 // commitSettlement is the durable apply step every settlement path funnels
-// through: under the commit lock the settle record (credits, rejects,
-// consumed nonces, audit deltas, assigned floors) is journaled first, then
-// applied to the ledger and auditor — so a snapshot can never capture a
-// half-applied batch, and replaying the journal reproduces exactly the
-// acknowledged state. The fsync wait happens after the lock is released
+// through: under the commit lock the batch's nonces are consumed, the settle
+// record (credits, rejects, consumed nonces, audit deltas, assigned floors)
+// is journaled, and only then is it applied to the ledger and auditor — so a
+// snapshot can never capture a half-applied batch, nor a consumed nonce
+// whose settle record is not yet journaled. Consuming nonces any earlier
+// opens a credit-loss window: a snapshot cut between consumption and the
+// journal append would, after a crash, restore the nonce as spent while the
+// credit was never journaled, bouncing the peer's retry of a never-acked
+// batch as a replay. The fsync wait happens after the lock is released
 // (group commit), before the caller acknowledges the peer.
-func (o *Origin) commitSettlement(rec walSettleRec, involved map[string]struct{}, outcomes []settleOutcome) {
-	deltas := buildAuditDeltas(outcomes)
+//
+// batchNonce, when non-empty, is the whole-batch replay guard: if it was
+// already consumed the commit aborts with the replay error and no state
+// changes (the earlier settlement of the same commitment already journaled
+// its decision). A per-record nonce that turns out to be consumed — an
+// earlier commit won the race — demotes that record from credit to a replay
+// rejection in both the journal record and the applied deltas. Returns how
+// many records were actually credited.
+func (o *Origin) commitSettlement(rec walSettleRec, batchNonce string, involved map[string]struct{}, outcomes []settleOutcome) (int, error) {
 	var endSeq uint64
 	o.commitMu.Lock()
+	if batchNonce != "" {
+		if err := o.nonces.Use(batchNonce); err != nil {
+			o.commitMu.Unlock()
+			return 0, err
+		}
+		rec.Nonces = append(rec.Nonces, batchNonce)
+	}
+	credited := 0
+	for i := range outcomes {
+		oc := &outcomes[i]
+		if oc.err != nil || oc.nonceKey == "" {
+			continue
+		}
+		if uerr := o.nonces.Use(oc.nonceKey); uerr != nil {
+			oc.err = fmt.Errorf("%w: %w", ErrBadRecord, uerr)
+			oc.replayed = errors.Is(uerr, auth.ErrReplayed)
+			if rec.Credits != nil {
+				rec.Credits[oc.rec.PeerID] -= oc.rec.Bytes
+				if rec.Credits[oc.rec.PeerID] == 0 {
+					delete(rec.Credits, oc.rec.PeerID)
+				}
+			}
+			if rec.Rejects == nil {
+				rec.Rejects = make(map[string]int64)
+			}
+			rec.Rejects[oc.rec.PeerID]++
+			o.metrics.Inc("nocdn.origin.records_rejected")
+			continue
+		}
+		rec.Nonces = append(rec.Nonces, oc.nonceKey)
+		credited++
+	}
+	// Deltas are built after the nonce pass so the journaled statistics
+	// carry the final (post-replay-demotion) verdicts.
+	deltas := buildAuditDeltas(outcomes)
 	if o.wal != nil {
 		rec.Audit = deltas
 		// Absolute assigned-bytes floors for the involved peers: per-serve
@@ -819,10 +875,13 @@ func (o *Origin) commitSettlement(rec walSettleRec, involved map[string]struct{}
 	o.commitMu.Unlock()
 	o.walWait(endSeq)
 	o.maybeSnapshot()
+	return credited, nil
 }
 
-// settleOne fully verifies one record (signature included) and consumes its
-// nonce. It does NOT write credits — callers batch those per shard.
+// settleOne fully verifies one record (signature included). It does NOT
+// consume the nonce or write credits — both happen under the commit lock in
+// commitSettlement, so verification never serializes other committers and a
+// snapshot can never observe a nonce ahead of its journal record.
 func (o *Origin) settleOne(r UsageRecord) error {
 	if r.Provider != o.Provider {
 		return ErrBadRecord
@@ -843,18 +902,14 @@ func (o *Origin) settleOne(r UsageRecord) error {
 	if r.Bytes < 0 || r.Bytes > maxBytes {
 		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
 	}
-	if err := o.nonces.Use(r.KeyID + "|" + r.Nonce); err != nil {
-		// Double-wrap so callers can classify replays (auth.ErrReplayed)
-		// separately from other rejections — the audit pipeline counts them.
-		return fmt.Errorf("%w: %w", ErrBadRecord, err)
-	}
 	return nil
 }
 
 // commitRecord runs the cheap (non-cryptographic) settlement checks for one
-// record inside an accepted Merkle batch and consumes its nonce. Signature
-// verification is what sampling elides: the batch root committed the peer
-// to these exact bytes, and the sampled leaves' signatures all verified.
+// record inside an accepted Merkle batch. Signature verification is what
+// sampling elides: the batch root committed the peer to these exact bytes,
+// and the sampled leaves' signatures all verified. The nonce is consumed at
+// commit time, not here.
 func (o *Origin) commitRecord(r UsageRecord, batchPeer string) error {
 	if r.Provider != o.Provider {
 		return ErrBadRecord
@@ -871,9 +926,6 @@ func (o *Origin) commitRecord(r UsageRecord, batchPeer string) error {
 	}
 	if r.Bytes < 0 || r.Bytes > maxBytes {
 		return fmt.Errorf("%w: implausible byte count", ErrBadRecord)
-	}
-	if err := o.nonces.Use(r.KeyID + "|" + r.Nonce); err != nil {
-		return fmt.Errorf("%w: %w", ErrBadRecord, err)
 	}
 	return nil
 }
@@ -980,7 +1032,7 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 			Root:    b.Root,
 			At:      o.now().UnixNano(),
 			Rejects: map[string]int64{b.PeerID: int64(len(b.Records))},
-		}, involved, nil)
+		}, "", involved, nil)
 		err := fmt.Errorf("%w: root mismatch", ErrBadBatch)
 		sp.SetError(err)
 		return 0, err
@@ -988,12 +1040,13 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 	if len(b.Records) == 0 {
 		return 0, nil
 	}
-	if err := o.nonces.Use("batch|" + b.Root); err != nil {
-		o.metrics.Inc("nocdn.origin.batches_replayed")
-		err = fmt.Errorf("%w: %w", ErrBadBatch, err)
-		sp.SetError(err)
-		return 0, err
-	}
+	// The batch nonce ("batch|root", the whole-batch replay guard) is NOT
+	// consumed here: commitSettlement consumes it under the commit lock,
+	// atomically with the journal append, and aborts the commit when the
+	// root was already settled. A replayed batch therefore wastes the
+	// sampling work below, but replays are rare and a nonce consumed before
+	// the journal cut could strand the peer's credit across a crash.
+	batchNonce := "batch|" + b.Root
 
 	idxs := sampleIndices(b.Root, len(b.Records), o.settleSampleK())
 	sp.SetLabel("sampled", strconv.Itoa(len(idxs)))
@@ -1002,18 +1055,24 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 		if err := o.verifyRecordFull(b.Records[i], b.PeerID); err != nil {
 			// Feed the auditor both statistically (the record observation)
 			// and directly (tamper evidence flags without waiting for a
-			// score), then reject the whole batch. The batch nonce was
-			// already consumed, so it journals with the rejection — a
-			// crash must not reopen the root to a "fixed" replay.
+			// score), then reject the whole batch. The batch nonce is
+			// consumed with the rejection's journal record — a crash must
+			// not reopen the root to a "fixed" replay.
 			o.metrics.Inc("nocdn.origin.sample_failures")
 			o.metrics.Inc("nocdn.origin.batches_rejected")
-			o.commitSettlement(walSettleRec{
+			if _, cerr := o.commitSettlement(walSettleRec{
 				PeerID:  b.PeerID,
 				Root:    b.Root,
 				At:      o.now().UnixNano(),
-				Nonces:  []string{"batch|" + b.Root},
 				Rejects: map[string]int64{b.PeerID: int64(len(b.Records))},
-			}, involved, []settleOutcome{{rec: b.Records[i], err: err}})
+			}, batchNonce, involved, []settleOutcome{{rec: b.Records[i], err: err}}); cerr != nil {
+				// Replayed root: the first settlement of this commitment
+				// already journaled the rejection and flagged the peer.
+				o.metrics.Inc("nocdn.origin.batches_replayed")
+				cerr = fmt.Errorf("%w: %w", ErrBadBatch, cerr)
+				sp.SetError(cerr)
+				return 0, cerr
+			}
 			o.audit.FlagTampered(b.PeerID, err)
 			err = fmt.Errorf("%w: sampled leaf %d: %v", ErrBadBatch, i, err)
 			sp.SetError(err)
@@ -1021,10 +1080,8 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 		}
 	}
 
-	credited := 0
 	creditDeltas := make(map[string]int64)
 	rejectCounts := make(map[string]int64)
-	nonces := []string{"batch|" + b.Root}
 	outcomes := make([]settleOutcome, 0, len(b.Records))
 	for i := range b.Records {
 		r := b.Records[i]
@@ -1040,27 +1097,33 @@ func (o *Origin) settleMerkle(parent hpop.TraceContext, b RecordBatch) (int, err
 		rsp.SetLabel("peer", r.PeerID)
 		rsp.SetLabel("bytes", strconv.FormatInt(r.Bytes, 10))
 		err := o.commitRecord(r, b.PeerID)
-		outcomes = append(outcomes, settleOutcome{rec: r, err: err, replayed: errors.Is(err, auth.ErrReplayed)})
+		oc := settleOutcome{rec: r, err: err}
 		if err != nil {
+			outcomes = append(outcomes, oc)
 			rejectCounts[r.PeerID]++
 			o.metrics.Inc("nocdn.origin.records_rejected")
 			rsp.SetError(err)
 			rsp.End()
 			continue
 		}
-		nonces = append(nonces, r.KeyID+"|"+r.Nonce)
+		oc.nonceKey = r.KeyID + "|" + r.Nonce
+		outcomes = append(outcomes, oc)
 		creditDeltas[r.PeerID] += r.Bytes
 		rsp.End()
-		credited++
 	}
-	o.commitSettlement(walSettleRec{
+	credited, cerr := o.commitSettlement(walSettleRec{
 		PeerID:  b.PeerID,
 		Root:    b.Root,
 		At:      o.now().UnixNano(),
-		Nonces:  nonces,
 		Credits: creditDeltas,
 		Rejects: rejectCounts,
-	}, involved, outcomes)
+	}, batchNonce, involved, outcomes)
+	if cerr != nil {
+		o.metrics.Inc("nocdn.origin.batches_replayed")
+		cerr = fmt.Errorf("%w: %w", ErrBadBatch, cerr)
+		sp.SetError(cerr)
+		return 0, cerr
+	}
 	sp.SetLabel("credited", strconv.Itoa(credited))
 	o.metrics.Observe("nocdn.origin.settle_seconds", time.Since(start).Seconds())
 	return credited, nil

@@ -624,9 +624,12 @@ func (p *Peer) handleRecord(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.records = append(p.records, rec)
-	spool := p.spool
+	// Spooled while still holding recordsMu so the append is ordered with
+	// any concurrent Flush compaction (rewrite also runs under recordsMu):
+	// a record accepted during a settling flush must land after the
+	// rewrite, not be erased by it or duplicated.
+	p.spool.append(rec)
 	p.recordsMu.Unlock()
-	spool.append(rec)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -715,12 +718,12 @@ func (p *Peer) Flush(originURL string) (int, error) {
 			p.recordsMu.Lock()
 			p.flushFailures = 0
 			p.nextFlushAt = time.Time{}
-			spool := p.spool
-			queue := append([]UsageRecord(nil), p.records...)
-			p.recordsMu.Unlock()
 			// The batch is settled: compact the spool down to whatever
-			// arrived meanwhile so a restart doesn't re-upload it.
-			spool.rewrite(queue)
+			// arrived meanwhile so a restart doesn't re-upload it. Runs
+			// under recordsMu so no handleRecord append can slip between
+			// the queue snapshot and the file swap.
+			p.spool.rewrite(p.records)
+			p.recordsMu.Unlock()
 			sp.SetLabel("uploaded", strconv.Itoa(len(batch)))
 			return len(batch), nil
 		}
@@ -738,17 +741,12 @@ func (p *Peer) Flush(originURL string) (int, error) {
 	}
 	p.flushFailures++
 	p.nextFlushAt = now.Add(p.FlushBackoff.Delay(p.flushFailures))
-	spool := p.spool
-	var queue []UsageRecord
-	if spool != nil && over > 0 {
-		queue = append([]UsageRecord(nil), p.records...)
-	}
-	p.recordsMu.Unlock()
-	if spool != nil && over > 0 {
+	if over > 0 {
 		// Only a shed changes what should replay on boot — a plain requeue
 		// leaves the spool contents correct as-is.
-		spool.rewrite(queue)
+		p.spool.rewrite(p.records)
 	}
+	p.recordsMu.Unlock()
 	if over > 0 {
 		// Shed records are unpaid work — surface them on the flush span and
 		// as a counter, not just the lifetime drop total.

@@ -435,7 +435,7 @@ func (o *Origin) SnapshotNow() error {
 		o.metrics.Inc("nocdn.wal.snapshot_errors")
 		return err
 	}
-	if err := o.wal.rotateAfterSnapshot(seq, chain, o.now()); err != nil {
+	if err := o.wal.rotateAfterSnapshot(seq, o.now()); err != nil {
 		o.metrics.Inc("nocdn.wal.snapshot_errors")
 		return err
 	}

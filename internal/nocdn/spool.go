@@ -165,10 +165,10 @@ func (p *Peer) AttachRecordSpool(dir string) error {
 			p.droppedRecords.Add(int64(over))
 		}
 	}
-	queue := append([]UsageRecord(nil), p.records...)
+	// Compact immediately (still under recordsMu, ordered with appends):
+	// drops any torn tail and the over-cap shed.
+	spool.rewrite(p.records)
 	p.recordsMu.Unlock()
-	// Compact immediately: drops any torn tail and the over-cap shed.
-	spool.rewrite(queue)
 	return nil
 }
 
@@ -177,11 +177,7 @@ func (p *Peer) CloseRecordSpool() {
 	p.recordsMu.Lock()
 	spool := p.spool
 	p.spool = nil
-	queue := append([]UsageRecord(nil), p.records...)
-	p.recordsMu.Unlock()
-	if spool == nil {
-		return
-	}
-	spool.rewrite(queue)
+	spool.rewrite(p.records)
 	spool.close()
+	p.recordsMu.Unlock()
 }

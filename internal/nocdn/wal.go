@@ -218,6 +218,11 @@ var (
 	errWALBadSeq     = errors.New("nocdn: wal sequence discontinuity")
 	errWALBadMagic   = errors.New("nocdn: bad wal record magic")
 	errWALBadPayload = errors.New("nocdn: wal payload length out of range")
+	// errWALUnrecoverable marks damage a crash cannot explain — a sequence
+	// gap or a broken record with later journal files still present. Recovery
+	// fails loudly and touches nothing, so the surviving files stay intact
+	// for manual repair.
+	errWALUnrecoverable = errors.New("nocdn: unrecoverable wal damage")
 )
 
 // decodeWALFrame parses one frame from buf, verifying CRC, chain continuity
@@ -540,34 +545,68 @@ func (w *controlWAL) durableSeq() uint64 {
 	return w.syncedSeq
 }
 
-// rotateAfterSnapshot starts a fresh journal file at seq+1 and deletes every
-// file (journal and snapshot) the new snapshot supersedes.
-func (w *controlWAL) rotateAfterSnapshot(snapSeq uint64, chain [32]byte, takenAt time.Time) error {
+// rotateAfterSnapshot starts a fresh journal file at the journal's current
+// position and deletes the files the PREVIOUS snapshot superseded. The new
+// snapshot's own prefix is deliberately retained for one more rotation: if
+// the newest snapshot fails its integrity check at recovery, AttachWAL falls
+// back to the previous snapshot plus this longer journal replay — deleting
+// eagerly would make a single corrupt snapshot fatal to the whole state.
+//
+// The new file opens at w.seq+1 (not snapSeq+1): idempotent record types
+// journal outside the commit lock, so appends may have landed between the
+// snapshot cut and this rotation, and a file header claiming an earlier
+// first-sequence than its first frame would read as corruption on replay.
+func (w *controlWAL) rotateAfterSnapshot(snapSeq uint64, takenAt time.Time) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.openFileAt(snapSeq+1, chain, filepath.Join(w.dir, walFileName(snapSeq+1)), 0); err != nil {
+	prevSnapSeq := w.snapSeq
+	path := filepath.Join(w.dir, walFileName(w.seq+1))
+	// Back-to-back snapshots with no appends between them target the same
+	// file name; reuse it (its header already carries this exact position)
+	// rather than appending a second header into it.
+	var existingSize int64
+	if fi, serr := os.Stat(path); serr == nil {
+		existingSize = fi.Size()
+	}
+	if err := w.openFileAt(w.seq+1, w.chain, path, existingSize); err != nil {
 		return err
 	}
 	w.snapSeq = snapSeq
 	w.snapAt = takenAt.UnixNano()
 	w.appendedSinceSnap = 0
-	// Durability handoff: the snapshot file now covers everything up to
-	// snapSeq, so stale journal files and older snapshots can go.
+	// Durability handoff, one snapshot behind: everything the previous
+	// snapshot covers is safe to drop, because recovery never needs to reach
+	// further back than the second-newest snapshot.
 	entries, err := os.ReadDir(w.dir)
 	if err != nil {
 		return nil // cleanup is best-effort; the new journal is already live
 	}
+	type walFile struct {
+		firstSeq uint64
+		name     string
+	}
+	var logs []walFile
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
-			if fs, ok := parseSeqName(name, "wal-", ".log"); ok && fs <= snapSeq {
-				os.Remove(filepath.Join(w.dir, name))
+			if fs, ok := parseSeqName(name, "wal-", ".log"); ok {
+				logs = append(logs, walFile{firstSeq: fs, name: name})
 			}
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".json"):
-			if fs, ok := parseSeqName(name, "snap-", ".json"); ok && fs < snapSeq {
+			if fs, ok := parseSeqName(name, "snap-", ".json"); ok && fs < prevSnapSeq {
 				os.Remove(filepath.Join(w.dir, name))
 			}
+		}
+	}
+	// A journal file is disposable only when the NEXT file already starts at
+	// or before prevSnapSeq+1 — i.e. every record it holds is covered by the
+	// retained previous snapshot. Comparing the file's own first sequence
+	// would discard records past the cut that a pre-rotation file still holds.
+	sort.Slice(logs, func(i, j int) bool { return logs[i].firstSeq < logs[j].firstSeq })
+	for i := 0; i+1 < len(logs); i++ {
+		if logs[i+1].firstSeq <= prevSnapSeq+1 {
+			os.Remove(filepath.Join(w.dir, logs[i].name))
 		}
 	}
 	return nil
@@ -697,10 +736,14 @@ type walScanResult struct {
 
 // scanWALDir replays every journal record with sequence > afterSeq in order,
 // calling apply for each. Verification is total: CRC per frame, hash-chain
-// and sequence continuity across frames and files. The first invalid frame
-// ends the log — the file is truncated back to the last good record and any
-// later journal files (unreachable through the chain) are deleted, exactly
-// like the segment store's torn-tail recovery.
+// and sequence continuity across frames and files. An invalid suffix of the
+// NEWEST file is a torn tail (the only damage a crash can produce) and is
+// truncated back to the last good record, exactly like the segment store's
+// torn-tail recovery. Anything else — a sequence gap between files, or a
+// broken record with later journal files still present — cannot be a crash
+// artifact, so the scan fails with errWALUnrecoverable and deletes nothing:
+// a corrupt or missing snapshot must never cascade into destroying the
+// intact journal files that still hold the state.
 func scanWALDir(dir string, afterSeq uint64, afterChain [32]byte, apply func(walFrame) error) (walScanResult, error) {
 	res := walScanResult{lastSeq: afterSeq, chain: afterChain}
 	entries, err := os.ReadDir(dir)
@@ -726,32 +769,32 @@ func scanWALDir(dir string, afterSeq uint64, afterChain [32]byte, apply func(wal
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].firstSeq < files[j].firstSeq })
 
-	endLog := func(i int, path string, goodLen int64) {
-		res.truncated = true
-		os.Truncate(path, goodLen)
-		for _, later := range files[i+1:] {
-			os.Remove(later.path)
-		}
-	}
-
 	for i, wf := range files {
+		lastFile := i == len(files)-1
 		raw, err := os.ReadFile(wf.path)
 		if err != nil {
 			return res, err
 		}
 		firstSeq, prevChain, err := decodeWALFileHeader(raw)
 		if err != nil {
-			// An unreadable header means nothing in this file is reachable.
-			endLog(i, wf.path, 0)
+			if !lastFile {
+				return res, fmt.Errorf("%w: %s has an unreadable header but later journal files exist",
+					errWALUnrecoverable, filepath.Base(wf.path))
+			}
+			// Torn header on the newest file: it was created right before the
+			// crash and holds nothing replayable.
+			res.truncated = true
 			os.Remove(wf.path)
 			break
 		}
 		if firstSeq > res.lastSeq+1 && firstSeq > afterSeq+1 {
-			// A gap in the sequence space: the file is unreachable through
-			// the chain. Stop — later files are gone too.
-			endLog(i, wf.path, 0)
-			os.Remove(wf.path)
-			break
+			// A gap in the sequence space: records between the last replayed
+			// sequence and this file are gone. Rotation never produces this —
+			// it means the snapshot covering the missing prefix was lost or
+			// failed its integrity check. Refuse to recover (and to delete)
+			// rather than silently booting without settled state.
+			return res, fmt.Errorf("%w: journal gap before %s (first seq %d, replayed through %d; missing or corrupt snapshot?)",
+				errWALUnrecoverable, filepath.Base(wf.path), firstSeq, res.lastSeq)
 		}
 		// Chain origin for this file: its own header (covers files that
 		// start before the snapshot cut, where our running chain is ahead).
@@ -762,7 +805,12 @@ func scanWALDir(dir string, afterSeq uint64, afterChain [32]byte, apply func(wal
 		for int(off) < len(raw) {
 			fr, n, derr := decodeWALFrame(raw[off:], chain, wantSeq)
 			if derr != nil {
-				endLog(i, wf.path, off)
+				if !lastFile {
+					return res, fmt.Errorf("%w: %s invalid at offset %d (%v) with later journal files present",
+						errWALUnrecoverable, filepath.Base(wf.path), off, derr)
+				}
+				res.truncated = true
+				os.Truncate(wf.path, off)
 				broken = true
 				break
 			}

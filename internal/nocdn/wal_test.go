@@ -435,6 +435,105 @@ func TestSnapshotCompactsAndRecovers(t *testing.T) {
 	}
 }
 
+// TestSnapshotFallbackOnCorruption: rotation retains the previous snapshot
+// generation, so a corrupt newest snapshot falls back to the older one plus
+// a longer journal replay — full state, not a zeroed ledger.
+func TestSnapshotFallbackOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever, SnapshotEvery: 8}, 8)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	total := int64(0)
+	for i := 0; i < 30; i++ {
+		rec := signedRecord(t, w, peer, 10, fmt.Sprintf("nonce-%d", i))
+		if n := o.SettleRecords([]UsageRecord{rec}); n != 1 {
+			t.Fatalf("settle %d failed", i)
+		}
+		total += 10
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.json"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("retention kept %d snapshots, want >= 2 (err=%v)", len(snaps), err)
+	}
+	// Corrupt the newest snapshot (glob sorts lexically = by seq for the
+	// fixed-width names); recovery must fall back, not fail or zero state.
+	newest := snaps[len(snaps)-1]
+	if err := os.WriteFile(newest, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o2, stats := recoverOrigin(t, dir, WALOptions{Fsync: FsyncNever})
+	if stats.SnapshotSeq == 0 {
+		t.Fatal("fallback recovery used no snapshot at all")
+	}
+	if got := o2.AccountingFor(peer).CreditedBytes; got != total {
+		t.Fatalf("credited after fallback recovery = %d, want %d", got, total)
+	}
+	// The nonce window is also whole: records settled after the surviving
+	// snapshot's cut still reject as replays via the journal tail.
+	rec := signedRecord(t, w, peer, 10, "nonce-29")
+	if n := o2.SettleRecords([]UsageRecord{rec}); n != 0 {
+		t.Fatal("fallback recovery reopened a consumed nonce")
+	}
+}
+
+// TestJournalGapFailsLoudly: with every snapshot gone, the journal's missing
+// prefix is a gap recovery cannot explain — AttachWAL must refuse loudly and
+// leave the intact journal files on disk for manual repair, not truncate or
+// delete them.
+func TestJournalGapFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	o := walOrigin(t, dir, WALOptions{Fsync: FsyncNever, SnapshotEvery: 8}, 8)
+	w, err := o.GenerateWrapper("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := anyPeer(w)
+	for i := 0; i < 30; i++ {
+		rec := signedRecord(t, w, peer, 10, fmt.Sprintf("nonce-%d", i))
+		if n := o.SettleRecords([]UsageRecord{rec}); n != 1 {
+			t.Fatalf("settle %d failed", i)
+		}
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.json"))
+	for _, s := range snaps {
+		os.Remove(s)
+	}
+	logsBefore, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(logsBefore) == 0 {
+		t.Fatal("no journal files survived rotation")
+	}
+	sizesBefore := make(map[string]int64, len(logsBefore))
+	for _, p := range logsBefore {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizesBefore[p] = fi.Size()
+	}
+
+	o2 := NewOrigin("x", WithRNG(sim.NewRNG(7)))
+	if _, err := o2.AttachWAL(dir, WALOptions{Fsync: FsyncNever}); !errors.Is(err, errWALUnrecoverable) {
+		t.Fatalf("AttachWAL with missing snapshot = %v, want errWALUnrecoverable", err)
+	}
+	logsAfter, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(logsAfter) != len(logsBefore) {
+		t.Fatalf("failed recovery deleted journal files: %d before, %d after", len(logsBefore), len(logsAfter))
+	}
+	for _, p := range logsAfter {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != sizesBefore[p] {
+			t.Fatalf("failed recovery truncated %s: %d -> %d bytes", filepath.Base(p), sizesBefore[p], fi.Size())
+		}
+	}
+}
+
 // TestShutdownSnapshotThenCleanRecovery: a graceful Shutdown leaves a state
 // where recovery replays zero journal records (everything is in the final
 // snapshot) — the clean-restart fast path.
